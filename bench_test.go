@@ -1,0 +1,378 @@
+// Benchmarks regenerating the paper's evaluation (Section V), one per
+// figure, plus the ablations called out in DESIGN.md. Each KAP benchmark
+// runs the full four-phase KVS Access Patterns test on an in-process
+// comms session with per-hop serialization costs enabled, and reports
+// the phase latency of interest as a custom metric alongside ns/op.
+//
+// Scales are reduced from the paper's 512 nodes × 16 procs to keep bench
+// runs tractable; cmd/kap sweeps the full figure series.
+package fluxgo_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fluxgo"
+	"fluxgo/internal/kap"
+	"fluxgo/internal/kvs"
+	"fluxgo/internal/sched"
+	"fluxgo/internal/session"
+	"fluxgo/internal/wire"
+)
+
+// benchRanks are the session sizes swept by the figure benchmarks
+// (the paper sweeps 64..512 nodes; × ProcsPerRank gives process counts).
+var benchRanks = []int{16, 64}
+
+const benchProcsPerRank = 4
+
+// runKAP executes one KAP configuration b.N times, reporting the chosen
+// phase latency.
+func runKAP(b *testing.B, p kap.Params, phase string) {
+	b.Helper()
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := kap.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		switch phase {
+		case "producer":
+			total += res.Producer
+		case "sync":
+			total += res.Sync
+		case "consumer":
+			total += res.Consumer
+		}
+	}
+	b.ReportMetric(float64(total.Nanoseconds())/float64(b.N), phase+"-ns")
+}
+
+// BenchmarkFig2ProducerPhase reproduces Figure 2: maximum kvs_put phase
+// latency as the producer count grows, one series per value size.
+func BenchmarkFig2ProducerPhase(b *testing.B) {
+	for _, ranks := range benchRanks {
+		for _, vsize := range []int{8, 512, 8192, 32768} {
+			total := ranks * benchProcsPerRank
+			b.Run(fmt.Sprintf("producers=%d/vsize=%d", total, vsize), func(b *testing.B) {
+				runKAP(b, kap.Params{
+					Ranks:        ranks,
+					ProcsPerRank: benchProcsPerRank,
+					Producers:    total,
+					Consumers:    total,
+					ValueSize:    vsize,
+					AccessCount:  1,
+				}, "producer")
+			})
+		}
+	}
+}
+
+// BenchmarkFig3FenceUnique and BenchmarkFig3FenceRedundant reproduce
+// Figure 3: maximum kvs_fence latency vs producer count, for unique
+// values (tuples and data both concatenate up the tree: ~linear) and
+// redundant values (data deduplicates in the tree reduction, tuples
+// still concatenate: better, but short of logarithmic).
+func BenchmarkFig3FenceUnique(b *testing.B)    { benchFig3(b, false) }
+func BenchmarkFig3FenceRedundant(b *testing.B) { benchFig3(b, true) }
+
+func benchFig3(b *testing.B, redundant bool) {
+	for _, ranks := range benchRanks {
+		for _, vsize := range []int{8, 2048, 32768} {
+			total := ranks * benchProcsPerRank
+			b.Run(fmt.Sprintf("producers=%d/vsize=%d", total, vsize), func(b *testing.B) {
+				runKAP(b, kap.Params{
+					Ranks:        ranks,
+					ProcsPerRank: benchProcsPerRank,
+					Producers:    total,
+					Consumers:    total,
+					ValueSize:    vsize,
+					Redundant:    redundant,
+					AccessCount:  1,
+				}, "sync")
+			})
+		}
+	}
+}
+
+// BenchmarkFig4aConsumerSingleDir reproduces Figure 4(a): maximum
+// kvs_get phase latency with all keys in a single KVS directory, one
+// series per per-consumer access count; slave caches store whole
+// objects, so every consumer faults in the one big directory object.
+func BenchmarkFig4aConsumerSingleDir(b *testing.B) {
+	for _, ranks := range benchRanks {
+		for _, access := range []int{1, 4, 16} {
+			total := ranks * benchProcsPerRank
+			b.Run(fmt.Sprintf("consumers=%d/access=%d", total, access), func(b *testing.B) {
+				runKAP(b, kap.Params{
+					Ranks:        ranks,
+					ProcsPerRank: benchProcsPerRank,
+					Producers:    total,
+					Consumers:    total,
+					ValueSize:    8,
+					AccessCount:  access,
+					DirFanout:    0, // single directory
+				}, "consumer")
+			})
+		}
+	}
+}
+
+// BenchmarkFig4bConsumerMultiDir reproduces Figure 4(b): the same
+// consumer sweep with objects split into directories of at most 128
+// entries, so consumers fault in only the small directories they touch.
+func BenchmarkFig4bConsumerMultiDir(b *testing.B) {
+	for _, ranks := range benchRanks {
+		for _, access := range []int{1, 4, 16} {
+			total := ranks * benchProcsPerRank
+			b.Run(fmt.Sprintf("consumers=%d/access=%d", total, access), func(b *testing.B) {
+				runKAP(b, kap.Params{
+					Ranks:        ranks,
+					ProcsPerRank: benchProcsPerRank,
+					Producers:    total,
+					Consumers:    total,
+					ValueSize:    8,
+					AccessCount:  access,
+					DirFanout:    128,
+				}, "consumer")
+			})
+		}
+	}
+}
+
+// BenchmarkTableIBarrier exercises the barrier comms module (Table I)
+// across tree arities — the "tree shape is configurable" ablation.
+func BenchmarkTableIBarrier(b *testing.B) {
+	for _, arity := range []int{2, 4, 16} {
+		for _, ranks := range benchRanks {
+			b.Run(fmt.Sprintf("arity=%d/ranks=%d", arity, ranks), func(b *testing.B) {
+				sess, err := fluxgo.NewSession(fluxgo.SessionOptions{
+					Size: ranks, Arity: arity, HBInterval: time.Hour,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer sess.Close()
+				handles := make([]*fluxgo.Handle, ranks)
+				for r := range handles {
+					handles[r] = sess.Handle(r)
+					defer handles[r].Close()
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					name := fmt.Sprintf("bench-%d", i)
+					for r := 0; r < ranks; r++ {
+						wg.Add(1)
+						go func(r int) {
+							defer wg.Done()
+							fluxgo.Barrier(handles[r], name, ranks)
+						}(r)
+					}
+					wg.Wait()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEventBroadcast measures the event plane: publish at a leaf,
+// sequence at the root, deliver session-wide (receipt measured at the
+// deepest rank).
+func BenchmarkEventBroadcast(b *testing.B) {
+	for _, ranks := range benchRanks {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			sess, err := fluxgo.NewSession(fluxgo.SessionOptions{Size: ranks, HBInterval: time.Hour})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sess.Close()
+			pub := sess.Handle(ranks - 1)
+			defer pub.Close()
+			rcv := sess.Handle(ranks - 1)
+			defer rcv.Close()
+			sub, err := rcv.Subscribe("bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pub.PublishEvent("bench.ev", nil); err != nil {
+					b.Fatal(err)
+				}
+				<-sub.Chan()
+			}
+		})
+	}
+}
+
+// BenchmarkRingLatencyByDistance characterizes the rank-addressed ring
+// overlay: latency is linear in ring distance — the "high latency of a
+// ring [that] is manageable and preferable over additional complexity"
+// for debugging tools (paper, Sec. IV-A).
+func BenchmarkRingLatencyByDistance(b *testing.B) {
+	const ranks = 64
+	sess, err := fluxgo.NewSession(fluxgo.SessionOptions{Size: ranks, HBInterval: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	h := sess.Handle(0)
+	defer h.Close()
+	for _, dist := range []int{1, 16, 32, 63} {
+		b.Run(fmt.Sprintf("hops=%d", dist), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := h.RPC("cmb.ping", uint32(dist%ranks), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulerHierarchyAblation compares the centralized
+// traditional-paradigm scheduler against Flux's hierarchical scheme on
+// the same synthetic workload — the scheduler-parallelism claim.
+func BenchmarkSchedulerHierarchyAblation(b *testing.B) {
+	const nodes = 64
+	mkJobs := func(n int) []*sched.Job {
+		jobs := make([]*sched.Job, n)
+		for i := range jobs {
+			jobs[i] = &sched.Job{
+				ID:       fmt.Sprintf("j%d", i),
+				Req:      fluxgo.Request{Nodes: 1 + i%4},
+				Duration: time.Duration(1+i%13) * time.Second,
+				Submit:   time.Duration(i%7) * time.Second,
+			}
+		}
+		return jobs
+	}
+	for _, njobs := range []int{256, 1024} {
+		for _, pol := range []sched.Policy{sched.FCFS{}, sched.EASY{}, sched.Conservative{}} {
+			pol := pol
+			if pol.Name() == "conservative" && njobs > 256 {
+				continue // O(queue²) reservation planning: bench at 256 only
+			}
+			b.Run(fmt.Sprintf("policy=%s/jobs=%d", pol.Name(), njobs), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := sched.SimulateCentralized(nodes, sched.PartitionSpec{}, pol, mkJobs(njobs)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		b.Run(fmt.Sprintf("centralized/jobs=%d", njobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sched.SimulateCentralized(nodes, sched.PartitionSpec{}, sched.EASY{}, mkJobs(njobs)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, children := range []int{4, 16} {
+			b.Run(fmt.Sprintf("hierarchical/jobs=%d/children=%d", njobs, children), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					leases, err := sched.Partition(nodes, sched.PartitionSpec{Children: children}, mkJobs(njobs))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := sched.SimulateHierarchy(leases, func() sched.Policy { return sched.EASY{} }); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKVSShardedMaster is the ablation for the paper's future-work
+// item "distributing the KVS master itself": concurrent writers with
+// disjoint namespaces commit against 1 (baseline), 2, and 4 shard
+// masters spread over the session.
+func BenchmarkKVSShardedMaster(b *testing.B) {
+	const ranks = 16
+	const writers = 16
+	for _, nshards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", nshards), func(b *testing.B) {
+			var mods []session.ModuleFactory
+			for _, f := range kvs.ShardedFactories(nshards, kvs.ModuleConfig{}) {
+				mods = append(mods, f)
+			}
+			sess, err := session.New(session.Options{Size: ranks, Modules: mods, Codec: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sess.Close()
+			clients := make([]*kvs.ShardedClient, writers)
+			for w := range clients {
+				h := sess.Handle(w % ranks)
+				defer h.Close()
+				clients[w], err = kvs.NewShardedClient(h, nshards)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			payload := make([]byte, 2048)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						key := fmt.Sprintf("w%d.iter%d", w, i)
+						clients[w].Put(key, payload)
+						if _, err := clients[w].Commit(); err != nil {
+							b.Error(err)
+						}
+					}(w)
+				}
+				wg.Wait()
+			}
+		})
+	}
+}
+
+// BenchmarkSessionBringup measures comms-session creation and teardown —
+// the cost of the unified job model's per-instance overlay network.
+func BenchmarkSessionBringup(b *testing.B) {
+	for _, ranks := range benchRanks {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sess, err := session.New(session.Options{Size: ranks})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sess.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkWireCodec measures the message codec used on every TCP (and
+// codec-pipe) hop.
+func BenchmarkWireCodec(b *testing.B) {
+	for _, size := range []int{8, 2048, 32768} {
+		m := &wire.Message{
+			Type:    wire.Request,
+			Topic:   "kvs.put",
+			Nodeid:  wire.NodeidAny,
+			Seq:     123,
+			Route:   []string{"h:1.1", "t:rank:3"},
+			Payload: make([]byte, size),
+		}
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				buf, err := wire.Marshal(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := wire.Unmarshal(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,386 @@
+// Command flux is the command-line utility wrapping modular Flux
+// sub-commands, the analogue of the paper's flux(1) tool. It connects
+// to any broker of a TCP-deployed session (see cmd/flux-broker).
+//
+// Usage:
+//
+//	flux [-connect host:port] [-key-file f] <subcommand> [args]
+//
+// Sub-commands:
+//
+//	ping [rank]              round-trip to the local broker or a rank
+//	info                     session parameters of the connected broker
+//	lsmod                    comms modules loaded at the connected broker
+//	rmmod <name>             live-unload a comms module at the connected broker
+//	kvs get <key>            print a KVS value or directory listing
+//	kvs put <key> <json>     put and commit one value
+//	kvs dir <key>            list a directory
+//	kvs version              current root version
+//	kvs watch <key>          print updates until interrupted
+//	event pub <topic>        publish an event
+//	event sub <prefix>       print matching events until interrupted
+//	run <jobid> <prog> [...] bulk-launch a simulated program on all ranks
+//	submit [-N n] <prog> [...] enqueue a job with the job service
+//	queue                    active (queued + running) jobs
+//	cancel <id>              cancel a queued or running job
+//	wait <id>                block until a job completes, print its record
+//	log dump [count]         recent entries from the root log sink
+//	up                       ranks currently considered down by live
+//	stats [rank]             broker counters (local or rank-addressed)
+//	resources                unallocated ranks per the resource service
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"time"
+
+	"fluxgo/internal/client"
+	"fluxgo/internal/wire"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: flux [-connect host:port] [-key-file f] <subcommand> [args]")
+	os.Exit(2)
+}
+
+func main() {
+	// Minimal hand-rolled global flags so sub-command args stay clean.
+	args := os.Args[1:]
+	connect := "127.0.0.1:9600"
+	key := []byte("flux-session")
+	for len(args) >= 2 {
+		switch args[0] {
+		case "-connect":
+			connect = args[1]
+			args = args[2:]
+		case "-key-file":
+			b, err := os.ReadFile(args[1])
+			fatalIf(err)
+			key = b
+			args = args[2:]
+		default:
+			goto flagsDone
+		}
+	}
+flagsDone:
+	if len(args) == 0 {
+		usage()
+	}
+	c, err := client.Dial(connect, key)
+	fatalIf(err)
+	defer c.Close()
+
+	switch args[0] {
+	case "ping":
+		cmdPing(c, args[1:])
+	case "info":
+		cmdJSON(c, "cmb.info", wire.NodeidAny, nil)
+	case "lsmod":
+		cmdJSON(c, "cmb.lsmod", wire.NodeidAny, nil)
+	case "rmmod":
+		if len(args) != 2 {
+			usage()
+		}
+		cmdJSON(c, "cmb.rmmod", wire.NodeidAny, map[string]string{"name": args[1]})
+	case "kvs":
+		cmdKVS(c, args[1:])
+	case "event":
+		cmdEvent(c, args[1:])
+	case "run":
+		cmdRun(c, args[1:])
+	case "submit":
+		cmdSubmit(c, args[1:])
+	case "queue":
+		cmdJSON(c, "job.list", wire.NodeidAny, nil)
+	case "cancel":
+		if len(args) != 2 {
+			usage()
+		}
+		cmdJSON(c, "job.cancel", wire.NodeidAny, map[string]string{"id": args[1]})
+	case "wait":
+		if len(args) != 2 {
+			usage()
+		}
+		cmdWaitJob(c, args[1])
+	case "log":
+		cmdLog(c, args[1:])
+	case "up":
+		cmdJSON(c, "live.query", wire.NodeidAny, nil)
+	case "stats":
+		nodeid := wire.NodeidAny
+		if len(args) > 1 {
+			r, err := strconv.Atoi(args[1])
+			fatalIf(err)
+			nodeid = uint32(r)
+		}
+		cmdJSON(c, "cmb.stats", nodeid, nil)
+	case "resources":
+		cmdJSON(c, "resrc.avail", wire.NodeidAny, nil)
+	default:
+		usage()
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flux:", err)
+		os.Exit(1)
+	}
+}
+
+// cmdJSON performs one RPC and pretty-prints the JSON response.
+func cmdJSON(c *client.Client, topic string, nodeid uint32, body any) {
+	resp, err := c.RPC(topic, nodeid, body)
+	fatalIf(err)
+	var out any
+	fatalIf(resp.UnpackJSON(&out))
+	b, _ := json.MarshalIndent(out, "", "  ")
+	fmt.Println(string(b))
+}
+
+func cmdPing(c *client.Client, args []string) {
+	nodeid := wire.NodeidAny
+	if len(args) > 0 {
+		r, err := strconv.Atoi(args[0])
+		fatalIf(err)
+		nodeid = uint32(r)
+	}
+	start := time.Now()
+	resp, err := c.RPC("cmb.ping", nodeid, map[string]string{"pad": "flux-ping"})
+	fatalIf(err)
+	var body struct {
+		Rank int `json:"rank"`
+		Hops int `json:"hops"`
+	}
+	fatalIf(resp.UnpackJSON(&body))
+	fmt.Printf("pong from rank %d: hops=%d time=%v\n", body.Rank, body.Hops, time.Since(start))
+}
+
+func cmdKVS(c *client.Client, args []string) {
+	if len(args) == 0 {
+		usage()
+	}
+	switch args[0] {
+	case "get", "dir":
+		if len(args) != 2 {
+			usage()
+		}
+		cmdJSON(c, "kvs.get", wire.NodeidAny, map[string]string{"key": args[1]})
+	case "put":
+		if len(args) != 3 {
+			usage()
+		}
+		putAndCommit(c, args[1], json.RawMessage(args[2]))
+	case "version":
+		cmdJSON(c, "kvs.getversion", wire.NodeidAny, nil)
+	case "watch":
+		if len(args) != 2 {
+			usage()
+		}
+		watchKey(c, args[1])
+	default:
+		usage()
+	}
+}
+
+// putAndCommit issues the put + single-participant fence the KVS client
+// library would, using raw RPCs (the CLI links only against the wire
+// protocol, like an external tool would).
+func putAndCommit(c *client.Client, key string, val json.RawMessage) {
+	// The kvs module computes and checks the content hash; build the
+	// value object encoding it expects: 'v' + JSON bytes.
+	data := append([]byte{'v'}, val...)
+	ref := sha1Hex(data)
+	_, err := c.RPC("kvs.put", wire.NodeidAny, map[string]any{
+		"key": key, "ref": ref, "data": data,
+	})
+	fatalIf(err)
+	resp, err := c.RPC("kvs.fence", wire.NodeidAny, map[string]any{
+		"name":   fmt.Sprintf("flux-cli-%d", time.Now().UnixNano()),
+		"nprocs": 1,
+		"count":  1,
+		"ops":    []map[string]any{{"key": key, "ref": ref}},
+	})
+	fatalIf(err)
+	var body struct {
+		Version uint64 `json:"version"`
+	}
+	fatalIf(resp.UnpackJSON(&body))
+	fmt.Printf("committed as version %d\n", body.Version)
+}
+
+func watchKey(c *client.Client, key string) {
+	sub, err := c.Subscribe("kvs.setroot")
+	fatalIf(err)
+	defer sub.Close()
+	show := func() {
+		resp, err := c.RPC("kvs.get", wire.NodeidAny, map[string]string{"key": key})
+		if err != nil {
+			fmt.Printf("%s: %v\n", key, err)
+			return
+		}
+		var out any
+		resp.UnpackJSON(&out)
+		b, _ := json.Marshal(out)
+		fmt.Printf("%s = %s\n", key, b)
+	}
+	show()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	for {
+		select {
+		case <-sub.Chan():
+			show()
+		case <-sig:
+			return
+		}
+	}
+}
+
+func cmdEvent(c *client.Client, args []string) {
+	if len(args) < 2 {
+		usage()
+	}
+	switch args[0] {
+	case "pub":
+		resp, err := c.RPC("cmb.pub", wire.NodeidAny, map[string]any{
+			"topic": args[1], "payload": map[string]string{},
+		})
+		fatalIf(err)
+		var body struct {
+			Seq uint64 `json:"seq"`
+		}
+		fatalIf(resp.UnpackJSON(&body))
+		fmt.Printf("published seq %d\n", body.Seq)
+	case "sub":
+		sub, err := c.Subscribe(args[1])
+		fatalIf(err)
+		defer sub.Close()
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		for {
+			select {
+			case ev := <-sub.Chan():
+				fmt.Printf("[%d] %s %s\n", ev.Seq, ev.Topic, ev.Payload)
+			case <-sig:
+				return
+			}
+		}
+	default:
+		usage()
+	}
+}
+
+func cmdRun(c *client.Client, args []string) {
+	if len(args) < 2 {
+		usage()
+	}
+	sub, err := c.Subscribe("wexec.complete")
+	fatalIf(err)
+	defer sub.Close()
+	jobid, prog := args[0], args[1]
+	resp, err := c.RPC("wexec.run", wire.NodeidAny, map[string]any{
+		"jobid": jobid, "program": prog, "args": args[2:],
+	})
+	fatalIf(err)
+	var body struct {
+		NTasks int `json:"ntasks"`
+	}
+	fatalIf(resp.UnpackJSON(&body))
+	fmt.Printf("launched %s: %d tasks\n", jobid, body.NTasks)
+	for ev := range sub.Chan() {
+		var done struct {
+			JobID string `json:"jobid"`
+			State string `json:"state"`
+		}
+		if ev.UnpackJSON(&done) == nil && done.JobID == jobid {
+			fmt.Printf("job %s: %s\n", jobid, done.State)
+			return
+		}
+	}
+}
+
+func cmdSubmit(c *client.Client, args []string) {
+	nodes := 1
+	if len(args) >= 2 && args[0] == "-N" {
+		n, err := strconv.Atoi(args[1])
+		fatalIf(err)
+		nodes = n
+		args = args[2:]
+	}
+	if len(args) < 1 {
+		usage()
+	}
+	resp, err := c.RPC("job.submit", wire.NodeidAny, map[string]any{
+		"program": args[0], "args": args[1:], "nodes": nodes,
+	})
+	fatalIf(err)
+	var body struct {
+		ID string `json:"id"`
+	}
+	fatalIf(resp.UnpackJSON(&body))
+	fmt.Printf("submitted job %s\n", body.ID)
+}
+
+func cmdWaitJob(c *client.Client, id string) {
+	sub, err := c.Subscribe("job.state")
+	fatalIf(err)
+	defer sub.Close()
+	show := func() bool {
+		resp, err := c.RPC("job.info", wire.NodeidAny, map[string]string{"id": id})
+		if err != nil {
+			return false
+		}
+		var info struct {
+			State string `json:"state"`
+		}
+		resp.UnpackJSON(&info)
+		switch info.State {
+		case "complete", "failed", "cancelled":
+			var out any
+			resp.UnpackJSON(&out)
+			b, _ := json.MarshalIndent(out, "", "  ")
+			fmt.Println(string(b))
+			return true
+		}
+		return false
+	}
+	if show() {
+		return
+	}
+	for ev := range sub.Chan() {
+		var se struct {
+			ID string `json:"id"`
+		}
+		if ev.UnpackJSON(&se) == nil && se.ID == id && show() {
+			return
+		}
+	}
+}
+
+func cmdLog(c *client.Client, args []string) {
+	count := 20
+	if len(args) >= 2 && args[0] == "dump" {
+		if v, err := strconv.Atoi(args[1]); err == nil {
+			count = v
+		}
+	}
+	resp, err := c.RPC("log.dump", 0, map[string]int{"count": count})
+	fatalIf(err)
+	var body struct {
+		Entries []struct {
+			Facility string `json:"facility"`
+			Level    int    `json:"level"`
+			Rank     int    `json:"rank"`
+			Message  string `json:"message"`
+		} `json:"entries"`
+	}
+	fatalIf(resp.UnpackJSON(&body))
+	for _, e := range body.Entries {
+		fmt.Printf("[%d] <%d> %s: %s\n", e.Rank, e.Level, e.Facility, e.Message)
+	}
+}

@@ -1,0 +1,13 @@
+package main
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+)
+
+// sha1Hex returns the hex SHA-1 of b — the content reference of an
+// encoded KVS object.
+func sha1Hex(b []byte) string {
+	sum := sha1.Sum(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,364 @@
+// Command kap runs the KVS Access Patterns benchmark and regenerates
+// the paper's evaluation figures (Section V) as text tables or CSV.
+//
+// Examples:
+//
+//	kap -fig 2                 # producer-phase latency vs producers, per value size
+//	kap -fig 3                 # fence latency, unique vs redundant values
+//	kap -fig 4a                # consumer latency, single directory
+//	kap -fig 4b                # consumer latency, directories of <=128 entries
+//	kap -fig model             # fit and validate the log2(C)*T(G) model
+//	kap -ranks 8,16,32,64 -procs 4 -fig all
+//	kap -custom -producers 64 -consumers 64 -vsize 512   # one-off run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"fluxgo/internal/kap"
+	"fluxgo/internal/model"
+)
+
+var (
+	figFlag    = flag.String("fig", "all", "figure to regenerate: 2, 3, 4a, 4b, model, arity, all")
+	ranksFlag  = flag.String("ranks", "8,16,32,64", "comma-separated session sizes (simulated nodes)")
+	procsFlag  = flag.Int("procs", 4, "processes per rank (paper: 16)")
+	vsizesFlag = flag.String("vsizes", "8,32,128,512,2048,8192,32768", "value sizes for figs 2-3")
+	accessFlag = flag.String("access", "1,4,16,64", "per-consumer access counts for fig 4")
+	arityFlag  = flag.Int("arity", 2, "comms tree fan-out")
+	csvFlag    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+
+	repsFlag      = flag.Int("reps", 1, "repetitions per point; the minimum latency is reported")
+	customFlag    = flag.Bool("custom", false, "run one custom configuration instead of a figure sweep")
+	producersFlag = flag.Int("producers", 0, "custom: producer count (0 = all processes)")
+	consumersFlag = flag.Int("consumers", 0, "custom: consumer count (0 = all processes)")
+	vsizeFlag     = flag.Int("vsize", 8, "custom: value size")
+	putsFlag      = flag.Int("puts", 1, "custom: puts per producer")
+	dirFlag       = flag.Int("dirfanout", 0, "custom: max objects per directory (0 = single dir)")
+	redundantFlag = flag.Bool("redundant", false, "custom: redundant values")
+	strideFlag    = flag.Int("stride", 1, "custom: consumer access stride")
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	flag.Parse()
+	ranks, err := parseInts(*ranksFlag)
+	fatalIf(err)
+	vsizes, err := parseInts(*vsizesFlag)
+	fatalIf(err)
+	accesses, err := parseInts(*accessFlag)
+	fatalIf(err)
+
+	if *customFlag {
+		runCustom(ranks)
+		return
+	}
+	switch *figFlag {
+	case "2":
+		fig2(ranks, vsizes)
+	case "3":
+		fig3(ranks, vsizes)
+	case "4a":
+		fig4(ranks, accesses, 0)
+	case "4b":
+		fig4(ranks, accesses, 128)
+	case "model":
+		figModel(ranks)
+	case "arity":
+		figArity(ranks)
+	case "all":
+		fig2(ranks, vsizes)
+		fig3(ranks, vsizes)
+		fig4(ranks, accesses, 0)
+		fig4(ranks, accesses, 128)
+		figModel(ranks)
+		figArity(ranks)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)
+		os.Exit(2)
+	}
+}
+
+// runMin runs one configuration repsFlag times and keeps the per-phase
+// minimum, the standard way to suppress scheduler noise in latency
+// measurements.
+func runMin(p kap.Params) (kap.Result, error) {
+	reps := *repsFlag
+	if reps < 1 {
+		reps = 1
+	}
+	var best kap.Result
+	for i := 0; i < reps; i++ {
+		res, err := kap.Run(p)
+		if err != nil {
+			return res, err
+		}
+		if i == 0 {
+			best = res
+			continue
+		}
+		if res.Producer < best.Producer {
+			best.Producer = res.Producer
+		}
+		if res.Sync < best.Sync {
+			best.Sync = res.Sync
+		}
+		if res.Consumer < best.Consumer {
+			best.Consumer = res.Consumer
+		}
+	}
+	return best, nil
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kap:", err)
+		os.Exit(1)
+	}
+}
+
+// emit prints one table: header columns, then one row per rank size.
+func emit(title string, header []string, rows [][]string) {
+	if *csvFlag {
+		fmt.Printf("# %s\n%s\n", title, strings.Join(header, ","))
+		for _, r := range rows {
+			fmt.Println(strings.Join(r, ","))
+		}
+		fmt.Println()
+		return
+	}
+	fmt.Printf("== %s ==\n", title)
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Printf("%-*s  ", widths[i], c)
+		}
+		fmt.Println()
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	fmt.Println()
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000.0)
+}
+
+// fig2: producer-phase max latency vs producer count, per value size.
+func fig2(ranks, vsizes []int) {
+	header := []string{"producers"}
+	for _, v := range vsizes {
+		header = append(header, fmt.Sprintf("vsize-%d(ms)", v))
+	}
+	var rows [][]string
+	for _, r := range ranks {
+		total := r * *procsFlag
+		row := []string{strconv.Itoa(total)}
+		for _, v := range vsizes {
+			res, err := runMin(kap.Params{
+				Ranks: r, ProcsPerRank: *procsFlag,
+				Producers: total, Consumers: total,
+				ValueSize: v, AccessCount: 1, Arity: *arityFlag,
+			})
+			fatalIf(err)
+			row = append(row, ms(res.Producer))
+		}
+		rows = append(rows, row)
+	}
+	emit("Figure 2: max producer-phase (kvs_put) latency", header, rows)
+}
+
+// fig3: fence latency vs producers, unique and redundant value series.
+func fig3(ranks, vsizes []int) {
+	header := []string{"producers"}
+	for _, v := range vsizes {
+		header = append(header, fmt.Sprintf("vsize-%d(ms)", v), fmt.Sprintf("red-vsize-%d(ms)", v))
+	}
+	var rows [][]string
+	for _, r := range ranks {
+		total := r * *procsFlag
+		row := []string{strconv.Itoa(total)}
+		for _, v := range vsizes {
+			for _, red := range []bool{false, true} {
+				res, err := runMin(kap.Params{
+					Ranks: r, ProcsPerRank: *procsFlag,
+					Producers: total, Consumers: total,
+					ValueSize: v, Redundant: red, AccessCount: 1, Arity: *arityFlag,
+				})
+				fatalIf(err)
+				row = append(row, ms(res.Sync))
+			}
+		}
+		rows = append(rows, row)
+	}
+	emit("Figure 3: max synchronization-phase (kvs_fence) latency, unique vs redundant values", header, rows)
+}
+
+// fig4: consumer latency vs consumers per access count, for one
+// directory layout (fanout 0 = Fig 4(a); fanout 128 = Fig 4(b)).
+func fig4(ranks, accesses []int, fanout int) {
+	name := "Figure 4(a): max consumer-phase (kvs_get) latency, single directory"
+	if fanout > 0 {
+		name = fmt.Sprintf("Figure 4(b): max consumer-phase latency, directories of <=%d objects", fanout)
+	}
+	header := []string{"consumers"}
+	for _, a := range accesses {
+		header = append(header, fmt.Sprintf("access-%d(ms)", a))
+	}
+	var rows [][]string
+	for _, r := range ranks {
+		total := r * *procsFlag
+		row := []string{strconv.Itoa(total)}
+		for _, a := range accesses {
+			res, err := runMin(kap.Params{
+				Ranks: r, ProcsPerRank: *procsFlag,
+				Producers: total, Consumers: total,
+				ValueSize: 8, AccessCount: a, DirFanout: fanout, Arity: *arityFlag,
+			})
+			fatalIf(err)
+			row = append(row, ms(res.Consumer))
+		}
+		rows = append(rows, row)
+	}
+	emit(name, header, rows)
+}
+
+// figModel validates the paper's analytic model, latency =
+// log2(C) x T(G): the max consumer latency equals tree depth times the
+// per-level replication time. Two of the paper's conditions are
+// enforced so the logarithmic regime is observable: G is held constant
+// regardless of scale (a fixed 32-object universe), and aggregate load
+// is kept off the critical path by measuring a single consumer at the
+// deepest rank, whose gets must replicate all G objects through every
+// cache level on its root path. (In-process sessions share one
+// machine's cores, so fully populated consumer sweeps measure CPU
+// saturation, not path depth — see EXPERIMENTS.md.)
+func figModel(ranks []int) {
+	const fixedObjects = 32
+	var consumers []int
+	var latencies []time.Duration
+	for _, r := range ranks {
+		total := r * *procsFlag
+		prod := fixedObjects
+		if prod > total {
+			prod = total
+		}
+		res, err := runMin(kap.Params{
+			Ranks: r, ProcsPerRank: *procsFlag,
+			Producers: prod, Consumers: 1, DeepConsumers: true,
+			ValueSize: 8, AccessCount: fixedObjects, Arity: *arityFlag,
+		})
+		fatalIf(err)
+		// The "C" of the model counts cache levels: the deep consumer's
+		// path has log2(ranks) of them.
+		consumers = append(consumers, r)
+		latencies = append(latencies, res.Consumer)
+	}
+	T, err := model.FitReplicateTime(consumers, latencies)
+	fatalIf(err)
+	r2 := model.RSquared(consumers, latencies, T)
+	header := []string{"consumers", "measured(ms)", "model(ms)"}
+	var rows [][]string
+	for i, c := range consumers {
+		rows = append(rows, []string{
+			strconv.Itoa(c), ms(latencies[i]), ms(model.ConsumerLatency(c, T)),
+		})
+	}
+	emit(fmt.Sprintf("Model: latency = log2(C) x T(G); fitted T(G) = %s ms, R^2 = %.3f", ms(T), r2),
+		header, rows)
+}
+
+// figArity is the tree-shape ablation ("the tree shape is
+// configurable"): fence latency per tree fan-out, fixed vsize 2048.
+func figArity(ranks []int) {
+	arities := []int{2, 4, 8, 16}
+	header := []string{"producers"}
+	for _, a := range arities {
+		header = append(header, fmt.Sprintf("arity-%d(ms)", a))
+	}
+	var rows [][]string
+	for _, r := range ranks {
+		total := r * *procsFlag
+		row := []string{strconv.Itoa(total)}
+		for _, a := range arities {
+			res, err := runMin(kap.Params{
+				Ranks: r, ProcsPerRank: *procsFlag,
+				Producers: total, Consumers: total,
+				ValueSize: 2048, AccessCount: 1, Arity: a,
+			})
+			fatalIf(err)
+			row = append(row, ms(res.Sync))
+		}
+		rows = append(rows, row)
+	}
+	emit("Ablation: kvs_fence latency by tree arity (vsize 2048)", header, rows)
+}
+
+// runCustom executes one explicit configuration per rank size.
+func runCustom(ranks []int) {
+	header := []string{"ranks", "procs", "producers", "consumers",
+		"setup(ms)", "producer(ms)", "sync(ms)", "consumer(ms)", "total(ms)"}
+	var rows [][]string
+	for _, r := range ranks {
+		total := r * *procsFlag
+		prod, cons := *producersFlag, *consumersFlag
+		if prod == 0 {
+			prod = total
+		}
+		if cons == 0 {
+			cons = total
+		}
+		res, err := kap.Run(kap.Params{
+			Ranks: r, ProcsPerRank: *procsFlag,
+			Producers: prod, Consumers: cons,
+			ValueSize: *vsizeFlag, PutsPerProducer: *putsFlag,
+			AccessCount: *accessFlag2(), Stride: *strideFlag,
+			DirFanout: *dirFlag, Redundant: *redundantFlag, Arity: *arityFlag,
+		})
+		fatalIf(err)
+		rows = append(rows, []string{
+			strconv.Itoa(r), strconv.Itoa(*procsFlag),
+			strconv.Itoa(prod), strconv.Itoa(cons),
+			ms(res.Setup), ms(res.Producer), ms(res.Sync), ms(res.Consumer), ms(res.Total),
+		})
+	}
+	emit("custom KAP run", header, rows)
+}
+
+// accessFlag2 resolves the custom access count from the -access list's
+// first element.
+func accessFlag2() *int {
+	v := 1
+	if parts, err := parseInts(*accessFlag); err == nil && len(parts) > 0 {
+		v = parts[0]
+	}
+	return &v
+}

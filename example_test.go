@@ -1,0 +1,113 @@
+package fluxgo_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"fluxgo"
+)
+
+// Example demonstrates the core workflow: a comms session, KVS commits
+// with read-your-writes, and a collective barrier.
+func Example() {
+	sess, err := fluxgo.NewSession(fluxgo.SessionOptions{Size: 4, HBInterval: time.Hour})
+	if err != nil {
+		panic(err)
+	}
+	defer sess.Close()
+
+	h := sess.Handle(3)
+	defer h.Close()
+
+	kv := fluxgo.NewKVS(h)
+	kv.Put("a.b.c", 42)
+	if _, err := kv.Commit(); err != nil {
+		panic(err)
+	}
+	var v int
+	kv.Get("a.b.c", &v)
+	fmt.Println("a.b.c =", v)
+
+	// Output:
+	// a.b.c = 42
+}
+
+// ExampleBarrier synchronizes four processes across the session.
+func ExampleBarrier() {
+	sess, err := fluxgo.NewSession(fluxgo.SessionOptions{Size: 4, HBInterval: time.Hour})
+	if err != nil {
+		panic(err)
+	}
+	defer sess.Close()
+
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := sess.Handle(p)
+			defer h.Close()
+			fluxgo.Barrier(h, "example", 4)
+		}(p)
+	}
+	wg.Wait()
+	fmt.Println("all processes synchronized")
+
+	// Output:
+	// all processes synchronized
+}
+
+// ExampleSubmitJob runs one batch job through the job service.
+func ExampleSubmitJob() {
+	sess, err := fluxgo.NewSession(fluxgo.SessionOptions{Size: 2, HBInterval: time.Hour})
+	if err != nil {
+		panic(err)
+	}
+	defer sess.Close()
+
+	h := sess.Handle(1)
+	defer h.Close()
+
+	id, err := fluxgo.SubmitJob(h, fluxgo.JobSpec{Program: "echo", Args: []string{"hello"}, Nodes: 2})
+	if err != nil {
+		panic(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	info, err := fluxgo.WaitJob(ctx, h, id)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("job %s: %s on %d nodes\n", info.ID, info.State, len(info.Ranks))
+
+	// Output:
+	// job 1: complete on 2 nodes
+}
+
+// ExampleInstance_Spawn shows the job hierarchy: a child instance with
+// its own scheduler policy over a bounded lease.
+func ExampleInstance_Spawn() {
+	cluster, err := fluxgo.BuildCluster(fluxgo.ClusterSpec{
+		Name: "c", Racks: 1, NodesPerRack: 4, SocketsPerNode: 2, CoresPerSocket: 8,
+	})
+	if err != nil {
+		panic(err)
+	}
+	root, err := fluxgo.NewRootInstance(cluster, fluxgo.InstanceOptions{})
+	if err != nil {
+		panic(err)
+	}
+	defer root.Close()
+
+	child, err := root.Spawn(fluxgo.Request{Nodes: 2}, 3, fluxgo.InstanceOptions{Policy: fluxgo.EASY{}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("child %s: %d nodes (bound %d), policy %s\n",
+		child.ID(), child.Size(), child.MaxNodes(), child.Policy().Name())
+
+	// Output:
+	// child root.c1: 2 nodes (bound 3), policy easy
+}

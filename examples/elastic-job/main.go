@@ -1,0 +1,88 @@
+// Multi-level resource elasticity: a child instance grows and shrinks
+// its allocation through grow/shrink requests to its parent, governed by
+// the paper's three hierarchy rules — the parent bounds the child
+// (MaxNodes), the child owns scheduling within the bound, and every
+// elasticity change needs parental consent.
+//
+//	go run ./examples/elastic-job
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"fluxgo"
+)
+
+func main() {
+	cluster, err := fluxgo.BuildCluster(fluxgo.ClusterSpec{
+		Name: "center", Racks: 1, NodesPerRack: 12,
+		SocketsPerNode: 2, CoresPerSocket: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, err := fluxgo.NewRootInstance(cluster, fluxgo.InstanceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer root.Close()
+
+	// A malleable application: starts on 2 nodes, may grow to 8 — the
+	// parent pre-authorizes the bound at spawn time.
+	app, err := root.Spawn(fluxgo.Request{Nodes: 2}, 8, fluxgo.InstanceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("app instance %s: %d nodes (bounded at %d); parent has %d free\n",
+		app.ID(), app.Size(), app.MaxNodes(), root.Pool().FreeNodes())
+
+	runPhase(app, "phase-1-setup", 2)
+
+	// Compute-bound phase: ask the parent for 6 more nodes.
+	if err := app.Grow(6); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grew to %d nodes (parent consented); parent has %d free\n",
+		app.Size(), root.Pool().FreeNodes())
+	runPhase(app, "phase-2-compute", 8)
+
+	// The bound is enforced: the parent refuses growth past 8.
+	if err := app.Grow(1); err != nil {
+		fmt.Printf("grow beyond bound refused: %v\n", err)
+	}
+
+	// I/O-bound phase needs little compute: return 6 nodes.
+	if err := app.Shrink(6); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shrank to %d nodes; parent has %d free\n",
+		app.Size(), root.Pool().FreeNodes())
+	runPhase(app, "phase-3-io", 2)
+
+	// Freed nodes are immediately available to siblings.
+	sibling, err := root.Spawn(fluxgo.Request{Nodes: 10}, 0, fluxgo.InstanceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sibling %s spawned on the returned nodes (%d nodes)\n",
+		sibling.ID(), sibling.Size())
+}
+
+// runPhase runs one application phase across width nodes of the
+// instance's current allocation.
+func runPhase(app *fluxgo.Instance, name string, width int) {
+	rec, err := app.Submit("echo", []string{name}, fluxgo.Request{Nodes: width})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := rec.Wait(ctx)
+	if err != nil || res.State != "complete" {
+		log.Fatalf("%s: %+v %v", name, res, err)
+	}
+	fmt.Printf("  %s completed on %d nodes\n", name, width)
+}

@@ -1,0 +1,91 @@
+// Quickstart: bring up a comms session, use the KVS, synchronize with a
+// barrier, and bulk-launch a program with output captured in the KVS.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"fluxgo"
+	"fluxgo/internal/modules/wexec"
+)
+
+func main() {
+	// A comms session: one CMB broker per (simulated) node, wired into
+	// the event, request-tree, and ring overlay planes, with the standard
+	// comms modules loaded (kvs, hb, live, log, group, barrier, wexec).
+	sess, err := fluxgo.NewSession(fluxgo.SessionOptions{Size: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	// Handles attach programs to their local broker, like flux_open().
+	h := sess.Handle(5)
+	defer h.Close()
+
+	// The KVS: hierarchical keys over a content-addressed hash tree.
+	kv := fluxgo.NewKVS(h)
+	if err := kv.Put("app.config.iterations", 100); err != nil {
+		log.Fatal(err)
+	}
+	if err := kv.Put("app.config.tolerance", 1e-6); err != nil {
+		log.Fatal(err)
+	}
+	version, err := kv.Commit() // read-your-writes: visible on return
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("committed config as root version %d\n", version)
+
+	// Any rank reads it; WaitVersion gives causal consistency.
+	h2 := sess.Handle(2)
+	defer h2.Close()
+	kv2 := fluxgo.NewKVS(h2)
+	kv2.WaitVersion(version)
+	var iters int
+	if err := kv2.Get("app.config.iterations", &iters); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rank 2 sees app.config.iterations = %d\n", iters)
+
+	// Collective barrier across 8 worker processes.
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			hp := sess.Handle(p)
+			defer hp.Close()
+			if err := fluxgo.Barrier(hp, "workers-ready", 8); err != nil {
+				log.Fatal(err)
+			}
+		}(p)
+	}
+	wg.Wait()
+	fmt.Println("all 8 workers passed the barrier")
+
+	// Bulk-launch a program on every rank; stdio lands in the KVS.
+	if _, err := fluxgo.Run(h, "hello-job", "hostname", nil, nil); err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := wexec.Wait(ctx, h, "hello-job")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hello-job: %s (%d tasks)\n", res.State, res.NTasks)
+	for r := 0; r < 3; r++ {
+		stdout, _, _, err := wexec.Output(h, "hello-job", r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  rank %d stdout: %q\n", r, stdout)
+	}
+}

@@ -1,0 +1,3 @@
+module fluxgo
+
+go 1.22

@@ -1,0 +1,572 @@
+// Package broker implements the Comms Message Broker (CMB), the
+// per-node daemon of a Flux comms session.
+//
+// Exactly as in the paper's prototype, each broker participates in three
+// persistent overlay planes: an event plane (publish/subscribe with
+// guaranteed, totally ordered delivery — the paper's PGM bus, realized
+// here as a root-sequenced tree broadcast), a request/response tree for
+// scalable RPCs, barriers, and reductions (requests are routed "upstream"
+// to the first comms module matching the topic, responses retrace the
+// same hops in reverse), and a secondary rank-addressed overlay with ring
+// topology that lets any rank be reached without routing tables.
+//
+// Comms modules — the paper's loadable service plugins (kvs, barrier,
+// wexec, ...) — are loaded into the broker's address space and exchange
+// messages with it through in-memory mailboxes. Local programs attach
+// through Handles, the analogue of the flux utility's socket connection.
+package broker
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"fluxgo/internal/clock"
+	"fluxgo/internal/topo"
+	"fluxgo/internal/transport"
+	"fluxgo/internal/wire"
+)
+
+// Errno values used in CMB error responses (POSIX-flavoured, as in the
+// C prototype).
+const (
+	ErrnoNoEnt       int32 = 2   // no such key / object
+	ErrnoInval       int32 = 22  // malformed request
+	ErrnoNoSys       int32 = 38  // no comms module matches the topic
+	ErrnoProto       int32 = 71  // protocol violation
+	ErrnoShutdown    int32 = 108 // broker shutting down
+	ErrnoTimedOut    int32 = 110 // RPC timeout
+	ErrnoHostUnreach int32 = 113 // rank not reachable
+)
+
+// LinkKind classifies a broker attachment to one of the overlay planes.
+type LinkKind int
+
+// Link kinds.
+const (
+	LinkParentTree  LinkKind = iota + 1 // request plane, toward root
+	LinkParentEvent                     // event plane, toward root
+	LinkChildTree                       // request plane, toward leaves
+	LinkChildEvent                      // event plane, toward leaves
+	LinkRingOut                         // rank-addressed plane, to next rank
+	LinkRingIn                          // rank-addressed plane, from prev rank
+	LinkClient                          // external client connection
+	linkHandle                          // in-process Handle
+)
+
+func (k LinkKind) prefix() string {
+	switch k {
+	case LinkParentTree, LinkChildTree:
+		return "t:"
+	case LinkParentEvent, LinkChildEvent:
+		return "e:"
+	case LinkRingOut, LinkRingIn:
+		return "r:"
+	case LinkClient:
+		return "c:"
+	default:
+		return "h:"
+	}
+}
+
+// link is one attachment: either a transport connection or a local handle.
+type link struct {
+	kind LinkKind
+	id   string // registry id, unique within this broker
+	conn transport.Conn
+	h    *Handle
+	subs []string // event-topic prefixes, for client links
+	// gated marks a child event link that has not yet resynced: no live
+	// events are forwarded on it until its cmb.resync is served, so a
+	// replayed backlog can never be overtaken by a fresher event (which
+	// would advance the child's sequence and make it drop the backlog as
+	// duplicates).
+	gated bool
+}
+
+// send delivers a message outbound on this link.
+func (l *link) send(m *wire.Message) {
+	if l.conn != nil {
+		l.conn.Send(m) // best effort; link-down cleanup handles errors
+		return
+	}
+	if l.h != nil {
+		l.h.deliver(m)
+	}
+}
+
+// inbound is one unit of work for the broker loop.
+type inbound struct {
+	msg  *wire.Message
+	from *link // arrival link; nil for broker-internal submissions
+	// forceUp requests upstream forwarding without local module matching
+	// (used by modules re-forwarding a request toward the root).
+	forceUp bool
+	// ctl carries loop-internal commands (attach, link down, shutdown).
+	ctl func()
+}
+
+// Config parameterizes a Broker.
+type Config struct {
+	Rank  int
+	Size  int
+	Arity int // tree fan-out; 0 defaults to 2 (the paper's binary tree)
+	Clock clock.Clock
+	// EventHistory is how many recent events are cached for resync after
+	// re-parenting; 0 defaults to 1024.
+	EventHistory int
+	// Reparent, when non-nil, is invoked (on its own goroutine) after the
+	// parent links fail, giving the session a chance to re-wire this
+	// broker to a new parent. It implements the paper's "self-heal when
+	// interior nodes fail".
+	Reparent func(b *Broker, oldParentRank int)
+	// Log, when non-nil, receives broker diagnostics.
+	Log func(format string, args ...any)
+}
+
+// Stats are cumulative broker counters, readable at any time.
+type Stats struct {
+	RequestsRouted   uint64 // requests entering routing
+	RequestsUpstream uint64 // requests forwarded to the tree parent
+	RequestsRing     uint64 // requests forwarded on the ring
+	ResponsesRouted  uint64
+	EventsPublished  uint64 // events sequenced at this (root) broker
+	EventsApplied    uint64
+	EventsDuplicate  uint64 // dropped as already-seen after resync
+	EventSeqGaps     uint64
+	Reparents        uint64
+}
+
+// Broker is one CMB rank.
+type Broker struct {
+	cfg  Config
+	tree topo.Tree
+	ring topo.Ring
+
+	inbox *Mailbox[inbound]
+
+	mu          sync.Mutex
+	links       map[string]*link
+	parentTree  *link
+	parentEvent *link
+	ringOut     *link
+	parentRank  int
+	modules     map[string]*moduleRunner
+	stats       Stats
+	closed      bool
+	reparenting bool // a Reparent callback is in flight
+
+	handleSeq atomic.Uint64
+
+	eventSeq     uint64 // root only: last assigned sequence number
+	lastEventSeq uint64 // last applied sequence number
+	eventHist    []*wire.Message
+
+	done chan struct{}
+}
+
+// New creates a broker for the given rank. Links are attached afterwards
+// with AttachConn / SetParent, then Start runs the routing loop.
+func New(cfg Config) (*Broker, error) {
+	if cfg.Arity == 0 {
+		cfg.Arity = 2
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
+	if cfg.EventHistory == 0 {
+		cfg.EventHistory = 1024
+	}
+	tree, err := topo.NewTree(cfg.Size, cfg.Arity)
+	if err != nil {
+		return nil, err
+	}
+	if !tree.Valid(cfg.Rank) {
+		return nil, fmt.Errorf("broker: rank %d outside session of size %d", cfg.Rank, cfg.Size)
+	}
+	ring, err := topo.NewRing(cfg.Size)
+	if err != nil {
+		return nil, err
+	}
+	return &Broker{
+		cfg:        cfg,
+		tree:       tree,
+		ring:       ring,
+		inbox:      NewMailbox[inbound](),
+		links:      make(map[string]*link),
+		modules:    make(map[string]*moduleRunner),
+		parentRank: tree.Parent(cfg.Rank),
+		done:       make(chan struct{}),
+	}, nil
+}
+
+// Rank returns this broker's rank in the comms session.
+func (b *Broker) Rank() int { return b.cfg.Rank }
+
+// Size returns the comms session size.
+func (b *Broker) Size() int { return b.cfg.Size }
+
+// Tree returns the request-plane tree shape.
+func (b *Broker) Tree() topo.Tree { return b.tree }
+
+// Clock returns the broker's time source.
+func (b *Broker) Clock() clock.Clock { return b.cfg.Clock }
+
+// IsRoot reports whether this broker is the session root (rank 0).
+func (b *Broker) IsRoot() bool { return b.cfg.Rank == 0 }
+
+// ParentRank returns the current tree-parent rank, or -1 at the root.
+// It changes after self-healing re-parenting.
+func (b *Broker) ParentRank() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.parentRank
+}
+
+// Stats returns a snapshot of the broker's counters.
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+func (b *Broker) logf(format string, args ...any) {
+	if b.cfg.Log != nil {
+		b.cfg.Log("rank %d: "+format, append([]any{b.cfg.Rank}, args...)...)
+	}
+}
+
+// AttachConn registers a transport connection as a link of the given
+// kind and starts its reader. Safe to call before or after Start.
+func (b *Broker) AttachConn(kind LinkKind, c transport.Conn) {
+	l := &link{kind: kind, id: kind.prefix() + c.PeerIdentity(), conn: c}
+	if kind == LinkChildEvent {
+		l.gated = true // opened by the child's cmb.resync
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		c.Close()
+		return
+	}
+	b.links[l.id] = l
+	switch kind {
+	case LinkParentTree:
+		b.parentTree = l
+	case LinkParentEvent:
+		b.parentEvent = l
+	case LinkRingOut:
+		b.ringOut = l
+	}
+	b.mu.Unlock()
+	go b.readLoop(l)
+}
+
+// readLoop pumps messages from a connection into the broker loop.
+func (b *Broker) readLoop(l *link) {
+	for {
+		m, err := l.conn.Recv()
+		if err != nil {
+			b.inbox.Push(inbound{ctl: func() { b.linkDown(l) }})
+			return
+		}
+		b.inbox.Push(inbound{msg: m, from: l})
+	}
+}
+
+// Start runs the broker routing loop until Shutdown.
+func (b *Broker) Start() {
+	go b.loop()
+}
+
+func (b *Broker) loop() {
+	defer close(b.done)
+	for in := range b.inbox.Out() {
+		if in.ctl != nil {
+			in.ctl()
+			continue
+		}
+		switch in.msg.Type {
+		case wire.Request:
+			b.routeRequest(in)
+		case wire.Response:
+			b.routeResponse(in)
+		case wire.Event:
+			b.applyEvent(in.msg)
+		case wire.Control:
+			b.handleControl(in)
+		default:
+			b.logf("dropping message of unknown type %d", in.msg.Type)
+		}
+	}
+}
+
+// submit is how handles and modules inject work into the loop.
+func (b *Broker) submit(in inbound) bool { return b.inbox.Push(in) }
+
+// routeRequest implements the paper's routing rules: requests travel
+// upstream in the tree to the first matching comms module, or around the
+// ring when addressed to a concrete rank.
+func (b *Broker) routeRequest(in inbound) {
+	m := in.msg
+	b.mu.Lock()
+	b.stats.RequestsRouted++
+	b.mu.Unlock()
+	if in.from != nil {
+		m.PushRoute(in.from.id)
+	}
+
+	switch {
+	case m.Nodeid == wire.NodeidUpstream:
+		m.Nodeid = wire.NodeidAny
+		b.forwardUpstream(m)
+	case m.Nodeid == wire.NodeidAny:
+		if in.forceUp {
+			b.forwardUpstream(m)
+			return
+		}
+		if b.dispatchLocal(m) {
+			return
+		}
+		b.forwardUpstream(m)
+	case int(m.Nodeid) == b.cfg.Rank:
+		if !b.dispatchLocal(m) {
+			b.respondErr(m, ErrnoNoSys, fmt.Sprintf("no module %q at rank %d", m.Service(), b.cfg.Rank))
+		}
+	case int(m.Nodeid) < b.cfg.Size:
+		// Rank-addressed: forward on the ring overlay.
+		if len(m.Route) > b.cfg.Size+8 {
+			b.respondErr(m, ErrnoHostUnreach, "ring TTL exceeded")
+			return
+		}
+		b.mu.Lock()
+		out := b.ringOut
+		b.stats.RequestsRing++
+		b.mu.Unlock()
+		if out == nil {
+			b.respondErr(m, ErrnoHostUnreach, fmt.Sprintf("rank %d unreachable: no ring link", m.Nodeid))
+			return
+		}
+		out.send(m)
+	default:
+		b.respondErr(m, ErrnoInval, fmt.Sprintf("nodeid %d outside session of size %d", m.Nodeid, b.cfg.Size))
+	}
+}
+
+// dispatchLocal delivers m to a local comms module or the built-in cmb
+// service. It reports whether a local service matched.
+func (b *Broker) dispatchLocal(m *wire.Message) bool {
+	svc := m.Service()
+	if svc == "cmb" {
+		return b.builtinRequest(m)
+	}
+	b.mu.Lock()
+	r, ok := b.modules[svc]
+	b.mu.Unlock()
+	if !ok {
+		return false
+	}
+	r.inbox.Push(m)
+	return true
+}
+
+// forwardUpstream sends m toward the root, or answers ENOSYS at the root.
+func (b *Broker) forwardUpstream(m *wire.Message) {
+	b.mu.Lock()
+	p := b.parentTree
+	b.stats.RequestsUpstream++
+	b.mu.Unlock()
+	if p == nil {
+		b.respondErr(m, ErrnoNoSys, fmt.Sprintf("no module %q in session", m.Service()))
+		return
+	}
+	p.send(m)
+}
+
+// routeResponse pops one hop off the route stack and forwards.
+func (b *Broker) routeResponse(in inbound) {
+	m := in.msg
+	b.mu.Lock()
+	b.stats.ResponsesRouted++
+	b.mu.Unlock()
+	if m.Seq == 0 && len(m.Route) == 0 {
+		return // response to a fire-and-forget send: drop
+	}
+	id, ok := m.PopRoute()
+	if !ok {
+		b.logf("response %s with empty route stack dropped", m.Topic)
+		return
+	}
+	b.mu.Lock()
+	l, ok := b.links[id]
+	b.mu.Unlock()
+	if !ok {
+		b.logf("response %s to unknown link %q dropped", m.Topic, id)
+		return
+	}
+	l.send(m)
+}
+
+// respondErr generates an error response for a request and routes it
+// back toward the requester. Fire-and-forget requests get no response.
+func (b *Broker) respondErr(req *wire.Message, errnum int32, msg string) {
+	if req.Seq == 0 {
+		return
+	}
+	b.routeResponse(inbound{msg: wire.NewErrorResponse(req, errnum, msg)})
+}
+
+// linkDown cleans up after a connection failure or close.
+func (b *Broker) linkDown(l *link) {
+	b.mu.Lock()
+	delete(b.links, l.id)
+	parentLost := false
+	oldParent := b.parentRank
+	if b.parentTree == l {
+		b.parentTree = nil
+		parentLost = true
+	}
+	if b.parentEvent == l {
+		b.parentEvent = nil
+		parentLost = true
+	}
+	if b.ringOut == l {
+		b.ringOut = nil
+	}
+	closed := b.closed
+	reparent := b.cfg.Reparent
+	trigger := parentLost && !closed && reparent != nil && !b.reparenting
+	if trigger {
+		b.reparenting = true
+	}
+	b.mu.Unlock()
+	l.conn.Close()
+	// Both parent-plane links fail on a parent death; re-parent once.
+	if trigger {
+		go reparent(b, oldParent)
+	}
+}
+
+// SetParent atomically replaces the tree and event parent links after
+// re-parenting, then requests an event resync so no sequence numbers are
+// missed. newParentRank records the adoptive parent for introspection.
+func (b *Broker) SetParent(treeConn, eventConn transport.Conn, newParentRank int) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		treeConn.Close()
+		eventConn.Close()
+		return
+	}
+	tl := &link{kind: LinkParentTree, id: LinkParentTree.prefix() + treeConn.PeerIdentity(), conn: treeConn}
+	el := &link{kind: LinkParentEvent, id: LinkParentEvent.prefix() + eventConn.PeerIdentity(), conn: eventConn}
+	b.links[tl.id] = tl
+	b.links[el.id] = el
+	b.parentTree = tl
+	b.parentEvent = el
+	b.parentRank = newParentRank
+	b.stats.Reparents++
+	b.reparenting = false
+	last := b.lastEventSeq
+	b.mu.Unlock()
+	go b.readLoop(tl)
+	go b.readLoop(el)
+	// Ask the new parent to replay any events we missed during failover.
+	resync := &wire.Message{Type: wire.Control, Topic: "cmb.resync", Seq: last}
+	el.send(resync)
+}
+
+// handleControl processes link-level control messages.
+func (b *Broker) handleControl(in inbound) {
+	switch in.msg.Topic {
+	case "cmb.resync":
+		if in.from == nil {
+			return
+		}
+		b.replayEvents(in.from, in.msg.Seq)
+		b.mu.Lock()
+		in.from.gated = false
+		b.mu.Unlock()
+	case "cmb.sub":
+		if in.from != nil {
+			var body struct {
+				Prefix string `json:"prefix"`
+			}
+			if err := in.msg.UnpackJSON(&body); err == nil {
+				b.mu.Lock()
+				in.from.subs = append(in.from.subs, body.Prefix)
+				b.mu.Unlock()
+			}
+		}
+	case "cmb.unsub":
+		if in.from != nil {
+			var body struct {
+				Prefix string `json:"prefix"`
+			}
+			if err := in.msg.UnpackJSON(&body); err == nil {
+				b.mu.Lock()
+				subs := in.from.subs[:0]
+				for _, s := range in.from.subs {
+					if s != body.Prefix {
+						subs = append(subs, s)
+					}
+				}
+				in.from.subs = subs
+				b.mu.Unlock()
+			}
+		}
+	default:
+		b.logf("unknown control %q dropped", in.msg.Topic)
+	}
+}
+
+// Shutdown stops the broker: modules are shut down, links closed, and
+// in-process handles unblocked with ErrnoShutdown failures.
+func (b *Broker) Shutdown() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.done
+		return
+	}
+	b.closed = true
+	links := make([]*link, 0, len(b.links))
+	for _, l := range b.links {
+		links = append(links, l)
+	}
+	runners := make([]*moduleRunner, 0, len(b.modules))
+	for _, r := range b.modules {
+		runners = append(runners, r)
+	}
+	b.mu.Unlock()
+
+	// Handles first: failing them unblocks any module goroutine parked in
+	// an RPC, so module runners can then drain and stop.
+	for _, l := range links {
+		if l.conn != nil {
+			l.conn.Close()
+		}
+		if l.h != nil {
+			l.h.shutdown()
+		}
+	}
+	for _, r := range runners {
+		r.stop()
+	}
+	b.inbox.Close()
+	<-b.done
+}
+
+// matchTopic reports whether topic matches a subscription prefix, using
+// the hierarchical namespace convention: a prefix matches itself and any
+// dotted descendant ("kvs" matches "kvs.setroot" but not "kvsx").
+func matchTopic(prefix, topic string) bool {
+	if prefix == "" {
+		return true
+	}
+	if !strings.HasPrefix(topic, prefix) {
+		return false
+	}
+	return len(topic) == len(prefix) || topic[len(prefix)] == '.'
+}

@@ -1,0 +1,67 @@
+package broker
+
+import (
+	"testing"
+
+	"fluxgo/internal/wire"
+)
+
+// BenchmarkLocalRPC measures one handle -> broker -> builtin -> handle
+// round trip, the floor for every CMB operation.
+func BenchmarkLocalRPC(b *testing.B) {
+	br, err := New(Config{Rank: 0, Size: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	br.Start()
+	defer br.Shutdown()
+	h := br.NewHandle()
+	defer h.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.RPC("cmb.ping", wire.NodeidAny, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModuleDispatch measures request dispatch into a loaded module
+// and its response.
+func BenchmarkModuleDispatch(b *testing.B) {
+	br, err := New(Config{Rank: 0, Size: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := br.LoadModule(&echoModule{name: "echo"}); err != nil {
+		b.Fatal(err)
+	}
+	br.Start()
+	defer br.Shutdown()
+	h := br.NewHandle()
+	defer h.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.RPC("echo.echo", wire.NodeidAny, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMailboxThroughput measures the unbounded mailbox primitive
+// every broker component is built on.
+func BenchmarkMailboxThroughput(b *testing.B) {
+	m := NewMailbox[int]()
+	defer m.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			<-m.Out()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Push(i)
+	}
+	<-done
+}

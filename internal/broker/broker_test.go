@@ -1,0 +1,568 @@
+package broker
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fluxgo/internal/transport"
+	"fluxgo/internal/wire"
+)
+
+func TestMailboxFIFO(t *testing.T) {
+	m := NewMailbox[int]()
+	for i := 0; i < 100; i++ {
+		if !m.Push(i) {
+			t.Fatal("Push on open mailbox failed")
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if got := <-m.Out(); got != i {
+			t.Fatalf("got %d, want %d", got, i)
+		}
+	}
+	m.Close()
+	if m.Push(1) {
+		t.Fatal("Push after Close succeeded")
+	}
+	if _, ok := <-m.Out(); ok {
+		t.Fatal("Out not closed after Close+drain")
+	}
+}
+
+func TestMailboxCloseDrains(t *testing.T) {
+	m := NewMailbox[int]()
+	m.Push(1)
+	m.Push(2)
+	m.Close()
+	var got []int
+	for v := range m.Out() {
+		got = append(got, v)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("drained %v, want [1 2]", got)
+	}
+}
+
+func TestMailboxCloseNowDiscards(t *testing.T) {
+	m := NewMailbox[int]()
+	// Note: one element may already be parked in the pump's send; use Len
+	// to verify queued items are dropped.
+	for i := 0; i < 50; i++ {
+		m.Push(i)
+	}
+	m.CloseNow()
+	n := 0
+	for range m.Out() {
+		n++
+	}
+	if n > 1 {
+		t.Fatalf("CloseNow delivered %d items, want <= 1", n)
+	}
+}
+
+func TestMatchTopic(t *testing.T) {
+	cases := []struct {
+		prefix, topic string
+		want          bool
+	}{
+		{"kvs", "kvs.setroot", true},
+		{"kvs", "kvs", true},
+		{"kvs", "kvsx.setroot", false},
+		{"kvs.setroot", "kvs.setroot", true},
+		{"kvs.setroot", "kvs", false},
+		{"", "anything", true},
+		{"hb", "hb", true},
+	}
+	for _, c := range cases {
+		if got := matchTopic(c.prefix, c.topic); got != c.want {
+			t.Errorf("matchTopic(%q, %q) = %v, want %v", c.prefix, c.topic, got, c.want)
+		}
+	}
+}
+
+// newBroker builds a started single-rank broker for unit tests.
+func newBroker(t *testing.T) *Broker {
+	t.Helper()
+	b, err := New(Config{Rank: 0, Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	t.Cleanup(b.Shutdown)
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Rank: 0, Size: 0}); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := New(Config{Rank: 5, Size: 2}); err == nil {
+		t.Error("rank outside session accepted")
+	}
+}
+
+func TestPingLocal(t *testing.T) {
+	b := newBroker(t)
+	h := b.NewHandle()
+	defer h.Close()
+	resp, err := h.RPC("cmb.ping", wire.NodeidAny, map[string]string{"pad": "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Rank int    `json:"rank"`
+		Pad  string `json:"pad"`
+	}
+	if err := resp.UnpackJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Rank != 0 || body.Pad != "x" {
+		t.Fatalf("ping body %+v", body)
+	}
+}
+
+func TestCmbInfoAndLsmod(t *testing.T) {
+	b := newBroker(t)
+	h := b.NewHandle()
+	defer h.Close()
+	resp, err := h.RPC("cmb.info", wire.NodeidAny, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		Rank, Size, Arity, Parent int
+	}
+	if err := resp.UnpackJSON(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 1 || info.Parent != -1 {
+		t.Fatalf("info %+v", info)
+	}
+	if _, err := h.RPC("cmb.lsmod", wire.NodeidAny, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownServiceReturnsNoSys(t *testing.T) {
+	b := newBroker(t)
+	h := b.NewHandle()
+	defer h.Close()
+	resp, err := h.RPC("nosuch.method", wire.NodeidAny, nil)
+	if err == nil {
+		t.Fatal("RPC to unknown service succeeded")
+	}
+	if resp == nil || resp.Errnum != ErrnoNoSys {
+		t.Fatalf("errnum = %v, want ErrnoNoSys", resp)
+	}
+}
+
+func TestUnknownCmbMethod(t *testing.T) {
+	b := newBroker(t)
+	h := b.NewHandle()
+	defer h.Close()
+	if _, err := h.RPC("cmb.bogus", wire.NodeidAny, nil); err == nil {
+		t.Fatal("unknown cmb method succeeded")
+	}
+}
+
+func TestInvalidNodeid(t *testing.T) {
+	b := newBroker(t)
+	h := b.NewHandle()
+	defer h.Close()
+	resp, err := h.RPC("cmb.ping", 500, nil)
+	if err == nil {
+		t.Fatal("RPC to out-of-session nodeid succeeded")
+	}
+	if resp.Errnum != ErrnoInval {
+		t.Fatalf("errnum = %d, want ErrnoInval", resp.Errnum)
+	}
+}
+
+func TestUpstreamAtRootFails(t *testing.T) {
+	b := newBroker(t)
+	h := b.NewHandle()
+	defer h.Close()
+	resp, err := h.RPC("cmb.ping", wire.NodeidUpstream, nil)
+	if err == nil {
+		t.Fatal("NodeidUpstream at root succeeded")
+	}
+	if resp.Errnum != ErrnoNoSys {
+		t.Fatalf("errnum = %d, want ErrnoNoSys", resp.Errnum)
+	}
+}
+
+func TestPublishSubscribe(t *testing.T) {
+	b := newBroker(t)
+	h := b.NewHandle()
+	defer h.Close()
+	sub, err := h.Subscribe("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := h.Subscribe("othertopic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		seq, err := h.PublishEvent("test.ev", map[string]int{"i": i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq == 0 {
+			t.Fatal("assigned seq 0")
+		}
+	}
+	var last uint64
+	for i := 1; i <= 5; i++ {
+		select {
+		case ev := <-sub.Chan():
+			if ev.Seq <= last {
+				t.Fatalf("event out of order: %d after %d", ev.Seq, last)
+			}
+			last = ev.Seq
+			var body struct {
+				I int `json:"i"`
+			}
+			if err := ev.UnpackJSON(&body); err != nil || body.I != i {
+				t.Fatalf("event %d body %+v err %v", i, body, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("event %d not delivered", i)
+		}
+	}
+	select {
+	case ev := <-other.Chan():
+		t.Fatalf("non-matching subscription received %s", ev.Topic)
+	default:
+	}
+	sub.Close()
+	if _, ok := <-sub.Chan(); ok {
+		t.Fatal("subscription channel not closed by Close")
+	}
+}
+
+// echoModule responds to <name>.echo with the request body and records
+// events it sees.
+type echoModule struct {
+	name string
+	subs []string
+	h    *Handle
+	mu   sync.Mutex
+	evs  []string
+	down bool
+}
+
+func (m *echoModule) Name() string            { return m.name }
+func (m *echoModule) Subscriptions() []string { return m.subs }
+func (m *echoModule) Init(h *Handle) error    { m.h = h; return nil }
+func (m *echoModule) Shutdown() {
+	m.mu.Lock()
+	m.down = true
+	m.mu.Unlock()
+}
+
+func (m *echoModule) events() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.evs...)
+}
+
+func (m *echoModule) Recv(msg *wire.Message) {
+	if msg.Type == wire.Event {
+		m.mu.Lock()
+		m.evs = append(m.evs, msg.Topic)
+		m.mu.Unlock()
+		return
+	}
+	switch msg.Method() {
+	case "echo":
+		var body map[string]any
+		msg.UnpackJSON(&body)
+		if body == nil {
+			body = map[string]any{}
+		}
+		body["rank"] = m.h.Rank()
+		m.h.Respond(msg, body)
+	case "fail":
+		m.h.RespondError(msg, ErrnoInval, "requested failure")
+	default:
+		m.h.RespondError(msg, ErrnoNoSys, "unknown method")
+	}
+}
+
+func TestModuleRequestDispatch(t *testing.T) {
+	b := newBroker(t)
+	mod := &echoModule{name: "echo"}
+	if err := b.LoadModule(mod); err != nil {
+		t.Fatal(err)
+	}
+	if !b.HasModule("echo") {
+		t.Fatal("HasModule = false after load")
+	}
+	h := b.NewHandle()
+	defer h.Close()
+	resp, err := h.RPC("echo.echo", wire.NodeidAny, map[string]string{"k": "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]any
+	resp.UnpackJSON(&body)
+	if body["k"] != "v" {
+		t.Fatalf("echo body %+v", body)
+	}
+	if _, err := h.RPC("echo.fail", wire.NodeidAny, nil); err == nil {
+		t.Fatal("echo.fail returned success")
+	}
+}
+
+func TestModuleReceivesSubscribedEvents(t *testing.T) {
+	b := newBroker(t)
+	mod := &echoModule{name: "watcher", subs: []string{"interesting"}}
+	if err := b.LoadModule(mod); err != nil {
+		t.Fatal(err)
+	}
+	h := b.NewHandle()
+	defer h.Close()
+	if _, err := h.PublishEvent("interesting.thing", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.PublishEvent("boring.thing", nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		evs := mod.events()
+		if len(evs) >= 1 {
+			if evs[0] != "interesting.thing" || len(evs) > 1 {
+				t.Fatalf("module events %v", evs)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("module never received event")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestRPCContextCancel(t *testing.T) {
+	b, err := New(Config{Rank: 1, Size: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 1 with no parent link attached: an upstream RPC can never
+	// complete, so cancellation must unblock it.
+	b.Start()
+	defer b.Shutdown()
+	// swallow the request silently by attaching a parent that never answers
+	p, _ := transport.Pipe("rank:0", "rank:1")
+	b.AttachConn(LinkParentTree, p)
+	h := b.NewHandle()
+	defer h.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := h.RPCContext(ctx, "slow.op", wire.NodeidAny, nil); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestHandleCloseFailsPendingRPC(t *testing.T) {
+	b, err := New(Config{Rank: 1, Size: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	defer b.Shutdown()
+	p, _ := transport.Pipe("rank:0", "rank:1")
+	b.AttachConn(LinkParentTree, p)
+	h := b.NewHandle()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := h.RPC("slow.op", wire.NodeidAny, nil)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	h.Close()
+	select {
+	case err := <-errc:
+		if !ErrShutdown(err) {
+			t.Fatalf("err = %v, want shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending RPC not failed by Close")
+	}
+}
+
+func TestShutdownFailsRPCs(t *testing.T) {
+	b, err := New(Config{Rank: 1, Size: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	p, _ := transport.Pipe("rank:0", "rank:1")
+	b.AttachConn(LinkParentTree, p)
+	h := b.NewHandle()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := h.RPC("slow.op", wire.NodeidAny, nil)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b.Shutdown()
+	select {
+	case err := <-errc:
+		if !ErrShutdown(err) {
+			t.Fatalf("err = %v, want shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RPC not failed by Shutdown")
+	}
+	// Operations after shutdown fail fast.
+	if _, err := h.RPC("x.y", wire.NodeidAny, nil); !ErrShutdown(err) {
+		t.Fatalf("post-shutdown RPC err = %v", err)
+	}
+	if err := h.Send("x.y", wire.NodeidAny, nil); !ErrShutdown(err) {
+		t.Fatalf("post-shutdown Send err = %v", err)
+	}
+	if _, err := h.Subscribe("x"); !ErrShutdown(err) {
+		t.Fatalf("post-shutdown Subscribe err = %v", err)
+	}
+	b.Shutdown() // idempotent
+}
+
+func TestModuleShutdownCalled(t *testing.T) {
+	b, err := New(Config{Rank: 0, Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := &echoModule{name: "m"}
+	if err := b.LoadModule(mod); err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	b.Shutdown()
+	mod.mu.Lock()
+	down := mod.down
+	mod.mu.Unlock()
+	if !down {
+		t.Fatal("module Shutdown not called")
+	}
+}
+
+// TestLiveModuleUpgrade: unload a service and load a replacement while
+// the broker keeps running — the paper's live-software-upgrade
+// requirement.
+func TestLiveModuleUpgrade(t *testing.T) {
+	b := newBroker(t)
+	v1 := &echoModule{name: "svc"}
+	if err := b.LoadModule(v1); err != nil {
+		t.Fatal(err)
+	}
+	h := b.NewHandle()
+	defer h.Close()
+	if _, err := h.RPC("svc.echo", wire.NodeidAny, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.UnloadModule("svc"); err != nil {
+		t.Fatal(err)
+	}
+	v1.mu.Lock()
+	down := v1.down
+	v1.mu.Unlock()
+	if !down {
+		t.Fatal("old instance's Shutdown not called")
+	}
+	// The service is gone: requests now fail with ENOSYS at this root.
+	resp, err := h.RPC("svc.echo", wire.NodeidAny, nil)
+	if err == nil || resp.Errnum != ErrnoNoSys {
+		t.Fatalf("unloaded service answered: %v %v", resp, err)
+	}
+	// Load the upgraded instance; service resumes.
+	v2 := &echoModule{name: "svc"}
+	if err := b.LoadModule(v2); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = h.RPC("svc.echo", wire.NodeidAny, map[string]string{"v": "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]any
+	resp.UnpackJSON(&body)
+	if body["v"] != "2" {
+		t.Fatalf("upgraded service response %v", body)
+	}
+	// Unloading an unknown module errors.
+	if err := b.UnloadModule("nosuch"); err == nil {
+		t.Fatal("unload of unknown module succeeded")
+	}
+	// The RPC surface (cmb.rmmod) works too.
+	if _, err := h.RPC("cmb.rmmod", wire.NodeidAny, map[string]string{"name": "svc"}); err != nil {
+		t.Fatal(err)
+	}
+	if b.HasModule("svc") {
+		t.Fatal("module survived cmb.rmmod")
+	}
+	if _, err := h.RPC("cmb.rmmod", wire.NodeidAny, map[string]string{"name": ""}); err == nil {
+		t.Fatal("rmmod without a name accepted")
+	}
+	if _, err := h.RPC("cmb.rmmod", wire.NodeidAny, map[string]string{"name": "ghost"}); err == nil {
+		t.Fatal("rmmod of unknown module accepted")
+	}
+}
+
+func TestModuleInitFailure(t *testing.T) {
+	b := newBroker(t)
+	bad := &failInitModule{}
+	if err := b.LoadModule(bad); err == nil {
+		t.Fatal("LoadModule with failing Init succeeded")
+	}
+	if b.HasModule("badmod") {
+		t.Fatal("failed module registered")
+	}
+}
+
+type failInitModule struct{}
+
+func (failInitModule) Name() string            { return "badmod" }
+func (failInitModule) Subscriptions() []string { return nil }
+func (failInitModule) Init(h *Handle) error    { return fmt.Errorf("nope") }
+func (failInitModule) Recv(msg *wire.Message)  {}
+func (failInitModule) Shutdown()               {}
+
+func TestCmbStatsRPC(t *testing.T) {
+	b := newBroker(t)
+	h := b.NewHandle()
+	defer h.Close()
+	h.PublishEvent("s.e", nil)
+	resp, err := h.RPC("cmb.stats", wire.NodeidAny, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]uint64
+	if err := resp.UnpackJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["events_published"] != 1 || body["last_event_seq"] != 1 {
+		t.Fatalf("stats %v", body)
+	}
+	if body["requests_routed"] == 0 {
+		t.Fatal("requests_routed not counted")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	b := newBroker(t)
+	h := b.NewHandle()
+	defer h.Close()
+	h.RPC("cmb.ping", wire.NodeidAny, nil)
+	h.PublishEvent("e.v", nil)
+	st := b.Stats()
+	if st.RequestsRouted == 0 || st.ResponsesRouted == 0 || st.EventsPublished != 1 || st.EventsApplied != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}

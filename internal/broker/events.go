@@ -1,0 +1,228 @@
+package broker
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fluxgo/internal/wire"
+)
+
+// Event plane.
+//
+// The root broker assigns every published event a monotone sequence
+// number and fans it out over the event-plane tree. Reliable FIFO links
+// preserve the total order at every rank, which is what gives the KVS
+// its monotonic-read consistency "for free" (paper, Sec. IV-B). Brokers
+// cache recent events so a re-parented child can resync without gaps.
+
+// pubBody is the payload of a cmb.pub request: the event to publish.
+type pubBody struct {
+	Topic   string          `json:"topic"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// builtinRequest serves the broker's own "cmb" service. It returns false
+// when the method must continue upstream instead (publication below the
+// root). Handlers run on the broker loop and must not block.
+func (b *Broker) builtinRequest(m *wire.Message) bool {
+	switch m.Method() {
+	case "pub":
+		if !b.IsRoot() {
+			return false // forward toward the root, which sequences it
+		}
+		var body pubBody
+		if err := m.UnpackJSON(&body); err != nil {
+			b.respondErr(m, ErrnoInval, err.Error())
+			return true
+		}
+		seq := b.sequenceEvent(body.Topic, body.Payload)
+		if m.Seq != 0 {
+			resp, err := wire.NewResponse(m, map[string]uint64{"seq": seq})
+			if err == nil {
+				b.routeResponse(inbound{msg: resp})
+			}
+		}
+		return true
+	case "ping":
+		var body map[string]any
+		if err := m.UnpackJSON(&body); err != nil {
+			body = map[string]any{}
+		}
+		body["rank"] = b.cfg.Rank
+		body["hops"] = len(m.Route)
+		resp, err := wire.NewResponse(m, body)
+		if err != nil {
+			b.respondErr(m, ErrnoInval, err.Error())
+			return true
+		}
+		b.routeResponse(inbound{msg: resp})
+		return true
+	case "info":
+		resp, err := wire.NewResponse(m, map[string]int{
+			"rank":   b.cfg.Rank,
+			"size":   b.cfg.Size,
+			"arity":  b.cfg.Arity,
+			"parent": b.ParentRank(),
+		})
+		if err == nil {
+			b.routeResponse(inbound{msg: resp})
+		}
+		return true
+	case "stats":
+		st := b.Stats()
+		resp, err := wire.NewResponse(m, map[string]uint64{
+			"requests_routed":   st.RequestsRouted,
+			"requests_upstream": st.RequestsUpstream,
+			"requests_ring":     st.RequestsRing,
+			"responses_routed":  st.ResponsesRouted,
+			"events_published":  st.EventsPublished,
+			"events_applied":    st.EventsApplied,
+			"events_duplicate":  st.EventsDuplicate,
+			"event_seq_gaps":    st.EventSeqGaps,
+			"reparents":         st.Reparents,
+			"last_event_seq":    b.LastEventSeq(),
+		})
+		if err == nil {
+			b.routeResponse(inbound{msg: resp})
+		}
+		return true
+	case "rmmod":
+		var body struct {
+			Name string `json:"name"`
+		}
+		if err := m.UnpackJSON(&body); err != nil || body.Name == "" {
+			b.respondErr(m, ErrnoInval, "cmb: rmmod needs a module name")
+			return true
+		}
+		// Unloading drains the module and may need the broker loop to
+		// route its in-flight responses, so it must not run on the loop.
+		go func() {
+			if err := b.UnloadModule(body.Name); err != nil {
+				b.respondErr(m, ErrnoNoEnt, err.Error())
+				return
+			}
+			if resp, err := wire.NewResponse(m, map[string]string{"unloaded": body.Name}); err == nil {
+				b.routeResponse(inbound{msg: resp})
+			}
+		}()
+		return true
+	case "lsmod":
+		b.mu.Lock()
+		names := make([]string, 0, len(b.modules))
+		for name := range b.modules {
+			names = append(names, name)
+		}
+		b.mu.Unlock()
+		resp, err := wire.NewResponse(m, map[string][]string{"modules": names})
+		if err == nil {
+			b.routeResponse(inbound{msg: resp})
+		}
+		return true
+	default:
+		b.respondErr(m, ErrnoNoSys, fmt.Sprintf("cmb: unknown method %q", m.Method()))
+		return true
+	}
+}
+
+// sequenceEvent (root only) assigns the next sequence number and
+// distributes the event session-wide. It returns the assigned sequence.
+func (b *Broker) sequenceEvent(topic string, payload json.RawMessage) uint64 {
+	b.mu.Lock()
+	b.eventSeq++
+	seq := b.eventSeq
+	b.stats.EventsPublished++
+	b.mu.Unlock()
+	ev := &wire.Message{Type: wire.Event, Topic: topic, Seq: seq, Payload: payload}
+	b.applyEvent(ev)
+	return seq
+}
+
+// applyEvent delivers an event locally in sequence order and forwards it
+// down the event-plane tree. Duplicates (possible after a resync) are
+// dropped by sequence number, preserving exactly-once, in-order apply.
+func (b *Broker) applyEvent(ev *wire.Message) {
+	b.mu.Lock()
+	if ev.Seq <= b.lastEventSeq {
+		b.stats.EventsDuplicate++
+		b.mu.Unlock()
+		return
+	}
+	if ev.Seq != b.lastEventSeq+1 && b.lastEventSeq != 0 {
+		b.stats.EventSeqGaps++
+	}
+	b.lastEventSeq = ev.Seq
+	b.stats.EventsApplied++
+	b.eventHist = append(b.eventHist, ev)
+	if over := len(b.eventHist) - b.cfg.EventHistory; over > 0 {
+		b.eventHist = append([]*wire.Message(nil), b.eventHist[over:]...)
+	}
+
+	// Snapshot recipients under the lock; deliver outside it.
+	var mods []*moduleRunner
+	for _, r := range b.modules {
+		for _, p := range r.subs {
+			if matchTopic(p, ev.Topic) {
+				mods = append(mods, r)
+				break
+			}
+		}
+	}
+	var local []*link
+	var down []*link
+	for _, l := range b.links {
+		switch l.kind {
+		case linkHandle:
+			if l.h.wantsEvent(ev.Topic) {
+				local = append(local, l)
+			}
+		case LinkClient:
+			for _, p := range l.subs {
+				if matchTopic(p, ev.Topic) {
+					local = append(local, l)
+					break
+				}
+			}
+		case LinkChildEvent:
+			if !l.gated {
+				down = append(down, l)
+			}
+		}
+	}
+	b.mu.Unlock()
+
+	// Events are immutable once published: the same message value is
+	// shared by every local recipient and forwarded child.
+	for _, r := range mods {
+		r.inbox.Push(ev)
+	}
+	for _, l := range local {
+		l.send(ev)
+	}
+	for _, l := range down {
+		l.send(ev)
+	}
+}
+
+// replayEvents sends cached events with sequence > last down one link,
+// bringing a newly adopted child up to date after re-parenting.
+func (b *Broker) replayEvents(l *link, last uint64) {
+	b.mu.Lock()
+	var replay []*wire.Message
+	for _, ev := range b.eventHist {
+		if ev.Seq > last {
+			replay = append(replay, ev)
+		}
+	}
+	b.mu.Unlock()
+	for _, ev := range replay {
+		l.send(ev)
+	}
+}
+
+// LastEventSeq returns the sequence number of the most recently applied
+// event at this broker.
+func (b *Broker) LastEventSeq() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastEventSeq
+}

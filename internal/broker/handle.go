@@ -1,0 +1,327 @@
+package broker
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fluxgo/internal/clock"
+	"fluxgo/internal/wire"
+)
+
+// errShutdown is returned by handle operations once the broker or the
+// handle has shut down.
+var errShutdown = errors.New("broker: shutting down")
+
+// ErrShutdown reports whether err indicates broker/handle shutdown.
+func ErrShutdown(err error) bool { return errors.Is(err, errShutdown) }
+
+// Handle is a program's connection to its local broker — the analogue of
+// a flux_t handle in the C prototype. Comms modules, tools, and
+// application run-times all use Handles for RPCs, events, and responses.
+// A Handle is safe for concurrent use.
+type Handle struct {
+	b        *Broker
+	id       string
+	link     *link
+	inbox    *Mailbox[*wire.Message]
+	nextTag  atomic.Uint64
+	closedCh chan struct{}
+
+	mu       sync.Mutex
+	pending  map[uint64]chan *wire.Message
+	subs     []*Subscription
+	prefixes []string
+	closed   bool
+}
+
+// NewHandle attaches a new in-process handle to the broker.
+func (b *Broker) NewHandle() *Handle {
+	h := &Handle{
+		b:        b,
+		id:       fmt.Sprintf("h:%d.%d", b.cfg.Rank, b.handleSeq.Add(1)),
+		inbox:    NewMailbox[*wire.Message](),
+		closedCh: make(chan struct{}),
+		pending:  make(map[uint64]chan *wire.Message),
+	}
+	h.link = &link{kind: linkHandle, id: h.id, h: h}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		h.shutdown()
+		return h
+	}
+	b.links[h.id] = h.link
+	b.mu.Unlock()
+	go h.demux()
+	return h
+}
+
+// ID returns the handle's broker-unique identity string.
+func (h *Handle) ID() string { return h.id }
+
+// Rank returns the local broker's rank.
+func (h *Handle) Rank() int { return h.b.cfg.Rank }
+
+// Size returns the comms session size.
+func (h *Handle) Size() int { return h.b.cfg.Size }
+
+// Clock returns the broker's time source.
+func (h *Handle) Clock() clock.Clock { return h.b.cfg.Clock }
+
+// Broker returns the handle's broker (for introspection).
+func (h *Handle) Broker() *Broker { return h.b }
+
+// deliver is called by the broker loop to hand a message to the handle.
+func (h *Handle) deliver(m *wire.Message) { h.inbox.Push(m) }
+
+// wantsEvent reports whether any subscription matches topic.
+func (h *Handle) wantsEvent(topic string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range h.prefixes {
+		if matchTopic(p, topic) {
+			return true
+		}
+	}
+	return false
+}
+
+// demux dispatches inbound messages to pending RPCs and subscriptions.
+func (h *Handle) demux() {
+	for m := range h.inbox.Out() {
+		switch m.Type {
+		case wire.Response:
+			h.mu.Lock()
+			ch, ok := h.pending[m.Seq]
+			if ok {
+				delete(h.pending, m.Seq)
+			}
+			h.mu.Unlock()
+			if ok {
+				ch <- m
+			}
+		case wire.Event:
+			h.mu.Lock()
+			var targets []*Subscription
+			for _, s := range h.subs {
+				if matchTopic(s.prefix, m.Topic) {
+					targets = append(targets, s)
+				}
+			}
+			h.mu.Unlock()
+			for _, s := range targets {
+				s.mb.Push(m)
+			}
+		default:
+			// Handles do not serve requests; drop anything else.
+		}
+	}
+}
+
+// RPC sends a request and blocks until the matching response arrives.
+// On a failed response (nonzero errnum) the response is returned along
+// with the decoded error. nodeid selects routing: wire.NodeidAny routes
+// upstream to the first matching module; wire.NodeidUpstream skips the
+// local rank; a concrete rank routes over the rank-addressed overlay.
+func (h *Handle) RPC(topic string, nodeid uint32, body any) (*wire.Message, error) {
+	return h.RPCContext(context.Background(), topic, nodeid, body)
+}
+
+// RPCContext is RPC with cancellation.
+func (h *Handle) RPCContext(ctx context.Context, topic string, nodeid uint32, body any) (*wire.Message, error) {
+	m, err := wire.NewRequest(topic, nodeid, body)
+	if err != nil {
+		return nil, err
+	}
+	tag := h.nextTag.Add(1)
+	m.Seq = tag
+	ch := make(chan *wire.Message, 1)
+
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, errShutdown
+	}
+	h.pending[tag] = ch
+	h.mu.Unlock()
+
+	if !h.b.submit(inbound{msg: m, from: h.link}) {
+		h.forget(tag)
+		return nil, errShutdown
+	}
+	select {
+	case resp := <-ch:
+		if err := wire.ResponseError(resp); err != nil {
+			return resp, err
+		}
+		return resp, nil
+	case <-ctx.Done():
+		h.forget(tag)
+		return nil, ctx.Err()
+	case <-h.closedCh:
+		return nil, errShutdown
+	}
+}
+
+func (h *Handle) forget(tag uint64) {
+	h.mu.Lock()
+	delete(h.pending, tag)
+	h.mu.Unlock()
+}
+
+// Send issues a fire-and-forget request (match tag 0): no response is
+// expected or routed back.
+func (h *Handle) Send(topic string, nodeid uint32, body any) error {
+	m, err := wire.NewRequest(topic, nodeid, body)
+	if err != nil {
+		return err
+	}
+	m.Seq = 0
+	if !h.b.submit(inbound{msg: m, from: h.link}) {
+		return errShutdown
+	}
+	return nil
+}
+
+// Respond answers a request previously delivered to a module. For
+// fire-and-forget requests it is a no-op.
+func (h *Handle) Respond(req *wire.Message, body any) error {
+	if req.Seq == 0 {
+		return nil
+	}
+	resp, err := wire.NewResponse(req, body)
+	if err != nil {
+		return err
+	}
+	if !h.b.submit(inbound{msg: resp}) {
+		return errShutdown
+	}
+	return nil
+}
+
+// RespondError answers a request with an error response.
+func (h *Handle) RespondError(req *wire.Message, errnum int32, msg string) error {
+	if req.Seq == 0 {
+		return nil
+	}
+	if !h.b.submit(inbound{msg: wire.NewErrorResponse(req, errnum, msg)}) {
+		return errShutdown
+	}
+	return nil
+}
+
+// ForwardUpstream re-forwards a request toward the root without matching
+// the local module again, preserving its route stack so the eventual
+// response returns directly to the original requester. Modules use this
+// to pass requests they cannot satisfy to their upstream instance.
+func (h *Handle) ForwardUpstream(req *wire.Message) error {
+	req.Nodeid = wire.NodeidAny
+	if !h.b.submit(inbound{msg: req, forceUp: true}) {
+		return errShutdown
+	}
+	return nil
+}
+
+// PublishEvent publishes an event session-wide via the root sequencer
+// and returns the assigned sequence number.
+func (h *Handle) PublishEvent(topic string, body any) (uint64, error) {
+	if body == nil {
+		body = struct{}{}
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, fmt.Errorf("broker: publish %s: %w", topic, err)
+	}
+	resp, err := h.RPC("cmb.pub", wire.NodeidAny, pubBody{Topic: topic, Payload: raw})
+	if err != nil {
+		return 0, err
+	}
+	var out struct {
+		Seq uint64 `json:"seq"`
+	}
+	if err := resp.UnpackJSON(&out); err != nil {
+		return 0, err
+	}
+	return out.Seq, nil
+}
+
+// Subscription is a stream of events matching a topic prefix.
+type Subscription struct {
+	h      *Handle
+	prefix string
+	mb     *Mailbox[*wire.Message]
+	once   sync.Once
+}
+
+// Chan returns the event channel. It closes when the subscription or the
+// handle is closed.
+func (s *Subscription) Chan() <-chan *wire.Message { return s.mb.Out() }
+
+// Close cancels the subscription.
+func (s *Subscription) Close() {
+	s.once.Do(func() {
+		h := s.h
+		h.mu.Lock()
+		subs := h.subs[:0]
+		for _, x := range h.subs {
+			if x != s {
+				subs = append(subs, x)
+			}
+		}
+		h.subs = subs
+		prefixes := h.prefixes[:0]
+		for _, x := range h.subs {
+			prefixes = append(prefixes, x.prefix)
+		}
+		h.prefixes = prefixes
+		h.mu.Unlock()
+		s.mb.Close()
+	})
+}
+
+// Subscribe registers interest in events whose topic matches prefix
+// under the hierarchical namespace rules. Events published after
+// Subscribe returns are guaranteed to be delivered in session order.
+func (h *Handle) Subscribe(prefix string) (*Subscription, error) {
+	s := &Subscription{h: h, prefix: prefix, mb: NewMailbox[*wire.Message]()}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		s.mb.Close()
+		return nil, errShutdown
+	}
+	h.subs = append(h.subs, s)
+	h.prefixes = append(h.prefixes, prefix)
+	h.mu.Unlock()
+	return s, nil
+}
+
+// Close detaches the handle from the broker, failing in-flight RPCs and
+// closing subscription channels. Close is idempotent.
+func (h *Handle) Close() {
+	h.b.mu.Lock()
+	delete(h.b.links, h.id)
+	h.b.mu.Unlock()
+	h.shutdown()
+}
+
+// shutdown tears down handle state without touching the broker registry.
+func (h *Handle) shutdown() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	subs := append([]*Subscription(nil), h.subs...)
+	h.mu.Unlock()
+	close(h.closedCh)
+	h.inbox.Close()
+	for _, s := range subs {
+		s.mb.Close()
+	}
+}

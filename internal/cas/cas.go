@@ -1,0 +1,293 @@
+// Package cas implements the content-addressable object store underlying
+// the Flux KVS.
+//
+// Exactly as in the paper, JSON objects are placed in a content-addressed
+// store hashed by their SHA-1 digests, borrowing ideas from ZFS and git:
+// values are leaf objects; directories are objects mapping a list of
+// names to other objects by SHA-1 reference; and an external root
+// reference points to the root directory object, so every update yields a
+// new root reference. Slave caches expire unused entries after a period
+// of disuse to save memory.
+package cas
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"fluxgo/internal/clock"
+)
+
+// RefLen is the byte length of a SHA-1 reference.
+const RefLen = sha1.Size
+
+// Ref is a SHA-1 content reference.
+type Ref [RefLen]byte
+
+// String returns the full hex form of the reference.
+func (r Ref) String() string { return hex.EncodeToString(r[:]) }
+
+// Short returns an abbreviated hex form for logs, in the style of the
+// paper's examples ("1c002dde...").
+func (r Ref) Short() string { return hex.EncodeToString(r[:4]) }
+
+// IsZero reports whether r is the all-zero (null) reference.
+func (r Ref) IsZero() bool { return r == Ref{} }
+
+// ParseRef decodes a full-length hex reference.
+func ParseRef(s string) (Ref, error) {
+	var r Ref
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return r, fmt.Errorf("cas: parse ref: %w", err)
+	}
+	if len(b) != RefLen {
+		return r, fmt.Errorf("cas: parse ref: got %d bytes, want %d", len(b), RefLen)
+	}
+	copy(r[:], b)
+	return r, nil
+}
+
+// Kind discriminates object types in the store.
+type Kind byte
+
+// Object kinds.
+const (
+	KindValue Kind = 'v' // leaf: opaque JSON value bytes
+	KindDir   Kind = 'd' // interior: name -> Ref map
+)
+
+// Object is a decoded store object: either a value or a directory.
+type Object struct {
+	Kind  Kind
+	Value []byte         // valid when Kind == KindValue
+	Dir   map[string]Ref // valid when Kind == KindDir
+}
+
+// NewValue returns a value object holding raw JSON bytes.
+func NewValue(jsonBytes []byte) *Object {
+	return &Object{Kind: KindValue, Value: jsonBytes}
+}
+
+// NewDir returns an empty directory object.
+func NewDir() *Object {
+	return &Object{Kind: KindDir, Dir: map[string]Ref{}}
+}
+
+// Copy returns a deep copy of the object, so callers may mutate a
+// directory without aliasing cached state.
+func (o *Object) Copy() *Object {
+	c := &Object{Kind: o.Kind}
+	if o.Value != nil {
+		c.Value = append([]byte(nil), o.Value...)
+	}
+	if o.Dir != nil {
+		c.Dir = make(map[string]Ref, len(o.Dir))
+		for k, v := range o.Dir {
+			c.Dir[k] = v
+		}
+	}
+	return c
+}
+
+// Encode produces the canonical byte serialization whose SHA-1 is the
+// object's reference. Directory entries are sorted by name so that equal
+// directories always produce equal references — the determinism the
+// hash-tree commit protocol depends on.
+func (o *Object) Encode() []byte {
+	switch o.Kind {
+	case KindValue:
+		buf := make([]byte, 0, 1+len(o.Value))
+		buf = append(buf, byte(KindValue))
+		return append(buf, o.Value...)
+	case KindDir:
+		names := make([]string, 0, len(o.Dir))
+		for name := range o.Dir {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		size := 1
+		for _, n := range names {
+			size += binary.MaxVarintLen64 + len(n) + RefLen
+		}
+		buf := make([]byte, 0, size)
+		buf = append(buf, byte(KindDir))
+		for _, n := range names {
+			buf = binary.AppendUvarint(buf, uint64(len(n)))
+			buf = append(buf, n...)
+			ref := o.Dir[n]
+			buf = append(buf, ref[:]...)
+		}
+		return buf
+	default:
+		panic(fmt.Sprintf("cas: encode unknown kind %q", o.Kind))
+	}
+}
+
+// ErrCorrupt is returned when decoding malformed object bytes.
+var ErrCorrupt = errors.New("cas: corrupt object encoding")
+
+// Decode parses canonical object bytes produced by Encode.
+func Decode(data []byte) (*Object, error) {
+	if len(data) == 0 {
+		return nil, ErrCorrupt
+	}
+	switch Kind(data[0]) {
+	case KindValue:
+		return &Object{Kind: KindValue, Value: append([]byte(nil), data[1:]...)}, nil
+	case KindDir:
+		o := NewDir()
+		p := data[1:]
+		for len(p) > 0 {
+			n, w := binary.Uvarint(p)
+			if w <= 0 {
+				return nil, ErrCorrupt
+			}
+			p = p[w:]
+			if uint64(len(p)) < n+RefLen {
+				return nil, ErrCorrupt
+			}
+			name := string(p[:n])
+			p = p[n:]
+			var ref Ref
+			copy(ref[:], p[:RefLen])
+			p = p[RefLen:]
+			o.Dir[name] = ref
+		}
+		return o, nil
+	default:
+		return nil, ErrCorrupt
+	}
+}
+
+// HashOf returns the SHA-1 reference of encoded object bytes.
+func HashOf(encoded []byte) Ref {
+	return Ref(sha1.Sum(encoded))
+}
+
+// entry is one cached object with its last-use timestamp for expiry.
+type entry struct {
+	data     []byte
+	lastUsed time.Time
+	pinned   bool
+}
+
+// Store is a thread-safe content-addressed object cache. The master's
+// store pins everything; slave caches expire unused entries via Expire.
+type Store struct {
+	clk  clock.Clock
+	mu   sync.Mutex
+	objs map[Ref]*entry
+	hits uint64
+	miss uint64
+}
+
+// NewStore returns an empty store whose expiry decisions use clk.
+func NewStore(clk clock.Clock) *Store {
+	if clk == nil {
+		clk = clock.Real()
+	}
+	return &Store{clk: clk, objs: make(map[Ref]*entry)}
+}
+
+// Put stores the object and returns its reference. Storing identical
+// content is idempotent — the content hash guarantees deduplication.
+func (s *Store) Put(o *Object) Ref {
+	return s.PutRaw(o.Encode())
+}
+
+// PutRaw stores pre-encoded object bytes and returns their reference.
+func (s *Store) PutRaw(encoded []byte) Ref {
+	ref := HashOf(encoded)
+	s.mu.Lock()
+	if e, ok := s.objs[ref]; ok {
+		e.lastUsed = s.clk.Now()
+	} else {
+		s.objs[ref] = &entry{
+			data:     append([]byte(nil), encoded...),
+			lastUsed: s.clk.Now(),
+		}
+	}
+	s.mu.Unlock()
+	return ref
+}
+
+// Get returns the decoded object for ref, refreshing its last-use time.
+func (s *Store) Get(ref Ref) (*Object, bool) {
+	raw, ok := s.GetRaw(ref)
+	if !ok {
+		return nil, false
+	}
+	o, err := Decode(raw)
+	if err != nil {
+		return nil, false
+	}
+	return o, true
+}
+
+// GetRaw returns the encoded bytes for ref, refreshing its last-use time.
+func (s *Store) GetRaw(ref Ref) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objs[ref]
+	if !ok {
+		s.miss++
+		return nil, false
+	}
+	s.hits++
+	e.lastUsed = s.clk.Now()
+	return e.data, true
+}
+
+// Has reports whether ref is present without refreshing last-use.
+func (s *Store) Has(ref Ref) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.objs[ref]
+	return ok
+}
+
+// Pin marks ref exempt from expiry (e.g. the master pins all content).
+func (s *Store) Pin(ref Ref) {
+	s.mu.Lock()
+	if e, ok := s.objs[ref]; ok {
+		e.pinned = true
+	}
+	s.mu.Unlock()
+}
+
+// Expire removes unpinned entries unused for at least maxAge and returns
+// the number removed. This implements the paper's "unused slave object
+// cache entries are expired after a period of disuse".
+func (s *Store) Expire(maxAge time.Duration) int {
+	now := s.clk.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for ref, e := range s.objs {
+		if !e.pinned && now.Sub(e.lastUsed) >= maxAge {
+			delete(s.objs, ref)
+			removed++
+		}
+	}
+	return removed
+}
+
+// Len returns the number of cached objects.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objs)
+}
+
+// Stats returns cumulative cache hits and misses.
+func (s *Store) Stats() (hits, misses uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.miss
+}

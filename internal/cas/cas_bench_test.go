@@ -1,0 +1,54 @@
+package cas
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkPutValue(b *testing.B) {
+	for _, size := range []int{8, 2048, 32768} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			s := NewStore(nil)
+			val := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				val[0] = byte(i) // defeat dedup so Put always stores
+				val[1] = byte(i >> 8)
+				val[2] = byte(i >> 16)
+				s.Put(NewValue(val))
+			}
+		})
+	}
+}
+
+func BenchmarkGetRaw(b *testing.B) {
+	s := NewStore(nil)
+	ref := s.Put(NewValue(make([]byte, 2048)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.GetRaw(ref); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkDirEncodeDecode(b *testing.B) {
+	for _, entries := range []int{16, 128, 1024} {
+		b.Run(fmt.Sprintf("entries=%d", entries), func(b *testing.B) {
+			d := NewDir()
+			for i := 0; i < entries; i++ {
+				var r Ref
+				r[0], r[1] = byte(i), byte(i>>8)
+				d.Dir[fmt.Sprintf("key%06d", i)] = r
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				enc := d.Encode()
+				if _, err := Decode(enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,193 @@
+// Package clock abstracts time for the Flux run-time so that every
+// time-driven behaviour (heartbeats, liveness timeouts, cache expiry,
+// monitor sampling) can run against either the real wall clock or a
+// deterministic manual clock in tests.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Timer is a cancellable one-shot timer. C fires at most once.
+type Timer interface {
+	// C returns the channel on which the expiry time is delivered.
+	C() <-chan time.Time
+	// Stop cancels the timer. It reports whether the timer was stopped
+	// before firing.
+	Stop() bool
+}
+
+// Clock provides the current time and timer creation. Implementations
+// must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// NewTimer returns a Timer that fires after d.
+	NewTimer(d time.Duration) Timer
+	// After is a convenience wrapper equivalent to NewTimer(d).C().
+	After(d time.Duration) <-chan time.Time
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+}
+
+// Real returns a Clock backed by the system clock.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                  { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration { return time.Since(t) }
+
+func (realClock) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) C() <-chan time.Time { return r.t.C }
+func (r realTimer) Stop() bool          { return r.t.Stop() }
+
+// Manual is a deterministic Clock whose time only moves when Advance is
+// called. Timers fire synchronously from within Advance, in expiry order.
+type Manual struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*manualTimer
+}
+
+// NewManual returns a Manual clock starting at start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now returns the current manual time.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Since returns the elapsed manual time since t.
+func (m *Manual) Since(t time.Time) time.Duration {
+	return m.Now().Sub(t)
+}
+
+// NewTimer returns a timer firing after d of manual time has been advanced.
+func (m *Manual) NewTimer(d time.Duration) Timer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := &manualTimer{
+		clock: m,
+		when:  m.now.Add(d),
+		ch:    make(chan time.Time, 1),
+	}
+	if d <= 0 {
+		t.fired = true
+		t.ch <- m.now
+		return t
+	}
+	m.timers = append(m.timers, t)
+	return t
+}
+
+// After is a convenience wrapper equivalent to NewTimer(d).C().
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	return m.NewTimer(d).C()
+}
+
+// Advance moves the manual clock forward by d, firing any timers whose
+// expiry falls within the window, in chronological order.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	target := m.now.Add(d)
+	for {
+		var next *manualTimer
+		for _, t := range m.timers {
+			if t.fired {
+				continue
+			}
+			if !t.when.After(target) && (next == nil || t.when.Before(next.when)) {
+				next = t
+			}
+		}
+		if next == nil {
+			break
+		}
+		if next.when.After(m.now) {
+			m.now = next.when
+		}
+		next.fired = true
+		next.ch <- m.now
+	}
+	m.now = target
+	m.compact()
+	m.mu.Unlock()
+}
+
+// compact drops fired timers. Caller holds mu.
+func (m *Manual) compact() {
+	live := m.timers[:0]
+	for _, t := range m.timers {
+		if !t.fired {
+			live = append(live, t)
+		}
+	}
+	m.timers = live
+}
+
+type manualTimer struct {
+	clock *Manual
+	when  time.Time
+	ch    chan time.Time
+	fired bool
+}
+
+func (t *manualTimer) C() <-chan time.Time { return t.ch }
+
+func (t *manualTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	if t.fired {
+		return false
+	}
+	t.fired = true
+	return true
+}
+
+// Ticker delivers a tick every interval until stopped. It is built on
+// Clock timers so it works with both real and manual clocks.
+type Ticker struct {
+	C    <-chan time.Time
+	stop chan struct{}
+	once sync.Once
+}
+
+// NewTicker starts a ticker on clk with the given interval. The interval
+// must be positive.
+func NewTicker(clk Clock, interval time.Duration) *Ticker {
+	if interval <= 0 {
+		panic("clock: non-positive ticker interval")
+	}
+	ch := make(chan time.Time, 1)
+	t := &Ticker{C: ch, stop: make(chan struct{})}
+	go func() {
+		for {
+			timer := clk.NewTimer(interval)
+			select {
+			case now := <-timer.C():
+				select {
+				case ch <- now:
+				default: // drop tick if receiver is slow, like time.Ticker
+				}
+			case <-t.stop:
+				timer.Stop()
+				return
+			}
+		}
+	}()
+	return t
+}
+
+// Stop terminates the ticker goroutine. Safe to call multiple times.
+func (t *Ticker) Stop() { t.once.Do(func() { close(t.stop) }) }

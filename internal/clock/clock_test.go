@@ -1,0 +1,169 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	c := Real()
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real().Now() = %v, want within [%v, %v]", got, before, after)
+	}
+}
+
+func TestRealTimerFires(t *testing.T) {
+	c := Real()
+	timer := c.NewTimer(time.Millisecond)
+	select {
+	case <-timer.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("real timer did not fire")
+	}
+}
+
+func TestRealTimerStop(t *testing.T) {
+	c := Real()
+	timer := c.NewTimer(time.Hour)
+	if !timer.Stop() {
+		t.Fatal("Stop() on pending timer returned false")
+	}
+}
+
+func TestManualNowAdvances(t *testing.T) {
+	start := time.Unix(1000, 0)
+	m := NewManual(start)
+	if !m.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", m.Now(), start)
+	}
+	m.Advance(3 * time.Second)
+	want := start.Add(3 * time.Second)
+	if !m.Now().Equal(want) {
+		t.Fatalf("after Advance, Now() = %v, want %v", m.Now(), want)
+	}
+}
+
+func TestManualTimerFiresOnAdvance(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	timer := m.NewTimer(10 * time.Second)
+	select {
+	case <-timer.C():
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	m.Advance(9 * time.Second)
+	select {
+	case <-timer.C():
+		t.Fatal("timer fired too early")
+	default:
+	}
+	m.Advance(time.Second)
+	select {
+	case now := <-timer.C():
+		want := time.Unix(10, 0)
+		if !now.Equal(want) {
+			t.Fatalf("timer fired at %v, want %v", now, want)
+		}
+	default:
+		t.Fatal("timer did not fire after full Advance")
+	}
+}
+
+func TestManualTimerZeroDurationFiresImmediately(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	timer := m.NewTimer(0)
+	select {
+	case <-timer.C():
+	default:
+		t.Fatal("zero-duration timer did not fire immediately")
+	}
+}
+
+func TestManualTimerStopPreventsFire(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	timer := m.NewTimer(time.Second)
+	if !timer.Stop() {
+		t.Fatal("Stop() returned false on pending timer")
+	}
+	m.Advance(2 * time.Second)
+	select {
+	case <-timer.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if timer.Stop() {
+		t.Fatal("second Stop() returned true")
+	}
+}
+
+func TestManualTimersFireInOrder(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	t3 := m.NewTimer(3 * time.Second)
+	t1 := m.NewTimer(1 * time.Second)
+	t2 := m.NewTimer(2 * time.Second)
+	m.Advance(5 * time.Second)
+	read := func(timer Timer) time.Time {
+		select {
+		case v := <-timer.C():
+			return v
+		default:
+			t.Fatal("timer did not fire")
+			return time.Time{}
+		}
+	}
+	v1, v2, v3 := read(t1), read(t2), read(t3)
+	if !v1.Before(v2) || !v2.Before(v3) {
+		t.Fatalf("timers fired out of order: %v %v %v", v1, v2, v3)
+	}
+}
+
+func TestManualSince(t *testing.T) {
+	m := NewManual(time.Unix(100, 0))
+	mark := m.Now()
+	m.Advance(42 * time.Second)
+	if got := m.Since(mark); got != 42*time.Second {
+		t.Fatalf("Since = %v, want 42s", got)
+	}
+}
+
+func TestTickerDeliversTicks(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	tk := NewTicker(m, time.Second)
+	defer tk.Stop()
+	for i := 0; i < 3; i++ {
+		// Each Advance fires the pending timer; the ticker goroutine then
+		// re-arms. Poll Advance until the tick lands to avoid racing the
+		// goroutine's re-arm.
+		deadline := time.After(5 * time.Second)
+		got := false
+		for !got {
+			m.Advance(time.Second)
+			select {
+			case <-tk.C:
+				got = true
+			case <-deadline:
+				t.Fatalf("tick %d never delivered", i)
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+}
+
+func TestTickerStopIdempotent(t *testing.T) {
+	tk := NewTicker(Real(), time.Hour)
+	tk.Stop()
+	tk.Stop() // must not panic
+}
+
+func TestTickerPanicsOnNonPositiveInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive interval")
+		}
+	}()
+	NewTicker(Real(), 0)
+}

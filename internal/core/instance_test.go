@@ -1,0 +1,376 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fluxgo/internal/modules/wexec"
+	"fluxgo/internal/resource"
+	"fluxgo/internal/sched"
+)
+
+func testCluster(t testing.TB, nodes int) *resource.Resource {
+	t.Helper()
+	c, err := resource.BuildCluster(resource.ClusterSpec{
+		Name: "center", Racks: 1, NodesPerRack: nodes,
+		SocketsPerNode: 2, CoresPerSocket: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func newRoot(t testing.TB, nodes int, opts Options) *Instance {
+	t.Helper()
+	inst, err := NewRoot(testCluster(t, nodes), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Close)
+	return inst
+}
+
+func ctx(t *testing.T) context.Context {
+	t.Helper()
+	c, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return c
+}
+
+func TestRootInstanceBasics(t *testing.T) {
+	root := newRoot(t, 8, Options{})
+	if root.ID() != "root" || root.Depth() != 0 || root.Size() != 8 {
+		t.Fatalf("root: id=%s depth=%d size=%d", root.ID(), root.Depth(), root.Size())
+	}
+	if root.Parent() != nil {
+		t.Fatal("root has a parent")
+	}
+	if root.Policy().Name() != "fcfs" {
+		t.Fatalf("default policy %s", root.Policy().Name())
+	}
+}
+
+func TestSubmitProgramJob(t *testing.T) {
+	root := newRoot(t, 4, Options{})
+	rec, err := root.Submit("hostname", nil, resource.Request{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rec.Wait(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != "complete" || res.NTasks != 3 {
+		t.Fatalf("result %+v", res)
+	}
+	// Resources released after completion.
+	if free := root.Pool().FreeNodes(); free != 4 {
+		t.Fatalf("free nodes after job = %d", free)
+	}
+	// Output captured in the instance's own KVS.
+	h := root.Handle()
+	defer h.Close()
+	stdout, _, exit, err := wexec.Output(h, rec.ID, rec.Ranks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exit != 0 || !strings.HasPrefix(stdout, "node") {
+		t.Fatalf("exit=%d stdout=%q", exit, stdout)
+	}
+}
+
+func TestSubmitOverCapacity(t *testing.T) {
+	root := newRoot(t, 2, Options{})
+	if _, err := root.Submit("echo", nil, resource.Request{Nodes: 3}); err == nil {
+		t.Fatal("oversized job accepted")
+	}
+}
+
+func TestSpawnChildBoundingRule(t *testing.T) {
+	root := newRoot(t, 8, Options{})
+	child, err := root.Spawn(resource.Request{Nodes: 4}, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Size() != 4 || child.Depth() != 1 {
+		t.Fatalf("child size=%d depth=%d", child.Size(), child.Depth())
+	}
+	// Parent's pool reflects the grant (bounding).
+	if free := root.Pool().FreeNodes(); free != 4 {
+		t.Fatalf("parent free = %d", free)
+	}
+	// Child cannot be granted more than the parent has.
+	if _, err := root.Spawn(resource.Request{Nodes: 5}, 0, Options{}); err == nil {
+		t.Fatal("over-subscribed spawn accepted")
+	}
+	child.Close()
+	if free := root.Pool().FreeNodes(); free != 8 {
+		t.Fatalf("parent free after child close = %d", free)
+	}
+}
+
+func TestChildEmpowermentRunsOwnJobs(t *testing.T) {
+	root := newRoot(t, 8, Options{})
+	child, err := root.Spawn(resource.Request{Nodes: 4}, 0, Options{Policy: sched.EASY{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer child.Close()
+	if child.Policy().Name() != "easy" {
+		t.Fatalf("child policy %s (specialization lost)", child.Policy().Name())
+	}
+	// The child schedules and runs jobs on its own session without the
+	// parent's involvement.
+	rec, err := child.Submit("echo", []string{"from", "child"}, resource.Request{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rec.Wait(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != "complete" || res.NTasks != 2 {
+		t.Fatalf("child job result %+v", res)
+	}
+	// The child's KVS is its own: the parent's namespace has no job data.
+	ph := root.Handle()
+	defer ph.Close()
+	if _, _, _, err := wexec.Output(ph, rec.ID, 0); err == nil {
+		t.Fatal("child job data visible in parent KVS namespace")
+	}
+}
+
+func TestRecursiveHierarchyDepth3(t *testing.T) {
+	root := newRoot(t, 8, Options{})
+	c1, err := root.Spawn(resource.Request{Nodes: 6}, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := c1.Spawn(resource.Request{Nodes: 3}, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Depth() != 2 || c2.Size() != 3 {
+		t.Fatalf("grandchild depth=%d size=%d", c2.Depth(), c2.Size())
+	}
+	if !strings.HasPrefix(c2.ID(), c1.ID()+".") {
+		t.Fatalf("grandchild id %q not under %q", c2.ID(), c1.ID())
+	}
+	rec, err := c2.Submit("hostname", nil, resource.Request{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Wait(ctx(t)); err != nil {
+		t.Fatal(err)
+	}
+	// Closing the middle closes the grandchild too.
+	c1.Close()
+	if got := root.Pool().FreeNodes(); got != 8 {
+		t.Fatalf("free after subtree close = %d", got)
+	}
+	if len(root.Children()) != 0 {
+		t.Fatal("child registry not cleaned")
+	}
+}
+
+func TestParentalConsentGrow(t *testing.T) {
+	root := newRoot(t, 8, Options{})
+	child, err := root.Spawn(resource.Request{Nodes: 2}, 6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer child.Close()
+	if child.MaxNodes() != 6 {
+		t.Fatalf("bound %d", child.MaxNodes())
+	}
+	if err := child.Grow(2); err != nil {
+		t.Fatal(err)
+	}
+	if child.Size() != 4 {
+		t.Fatalf("size after grow = %d", child.Size())
+	}
+	if free := root.Pool().FreeNodes(); free != 4 {
+		t.Fatalf("parent free = %d", free)
+	}
+	// Growth beyond the parent's bound is refused (bounding rule).
+	if err := child.Grow(3); err == nil {
+		t.Fatal("growth beyond bound accepted")
+	}
+	// Growth within the bound but beyond the parent's free capacity is
+	// refused too.
+	other, err := root.Spawn(resource.Request{Nodes: 4}, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if err := child.Grow(2); err == nil {
+		t.Fatal("parent granted nodes it does not have")
+	}
+	// Grown nodes are schedulable in the child.
+	rec, err := child.Submit("echo", nil, resource.Request{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Wait(ctx(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParentalConsentShrink(t *testing.T) {
+	root := newRoot(t, 8, Options{})
+	child, err := root.Spawn(resource.Request{Nodes: 6}, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer child.Close()
+	if err := child.Shrink(2); err != nil {
+		t.Fatal(err)
+	}
+	if child.Size() != 4 {
+		t.Fatalf("size after shrink = %d", child.Size())
+	}
+	if free := root.Pool().FreeNodes(); free != 4 {
+		t.Fatalf("parent free after shrink = %d", free)
+	}
+	// Busy nodes cannot be returned.
+	rec, err := child.Submit("block", nil, resource.Request{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Shrink(1); err == nil {
+		t.Fatal("shrink of busy nodes accepted")
+	}
+	h := child.Handle()
+	wexec.Kill(h, rec.ID)
+	h.Close()
+	rec.Wait(ctx(t))
+	// Cannot shrink to empty.
+	if err := child.Shrink(4); err == nil {
+		t.Fatal("shrink to empty accepted")
+	}
+	// Root has no parent for elasticity requests.
+	if err := root.Grow(1); err == nil {
+		t.Fatal("root grow accepted")
+	}
+	if err := root.Shrink(1); err == nil {
+		t.Fatal("root shrink accepted")
+	}
+}
+
+func TestSiblingInstancesRunConcurrently(t *testing.T) {
+	root := newRoot(t, 8, Options{})
+	var children []*Instance
+	for k := 0; k < 4; k++ {
+		c, err := root.Spawn(resource.Request{Nodes: 2}, 0, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		children = append(children, c)
+	}
+	// Sibling jobs run simultaneously through independent instances.
+	var wg sync.WaitGroup
+	for k, c := range children {
+		wg.Add(1)
+		go func(k int, c *Instance) {
+			defer wg.Done()
+			for n := 0; n < 3; n++ {
+				rec, err := c.Submit("echo", []string{fmt.Sprintf("c%d-%d", k, n)}, resource.Request{Nodes: 2})
+				if err != nil {
+					t.Errorf("child %d: %v", k, err)
+					return
+				}
+				if _, err := rec.Wait(ctx(t)); err != nil {
+					t.Errorf("child %d wait: %v", k, err)
+					return
+				}
+			}
+		}(k, c)
+	}
+	wg.Wait()
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	root := newRoot(t, 2, Options{})
+	child, _ := root.Spawn(resource.Request{Nodes: 1}, 0, Options{})
+	child.Close()
+	if _, err := child.Submit("echo", nil, resource.Request{Nodes: 1}); err == nil {
+		t.Fatal("submit on closed instance accepted")
+	}
+	if _, err := child.Spawn(resource.Request{Nodes: 1}, 0, Options{}); err == nil {
+		t.Fatal("spawn on closed instance accepted")
+	}
+	child.Close() // idempotent
+}
+
+// TestInstanceQueueFCFSBlocks: under FCFS, a small job behind an
+// infeasible head waits; under EASY it backfills.
+func TestInstanceQueueFCFSBlocks(t *testing.T) {
+	root := newRoot(t, 3, Options{Policy: sched.FCFS{}})
+	blocker, err := root.Submit("block", nil, resource.Request{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := root.Submit("echo", nil, resource.Request{Nodes: 2}) // blocked
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := root.Submit("echo", nil, resource.Request{Nodes: 1}) // must wait behind head
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the scheduler a moment; the small job must NOT have started
+	// (strict FCFS), so one node stays free.
+	time.Sleep(50 * time.Millisecond)
+	if free := root.Pool().FreeNodes(); free != 1 {
+		t.Fatalf("free = %d; FCFS head did not block the queue", free)
+	}
+	h := root.Handle()
+	wexec.Kill(h, blocker.ID)
+	h.Close()
+	c := ctx(t)
+	if _, err := blocker.Wait(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := head.Wait(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := small.Wait(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstanceQueueEASYBackfills(t *testing.T) {
+	root := newRoot(t, 3, Options{Policy: sched.EASY{}})
+	blocker, _ := root.Submit("block", nil, resource.Request{Nodes: 2})
+	root.Submit("block", nil, resource.Request{Nodes: 2}) // blocked head
+	small, err := root.Submit("echo", []string{"backfilled"}, resource.Request{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 1-node job jumps the blocked head.
+	res, err := small.Wait(ctx(t))
+	if err != nil || res.State != "complete" {
+		t.Fatalf("backfill: %+v %v", res, err)
+	}
+	h := root.Handle()
+	wexec.Kill(h, blocker.ID)
+	h.Close()
+}
+
+func TestJobsRegistry(t *testing.T) {
+	root := newRoot(t, 2, Options{})
+	rec, err := root.Submit("echo", nil, resource.Request{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Wait(ctx(t))
+	if len(root.Jobs()) != 1 {
+		t.Fatalf("jobs registry has %d entries", len(root.Jobs()))
+	}
+}

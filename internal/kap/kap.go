@@ -1,0 +1,305 @@
+// Package kap implements KAP (KVS Access Patterns), the dedicated test
+// the paper uses to evaluate the CMB and KVS prototypes (Section V).
+//
+// KAP models KVS access patterns through interactions between writers
+// (producers) and readers (consumers). It runs in four phases — setup,
+// producer, synchronization, consumer — with configurable producer and
+// consumer counts, value size, object counts, access patterns
+// (striding), directory layout (one directory vs. directories of at most
+// 128 entries), value redundancy, and synchronization primitive. The
+// metric of interest is the maximum latency of each phase across all
+// processes, the critical path of coordinated process-management
+// services such as PMI bootstrap.
+package kap
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fluxgo/internal/kvs"
+	"fluxgo/internal/session"
+)
+
+// Params configures one KAP run.
+type Params struct {
+	// Ranks is the comms-session size (simulated nodes).
+	Ranks int
+	// ProcsPerRank is how many tester processes attach per rank; the
+	// paper fully populates 16-core nodes with 16 processes.
+	ProcsPerRank int
+	// Producers and Consumers are role counts over the total process set
+	// (process i is a producer iff i < Producers, a consumer iff
+	// i < Consumers, matching the paper's "each acting as consumer or
+	// producer or both").
+	Producers int
+	Consumers int
+	// ValueSize is the size of each value in bytes (paper: 8..32768).
+	ValueSize int
+	// PutsPerProducer is the number of kvs_puts each producer issues.
+	PutsPerProducer int
+	// AccessCount is the number of distinct objects each consumer reads
+	// (paper: 1 to the total process count).
+	AccessCount int
+	// Stride spaces out each consumer's reads over the object set; 0
+	// means 1 (consecutive objects).
+	Stride int
+	// DirFanout splits objects into directories of at most this many
+	// entries; 0 stores every object in a single KVS directory
+	// (Fig. 4(a) vs. 4(b); the paper uses 128).
+	DirFanout int
+	// Redundant makes all producers write identical values instead of
+	// unique ones (Fig. 3).
+	Redundant bool
+	// DeepConsumers assigns consumer roles to the highest process
+	// indices instead of the lowest, placing them at the deepest tree
+	// ranks — used by the analytic-model experiment to measure the
+	// full-depth fault-in path.
+	DeepConsumers bool
+	// Arity is the comms tree fan-out (paper: binary).
+	Arity int
+	// NoCodec disables per-hop serialization cost (faster, but value
+	// size effects disappear); benchmarks leave it false.
+	NoCodec bool
+}
+
+// check validates and normalizes parameters.
+func (p *Params) check() error {
+	if p.Ranks < 1 {
+		return fmt.Errorf("kap: ranks %d < 1", p.Ranks)
+	}
+	if p.ProcsPerRank < 1 {
+		p.ProcsPerRank = 1
+	}
+	total := p.Ranks * p.ProcsPerRank
+	if p.Producers < 0 || p.Producers > total {
+		return fmt.Errorf("kap: producers %d outside [0, %d]", p.Producers, total)
+	}
+	if p.Consumers < 0 || p.Consumers > total {
+		return fmt.Errorf("kap: consumers %d outside [0, %d]", p.Consumers, total)
+	}
+	if p.Producers == 0 && p.Consumers == 0 {
+		return fmt.Errorf("kap: no producers or consumers")
+	}
+	if p.ValueSize < 1 {
+		p.ValueSize = 8
+	}
+	if p.PutsPerProducer < 1 {
+		p.PutsPerProducer = 1
+	}
+	if p.Stride < 1 {
+		p.Stride = 1
+	}
+	if p.Arity == 0 {
+		p.Arity = 2
+	}
+	totalObjects := p.Producers * p.PutsPerProducer
+	if p.Consumers > 0 && totalObjects == 0 {
+		return fmt.Errorf("kap: consumers configured with nothing to read")
+	}
+	if p.AccessCount < 1 {
+		p.AccessCount = 1
+	}
+	if p.AccessCount > totalObjects && totalObjects > 0 {
+		p.AccessCount = totalObjects
+	}
+	return nil
+}
+
+// Result reports the maximum per-phase latency across processes.
+type Result struct {
+	Params   Params
+	Setup    time.Duration
+	Producer time.Duration // max kvs_put phase latency (Fig. 2)
+	Sync     time.Duration // max kvs_fence latency (Fig. 3)
+	Consumer time.Duration // max kvs_get phase latency (Fig. 4)
+	Total    time.Duration
+}
+
+// keyFor names object idx under the configured directory layout.
+func keyFor(p *Params, idx int) string {
+	if p.DirFanout > 0 {
+		return fmt.Sprintf("kap.dir%d.key%d", idx/p.DirFanout, idx)
+	}
+	return fmt.Sprintf("kap.key%d", idx)
+}
+
+// valueFor builds object idx's value: unique per object (the object id
+// is embedded in the leading bytes), or identical across all objects in
+// redundant mode.
+func valueFor(p *Params, idx int) []byte {
+	v := make([]byte, p.ValueSize)
+	for i := range v {
+		v[i] = byte(i % 251)
+	}
+	if !p.Redundant {
+		copy(v, fmt.Sprintf("%d", idx))
+	}
+	return v
+}
+
+// Run executes one KAP configuration on a fresh in-process comms session
+// and reports per-phase maximum latencies.
+func Run(p Params) (Result, error) {
+	if err := p.check(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	sess, err := session.New(session.Options{
+		Size:    p.Ranks,
+		Arity:   p.Arity,
+		Codec:   !p.NoCodec,
+		Modules: []session.ModuleFactory{kvs.Factory(kvs.ModuleConfig{})},
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer sess.Close()
+
+	total := p.Ranks * p.ProcsPerRank
+	type proc struct {
+		idx      int
+		client   *kvs.Client
+		producer bool
+		consumer bool
+	}
+	procs := make([]*proc, total)
+	for i := range procs {
+		// Consecutive rank processes are distributed to consecutive
+		// nodes, as in the paper's setup phase.
+		h := sess.Handle(i % p.Ranks)
+		defer h.Close()
+		consumer := i < p.Consumers
+		if p.DeepConsumers {
+			consumer = i >= total-p.Consumers
+		}
+		procs[i] = &proc{
+			idx:      i,
+			client:   kvs.NewClient(h),
+			producer: i < p.Producers,
+			consumer: consumer,
+		}
+	}
+	res := Result{Params: p, Setup: time.Since(start)}
+
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	maxDur := func(dst *time.Duration, d time.Duration) {
+		mu.Lock()
+		if d > *dst {
+			*dst = d
+		}
+		mu.Unlock()
+	}
+
+	// Producer phase: each producer puts PutsPerProducer objects under
+	// unique keys (object ids partition by producer index).
+	var wg sync.WaitGroup
+	for _, pr := range procs {
+		if !pr.producer {
+			continue
+		}
+		wg.Add(1)
+		go func(pr *proc) {
+			defer wg.Done()
+			t0 := time.Now()
+			for k := 0; k < p.PutsPerProducer; k++ {
+				idx := pr.idx*p.PutsPerProducer + k
+				if err := pr.client.PutRaw(keyFor(&p, idx), jsonString(valueFor(&p, idx))); err != nil {
+					fail(err)
+					return
+				}
+			}
+			maxDur(&res.Producer, time.Since(t0))
+		}(pr)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return res, firstErr
+	}
+
+	// Synchronization phase: every process (producer or consumer or
+	// both) enters the consistency protocol — kvs_fence.
+	participants := 0
+	for _, pr := range procs {
+		if pr.producer || pr.consumer {
+			participants++
+		}
+	}
+	var versionMu sync.Mutex
+	var fenceVersion uint64
+	for _, pr := range procs {
+		if !pr.producer && !pr.consumer {
+			continue
+		}
+		wg.Add(1)
+		go func(pr *proc) {
+			defer wg.Done()
+			t0 := time.Now()
+			v, err := pr.client.Fence("kap.sync", participants)
+			if err != nil {
+				fail(err)
+				return
+			}
+			maxDur(&res.Sync, time.Since(t0))
+			versionMu.Lock()
+			if v > fenceVersion {
+				fenceVersion = v
+			}
+			versionMu.Unlock()
+		}(pr)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return res, firstErr
+	}
+
+	// Consumer phase: each consumer reads AccessCount distinct objects
+	// with the configured stride.
+	totalObjects := p.Producers * p.PutsPerProducer
+	for _, pr := range procs {
+		if !pr.consumer {
+			continue
+		}
+		wg.Add(1)
+		go func(pr *proc) {
+			defer wg.Done()
+			t0 := time.Now()
+			for k := 0; k < p.AccessCount; k++ {
+				idx := (pr.idx + k*p.Stride) % totalObjects
+				var v string
+				if err := pr.client.Get(keyFor(&p, idx), &v); err != nil {
+					fail(fmt.Errorf("consumer %d get %s: %w", pr.idx, keyFor(&p, idx), err))
+					return
+				}
+				if len(v) != p.ValueSize {
+					fail(fmt.Errorf("consumer %d: value size %d, want %d", pr.idx, len(v), p.ValueSize))
+					return
+				}
+			}
+			maxDur(&res.Consumer, time.Since(t0))
+		}(pr)
+	}
+	wg.Wait()
+	res.Total = time.Since(start)
+	return res, firstErr
+}
+
+// jsonString encodes raw bytes as a JSON string of the same length (a
+// printable byte per input byte), keeping the stored value size faithful
+// without JSON escaping overhead.
+func jsonString(b []byte) []byte {
+	out := make([]byte, 0, len(b)+2)
+	out = append(out, '"')
+	for _, c := range b {
+		out = append(out, 'a'+c%26)
+	}
+	return append(out, '"')
+}

@@ -1,0 +1,165 @@
+package kap
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParamsValidation(t *testing.T) {
+	bad := []Params{
+		{Ranks: 0, Producers: 1},
+		{Ranks: 2, Producers: 99},
+		{Ranks: 2, ProcsPerRank: 1, Consumers: 99},
+		{Ranks: 2}, // no roles
+		{Ranks: 2, ProcsPerRank: 1, Consumers: 1}, // consumers, no objects
+	}
+	for i, p := range bad {
+		if _, err := Run(p); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestRunProducersOnly(t *testing.T) {
+	res, err := Run(Params{
+		Ranks:           4,
+		ProcsPerRank:    2,
+		Producers:       8,
+		ValueSize:       8,
+		PutsPerProducer: 2,
+		NoCodec:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Producer <= 0 || res.Sync <= 0 {
+		t.Fatalf("phases: %+v", res)
+	}
+	if res.Consumer != 0 {
+		t.Fatalf("consumer phase ran with no consumers: %v", res.Consumer)
+	}
+}
+
+func TestRunFullyPopulated(t *testing.T) {
+	// The paper's most revealing case: producer and consumer counts both
+	// equal the total process count.
+	const ranks, ppr = 4, 4
+	total := ranks * ppr
+	res, err := Run(Params{
+		Ranks:        ranks,
+		ProcsPerRank: ppr,
+		Producers:    total,
+		Consumers:    total,
+		ValueSize:    32,
+		AccessCount:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, d := range map[string]time.Duration{
+		"setup": res.Setup, "producer": res.Producer,
+		"sync": res.Sync, "consumer": res.Consumer,
+	} {
+		if d <= 0 {
+			t.Errorf("%s phase latency = %v", name, d)
+		}
+	}
+	if res.Total < res.Producer+res.Sync {
+		t.Error("total less than sum of serial phases")
+	}
+}
+
+func TestRunRedundantValues(t *testing.T) {
+	res, err := Run(Params{
+		Ranks:        4,
+		ProcsPerRank: 2,
+		Producers:    8,
+		Consumers:    8,
+		ValueSize:    64,
+		Redundant:    true,
+		AccessCount:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sync <= 0 {
+		t.Fatal("no sync latency")
+	}
+}
+
+func TestRunMultiDirLayout(t *testing.T) {
+	res, err := Run(Params{
+		Ranks:           4,
+		ProcsPerRank:    4,
+		Producers:       16,
+		Consumers:       16,
+		PutsPerProducer: 4, // 64 objects -> several dirs of 16
+		DirFanout:       16,
+		AccessCount:     8,
+		NoCodec:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consumer <= 0 {
+		t.Fatal("no consumer latency")
+	}
+}
+
+func TestRunStride(t *testing.T) {
+	if _, err := Run(Params{
+		Ranks:        2,
+		ProcsPerRank: 2,
+		Producers:    4,
+		Consumers:    4,
+		Stride:       3,
+		AccessCount:  4,
+		NoCodec:      true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeepConsumers(t *testing.T) {
+	// One deep consumer must still read every object successfully.
+	res, err := Run(Params{
+		Ranks:         8,
+		ProcsPerRank:  2,
+		Producers:     8,
+		Consumers:     1,
+		DeepConsumers: true,
+		AccessCount:   8,
+		NoCodec:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consumer <= 0 {
+		t.Fatal("no consumer latency recorded")
+	}
+}
+
+func TestKeyLayout(t *testing.T) {
+	p := &Params{}
+	if keyFor(p, 5) != "kap.key5" {
+		t.Fatalf("flat key = %s", keyFor(p, 5))
+	}
+	p.DirFanout = 128
+	if keyFor(p, 5) != "kap.dir0.key5" || keyFor(p, 200) != "kap.dir1.key200" {
+		t.Fatalf("dir keys: %s %s", keyFor(p, 5), keyFor(p, 200))
+	}
+}
+
+func TestValueUniquenessAndRedundancy(t *testing.T) {
+	u := &Params{ValueSize: 16}
+	r := &Params{ValueSize: 16, Redundant: true}
+	if string(valueFor(u, 1)) == string(valueFor(u, 2)) {
+		t.Fatal("unique values collide")
+	}
+	if string(valueFor(r, 1)) != string(valueFor(r, 2)) {
+		t.Fatal("redundant values differ")
+	}
+	if len(valueFor(u, 1)) != 16 {
+		t.Fatal("value size wrong")
+	}
+}

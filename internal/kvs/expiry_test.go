@@ -1,0 +1,136 @@
+package kvs
+
+import (
+	"testing"
+	"time"
+
+	"fluxgo/internal/modules/hb"
+	"fluxgo/internal/session"
+)
+
+// kvsStats fetches one rank's kvs module statistics.
+func kvsStats(t *testing.T, s *session.Session, rank int) (objects int, loads uint64) {
+	t.Helper()
+	h := s.Handle(rank)
+	defer h.Close()
+	resp, err := h.RPC("kvs.stats", uint32(rank), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Objects int    `json:"objects"`
+		Loads   uint64 `json:"loads"`
+	}
+	if err := resp.UnpackJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body.Objects, body.Loads
+}
+
+// TestSlaveCacheExpiryOnHeartbeat: unused slave cache entries are
+// expired after a period of disuse, synchronized to the heartbeat, and
+// expired objects fault back in from the tree parent on the next read.
+func TestSlaveCacheExpiryOnHeartbeat(t *testing.T) {
+	s, err := session.New(session.Options{
+		Size: 3,
+		Modules: []session.ModuleFactory{
+			Factory(ModuleConfig{CacheMaxAge: time.Millisecond}),
+			hb.Factory(hb.Config{Interval: time.Hour}), // Pulse-driven
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	w := client(t, s, 0)
+	w.Put("exp.k", "cached")
+	if _, err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Read at a leaf slave: faults the root dir + value into its cache.
+	r := client(t, s, 2)
+	var v string
+	if err := r.Get("exp.k", &v); err != nil {
+		t.Fatal(err)
+	}
+	objsBefore, loadsBefore := kvsStats(t, s, 2)
+	if objsBefore == 0 {
+		t.Fatal("slave cache empty after read")
+	}
+
+	// Let real time pass beyond CacheMaxAge, then pulse the heartbeat;
+	// the slave expires its unused entries.
+	time.Sleep(5 * time.Millisecond)
+	hp := s.Handle(0)
+	defer hp.Close()
+	if _, err := hb.Pulse(hp); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		objs, _ := kvsStats(t, s, 2)
+		if objs == 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("cache never expired: %d objects", objs)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Master keeps everything pinned.
+	if objs, _ := kvsStats(t, s, 0); objs == 0 {
+		t.Fatal("master store expired pinned objects")
+	}
+
+	// The next read faults the objects back in.
+	if err := r.Get("exp.k", &v); err != nil || v != "cached" {
+		t.Fatalf("re-read after expiry: %q %v", v, err)
+	}
+	_, loadsAfter := kvsStats(t, s, 2)
+	if loadsAfter <= loadsBefore {
+		t.Fatal("re-read did not fault objects back in")
+	}
+}
+
+// TestWholeObjectCaching verifies the structural cause of Fig. 4(a):
+// reading one small value from a big directory faults in the whole
+// directory object (2 loads: directory + value), and a second value from
+// the same directory costs only 1 more load (the directory is cached).
+func TestWholeObjectCaching(t *testing.T) {
+	s, err := session.New(session.Options{
+		Size:    3,
+		Modules: []session.ModuleFactory{Factory(ModuleConfig{})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	w := client(t, s, 0)
+	for i := 0; i < 50; i++ {
+		w.Put("big.k"+itoa(i), i)
+	}
+	if _, err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r := client(t, s, 2)
+	_, l0 := kvsStats(t, s, 2)
+	var v int
+	if err := r.Get("big.k7", &v); err != nil {
+		t.Fatal(err)
+	}
+	_, l1 := kvsStats(t, s, 2)
+	if l1-l0 != 3 { // root dir + "big" dir + value
+		t.Fatalf("first read faulted %d objects, want 3", l1-l0)
+	}
+	if err := r.Get("big.k9", &v); err != nil {
+		t.Fatal(err)
+	}
+	_, l2 := kvsStats(t, s, 2)
+	if l2-l1 != 1 { // directories cached; only the value faults
+		t.Fatalf("second read faulted %d objects, want 1", l2-l1)
+	}
+}

@@ -1,0 +1,84 @@
+package kvs
+
+import (
+	"fmt"
+	"testing"
+
+	"fluxgo/internal/cas"
+)
+
+// BenchmarkPut measures write-back puts at a leaf slave.
+func BenchmarkPut(b *testing.B) {
+	for _, size := range []int{8, 2048} {
+		b.Run(fmt.Sprintf("vsize=%d", size), func(b *testing.B) {
+			s := newKVSSession(b, 7, 2)
+			c := client(b, s, 6)
+			val := make([]byte, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Put(fmt.Sprintf("bench.k%d", i), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCommit measures single-key commit round trips (put + fence +
+// sync) from a leaf through the tree to the master and back.
+func BenchmarkCommit(b *testing.B) {
+	s := newKVSSession(b, 7, 2)
+	c := client(b, s, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(fmt.Sprintf("bc.k%d", i), i)
+		if _, err := c.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetCached measures reads served entirely from the local slave
+// cache (the common case after the first fault-in).
+func BenchmarkGetCached(b *testing.B) {
+	s := newKVSSession(b, 7, 2)
+	w := client(b, s, 0)
+	w.Put("bg.k", "value")
+	if _, err := w.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	c := client(b, s, 6)
+	var v string
+	if err := c.Get("bg.k", &v); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Get("bg.k", &v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApplyOps measures the master's commit application step.
+func BenchmarkApplyOps(b *testing.B) {
+	for _, nops := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("ops=%d", nops), func(b *testing.B) {
+			store := cas.NewStore(nil)
+			ops := make([]Op, nops)
+			for i := range ops {
+				ref := store.Put(cas.NewValue([]byte(fmt.Sprintf("%d", i))))
+				ops[i] = Op{
+					Key: fmt.Sprintf("bench.d%d.k%d", i%16, i),
+					Ref: ref.String(),
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ApplyOps(store, cas.Ref{}, ops, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

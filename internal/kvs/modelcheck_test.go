@@ -1,0 +1,132 @@
+package kvs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Model-based test: a random sequence of Put/Delete/Commit operations is
+// applied both to the distributed KVS and to a plain in-memory reference
+// map. After every commit, reads through the committing client (which
+// has read-your-writes consistency) must match the reference exactly —
+// including absence of deleted keys and last-write-wins semantics.
+func TestKVSMatchesReferenceModel(t *testing.T) {
+	seeds := []int64{1, 7, 42, 1234}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s := newKVSSession(t, 7, 2)
+			c := client(t, s, 4)
+			rng := rand.New(rand.NewSource(seed))
+			ref := map[string]int{}
+
+			keys := make([]string, 24)
+			for i := range keys {
+				// Mixed depths, shared prefixes, colliding directories.
+				switch i % 3 {
+				case 0:
+					keys[i] = fmt.Sprintf("m.a.k%d", i)
+				case 1:
+					keys[i] = fmt.Sprintf("m.b.c.k%d", i)
+				default:
+					keys[i] = fmt.Sprintf("top%d", i)
+				}
+			}
+
+			for step := 0; step < 120; step++ {
+				key := keys[rng.Intn(len(keys))]
+				switch rng.Intn(10) {
+				case 0, 1: // delete
+					if err := c.Delete(key); err != nil {
+						t.Fatal(err)
+					}
+					delete(ref, key)
+				default: // put
+					v := rng.Intn(1000)
+					if err := c.Put(key, v); err != nil {
+						t.Fatal(err)
+					}
+					ref[key] = v
+				}
+				// Commit at random points and at the end.
+				if rng.Intn(4) == 0 || step == 119 {
+					if _, err := c.Commit(); err != nil {
+						t.Fatal(err)
+					}
+					for _, k := range keys {
+						want, exists := ref[k]
+						var got int
+						err := c.Get(k, &got)
+						switch {
+						case exists && err != nil:
+							t.Fatalf("step %d: %s missing: %v (want %d)", step, k, err, want)
+						case exists && got != want:
+							t.Fatalf("step %d: %s = %d, want %d", step, k, got, want)
+						case !exists && err == nil:
+							t.Fatalf("step %d: deleted key %s still resolves to %d", step, k, got)
+						case !exists && !ErrNotFound(err):
+							t.Fatalf("step %d: %s unexpected error %v", step, k, err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// Model-based test with several writers on disjoint key spaces: after a
+// collective fence, every writer's view must contain the union of all
+// reference maps.
+func TestKVSFenceMatchesReferenceModel(t *testing.T) {
+	const writers = 6
+	s := newKVSSession(t, 3, 2)
+	clients := make([]*Client, writers)
+	refs := make([]map[string]int, writers)
+	for w := range clients {
+		clients[w] = client(t, s, w%3)
+		refs[w] = map[string]int{}
+	}
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 5; round++ {
+		for w, c := range clients {
+			for i := 0; i < 5; i++ {
+				key := fmt.Sprintf("fw%d.k%d", w, rng.Intn(8))
+				v := rng.Intn(100)
+				if err := c.Put(key, v); err != nil {
+					t.Fatal(err)
+				}
+				refs[w][key] = v
+			}
+		}
+		done := make(chan error, writers)
+		for _, c := range clients {
+			go func(c *Client) {
+				_, err := c.Fence(fmt.Sprintf("mfence-%d", round), writers)
+				done <- err
+			}(c)
+		}
+		for range clients {
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Every writer sees the union.
+		for w, c := range clients {
+			for ow := range refs {
+				for k, want := range refs[ow] {
+					var got int
+					if err := c.Get(k, &got); err != nil {
+						t.Fatalf("round %d: writer %d missing %s: %v", round, w, k, err)
+					}
+					if got != want {
+						t.Fatalf("round %d: writer %d sees %s = %d, want %d", round, w, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}

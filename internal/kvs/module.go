@@ -1,0 +1,638 @@
+package kvs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"fluxgo/internal/broker"
+	"fluxgo/internal/cas"
+	"fluxgo/internal/wire"
+)
+
+const (
+	errNotDir int32 = 20 // key path traverses a value object
+)
+
+// Wire bodies.
+
+type putBody struct {
+	Key  string `json:"key"`
+	Ref  string `json:"ref"`
+	Data []byte `json:"data"`
+}
+
+type fenceBody struct {
+	Name    string            `json:"name"`
+	NProcs  int               `json:"nprocs"`
+	Count   int               `json:"count"`             // participants in this batch
+	Ops     []Op              `json:"ops"`               // concatenated tuples
+	Objects map[string][]byte `json:"objects,omitempty"` // ref-hex -> encoded object
+}
+
+type rootBody struct {
+	Root    string `json:"root"` // hex root ref; "" while the store is empty
+	Version uint64 `json:"version"`
+}
+
+type getBody struct {
+	Key string `json:"key"`
+	// Root, when set (hex), reads from that snapshot root instead of the
+	// current one: because every update produces a new root reference and
+	// old and new objects coexist in the stores, any previously observed
+	// root remains readable (subject to slave-cache expiry; the master
+	// pins everything).
+	Root string `json:"root,omitempty"`
+}
+
+type getResp struct {
+	Ref string          `json:"ref"`
+	Val json.RawMessage `json:"val,omitempty"`
+	Dir []string        `json:"dir,omitempty"`
+}
+
+type loadBody struct {
+	Ref string `json:"ref"`
+}
+
+type loadResp struct {
+	Data []byte `json:"data"`
+}
+
+type syncBody struct {
+	Version uint64 `json:"version"`
+}
+
+// fenceState accumulates fence contributions at one module instance.
+type fenceState struct {
+	nprocs  int
+	count   int               // total participants seen (for the master)
+	ops     []Op              // unsent ops (slaves) / all ops (master)
+	objects map[string][]byte // unsent objects, deduped by ref
+	sent    map[string]bool   // refs already forwarded upstream (slaves):
+	// an object's data crosses each tree edge at most once per fence;
+	// later batches carry the (key, ref) tuple only. This is what makes
+	// redundant values reduce up the tree (Fig. 3) while tuples always
+	// concatenate.
+	unsent  int             // participants not yet batched upstream
+	pending []*wire.Message // requests awaiting fence completion
+}
+
+// ModuleConfig parameterizes the kvs comms module.
+type ModuleConfig struct {
+	// CacheMaxAge expires unused slave-cache objects after this period of
+	// disuse, checked on each heartbeat. Zero disables expiry.
+	CacheMaxAge time.Duration
+	// Service is the comms-module service name; empty means "kvs".
+	// Sharded deployments load several instances ("kvs0", "kvs1", ...).
+	Service string
+	// MasterRank places the master instance (default rank 0). With the
+	// master off the tree root, aggregated traffic still reduces toward
+	// rank 0 and takes one rank-addressed hop to the master from there —
+	// the paper's future-work direction of "distributing the KVS master
+	// itself" via per-namespace masters.
+	MasterRank int
+}
+
+// Module is the kvs comms module. The instance at cfg.MasterRank is the
+// master: it applies commits and publishes new root references. All
+// other instances are caching slaves.
+type Module struct {
+	cfg   ModuleConfig
+	h     *broker.Handle
+	store *cas.Store
+
+	root      cas.Ref
+	version   uint64
+	askedRoot bool
+
+	fences map[string]*fenceState
+	syncs  []*wire.Message // kvs.sync requests waiting for a version
+
+	// statsGets counts get requests served; loads counts fault-ins.
+	statsGets  uint64
+	statsLoads uint64
+}
+
+// NewModule returns a kvs module instance with the given configuration.
+func NewModule(cfg ModuleConfig) *Module {
+	if cfg.Service == "" {
+		cfg.Service = "kvs"
+	}
+	return &Module{cfg: cfg, fences: map[string]*fenceState{}}
+}
+
+// Factory returns a session.ModuleFactory-compatible constructor loading
+// the kvs module at every rank.
+func Factory(cfg ModuleConfig) func(rank, size int) broker.Module {
+	return func(rank, size int) broker.Module { return NewModule(cfg) }
+}
+
+// Name implements broker.Module.
+func (m *Module) Name() string { return m.cfg.Service }
+
+// setrootTopic is the service's root-update event topic.
+func (m *Module) setrootTopic() string { return m.cfg.Service + ".setroot" }
+
+// Subscriptions implements broker.Module: root updates plus the session
+// heartbeat used to synchronize cache expiry.
+func (m *Module) Subscriptions() []string { return []string{m.setrootTopic(), "hb"} }
+
+// Init implements broker.Module.
+func (m *Module) Init(h *broker.Handle) error {
+	m.h = h
+	m.store = cas.NewStore(h.Clock())
+	return nil
+}
+
+// Shutdown implements broker.Module.
+func (m *Module) Shutdown() {}
+
+func (m *Module) isMaster() bool { return m.h.Rank() == m.cfg.MasterRank }
+
+// upstreamTarget picks the routing for slave -> master traffic: up the
+// tree normally; at the tree root (when the master lives elsewhere) one
+// rank-addressed hop to the master.
+func (m *Module) upstreamTarget() uint32 {
+	if m.h.Rank() == 0 && m.cfg.MasterRank != 0 {
+		return uint32(m.cfg.MasterRank)
+	}
+	return wire.NodeidUpstream
+}
+
+// Recv implements broker.Module. All module state is owned by the Recv
+// goroutine except fence completion, which arrives on batch-RPC
+// goroutines and re-enters through the broker as kvs.fencedone requests.
+func (m *Module) Recv(msg *wire.Message) {
+	if msg.Type == wire.Event {
+		switch msg.Topic {
+		case "hb":
+			if m.cfg.CacheMaxAge > 0 && !m.isMaster() {
+				m.store.Expire(m.cfg.CacheMaxAge)
+			}
+		case m.setrootTopic():
+			m.recvSetroot(msg)
+		}
+		return
+	}
+	switch msg.Method() {
+	case "put":
+		m.recvPut(msg)
+	case "fence", "commit":
+		m.recvFence(msg)
+	case "fencedone":
+		m.recvFenceDone(msg)
+	case "get":
+		m.recvGet(msg)
+	case "load":
+		m.recvLoad(msg)
+	case "sync":
+		m.recvSync(msg)
+	case "getversion":
+		m.h.Respond(msg, rootBody{Root: refString(m.root), Version: m.version})
+	case "getroot":
+		m.recvGetroot(msg)
+	case "stats":
+		m.recvStats(msg)
+	default:
+		m.h.RespondError(msg, broker.ErrnoNoSys, fmt.Sprintf("%s: unknown method %q", m.cfg.Service, msg.Method()))
+	}
+}
+
+func refString(r cas.Ref) string {
+	if r.IsZero() {
+		return ""
+	}
+	return r.String()
+}
+
+// recvPut caches a dirty value object locally, in write-back mode: the
+// data is not flushed upstream until the owning client commits or fences.
+func (m *Module) recvPut(msg *wire.Message) {
+	var body putBody
+	if err := msg.UnpackJSON(&body); err != nil {
+		m.h.RespondError(msg, broker.ErrnoInval, err.Error())
+		return
+	}
+	ref := cas.HashOf(body.Data)
+	if ref.String() != body.Ref {
+		m.h.RespondError(msg, broker.ErrnoProto, "kvs: put ref does not match data hash")
+		return
+	}
+	m.store.PutRaw(body.Data)
+	if m.isMaster() {
+		m.store.Pin(ref)
+	}
+	m.h.Respond(msg, struct{}{})
+}
+
+// recvFence accumulates one fence contribution (a client entry or an
+// aggregated child batch). Objects are deduped by content hash, so
+// redundant values reduce up the tree while (key, ref) tuples
+// concatenate — the asymmetry behind Fig. 3.
+func (m *Module) recvFence(msg *wire.Message) {
+	var body fenceBody
+	if err := msg.UnpackJSON(&body); err != nil {
+		m.h.RespondError(msg, broker.ErrnoInval, err.Error())
+		return
+	}
+	if body.Count == 0 {
+		body.Count = 1 // a bare client entry counts itself
+	}
+	if msg.Method() == "commit" {
+		body.NProcs = 1
+	}
+	st := m.fences[body.Name]
+	if st == nil {
+		st = &fenceState{
+			nprocs:  body.NProcs,
+			objects: map[string][]byte{},
+			sent:    map[string]bool{},
+		}
+		m.fences[body.Name] = st
+	}
+	if st.nprocs != body.NProcs {
+		m.h.RespondError(msg, broker.ErrnoInval,
+			fmt.Sprintf("kvs: fence %q nprocs mismatch (%d vs %d)", body.Name, body.NProcs, st.nprocs))
+		return
+	}
+	st.count += body.Count
+	st.unsent += body.Count
+	st.ops = append(st.ops, body.Ops...)
+	for refHex, data := range body.Objects {
+		if _, dup := st.objects[refHex]; !dup && !st.sent[refHex] {
+			st.objects[refHex] = data
+		}
+	}
+	// A client entry references locally cached dirty objects; attach them
+	// so they flow upstream with the batch ("commit flushes tuples and
+	// any still-dirty objects to the master").
+	for _, op := range body.Ops {
+		if op.Delete || op.Ref == "" {
+			continue
+		}
+		if _, have := st.objects[op.Ref]; have {
+			continue
+		}
+		if st.sent[op.Ref] {
+			continue // data already crossed our upstream edge
+		}
+		ref, err := cas.ParseRef(op.Ref)
+		if err != nil {
+			continue
+		}
+		if data, ok := m.store.GetRaw(ref); ok {
+			st.objects[op.Ref] = data
+		}
+	}
+	st.pending = append(st.pending, msg)
+
+	if m.isMaster() {
+		m.maybeCompleteFence(body.Name, st)
+	}
+}
+
+// maybeCompleteFence (master only) applies the fence once every
+// participant has contributed, publishes the new root session-wide, and
+// answers all held batch requests with the new root version.
+func (m *Module) maybeCompleteFence(name string, st *fenceState) {
+	if st.count < st.nprocs {
+		return
+	}
+	// Make sure every flushed object is present and pinned (client
+	// entries at rank 0 reference the local store directly).
+	for _, data := range st.objects {
+		m.store.Pin(m.store.PutRaw(data))
+	}
+	newRoot, err := ApplyOps(m.store, m.root, st.ops, true)
+	if err != nil {
+		for _, req := range st.pending {
+			m.h.RespondError(req, broker.ErrnoInval, err.Error())
+		}
+		delete(m.fences, name)
+		return
+	}
+	m.root = newRoot
+	m.version++
+	resp := rootBody{Root: refString(m.root), Version: m.version}
+	if _, err := m.h.PublishEvent(m.setrootTopic(), resp); err != nil && !broker.ErrShutdown(err) {
+		// The root update is already applied locally; slaves will learn
+		// of it from the next successful publication.
+		_ = err
+	}
+	for _, req := range st.pending {
+		m.h.Respond(req, resp)
+	}
+	delete(m.fences, name)
+	m.serveSyncs()
+}
+
+// Idle implements broker.IdleBatcher: slaves forward their accumulated
+// fence aggregates upstream once the inbox drains, realizing the tree
+// reduction.
+func (m *Module) Idle() {
+	if m.isMaster() {
+		return
+	}
+	for name, st := range m.fences {
+		if st.unsent == 0 {
+			continue
+		}
+		batch := fenceBody{
+			Name:    name,
+			NProcs:  st.nprocs,
+			Count:   st.unsent,
+			Ops:     st.ops,
+			Objects: st.objects,
+		}
+		for ref := range st.objects {
+			st.sent[ref] = true
+		}
+		st.unsent = 0
+		st.ops = nil
+		st.objects = map[string][]byte{}
+		go m.sendFenceBatch(batch)
+	}
+}
+
+// sendFenceBatch forwards one aggregate upstream and re-injects the
+// completion through the broker so fence state stays single-threaded.
+func (m *Module) sendFenceBatch(batch fenceBody) {
+	resp, err := m.h.RPC(m.cfg.Service+".fence", m.upstreamTarget(), batch)
+	done := rootBody{}
+	status := ""
+	if err != nil {
+		status = err.Error()
+	} else if uerr := resp.UnpackJSON(&done); uerr != nil {
+		status = uerr.Error()
+	}
+	m.h.Send(m.cfg.Service+".fencedone", uint32(m.h.Rank()), struct {
+		Name    string `json:"name"`
+		Error   string `json:"error,omitempty"`
+		Root    string `json:"root"`
+		Version uint64 `json:"version"`
+	}{batch.Name, status, done.Root, done.Version})
+}
+
+// recvFenceDone completes a fence at a slave: every request held for the
+// fence is answered with the (shared) completion result.
+func (m *Module) recvFenceDone(msg *wire.Message) {
+	var body struct {
+		Name    string `json:"name"`
+		Error   string `json:"error"`
+		Root    string `json:"root"`
+		Version uint64 `json:"version"`
+	}
+	if err := msg.UnpackJSON(&body); err != nil {
+		return
+	}
+	st := m.fences[body.Name]
+	if st == nil {
+		return // another batch already completed this fence
+	}
+	delete(m.fences, body.Name)
+	if body.Error != "" {
+		for _, req := range st.pending {
+			m.h.RespondError(req, broker.ErrnoProto, body.Error)
+		}
+		return
+	}
+	resp := rootBody{Root: body.Root, Version: body.Version}
+	for _, req := range st.pending {
+		m.h.Respond(req, resp)
+	}
+}
+
+// recvSetroot switches to a new root reference, in version order, and
+// wakes any sync waiters. Because events are applied in sequence order,
+// versions never go backwards — monotonic read consistency.
+func (m *Module) recvSetroot(msg *wire.Message) {
+	var body rootBody
+	if err := msg.UnpackJSON(&body); err != nil {
+		return
+	}
+	m.adoptRoot(body)
+}
+
+func (m *Module) adoptRoot(body rootBody) {
+	if body.Version <= m.version {
+		return // stale or duplicate
+	}
+	if body.Root == "" {
+		m.root = cas.Ref{}
+	} else if ref, err := cas.ParseRef(body.Root); err == nil {
+		m.root = ref
+	} else {
+		return
+	}
+	m.version = body.Version
+	m.serveSyncs()
+}
+
+// serveSyncs answers kvs.sync requests whose target version is reached.
+func (m *Module) serveSyncs() {
+	if len(m.syncs) == 0 {
+		return
+	}
+	keep := m.syncs[:0]
+	for _, req := range m.syncs {
+		var body syncBody
+		if err := req.UnpackJSON(&body); err != nil {
+			m.h.RespondError(req, broker.ErrnoInval, err.Error())
+			continue
+		}
+		if m.version >= body.Version {
+			m.h.Respond(req, rootBody{Root: refString(m.root), Version: m.version})
+			continue
+		}
+		keep = append(keep, req)
+	}
+	m.syncs = keep
+}
+
+// recvSync implements kvs_wait_version: respond once the local root
+// version reaches the requested version.
+func (m *Module) recvSync(msg *wire.Message) {
+	var body syncBody
+	if err := msg.UnpackJSON(&body); err != nil {
+		m.h.RespondError(msg, broker.ErrnoInval, err.Error())
+		return
+	}
+	if m.version >= body.Version {
+		m.h.Respond(msg, rootBody{Root: refString(m.root), Version: m.version})
+		return
+	}
+	m.syncs = append(m.syncs, msg)
+}
+
+// recvGetroot serves a child module that has no root yet.
+func (m *Module) recvGetroot(msg *wire.Message) {
+	if !m.isMaster() && m.version == 0 {
+		// We do not know a root either; ask upstream first.
+		m.fetchRoot()
+	}
+	m.h.Respond(msg, rootBody{Root: refString(m.root), Version: m.version})
+}
+
+// fetchRoot lazily learns the current root from upstream, once, covering
+// slaves that attach after commits have already happened.
+func (m *Module) fetchRoot() {
+	if m.askedRoot || m.isMaster() {
+		return
+	}
+	m.askedRoot = true
+	resp, err := m.h.RPC(m.cfg.Service+".getroot", m.upstreamTarget(), struct{}{})
+	if err != nil {
+		m.askedRoot = false
+		return
+	}
+	var body rootBody
+	if err := resp.UnpackJSON(&body); err == nil {
+		m.adoptRoot(body)
+	}
+}
+
+// loadObject returns the encoded object for ref, faulting it in from the
+// CMB-tree parent (recursively up the tree) on a local cache miss, then
+// caching it — the paper's slave fault-in path.
+func (m *Module) loadObject(ref cas.Ref) ([]byte, error) {
+	if data, ok := m.store.GetRaw(ref); ok {
+		return data, nil
+	}
+	if m.isMaster() {
+		return nil, fmt.Errorf("kvs: object %s not found", ref.Short())
+	}
+	m.statsLoads++
+	resp, err := m.h.RPC(m.cfg.Service+".load", m.upstreamTarget(), loadBody{Ref: ref.String()})
+	if err != nil {
+		return nil, err
+	}
+	var body loadResp
+	if err := resp.UnpackJSON(&body); err != nil {
+		return nil, err
+	}
+	if cas.HashOf(body.Data) != ref {
+		return nil, fmt.Errorf("kvs: loaded object fails hash check for %s", ref.Short())
+	}
+	m.store.PutRaw(body.Data)
+	return body.Data, nil
+}
+
+// recvLoad serves a child's fault-in request from the local cache,
+// faulting the object in from our own parent if necessary.
+func (m *Module) recvLoad(msg *wire.Message) {
+	var body loadBody
+	if err := msg.UnpackJSON(&body); err != nil {
+		m.h.RespondError(msg, broker.ErrnoInval, err.Error())
+		return
+	}
+	ref, err := cas.ParseRef(body.Ref)
+	if err != nil {
+		m.h.RespondError(msg, broker.ErrnoInval, err.Error())
+		return
+	}
+	data, err := m.loadObject(ref)
+	if err != nil {
+		m.h.RespondError(msg, broker.ErrnoNoEnt, err.Error())
+		return
+	}
+	m.h.Respond(msg, loadResp{Data: data})
+}
+
+// recvGet walks the hash tree from the current root, faulting objects in
+// as needed, and returns the terminal object: a value's JSON, or a
+// directory's sorted entry list.
+func (m *Module) recvGet(msg *wire.Message) {
+	var body getBody
+	if err := msg.UnpackJSON(&body); err != nil {
+		m.h.RespondError(msg, broker.ErrnoInval, err.Error())
+		return
+	}
+	if err := ValidateKey(body.Key); err != nil {
+		m.h.RespondError(msg, broker.ErrnoInval, err.Error())
+		return
+	}
+	m.statsGets++
+	root := m.root
+	if body.Root != "" {
+		snap, err := cas.ParseRef(body.Root)
+		if err != nil {
+			m.h.RespondError(msg, broker.ErrnoInval, err.Error())
+			return
+		}
+		root = snap
+	} else {
+		if root.IsZero() && m.version == 0 {
+			m.fetchRoot()
+			root = m.root
+		}
+	}
+	if root.IsZero() {
+		m.h.RespondError(msg, broker.ErrnoNoEnt, fmt.Sprintf("kvs: %q: no such key", body.Key))
+		return
+	}
+	ref := root
+	parts := splitKey(body.Key)
+	for i, part := range parts {
+		data, err := m.loadObject(ref)
+		if err != nil {
+			m.h.RespondError(msg, broker.ErrnoNoEnt, err.Error())
+			return
+		}
+		obj, derr := cas.Decode(data)
+		if derr != nil {
+			m.h.RespondError(msg, broker.ErrnoProto, derr.Error())
+			return
+		}
+		if obj.Kind != cas.KindDir {
+			at := "root"
+			if i > 0 {
+				at = parts[i-1]
+			}
+			m.h.RespondError(msg, errNotDir,
+				fmt.Sprintf("kvs: %q: %q is not a directory", body.Key, at))
+			return
+		}
+		next, ok := obj.Dir[part]
+		if !ok {
+			m.h.RespondError(msg, broker.ErrnoNoEnt, fmt.Sprintf("kvs: %q: no such key", body.Key))
+			return
+		}
+		ref = next
+	}
+	data, err := m.loadObject(ref)
+	if err != nil {
+		m.h.RespondError(msg, broker.ErrnoNoEnt, err.Error())
+		return
+	}
+	obj, derr := cas.Decode(data)
+	if derr != nil {
+		m.h.RespondError(msg, broker.ErrnoProto, derr.Error())
+		return
+	}
+	resp := getResp{Ref: ref.String()}
+	if obj.Kind == cas.KindDir {
+		resp.Dir = []string{}
+		for name := range obj.Dir {
+			resp.Dir = append(resp.Dir, name)
+		}
+		sort.Strings(resp.Dir)
+	} else {
+		resp.Val = json.RawMessage(obj.Value)
+	}
+	m.h.Respond(msg, resp)
+}
+
+func (m *Module) recvStats(msg *wire.Message) {
+	hits, misses := m.store.Stats()
+	m.h.Respond(msg, map[string]any{
+		"rank":    m.h.Rank(),
+		"objects": m.store.Len(),
+		"hits":    hits,
+		"misses":  misses,
+		"gets":    m.statsGets,
+		"loads":   m.statsLoads,
+		"version": m.version,
+	})
+}

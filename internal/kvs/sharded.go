@@ -1,0 +1,156 @@
+package kvs
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"fluxgo/internal/broker"
+)
+
+// Sharded KVS: the paper's future-work direction of "distributing the
+// KVS master itself", realized as namespace sharding. N independent kvs
+// module instances ("kvs0".."kvsN-1") run side by side, each with its
+// own master placed at a different rank, so commit application — the
+// master's CPU and memory load — spreads across the session. Keys are
+// partitioned by the hash of their first path component, keeping each
+// directory subtree wholly within one shard; consistency guarantees are
+// per shard.
+
+// ShardService names shard i's comms-module service.
+func ShardService(i int) string { return fmt.Sprintf("kvs%d", i) }
+
+// ShardMasterRank spreads shard masters evenly over the session.
+func ShardMasterRank(shard, nshards, size int) int {
+	return (shard * size) / nshards
+}
+
+// ShardedFactories returns the module factories for an n-shard KVS,
+// suitable for session.Options.Modules.
+func ShardedFactories(nshards int, cfg ModuleConfig) []func(rank, size int) broker.Module {
+	out := make([]func(rank, size int) broker.Module, nshards)
+	for i := 0; i < nshards; i++ {
+		i := i
+		out[i] = func(rank, size int) broker.Module {
+			c := cfg
+			c.Service = ShardService(i)
+			c.MasterRank = ShardMasterRank(i, nshards, size)
+			return NewModule(c)
+		}
+	}
+	return out
+}
+
+// ShardOf maps a key to its shard by the FNV-1a hash of the first path
+// component.
+func ShardOf(key string, nshards int) int {
+	first := key
+	if i := strings.IndexByte(key, '.'); i >= 0 {
+		first = key[:i]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(first))
+	return int(h.Sum32() % uint32(nshards))
+}
+
+// ShardedClient routes KVS operations across the shard set.
+type ShardedClient struct {
+	clients []*Client
+}
+
+// NewShardedClient builds a client over an n-shard KVS deployment.
+func NewShardedClient(h *broker.Handle, nshards int) (*ShardedClient, error) {
+	if nshards < 1 {
+		return nil, fmt.Errorf("kvs: %d shards", nshards)
+	}
+	s := &ShardedClient{clients: make([]*Client, nshards)}
+	for i := range s.clients {
+		s.clients[i] = NewClientFor(h, ShardService(i))
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *ShardedClient) Shards() int { return len(s.clients) }
+
+// shard returns the client owning key.
+func (s *ShardedClient) shard(key string) *Client {
+	return s.clients[ShardOf(key, len(s.clients))]
+}
+
+// Put records key = v in the owning shard.
+func (s *ShardedClient) Put(key string, v any) error {
+	return s.shard(key).Put(key, v)
+}
+
+// PutRaw is Put with pre-marshaled JSON.
+func (s *ShardedClient) PutRaw(key string, raw json.RawMessage) error {
+	return s.shard(key).PutRaw(key, raw)
+}
+
+// Delete records an unlink in the owning shard.
+func (s *ShardedClient) Delete(key string) error {
+	return s.shard(key).Delete(key)
+}
+
+// Get reads key from its owning shard.
+func (s *ShardedClient) Get(key string, out any) error {
+	return s.shard(key).Get(key, out)
+}
+
+// GetDir lists the directory at key from its owning shard.
+func (s *ShardedClient) GetDir(key string) ([]string, error) {
+	return s.shard(key).GetDir(key)
+}
+
+// Commit flushes every shard with pending ops; per-shard masters apply
+// concurrently. It returns the per-shard versions reached (0 for shards
+// left untouched by this client).
+func (s *ShardedClient) Commit() ([]uint64, error) {
+	versions := make([]uint64, len(s.clients))
+	errs := make(chan error, len(s.clients))
+	for i, c := range s.clients {
+		go func(i int, c *Client) {
+			c.mu.Lock()
+			dirty := len(c.pending) > 0
+			c.mu.Unlock()
+			if !dirty {
+				errs <- nil
+				return
+			}
+			v, err := c.Commit()
+			versions[i] = v
+			errs <- err
+		}(i, c)
+	}
+	var first error
+	for range s.clients {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return versions, first
+}
+
+// Fence commits collectively across every shard: all nprocs participants
+// must call Fence with the same name; each shard completes independently
+// under its own master. Returns per-shard versions.
+func (s *ShardedClient) Fence(name string, nprocs int) ([]uint64, error) {
+	versions := make([]uint64, len(s.clients))
+	errs := make(chan error, len(s.clients))
+	for i, c := range s.clients {
+		go func(i int, c *Client) {
+			v, err := c.Fence(fmt.Sprintf("%s.s%d", name, i), nprocs)
+			versions[i] = v
+			errs <- err
+		}(i, c)
+	}
+	var first error
+	for range s.clients {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return versions, first
+}

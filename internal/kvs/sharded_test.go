@@ -1,0 +1,216 @@
+package kvs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"fluxgo/internal/broker"
+	"fluxgo/internal/session"
+)
+
+func newShardedSession(t *testing.T, size, nshards int) *session.Session {
+	t.Helper()
+	var mods []session.ModuleFactory
+	for _, f := range ShardedFactories(nshards, ModuleConfig{}) {
+		mods = append(mods, f)
+	}
+	s, err := session.New(session.Options{Size: size, Modules: mods})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestShardOfStable(t *testing.T) {
+	a := ShardOf("alpha.x", 4)
+	if a != ShardOf("alpha.y.z", 4) || a != ShardOf("alpha", 4) {
+		t.Fatal("keys with the same first component shard differently")
+	}
+	if ShardOf("anything", 1) != 0 {
+		t.Fatal("single shard must map everything to 0")
+	}
+	// The hash spreads distinct components over shards (probabilistic,
+	// but 64 distinct prefixes over 4 shards hitting only one would be
+	// astronomically unlikely).
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		seen[ShardOf(fmt.Sprintf("ns%d.k", i), 4)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 prefixes landed on %d shard(s)", len(seen))
+	}
+}
+
+func TestShardMasterPlacement(t *testing.T) {
+	ranks := map[int]bool{}
+	for s := 0; s < 4; s++ {
+		r := ShardMasterRank(s, 4, 16)
+		if r < 0 || r >= 16 {
+			t.Fatalf("shard %d master at rank %d", s, r)
+		}
+		ranks[r] = true
+	}
+	if len(ranks) != 4 {
+		t.Fatalf("masters collide: %v", ranks)
+	}
+}
+
+func TestShardedPutCommitGet(t *testing.T) {
+	s := newShardedSession(t, 8, 4)
+	h := s.Handle(5)
+	defer h.Close()
+	sc, err := NewShardedClient(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if err := sc.Put(fmt.Sprintf("ns%d.value", i), i*i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sc.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		var got int
+		if err := sc.Get(fmt.Sprintf("ns%d.value", i), &got); err != nil {
+			t.Fatalf("get ns%d: %v", i, err)
+		}
+		if got != i*i {
+			t.Fatalf("ns%d = %d", i, got)
+		}
+	}
+	// Directory listing within a shard.
+	sc.Put("ns3.other", "x")
+	sc.Commit()
+	names, err := sc.GetDir("ns3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("ns3 dir %v", names)
+	}
+}
+
+func TestShardedMastersAreDistributed(t *testing.T) {
+	// Verify each shard's master actually runs at its assigned rank by
+	// checking which rank answers getversion with authority (stats show
+	// the master pins; simpler: the module at the master rank reports
+	// version directly without upstream help even when isolated).
+	s := newShardedSession(t, 8, 4)
+	h := s.Handle(0)
+	defer h.Close()
+	sc, _ := NewShardedClient(h, 4)
+	sc.Put("aaa.k", 1) // lands on some shard
+	if _, err := sc.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	shard := ShardOf("aaa.k", 4)
+	master := ShardMasterRank(shard, 4, 8)
+	// Ask the master's module instance directly (rank-addressed).
+	resp, err := h.RPC(ShardService(shard)+".stats", uint32(master), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Version uint64 `json:"version"`
+		Objects int    `json:"objects"`
+	}
+	resp.UnpackJSON(&body)
+	if body.Version != 1 {
+		t.Fatalf("master at rank %d has version %d, want 1", master, body.Version)
+	}
+	if body.Objects == 0 {
+		t.Fatal("master store empty after commit")
+	}
+}
+
+func TestShardedFence(t *testing.T) {
+	const size, procs = 8, 8
+	s := newShardedSession(t, size, 2)
+	var wg sync.WaitGroup
+	errs := make([]error, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := s.Handle(p % size)
+			defer h.Close()
+			sc, err := NewShardedClient(h, 2)
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			sc.Put(fmt.Sprintf("w%d.k", p), p)
+			_, errs[p] = sc.Fence("shardfence", procs)
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("proc %d: %v", p, err)
+		}
+	}
+	h := s.Handle(0)
+	defer h.Close()
+	sc, _ := NewShardedClient(h, 2)
+	for p := 0; p < procs; p++ {
+		var got int
+		if err := sc.Get(fmt.Sprintf("w%d.k", p), &got); err != nil || got != p {
+			t.Fatalf("w%d = %d, %v", p, got, err)
+		}
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	s := newShardedSession(t, 2, 1)
+	h := s.Handle(0)
+	defer h.Close()
+	if _, err := NewShardedClient(h, 0); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	sc, err := NewShardedClient(h, 1)
+	if err != nil || sc.Shards() != 1 {
+		t.Fatal(err)
+	}
+}
+
+func TestNonRootMasterSingleService(t *testing.T) {
+	// One kvs service whose master lives at a non-root rank: commits
+	// still apply, setroot events still flow from the sequencer.
+	masterRank := 3
+	s, err := session.New(session.Options{
+		Size: 8,
+		Modules: []session.ModuleFactory{
+			func(rank, size int) broker.Module {
+				return NewModule(ModuleConfig{MasterRank: masterRank})
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	h := s.Handle(6)
+	defer h.Close()
+	c := NewClient(h)
+	c.Put("offroot.k", "v")
+	ver, err := c.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 {
+		t.Fatalf("version %d", ver)
+	}
+	// Read back from a different rank.
+	h2 := s.Handle(0)
+	defer h2.Close()
+	c2 := NewClient(h2)
+	c2.WaitVersion(ver)
+	var got string
+	if err := c2.Get("offroot.k", &got); err != nil || got != "v" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}

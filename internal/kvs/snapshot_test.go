@@ -1,0 +1,110 @@
+package kvs
+
+import (
+	"testing"
+
+	"fluxgo/internal/session"
+)
+
+// TestSnapshotReads: old roots remain readable after later commits —
+// the coexisting-snapshots property that makes the root switch atomic.
+func TestSnapshotReads(t *testing.T) {
+	s := newKVSSession(t, 3, 2)
+	c := client(t, s, 1)
+
+	c.Put("snap.k", "v1")
+	if _, err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	root1, ver1, err := c.RootRef()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root1 == "" || ver1 != 1 {
+		t.Fatalf("root1=%q ver1=%d", root1, ver1)
+	}
+
+	c.Put("snap.k", "v2")
+	c.Put("snap.extra", true)
+	if _, err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Current read sees v2; snapshot read sees v1.
+	var cur, old string
+	if err := c.Get("snap.k", &cur); err != nil || cur != "v2" {
+		t.Fatalf("current: %q %v", cur, err)
+	}
+	if err := c.GetAt(root1, "snap.k", &old); err != nil {
+		t.Fatal(err)
+	}
+	if old != "v1" {
+		t.Fatalf("snapshot read %q, want v1", old)
+	}
+	// Keys born after the snapshot are absent in it.
+	if err := c.GetAt(root1, "snap.extra", nil); !ErrNotFound(err) {
+		t.Fatalf("snap.extra in old snapshot: %v", err)
+	}
+	// Deleted keys remain visible in pre-delete snapshots.
+	root2, _, _ := c.RootRef()
+	c.Delete("snap.k")
+	if _, err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Get("snap.k", nil); !ErrNotFound(err) {
+		t.Fatalf("deleted key resolves: %v", err)
+	}
+	var v2 string
+	if err := c.GetAt(root2, "snap.k", &v2); err != nil || v2 != "v2" {
+		t.Fatalf("pre-delete snapshot: %q %v", v2, err)
+	}
+	// Garbage root refs error cleanly.
+	if err := c.GetAt("zzzz", "snap.k", nil); err == nil {
+		t.Fatal("invalid snapshot ref accepted")
+	}
+}
+
+// TestModuleAtConfigurableDepth: the kvs module loaded only at tree
+// depth <= 1 of a 15-rank binary tree still serves leaf clients — their
+// requests route upstream to the nearest loaded instance, conserving
+// leaf-node resources as the paper describes.
+func TestModuleAtConfigurableDepth(t *testing.T) {
+	s, err := session.New(session.Options{
+		Size: 15,
+		Modules: []session.ModuleFactory{
+			session.AtDepth(1, 2, session.ModuleFactory(Factory(ModuleConfig{}))),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	// Ranks 0..2 have the module; 3..14 do not.
+	for r, want := range map[int]bool{0: true, 2: true, 3: false, 14: false} {
+		if got := s.Broker(r).HasModule("kvs"); got != want {
+			t.Fatalf("rank %d HasModule = %v, want %v", r, got, want)
+		}
+	}
+
+	// A deep-leaf client (rank 14, depth 3) writes and reads through the
+	// upstream instances.
+	c := client(t, s, 14)
+	if err := c.Put("depth.k", 123); err != nil {
+		t.Fatal(err)
+	}
+	ver, err := c.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 {
+		t.Fatalf("version %d", ver)
+	}
+	// Another deep leaf in a different subtree reads it.
+	c2 := client(t, s, 9)
+	c2.WaitVersion(ver)
+	var got int
+	if err := c2.Get("depth.k", &got); err != nil || got != 123 {
+		t.Fatalf("depth.k = %d, %v", got, err)
+	}
+}

@@ -1,0 +1,107 @@
+// Package model implements the paper's analytical performance model for
+// the KVS consumer phase (Section V-B).
+//
+// With G objects read collectively by C consumers through the tree of
+// slave caches, and T(G) the time to replicate G objects into one slave
+// cache from its CMB-tree parent, the maximum consumer latency is
+//
+//	latency(C, G) = log2(C) × T(G)
+//
+// so doubling the consumer count adds one cache level: a constant
+// latency step of T(G). When G itself grows with scale, the geometric
+// series argument predicts the latency doubles whenever G doubles with
+// C (2T(2G)/2T(G) -> 2 for linear T), and true logarithmic scaling is
+// reached only when G stays constant regardless of scale.
+package model
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// ConsumerLatency evaluates the model: log2(C) × T(G), where replicate
+// is the measured or assumed T(G) for one cache level.
+func ConsumerLatency(consumers int, replicate time.Duration) time.Duration {
+	if consumers <= 1 {
+		return 0
+	}
+	return time.Duration(math.Log2(float64(consumers)) * float64(replicate))
+}
+
+// LatencyStep is the predicted latency increase for every doubling of
+// the consumer count at fixed G: exactly T(G).
+func LatencyStep(replicate time.Duration) time.Duration { return replicate }
+
+// FitReplicateTime inverts the model from measurements: given observed
+// max consumer latencies at several consumer counts, it returns the
+// least-squares estimate of T(G) for latency = log2(C)·T(G).
+func FitReplicateTime(consumers []int, latencies []time.Duration) (time.Duration, error) {
+	if len(consumers) != len(latencies) || len(consumers) == 0 {
+		return 0, fmt.Errorf("model: need matching non-empty series")
+	}
+	// Minimize sum (y - T·x)^2 with x = log2(C): T = Σxy / Σx².
+	var sxy, sxx float64
+	for i, c := range consumers {
+		if c < 2 {
+			continue
+		}
+		x := math.Log2(float64(c))
+		y := float64(latencies[i])
+		sxy += x * y
+		sxx += x * x
+	}
+	if sxx == 0 {
+		return 0, fmt.Errorf("model: no usable points (all consumer counts < 2)")
+	}
+	return time.Duration(sxy / sxx), nil
+}
+
+// GrowthRatio predicts the latency ratio between scale k and scale k-1
+// when the per-consumer object set grows by factor g at each doubling of
+// C (g = 1: constant G, ratio -> (d+1)/d per level; g = 2: G doubles,
+// ratio -> 2 for linear T — the paper's 2T(2G)/T(G) observation halved
+// per its geometric-series form).
+func GrowthRatio(doublings int, g float64) float64 {
+	if doublings < 1 {
+		return 1
+	}
+	// latency(k) = sum_{i=1..k} T(G·g^i) with linear T: proportional to
+	// sum g^i. Ratio of consecutive partial sums.
+	num, den := 0.0, 0.0
+	for i := 1; i <= doublings; i++ {
+		num += math.Pow(g, float64(i))
+	}
+	for i := 1; i <= doublings-1; i++ {
+		den += math.Pow(g, float64(i))
+	}
+	if den == 0 {
+		return num
+	}
+	return num / den
+}
+
+// RSquared measures how well the model latency = log2(C)·T explains the
+// observations (1 = perfect).
+func RSquared(consumers []int, latencies []time.Duration, replicate time.Duration) float64 {
+	if len(consumers) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, l := range latencies {
+		mean += float64(l)
+	}
+	mean /= float64(len(latencies))
+	var ssRes, ssTot float64
+	for i, c := range consumers {
+		pred := float64(ConsumerLatency(c, replicate))
+		diff := float64(latencies[i]) - pred
+		ssRes += diff * diff
+		dm := float64(latencies[i]) - mean
+		ssTot += dm * dm
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,102 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestConsumerLatency(t *testing.T) {
+	T := 10 * time.Millisecond
+	if got := ConsumerLatency(1, T); got != 0 {
+		t.Fatalf("C=1 latency %v", got)
+	}
+	if got := ConsumerLatency(2, T); got != T {
+		t.Fatalf("C=2 latency %v, want %v", got, T)
+	}
+	// Every doubling adds exactly T(G).
+	l4 := ConsumerLatency(4, T)
+	l8 := ConsumerLatency(8, T)
+	if l8-l4 != T {
+		t.Fatalf("doubling step %v, want %v", l8-l4, T)
+	}
+}
+
+func TestFitReplicateTimeExact(t *testing.T) {
+	T := 7 * time.Millisecond
+	consumers := []int{2, 4, 8, 16, 32}
+	lat := make([]time.Duration, len(consumers))
+	for i, c := range consumers {
+		lat[i] = ConsumerLatency(c, T)
+	}
+	got, err := FitReplicateTime(consumers, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got - T; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("fit %v, want %v", got, T)
+	}
+	if r2 := RSquared(consumers, lat, got); r2 < 0.999 {
+		t.Fatalf("R² = %f on exact data", r2)
+	}
+}
+
+func TestFitReplicateTimeNoisy(t *testing.T) {
+	T := 5 * time.Millisecond
+	consumers := []int{2, 4, 8, 16}
+	lat := make([]time.Duration, len(consumers))
+	for i, c := range consumers {
+		noise := time.Duration((i%2)*2-1) * 200 * time.Microsecond
+		lat[i] = ConsumerLatency(c, T) + noise
+	}
+	got, err := FitReplicateTime(consumers, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 4*time.Millisecond || got > 6*time.Millisecond {
+		t.Fatalf("noisy fit %v far from %v", got, T)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitReplicateTime(nil, nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if _, err := FitReplicateTime([]int{2}, []time.Duration{1, 2}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+	if _, err := FitReplicateTime([]int{1}, []time.Duration{0}); err == nil {
+		t.Fatal("series with no usable points accepted")
+	}
+}
+
+func TestGrowthRatio(t *testing.T) {
+	// Constant G (g=1): ratio of k/(k-1) levels -> approaches 1, the
+	// logarithmic regime.
+	r := GrowthRatio(10, 1)
+	if math.Abs(r-10.0/9.0) > 1e-9 {
+		t.Fatalf("g=1 ratio %f", r)
+	}
+	// G doubling with scale (g=2): ratio approaches 2 — latency doubles
+	// per doubling, the paper's linear-growth prediction.
+	r = GrowthRatio(20, 2)
+	if math.Abs(r-2.0) > 0.01 {
+		t.Fatalf("g=2 ratio %f, want ~2", r)
+	}
+	if GrowthRatio(0, 2) != 1 {
+		t.Fatal("zero doublings ratio != 1")
+	}
+	if GrowthRatio(1, 2) != 2 {
+		t.Fatalf("first doubling ratio %f", GrowthRatio(1, 2))
+	}
+}
+
+func TestRSquaredDegenerate(t *testing.T) {
+	if RSquared(nil, nil, time.Millisecond) != 0 {
+		t.Fatal("empty R² != 0")
+	}
+	// Identical observations: ssTot = 0 -> defined as 1.
+	if RSquared([]int{2, 2}, []time.Duration{5, 5}, 5) != 1 {
+		t.Fatal("constant-series R² != 1")
+	}
+}

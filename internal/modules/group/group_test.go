@@ -1,0 +1,142 @@
+package group
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fluxgo/internal/session"
+)
+
+func newSession(t *testing.T, size int) *session.Session {
+	t.Helper()
+	s, err := session.New(session.Options{
+		Size:    size,
+		Modules: []session.ModuleFactory{Factory},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestJoinListLeave(t *testing.T) {
+	s := newSession(t, 3)
+	h := s.Handle(1)
+	defer h.Close()
+	if err := Join(h, "g1", "proc-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Join(h, "g1", "proc-b"); err != nil {
+		t.Fatal(err)
+	}
+	members, err := List(h, "g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 || members[0] != "proc-a" || members[1] != "proc-b" {
+		t.Fatalf("members = %v", members)
+	}
+	if err := Leave(h, "g1", "proc-a"); err != nil {
+		t.Fatal(err)
+	}
+	members, _ = List(h, "g1")
+	if len(members) != 1 || members[0] != "proc-b" {
+		t.Fatalf("after leave, members = %v", members)
+	}
+}
+
+func TestMembershipConvergesAcrossRanks(t *testing.T) {
+	s := newSession(t, 7)
+	h := s.Handle(3)
+	defer h.Close()
+	if err := Join(h, "conv", "m1"); err != nil {
+		t.Fatal(err)
+	}
+	// Events propagate in total order; every rank converges.
+	for r := 0; r < 7; r++ {
+		hr := s.Handle(r)
+		deadline := time.After(10 * time.Second)
+		for {
+			members, err := List(hr, "conv")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(members) == 1 && members[0] == "m1" {
+				break
+			}
+			select {
+			case <-deadline:
+				t.Fatalf("rank %d never converged: %v", r, members)
+			default:
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		hr.Close()
+	}
+}
+
+func TestConcurrentJoins(t *testing.T) {
+	const size, joiners = 7, 21
+	s := newSession(t, size)
+	var wg sync.WaitGroup
+	for j := 0; j < joiners; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			h := s.Handle(j % size)
+			defer h.Close()
+			if err := Join(h, "big", fmt.Sprintf("m%02d", j)); err != nil {
+				t.Error(err)
+			}
+		}(j)
+	}
+	wg.Wait()
+	h := s.Handle(0)
+	defer h.Close()
+	deadline := time.After(10 * time.Second)
+	for {
+		members, err := List(h, "big")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(members) == joiners {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/%d members", len(members), joiners)
+		default:
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+func TestEmptyGroupVanishes(t *testing.T) {
+	s := newSession(t, 1)
+	h := s.Handle(0)
+	defer h.Close()
+	Join(h, "tmp", "x")
+	Leave(h, "tmp", "x")
+	members, err := List(h, "tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 0 {
+		t.Fatalf("members = %v", members)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := newSession(t, 1)
+	h := s.Handle(0)
+	defer h.Close()
+	if err := Join(h, "", "m"); err == nil {
+		t.Fatal("empty group name accepted")
+	}
+	if err := Join(h, "g", ""); err == nil {
+		t.Fatal("empty member accepted")
+	}
+}

@@ -1,0 +1,176 @@
+// Package hb implements the heartbeat comms module of Table I: a
+// periodic heartbeat event multicast across the comms session that
+// synchronizes background activity to reduce scheduling jitter.
+//
+// The instance at rank 0 publishes an "hb" event with a monotonically
+// increasing epoch at a configurable interval; instances at other ranks
+// are passive and merely answer epoch queries. Other modules (live, mon,
+// kvs cache expiry) key their background work off these events.
+package hb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fluxgo/internal/broker"
+	"fluxgo/internal/clock"
+	"fluxgo/internal/wire"
+)
+
+// EventTopic is the heartbeat event topic.
+const EventTopic = "hb"
+
+// Body is the heartbeat event payload.
+type Body struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// Config parameterizes the heartbeat module.
+type Config struct {
+	// Interval between heartbeats; 0 defaults to 2s (the generator uses
+	// the broker's clock, so manual clocks drive it deterministically).
+	Interval time.Duration
+}
+
+// Module is one hb module instance.
+type Module struct {
+	cfg Config
+	h   *broker.Handle
+
+	mu    sync.Mutex
+	epoch uint64
+
+	ticker *clock.Ticker
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New returns an hb module instance.
+func New(cfg Config) *Module {
+	if cfg.Interval == 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	return &Module{cfg: cfg, stop: make(chan struct{})}
+}
+
+// Factory loads hb at every rank; only rank 0 generates events.
+func Factory(cfg Config) func(rank, size int) broker.Module {
+	return func(rank, size int) broker.Module { return New(cfg) }
+}
+
+// Name implements broker.Module.
+func (m *Module) Name() string { return "hb" }
+
+// Subscriptions implements broker.Module: every instance tracks the
+// current epoch from the event stream.
+func (m *Module) Subscriptions() []string { return []string{EventTopic} }
+
+// Init implements broker.Module: the root instance starts the generator.
+func (m *Module) Init(h *broker.Handle) error {
+	m.h = h
+	if h.Rank() == 0 {
+		m.ticker = clock.NewTicker(h.Clock(), m.cfg.Interval)
+		m.wg.Add(1)
+		go m.generate()
+	}
+	return nil
+}
+
+// generate publishes one heartbeat per tick until shutdown.
+func (m *Module) generate() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ticker.C:
+			m.mu.Lock()
+			m.epoch++
+			next := m.epoch
+			m.mu.Unlock()
+			if _, err := m.h.PublishEvent(EventTopic, Body{Epoch: next}); err != nil {
+				if broker.ErrShutdown(err) {
+					return
+				}
+			}
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// Shutdown implements broker.Module.
+func (m *Module) Shutdown() {
+	close(m.stop)
+	if m.ticker != nil {
+		m.ticker.Stop()
+	}
+	m.wg.Wait()
+}
+
+// Recv implements broker.Module.
+func (m *Module) Recv(msg *wire.Message) {
+	if msg.Type == wire.Event && msg.Topic == EventTopic {
+		var body Body
+		if err := msg.UnpackJSON(&body); err == nil {
+			m.mu.Lock()
+			if body.Epoch > m.epoch {
+				m.epoch = body.Epoch
+			}
+			m.mu.Unlock()
+		}
+		return
+	}
+	if msg.Type != wire.Request {
+		return
+	}
+	switch msg.Method() {
+	case "get":
+		m.mu.Lock()
+		epoch := m.epoch
+		m.mu.Unlock()
+		m.h.Respond(msg, Body{Epoch: epoch})
+	case "pulse":
+		// Manual heartbeat trigger, root only; useful for tests/tools.
+		if m.h.Rank() != 0 {
+			m.h.RespondError(msg, broker.ErrnoInval, "hb: pulse is served by rank 0")
+			return
+		}
+		m.mu.Lock()
+		m.epoch++
+		next := m.epoch
+		m.mu.Unlock()
+		if _, err := m.h.PublishEvent(EventTopic, Body{Epoch: next}); err != nil {
+			m.h.RespondError(msg, broker.ErrnoProto, err.Error())
+			return
+		}
+		m.h.Respond(msg, Body{Epoch: next})
+	default:
+		m.h.RespondError(msg, broker.ErrnoNoSys, fmt.Sprintf("hb: unknown method %q", msg.Method()))
+	}
+}
+
+// Epoch queries the current heartbeat epoch seen at the local rank.
+func Epoch(h *broker.Handle) (uint64, error) {
+	resp, err := h.RPC("hb.get", wire.NodeidAny, nil)
+	if err != nil {
+		return 0, err
+	}
+	var body Body
+	if err := resp.UnpackJSON(&body); err != nil {
+		return 0, err
+	}
+	return body.Epoch, nil
+}
+
+// Pulse triggers one immediate heartbeat at the session root.
+func Pulse(h *broker.Handle) (uint64, error) {
+	resp, err := h.RPC("hb.pulse", 0, nil)
+	if err != nil {
+		return 0, err
+	}
+	var body Body
+	if err := resp.UnpackJSON(&body); err != nil {
+		return 0, err
+	}
+	return body.Epoch, nil
+}

@@ -1,0 +1,200 @@
+// Package live implements the liveness comms module of Table I: each
+// tree node receives heartbeat-synchronized hello messages from its
+// children, and after a configurable number of missed messages a
+// liveness event is issued for the dead child.
+//
+// Every instance also folds live.down / live.up events into a local view
+// of session health, so any rank can answer "which ranks are down?".
+package live
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fluxgo/internal/broker"
+	"fluxgo/internal/modules/hb"
+	"fluxgo/internal/wire"
+)
+
+// Config parameterizes the live module.
+type Config struct {
+	// MissLimit is how many consecutive heartbeat epochs a child may miss
+	// before it is declared dead. 0 defaults to 3.
+	MissLimit int
+}
+
+// helloBody is the heartbeat-synchronized child -> parent message.
+type helloBody struct {
+	Rank  int    `json:"rank"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// statusBody is the payload of live.down / live.up events.
+type statusBody struct {
+	Rank int `json:"rank"`
+}
+
+// Module is one live module instance.
+type Module struct {
+	cfg Config
+	h   *broker.Handle
+
+	mu        sync.Mutex
+	epoch     uint64
+	lastHello map[int]uint64 // child rank -> epoch of last hello
+	deemed    map[int]bool   // child rank -> currently deemed down (local view)
+	down      map[int]bool   // session-wide down set from events
+}
+
+// New returns a live module instance.
+func New(cfg Config) *Module {
+	if cfg.MissLimit == 0 {
+		cfg.MissLimit = 3
+	}
+	return &Module{
+		cfg:       cfg,
+		lastHello: map[int]uint64{},
+		deemed:    map[int]bool{},
+		down:      map[int]bool{},
+	}
+}
+
+// Factory loads live at every rank.
+func Factory(cfg Config) func(rank, size int) broker.Module {
+	return func(rank, size int) broker.Module { return New(cfg) }
+}
+
+// Name implements broker.Module.
+func (m *Module) Name() string { return "live" }
+
+// Subscriptions implements broker.Module.
+func (m *Module) Subscriptions() []string {
+	return []string{hb.EventTopic, "live.down", "live.up"}
+}
+
+// Init implements broker.Module. Expected hello senders start as the
+// rank's tree children; adopted children register dynamically when their
+// first hello arrives after re-parenting.
+func (m *Module) Init(h *broker.Handle) error {
+	m.h = h
+	for _, c := range h.Broker().Tree().Children(h.Rank()) {
+		m.lastHello[c] = 0
+	}
+	return nil
+}
+
+// Shutdown implements broker.Module.
+func (m *Module) Shutdown() {}
+
+// Recv implements broker.Module.
+func (m *Module) Recv(msg *wire.Message) {
+	switch {
+	case msg.Type == wire.Event && msg.Topic == hb.EventTopic:
+		m.onHeartbeat(msg)
+	case msg.Type == wire.Event && msg.Topic == "live.down":
+		m.onStatus(msg, true)
+	case msg.Type == wire.Event && msg.Topic == "live.up":
+		m.onStatus(msg, false)
+	case msg.Type == wire.Request && msg.Method() == "hello":
+		m.onHello(msg)
+	case msg.Type == wire.Request && msg.Method() == "query":
+		m.onQuery(msg)
+	case msg.Type == wire.Request:
+		m.h.RespondError(msg, broker.ErrnoNoSys, fmt.Sprintf("live: unknown method %q", msg.Method()))
+	}
+}
+
+// onHeartbeat sends our own hello upstream and checks children for
+// missed hellos.
+func (m *Module) onHeartbeat(msg *wire.Message) {
+	var body hb.Body
+	if err := msg.UnpackJSON(&body); err != nil {
+		return
+	}
+	m.mu.Lock()
+	m.epoch = body.Epoch
+	var died []int
+	for child, last := range m.lastHello {
+		missed := body.Epoch - last
+		if last == 0 {
+			// Never heard from this child; give it MissLimit epochs from
+			// session start before declaring it dead.
+			missed = body.Epoch
+		}
+		if int(missed) >= m.cfg.MissLimit && !m.deemed[child] {
+			m.deemed[child] = true
+			died = append(died, child)
+		}
+	}
+	m.mu.Unlock()
+
+	if m.h.Rank() != 0 {
+		// Heartbeat-synchronized hello to our parent's live instance.
+		m.h.Send("live.hello", wire.NodeidUpstream, helloBody{Rank: m.h.Rank(), Epoch: body.Epoch})
+	}
+	for _, r := range died {
+		m.h.PublishEvent("live.down", statusBody{Rank: r})
+	}
+}
+
+// onHello records a child's hello; a hello from a child previously
+// deemed dead revives it.
+func (m *Module) onHello(msg *wire.Message) {
+	var body helloBody
+	if err := msg.UnpackJSON(&body); err != nil {
+		return
+	}
+	m.mu.Lock()
+	m.lastHello[body.Rank] = body.Epoch
+	wasDead := m.deemed[body.Rank]
+	if wasDead {
+		delete(m.deemed, body.Rank)
+	}
+	m.mu.Unlock()
+	if wasDead {
+		m.h.PublishEvent("live.up", statusBody{Rank: body.Rank})
+	}
+}
+
+// onStatus folds a liveness event into the session-wide view.
+func (m *Module) onStatus(msg *wire.Message, down bool) {
+	var body statusBody
+	if err := msg.UnpackJSON(&body); err != nil {
+		return
+	}
+	m.mu.Lock()
+	if down {
+		m.down[body.Rank] = true
+	} else {
+		delete(m.down, body.Rank)
+	}
+	m.mu.Unlock()
+}
+
+// onQuery answers with the session-wide down set.
+func (m *Module) onQuery(msg *wire.Message) {
+	m.mu.Lock()
+	downs := make([]int, 0, len(m.down))
+	for r := range m.down {
+		downs = append(downs, r)
+	}
+	m.mu.Unlock()
+	sort.Ints(downs)
+	m.h.Respond(msg, map[string][]int{"down": downs})
+}
+
+// Down queries the local rank's view of dead ranks.
+func Down(h *broker.Handle) ([]int, error) {
+	resp, err := h.RPC("live.query", wire.NodeidAny, nil)
+	if err != nil {
+		return nil, err
+	}
+	var body struct {
+		Down []int `json:"down"`
+	}
+	if err := resp.UnpackJSON(&body); err != nil {
+		return nil, err
+	}
+	return body.Down, nil
+}

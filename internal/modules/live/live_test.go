@@ -1,0 +1,127 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"fluxgo/internal/broker"
+	"fluxgo/internal/modules/hb"
+	"fluxgo/internal/session"
+)
+
+func newSession(t *testing.T, size int) *session.Session {
+	t.Helper()
+	s, err := session.New(session.Options{
+		Size: size,
+		Modules: []session.ModuleFactory{
+			hb.Factory(hb.Config{Interval: time.Hour}), // Pulse-driven
+			Factory(Config{MissLimit: 3}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// pulse drives one heartbeat epoch and returns it.
+func pulse(t *testing.T, h *broker.Handle) uint64 {
+	t.Helper()
+	e, err := hb.Pulse(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestAllAliveNoEvents(t *testing.T) {
+	s := newSession(t, 7)
+	h := s.Handle(0)
+	defer h.Close()
+	for i := 0; i < 6; i++ {
+		pulse(t, h)
+	}
+	// Allow hello propagation, then confirm nothing is down anywhere.
+	time.Sleep(100 * time.Millisecond)
+	pulse(t, h)
+	time.Sleep(100 * time.Millisecond)
+	for r := 0; r < 7; r++ {
+		hr := s.Handle(r)
+		down, err := Down(hr)
+		hr.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(down) != 0 {
+			t.Fatalf("rank %d sees down ranks %v with everyone alive", r, down)
+		}
+	}
+}
+
+func TestDeadLeafDetected(t *testing.T) {
+	s := newSession(t, 7)
+	h := s.Handle(0)
+	defer h.Close()
+	sub, err := h.Subscribe("live.down")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Establish hellos, then kill leaf rank 6 (child of rank 2).
+	pulse(t, h)
+	time.Sleep(50 * time.Millisecond)
+	s.Kill(6)
+
+	// Advance epochs past the miss limit; rank 2's live module must
+	// publish live.down for rank 6.
+	deadline := time.After(10 * time.Second)
+	for {
+		pulse(t, h)
+		select {
+		case ev := <-sub.Chan():
+			var body struct {
+				Rank int `json:"rank"`
+			}
+			if err := ev.UnpackJSON(&body); err != nil {
+				t.Fatal(err)
+			}
+			if body.Rank != 6 {
+				t.Fatalf("live.down for rank %d, want 6", body.Rank)
+			}
+			// The down set propagates to every surviving rank's view.
+			waitDown(t, s, 0, 6)
+			waitDown(t, s, 3, 6)
+			return
+		case <-deadline:
+			t.Fatal("dead leaf never detected")
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// waitDown polls rank r's view until target appears in its down set.
+func waitDown(t *testing.T, s *session.Session, r, target int) {
+	t.Helper()
+	h := s.Handle(r)
+	defer h.Close()
+	deadline := time.After(10 * time.Second)
+	for {
+		down, err := Down(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range down {
+			if d == target {
+				return
+			}
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("rank %d never saw %d down (down=%v)", r, target, down)
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}

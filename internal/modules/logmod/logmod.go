@@ -1,0 +1,273 @@
+// Package logmod implements the log comms module of Table I: log
+// messages are reduced and filtered before being placed in a log sink at
+// the session root, and a circular debug buffer provides log context in
+// response to a fault event.
+package logmod
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"fluxgo/internal/broker"
+	"fluxgo/internal/wire"
+)
+
+// Severity levels, syslog-style: lower is more severe.
+const (
+	LevelEmerg = iota
+	LevelAlert
+	LevelCrit
+	LevelErr
+	LevelWarning
+	LevelNotice
+	LevelInfo
+	LevelDebug
+)
+
+// Entry is one log record.
+type Entry struct {
+	Facility string `json:"facility"`
+	Level    int    `json:"level"`
+	Rank     int    `json:"rank"`
+	Message  string `json:"message"`
+	TimeNS   int64  `json:"time_ns"`
+}
+
+// appendBody carries one or more entries upstream. Fault marks a
+// post-mortem ring dump, which bypasses the severity filter at the sink.
+type appendBody struct {
+	Entries []Entry `json:"entries"`
+	Fault   bool    `json:"fault,omitempty"`
+}
+
+// Config parameterizes the log module.
+type Config struct {
+	// ForwardLevel: entries at this level or more severe (numerically <=)
+	// are forwarded to the root sink; others stay in the local ring
+	// buffer only. Defaults to LevelInfo.
+	ForwardLevel int
+	// RingSize is the circular debug buffer capacity per rank. Defaults
+	// to 256 entries.
+	RingSize int
+	// Sink, at the root, receives forwarded entries, one formatted line
+	// per entry. Nil keeps entries only in the root's in-memory ring.
+	Sink io.Writer
+}
+
+// Module is one log module instance.
+type Module struct {
+	cfg Config
+	h   *broker.Handle
+
+	mu          sync.Mutex
+	ring        []Entry // circular debug buffer (local entries)
+	next        int
+	filled      bool
+	sunk        []Entry // root only: forwarded entries, bounded by RingSize*4
+	unsent      []Entry // slave: entries awaiting upstream batch
+	unsentFault []Entry // slave: fault-dump entries (bypass the filter)
+}
+
+// New returns a log module instance.
+func New(cfg Config) *Module {
+	if cfg.ForwardLevel == 0 {
+		cfg.ForwardLevel = LevelInfo
+	}
+	if cfg.RingSize == 0 {
+		cfg.RingSize = 256
+	}
+	return &Module{cfg: cfg, ring: make([]Entry, cfg.RingSize)}
+}
+
+// Factory loads the log module at every rank.
+func Factory(cfg Config) func(rank, size int) broker.Module {
+	return func(rank, size int) broker.Module { return New(cfg) }
+}
+
+// Name implements broker.Module.
+func (m *Module) Name() string { return "log" }
+
+// Subscriptions implements broker.Module: a log.fault event makes every
+// rank dump its circular buffer upstream for post-mortem context.
+func (m *Module) Subscriptions() []string { return []string{"log.fault"} }
+
+// Init implements broker.Module.
+func (m *Module) Init(h *broker.Handle) error { m.h = h; return nil }
+
+// Shutdown implements broker.Module.
+func (m *Module) Shutdown() {}
+
+// Recv implements broker.Module.
+func (m *Module) Recv(msg *wire.Message) {
+	if msg.Type == wire.Event && msg.Topic == "log.fault" {
+		m.dumpRing()
+		return
+	}
+	if msg.Type != wire.Request {
+		return
+	}
+	switch msg.Method() {
+	case "append":
+		m.recvAppend(msg)
+	case "dump":
+		m.recvDump(msg)
+	default:
+		m.h.RespondError(msg, broker.ErrnoNoSys, fmt.Sprintf("log: unknown method %q", msg.Method()))
+	}
+}
+
+// recvAppend records entries locally and queues forwardable ones for the
+// upstream reduction. Requests are fire-and-forget friendly.
+func (m *Module) recvAppend(msg *wire.Message) {
+	var body appendBody
+	if err := msg.UnpackJSON(&body); err != nil {
+		m.h.RespondError(msg, broker.ErrnoInval, err.Error())
+		return
+	}
+	isRoot := m.h.Rank() == 0
+	m.mu.Lock()
+	for _, e := range body.Entries {
+		// Locally originated entries enter this rank's circular buffer;
+		// transit entries from children pass straight through the
+		// reduction, and fault dumps bypass the severity filter.
+		if e.Rank == m.h.Rank() {
+			m.pushRingLocked(e)
+		}
+		switch {
+		case body.Fault:
+			if isRoot {
+				m.sinkLocked(e)
+			} else {
+				m.unsentFault = append(m.unsentFault, e)
+			}
+		case e.Level <= m.cfg.ForwardLevel:
+			if isRoot {
+				m.sinkLocked(e)
+			} else {
+				m.unsent = append(m.unsent, e)
+			}
+		}
+	}
+	m.mu.Unlock()
+	m.h.Respond(msg, struct{}{})
+}
+
+// pushRingLocked appends to the circular debug buffer. Caller holds mu.
+func (m *Module) pushRingLocked(e Entry) {
+	m.ring[m.next] = e
+	m.next = (m.next + 1) % len(m.ring)
+	if m.next == 0 {
+		m.filled = true
+	}
+}
+
+// sinkLocked stores (and optionally writes) one entry at the root.
+// Caller holds mu.
+func (m *Module) sinkLocked(e Entry) {
+	m.sunk = append(m.sunk, e)
+	if max := m.cfg.RingSize * 4; len(m.sunk) > max {
+		m.sunk = append([]Entry(nil), m.sunk[len(m.sunk)-max:]...)
+	}
+	if m.cfg.Sink != nil {
+		fmt.Fprintf(m.cfg.Sink, "[%d] <%d> %s: %s\n", e.Rank, e.Level, e.Facility, e.Message)
+	}
+}
+
+// ringSnapshotLocked returns the buffer contents in order. Caller holds mu.
+func (m *Module) ringSnapshotLocked() []Entry {
+	if !m.filled {
+		return append([]Entry(nil), m.ring[:m.next]...)
+	}
+	out := make([]Entry, 0, len(m.ring))
+	out = append(out, m.ring[m.next:]...)
+	out = append(out, m.ring[:m.next]...)
+	return out
+}
+
+// dumpRing forwards the whole circular buffer upstream in response to a
+// fault event, regardless of severity filtering.
+func (m *Module) dumpRing() {
+	if m.h.Rank() == 0 {
+		return // root's ring is already at the root
+	}
+	m.mu.Lock()
+	entries := m.ringSnapshotLocked()
+	m.mu.Unlock()
+	if len(entries) == 0 {
+		return
+	}
+	m.h.Send("log.append", wire.NodeidUpstream, appendBody{Entries: entries, Fault: true})
+}
+
+// recvDump answers with recent entries: the root's sink history, or the
+// local ring elsewhere.
+func (m *Module) recvDump(msg *wire.Message) {
+	var body struct {
+		Count int `json:"count"`
+	}
+	msg.UnpackJSON(&body)
+	m.mu.Lock()
+	var entries []Entry
+	if m.h.Rank() == 0 {
+		entries = append([]Entry(nil), m.sunk...)
+	} else {
+		entries = m.ringSnapshotLocked()
+	}
+	m.mu.Unlock()
+	if body.Count > 0 && len(entries) > body.Count {
+		entries = entries[len(entries)-body.Count:]
+	}
+	m.h.Respond(msg, appendBody{Entries: entries})
+}
+
+// Idle implements broker.IdleBatcher: slaves batch forwardable entries
+// upstream — the paper's log reduction.
+func (m *Module) Idle() {
+	if m.h.Rank() == 0 {
+		return
+	}
+	m.mu.Lock()
+	batch := m.unsent
+	fault := m.unsentFault
+	m.unsent, m.unsentFault = nil, nil
+	m.mu.Unlock()
+	if len(batch) > 0 {
+		m.h.Send("log.append", wire.NodeidUpstream, appendBody{Entries: batch})
+	}
+	if len(fault) > 0 {
+		m.h.Send("log.append", wire.NodeidUpstream, appendBody{Entries: fault, Fault: true})
+	}
+}
+
+// Log appends one entry via the local log module (fire-and-forget).
+func Log(h *broker.Handle, facility string, level int, format string, args ...any) error {
+	e := Entry{
+		Facility: facility,
+		Level:    level,
+		Rank:     h.Rank(),
+		Message:  fmt.Sprintf(format, args...),
+		TimeNS:   h.Clock().Now().UnixNano(),
+	}
+	return h.Send("log.append", wire.NodeidAny, appendBody{Entries: []Entry{e}})
+}
+
+// Dump fetches recent entries from the log module at the given rank
+// (rank 0 returns the session-wide sink history).
+func Dump(h *broker.Handle, rank int, count int) ([]Entry, error) {
+	resp, err := h.RPC("log.dump", uint32(rank), map[string]int{"count": count})
+	if err != nil {
+		return nil, err
+	}
+	var body appendBody
+	if err := resp.UnpackJSON(&body); err != nil {
+		return nil, err
+	}
+	return body.Entries, nil
+}
+
+// Fault publishes the fault event that triggers session-wide ring dumps.
+func Fault(h *broker.Handle) error {
+	_, err := h.PublishEvent("log.fault", nil)
+	return err
+}

@@ -1,0 +1,160 @@
+package logmod
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fluxgo/internal/session"
+)
+
+// syncBuffer is a goroutine-safe strings.Builder.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func newSession(t *testing.T, size int, cfg Config) *session.Session {
+	t.Helper()
+	s, err := session.New(session.Options{
+		Size:    size,
+		Modules: []session.ModuleFactory{Factory(cfg)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// waitFor polls cond until true or the deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for !cond() {
+		select {
+		case <-deadline:
+			t.Fatalf("timed out waiting for %s", what)
+		default:
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+func TestLogReachesRootSink(t *testing.T) {
+	sink := &syncBuffer{}
+	s := newSession(t, 7, Config{Sink: sink})
+	h := s.Handle(5)
+	defer h.Close()
+	if err := Log(h, "test", LevelErr, "disk on fire: %s", "sda1"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "entry at root sink", func() bool {
+		return strings.Contains(sink.String(), "disk on fire: sda1")
+	})
+	if !strings.Contains(sink.String(), "[5]") {
+		t.Fatalf("sink line missing origin rank: %q", sink.String())
+	}
+}
+
+func TestDebugFilteredFromSink(t *testing.T) {
+	sink := &syncBuffer{}
+	s := newSession(t, 3, Config{Sink: sink, ForwardLevel: LevelInfo})
+	h := s.Handle(2)
+	defer h.Close()
+	Log(h, "t", LevelDebug, "noisy debug detail")
+	Log(h, "t", LevelInfo, "important info")
+	waitFor(t, "info entry", func() bool {
+		return strings.Contains(sink.String(), "important info")
+	})
+	if strings.Contains(sink.String(), "noisy debug detail") {
+		t.Fatal("debug entry leaked past the severity filter")
+	}
+}
+
+func TestDumpLocalRing(t *testing.T) {
+	s := newSession(t, 3, Config{})
+	h := s.Handle(1)
+	defer h.Close()
+	for i := 0; i < 5; i++ {
+		Log(h, "ring", LevelDebug, "entry %d", i)
+	}
+	waitFor(t, "local ring entries", func() bool {
+		entries, err := Dump(h, 1, 0)
+		return err == nil && len(entries) == 5
+	})
+	// Count-limited dump returns the most recent entries.
+	entries, err := Dump(h, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[1].Message != "entry 4" {
+		t.Fatalf("limited dump = %+v", entries)
+	}
+}
+
+func TestRingWrapsAround(t *testing.T) {
+	// Rank 0's dump returns the sink history, so exercise the circular
+	// buffer at rank 1 of a 2-rank session with forwarding disabled.
+	s2 := newSession(t, 2, Config{RingSize: 4, ForwardLevel: LevelEmerg})
+	h2 := s2.Handle(1)
+	defer h2.Close()
+	for i := 0; i < 10; i++ {
+		Log(h2, "wrap", LevelDebug, "m%d", i)
+	}
+	waitFor(t, "rank 1 ring wrap", func() bool {
+		entries, err := Dump(h2, 1, 0)
+		if err != nil || len(entries) != 4 {
+			return false
+		}
+		return entries[0].Message == "m6" && entries[3].Message == "m9"
+	})
+}
+
+func TestFaultEventDumpsRings(t *testing.T) {
+	// Debug entries normally never reach the root; after a fault event
+	// the circular buffers are dumped upstream for context.
+	sink := &syncBuffer{}
+	s := newSession(t, 7, Config{Sink: sink, ForwardLevel: LevelEmerg})
+	h := s.Handle(6)
+	defer h.Close()
+	Log(h, "ctx", LevelDebug, "pre-fault context from leaf")
+	waitFor(t, "entry in leaf ring", func() bool {
+		entries, err := Dump(h, 6, 0)
+		return err == nil && len(entries) == 1
+	})
+	if strings.Contains(sink.String(), "pre-fault") {
+		t.Fatal("debug entry reached sink before fault")
+	}
+	if err := Fault(h); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "fault dump at root", func() bool {
+		return strings.Contains(sink.String(), "pre-fault context from leaf")
+	})
+}
+
+func TestRootDumpReturnsSunkEntries(t *testing.T) {
+	s := newSession(t, 7, Config{})
+	h := s.Handle(3)
+	defer h.Close()
+	Log(h, "a", LevelErr, "one")
+	Log(h, "a", LevelErr, "two")
+	waitFor(t, "root history", func() bool {
+		entries, err := Dump(h, 0, 0)
+		return err == nil && len(entries) >= 2
+	})
+}

@@ -1,0 +1,250 @@
+// Package mon implements the monitoring comms module of Table I:
+// heartbeat-synchronized sampling whose samples are reduced up the tree
+// and stored in the KVS.
+//
+// Where the paper activates Linux scripts stored in the KVS, this
+// reproduction registers Go sampler functions (the simulation substitute
+// documented in DESIGN.md); the data path is identical: heartbeat tick →
+// local sample → tree reduction → KVS record at the root.
+package mon
+
+import (
+	"fmt"
+	"sync"
+
+	"fluxgo/internal/broker"
+	"fluxgo/internal/kvs"
+	"fluxgo/internal/modules/hb"
+	"fluxgo/internal/wire"
+)
+
+// Sampler produces one named measurement at a rank.
+type Sampler func(rank int) (name string, value float64)
+
+// Agg is a distributive aggregate of one metric across ranks.
+type Agg struct {
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Count int     `json:"count"`
+}
+
+// merge folds other into a.
+func (a *Agg) merge(other Agg) {
+	if a.Count == 0 {
+		*a = other
+		return
+	}
+	a.Sum += other.Sum
+	a.Count += other.Count
+	if other.Min < a.Min {
+		a.Min = other.Min
+	}
+	if other.Max > a.Max {
+		a.Max = other.Max
+	}
+}
+
+// reduceBody carries partial aggregates upstream.
+type reduceBody struct {
+	Epoch   uint64         `json:"epoch"`
+	Ranks   int            `json:"ranks"` // ranks contributing to this partial
+	Metrics map[string]Agg `json:"metrics"`
+}
+
+// ctlBody is the mon.ctl event payload controlling sampling.
+type ctlBody struct {
+	Enable bool   `json:"enable"`
+	Stride uint64 `json:"stride"` // sample every Stride-th heartbeat epoch
+}
+
+// Config parameterizes the mon module.
+type Config struct {
+	Samplers []Sampler
+	// KVSPrefix is where completed epoch records are stored; defaults to
+	// "mon".
+	KVSPrefix string
+}
+
+// epochState accumulates one epoch's reduction at one instance.
+type epochState struct {
+	ranks   int
+	metrics map[string]Agg
+	unsent  bool
+}
+
+// Module is one mon module instance.
+type Module struct {
+	cfg Config
+	h   *broker.Handle
+	kc  *kvs.Client
+
+	mu      sync.Mutex
+	enabled bool
+	stride  uint64
+	epochs  map[uint64]*epochState
+}
+
+// New returns a mon module instance.
+func New(cfg Config) *Module {
+	if cfg.KVSPrefix == "" {
+		cfg.KVSPrefix = "mon"
+	}
+	return &Module{cfg: cfg, epochs: map[uint64]*epochState{}}
+}
+
+// Factory loads mon at every rank.
+func Factory(cfg Config) func(rank, size int) broker.Module {
+	return func(rank, size int) broker.Module { return New(cfg) }
+}
+
+// Name implements broker.Module.
+func (m *Module) Name() string { return "mon" }
+
+// Subscriptions implements broker.Module.
+func (m *Module) Subscriptions() []string { return []string{hb.EventTopic, "mon.ctl"} }
+
+// Init implements broker.Module.
+func (m *Module) Init(h *broker.Handle) error {
+	m.h = h
+	m.kc = kvs.NewClient(h)
+	return nil
+}
+
+// Shutdown implements broker.Module.
+func (m *Module) Shutdown() {}
+
+// Recv implements broker.Module.
+func (m *Module) Recv(msg *wire.Message) {
+	switch {
+	case msg.Type == wire.Event && msg.Topic == "mon.ctl":
+		var body ctlBody
+		if err := msg.UnpackJSON(&body); err != nil {
+			return
+		}
+		m.mu.Lock()
+		m.enabled = body.Enable
+		m.stride = body.Stride
+		if m.stride == 0 {
+			m.stride = 1
+		}
+		m.mu.Unlock()
+	case msg.Type == wire.Event && msg.Topic == hb.EventTopic:
+		m.onHeartbeat(msg)
+	case msg.Type == wire.Request && msg.Method() == "reduce":
+		m.recvReduce(msg)
+	case msg.Type == wire.Request:
+		m.h.RespondError(msg, broker.ErrnoNoSys, fmt.Sprintf("mon: unknown method %q", msg.Method()))
+	}
+}
+
+// onHeartbeat takes local samples on sampling epochs.
+func (m *Module) onHeartbeat(msg *wire.Message) {
+	var body hb.Body
+	if err := msg.UnpackJSON(&body); err != nil {
+		return
+	}
+	m.mu.Lock()
+	active := m.enabled && body.Epoch%m.stride == 0
+	m.mu.Unlock()
+	if !active || len(m.cfg.Samplers) == 0 {
+		return
+	}
+	metrics := map[string]Agg{}
+	for _, s := range m.cfg.Samplers {
+		name, v := s(m.h.Rank())
+		agg := metrics[name]
+		agg.merge(Agg{Sum: v, Min: v, Max: v, Count: 1})
+		metrics[name] = agg
+	}
+	m.contribute(body.Epoch, 1, metrics)
+}
+
+// recvReduce folds a child's partial aggregate into ours.
+func (m *Module) recvReduce(msg *wire.Message) {
+	var body reduceBody
+	if err := msg.UnpackJSON(&body); err != nil {
+		m.h.RespondError(msg, broker.ErrnoInval, err.Error())
+		return
+	}
+	m.contribute(body.Epoch, body.Ranks, body.Metrics)
+	m.h.Respond(msg, struct{}{})
+}
+
+// contribute merges a partial into the epoch state and, at the root,
+// finalizes when every rank has reported.
+func (m *Module) contribute(epoch uint64, ranks int, metrics map[string]Agg) {
+	m.mu.Lock()
+	st := m.epochs[epoch]
+	if st == nil {
+		st = &epochState{metrics: map[string]Agg{}}
+		m.epochs[epoch] = st
+	}
+	st.ranks += ranks
+	st.unsent = true
+	for name, agg := range metrics {
+		cur := st.metrics[name]
+		cur.merge(agg)
+		st.metrics[name] = cur
+	}
+	complete := m.h.Rank() == 0 && st.ranks >= m.h.Size()
+	if complete {
+		delete(m.epochs, epoch)
+	}
+	m.mu.Unlock()
+	if complete {
+		m.finalize(epoch, st)
+	}
+}
+
+// finalize stores the completed epoch record in the KVS (root only).
+func (m *Module) finalize(epoch uint64, st *epochState) {
+	for name, agg := range st.metrics {
+		key := fmt.Sprintf("%s.%s.epoch-%d", m.cfg.KVSPrefix, name, epoch)
+		record := map[string]any{
+			"sum": agg.Sum, "min": agg.Min, "max": agg.Max,
+			"count": agg.Count, "avg": agg.Sum / float64(agg.Count),
+		}
+		if err := m.kc.Put(key, record); err != nil {
+			return
+		}
+	}
+	if _, err := m.kc.Commit(); err != nil {
+		return
+	}
+	m.h.PublishEvent("mon.epoch", map[string]uint64{"epoch": epoch})
+}
+
+// Idle implements broker.IdleBatcher: slaves forward accumulated partial
+// aggregates upstream.
+func (m *Module) Idle() {
+	if m.h.Rank() == 0 {
+		return
+	}
+	m.mu.Lock()
+	var batches []reduceBody
+	for epoch, st := range m.epochs {
+		if !st.unsent {
+			continue
+		}
+		batches = append(batches, reduceBody{Epoch: epoch, Ranks: st.ranks, Metrics: st.metrics})
+		delete(m.epochs, epoch)
+	}
+	m.mu.Unlock()
+	for _, b := range batches {
+		batch := b
+		go m.h.RPC("mon.reduce", wire.NodeidUpstream, batch)
+	}
+}
+
+// Enable turns sampling on session-wide, sampling every stride-th epoch.
+func Enable(h *broker.Handle, stride uint64) error {
+	_, err := h.PublishEvent("mon.ctl", ctlBody{Enable: true, Stride: stride})
+	return err
+}
+
+// Disable turns sampling off session-wide.
+func Disable(h *broker.Handle) error {
+	_, err := h.PublishEvent("mon.ctl", ctlBody{Enable: false})
+	return err
+}

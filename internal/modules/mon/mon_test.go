@@ -1,0 +1,149 @@
+package mon
+
+import (
+	"testing"
+	"time"
+
+	"fluxgo/internal/kvs"
+	"fluxgo/internal/modules/hb"
+	"fluxgo/internal/session"
+)
+
+func newSession(t *testing.T, size int, samplers ...Sampler) *session.Session {
+	t.Helper()
+	s, err := session.New(session.Options{
+		Size: size,
+		Modules: []session.ModuleFactory{
+			kvs.Factory(kvs.ModuleConfig{}),
+			hb.Factory(hb.Config{Interval: time.Hour}), // Pulse-driven
+			Factory(Config{Samplers: samplers}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestSamplesReducedIntoKVS(t *testing.T) {
+	const size = 7
+	// Each rank reports load = rank (sum = 21, min = 0, max = 6).
+	sampler := func(rank int) (string, float64) { return "load", float64(rank) }
+	s := newSession(t, size, sampler)
+	h := s.Handle(0)
+	defer h.Close()
+
+	sub, err := h.Subscribe("mon.epoch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Enable(h, 1); err != nil {
+		t.Fatal(err)
+	}
+	epoch, err := hb.Pulse(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sub.Chan():
+	case <-time.After(10 * time.Second):
+		t.Fatal("epoch record never finalized")
+	}
+
+	kc := kvs.NewClient(h)
+	var record struct {
+		Sum, Min, Max, Avg float64
+		Count              int
+	}
+	key := "mon.load.epoch-" + itoa(epoch)
+	if err := kc.Get(key, &record); err != nil {
+		t.Fatal(err)
+	}
+	if record.Count != size || record.Sum != 21 || record.Min != 0 || record.Max != 6 {
+		t.Fatalf("record = %+v", record)
+	}
+	if record.Avg != 3 {
+		t.Fatalf("avg = %v, want 3", record.Avg)
+	}
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestDisabledByDefault(t *testing.T) {
+	s := newSession(t, 3, func(rank int) (string, float64) { return "m", 1 })
+	h := s.Handle(0)
+	defer h.Close()
+	if _, err := hb.Pulse(h); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	kc := kvs.NewClient(h)
+	if err := kc.Get("mon.m.epoch-1", nil); !kvs.ErrNotFound(err) {
+		t.Fatalf("sample recorded while disabled: %v", err)
+	}
+}
+
+func TestStrideSkipsEpochs(t *testing.T) {
+	s := newSession(t, 3, func(rank int) (string, float64) { return "m", 2 })
+	h := s.Handle(0)
+	defer h.Close()
+	sub, err := h.Subscribe("mon.epoch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Enable(h, 2); err != nil { // sample even epochs only
+		t.Fatal(err)
+	}
+	hb.Pulse(h) // epoch 1: skipped
+	hb.Pulse(h) // epoch 2: sampled
+	select {
+	case ev := <-sub.Chan():
+		var body struct {
+			Epoch uint64 `json:"epoch"`
+		}
+		ev.UnpackJSON(&body)
+		if body.Epoch != 2 {
+			t.Fatalf("finalized epoch %d, want 2", body.Epoch)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("strided epoch never finalized")
+	}
+	kc := kvs.NewClient(h)
+	if err := kc.Get("mon.m.epoch-1", nil); !kvs.ErrNotFound(err) {
+		t.Fatalf("skipped epoch was recorded: %v", err)
+	}
+}
+
+func TestDisableStopsSampling(t *testing.T) {
+	s := newSession(t, 3, func(rank int) (string, float64) { return "m", 1 })
+	h := s.Handle(0)
+	defer h.Close()
+	sub, _ := h.Subscribe("mon.epoch")
+	Enable(h, 1)
+	hb.Pulse(h)
+	select {
+	case <-sub.Chan():
+	case <-time.After(10 * time.Second):
+		t.Fatal("enabled sampling produced nothing")
+	}
+	if err := Disable(h); err != nil {
+		t.Fatal(err)
+	}
+	hb.Pulse(h)
+	select {
+	case ev := <-sub.Chan():
+		t.Fatalf("sampling continued after disable: %s", ev.Topic)
+	case <-time.After(200 * time.Millisecond):
+	}
+}

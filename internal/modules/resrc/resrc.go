@@ -1,0 +1,312 @@
+// Package resrc implements the resource-service comms module of Table I:
+// resources are enumerated in the KVS and allocated when the scheduler
+// runs an application.
+//
+// Each instance describes its local (simulated) node and contributes it
+// to a collective KVS fence on the first heartbeat, so the full
+// inventory appears under resource.rank.<r> exactly once per session.
+// The root instance additionally tracks allocations, recording them
+// under resource.alloc.<id>.
+package resrc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fluxgo/internal/broker"
+	"fluxgo/internal/kvs"
+	"fluxgo/internal/modules/hb"
+	"fluxgo/internal/wire"
+)
+
+// NodeInfo describes one simulated node's resources.
+type NodeInfo struct {
+	Rank    int    `json:"rank"`
+	Name    string `json:"name"`
+	Cores   int    `json:"cores"`
+	MemMB   int    `json:"mem_mb"`
+	Sockets int    `json:"sockets"`
+}
+
+// Config parameterizes the resrc module.
+type Config struct {
+	// Describe produces this rank's node description; nil defaults to a
+	// 16-core, 32 GB, 2-socket node, matching the paper's testbed nodes.
+	Describe func(rank int) NodeInfo
+}
+
+// DefaultDescribe models a Zin/Cab compute node: 2 sockets, 16 cores,
+// 32 GB of RAM.
+func DefaultDescribe(rank int) NodeInfo {
+	return NodeInfo{
+		Rank:    rank,
+		Name:    fmt.Sprintf("node%d", rank),
+		Cores:   16,
+		MemMB:   32 << 10,
+		Sockets: 2,
+	}
+}
+
+// allocBody is an allocation/release request handled by the root.
+type allocBody struct {
+	ID    string `json:"id"`
+	Ranks []int  `json:"ranks"` // explicit ranks, or
+	Nodes int    `json:"nodes"` // a node count to pick freely
+}
+
+// Module is one resrc module instance.
+type Module struct {
+	cfg Config
+	h   *broker.Handle
+	kc  *kvs.Client
+
+	mu         sync.Mutex
+	enumerated bool
+	allocated  map[int]string // root only: rank -> allocation id
+}
+
+// New returns a resrc module instance.
+func New(cfg Config) *Module {
+	if cfg.Describe == nil {
+		cfg.Describe = DefaultDescribe
+	}
+	return &Module{cfg: cfg, allocated: map[int]string{}}
+}
+
+// Factory loads resrc at every rank. It requires kvs and hb.
+func Factory(cfg Config) func(rank, size int) broker.Module {
+	return func(rank, size int) broker.Module { return New(cfg) }
+}
+
+// Name implements broker.Module.
+func (m *Module) Name() string { return "resrc" }
+
+// Subscriptions implements broker.Module.
+func (m *Module) Subscriptions() []string { return []string{hb.EventTopic} }
+
+// Init implements broker.Module.
+func (m *Module) Init(h *broker.Handle) error {
+	m.h = h
+	m.kc = kvs.NewClient(h)
+	return nil
+}
+
+// Shutdown implements broker.Module.
+func (m *Module) Shutdown() {}
+
+// Recv implements broker.Module.
+func (m *Module) Recv(msg *wire.Message) {
+	if msg.Type == wire.Event && msg.Topic == hb.EventTopic {
+		m.maybeEnumerate()
+		return
+	}
+	if msg.Type != wire.Request {
+		return
+	}
+	switch msg.Method() {
+	case "alloc":
+		m.recvAlloc(msg)
+	case "free":
+		m.recvFree(msg)
+	case "avail":
+		m.recvAvail(msg)
+	default:
+		m.h.RespondError(msg, broker.ErrnoNoSys, fmt.Sprintf("resrc: unknown method %q", msg.Method()))
+	}
+}
+
+// maybeEnumerate contributes the local node description to the
+// session-wide enumeration fence, once.
+func (m *Module) maybeEnumerate() {
+	m.mu.Lock()
+	if m.enumerated {
+		m.mu.Unlock()
+		return
+	}
+	m.enumerated = true
+	m.mu.Unlock()
+	info := m.cfg.Describe(m.h.Rank())
+	info.Rank = m.h.Rank()
+	m.kc.Put(fmt.Sprintf("resource.rank.%d", m.h.Rank()), info)
+	m.kc.Fence("resrc.enumerate", m.h.Size())
+}
+
+// recvAlloc (root) claims ranks for an allocation id and records it in
+// the KVS. Requests reaching a non-root instance forward upstream.
+func (m *Module) recvAlloc(msg *wire.Message) {
+	if m.h.Rank() != 0 {
+		m.h.ForwardUpstream(msg)
+		return
+	}
+	var body allocBody
+	if err := msg.UnpackJSON(&body); err != nil {
+		m.h.RespondError(msg, broker.ErrnoInval, err.Error())
+		return
+	}
+	if body.ID == "" {
+		m.h.RespondError(msg, broker.ErrnoInval, "resrc: allocation id required")
+		return
+	}
+	m.mu.Lock()
+	ranks := body.Ranks
+	if len(ranks) == 0 {
+		if body.Nodes <= 0 {
+			m.mu.Unlock()
+			m.h.RespondError(msg, broker.ErrnoInval, "resrc: ranks or nodes required")
+			return
+		}
+		for r := 0; r < m.h.Size() && len(ranks) < body.Nodes; r++ {
+			if _, busy := m.allocated[r]; !busy {
+				ranks = append(ranks, r)
+			}
+		}
+		if len(ranks) < body.Nodes {
+			m.mu.Unlock()
+			m.h.RespondError(msg, broker.ErrnoNoEnt,
+				fmt.Sprintf("resrc: only %d of %d nodes available", len(ranks), body.Nodes))
+			return
+		}
+	} else {
+		for _, r := range ranks {
+			if id, busy := m.allocated[r]; busy {
+				m.mu.Unlock()
+				m.h.RespondError(msg, broker.ErrnoInval,
+					fmt.Sprintf("resrc: rank %d already allocated to %s", r, id))
+				return
+			}
+			if r < 0 || r >= m.h.Size() {
+				m.mu.Unlock()
+				m.h.RespondError(msg, broker.ErrnoInval, fmt.Sprintf("resrc: rank %d out of range", r))
+				return
+			}
+		}
+	}
+	for _, r := range ranks {
+		m.allocated[r] = body.ID
+	}
+	m.mu.Unlock()
+	sort.Ints(ranks)
+	m.kc.Put(fmt.Sprintf("resource.alloc.%s", body.ID), ranks)
+	version, err := m.kc.Commit()
+	if err != nil {
+		m.h.RespondError(msg, broker.ErrnoProto, err.Error())
+		return
+	}
+	m.h.Respond(msg, map[string]any{"ranks": ranks, "version": version})
+}
+
+// recvFree (root) releases an allocation.
+func (m *Module) recvFree(msg *wire.Message) {
+	if m.h.Rank() != 0 {
+		m.h.ForwardUpstream(msg)
+		return
+	}
+	var body allocBody
+	if err := msg.UnpackJSON(&body); err != nil {
+		m.h.RespondError(msg, broker.ErrnoInval, err.Error())
+		return
+	}
+	m.mu.Lock()
+	freed := 0
+	for r, id := range m.allocated {
+		if id == body.ID {
+			delete(m.allocated, r)
+			freed++
+		}
+	}
+	m.mu.Unlock()
+	if freed == 0 {
+		m.h.RespondError(msg, broker.ErrnoNoEnt, fmt.Sprintf("resrc: no allocation %q", body.ID))
+		return
+	}
+	m.kc.Delete(fmt.Sprintf("resource.alloc.%s", body.ID))
+	version, err := m.kc.Commit()
+	if err != nil {
+		m.h.RespondError(msg, broker.ErrnoProto, err.Error())
+		return
+	}
+	m.h.Respond(msg, map[string]any{"freed": freed, "version": version})
+}
+
+// recvAvail (root) reports unallocated ranks.
+func (m *Module) recvAvail(msg *wire.Message) {
+	if m.h.Rank() != 0 {
+		m.h.ForwardUpstream(msg)
+		return
+	}
+	m.mu.Lock()
+	var avail []int
+	for r := 0; r < m.h.Size(); r++ {
+		if _, busy := m.allocated[r]; !busy {
+			avail = append(avail, r)
+		}
+	}
+	m.mu.Unlock()
+	if avail == nil {
+		avail = []int{}
+	}
+	m.h.Respond(msg, map[string][]int{"ranks": avail})
+}
+
+// allocResult decodes an alloc/free response and syncs the local KVS to
+// the recording commit, so callers immediately observe the bookkeeping
+// (causal consistency via the returned version).
+func allocResult(h *broker.Handle, resp *wire.Message) ([]int, error) {
+	var body struct {
+		Ranks   []int  `json:"ranks"`
+		Version uint64 `json:"version"`
+	}
+	if err := resp.UnpackJSON(&body); err != nil {
+		return nil, err
+	}
+	if body.Version > 0 {
+		if err := kvs.NewClient(h).WaitVersion(body.Version); err != nil {
+			return nil, err
+		}
+	}
+	return body.Ranks, nil
+}
+
+// Alloc claims nodes (by count) for id and returns the granted ranks.
+func Alloc(h *broker.Handle, id string, nodes int) ([]int, error) {
+	resp, err := h.RPC("resrc.alloc", wire.NodeidAny, allocBody{ID: id, Nodes: nodes})
+	if err != nil {
+		return nil, err
+	}
+	return allocResult(h, resp)
+}
+
+// AllocRanks claims the explicit ranks for id.
+func AllocRanks(h *broker.Handle, id string, ranks []int) ([]int, error) {
+	resp, err := h.RPC("resrc.alloc", wire.NodeidAny, allocBody{ID: id, Ranks: ranks})
+	if err != nil {
+		return nil, err
+	}
+	return allocResult(h, resp)
+}
+
+// Free releases id's allocation and syncs to the recording commit.
+func Free(h *broker.Handle, id string) error {
+	resp, err := h.RPC("resrc.free", wire.NodeidAny, allocBody{ID: id})
+	if err != nil {
+		return err
+	}
+	_, err = allocResult(h, resp)
+	return err
+}
+
+// Avail returns currently unallocated ranks.
+func Avail(h *broker.Handle) ([]int, error) {
+	resp, err := h.RPC("resrc.avail", wire.NodeidAny, nil)
+	if err != nil {
+		return nil, err
+	}
+	var body struct {
+		Ranks []int `json:"ranks"`
+	}
+	if err := resp.UnpackJSON(&body); err != nil {
+		return nil, err
+	}
+	return body.Ranks, nil
+}

@@ -1,0 +1,177 @@
+package resrc
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fluxgo/internal/kvs"
+	"fluxgo/internal/modules/hb"
+	"fluxgo/internal/session"
+)
+
+func newSession(t *testing.T, size int) *session.Session {
+	t.Helper()
+	s, err := session.New(session.Options{
+		Size: size,
+		Modules: []session.ModuleFactory{
+			kvs.Factory(kvs.ModuleConfig{}),
+			hb.Factory(hb.Config{Interval: time.Hour}),
+			Factory(Config{}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestEnumerationInKVS(t *testing.T) {
+	const size = 7
+	s := newSession(t, size)
+	h := s.Handle(0)
+	defer h.Close()
+	if _, err := hb.Pulse(h); err != nil { // triggers enumeration fence
+		t.Fatal(err)
+	}
+	kc := kvs.NewClient(h)
+	deadline := time.After(10 * time.Second)
+	for {
+		names, err := kc.GetDir("resource.rank")
+		if err == nil && len(names) == size {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("enumeration incomplete: %v %v", names, err)
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	var info NodeInfo
+	if err := kc.Get("resource.rank.3", &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Rank != 3 || info.Cores != 16 || info.Sockets != 2 {
+		t.Fatalf("node info %+v", info)
+	}
+}
+
+func TestEnumerationIdempotentAcrossHeartbeats(t *testing.T) {
+	s := newSession(t, 3)
+	h := s.Handle(0)
+	defer h.Close()
+	hb.Pulse(h)
+	hb.Pulse(h) // second heartbeat must not re-fence (would hang forever)
+	kc := kvs.NewClient(h)
+	deadline := time.After(10 * time.Second)
+	for {
+		names, err := kc.GetDir("resource.rank")
+		if err == nil && len(names) == 3 {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("enumeration never completed")
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func TestAllocFreeCycle(t *testing.T) {
+	s := newSession(t, 7)
+	h := s.Handle(5) // requests forward upstream to the root instance
+	defer h.Close()
+
+	ranks, err := Alloc(h, "jobA", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != 3 {
+		t.Fatalf("granted %v", ranks)
+	}
+	// Allocation is recorded in the KVS.
+	kc := kvs.NewClient(h)
+	var recorded []int
+	if err := kc.Get("resource.alloc.jobA", &recorded); err != nil {
+		t.Fatal(err)
+	}
+	if len(recorded) != 3 {
+		t.Fatalf("kvs record %v", recorded)
+	}
+	avail, err := Avail(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avail) != 4 {
+		t.Fatalf("avail = %v", avail)
+	}
+	// Double-allocating a taken rank fails.
+	if _, err := AllocRanks(h, "jobB", []int{ranks[0]}); err == nil {
+		t.Fatal("double allocation accepted")
+	}
+	if err := Free(h, "jobA"); err != nil {
+		t.Fatal(err)
+	}
+	avail, _ = Avail(h)
+	if len(avail) != 7 {
+		t.Fatalf("after free, avail = %v", avail)
+	}
+	if err := kc.Get("resource.alloc.jobA", nil); !kvs.ErrNotFound(err) {
+		t.Fatalf("allocation record not removed: %v", err)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	s := newSession(t, 3)
+	h := s.Handle(0)
+	defer h.Close()
+	if _, err := Alloc(h, "big", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Alloc(h, "more", 1); err == nil {
+		t.Fatal("over-allocation accepted")
+	}
+	if err := Free(h, "nosuch"); err == nil {
+		t.Fatal("freeing unknown id accepted")
+	}
+}
+
+func TestCustomDescribe(t *testing.T) {
+	s, err := session.New(session.Options{
+		Size: 2,
+		Modules: []session.ModuleFactory{
+			kvs.Factory(kvs.ModuleConfig{}),
+			hb.Factory(hb.Config{Interval: time.Hour}),
+			Factory(Config{Describe: func(rank int) NodeInfo {
+				return NodeInfo{Name: fmt.Sprintf("gpu%d", rank), Cores: 64, MemMB: 1 << 20, Sockets: 4}
+			}}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	h := s.Handle(0)
+	defer h.Close()
+	hb.Pulse(h)
+	kc := kvs.NewClient(h)
+	deadline := time.After(10 * time.Second)
+	for {
+		var info NodeInfo
+		if err := kc.Get("resource.rank.1", &info); err == nil {
+			if info.Name != "gpu1" || info.Cores != 64 {
+				t.Fatalf("info %+v", info)
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("custom enumeration never appeared")
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}

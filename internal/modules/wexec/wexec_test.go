@@ -1,0 +1,215 @@
+package wexec
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"fluxgo/internal/kvs"
+	"fluxgo/internal/session"
+)
+
+func newSession(t *testing.T, size int) *session.Session {
+	t.Helper()
+	s, err := session.New(session.Options{
+		Size: size,
+		Modules: []session.ModuleFactory{
+			kvs.Factory(kvs.ModuleConfig{}),
+			Factory(Config{}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func ctx(t *testing.T) context.Context {
+	t.Helper()
+	c, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return c
+}
+
+func TestBulkEchoAllRanks(t *testing.T) {
+	const size = 7
+	s := newSession(t, size)
+	h := s.Handle(3)
+	defer h.Close()
+
+	n, err := Run(h, "job1", "echo", []string{"hello", "flux"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != size {
+		t.Fatalf("ntasks = %d, want %d", n, size)
+	}
+	res, err := Wait(ctx(t), h, "job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != "complete" || res.NTasks != size || res.NFailed != 0 {
+		t.Fatalf("result %+v", res)
+	}
+	// Stdout captured in the KVS for every rank.
+	for r := 0; r < size; r++ {
+		stdout, _, exit, err := Output(h, "job1", r)
+		if err != nil {
+			t.Fatalf("rank %d output: %v", r, err)
+		}
+		if exit != 0 || !strings.Contains(stdout, "hello flux") {
+			t.Fatalf("rank %d: exit %d stdout %q", r, exit, stdout)
+		}
+	}
+}
+
+func TestSubsetRanks(t *testing.T) {
+	s := newSession(t, 7)
+	h := s.Handle(0)
+	defer h.Close()
+	targets := []int{1, 4, 6}
+	n, err := Run(h, "subset", "hostname", nil, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(targets) {
+		t.Fatalf("ntasks = %d", n)
+	}
+	res, err := Wait(ctx(t), h, "subset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NTasks != 3 {
+		t.Fatalf("result %+v", res)
+	}
+	for _, r := range targets {
+		stdout, _, _, err := Output(h, "subset", r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("node%d", r)
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("rank %d stdout %q, want %q", r, stdout, want)
+		}
+	}
+	// Non-target rank has no record.
+	if _, _, _, err := Output(h, "subset", 0); err == nil {
+		t.Fatal("non-target rank has an exit code")
+	}
+}
+
+func TestFailurePropagates(t *testing.T) {
+	s := newSession(t, 3)
+	h := s.Handle(0)
+	defer h.Close()
+	if _, err := Run(h, "failjob", "fail", []string{"3"}, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Wait(ctx(t), h, "failjob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != "failed" || res.NFailed != 2 {
+		t.Fatalf("result %+v", res)
+	}
+	_, stderr, exit, err := Output(h, "failjob", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exit != 3 || !strings.Contains(stderr, "simulated failure") {
+		t.Fatalf("exit %d stderr %q", exit, stderr)
+	}
+}
+
+func TestUnknownProgramExits127(t *testing.T) {
+	s := newSession(t, 1)
+	h := s.Handle(0)
+	defer h.Close()
+	Run(h, "nope", "doesnotexist", nil, nil)
+	res, err := Wait(ctx(t), h, "nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != "failed" {
+		t.Fatalf("result %+v", res)
+	}
+	_, stderr, exit, _ := Output(h, "nope", 0)
+	if exit != 127 || !strings.Contains(stderr, "no such program") {
+		t.Fatalf("exit %d stderr %q", exit, stderr)
+	}
+}
+
+func TestKillBlockedJob(t *testing.T) {
+	s := newSession(t, 3)
+	h := s.Handle(0)
+	defer h.Close()
+	if _, err := Run(h, "blocked", "block", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The job cannot finish on its own; kill it.
+	time.Sleep(50 * time.Millisecond)
+	if err := Kill(h, "blocked"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Wait(ctx(t), h, "blocked")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != "failed" || res.NTasks != 3 {
+		t.Fatalf("result %+v", res)
+	}
+	_, stderr, exit, _ := Output(h, "blocked", 1)
+	if exit != 143 || !strings.Contains(stderr, "terminated by signal") {
+		t.Fatalf("exit %d stderr %q", exit, stderr)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := newSession(t, 2)
+	h := s.Handle(0)
+	defer h.Close()
+	if _, err := Run(h, "", "echo", nil, nil); err == nil {
+		t.Fatal("empty jobid accepted")
+	}
+	if _, err := Run(h, "j", "", nil, nil); err == nil {
+		t.Fatal("empty program accepted")
+	}
+	if _, err := Run(h, "j", "echo", nil, []int{99}); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+func TestCustomProgramRegistry(t *testing.T) {
+	progs := BuiltinPrograms()
+	progs["rankdouble"] = func(ctx context.Context, rank int, args []string, stdout, stderr *strings.Builder) int {
+		fmt.Fprintf(stdout, "%d", rank*2)
+		return 0
+	}
+	s, err := session.New(session.Options{
+		Size: 3,
+		Modules: []session.ModuleFactory{
+			kvs.Factory(kvs.ModuleConfig{}),
+			Factory(Config{Programs: progs}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	h := s.Handle(0)
+	defer h.Close()
+	Run(h, "custom", "rankdouble", nil, []int{2})
+	if _, err := Wait(ctx(t), h, "custom"); err != nil {
+		t.Fatal(err)
+	}
+	stdout, _, _, err := Output(h, "custom", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != "4" {
+		t.Fatalf("stdout %q, want 4", stdout)
+	}
+}

@@ -1,0 +1,192 @@
+// Package mpisim implements MPI-style collectives over the Flux KVS and
+// barrier modules, demonstrating the paper's claim that the per-job
+// backbone communication network "supports well-known bootstrap
+// interfaces for distributed programs including many MPI
+// implementations": after a PMI-style bootstrap, a run-time can build
+// its collectives from KVS puts, fences, and gets alone.
+//
+// The collectives here are the textbook KVS formulations (publish,
+// fence, read), not performance-optimized algorithms; their cost is the
+// KAP access patterns of the paper's Section V.
+package mpisim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fluxgo/internal/broker"
+	"fluxgo/internal/kvs"
+	"fluxgo/internal/modules/barrier"
+)
+
+// Comm is one process's communicator over a jobid-scoped KVS namespace.
+type Comm struct {
+	h     *broker.Handle
+	kc    *kvs.Client
+	jobid string
+	rank  int
+	size  int
+	seq   int
+}
+
+// NewComm creates rank's communicator for an nprocs-wide job.
+func NewComm(h *broker.Handle, jobid string, rank, size int) (*Comm, error) {
+	if size < 1 || rank < 0 || rank >= size {
+		return nil, fmt.Errorf("mpisim: rank %d outside communicator of size %d", rank, size)
+	}
+	return &Comm{h: h, kc: kvs.NewClient(h), jobid: jobid, rank: rank, size: size}, nil
+}
+
+// Rank returns this process's rank in the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.size }
+
+// next advances the collective epoch; all processes call collectives in
+// the same order (MPI semantics), so epochs align.
+func (c *Comm) next() int {
+	c.seq++
+	return c.seq
+}
+
+func (c *Comm) key(seq, rank int, name string) string {
+	return fmt.Sprintf("mpi.%s.c%d.%d.%s", c.jobid, seq, rank, name)
+}
+
+// Barrier blocks until every rank of the communicator has entered.
+func (c *Comm) Barrier() error {
+	seq := c.next()
+	return barrier.Enter(c.h, fmt.Sprintf("mpi.%s.bar.%d", c.jobid, seq), c.size)
+}
+
+// Bcast distributes root's value to every rank: out must be a pointer.
+// The root passes its value in v; other ranks' v is ignored.
+func (c *Comm) Bcast(root int, v any, out any) error {
+	if root < 0 || root >= c.size {
+		return fmt.Errorf("mpisim: bcast root %d out of range", root)
+	}
+	seq := c.next()
+	if c.rank == root {
+		if err := c.kc.Put(c.key(seq, root, "bcast"), v); err != nil {
+			return err
+		}
+	}
+	if _, err := c.kc.Fence(fmt.Sprintf("mpi.%s.bcast.%d", c.jobid, seq), c.size); err != nil {
+		return err
+	}
+	return c.kc.Get(c.key(seq, root, "bcast"), out)
+}
+
+// Allgather publishes each rank's value and returns all values in rank
+// order as raw JSON.
+func (c *Comm) Allgather(v any) ([]json.RawMessage, error) {
+	seq := c.next()
+	if err := c.kc.Put(c.key(seq, c.rank, "ag"), v); err != nil {
+		return nil, err
+	}
+	if _, err := c.kc.Fence(fmt.Sprintf("mpi.%s.ag.%d", c.jobid, seq), c.size); err != nil {
+		return nil, err
+	}
+	out := make([]json.RawMessage, c.size)
+	for r := 0; r < c.size; r++ {
+		raw, err := c.kc.GetRaw(c.key(seq, r, "ag"))
+		if err != nil {
+			return nil, fmt.Errorf("mpisim: allgather read rank %d: %w", r, err)
+		}
+		out[r] = raw
+	}
+	return out, nil
+}
+
+// Op is a reduction operator over float64.
+type Op func(a, b float64) float64
+
+// Standard reduction operators.
+var (
+	OpSum Op = func(a, b float64) float64 { return a + b }
+	OpMin Op = func(a, b float64) float64 {
+		if b < a {
+			return b
+		}
+		return a
+	}
+	OpMax Op = func(a, b float64) float64 {
+		if b > a {
+			return b
+		}
+		return a
+	}
+)
+
+// Allreduce reduces each rank's contribution with op and returns the
+// result, identical at every rank.
+func (c *Comm) Allreduce(v float64, op Op) (float64, error) {
+	all, err := c.Allgather(v)
+	if err != nil {
+		return 0, err
+	}
+	var acc float64
+	for i, raw := range all {
+		var x float64
+		if err := json.Unmarshal(raw, &x); err != nil {
+			return 0, err
+		}
+		if i == 0 {
+			acc = x
+			continue
+		}
+		acc = op(acc, x)
+	}
+	return acc, nil
+}
+
+// Gather returns all values at the root (nil slice elsewhere).
+func (c *Comm) Gather(root int, v any) ([]json.RawMessage, error) {
+	if root < 0 || root >= c.size {
+		return nil, fmt.Errorf("mpisim: gather root %d out of range", root)
+	}
+	seq := c.next()
+	if err := c.kc.Put(c.key(seq, c.rank, "g"), v); err != nil {
+		return nil, err
+	}
+	if _, err := c.kc.Fence(fmt.Sprintf("mpi.%s.g.%d", c.jobid, seq), c.size); err != nil {
+		return nil, err
+	}
+	if c.rank != root {
+		return nil, nil
+	}
+	out := make([]json.RawMessage, c.size)
+	for r := 0; r < c.size; r++ {
+		raw, err := c.kc.GetRaw(c.key(seq, r, "g"))
+		if err != nil {
+			return nil, err
+		}
+		out[r] = raw
+	}
+	return out, nil
+}
+
+// Scatter distributes root's per-rank values; each rank receives its
+// element into out. values is only read at the root and must have
+// exactly Size elements.
+func (c *Comm) Scatter(root int, values []any, out any) error {
+	if root < 0 || root >= c.size {
+		return fmt.Errorf("mpisim: scatter root %d out of range", root)
+	}
+	seq := c.next()
+	if c.rank == root {
+		if len(values) != c.size {
+			return fmt.Errorf("mpisim: scatter needs %d values, got %d", c.size, len(values))
+		}
+		for r, v := range values {
+			if err := c.kc.Put(c.key(seq, r, "sc"), v); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := c.kc.Fence(fmt.Sprintf("mpi.%s.sc.%d", c.jobid, seq), c.size); err != nil {
+		return err
+	}
+	return c.kc.Get(c.key(seq, c.rank, "sc"), out)
+}

@@ -1,0 +1,201 @@
+package mpisim
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"fluxgo/internal/kvs"
+	"fluxgo/internal/modules/barrier"
+	"fluxgo/internal/session"
+)
+
+func newSession(t *testing.T, size int) *session.Session {
+	t.Helper()
+	s, err := session.New(session.Options{
+		Size: size,
+		Modules: []session.ModuleFactory{
+			kvs.Factory(kvs.ModuleConfig{}),
+			barrier.Factory,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// runJob drives fn concurrently as procs ranks of one communicator and
+// fails on the first error.
+func runJob(t *testing.T, s *session.Session, jobid string, procs int, fn func(c *Comm) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := s.Handle(p % s.Size())
+			defer h.Close()
+			c, err := NewComm(h, jobid, p, procs)
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			errs[p] = fn(c)
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", p, err)
+		}
+	}
+}
+
+func TestNewCommValidation(t *testing.T) {
+	s := newSession(t, 1)
+	h := s.Handle(0)
+	defer h.Close()
+	if _, err := NewComm(h, "j", 3, 3); err == nil {
+		t.Fatal("rank == size accepted")
+	}
+	if _, err := NewComm(h, "j", -1, 3); err == nil {
+		t.Fatal("negative rank accepted")
+	}
+}
+
+func TestBcast(t *testing.T) {
+	const procs = 8
+	s := newSession(t, 4)
+	runJob(t, s, "bcast", procs, func(c *Comm) error {
+		var got string
+		if err := c.Bcast(3, "from-three", &got); err != nil {
+			return err
+		}
+		if got != "from-three" {
+			return fmt.Errorf("rank %d got %q", c.Rank(), got)
+		}
+		// A second bcast from a different root uses a fresh epoch.
+		var n int
+		if err := c.Bcast(0, c.Rank()*0+42, &n); err != nil {
+			return err
+		}
+		if n != 42 {
+			return fmt.Errorf("second bcast got %d", n)
+		}
+		return nil
+	})
+}
+
+func TestAllreduce(t *testing.T) {
+	const procs = 12
+	s := newSession(t, 4)
+	runJob(t, s, "ar", procs, func(c *Comm) error {
+		sum, err := c.Allreduce(float64(c.Rank()), OpSum)
+		if err != nil {
+			return err
+		}
+		if want := float64(procs * (procs - 1) / 2); sum != want {
+			return fmt.Errorf("sum %f, want %f", sum, want)
+		}
+		mn, err := c.Allreduce(float64(c.Rank()+5), OpMin)
+		if err != nil {
+			return err
+		}
+		if mn != 5 {
+			return fmt.Errorf("min %f", mn)
+		}
+		mx, err := c.Allreduce(float64(c.Rank()), OpMax)
+		if err != nil {
+			return err
+		}
+		if mx != procs-1 {
+			return fmt.Errorf("max %f", mx)
+		}
+		return nil
+	})
+}
+
+func TestAllgatherOrdered(t *testing.T) {
+	const procs = 6
+	s := newSession(t, 3)
+	runJob(t, s, "ag", procs, func(c *Comm) error {
+		all, err := c.Allgather(fmt.Sprintf("v%d", c.Rank()))
+		if err != nil {
+			return err
+		}
+		if len(all) != procs {
+			return fmt.Errorf("gathered %d", len(all))
+		}
+		for r, raw := range all {
+			var v string
+			if err := json.Unmarshal(raw, &v); err != nil {
+				return err
+			}
+			if v != fmt.Sprintf("v%d", r) {
+				return fmt.Errorf("slot %d = %q", r, v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestGatherScatter(t *testing.T) {
+	const procs = 5
+	s := newSession(t, 5)
+	runJob(t, s, "gs", procs, func(c *Comm) error {
+		// Gather at root 2.
+		all, err := c.Gather(2, c.Rank()*10)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 2 {
+			if len(all) != procs {
+				return fmt.Errorf("root gathered %d", len(all))
+			}
+			var v int
+			json.Unmarshal(all[4], &v)
+			if v != 40 {
+				return fmt.Errorf("slot 4 = %d", v)
+			}
+		} else if all != nil {
+			return fmt.Errorf("non-root got data")
+		}
+		// Scatter from root 0.
+		var values []any
+		if c.Rank() == 0 {
+			for r := 0; r < procs; r++ {
+				values = append(values, r*r)
+			}
+		}
+		var mine int
+		if err := c.Scatter(0, values, &mine); err != nil {
+			return err
+		}
+		if mine != c.Rank()*c.Rank() {
+			return fmt.Errorf("scatter got %d", mine)
+		}
+		return nil
+	})
+}
+
+func TestBarrierAndRootValidation(t *testing.T) {
+	const procs = 4
+	s := newSession(t, 2)
+	runJob(t, s, "bv", procs, func(c *Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		var out int
+		if err := c.Bcast(99, 1, &out); err == nil {
+			return fmt.Errorf("out-of-range bcast root accepted")
+		}
+		if _, err := c.Gather(-1, 1); err == nil {
+			return fmt.Errorf("negative gather root accepted")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,91 @@
+// Package pmi implements a PMI-1-style process-management interface
+// over the Flux KVS and barrier modules — the paper's "custom PMI
+// library allows MPI run-times to access the Flux KVS and collective
+// barrier modules", the bootstrap pattern (put, fence, get) that
+// motivates KAP's coordinated access workload.
+package pmi
+
+import (
+	"fmt"
+
+	"fluxgo/internal/broker"
+	"fluxgo/internal/kvs"
+	"fluxgo/internal/modules/barrier"
+)
+
+// PMI is one process's interface. Typical MPI bootstrap:
+//
+//	p.Put("business-card", myAddr)
+//	p.Fence()
+//	peer := p.Get(otherRank, "business-card")
+type PMI struct {
+	h       *broker.Handle
+	kc      *kvs.Client
+	jobid   string
+	rank    int
+	size    int
+	fenceNo int
+}
+
+// New creates a PMI context for one process of an nprocs-wide job.
+// rank here is the process's index within the job, not the broker rank.
+func New(h *broker.Handle, jobid string, rank, size int) (*PMI, error) {
+	if size < 1 || rank < 0 || rank >= size {
+		return nil, fmt.Errorf("pmi: rank %d outside job of size %d", rank, size)
+	}
+	return &PMI{h: h, kc: kvs.NewClient(h), jobid: jobid, rank: rank, size: size}, nil
+}
+
+// Rank returns the process's job rank.
+func (p *PMI) Rank() int { return p.rank }
+
+// Size returns the job size.
+func (p *PMI) Size() int { return p.size }
+
+// KVSName returns the job's KVS namespace, as PMI_KVS_Get_my_name would.
+func (p *PMI) KVSName() string { return "pmi." + p.jobid }
+
+// key namespaces a per-rank entry.
+func (p *PMI) key(rank int, name string) string {
+	return fmt.Sprintf("%s.%d.%s", p.KVSName(), rank, name)
+}
+
+// Put stores a key-value pair in this process's portion of the job
+// namespace. Values become globally visible only after Fence.
+func (p *PMI) Put(name string, value string) error {
+	return p.kc.Put(p.key(p.rank, name), value)
+}
+
+// Fence commits all processes' puts collectively and synchronizes: when
+// it returns, every put made before any process's Fence is visible to
+// all (KVS fence = commit + barrier, exactly as in the paper).
+func (p *PMI) Fence() error {
+	p.fenceNo++
+	_, err := p.kc.Fence(fmt.Sprintf("%s.fence.%d", p.KVSName(), p.fenceNo), p.size)
+	return err
+}
+
+// Get reads another process's value (after a Fence).
+func (p *PMI) Get(rank int, name string) (string, error) {
+	if rank < 0 || rank >= p.size {
+		return "", fmt.Errorf("pmi: get from rank %d outside job of size %d", rank, p.size)
+	}
+	var v string
+	if err := p.kc.Get(p.key(rank, name), &v); err != nil {
+		return "", err
+	}
+	return v, nil
+}
+
+// Barrier synchronizes the job's processes without committing.
+func (p *PMI) Barrier() error {
+	p.fenceNo++
+	return barrier.Enter(p.h, fmt.Sprintf("%s.barrier.%d", p.KVSName(), p.fenceNo), p.size)
+}
+
+// Abort marks the job aborted in the KVS for other processes to see.
+func (p *PMI) Abort(code int, msg string) error {
+	p.kc.Put(p.KVSName()+".abort", map[string]any{"rank": p.rank, "code": code, "msg": msg})
+	_, err := p.kc.Commit()
+	return err
+}

@@ -1,0 +1,166 @@
+package pmi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"fluxgo/internal/kvs"
+	"fluxgo/internal/modules/barrier"
+	"fluxgo/internal/session"
+)
+
+func newSession(t *testing.T, size int) *session.Session {
+	t.Helper()
+	s, err := session.New(session.Options{
+		Size: size,
+		Modules: []session.ModuleFactory{
+			kvs.Factory(kvs.ModuleConfig{}),
+			barrier.Factory,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	s := newSession(t, 1)
+	h := s.Handle(0)
+	defer h.Close()
+	if _, err := New(h, "j", -1, 4); err == nil {
+		t.Fatal("negative rank accepted")
+	}
+	if _, err := New(h, "j", 4, 4); err == nil {
+		t.Fatal("rank == size accepted")
+	}
+	if _, err := New(h, "j", 0, 0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+}
+
+// TestMPIBootstrapExchange reproduces the classic PMI bootstrap: every
+// process publishes its business card, fences, and reads every peer's.
+func TestMPIBootstrapExchange(t *testing.T) {
+	const ranks, procs = 7, 14
+	s := newSession(t, ranks)
+	var wg sync.WaitGroup
+	errs := make([]error, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := s.Handle(p % ranks)
+			defer h.Close()
+			pm, err := New(h, "mpijob", p, procs)
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			if err := pm.Put("card", fmt.Sprintf("addr-of-%d", p)); err != nil {
+				errs[p] = err
+				return
+			}
+			if err := pm.Fence(); err != nil {
+				errs[p] = err
+				return
+			}
+			for peer := 0; peer < procs; peer++ {
+				card, err := pm.Get(peer, "card")
+				if err != nil {
+					errs[p] = fmt.Errorf("get card of %d: %w", peer, err)
+					return
+				}
+				if card != fmt.Sprintf("addr-of-%d", peer) {
+					errs[p] = fmt.Errorf("peer %d card %q", peer, card)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("proc %d: %v", p, err)
+		}
+	}
+}
+
+func TestRepeatedFences(t *testing.T) {
+	const procs = 4
+	s := newSession(t, 2)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := s.Handle(p % 2)
+			defer h.Close()
+			pm, _ := New(h, "rounds", p, procs)
+			for round := 0; round < 3; round++ {
+				pm.Put(fmt.Sprintf("r%d", round), fmt.Sprintf("%d", p*round))
+				if err := pm.Fence(); err != nil {
+					t.Errorf("proc %d round %d: %v", p, round, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+func TestBarrierOnly(t *testing.T) {
+	const procs = 6
+	s := newSession(t, 3)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := s.Handle(p % 3)
+			defer h.Close()
+			pm, _ := New(h, "bar", p, procs)
+			if err := pm.Barrier(); err != nil {
+				t.Error(err)
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+func TestGetValidation(t *testing.T) {
+	s := newSession(t, 1)
+	h := s.Handle(0)
+	defer h.Close()
+	pm, _ := New(h, "v", 0, 2)
+	if _, err := pm.Get(5, "x"); err == nil {
+		t.Fatal("out-of-range peer accepted")
+	}
+	if pm.KVSName() != "pmi.v" {
+		t.Fatalf("KVSName = %s", pm.KVSName())
+	}
+}
+
+func TestAbortRecorded(t *testing.T) {
+	s := newSession(t, 1)
+	h := s.Handle(0)
+	defer h.Close()
+	pm, _ := New(h, "ab", 0, 1)
+	if err := pm.Abort(9, "fatal"); err != nil {
+		t.Fatal(err)
+	}
+	kc := kvs.NewClient(h)
+	var rec struct {
+		Rank int    `json:"rank"`
+		Code int    `json:"code"`
+		Msg  string `json:"msg"`
+	}
+	if err := kc.Get("pmi.ab.abort", &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Code != 9 || rec.Msg != "fatal" {
+		t.Fatalf("abort record %+v", rec)
+	}
+}

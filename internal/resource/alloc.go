@@ -1,0 +1,308 @@
+package resource
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Request describes what a job needs, across multiple resource
+// dimensions — the multidimensional resource bounds of Challenge 1.
+type Request struct {
+	Nodes        int               `json:"nodes"`
+	CoresPerNode int               `json:"cores_per_node,omitempty"` // 0 = whole node
+	PowerWPerNod float64           `json:"power_w_per_node,omitempty"`
+	MemMBPerNode float64           `json:"mem_mb_per_node,omitempty"`
+	FilesystemBW float64           `json:"filesystem_bw,omitempty"` // aggregate MB/s
+	Properties   map[string]string `json:"properties,omitempty"`    // node constraints
+}
+
+// Allocation is a granted resource set.
+type Allocation struct {
+	ID    string
+	Nodes []*Resource
+	Req   Request
+
+	fsPool *Resource // cluster-level bandwidth pool charged, if any
+}
+
+// NodeNames returns the sorted names of allocated nodes.
+func (a *Allocation) NodeNames() []string {
+	names := make([]string, len(a.Nodes))
+	for i, n := range a.Nodes {
+		names[i] = n.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Pool manages allocations against a resource graph. It is the
+// allocation engine used by schedulers; all methods are safe for
+// concurrent use.
+type Pool struct {
+	mu     sync.Mutex
+	root   *Resource
+	nodes  []*Resource
+	allocs map[string]*Allocation
+}
+
+// NewPool wraps a resource graph for allocation.
+func NewPool(root *Resource) *Pool {
+	return &Pool{
+		root:   root,
+		nodes:  root.FindAll(TypeNode),
+		allocs: map[string]*Allocation{},
+	}
+}
+
+// Root returns the underlying resource graph.
+func (p *Pool) Root() *Resource { return p.root }
+
+// Adopt attaches additional node vertices to the pool's root and makes
+// them allocatable — how a child instance's pool grows after its parent
+// grants a grow request.
+func (p *Pool) Adopt(nodes []*Resource) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, n := range nodes {
+		p.root.AddChild(n)
+		p.nodes = append(p.nodes, n)
+	}
+}
+
+// Evict removes specific free nodes from the pool (the shrink
+// counterpart of Adopt). Allocated nodes are refused.
+func (p *Pool) Evict(nodes []*Resource) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	drop := map[*Resource]bool{}
+	for _, n := range nodes {
+		if n.owner != "" {
+			return fmt.Errorf("resource: cannot evict %s: allocated to %s", n.Name, n.owner)
+		}
+		drop[n] = true
+	}
+	keep := p.nodes[:0]
+	for _, n := range p.nodes {
+		if !drop[n] {
+			keep = append(keep, n)
+		}
+	}
+	p.nodes = keep
+	kids := p.root.Children[:0]
+	for _, c := range p.root.Children {
+		if !drop[c] {
+			kids = append(kids, c)
+		}
+	}
+	p.root.Children = kids
+	return nil
+}
+
+// TotalNodes returns the number of nodes in the graph.
+func (p *Pool) TotalNodes() int { return len(p.nodes) }
+
+// FreeNodes returns the number of currently unallocated nodes.
+func (p *Pool) FreeNodes() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	free := 0
+	for _, n := range p.nodes {
+		if n.owner == "" {
+			free++
+		}
+	}
+	return free
+}
+
+// nodeMatches checks a node against request constraints.
+func nodeMatches(n *Resource, req Request) bool {
+	if req.CoresPerNode > 0 && n.Count(TypeCore) < req.CoresPerNode {
+		return false
+	}
+	for k, v := range req.Properties {
+		if n.Properties[k] != v {
+			return false
+		}
+	}
+	if req.MemMBPerNode > 0 {
+		mem := n.poolOf(TypeMemory)
+		if mem == nil || mem.Available() < req.MemMBPerNode {
+			return false
+		}
+	}
+	return true
+}
+
+// CanAllocate reports whether the request could be satisfied right now.
+func (p *Pool) CanAllocate(req Request) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	nodes, err := p.acquireNodes("", req, req.Nodes)
+	if err != nil {
+		return false
+	}
+	p.returnNodes(nodes, req)
+	return true
+}
+
+// acquireNodes claims count free matching nodes for owner, charging
+// per-node power and memory through every ancestor cap as it goes, so a
+// node whose rack or cluster pool is exhausted is skipped rather than
+// failing the whole request. On failure everything is returned.
+// Caller holds mu.
+func (p *Pool) acquireNodes(owner string, req Request, count int) ([]*Resource, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("resource: request for %d nodes", count)
+	}
+	var picked []*Resource
+	for _, n := range p.nodes {
+		if n.owner != "" || !nodeMatches(n, req) {
+			continue
+		}
+		if err := reserveAncestry(n, TypePower, req.PowerWPerNod); err != nil {
+			continue // capped out somewhere along this node's ancestry
+		}
+		if err := reserveAncestry(n, TypeMemory, req.MemMBPerNode); err != nil {
+			releaseAncestry(n, TypePower, req.PowerWPerNod)
+			continue
+		}
+		n.owner = owner
+		picked = append(picked, n)
+		if len(picked) == count {
+			return picked, nil
+		}
+	}
+	got := len(picked)
+	p.returnNodes(picked, req)
+	return nil, fmt.Errorf("resource: %d of %d feasible nodes available", got, count)
+}
+
+// returnNodes undoes acquireNodes. Caller holds mu.
+func (p *Pool) returnNodes(nodes []*Resource, req Request) {
+	for _, n := range nodes {
+		releaseAncestry(n, TypePower, req.PowerWPerNod)
+		releaseAncestry(n, TypeMemory, req.MemMBPerNode)
+		n.owner = ""
+	}
+}
+
+// Allocate grants a request, consuming structural nodes and charging
+// consumable pools (power per node through every ancestor cap, aggregate
+// file-system bandwidth at the cluster level). It is all-or-nothing.
+func (p *Pool) Allocate(id string, req Request) (*Allocation, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.allocs[id]; dup {
+		return nil, fmt.Errorf("resource: allocation %q already exists", id)
+	}
+	nodes, err := p.acquireNodes(id, req, req.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	alloc := &Allocation{ID: id, Req: req, Nodes: nodes}
+
+	// Aggregate file-system bandwidth is a site-wide shared pool.
+	if req.FilesystemBW > 0 {
+		fs := p.findBandwidthPool()
+		if fs == nil {
+			p.returnNodes(nodes, req)
+			return nil, fmt.Errorf("resource: no filesystem bandwidth pool in graph")
+		}
+		if fs.Available() < req.FilesystemBW {
+			p.returnNodes(nodes, req)
+			return nil, fmt.Errorf("resource: filesystem bandwidth %0.f of %0.f available",
+				fs.Available(), req.FilesystemBW)
+		}
+		fs.used += req.FilesystemBW
+		alloc.fsPool = fs
+	}
+	p.allocs[id] = alloc
+	return alloc, nil
+}
+
+func (p *Pool) findBandwidthPool() *Resource {
+	var found *Resource
+	p.root.Walk(func(r *Resource) bool {
+		if found != nil {
+			return false
+		}
+		if r.Type == TypeBandwidth && r.Capacity > 0 {
+			found = r
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Release frees an allocation, returning all charged capacity.
+func (p *Pool) Release(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	alloc, ok := p.allocs[id]
+	if !ok {
+		return fmt.Errorf("resource: no allocation %q", id)
+	}
+	p.releaseNodesLocked(alloc, alloc.Nodes)
+	if alloc.fsPool != nil {
+		alloc.fsPool.used -= alloc.Req.FilesystemBW
+		if alloc.fsPool.used < 0 {
+			alloc.fsPool.used = 0
+		}
+	}
+	delete(p.allocs, id)
+	return nil
+}
+
+func (p *Pool) releaseNodesLocked(alloc *Allocation, nodes []*Resource) {
+	for _, n := range nodes {
+		releaseAncestry(n, TypePower, alloc.Req.PowerWPerNod)
+		releaseAncestry(n, TypeMemory, alloc.Req.MemMBPerNode)
+		n.owner = ""
+	}
+}
+
+// Grow extends an allocation by n more nodes under the same per-node
+// requirements — the mechanics behind the paper's elasticity model
+// (invoked by a parent after a child's grow request is granted).
+func (p *Pool) Grow(id string, n int) ([]*Resource, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	alloc, ok := p.allocs[id]
+	if !ok {
+		return nil, fmt.Errorf("resource: no allocation %q", id)
+	}
+	nodes, err := p.acquireNodes(id, alloc.Req, n)
+	if err != nil {
+		return nil, err
+	}
+	alloc.Nodes = append(alloc.Nodes, nodes...)
+	return nodes, nil
+}
+
+// Shrink releases n nodes from an allocation (the most recently granted
+// first) and returns the released nodes.
+func (p *Pool) Shrink(id string, n int) ([]*Resource, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	alloc, ok := p.allocs[id]
+	if !ok {
+		return nil, fmt.Errorf("resource: no allocation %q", id)
+	}
+	if n >= len(alloc.Nodes) {
+		return nil, fmt.Errorf("resource: shrink of %d would empty allocation of %d nodes",
+			n, len(alloc.Nodes))
+	}
+	cut := alloc.Nodes[len(alloc.Nodes)-n:]
+	alloc.Nodes = alloc.Nodes[:len(alloc.Nodes)-n]
+	p.releaseNodesLocked(alloc, cut)
+	return cut, nil
+}
+
+// Allocation returns the live allocation with the given id, or nil.
+func (p *Pool) Allocation(id string) *Allocation {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.allocs[id]
+}

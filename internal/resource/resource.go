@@ -1,0 +1,280 @@
+// Package resource implements Flux's generalized resource model: an
+// extensible, typed, hierarchical graph covering any kind of resource
+// and its relationships — compute (cluster/rack/node/socket/core) as
+// well as consumable scalars such as power, file-system bandwidth, and
+// memory — so scheduling decisions can be made against many resource
+// types instead of the traditional flat node list.
+package resource
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Type classifies a resource vertex. The set is open: any string is a
+// valid type, which is what makes the model extensible.
+type Type string
+
+// Common resource types.
+const (
+	TypeCluster    Type = "cluster"
+	TypeRack       Type = "rack"
+	TypeNode       Type = "node"
+	TypeSocket     Type = "socket"
+	TypeCore       Type = "core"
+	TypeMemory     Type = "memory"
+	TypePower      Type = "power"
+	TypeBandwidth  Type = "bandwidth"
+	TypeFilesystem Type = "filesystem"
+)
+
+// Resource is one vertex of the resource graph. Structural resources
+// (cluster, rack, node, core) have unit capacity and children; pool
+// resources (power, bandwidth, memory) are consumable scalars attached
+// anywhere in the hierarchy, enabling multi-level constraints such as
+// per-rack power caps under a cluster-wide cap.
+type Resource struct {
+	Type       Type              `json:"type"`
+	Name       string            `json:"name"`
+	Capacity   float64           `json:"capacity,omitempty"` // consumable pools only
+	Properties map[string]string `json:"properties,omitempty"`
+	Children   []*Resource       `json:"children,omitempty"`
+
+	parent *Resource
+	used   float64 // pool consumption
+	owner  string  // structural allocation owner ("" = free)
+}
+
+// New creates a resource vertex.
+func New(t Type, name string) *Resource {
+	return &Resource{Type: t, Name: name}
+}
+
+// NewScalar creates a consumable scalar resource (power, bandwidth, ...).
+func NewScalar(t Type, name string, capacity float64) *Resource {
+	return &Resource{Type: t, Name: name, Capacity: capacity}
+}
+
+// AddChild links child under r and returns child for chaining.
+func (r *Resource) AddChild(child *Resource) *Resource {
+	child.parent = r
+	r.Children = append(r.Children, child)
+	return child
+}
+
+// Parent returns the vertex above r, or nil at the graph root.
+func (r *Resource) Parent() *Resource { return r.parent }
+
+// Path returns the slash-separated path from the graph root to r.
+func (r *Resource) Path() string {
+	if r.parent == nil {
+		return r.Name
+	}
+	return r.parent.Path() + "/" + r.Name
+}
+
+// Walk visits r and its descendants pre-order; returning false from fn
+// prunes the subtree below the current vertex.
+func (r *Resource) Walk(fn func(*Resource) bool) {
+	if !fn(r) {
+		return
+	}
+	for _, c := range r.Children {
+		c.Walk(fn)
+	}
+}
+
+// FindAll returns all descendants (including r) of the given type.
+func (r *Resource) FindAll(t Type) []*Resource {
+	var out []*Resource
+	r.Walk(func(x *Resource) bool {
+		if x.Type == t {
+			out = append(out, x)
+		}
+		return true
+	})
+	return out
+}
+
+// Find returns the descendant with the given path relative to r
+// (excluding r's own name), or nil.
+func (r *Resource) Find(path string) *Resource {
+	if path == "" {
+		return r
+	}
+	parts := strings.SplitN(path, "/", 2)
+	for _, c := range r.Children {
+		if c.Name == parts[0] {
+			if len(parts) == 1 {
+				return c
+			}
+			return c.Find(parts[1])
+		}
+	}
+	return nil
+}
+
+// Count returns the number of descendants (including r) of type t.
+func (r *Resource) Count(t Type) int { return len(r.FindAll(t)) }
+
+// pool helpers ---------------------------------------------------------
+
+// poolOf returns the child pool of type t directly under r, or nil.
+func (r *Resource) poolOf(t Type) *Resource {
+	for _, c := range r.Children {
+		if c.Type == t && c.Capacity > 0 {
+			return c
+		}
+	}
+	return nil
+}
+
+// Available returns a pool's remaining capacity.
+func (r *Resource) Available() float64 { return r.Capacity - r.used }
+
+// Used returns a pool's current consumption.
+func (r *Resource) Used() float64 { return r.used }
+
+// Owner returns the allocation owning a structural resource, or "".
+func (r *Resource) Owner() string { return r.owner }
+
+// reserve consumes amount from the pools of type t along r's ancestry
+// (node, rack, cluster, ...), enforcing every level's cap. On failure
+// nothing is consumed and the limiting pool is reported.
+func reserveAncestry(r *Resource, t Type, amount float64) error {
+	if amount <= 0 {
+		return nil
+	}
+	var pools []*Resource
+	for v := r; v != nil; v = v.parent {
+		if p := v.poolOf(t); p != nil {
+			pools = append(pools, p)
+		}
+	}
+	for _, p := range pools {
+		if p.Available() < amount {
+			return fmt.Errorf("resource: %s pool at %s has %.0f of %.0f needed",
+				t, p.Path(), p.Available(), amount)
+		}
+	}
+	for _, p := range pools {
+		p.used += amount
+	}
+	return nil
+}
+
+// releaseAncestry returns amount to the pools of type t along r's
+// ancestry.
+func releaseAncestry(r *Resource, t Type, amount float64) {
+	if amount <= 0 {
+		return
+	}
+	for v := r; v != nil; v = v.parent {
+		if p := v.poolOf(t); p != nil {
+			p.used -= amount
+			if p.used < 0 {
+				p.used = 0
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the subgraph with allocation state
+// (owner, pool consumption) reset. Instances use clones to hand a child
+// its own independent view of granted resources.
+func (r *Resource) Clone() *Resource {
+	c := &Resource{Type: r.Type, Name: r.Name, Capacity: r.Capacity}
+	if r.Properties != nil {
+		c.Properties = make(map[string]string, len(r.Properties))
+		for k, v := range r.Properties {
+			c.Properties[k] = v
+		}
+	}
+	for _, child := range r.Children {
+		c.AddChild(child.Clone())
+	}
+	return c
+}
+
+// MarshalJSON serializes the subgraph (structure and capacities), used
+// to enumerate resources into the KVS.
+func (r *Resource) MarshalJSON() ([]byte, error) {
+	type plain Resource
+	return json.Marshal((*plain)(r))
+}
+
+// UnmarshalJSON restores a subgraph and rewires parent pointers.
+func (r *Resource) UnmarshalJSON(data []byte) error {
+	type plain Resource
+	if err := json.Unmarshal(data, (*plain)(r)); err != nil {
+		return err
+	}
+	var rewire func(*Resource)
+	rewire = func(v *Resource) {
+		for _, c := range v.Children {
+			c.parent = v
+			rewire(c)
+		}
+	}
+	rewire(r)
+	return nil
+}
+
+// ClusterSpec describes a regular cluster to build.
+type ClusterSpec struct {
+	Name           string
+	Racks          int
+	NodesPerRack   int
+	SocketsPerNode int
+	CoresPerSocket int
+	MemMBPerNode   float64
+	// Power caps at each level (0 disables that level's pool) — the
+	// paper's "dynamic power capping at the level of systems, compute
+	// racks, and/or nodes".
+	ClusterPowerW float64
+	RackPowerW    float64
+	NodePowerW    float64
+	// FilesystemBW adds a cluster-level shared file-system bandwidth pool
+	// (MB/s), the paper's motivating site-wide shared resource.
+	FilesystemBW float64
+}
+
+// BuildCluster constructs a regular cluster resource graph.
+func BuildCluster(spec ClusterSpec) (*Resource, error) {
+	if spec.Racks < 1 || spec.NodesPerRack < 1 || spec.SocketsPerNode < 1 || spec.CoresPerSocket < 1 {
+		return nil, fmt.Errorf("resource: cluster spec must have >= 1 of each structural level")
+	}
+	cluster := New(TypeCluster, spec.Name)
+	if spec.ClusterPowerW > 0 {
+		cluster.AddChild(NewScalar(TypePower, "power", spec.ClusterPowerW))
+	}
+	if spec.FilesystemBW > 0 {
+		fs := cluster.AddChild(New(TypeFilesystem, "lustre"))
+		fs.AddChild(NewScalar(TypeBandwidth, "bandwidth", spec.FilesystemBW))
+	}
+	node := 0
+	for ri := 0; ri < spec.Racks; ri++ {
+		rack := cluster.AddChild(New(TypeRack, fmt.Sprintf("rack%d", ri)))
+		if spec.RackPowerW > 0 {
+			rack.AddChild(NewScalar(TypePower, "power", spec.RackPowerW))
+		}
+		for ni := 0; ni < spec.NodesPerRack; ni++ {
+			n := rack.AddChild(New(TypeNode, fmt.Sprintf("node%d", node)))
+			node++
+			if spec.NodePowerW > 0 {
+				n.AddChild(NewScalar(TypePower, "power", spec.NodePowerW))
+			}
+			if spec.MemMBPerNode > 0 {
+				n.AddChild(NewScalar(TypeMemory, "memory", spec.MemMBPerNode))
+			}
+			for si := 0; si < spec.SocketsPerNode; si++ {
+				sock := n.AddChild(New(TypeSocket, fmt.Sprintf("socket%d", si)))
+				for ci := 0; ci < spec.CoresPerSocket; ci++ {
+					sock.AddChild(New(TypeCore, fmt.Sprintf("core%d", ci)))
+				}
+			}
+		}
+	}
+	return cluster, nil
+}

@@ -1,0 +1,339 @@
+package resource
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func testCluster(t *testing.T) *Resource {
+	t.Helper()
+	c, err := BuildCluster(ClusterSpec{
+		Name:           "zin",
+		Racks:          2,
+		NodesPerRack:   4,
+		SocketsPerNode: 2,
+		CoresPerSocket: 8,
+		MemMBPerNode:   32 << 10,
+		ClusterPowerW:  4000,
+		RackPowerW:     2500,
+		NodePowerW:     800,
+		FilesystemBW:   10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildClusterShape(t *testing.T) {
+	c := testCluster(t)
+	if got := c.Count(TypeRack); got != 2 {
+		t.Fatalf("racks = %d", got)
+	}
+	if got := c.Count(TypeNode); got != 8 {
+		t.Fatalf("nodes = %d", got)
+	}
+	if got := c.Count(TypeCore); got != 8*16 {
+		t.Fatalf("cores = %d", got)
+	}
+	if got := c.Count(TypeFilesystem); got != 1 {
+		t.Fatalf("filesystems = %d", got)
+	}
+}
+
+func TestBuildClusterValidation(t *testing.T) {
+	if _, err := BuildCluster(ClusterSpec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestFindAndPath(t *testing.T) {
+	c := testCluster(t)
+	n := c.Find("rack1/node4")
+	if n == nil || n.Type != TypeNode {
+		t.Fatalf("Find returned %v", n)
+	}
+	if n.Path() != "zin/rack1/node4" {
+		t.Fatalf("Path = %s", n.Path())
+	}
+	if c.Find("rack9") != nil {
+		t.Fatal("bogus path found")
+	}
+	sock := c.Find("rack0/node0/socket1")
+	if sock == nil || sock.Count(TypeCore) != 8 {
+		t.Fatalf("socket lookup failed: %v", sock)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := testCluster(t)
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Resource
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count(TypeNode) != 8 || back.Count(TypeCore) != 128 {
+		t.Fatal("round trip lost structure")
+	}
+	// Parent pointers rewired.
+	n := back.Find("rack0/node1")
+	if n.Parent() == nil || n.Parent().Name != "rack0" {
+		t.Fatal("parent pointers not restored")
+	}
+}
+
+func TestAllocateBasic(t *testing.T) {
+	p := NewPool(testCluster(t))
+	a, err := p.Allocate("job1", Request{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Nodes) != 3 {
+		t.Fatalf("granted %d nodes", len(a.Nodes))
+	}
+	if p.FreeNodes() != 5 {
+		t.Fatalf("free = %d", p.FreeNodes())
+	}
+	for _, n := range a.Nodes {
+		if n.Owner() != "job1" {
+			t.Fatalf("node %s owner %q", n.Name, n.Owner())
+		}
+	}
+	if err := p.Release("job1"); err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeNodes() != 8 {
+		t.Fatalf("after release, free = %d", p.FreeNodes())
+	}
+}
+
+func TestAllocateDuplicateID(t *testing.T) {
+	p := NewPool(testCluster(t))
+	p.Allocate("dup", Request{Nodes: 1})
+	if _, err := p.Allocate("dup", Request{Nodes: 1}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}
+
+func TestAllocateTooMany(t *testing.T) {
+	p := NewPool(testCluster(t))
+	if _, err := p.Allocate("big", Request{Nodes: 9}); err == nil {
+		t.Fatal("over-allocation accepted")
+	}
+	if p.FreeNodes() != 8 {
+		t.Fatal("failed allocation leaked nodes")
+	}
+	if _, err := p.Allocate("zero", Request{Nodes: 0}); err == nil {
+		t.Fatal("zero-node request accepted")
+	}
+}
+
+func TestPowerCapHierarchy(t *testing.T) {
+	// Node cap 800 W, rack cap 2500 W, cluster cap 4000 W. At 700 W per
+	// node, a rack of 4 nodes can host only 3 (2100 <= 2500, 2800 > 2500),
+	// and the cluster only 5 (3500 <= 4000, 4200 > 4000).
+	p := NewPool(testCluster(t))
+	var granted int
+	for i := 0; ; i++ {
+		_, err := p.Allocate(fmt.Sprintf("j%d", i), Request{Nodes: 1, PowerWPerNod: 700})
+		if err != nil {
+			break
+		}
+		granted++
+	}
+	if granted != 5 {
+		t.Fatalf("granted %d single-node 700W allocations, want 5 (cluster cap)", granted)
+	}
+	// Per-rack usage must respect the rack cap.
+	c := p.Root()
+	for _, rack := range c.FindAll(TypeRack) {
+		pw := rack.Find("power")
+		if pw == nil {
+			t.Fatal("rack power pool missing")
+		}
+		if pw.Used() > 2500 {
+			t.Fatalf("rack %s power %f exceeds cap", rack.Name, pw.Used())
+		}
+	}
+}
+
+func TestPowerExceedsNodeCap(t *testing.T) {
+	p := NewPool(testCluster(t))
+	if _, err := p.Allocate("hot", Request{Nodes: 1, PowerWPerNod: 900}); err == nil {
+		t.Fatal("allocation above node power cap accepted")
+	}
+}
+
+func TestPowerReleasedOnFree(t *testing.T) {
+	p := NewPool(testCluster(t))
+	if _, err := p.Allocate("pj", Request{Nodes: 4, PowerWPerNod: 700}); err != nil {
+		t.Fatal(err)
+	}
+	// 2800 W used; another 2-node 700 W job would hit the cluster cap at
+	// 4200 W... 2800+1400 = 4200 > 4000.
+	if _, err := p.Allocate("pj2", Request{Nodes: 2, PowerWPerNod: 700}); err == nil {
+		t.Fatal("cluster power cap not enforced")
+	}
+	p.Release("pj")
+	if _, err := p.Allocate("pj3", Request{Nodes: 2, PowerWPerNod: 700}); err != nil {
+		t.Fatalf("power not released: %v", err)
+	}
+}
+
+func TestFilesystemBandwidthShared(t *testing.T) {
+	p := NewPool(testCluster(t))
+	if _, err := p.Allocate("io1", Request{Nodes: 1, FilesystemBW: 6000}); err != nil {
+		t.Fatal(err)
+	}
+	// The shared pool has 4000 MB/s left: co-scheduling prevents the
+	// overlapping I/O burst the paper warns about.
+	if _, err := p.Allocate("io2", Request{Nodes: 1, FilesystemBW: 6000}); err == nil {
+		t.Fatal("file-system bandwidth overcommitted")
+	}
+	if _, err := p.Allocate("io3", Request{Nodes: 1, FilesystemBW: 4000}); err != nil {
+		t.Fatal(err)
+	}
+	p.Release("io1")
+	if _, err := p.Allocate("io4", Request{Nodes: 1, FilesystemBW: 6000}); err != nil {
+		t.Fatalf("bandwidth not released: %v", err)
+	}
+}
+
+func TestPropertyConstraints(t *testing.T) {
+	c := testCluster(t)
+	// Tag two nodes as GPU nodes.
+	for _, name := range []string{"rack0/node0", "rack1/node5"} {
+		n := c.Find(name)
+		n.Properties = map[string]string{"gpu": "a100"}
+	}
+	p := NewPool(c)
+	a, err := p.Allocate("gpujob", Request{Nodes: 2, Properties: map[string]string{"gpu": "a100"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := a.NodeNames()
+	if names[0] != "node0" || names[1] != "node5" {
+		t.Fatalf("granted %v", names)
+	}
+	if _, err := p.Allocate("gpujob2", Request{Nodes: 1, Properties: map[string]string{"gpu": "a100"}}); err == nil {
+		t.Fatal("third GPU node appeared from nowhere")
+	}
+}
+
+func TestGrowShrink(t *testing.T) {
+	p := NewPool(testCluster(t))
+	a, err := p.Allocate("elastic", Request{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := p.Grow("elastic", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 3 || len(a.Nodes) != 5 {
+		t.Fatalf("grow: added %d, total %d", len(added), len(a.Nodes))
+	}
+	if p.FreeNodes() != 3 {
+		t.Fatalf("free = %d", p.FreeNodes())
+	}
+	cut, err := p.Shrink("elastic", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cut) != 4 || len(a.Nodes) != 1 {
+		t.Fatalf("shrink: cut %d, left %d", len(cut), len(a.Nodes))
+	}
+	for _, n := range cut {
+		if n.Owner() != "" {
+			t.Fatal("shrunk node still owned")
+		}
+	}
+	// Shrinking to zero is rejected.
+	if _, err := p.Shrink("elastic", 1); err == nil {
+		t.Fatal("shrink to empty accepted")
+	}
+	if _, err := p.Grow("nosuch", 1); err == nil {
+		t.Fatal("grow of unknown allocation accepted")
+	}
+}
+
+func TestMemoryConstraint(t *testing.T) {
+	p := NewPool(testCluster(t))
+	if _, err := p.Allocate("memhog", Request{Nodes: 1, MemMBPerNode: 64 << 10}); err == nil {
+		t.Fatal("memory overcommit accepted")
+	}
+	if _, err := p.Allocate("memok", Request{Nodes: 8, MemMBPerNode: 16 << 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: allocate/release always returns the pool to a clean state,
+// with all pool capacities fully restored.
+func TestAllocReleaseInvariantQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		p := NewPool(mustCluster())
+		// Pseudo-random small allocation storm.
+		r := seed
+		next := func(n int64) int64 {
+			r = (r*6364136223846793005 + 1442695040888963407)
+			v := r % n
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		var ids []string
+		for i := 0; i < 20; i++ {
+			id := fmt.Sprintf("q%d", i)
+			req := Request{Nodes: int(next(3)) + 1, PowerWPerNod: float64(next(700))}
+			if _, err := p.Allocate(id, req); err == nil {
+				ids = append(ids, id)
+			}
+		}
+		for _, id := range ids {
+			if err := p.Release(id); err != nil {
+				return false
+			}
+		}
+		if p.FreeNodes() != p.TotalNodes() {
+			return false
+		}
+		clean := true
+		p.Root().Walk(func(v *Resource) bool {
+			if v.Used() != 0 || v.Owner() != "" {
+				clean = false
+			}
+			return true
+		})
+		return clean
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustCluster() *Resource {
+	c, err := BuildCluster(ClusterSpec{
+		Name: "q", Racks: 2, NodesPerRack: 4, SocketsPerNode: 2, CoresPerSocket: 8,
+		ClusterPowerW: 4000, RackPowerW: 2500, NodePowerW: 800,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestCoresPerNodeConstraint(t *testing.T) {
+	p := NewPool(testCluster(t))
+	if _, err := p.Allocate("fat", Request{Nodes: 1, CoresPerNode: 17}); err == nil {
+		t.Fatal("node with 16 cores matched a 17-core request")
+	}
+	if _, err := p.Allocate("fit", Request{Nodes: 1, CoresPerNode: 16}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"fluxgo/internal/resource"
+)
+
+// Conservative is FCFS with conservative backfilling: every queued job
+// holds a reservation, and a later job may start early only if doing so
+// delays no earlier job's reservation. Stricter than EASY (which
+// protects only the queue head), it trades backfill opportunity for
+// starvation-freedom guarantees on the whole queue.
+type Conservative struct{}
+
+// Name implements Policy.
+func (Conservative) Name() string { return "conservative" }
+
+// resEvent is a node-count change at a point in virtual time.
+type resEvent struct {
+	at    time.Duration
+	delta int // +nodes freed, -nodes consumed
+}
+
+// reservations plans start times for queue (in order) given jobs already
+// running, using node counts only (constraints are re-verified against
+// the pool when a job actually starts). Returns each queued job's
+// reserved start time.
+func reservations(queue []*Job, running []*Job, totalNodes int, now time.Duration) []time.Duration {
+	var events []resEvent
+	free := totalNodes
+	for _, r := range running {
+		free -= r.Req.Nodes
+		events = append(events, resEvent{at: r.End, delta: r.Req.Nodes})
+	}
+	starts := make([]time.Duration, len(queue))
+	for qi, j := range queue {
+		// Walk time forward until j fits, replaying frees/consumes.
+		sort.Slice(events, func(a, b int) bool { return events[a].at < events[b].at })
+		t := now
+		f := free
+		// Apply events at or before now (none normally; defensive).
+		idx := 0
+		for ; idx < len(events) && events[idx].at <= t; idx++ {
+			f += events[idx].delta
+		}
+		for f < j.Req.Nodes && idx < len(events) {
+			t = events[idx].at
+			for idx < len(events) && events[idx].at <= t {
+				f += events[idx].delta
+				idx++
+			}
+		}
+		starts[qi] = t
+		// Consume j's nodes from its start to its end.
+		events = append(events,
+			resEvent{at: t, delta: -j.Req.Nodes},
+			resEvent{at: t + j.Duration, delta: j.Req.Nodes},
+		)
+	}
+	return starts
+}
+
+// Pick implements Policy.
+func (c Conservative) Pick(queue, running []*Job, pool *resource.Pool, now time.Duration) []*Job {
+	var picks []*Job
+	var holds []string
+	hold := func(j *Job) bool {
+		id := "tentative-" + j.ID
+		if _, err := pool.Allocate(id, j.Req); err != nil {
+			return false
+		}
+		holds = append(holds, id)
+		picks = append(picks, j)
+		return true
+	}
+	defer func() {
+		for _, id := range holds {
+			pool.Release(id)
+		}
+	}()
+
+	// In-order feasible prefix starts unconditionally.
+	i := 0
+	for ; i < len(queue); i++ {
+		if !hold(queue[i]) {
+			break
+		}
+	}
+	rest := append([]*Job(nil), queue[i:]...)
+	if len(rest) == 0 {
+		return picks
+	}
+
+	// Virtual running set = really running + this round's picks.
+	virtRunning := append([]*Job(nil), running...)
+	for _, p := range picks {
+		virtRunning = append(virtRunning, &Job{Req: p.Req, End: now + p.Duration})
+	}
+	total := pool.TotalNodes()
+	baseline := reservations(rest, virtRunning, total, now)
+
+	// Try to backfill each waiting job (beyond the blocked head, which
+	// already failed to start): admit only if no earlier waiter's
+	// reservation slips.
+	for k := 1; k < len(rest); k++ {
+		j := rest[k]
+		// Quick feasibility against the real pool (constraints included).
+		id := "tentative-" + j.ID
+		if _, err := pool.Allocate(id, j.Req); err != nil {
+			continue
+		}
+		// Re-plan with j running now instead of queued.
+		without := append(append([]*Job(nil), rest[:k]...), rest[k+1:]...)
+		withJ := append(append([]*Job(nil), virtRunning...), &Job{Req: j.Req, End: now + j.Duration})
+		plan := reservations(without, withJ, total, now)
+		delayed := false
+		for qi := range without {
+			// Compare against the corresponding baseline entry: indices
+			// shift after k, so map back.
+			bi := qi
+			if qi >= k {
+				bi = qi + 1
+			}
+			if plan[qi] > baseline[bi] {
+				delayed = true
+				break
+			}
+		}
+		if delayed {
+			pool.Release(id)
+			continue
+		}
+		holds = append(holds, id)
+		picks = append(picks, j)
+		virtRunning = withJ
+		rest = without
+		baseline = plan
+		k-- // rest shrank; stay at the same index
+	}
+	return picks
+}

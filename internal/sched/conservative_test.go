@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fluxgo/internal/resource"
+)
+
+func TestConservativeBackfillsHarmlessJob(t *testing.T) {
+	// a: 3/4 nodes 10s; b: 4 nodes (blocked, reserved at t=10);
+	// c: 1 node 1s fits the hole and finishes before b's reservation.
+	p := pool(t, 4)
+	jobs := []*Job{
+		job("a", 3, 10*time.Second, 0),
+		job("b", 4, 10*time.Second, 0),
+		job("c", 1, time.Second, 0),
+	}
+	if _, err := Simulate(p, Conservative{}, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if jobs[2].Start != 0 {
+		t.Fatalf("c start %v, want 0 (harmless backfill)", jobs[2].Start)
+	}
+	if jobs[1].Start != 10*time.Second {
+		t.Fatalf("b start %v, want 10s", jobs[1].Start)
+	}
+}
+
+func TestConservativeProtectsAllReservations(t *testing.T) {
+	// 4 nodes: a (2n, 10s) runs; b (4n) is the blocked head, reserved at
+	// t=10; d (2n, 15s) fits beside a right now but would overrun b's
+	// reservation, so conservative must hold it back.
+	p := pool(t, 4)
+	jobs := []*Job{
+		job("a", 2, 10*time.Second, 0),
+		job("b", 4, 10*time.Second, 0),
+		job("d", 2, 15*time.Second, 0), // would delay b: must wait
+	}
+	if _, err := Simulate(p, Conservative{}, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if jobs[2].Start == 0 {
+		t.Fatal("conservative admitted a reservation-delaying backfill")
+	}
+	if jobs[1].Start != 10*time.Second {
+		t.Fatalf("b delayed to %v", jobs[1].Start)
+	}
+}
+
+func TestConservativeValidSchedulesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const nodes = 8
+		n := r.Intn(12) + 2
+		var jobs []*Job
+		for i := 0; i < n; i++ {
+			jobs = append(jobs, job(
+				fmt.Sprintf("j%d", i),
+				r.Intn(nodes)+1,
+				time.Duration(r.Intn(20)+1)*time.Second,
+				time.Duration(r.Intn(10))*time.Second,
+			))
+		}
+		m, err := Simulate(pool(t, nodes), Conservative{}, jobs)
+		if err != nil || m.Completed != n {
+			return false
+		}
+		return validSchedule(jobs, nodes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConservativeNameAndReservationPlan(t *testing.T) {
+	if (Conservative{}).Name() != "conservative" {
+		t.Fatal("name")
+	}
+	// reservations: 4 nodes; running job of 3 ends at 10s; queue wants
+	// 2 then 4 nodes -> starts at 10 (3 freed) and... after q0 ends.
+	running := []*Job{{Req: req(3), End: 10 * time.Second}}
+	queue := []*Job{
+		{Req: req(2), Duration: 5 * time.Second},
+		{Req: req(4), Duration: 5 * time.Second},
+	}
+	starts := reservations(queue, running, 4, 0)
+	if starts[0] != 10*time.Second {
+		t.Fatalf("q0 reserved at %v, want 10s", starts[0])
+	}
+	if starts[1] != 15*time.Second {
+		t.Fatalf("q1 reserved at %v, want 15s (after q0)", starts[1])
+	}
+	// A 1-node job with a free node now starts immediately.
+	starts = reservations([]*Job{{Req: req(1), Duration: time.Second}}, running, 4, 7*time.Second)
+	if starts[0] != 7*time.Second {
+		t.Fatalf("immediate job reserved at %v", starts[0])
+	}
+}
+
+func req(n int) resource.Request { return resource.Request{Nodes: n} }

@@ -1,0 +1,137 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fluxgo/internal/resource"
+)
+
+// Hierarchical scheduling: a parent scheduler at coarse granularity
+// leases disjoint resource subsets to child schedulers, which then run
+// concurrently and independently over their leases — sibling jobs'
+// independent Flux instances performing concurrent management services.
+// The centralized baseline is the same workload driven through a single
+// scheduler over the whole machine.
+
+// Lease is one child scheduler's resource grant.
+type Lease struct {
+	Child int
+	Pool  *resource.Pool
+	Jobs  []*Job
+}
+
+// PartitionSpec describes how the parent divides the machine.
+type PartitionSpec struct {
+	Children int
+	// NodesPerChild overrides the default equal split when > 0.
+	NodesPerChild int
+	// Cluster parameters for each child's lease subgraph.
+	SocketsPerNode int
+	CoresPerSocket int
+}
+
+// Partition builds leases: child i receives an independent resource
+// subgraph of its share of nodes and every i-th job (round-robin, which
+// preserves per-child arrival order).
+func Partition(totalNodes int, spec PartitionSpec, jobs []*Job) ([]*Lease, error) {
+	if spec.Children < 1 {
+		return nil, fmt.Errorf("sched: partition into %d children", spec.Children)
+	}
+	per := spec.NodesPerChild
+	if per == 0 {
+		per = totalNodes / spec.Children
+	}
+	if per < 1 {
+		return nil, fmt.Errorf("sched: %d nodes cannot split into %d children", totalNodes, spec.Children)
+	}
+	if spec.SocketsPerNode == 0 {
+		spec.SocketsPerNode = 2
+	}
+	if spec.CoresPerSocket == 0 {
+		spec.CoresPerSocket = 8
+	}
+	leases := make([]*Lease, spec.Children)
+	for i := range leases {
+		sub, err := resource.BuildCluster(resource.ClusterSpec{
+			Name:           fmt.Sprintf("lease%d", i),
+			Racks:          1,
+			NodesPerRack:   per,
+			SocketsPerNode: spec.SocketsPerNode,
+			CoresPerSocket: spec.CoresPerSocket,
+		})
+		if err != nil {
+			return nil, err
+		}
+		leases[i] = &Lease{Child: i, Pool: resource.NewPool(sub)}
+	}
+	for i, j := range jobs {
+		l := leases[i%spec.Children]
+		l.Jobs = append(l.Jobs, j)
+	}
+	return leases, nil
+}
+
+// HierarchyResult aggregates a hierarchical simulation.
+type HierarchyResult struct {
+	PerChild  []Metrics
+	Makespan  time.Duration // max over children
+	Completed int
+	Decisions int
+	WallTime  time.Duration // real time spent scheduling (parallelism gain)
+}
+
+// SimulateHierarchy runs each lease's scheduler concurrently and merges
+// the results.
+func SimulateHierarchy(leases []*Lease, newPolicy func() Policy) (HierarchyResult, error) {
+	res := HierarchyResult{PerChild: make([]Metrics, len(leases))}
+	errs := make([]error, len(leases))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, l := range leases {
+		wg.Add(1)
+		go func(i int, l *Lease) {
+			defer wg.Done()
+			res.PerChild[i], errs[i] = Simulate(l.Pool, newPolicy(), l.Jobs)
+		}(i, l)
+	}
+	wg.Wait()
+	res.WallTime = time.Since(start)
+	for i := range leases {
+		if errs[i] != nil {
+			return res, fmt.Errorf("sched: child %d: %w", i, errs[i])
+		}
+		m := res.PerChild[i]
+		res.Completed += m.Completed
+		res.Decisions += m.Decisions
+		if m.Makespan > res.Makespan {
+			res.Makespan = m.Makespan
+		}
+	}
+	return res, nil
+}
+
+// SimulateCentralized is the traditional-paradigm baseline: one
+// scheduler, one queue, the whole machine.
+func SimulateCentralized(totalNodes int, spec PartitionSpec, policy Policy, jobs []*Job) (Metrics, time.Duration, error) {
+	if spec.SocketsPerNode == 0 {
+		spec.SocketsPerNode = 2
+	}
+	if spec.CoresPerSocket == 0 {
+		spec.CoresPerSocket = 8
+	}
+	cluster, err := resource.BuildCluster(resource.ClusterSpec{
+		Name:           "central",
+		Racks:          1,
+		NodesPerRack:   totalNodes,
+		SocketsPerNode: spec.SocketsPerNode,
+		CoresPerSocket: spec.CoresPerSocket,
+	})
+	if err != nil {
+		return Metrics{}, 0, err
+	}
+	start := time.Now()
+	m, err := Simulate(resource.NewPool(cluster), policy, jobs)
+	return m, time.Since(start), err
+}

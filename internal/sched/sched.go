@@ -1,0 +1,291 @@
+// Package sched implements Flux's scheduling layer: pluggable policies
+// (FCFS and EASY backfill), a discrete-event simulator for evaluating
+// them, and hierarchical multi-level scheduling in which a parent
+// scheduler leases resource subsets to concurrently running child
+// schedulers — the scheduler parallelism the paper argues the job
+// hierarchy model enables. A centralized single-level configuration
+// serves as the traditional-paradigm baseline for ablation.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fluxgo/internal/resource"
+)
+
+// State is a job's scheduling state.
+type State int
+
+// Job states.
+const (
+	StatePending State = iota
+	StateRunning
+	StateComplete
+)
+
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateRunning:
+		return "running"
+	case StateComplete:
+		return "complete"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Job is the scheduler's view of one job. Times are virtual offsets from
+// simulation start.
+type Job struct {
+	ID       string
+	Req      resource.Request
+	Duration time.Duration
+	Submit   time.Duration
+
+	Start time.Duration
+	End   time.Duration
+	State State
+}
+
+// Wait returns the job's queueing delay (valid once started).
+func (j *Job) Wait() time.Duration { return j.Start - j.Submit }
+
+// Policy decides which queued jobs to start now.
+type Policy interface {
+	Name() string
+	// Pick returns the jobs to start, in order. queue is sorted by
+	// submit time and contains only pending jobs whose submit time has
+	// arrived. running lists currently running jobs (for reservations).
+	Pick(queue, running []*Job, pool *resource.Pool, now time.Duration) []*Job
+}
+
+// FCFS is strict first-come-first-served: jobs start in arrival order
+// and the queue head blocks everything behind it.
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "fcfs" }
+
+// Pick implements Policy.
+func (FCFS) Pick(queue, running []*Job, pool *resource.Pool, now time.Duration) []*Job {
+	var picks []*Job
+	for _, j := range queue {
+		if !pool.CanAllocate(j.Req) {
+			break // strict: the head blocks
+		}
+		// Tentatively hold the nodes so later picks see them consumed.
+		if _, err := pool.Allocate("tentative-"+j.ID, j.Req); err != nil {
+			break
+		}
+		picks = append(picks, j)
+	}
+	for _, j := range picks {
+		pool.Release("tentative-" + j.ID)
+	}
+	return picks
+}
+
+// EASY is FCFS with EASY backfilling: when the queue head cannot start,
+// a reservation is computed for it and later jobs may jump ahead if they
+// do not delay that reservation.
+type EASY struct{}
+
+// Name implements Policy.
+func (EASY) Name() string { return "easy" }
+
+// Pick implements Policy.
+func (EASY) Pick(queue, running []*Job, pool *resource.Pool, now time.Duration) []*Job {
+	var picks []*Job
+	var holds []string
+	hold := func(j *Job) bool {
+		id := "tentative-" + j.ID
+		if _, err := pool.Allocate(id, j.Req); err != nil {
+			return false
+		}
+		holds = append(holds, id)
+		picks = append(picks, j)
+		return true
+	}
+	defer func() {
+		for _, id := range holds {
+			pool.Release(id)
+		}
+	}()
+
+	i := 0
+	for ; i < len(queue); i++ {
+		if !hold(queue[i]) {
+			break
+		}
+	}
+	if i >= len(queue) {
+		return picks
+	}
+	head := queue[i]
+
+	// Compute the head's reservation: walk running jobs — including those
+	// started in this very round — by end time until enough nodes would
+	// be free. freeNow counts nodes not in use by running jobs or
+	// tentative holds.
+	freeNow := pool.FreeNodes()
+	needed := head.Req.Nodes - freeNow
+	byEnd := append([]*Job(nil), running...)
+	for _, j := range picks {
+		byEnd = append(byEnd, &Job{Req: j.Req, End: now + j.Duration})
+	}
+	sort.Slice(byEnd, func(a, b int) bool { return byEnd[a].End < byEnd[b].End })
+	shadow := time.Duration(-1)
+	released := 0
+	for _, r := range byEnd {
+		released += r.Req.Nodes
+		if released >= needed {
+			shadow = r.End
+			break
+		}
+	}
+	if shadow < 0 {
+		// Even draining everything never frees enough matching nodes
+		// (constraints); nothing sensible to reserve, so no backfill
+		// beyond what already started.
+		return picks
+	}
+	// extraNodes: nodes beyond the head's need that are free during the
+	// shadow window.
+	extra := freeNow + released - head.Req.Nodes
+
+	// Backfill: later jobs may start now if they finish before the shadow
+	// time, or if they fit in the extra nodes.
+	for _, j := range queue[i+1:] {
+		fitsWindow := now+j.Duration <= shadow
+		fitsExtra := j.Req.Nodes <= extra
+		if !fitsWindow && !fitsExtra {
+			continue
+		}
+		if hold(j) {
+			if !fitsWindow {
+				extra -= j.Req.Nodes
+			}
+		}
+	}
+	return picks
+}
+
+// Metrics summarizes one simulated schedule.
+type Metrics struct {
+	Policy      string
+	Completed   int
+	Makespan    time.Duration
+	AvgWait     time.Duration
+	MaxWait     time.Duration
+	Utilization float64 // node-seconds used / (nodes × makespan)
+	Decisions   int     // policy invocations (scheduler work)
+}
+
+// Simulate runs jobs through pool under policy in virtual time and
+// returns schedule metrics. Jobs are mutated in place (Start/End/State).
+func Simulate(pool *resource.Pool, policy Policy, jobs []*Job) (Metrics, error) {
+	byID := map[string]*Job{}
+	for _, j := range jobs {
+		if j.Req.Nodes < 1 {
+			return Metrics{}, fmt.Errorf("sched: job %s requests %d nodes", j.ID, j.Req.Nodes)
+		}
+		if j.Req.Nodes > pool.TotalNodes() {
+			return Metrics{}, fmt.Errorf("sched: job %s needs %d nodes, pool has %d",
+				j.ID, j.Req.Nodes, pool.TotalNodes())
+		}
+		if _, dup := byID[j.ID]; dup {
+			return Metrics{}, fmt.Errorf("sched: duplicate job id %s", j.ID)
+		}
+		byID[j.ID] = j
+		j.State = StatePending
+	}
+
+	pending := append([]*Job(nil), jobs...)
+	sort.SliceStable(pending, func(a, b int) bool { return pending[a].Submit < pending[b].Submit })
+	var running []*Job
+	var now time.Duration
+	m := Metrics{Policy: policy.Name()}
+	var nodeSeconds float64
+
+	for len(pending) > 0 || len(running) > 0 {
+		// Queue: pending jobs that have arrived.
+		var queue []*Job
+		for _, j := range pending {
+			if j.Submit <= now {
+				queue = append(queue, j)
+			}
+		}
+		if len(queue) > 0 {
+			m.Decisions++
+			for _, j := range policy.Pick(queue, running, pool, now) {
+				if _, err := pool.Allocate(j.ID, j.Req); err != nil {
+					return m, fmt.Errorf("sched: policy %s picked infeasible job %s: %v",
+						policy.Name(), j.ID, err)
+				}
+				j.State = StateRunning
+				j.Start = now
+				j.End = now + j.Duration
+				running = append(running, j)
+				nodeSeconds += float64(j.Req.Nodes) * j.Duration.Seconds()
+				for i, p := range pending {
+					if p == j {
+						pending = append(pending[:i], pending[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+
+		// Advance virtual time to the next event: earliest job end or
+		// next submit.
+		next := time.Duration(-1)
+		for _, r := range running {
+			if next < 0 || r.End < next {
+				next = r.End
+			}
+		}
+		for _, p := range pending {
+			if p.Submit > now && (next < 0 || p.Submit < next) {
+				next = p.Submit
+			}
+		}
+		if next < 0 {
+			if len(pending) > 0 {
+				return m, fmt.Errorf("sched: %d jobs starved (first: %s)", len(pending), pending[0].ID)
+			}
+			break
+		}
+		now = next
+
+		// Retire finished jobs.
+		keep := running[:0]
+		for _, r := range running {
+			if r.End <= now {
+				r.State = StateComplete
+				pool.Release(r.ID)
+				m.Completed++
+				m.AvgWait += r.Wait()
+				if r.Wait() > m.MaxWait {
+					m.MaxWait = r.Wait()
+				}
+				if r.End > m.Makespan {
+					m.Makespan = r.End
+				}
+			} else {
+				keep = append(keep, r)
+			}
+		}
+		running = keep
+	}
+	if m.Completed > 0 {
+		m.AvgWait /= time.Duration(m.Completed)
+	}
+	if m.Makespan > 0 {
+		m.Utilization = nodeSeconds / (float64(pool.TotalNodes()) * m.Makespan.Seconds())
+	}
+	return m, nil
+}

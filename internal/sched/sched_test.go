@@ -1,0 +1,347 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fluxgo/internal/resource"
+)
+
+func pool(t testing.TB, nodes int) *resource.Pool {
+	t.Helper()
+	c, err := resource.BuildCluster(resource.ClusterSpec{
+		Name: "t", Racks: 1, NodesPerRack: nodes, SocketsPerNode: 2, CoresPerSocket: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resource.NewPool(c)
+}
+
+func job(id string, nodes int, dur, submit time.Duration) *Job {
+	return &Job{ID: id, Req: resource.Request{Nodes: nodes}, Duration: dur, Submit: submit}
+}
+
+func TestFCFSSequentialWhenFull(t *testing.T) {
+	p := pool(t, 4)
+	jobs := []*Job{
+		job("a", 4, 10*time.Second, 0),
+		job("b", 4, 10*time.Second, 0),
+	}
+	m, err := Simulate(p, FCFS{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != 2 {
+		t.Fatalf("completed %d", m.Completed)
+	}
+	if jobs[1].Start != 10*time.Second {
+		t.Fatalf("b started at %v, want 10s", jobs[1].Start)
+	}
+	if m.Makespan != 20*time.Second {
+		t.Fatalf("makespan %v", m.Makespan)
+	}
+	if m.Utilization < 0.99 {
+		t.Fatalf("utilization %f, want ~1", m.Utilization)
+	}
+}
+
+func TestFCFSParallelWhenFits(t *testing.T) {
+	p := pool(t, 4)
+	jobs := []*Job{
+		job("a", 2, 10*time.Second, 0),
+		job("b", 2, 10*time.Second, 0),
+	}
+	m, err := Simulate(p, FCFS{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Makespan != 10*time.Second {
+		t.Fatalf("makespan %v, want 10s (parallel)", m.Makespan)
+	}
+}
+
+func TestFCFSHeadBlocks(t *testing.T) {
+	// a: 3 nodes 10s; b: 4 nodes (blocked); c: 1 node 1s. Strict FCFS
+	// must NOT run c before b.
+	p := pool(t, 4)
+	jobs := []*Job{
+		job("a", 3, 10*time.Second, 0),
+		job("b", 4, 10*time.Second, 0),
+		job("c", 1, time.Second, 0),
+	}
+	_, err := Simulate(p, FCFS{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[2].Start < jobs[1].Start {
+		t.Fatalf("FCFS let c (start %v) jump b (start %v)", jobs[2].Start, jobs[1].Start)
+	}
+}
+
+func TestEASYBackfills(t *testing.T) {
+	// Same workload: EASY backfills c into the 1-node hole because c
+	// finishes (1s) before the head's reservation (10s).
+	p := pool(t, 4)
+	jobs := []*Job{
+		job("a", 3, 10*time.Second, 0),
+		job("b", 4, 10*time.Second, 0),
+		job("c", 1, time.Second, 0),
+	}
+	m, err := Simulate(p, EASY{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[2].Start != 0 {
+		t.Fatalf("EASY did not backfill c (start %v)", jobs[2].Start)
+	}
+	// b must still start at its reservation, undelayed.
+	if jobs[1].Start != 10*time.Second {
+		t.Fatalf("backfill delayed the head: b start %v", jobs[1].Start)
+	}
+	if m.Makespan != 20*time.Second {
+		t.Fatalf("makespan %v", m.Makespan)
+	}
+}
+
+func TestEASYRefusesDelayingBackfill(t *testing.T) {
+	// c runs 20s — longer than the head's shadow window — and needs a
+	// node the head will use, so it must NOT backfill.
+	p := pool(t, 4)
+	jobs := []*Job{
+		job("a", 3, 10*time.Second, 0),
+		job("b", 4, 10*time.Second, 0),
+		job("c", 2, 20*time.Second, 0),
+	}
+	_, err := Simulate(p, EASY{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[2].Start == 0 {
+		t.Fatal("EASY backfilled a reservation-delaying job")
+	}
+	if jobs[1].Start != 10*time.Second {
+		t.Fatalf("b delayed to %v", jobs[1].Start)
+	}
+}
+
+func TestEASYBackfillExtraNodes(t *testing.T) {
+	// Head needs 3 of 4 nodes; a long 1-node job fits in the extra node
+	// without delaying the reservation.
+	p := pool(t, 4)
+	jobs := []*Job{
+		job("a", 4, 10*time.Second, 0),
+		job("b", 3, 10*time.Second, 0),
+		job("c", 1, time.Hour, 0),
+	}
+	_, err := Simulate(p, EASY{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[2].Start != 10*time.Second {
+		t.Fatalf("c start %v, want 10s (extra-node backfill)", jobs[2].Start)
+	}
+	if jobs[1].Start != 10*time.Second {
+		t.Fatalf("b start %v, want 10s", jobs[1].Start)
+	}
+}
+
+func TestLateSubmissions(t *testing.T) {
+	p := pool(t, 2)
+	jobs := []*Job{
+		job("a", 2, 5*time.Second, 0),
+		job("late", 1, 5*time.Second, 60*time.Second),
+	}
+	m, err := Simulate(p, FCFS{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[1].Start != 60*time.Second {
+		t.Fatalf("late job started at %v", jobs[1].Start)
+	}
+	if m.Makespan != 65*time.Second {
+		t.Fatalf("makespan %v", m.Makespan)
+	}
+	if jobs[1].Wait() != 0 {
+		t.Fatalf("late job wait %v, want 0", jobs[1].Wait())
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	p := pool(t, 2)
+	if _, err := Simulate(p, FCFS{}, []*Job{job("x", 3, time.Second, 0)}); err == nil {
+		t.Fatal("oversized job accepted")
+	}
+	if _, err := Simulate(p, FCFS{}, []*Job{job("x", 0, time.Second, 0)}); err == nil {
+		t.Fatal("zero-node job accepted")
+	}
+	if _, err := Simulate(p, FCFS{}, []*Job{job("x", 1, time.Second, 0), job("x", 1, time.Second, 0)}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}
+
+// validSchedule checks schedule invariants: every job completed, starts
+// after submit, runs for its duration, and node usage never exceeds
+// capacity at any event point.
+func validSchedule(jobs []*Job, nodes int) bool {
+	for _, j := range jobs {
+		if j.State != StateComplete || j.Start < j.Submit || j.End != j.Start+j.Duration {
+			return false
+		}
+	}
+	// Node usage at every job-start instant (usage only changes there).
+	for _, at := range jobs {
+		used := 0
+		for _, j := range jobs {
+			if j.Start <= at.Start && at.Start < j.End {
+				used += j.Req.Nodes
+			}
+		}
+		if used > nodes {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: both policies always produce valid schedules — all jobs
+// complete, causality holds, and capacity is never exceeded. (EASY is
+// not guaranteed to beat FCFS on makespan, so that is deliberately not
+// asserted.)
+func TestSchedulesAlwaysValidQuick(t *testing.T) {
+	mkJobs := func(seed int64, nodes int) []*Job {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(12) + 2
+		var jobs []*Job
+		for i := 0; i < n; i++ {
+			jobs = append(jobs, job(
+				fmt.Sprintf("j%d", i),
+				r.Intn(nodes)+1,
+				time.Duration(r.Intn(20)+1)*time.Second,
+				time.Duration(r.Intn(10))*time.Second,
+			))
+		}
+		return jobs
+	}
+	f := func(seed int64) bool {
+		const nodes = 8
+		jobsA := mkJobs(seed, nodes)
+		jobsB := mkJobs(seed, nodes) // identical workload, fresh state
+
+		mf, err1 := Simulate(pool(t, nodes), FCFS{}, jobsA)
+		me, err2 := Simulate(pool(t, nodes), EASY{}, jobsB)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if mf.Completed != len(jobsA) || me.Completed != len(jobsB) {
+			return false
+		}
+		if mf.Utilization <= 0 || mf.Utilization > 1.000001 ||
+			me.Utilization <= 0 || me.Utilization > 1.000001 {
+			return false
+		}
+		return validSchedule(jobsA, nodes) && validSchedule(jobsB, nodes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionAndHierarchy(t *testing.T) {
+	var jobs []*Job
+	for i := 0; i < 40; i++ {
+		jobs = append(jobs, job(fmt.Sprintf("j%d", i), 1+i%4, time.Duration(1+i%7)*time.Second, 0))
+	}
+	leases, err := Partition(16, PartitionSpec{Children: 4}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leases) != 4 {
+		t.Fatalf("%d leases", len(leases))
+	}
+	for i, l := range leases {
+		if l.Pool.TotalNodes() != 4 {
+			t.Fatalf("lease %d has %d nodes", i, l.Pool.TotalNodes())
+		}
+		if len(l.Jobs) != 10 {
+			t.Fatalf("lease %d has %d jobs", i, len(l.Jobs))
+		}
+	}
+	res, err := SimulateHierarchy(leases, func() Policy { return EASY{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 40 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	if res.Makespan == 0 {
+		t.Fatal("zero makespan")
+	}
+}
+
+func TestCentralizedBaseline(t *testing.T) {
+	var jobs []*Job
+	for i := 0; i < 40; i++ {
+		jobs = append(jobs, job(fmt.Sprintf("j%d", i), 1+i%4, time.Duration(1+i%7)*time.Second, 0))
+	}
+	m, wall, err := SimulateCentralized(16, PartitionSpec{}, EASY{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != 40 || wall <= 0 {
+		t.Fatalf("completed %d wall %v", m.Completed, wall)
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	if _, err := Partition(4, PartitionSpec{Children: 0}, nil); err == nil {
+		t.Fatal("0 children accepted")
+	}
+	if _, err := Partition(2, PartitionSpec{Children: 4}, nil); err == nil {
+		t.Fatal("more children than nodes accepted")
+	}
+}
+
+// TestPowerConstrainedSchedule: the simulator honors multi-dimensional
+// requests — with a cluster power cap admitting only 2 of 4 nodes at
+// 700 W, two 1-node 700 W jobs cannot overlap a third.
+func TestPowerConstrainedSchedule(t *testing.T) {
+	c, err := resource.BuildCluster(resource.ClusterSpec{
+		Name: "p", Racks: 1, NodesPerRack: 4, SocketsPerNode: 2, CoresPerSocket: 8,
+		ClusterPowerW: 1500, NodePowerW: 800,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := resource.NewPool(c)
+	mk := func(id string) *Job {
+		return &Job{
+			ID:       id,
+			Req:      resource.Request{Nodes: 1, PowerWPerNod: 700},
+			Duration: 10 * time.Second,
+		}
+	}
+	jobs := []*Job{mk("a"), mk("b"), mk("c")}
+	m, err := Simulate(p, EASY{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != 3 {
+		t.Fatalf("completed %d", m.Completed)
+	}
+	// Only 2 x 700 W fit under the 1500 W cap, so the third serializes:
+	// makespan 20s, despite 4 structural nodes being available.
+	if m.Makespan != 20*time.Second {
+		t.Fatalf("makespan %v, want 20s (power-capped)", m.Makespan)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StatePending.String() != "pending" || StateRunning.String() != "running" ||
+		StateComplete.String() != "complete" {
+		t.Fatal("state strings wrong")
+	}
+}

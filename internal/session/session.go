@@ -1,0 +1,250 @@
+// Package session constructs and manages comms sessions: the set of CMB
+// brokers, one per rank, wired into the three overlay planes of Fig. 1
+// (event tree, request/response tree, rank-addressed ring).
+//
+// An in-process session backs one goroutine-driven broker per rank over
+// the in-proc transport — the configuration used by the examples, tests,
+// and the KAP evaluation harness. Interior broker failures self-heal:
+// orphaned children re-attach to their nearest live ancestor and resync
+// the event stream, per the paper's "can self-heal when interior nodes
+// fail".
+package session
+
+import (
+	"fmt"
+	"sync"
+
+	"fluxgo/internal/broker"
+	"fluxgo/internal/clock"
+	"fluxgo/internal/topo"
+	"fluxgo/internal/transport"
+	"fluxgo/internal/wire"
+)
+
+// ModuleFactory produces the comms-module instance to load at a rank, or
+// nil to skip that rank. This realizes the paper's "module loaded at a
+// configurable tree depth" policy.
+type ModuleFactory func(rank, size int) broker.Module
+
+// AtDepth restricts a module factory to ranks at tree depth <= maxDepth
+// (for the given arity), the paper's knob for tuning a module's level of
+// distribution or conserving node resources toward the leaves: requests
+// from deeper ranks route upstream to the nearest loaded instance.
+func AtDepth(maxDepth, arity int, f ModuleFactory) ModuleFactory {
+	if arity == 0 {
+		arity = 2
+	}
+	return func(rank, size int) broker.Module {
+		tree, err := topo.NewTree(size, arity)
+		if err != nil || tree.Depth(rank) > maxDepth {
+			return nil
+		}
+		return f(rank, size)
+	}
+}
+
+// Options configures a comms session.
+type Options struct {
+	Size         int
+	Arity        int // tree fan-out; 0 means binary, as pictured in Fig. 1
+	Clock        clock.Clock
+	EventHistory int
+	Modules      []ModuleFactory
+	Log          func(format string, args ...any)
+	// Codec routes every inter-broker link through the wire codec so each
+	// hop pays a copy cost proportional to message size. Benchmarks use
+	// this to make value-size effects observable in-process.
+	Codec bool
+}
+
+// Session is a running comms session.
+type Session struct {
+	opts    Options
+	tree    topo.Tree
+	brokers []*broker.Broker
+
+	mu   sync.Mutex
+	dead map[int]bool
+}
+
+// New builds, wires, and starts an in-process comms session.
+func New(opts Options) (*Session, error) {
+	if opts.Arity == 0 {
+		opts.Arity = 2
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.Real()
+	}
+	tree, err := topo.NewTree(opts.Size, opts.Arity)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		opts:    opts,
+		tree:    tree,
+		brokers: make([]*broker.Broker, opts.Size),
+		dead:    make(map[int]bool),
+	}
+
+	for r := 0; r < opts.Size; r++ {
+		b, err := broker.New(broker.Config{
+			Rank:         r,
+			Size:         opts.Size,
+			Arity:        opts.Arity,
+			Clock:        opts.Clock,
+			EventHistory: opts.EventHistory,
+			Log:          opts.Log,
+			Reparent:     s.reparent,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.brokers[r] = b
+	}
+
+	// Tree planes (request/response and event), parent <-> child.
+	for r := 1; r < opts.Size; r++ {
+		p := tree.Parent(r)
+		s.wireParentChild(p, r)
+	}
+
+	// Ring plane: rank r -> r+1 mod size.
+	if opts.Size > 1 {
+		ring, _ := topo.NewRing(opts.Size)
+		for r := 0; r < opts.Size; r++ {
+			next := ring.Next(r)
+			out, in := s.pipe(rankID(r), rankID(next))
+			s.brokers[r].AttachConn(broker.LinkRingOut, out)
+			s.brokers[next].AttachConn(broker.LinkRingIn, in)
+		}
+	}
+
+	// Load modules, then start routing.
+	for r := 0; r < opts.Size; r++ {
+		for _, f := range opts.Modules {
+			if m := f(r, opts.Size); m != nil {
+				if err := s.brokers[r].LoadModule(m); err != nil {
+					return nil, fmt.Errorf("session: load module at rank %d: %w", r, err)
+				}
+			}
+		}
+	}
+	for _, b := range s.brokers {
+		b.Start()
+	}
+	return s, nil
+}
+
+func rankID(r int) string { return fmt.Sprintf("rank:%d", r) }
+
+// pipe creates one in-proc connection pair honouring the Codec option.
+func (s *Session) pipe(aID, bID string) (transport.Conn, transport.Conn) {
+	if s.opts.Codec {
+		return transport.CodecPipe(aID, bID)
+	}
+	return transport.Pipe(aID, bID)
+}
+
+// wireParentChild creates the two tree-plane pipes between p and c.
+func (s *Session) wireParentChild(p, c int) {
+	treeP, treeC := s.pipe(rankID(p), rankID(c))
+	s.brokers[p].AttachConn(broker.LinkChildTree, treeP)
+	s.brokers[c].AttachConn(broker.LinkParentTree, treeC)
+
+	evP, evC := s.pipe(rankID(p), rankID(c))
+	s.brokers[p].AttachConn(broker.LinkChildEvent, evP)
+	s.brokers[c].AttachConn(broker.LinkParentEvent, evC)
+	// Child event links start gated at the parent; the initial resync
+	// opens them (and replays anything already published).
+	evC.Send(&wire.Message{Type: wire.Control, Topic: "cmb.resync", Seq: 0})
+}
+
+// Size returns the session size.
+func (s *Session) Size() int { return s.opts.Size }
+
+// Tree returns the session's tree topology.
+func (s *Session) Tree() topo.Tree { return s.tree }
+
+// Broker returns the broker at rank.
+func (s *Session) Broker(rank int) *broker.Broker { return s.brokers[rank] }
+
+// Handle attaches and returns a new handle at rank.
+func (s *Session) Handle(rank int) *broker.Handle {
+	return s.brokers[rank].NewHandle()
+}
+
+// Kill simulates the failure of the broker at rank: all of its links
+// drop, and its orphaned children re-parent to the nearest live
+// ancestor. Killing rank 0 is permitted but the session loses its event
+// sequencer (root fail-over is future work in the paper, too).
+func (s *Session) Kill(rank int) {
+	s.mu.Lock()
+	if s.dead[rank] {
+		s.mu.Unlock()
+		return
+	}
+	s.dead[rank] = true
+	s.mu.Unlock()
+	s.brokers[rank].Shutdown()
+}
+
+// Alive reports whether the broker at rank has not been killed.
+func (s *Session) Alive(rank int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.dead[rank]
+}
+
+// reparent re-attaches an orphaned broker to its nearest live ancestor.
+// It is invoked by the broker when its parent links fail.
+func (s *Session) reparent(b *broker.Broker, oldParent int) {
+	s.mu.Lock()
+	if s.dead[b.Rank()] {
+		s.mu.Unlock()
+		return
+	}
+	// Walk up from the dead parent to the nearest live ancestor.
+	p := oldParent
+	for p >= 0 && s.dead[p] {
+		p = s.tree.Parent(p)
+	}
+	if p < 0 {
+		s.mu.Unlock()
+		if s.opts.Log != nil {
+			s.opts.Log("session: rank %d orphaned with no live ancestor", b.Rank())
+		}
+		return
+	}
+	s.mu.Unlock()
+
+	adopter := s.brokers[p]
+	c := b.Rank()
+	treeP, treeC := s.pipe(rankID(p), rankID(c))
+	evP, evC := s.pipe(rankID(p), rankID(c))
+	adopter.AttachConn(broker.LinkChildTree, treeP)
+	adopter.AttachConn(broker.LinkChildEvent, evP)
+	b.SetParent(treeC, evC, p)
+	if s.opts.Log != nil {
+		s.opts.Log("session: rank %d re-parented %d -> %d", c, oldParent, p)
+	}
+}
+
+// Close shuts down every broker in the session.
+func (s *Session) Close() {
+	var wg sync.WaitGroup
+	for r := range s.brokers {
+		s.mu.Lock()
+		deadAlready := s.dead[r]
+		s.dead[r] = true
+		s.mu.Unlock()
+		if deadAlready {
+			continue
+		}
+		wg.Add(1)
+		go func(b *broker.Broker) {
+			defer wg.Done()
+			b.Shutdown()
+		}(s.brokers[r])
+	}
+	wg.Wait()
+}

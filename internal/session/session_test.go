@@ -1,0 +1,510 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fluxgo/internal/broker"
+	"fluxgo/internal/wire"
+)
+
+func newSession(t *testing.T, size, arity int, mods ...ModuleFactory) *Session {
+	t.Helper()
+	s, err := New(Options{Size: size, Arity: arity, Modules: mods})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestSessionWireupFig1 validates the comms-session wire-up of Fig. 1:
+// every rank is reachable over the rank-addressed ring plane, and
+// tree-routed pings reach the root with a hop count matching tree depth.
+func TestSessionWireupFig1(t *testing.T) {
+	s := newSession(t, 7, 2)
+	h := s.Handle(3)
+	defer h.Close()
+
+	// Ring reachability: ping every concrete rank.
+	for target := 0; target < 7; target++ {
+		resp, err := h.RPC("cmb.ping", uint32(target), map[string]string{"pad": "p"})
+		if err != nil {
+			t.Fatalf("ping rank %d: %v", target, err)
+		}
+		var body struct {
+			Rank int `json:"rank"`
+		}
+		if err := resp.UnpackJSON(&body); err != nil {
+			t.Fatal(err)
+		}
+		if body.Rank != target {
+			t.Fatalf("ping answered by rank %d, want %d", body.Rank, target)
+		}
+	}
+}
+
+func TestTreeInfoParents(t *testing.T) {
+	s := newSession(t, 7, 2)
+	for r := 0; r < 7; r++ {
+		h := s.Handle(r)
+		resp, err := h.RPC("cmb.info", uint32(r), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var info struct {
+			Rank, Size, Arity, Parent int
+		}
+		resp.UnpackJSON(&info)
+		if info.Parent != s.Tree().Parent(r) {
+			t.Fatalf("rank %d parent %d, want %d", r, info.Parent, s.Tree().Parent(r))
+		}
+		h.Close()
+	}
+}
+
+// TestEventTotalOrder verifies the event plane's session-wide total
+// order: every rank observes the same event sequence.
+func TestEventTotalOrder(t *testing.T) {
+	const size, events = 15, 40
+	s := newSession(t, size, 2)
+
+	type rankEvents struct {
+		rank int
+		seqs []uint64
+	}
+	results := make(chan rankEvents, size)
+	ready := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			h := s.Handle(r)
+			defer h.Close()
+			sub, err := h.Subscribe("torder")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			<-ready
+			var seqs []uint64
+			for len(seqs) < events {
+				select {
+				case ev := <-sub.Chan():
+					seqs = append(seqs, ev.Seq)
+				case <-time.After(10 * time.Second):
+					t.Errorf("rank %d: timed out after %d events", r, len(seqs))
+					return
+				}
+			}
+			results <- rankEvents{r, seqs}
+		}(r)
+	}
+
+	// Publish from several different ranks concurrently.
+	time.Sleep(10 * time.Millisecond) // let subscriptions register
+	close(ready)
+	var pwg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			h := s.Handle(p * 3)
+			defer h.Close()
+			for i := 0; i < events/4; i++ {
+				if _, err := h.PublishEvent("torder.ev", map[string]int{"p": p, "i": i}); err != nil {
+					t.Errorf("publish: %v", err)
+				}
+			}
+		}(p)
+	}
+	pwg.Wait()
+	wg.Wait()
+	close(results)
+
+	var ref []uint64
+	for re := range results {
+		if ref == nil {
+			ref = re.seqs
+			for i := 1; i < len(ref); i++ {
+				if ref[i] <= ref[i-1] {
+					t.Fatalf("rank %d saw non-increasing seqs", re.rank)
+				}
+			}
+			continue
+		}
+		for i := range ref {
+			if re.seqs[i] != ref[i] {
+				t.Fatalf("rank %d event %d seq %d, other rank saw %d",
+					re.rank, i, re.seqs[i], ref[i])
+			}
+		}
+	}
+}
+
+// countModule counts <name>.add requests at each rank and aggregates the
+// count upstream — a miniature of the tree reductions comms modules use.
+type countModule struct {
+	h *broker.Handle
+}
+
+func (m *countModule) Name() string            { return "count" }
+func (m *countModule) Subscriptions() []string { return nil }
+func (m *countModule) Init(h *broker.Handle) error {
+	m.h = h
+	return nil
+}
+func (m *countModule) Shutdown() {}
+
+func (m *countModule) Recv(msg *wire.Message) {
+	switch msg.Method() {
+	case "where":
+		m.h.Respond(msg, map[string]int{"rank": m.h.Rank()})
+	default:
+		m.h.RespondError(msg, broker.ErrnoNoSys, "unknown")
+	}
+}
+
+// TestUpstreamFirstMatch: a request routed with NodeidAny is served by
+// the first rank (walking upward) with the module loaded — the paper's
+// "routed upstream in the tree to the first comms module that matches".
+func TestUpstreamFirstMatch(t *testing.T) {
+	// Load "count" only at ranks with depth <= 1 (0,1,2 in a 7-rank tree).
+	factory := func(rank, size int) broker.Module {
+		if rank <= 2 {
+			return &countModule{}
+		}
+		return nil
+	}
+	s := newSession(t, 7, 2, factory)
+
+	cases := []struct{ from, servedBy int }{
+		{3, 1}, {4, 1}, {5, 2}, {6, 2}, {1, 1}, {0, 0},
+	}
+	for _, c := range cases {
+		h := s.Handle(c.from)
+		resp, err := h.RPC("count.where", wire.NodeidAny, nil)
+		if err != nil {
+			t.Fatalf("from %d: %v", c.from, err)
+		}
+		var body struct {
+			Rank int `json:"rank"`
+		}
+		resp.UnpackJSON(&body)
+		if body.Rank != c.servedBy {
+			t.Errorf("request from %d served by %d, want %d", c.from, body.Rank, c.servedBy)
+		}
+		h.Close()
+	}
+}
+
+// TestNodeidUpstreamSkipsLocal: NodeidUpstream must skip the local
+// instance and match the parent's.
+func TestNodeidUpstreamSkipsLocal(t *testing.T) {
+	all := func(rank, size int) broker.Module { return &countModule{} }
+	s := newSession(t, 7, 2, all)
+	h := s.Handle(5)
+	defer h.Close()
+	resp, err := h.RPC("count.where", wire.NodeidUpstream, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Rank int `json:"rank"`
+	}
+	resp.UnpackJSON(&body)
+	if body.Rank != 2 {
+		t.Fatalf("upstream request from 5 served by %d, want 2 (parent)", body.Rank)
+	}
+}
+
+func TestPublishFromLeafReachesRoot(t *testing.T) {
+	s := newSession(t, 7, 2)
+	rootH := s.Handle(0)
+	defer rootH.Close()
+	sub, err := rootH.Subscribe("leafev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafH := s.Handle(6)
+	defer leafH.Close()
+	seq, err := leafH.PublishEvent("leafev.hello", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-sub.Chan():
+		if ev.Seq != seq {
+			t.Fatalf("root saw seq %d, publisher got %d", ev.Seq, seq)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event not delivered at root")
+	}
+}
+
+// TestSelfHealingReparent kills an interior broker and verifies its
+// children re-attach to the grandparent and continue to receive events
+// with no gaps.
+func TestSelfHealingReparent(t *testing.T) {
+	s := newSession(t, 7, 2)
+
+	h3 := s.Handle(3) // child of rank 1
+	defer h3.Close()
+	sub, err := h3.Subscribe("heal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := s.Handle(0)
+	defer h0.Close()
+
+	if _, err := h0.PublishEvent("heal.before", nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sub.Chan():
+	case <-time.After(5 * time.Second):
+		t.Fatal("pre-failure event not delivered")
+	}
+
+	s.Kill(1) // interior node: parent of ranks 3 and 4
+
+	// Wait for re-parenting to complete.
+	deadline := time.After(10 * time.Second)
+	for s.Broker(3).ParentRank() != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("rank 3 never re-parented (parent=%d)", s.Broker(3).ParentRank())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Events published after the failure must still arrive, in order.
+	for i := 0; i < 5; i++ {
+		if _, err := h0.PublishEvent("heal.after", map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var last uint64
+	for i := 0; i < 5; i++ {
+		select {
+		case ev := <-sub.Chan():
+			if ev.Topic != "heal.after" {
+				t.Fatalf("unexpected topic %s", ev.Topic)
+			}
+			if ev.Seq <= last {
+				t.Fatalf("event order violated after failover")
+			}
+			last = ev.Seq
+		case <-time.After(10 * time.Second):
+			t.Fatalf("post-failover event %d not delivered", i)
+		}
+	}
+
+	// RPC path through the new parent also works.
+	resp, err := h3.RPC("cmb.ping", wire.NodeidAny, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Rank int `json:"rank"`
+	}
+	resp.UnpackJSON(&body)
+	if st := s.Broker(3).Stats(); st.Reparents != 1 {
+		t.Fatalf("reparents = %d, want 1", st.Reparents)
+	}
+}
+
+func TestReparentCascade(t *testing.T) {
+	// Kill rank 1 then rank 2: children of both must land on rank 0.
+	s := newSession(t, 15, 2)
+	s.Kill(1)
+	s.Kill(2)
+	deadline := time.After(10 * time.Second)
+	for _, r := range []int{3, 4, 5, 6} {
+		for s.Broker(r).ParentRank() != 0 {
+			select {
+			case <-deadline:
+				t.Fatalf("rank %d parent = %d, want 0", r, s.Broker(r).ParentRank())
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	// Descendants deeper in the tree keep their (live) parents.
+	if got := s.Broker(7).ParentRank(); got != 3 {
+		t.Fatalf("rank 7 parent = %d, want 3", got)
+	}
+	h := s.Handle(7)
+	defer h.Close()
+	if _, err := h.RPC("cmb.ping", wire.NodeidAny, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKillIdempotentAndAlive(t *testing.T) {
+	s := newSession(t, 3, 2)
+	if !s.Alive(1) {
+		t.Fatal("fresh broker not alive")
+	}
+	s.Kill(1)
+	s.Kill(1)
+	if s.Alive(1) {
+		t.Fatal("killed broker still alive")
+	}
+}
+
+func TestLargeSessionSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large session in -short mode")
+	}
+	const size = 256
+	s := newSession(t, size, 2)
+	h := s.Handle(size - 1)
+	defer h.Close()
+	if _, err := h.RPC("cmb.ping", wire.NodeidAny, nil); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := h.Subscribe("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.PublishEvent("smoke.e", nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sub.Chan():
+	case <-time.After(10 * time.Second):
+		t.Fatal("event not delivered at deep leaf")
+	}
+}
+
+func TestSessionArityValidation(t *testing.T) {
+	if _, err := New(Options{Size: 0}); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+}
+
+func TestRingFullCircle(t *testing.T) {
+	s := newSession(t, 5, 2)
+	// From rank 3, ping rank 2: requires wrapping 3->4->0->1->2.
+	h := s.Handle(3)
+	defer h.Close()
+	resp, err := h.RPC("cmb.ping", 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Rank int `json:"rank"`
+		Hops int `json:"hops"`
+	}
+	resp.UnpackJSON(&body)
+	if body.Rank != 2 {
+		t.Fatalf("served by %d, want 2", body.Rank)
+	}
+	// Route stack: 1 entry for the origin handle + 1 per ring arrival.
+	if body.Hops != 5 {
+		t.Fatalf("hops = %d, want 5 (handle + 4 ring hops)", body.Hops)
+	}
+}
+
+// TestEventResyncAfterReparent verifies no event is lost or duplicated
+// across a failover even when events are published while the orphan is
+// detached: the resync protocol replays the gap from the new parent's
+// history, and sequence-number dedup drops any overlap.
+func TestEventResyncAfterReparent(t *testing.T) {
+	s := newSession(t, 7, 2)
+	h3 := s.Handle(3)
+	defer h3.Close()
+	sub, err := h3.Subscribe("rs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := s.Handle(0)
+	defer h0.Close()
+
+	// A burst of events race the failover: kill rank 1 (parent of 3)
+	// while publishing.
+	const events = 30
+	go func() {
+		for i := 0; i < events; i++ {
+			h0.PublishEvent("rs.burst", map[string]int{"i": i})
+		}
+	}()
+	time.Sleep(time.Millisecond)
+	s.Kill(1)
+
+	var got []int
+	deadline := time.After(20 * time.Second)
+	for len(got) < events {
+		select {
+		case ev := <-sub.Chan():
+			var body struct {
+				I int `json:"i"`
+			}
+			if err := ev.UnpackJSON(&body); err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, body.I)
+		case <-deadline:
+			t.Fatalf("only %d/%d events after failover: %v", len(got), events, got)
+		}
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("event stream corrupted at %d: %v", i, got)
+		}
+	}
+	if dups := s.Broker(3).Stats().EventsDuplicate; dups > 0 {
+		t.Logf("resync dropped %d duplicate events (expected behaviour)", dups)
+	}
+}
+
+func TestCodecSessionWorks(t *testing.T) {
+	s, err := New(Options{Size: 7, Codec: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	h := s.Handle(6)
+	defer h.Close()
+	resp, err := h.RPC("cmb.ping", wire.NodeidAny, map[string]string{"pad": "codec"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Pad string `json:"pad"`
+	}
+	resp.UnpackJSON(&body)
+	if body.Pad != "codec" {
+		t.Fatalf("pad %q through codec pipes", body.Pad)
+	}
+}
+
+func TestManyConcurrentRPCs(t *testing.T) {
+	s := newSession(t, 7, 2)
+	var wg sync.WaitGroup
+	errs := make(chan error, 7*50)
+	for r := 0; r < 7; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			h := s.Handle(r)
+			defer h.Close()
+			for i := 0; i < 50; i++ {
+				if _, err := h.RPC("cmb.ping", wire.NodeidAny, map[string]int{"i": i}); err != nil {
+					errs <- fmt.Errorf("rank %d rpc %d: %w", r, i, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,204 @@
+package session
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fluxgo/internal/broker"
+	"fluxgo/internal/clock"
+	"fluxgo/internal/topo"
+	"fluxgo/internal/transport"
+	"fluxgo/internal/wire"
+)
+
+// TCP deployment: each rank runs one broker process (cmd/flux-broker).
+// Children dial their tree parent (two connections: tree and event
+// planes) and their ring successor; external tools dial any broker as
+// clients. The handshake identity carries the link kind as a prefix
+// ("tree:rank:3") so the accepting broker knows how to attach the
+// connection. All connections authenticate with the shared session key.
+
+// Link-kind prefixes used in TCP handshake identities.
+const (
+	idTree   = "tree:"
+	idEvent  = "event:"
+	idRing   = "ring:"
+	idClient = "client:"
+)
+
+// TCPConfig configures one broker of a TCP-deployed comms session.
+type TCPConfig struct {
+	Rank  int
+	Size  int
+	Arity int
+	// Listen is this broker's bind address (host:port).
+	Listen string
+	// ParentAddr is the tree parent's listen address ("" at the root).
+	ParentAddr string
+	// RingNextAddr is the ring successor's listen address ("" when
+	// Size == 1).
+	RingNextAddr string
+	// Key is the shared session secret.
+	Key []byte
+	// DialTimeout bounds how long to keep retrying the parent and ring
+	// dials during bring-up (brokers may start in any order). Default 30s.
+	DialTimeout time.Duration
+	Modules     []ModuleFactory
+	Clock       clock.Clock
+	Log         func(format string, args ...any)
+}
+
+// TCPBroker is one running rank of a TCP session.
+type TCPBroker struct {
+	B    *broker.Broker
+	ln   *transport.Listener
+	done chan struct{}
+}
+
+// Addr returns the broker's bound listen address.
+func (t *TCPBroker) Addr() string { return t.ln.Addr().String() }
+
+// Close shuts the broker and its listener down.
+func (t *TCPBroker) Close() {
+	t.ln.Close()
+	t.B.Shutdown()
+	<-t.done
+}
+
+// StartTCPBroker brings up one broker rank over TCP: it listens for
+// children, clients, and its ring predecessor, and dials its parent and
+// ring successor with retries so ranks may start in any order.
+func StartTCPBroker(cfg TCPConfig) (*TCPBroker, error) {
+	if cfg.Arity == 0 {
+		cfg.Arity = 2
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 30 * time.Second
+	}
+	tree, err := topo.NewTree(cfg.Size, cfg.Arity)
+	if err != nil {
+		return nil, err
+	}
+	if (tree.Parent(cfg.Rank) >= 0) != (cfg.ParentAddr != "") {
+		return nil, fmt.Errorf("session: rank %d of %d needs ParentAddr iff non-root", cfg.Rank, cfg.Size)
+	}
+	b, err := broker.New(broker.Config{
+		Rank:  cfg.Rank,
+		Size:  cfg.Size,
+		Arity: cfg.Arity,
+		Clock: cfg.Clock,
+		Log:   cfg.Log,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range cfg.Modules {
+		if m := f(cfg.Rank, cfg.Size); m != nil {
+			if err := b.LoadModule(m); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	ln, err := transport.Listen(cfg.Listen, cfg.Key, rankID(cfg.Rank))
+	if err != nil {
+		return nil, err
+	}
+	t := &TCPBroker{B: b, ln: ln, done: make(chan struct{})}
+	go t.acceptLoop(cfg)
+
+	if cfg.ParentAddr != "" {
+		treeConn, err := dialRetry(cfg.ParentAddr, cfg.Key, idTree+rankID(cfg.Rank), cfg.DialTimeout)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("session: dial parent tree plane: %w", err)
+		}
+		evConn, err := dialRetry(cfg.ParentAddr, cfg.Key, idEvent+rankID(cfg.Rank), cfg.DialTimeout)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("session: dial parent event plane: %w", err)
+		}
+		b.AttachConn(broker.LinkParentTree, treeConn)
+		b.AttachConn(broker.LinkParentEvent, evConn)
+		// Open the parent's gate on our event link, replaying any events
+		// published before we joined.
+		evConn.Send(&wire.Message{Type: wire.Control, Topic: "cmb.resync", Seq: 0})
+	}
+	if cfg.RingNextAddr != "" {
+		ringConn, err := dialRetry(cfg.RingNextAddr, cfg.Key, idRing+rankID(cfg.Rank), cfg.DialTimeout)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("session: dial ring successor: %w", err)
+		}
+		b.AttachConn(broker.LinkRingOut, ringConn)
+	}
+	b.Start()
+	return t, nil
+}
+
+// dialRetry dials with exponential backoff until the deadline — peer
+// brokers may not be up yet.
+func dialRetry(addr string, key []byte, localID string, timeout time.Duration) (transport.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	delay := 50 * time.Millisecond
+	for {
+		c, err := transport.Dial(addr, key, localID)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(delay)
+		if delay < time.Second {
+			delay *= 2
+		}
+	}
+}
+
+// acceptLoop attaches inbound connections according to their announced
+// link kind.
+func (t *TCPBroker) acceptLoop(cfg TCPConfig) {
+	defer close(t.done)
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		id := conn.PeerIdentity()
+		switch {
+		case strings.HasPrefix(id, idTree):
+			t.B.AttachConn(broker.LinkChildTree, conn)
+		case strings.HasPrefix(id, idEvent):
+			t.B.AttachConn(broker.LinkChildEvent, conn)
+		case strings.HasPrefix(id, idRing):
+			t.B.AttachConn(broker.LinkRingIn, conn)
+		case strings.HasPrefix(id, idClient):
+			t.B.AttachConn(broker.LinkClient, conn)
+		default:
+			if cfg.Log != nil {
+				cfg.Log("session: rejecting connection with identity %q", id)
+			}
+			conn.Close()
+		}
+	}
+}
+
+// TreeAddrs computes, for a session whose rank addresses are known, the
+// parent and ring-successor addresses of one rank — a helper for
+// launchers generating flux-broker command lines.
+func TreeAddrs(rank, size, arity int, addrOf func(rank int) string) (parent, ringNext string, err error) {
+	tree, err := topo.NewTree(size, arity)
+	if err != nil {
+		return "", "", err
+	}
+	if p := tree.Parent(rank); p >= 0 {
+		parent = addrOf(p)
+	}
+	if size > 1 {
+		ring, _ := topo.NewRing(size)
+		ringNext = addrOf(ring.Next(rank))
+	}
+	return parent, ringNext, nil
+}

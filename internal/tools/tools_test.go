@@ -1,0 +1,181 @@
+package tools
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"fluxgo/internal/kvs"
+	"fluxgo/internal/modules/hb"
+	"fluxgo/internal/modules/jobsvc"
+	"fluxgo/internal/modules/resrc"
+	"fluxgo/internal/modules/wexec"
+	"fluxgo/internal/session"
+)
+
+func newSession(t *testing.T, size int, tools wexec.HandleRegistry) *session.Session {
+	t.Helper()
+	s, err := session.New(session.Options{
+		Size: size,
+		Modules: []session.ModuleFactory{
+			kvs.Factory(kvs.ModuleConfig{}),
+			hb.Factory(hb.Config{Interval: time.Hour}),
+			resrc.Factory(resrc.Config{}),
+			wexec.Factory(wexec.Config{Tools: tools}),
+			jobsvc.Factory(jobsvc.Config{}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func ctx(t *testing.T) context.Context {
+	t.Helper()
+	c, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return c
+}
+
+func TestAttachToolToRunningJob(t *testing.T) {
+	s := newSession(t, 4, BuiltinTools())
+	h := s.Handle(1)
+	defer h.Close()
+
+	// A long-running job on 3 of 4 ranks.
+	id, err := jobsvc.Submit(h, jobsvc.Spec{Program: "block", Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the job is running (its rank record is committed).
+	deadline := time.After(20 * time.Second)
+	for {
+		info, err := jobsvc.GetInfo(h, id)
+		if err == nil && info.State == jobsvc.StateRunning {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("job never started")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Co-location query.
+	ranks, err := JobRanks(h, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != 3 {
+		t.Fatalf("job ranks %v", ranks)
+	}
+
+	// Attach the jobinfo tool: runs on exactly the job's ranks, reads
+	// the job's KVS record through its own handle.
+	res, err := Attach(ctx(t), h, "tool-1", "jobinfo", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != "complete" || res.NTasks != 3 {
+		t.Fatalf("tool result %+v", res)
+	}
+	for _, r := range ranks {
+		stdout, _, code, err := wexec.Output(h, "tool-1", r)
+		if err != nil || code != 0 {
+			t.Fatalf("rank %d: %v code %d", r, err, code)
+		}
+		want := fmt.Sprintf("rank %d: job %s program=block nodes=3 state=running", r, id)
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("rank %d stdout %q, want %q", r, stdout, want)
+		}
+	}
+
+	// The target job keeps running, undisturbed.
+	info, _ := jobsvc.GetInfo(h, id)
+	if info.State != jobsvc.StateRunning {
+		t.Fatalf("job state after tool attach: %s", info.State)
+	}
+	jobsvc.Cancel(h, id)
+	if _, err := jobsvc.Wait(ctx(t), h, id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToolUsesSessionServices(t *testing.T) {
+	s := newSession(t, 2, BuiltinTools())
+	h := s.Handle(0)
+	defer h.Close()
+	if _, err := hb.Pulse(h); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := jobsvc.Submit(h, jobsvc.Spec{Program: "block", Nodes: 1})
+	deadline := time.After(20 * time.Second)
+	for {
+		if info, err := jobsvc.GetInfo(h, id); err == nil && info.State == jobsvc.StateRunning {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("job never started")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	res, err := Attach(ctx(t), h, "tool-hb", "epoch", id)
+	if err != nil || res.State != "complete" {
+		t.Fatalf("%+v %v", res, err)
+	}
+	ranks, _ := JobRanks(h, id)
+	stdout, _, _, err := wexec.Output(h, "tool-hb", ranks[0])
+	if err != nil || !strings.Contains(stdout, "epoch 1") {
+		t.Fatalf("stdout %q %v", stdout, err)
+	}
+	jobsvc.Cancel(h, id)
+	jobsvc.Wait(ctx(t), h, id)
+}
+
+func TestAttachUnknownJob(t *testing.T) {
+	s := newSession(t, 2, BuiltinTools())
+	h := s.Handle(0)
+	defer h.Close()
+	if _, err := JobRanks(h, "999"); err == nil {
+		t.Fatal("rank query for unknown job succeeded")
+	}
+	if _, err := Attach(ctx(t), h, "t", "jobinfo", "999"); err == nil {
+		t.Fatal("attach to unknown job succeeded")
+	}
+}
+
+func TestToolValidationErrors(t *testing.T) {
+	s := newSession(t, 2, BuiltinTools())
+	h := s.Handle(0)
+	defer h.Close()
+	id, _ := jobsvc.Submit(h, jobsvc.Spec{Program: "block", Nodes: 1})
+	deadline := time.After(20 * time.Second)
+	for {
+		if info, err := jobsvc.GetInfo(h, id); err == nil && info.State == jobsvc.StateRunning {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("job never started")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Unknown tool exits 127 per task -> failed bulk job.
+	res, err := Attach(ctx(t), h, "t-bad", "nosuchtool", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != "failed" {
+		t.Fatalf("unknown tool result %+v", res)
+	}
+	jobsvc.Cancel(h, id)
+	jobsvc.Wait(ctx(t), h, id)
+}

@@ -1,0 +1,139 @@
+// Package topo computes the shapes of the CMB overlay planes.
+//
+// The paper's request/response plane is a tree whose shape is
+// configurable (a binary tree is pictured in Fig. 1); the secondary
+// rank-addressed plane is a ring chosen so ranks can be reached without
+// routing tables. This package provides the pure rank arithmetic for
+// both: parents, children, depth, subtree membership, and ring
+// neighbours, for any session size and tree arity.
+package topo
+
+import "fmt"
+
+// Tree describes a complete k-ary tree over ranks 0..Size-1 laid out in
+// breadth-first order: the children of rank r are k*r+1 .. k*r+k.
+// Rank 0 is the session root.
+type Tree struct {
+	Size  int // number of ranks in the session
+	Arity int // fan-out k; 2 reproduces the paper's pictured binary tree
+}
+
+// NewTree validates and returns a Tree. Size must be >= 1 and Arity >= 1.
+func NewTree(size, arity int) (Tree, error) {
+	if size < 1 {
+		return Tree{}, fmt.Errorf("topo: size %d < 1", size)
+	}
+	if arity < 1 {
+		return Tree{}, fmt.Errorf("topo: arity %d < 1", arity)
+	}
+	return Tree{Size: size, Arity: arity}, nil
+}
+
+// Valid reports whether rank is a member of the session.
+func (t Tree) Valid(rank int) bool { return rank >= 0 && rank < t.Size }
+
+// Parent returns the tree parent of rank, or -1 for the root.
+func (t Tree) Parent(rank int) int {
+	if rank <= 0 {
+		return -1
+	}
+	return (rank - 1) / t.Arity
+}
+
+// Children returns the in-session children of rank in ascending order.
+func (t Tree) Children(rank int) []int {
+	first := t.Arity*rank + 1
+	if first >= t.Size {
+		return nil
+	}
+	last := first + t.Arity
+	if last > t.Size {
+		last = t.Size
+	}
+	kids := make([]int, 0, last-first)
+	for c := first; c < last; c++ {
+		kids = append(kids, c)
+	}
+	return kids
+}
+
+// Depth returns the number of edges between rank and the root.
+func (t Tree) Depth(rank int) int {
+	d := 0
+	for rank > 0 {
+		rank = t.Parent(rank)
+		d++
+	}
+	return d
+}
+
+// Height returns the maximum depth over all ranks — the tree height.
+func (t Tree) Height() int { return t.Depth(t.Size - 1) }
+
+// IsLeaf reports whether rank has no children.
+func (t Tree) IsLeaf(rank int) bool { return t.Arity*rank+1 >= t.Size }
+
+// InSubtree reports whether target lies in the subtree rooted at rank
+// (inclusive of rank itself).
+func (t Tree) InSubtree(rank, target int) bool {
+	for target >= 0 {
+		if target == rank {
+			return true
+		}
+		if target < rank {
+			return false // ancestors have smaller BFS indices
+		}
+		target = t.Parent(target)
+	}
+	return false
+}
+
+// ChildToward returns which child of rank roots the subtree containing
+// target. It panics if target is not in a proper subtree of rank.
+func (t Tree) ChildToward(rank, target int) int {
+	if !t.InSubtree(rank, target) || target == rank {
+		panic(fmt.Sprintf("topo: target %d not below rank %d", target, rank))
+	}
+	for {
+		p := t.Parent(target)
+		if p == rank {
+			return target
+		}
+		target = p
+	}
+}
+
+// PathToRoot returns the rank sequence from rank up to and including 0.
+func (t Tree) PathToRoot(rank int) []int {
+	path := []int{rank}
+	for rank > 0 {
+		rank = t.Parent(rank)
+		path = append(path, rank)
+	}
+	return path
+}
+
+// Ring describes the rank-addressed overlay: rank r's next neighbour is
+// (r+1) mod Size.
+type Ring struct {
+	Size int
+}
+
+// NewRing validates and returns a Ring of the given size (>= 1).
+func NewRing(size int) (Ring, error) {
+	if size < 1 {
+		return Ring{}, fmt.Errorf("topo: ring size %d < 1", size)
+	}
+	return Ring{Size: size}, nil
+}
+
+// Next returns the downstream ring neighbour of rank.
+func (r Ring) Next(rank int) int { return (rank + 1) % r.Size }
+
+// Prev returns the upstream ring neighbour of rank.
+func (r Ring) Prev(rank int) int { return (rank - 1 + r.Size) % r.Size }
+
+// Distance returns the number of forward hops from 'from' to 'to'.
+func (r Ring) Distance(from, to int) int {
+	return (to - from + r.Size) % r.Size
+}

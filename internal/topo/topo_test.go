@@ -1,0 +1,193 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTreeValidation(t *testing.T) {
+	if _, err := NewTree(0, 2); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := NewTree(4, 0); err == nil {
+		t.Error("arity 0 accepted")
+	}
+	if _, err := NewTree(1, 1); err != nil {
+		t.Errorf("minimal tree rejected: %v", err)
+	}
+}
+
+func TestBinaryTreeShape(t *testing.T) {
+	tr, _ := NewTree(7, 2)
+	cases := []struct {
+		rank, parent int
+		children     []int
+	}{
+		{0, -1, []int{1, 2}},
+		{1, 0, []int{3, 4}},
+		{2, 0, []int{5, 6}},
+		{3, 1, nil},
+		{6, 2, nil},
+	}
+	for _, c := range cases {
+		if got := tr.Parent(c.rank); got != c.parent {
+			t.Errorf("Parent(%d) = %d, want %d", c.rank, got, c.parent)
+		}
+		kids := tr.Children(c.rank)
+		if len(kids) != len(c.children) {
+			t.Errorf("Children(%d) = %v, want %v", c.rank, kids, c.children)
+			continue
+		}
+		for i := range kids {
+			if kids[i] != c.children[i] {
+				t.Errorf("Children(%d) = %v, want %v", c.rank, kids, c.children)
+			}
+		}
+	}
+}
+
+func TestPartialLastLevel(t *testing.T) {
+	tr, _ := NewTree(6, 2) // rank 2 has only child 5
+	kids := tr.Children(2)
+	if len(kids) != 1 || kids[0] != 5 {
+		t.Fatalf("Children(2) = %v, want [5]", kids)
+	}
+}
+
+func TestUnaryTreeIsChain(t *testing.T) {
+	tr, _ := NewTree(5, 1)
+	for r := 1; r < 5; r++ {
+		if tr.Parent(r) != r-1 {
+			t.Fatalf("Parent(%d) = %d in chain", r, tr.Parent(r))
+		}
+	}
+	if tr.Height() != 4 {
+		t.Fatalf("Height = %d, want 4", tr.Height())
+	}
+}
+
+func TestDepthAndHeight(t *testing.T) {
+	tr, _ := NewTree(15, 2) // perfect binary tree of height 3
+	if tr.Depth(0) != 0 || tr.Depth(1) != 1 || tr.Depth(7) != 3 || tr.Depth(14) != 3 {
+		t.Fatalf("depths: %d %d %d %d", tr.Depth(0), tr.Depth(1), tr.Depth(7), tr.Depth(14))
+	}
+	if tr.Height() != 3 {
+		t.Fatalf("Height = %d, want 3", tr.Height())
+	}
+}
+
+func TestIsLeaf(t *testing.T) {
+	tr, _ := NewTree(7, 2)
+	for r := 0; r < 7; r++ {
+		want := r >= 3
+		if got := tr.IsLeaf(r); got != want {
+			t.Errorf("IsLeaf(%d) = %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestInSubtreeAndChildToward(t *testing.T) {
+	tr, _ := NewTree(15, 2)
+	if !tr.InSubtree(1, 9) { // 9 -> 4 -> 1
+		t.Error("9 should be in subtree of 1")
+	}
+	if tr.InSubtree(2, 9) {
+		t.Error("9 should not be in subtree of 2")
+	}
+	if !tr.InSubtree(3, 3) {
+		t.Error("rank should be in its own subtree")
+	}
+	if got := tr.ChildToward(1, 9); got != 4 {
+		t.Errorf("ChildToward(1,9) = %d, want 4", got)
+	}
+	if got := tr.ChildToward(0, 14); got != 2 {
+		t.Errorf("ChildToward(0,14) = %d, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ChildToward with target outside subtree did not panic")
+		}
+	}()
+	tr.ChildToward(2, 3)
+}
+
+func TestPathToRoot(t *testing.T) {
+	tr, _ := NewTree(15, 2)
+	path := tr.PathToRoot(11) // 11 -> 5 -> 2 -> 0
+	want := []int{11, 5, 2, 0}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+// Property: parent/children are mutually consistent for arbitrary shapes.
+func TestTreeInvariantsQuick(t *testing.T) {
+	f := func(sizeRaw, arityRaw uint8) bool {
+		size := int(sizeRaw%200) + 1
+		arity := int(arityRaw%8) + 1
+		tr, err := NewTree(size, arity)
+		if err != nil {
+			return false
+		}
+		seen := 0
+		for r := 0; r < size; r++ {
+			for _, c := range tr.Children(r) {
+				if tr.Parent(c) != r {
+					return false
+				}
+				if tr.Depth(c) != tr.Depth(r)+1 {
+					return false
+				}
+				seen++
+			}
+			if p := tr.Parent(r); p >= 0 {
+				found := false
+				for _, c := range tr.Children(p) {
+					if c == r {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		// Every rank except the root is someone's child exactly once.
+		return seen == size-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRing(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Fatal("ring size 0 accepted")
+	}
+	r, _ := NewRing(5)
+	if r.Next(4) != 0 || r.Prev(0) != 4 {
+		t.Fatalf("wraparound: Next(4)=%d Prev(0)=%d", r.Next(4), r.Prev(0))
+	}
+	if r.Distance(1, 4) != 3 || r.Distance(4, 1) != 2 || r.Distance(2, 2) != 0 {
+		t.Fatalf("distances wrong: %d %d %d",
+			r.Distance(1, 4), r.Distance(4, 1), r.Distance(2, 2))
+	}
+}
+
+func TestRingWalkCoversAllRanks(t *testing.T) {
+	r, _ := NewRing(8)
+	seen := map[int]bool{}
+	rank := 3
+	for i := 0; i < 8; i++ {
+		seen[rank] = true
+		rank = r.Next(rank)
+	}
+	if len(seen) != 8 || rank != 3 {
+		t.Fatalf("ring walk did not cover ring: %v end=%d", seen, rank)
+	}
+}

@@ -1,0 +1,271 @@
+package transport
+
+import (
+	"bufio"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"fluxgo/internal/wire"
+)
+
+// TCP wire framing: each message is a 4-byte little-endian length
+// followed by the wire.Marshal encoding. The handshake exchanges
+// identities and proves knowledge of the shared session key with an
+// HMAC challenge, giving the "secure overlay network" property the
+// paper requires without external dependencies.
+
+const (
+	handshakeTimeout = 10 * time.Second
+	nonceLen         = 32
+)
+
+// tcpConn adapts a net.Conn to the Conn interface. A writer goroutine
+// drains an unbounded out-queue so Send never blocks the caller.
+type tcpConn struct {
+	nc      net.Conn
+	r       *bufio.Reader
+	out     *queue
+	peerID  string
+	closeMu sync.Mutex
+	closed  bool
+	done    chan struct{}
+}
+
+func newTCPConn(nc net.Conn, peerID string) *tcpConn {
+	c := &tcpConn{
+		nc:     nc,
+		r:      bufio.NewReaderSize(nc, 64<<10),
+		out:    newQueue(),
+		peerID: peerID,
+		done:   make(chan struct{}),
+	}
+	go c.writeLoop()
+	return c
+}
+
+func (c *tcpConn) writeLoop() {
+	w := bufio.NewWriterSize(c.nc, 64<<10)
+	for {
+		m, err := c.out.pop()
+		if err != nil {
+			close(c.done)
+			return
+		}
+		if err := writeFrameMsg(w, m); err != nil {
+			c.out.close(false)
+			close(c.done)
+			return
+		}
+		// Flush when the queue momentarily empties so latency stays low
+		// while bursts still coalesce into large writes.
+		if c.out.len() == 0 {
+			if err := w.Flush(); err != nil {
+				c.out.close(false)
+				close(c.done)
+				return
+			}
+		}
+	}
+}
+
+func (c *tcpConn) Send(m *wire.Message) error {
+	return c.out.push(m)
+}
+
+func (c *tcpConn) Recv() (*wire.Message, error) {
+	b, err := readFrame(c.r)
+	if err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return nil, err
+	}
+	return wire.Unmarshal(b)
+}
+
+func (c *tcpConn) PeerIdentity() string { return c.peerID }
+
+func (c *tcpConn) Close() error {
+	c.closeMu.Lock()
+	defer c.closeMu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.out.close(true)
+	// Give the writer a moment to drain queued messages before the
+	// socket is torn down.
+	select {
+	case <-c.done:
+	case <-time.After(time.Second):
+	}
+	return c.nc.Close()
+}
+
+func writeFrameMsg(w *bufio.Writer, m *wire.Message) error {
+	b, err := wire.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, b)
+}
+
+func writeFrame(w io.Writer, b []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > wire.MaxMessageSize {
+		return nil, wire.ErrTooLarge
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return b, nil
+}
+
+// Listener accepts authenticated TCP connections.
+type Listener struct {
+	nl  net.Listener
+	key []byte
+	id  string
+}
+
+// Listen starts a TCP listener on addr. key is the shared session secret
+// peers must prove knowledge of; localID is the identity presented to
+// connecting peers.
+func Listen(addr string, key []byte, localID string) (*Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{nl: nl, key: append([]byte(nil), key...), id: localID}, nil
+}
+
+// Addr returns the listener's bound address.
+func (l *Listener) Addr() net.Addr { return l.nl.Addr() }
+
+// Accept waits for the next connection and runs the server side of the
+// handshake. Connections failing authentication are closed and the error
+// returned; callers typically log and continue accepting.
+func (l *Listener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	peerID, err := serverHandshake(nc, l.key, l.id)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("transport: handshake: %w", err)
+	}
+	return newTCPConn(nc, peerID), nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.nl.Close() }
+
+// Dial connects to a listener at addr, authenticating with key and
+// presenting localID as our identity.
+func Dial(addr string, key []byte, localID string) (Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, handshakeTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	peerID, err := clientHandshake(nc, key, localID)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("transport: handshake: %w", err)
+	}
+	return newTCPConn(nc, peerID), nil
+}
+
+// serverHandshake: send nonce; receive (identity, hmac(key, nonce||identity));
+// verify; send (identity, hmac(key, nonce||identity||"srv")).
+func serverHandshake(nc net.Conn, key []byte, localID string) (string, error) {
+	nc.SetDeadline(time.Now().Add(handshakeTimeout))
+	defer nc.SetDeadline(time.Time{})
+
+	nonce := make([]byte, nonceLen)
+	if _, err := rand.Read(nonce); err != nil {
+		return "", err
+	}
+	if err := writeFrame(nc, nonce); err != nil {
+		return "", err
+	}
+	idb, err := readFrame(nc)
+	if err != nil {
+		return "", err
+	}
+	mac, err := readFrame(nc)
+	if err != nil {
+		return "", err
+	}
+	if !hmac.Equal(mac, authTag(key, nonce, idb, nil)) {
+		return "", fmt.Errorf("client authentication failed")
+	}
+	if err := writeFrame(nc, []byte(localID)); err != nil {
+		return "", err
+	}
+	if err := writeFrame(nc, authTag(key, nonce, []byte(localID), []byte("srv"))); err != nil {
+		return "", err
+	}
+	return string(idb), nil
+}
+
+func clientHandshake(nc net.Conn, key []byte, localID string) (string, error) {
+	nc.SetDeadline(time.Now().Add(handshakeTimeout))
+	defer nc.SetDeadline(time.Time{})
+
+	nonce, err := readFrame(nc)
+	if err != nil {
+		return "", err
+	}
+	if err := writeFrame(nc, []byte(localID)); err != nil {
+		return "", err
+	}
+	if err := writeFrame(nc, authTag(key, nonce, []byte(localID), nil)); err != nil {
+		return "", err
+	}
+	idb, err := readFrame(nc)
+	if err != nil {
+		return "", err
+	}
+	mac, err := readFrame(nc)
+	if err != nil {
+		return "", err
+	}
+	if !hmac.Equal(mac, authTag(key, nonce, idb, []byte("srv"))) {
+		return "", fmt.Errorf("server authentication failed")
+	}
+	return string(idb), nil
+}
+
+func authTag(key, nonce, id, label []byte) []byte {
+	h := hmac.New(sha256.New, key)
+	h.Write(nonce)
+	h.Write(id)
+	h.Write(label)
+	return h.Sum(nil)
+}

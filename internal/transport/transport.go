@@ -1,0 +1,165 @@
+// Package transport provides reliable, in-order, framed message
+// connections for the CMB overlay planes.
+//
+// Two transports are offered, mirroring the paper's prototype which used
+// ØMQ over TCP and shared memory: a TCP transport with length-prefixed
+// framing and a session-key handshake, and an in-process transport built
+// on unbounded queues for single-process simulated sessions. Both deliver
+// wire.Messages reliably and in order, which is the property the CMB's
+// event-plane consistency argument depends on.
+package transport
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"fluxgo/internal/wire"
+)
+
+// Conn is a bidirectional, reliable, in-order message connection.
+// Send never blocks on peer backpressure (sends are queued), so broker
+// event loops cannot deadlock on mutual sends. Recv blocks until a
+// message arrives or the connection closes, returning io.EOF on close.
+type Conn interface {
+	// Send enqueues m for delivery to the peer.
+	Send(m *wire.Message) error
+	// Recv returns the next message from the peer, blocking as needed.
+	Recv() (*wire.Message, error)
+	// PeerIdentity returns the identity string the peer presented at
+	// connection setup. Brokers use it for route-stack entries.
+	PeerIdentity() string
+	// Close tears the connection down. Pending unreceived messages are
+	// discarded and the peer's Recv returns io.EOF.
+	Close() error
+}
+
+// ErrClosed is returned by Send on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// queue is an unbounded FIFO of messages with close semantics.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*wire.Message
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(m *wire.Message) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.items = append(q.items, m)
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until an item is available or the queue is closed and
+// drained, in which case it returns io.EOF.
+func (q *queue) pop() (*wire.Message, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, io.EOF
+	}
+	m := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return m, nil
+}
+
+// close marks the queue closed. If drain is false pending items are
+// dropped so readers observe EOF immediately.
+func (q *queue) close(drain bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	if !drain {
+		q.items = nil
+	}
+	q.cond.Broadcast()
+}
+
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// pipeConn is one end of an in-process connection.
+type pipeConn struct {
+	send   *queue // messages we produce, peer consumes
+	recv   *queue // messages peer produced, we consume
+	peerID string
+}
+
+// Pipe returns a connected pair of in-process Conns. aID and bID are the
+// identities the respective ends present: the Conn returned first reports
+// PeerIdentity() == bID, and vice versa. Messages sent on one end are
+// delivered in order on the other; delivery survives the sender closing
+// (already-sent messages drain before EOF).
+func Pipe(aID, bID string) (Conn, Conn) {
+	ab := newQueue()
+	ba := newQueue()
+	a := &pipeConn{send: ab, recv: ba, peerID: bID}
+	b := &pipeConn{send: ba, recv: ab, peerID: aID}
+	return a, b
+}
+
+func (c *pipeConn) Send(m *wire.Message) error {
+	return c.send.push(m)
+}
+
+func (c *pipeConn) Recv() (*wire.Message, error) {
+	return c.recv.pop()
+}
+
+func (c *pipeConn) PeerIdentity() string { return c.peerID }
+
+func (c *pipeConn) Close() error {
+	// Let in-flight messages to the peer drain, but unblock our readers.
+	c.send.close(true)
+	c.recv.close(false)
+	return nil
+}
+
+// codecConn wraps a Conn, passing every sent message through the wire
+// codec (marshal + unmarshal). The in-proc transport otherwise moves
+// pointers, which would hide the per-hop cost of moving bytes; the codec
+// pipe restores a copy cost proportional to message size so value-size
+// effects (Figs. 2–3 of the paper) are visible in simulated sessions.
+type codecConn struct {
+	Conn
+}
+
+func (c codecConn) Send(m *wire.Message) error {
+	b, err := wire.Marshal(m)
+	if err != nil {
+		return err
+	}
+	dup, err := wire.Unmarshal(b)
+	if err != nil {
+		return err
+	}
+	return c.Conn.Send(dup)
+}
+
+// CodecPipe is Pipe with per-hop serialization cost (see codecConn).
+func CodecPipe(aID, bID string) (Conn, Conn) {
+	a, b := Pipe(aID, bID)
+	return codecConn{a}, codecConn{b}
+}

@@ -1,0 +1,304 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"fluxgo/internal/wire"
+)
+
+func msg(topic string, seq uint64) *wire.Message {
+	return &wire.Message{Type: wire.Request, Topic: topic, Seq: seq, Payload: []byte(`{}`)}
+}
+
+func testConnPair(t *testing.T, a, b Conn) {
+	t.Helper()
+
+	// In-order delivery a -> b.
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := a.Send(msg("t", uint64(i))); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if m.Seq != uint64(i) {
+			t.Fatalf("out of order: got seq %d, want %d", m.Seq, i)
+		}
+	}
+
+	// Bidirectional.
+	if err := b.Send(msg("back", 1)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := a.Recv()
+	if err != nil || m.Topic != "back" {
+		t.Fatalf("reverse direction: %v %v", m, err)
+	}
+
+	// Close drains in-flight messages, then EOF.
+	if err := a.Send(msg("last", 9)); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	m, err = b.Recv()
+	if err != nil || m.Topic != "last" {
+		t.Fatalf("drain after close: %v %v", m, err)
+	}
+	if _, err := b.Recv(); err != io.EOF {
+		t.Fatalf("Recv after peer close = %v, want io.EOF", err)
+	}
+	if err := a.Send(msg("x", 0)); err != ErrClosed {
+		t.Fatalf("Send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestPipeConn(t *testing.T) {
+	a, b := Pipe("alice", "bob")
+	if a.PeerIdentity() != "bob" || b.PeerIdentity() != "alice" {
+		t.Fatalf("identities: %q %q", a.PeerIdentity(), b.PeerIdentity())
+	}
+	testConnPair(t, a, b)
+}
+
+func TestPipeConcurrentSenders(t *testing.T) {
+	a, b := Pipe("a", "b")
+	const senders, per = 8, 200
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a.Send(msg(fmt.Sprintf("s%d", s), uint64(i)))
+			}
+		}(s)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); a.Close(); close(done) }()
+
+	lastSeq := map[string]uint64{}
+	count := 0
+	for {
+		m, err := b.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Per-sender FIFO must hold even with concurrent senders.
+		if prev, ok := lastSeq[m.Topic]; ok && m.Seq != prev+1 {
+			t.Fatalf("sender %s: seq %d after %d", m.Topic, m.Seq, prev)
+		}
+		lastSeq[m.Topic] = m.Seq
+		count++
+	}
+	<-done
+	if count != senders*per {
+		t.Fatalf("received %d messages, want %d", count, senders*per)
+	}
+}
+
+func TestPipeCloseUnblocksReader(t *testing.T) {
+	a, b := Pipe("a", "b")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	select {
+	case err := <-errc:
+		if err != io.EOF {
+			t.Fatalf("Recv = %v, want io.EOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv not unblocked by Close")
+	}
+	_ = a
+}
+
+func tcpPair(t *testing.T, key []byte) (Conn, Conn, *Listener) {
+	t.Helper()
+	l, err := Listen("127.0.0.1:0", key, "server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type acc struct {
+		c   Conn
+		err error
+	}
+	ch := make(chan acc, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- acc{c, err}
+	}()
+	client, err := Dial(l.Addr().String(), key, "client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := <-ch
+	if a.err != nil {
+		t.Fatal(a.err)
+	}
+	return a.c, client, l
+}
+
+func TestTCPConn(t *testing.T) {
+	server, client, l := tcpPair(t, []byte("secret"))
+	defer l.Close()
+	if server.PeerIdentity() != "client" || client.PeerIdentity() != "server" {
+		t.Fatalf("identities: %q %q", server.PeerIdentity(), client.PeerIdentity())
+	}
+	// In-order delivery both ways, then close semantics.
+	for i := 0; i < 50; i++ {
+		if err := client.Send(msg("t", uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		m, err := server.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Seq != uint64(i) {
+			t.Fatalf("out of order: %d want %d", m.Seq, i)
+		}
+	}
+	server.Send(msg("pong", 0))
+	if m, err := client.Recv(); err != nil || m.Topic != "pong" {
+		t.Fatalf("reverse: %v %v", m, err)
+	}
+	client.Close()
+	if _, err := server.Recv(); err != io.EOF {
+		t.Fatalf("Recv after close = %v, want io.EOF", err)
+	}
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	server, client, l := tcpPair(t, []byte("k"))
+	defer l.Close()
+	defer server.Close()
+	defer client.Close()
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	m := &wire.Message{Type: wire.Request, Topic: "big", Payload: big}
+	if err := client.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload) != len(big) {
+		t.Fatalf("payload length %d, want %d", len(got.Payload), len(big))
+	}
+}
+
+func TestTCPAuthFailure(t *testing.T) {
+	l, err := Listen("127.0.0.1:0", []byte("rightkey"), "server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accErr := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		accErr <- err
+	}()
+	if _, err := Dial(l.Addr().String(), []byte("wrongkey"), "evil"); err == nil {
+		t.Fatal("Dial with wrong key succeeded")
+	}
+	select {
+	case err := <-accErr:
+		if err == nil {
+			t.Fatal("Accept with wrong-key client succeeded")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Accept did not return")
+	}
+}
+
+func TestTCPDialUnreachable(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", []byte("k"), "c"); err == nil {
+		t.Fatal("Dial to closed port succeeded")
+	}
+}
+
+func TestCodecPipeRoundTrip(t *testing.T) {
+	a, b := CodecPipe("a", "b")
+	m := &wire.Message{
+		Type:    wire.Request,
+		Topic:   "kvs.put",
+		Nodeid:  wire.NodeidAny,
+		Seq:     7,
+		Route:   []string{"h:0.1"},
+		Payload: []byte(`{"key":"x"}`),
+	}
+	if err := a.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == m {
+		t.Fatal("codec pipe delivered the same pointer (no copy)")
+	}
+	if got.Topic != m.Topic || got.Seq != m.Seq || string(got.Payload) != string(m.Payload) ||
+		len(got.Route) != 1 || got.Route[0] != "h:0.1" {
+		t.Fatalf("codec round trip mutated message: %+v", got)
+	}
+	// Mutating the received copy must not touch the original.
+	got.Payload[0] = 'X'
+	if m.Payload[0] != '{' {
+		t.Fatal("codec copy aliases original payload")
+	}
+	// Unmarshalable messages error at Send.
+	bad := &wire.Message{Type: wire.Event, Topic: "big", Payload: make([]byte, wire.MaxMessageSize)}
+	if err := a.Send(bad); err == nil {
+		t.Fatal("oversized message accepted by codec pipe")
+	}
+	a.Close()
+	if _, err := b.Recv(); err != io.EOF {
+		t.Fatalf("Recv after close = %v", err)
+	}
+}
+
+func TestQueueBasics(t *testing.T) {
+	q := newQueue()
+	if q.len() != 0 {
+		t.Fatal("new queue not empty")
+	}
+	q.push(msg("a", 1))
+	q.push(msg("b", 2))
+	if q.len() != 2 {
+		t.Fatalf("len = %d, want 2", q.len())
+	}
+	m, _ := q.pop()
+	if m.Topic != "a" {
+		t.Fatal("queue not FIFO")
+	}
+	q.close(true)
+	if err := q.push(msg("c", 3)); err != ErrClosed {
+		t.Fatalf("push on closed = %v, want ErrClosed", err)
+	}
+	m, err := q.pop()
+	if err != nil || m.Topic != "b" {
+		t.Fatalf("drain: %v %v", m, err)
+	}
+	if _, err := q.pop(); err != io.EOF {
+		t.Fatalf("pop after drain = %v, want io.EOF", err)
+	}
+}

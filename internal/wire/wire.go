@@ -1,0 +1,379 @@
+// Package wire defines the CMB message format and its binary codec.
+//
+// Following the paper, every message has a uniform multi-part layout
+// consisting of at least a header frame and a JSON payload frame. The
+// header identifies the recipient with a hierarchical topic namespace
+// (e.g. a message sent to "kvs.put" is routed to the kvs comms module and
+// internally to its handler for "put"), carries the message type
+// (request / response / event / control), an addressed node id for the
+// rank-addressed overlay, a sequence number (event ordering or RPC match
+// tag), an error number for responses, and a route stack recording the
+// hops a request traversed so the response can retrace them in reverse.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Type discriminates the four classes of CMB messages.
+type Type uint8
+
+// Message types.
+const (
+	Request  Type = 1 // RPC request, routed upstream or rank-addressed
+	Response Type = 2 // RPC response, retraces the request's route stack
+	Event    Type = 3 // published on the event plane, totally ordered
+	Control  Type = 4 // broker-internal: hello, disconnect, reparenting
+)
+
+// String returns the conventional lower-case name of the type.
+func (t Type) String() string {
+	switch t {
+	case Request:
+		return "request"
+	case Response:
+		return "response"
+	case Event:
+		return "event"
+	case Control:
+		return "control"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Special node ids for request addressing.
+const (
+	// NodeidAny routes the request upstream in the tree to the first
+	// comms module matching the topic, starting at the local rank.
+	NodeidAny uint32 = 0xFFFFFFFF
+	// NodeidUpstream behaves like NodeidAny but skips the local rank,
+	// forcing at least one upstream hop. A module uses this to reach its
+	// own upstream instance without matching itself.
+	NodeidUpstream uint32 = 0xFFFFFFFE
+	// MaxNodeid is the largest addressable concrete rank.
+	MaxNodeid uint32 = 0xFFFFFFF0
+)
+
+// Message is a single CMB message.
+type Message struct {
+	Type    Type
+	Topic   string   // hierarchical name, e.g. "kvs.put"
+	Nodeid  uint32   // addressed rank, or NodeidAny / NodeidUpstream
+	Seq     uint64   // event sequence number or RPC match tag
+	Errnum  int32    // response status; 0 means success
+	Route   []string // identity hop stack for response back-routing
+	Payload []byte   // JSON frame
+}
+
+// Service returns the first component of the hierarchical topic — the
+// comms module name the message is addressed to. For "kvs.put" it
+// returns "kvs".
+func (m *Message) Service() string {
+	if i := strings.IndexByte(m.Topic, '.'); i >= 0 {
+		return m.Topic[:i]
+	}
+	return m.Topic
+}
+
+// Method returns the remainder of the topic after the service name, the
+// module-internal handler name. For "kvs.put" it returns "put"; for a
+// bare service topic it returns "".
+func (m *Message) Method() string {
+	if i := strings.IndexByte(m.Topic, '.'); i >= 0 {
+		return m.Topic[i+1:]
+	}
+	return ""
+}
+
+// PushRoute appends a hop identity to the route stack.
+func (m *Message) PushRoute(id string) { m.Route = append(m.Route, id) }
+
+// PopRoute removes and returns the most recently pushed hop identity.
+// It reports false when the stack is empty.
+func (m *Message) PopRoute() (string, bool) {
+	if len(m.Route) == 0 {
+		return "", false
+	}
+	id := m.Route[len(m.Route)-1]
+	m.Route = m.Route[:len(m.Route)-1]
+	return id, true
+}
+
+// Copy returns a deep copy of the message. Brokers that fan a message out
+// to multiple links must copy it so per-link route mutations do not alias.
+func (m *Message) Copy() *Message {
+	c := *m
+	if m.Route != nil {
+		c.Route = append([]string(nil), m.Route...)
+	}
+	if m.Payload != nil {
+		c.Payload = append([]byte(nil), m.Payload...)
+	}
+	return &c
+}
+
+// PackJSON marshals v into the payload frame.
+func (m *Message) PackJSON(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: pack %s: %w", m.Topic, err)
+	}
+	m.Payload = b
+	return nil
+}
+
+// UnpackJSON unmarshals the payload frame into v.
+func (m *Message) UnpackJSON(v any) error {
+	if len(m.Payload) == 0 {
+		return fmt.Errorf("wire: unpack %s: empty payload", m.Topic)
+	}
+	if err := json.Unmarshal(m.Payload, v); err != nil {
+		return fmt.Errorf("wire: unpack %s: %w", m.Topic, err)
+	}
+	return nil
+}
+
+// errorBody is the JSON payload convention for failed responses.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// NewRequest builds a request addressed to nodeid with the given topic
+// and JSON-marshalable body (nil for an empty {} payload).
+func NewRequest(topic string, nodeid uint32, body any) (*Message, error) {
+	m := &Message{Type: Request, Topic: topic, Nodeid: nodeid}
+	if body == nil {
+		body = struct{}{}
+	}
+	if err := m.PackJSON(body); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NewResponse builds a success response mirroring req's topic, match tag,
+// and route stack.
+func NewResponse(req *Message, body any) (*Message, error) {
+	m := &Message{
+		Type:  Response,
+		Topic: req.Topic,
+		Seq:   req.Seq,
+		Route: append([]string(nil), req.Route...),
+	}
+	if body == nil {
+		body = struct{}{}
+	}
+	if err := m.PackJSON(body); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NewErrorResponse builds a failure response with the given errnum
+// (must be nonzero) and human-readable message.
+func NewErrorResponse(req *Message, errnum int32, msg string) *Message {
+	if errnum == 0 {
+		errnum = 1
+	}
+	m := &Message{
+		Type:   Response,
+		Topic:  req.Topic,
+		Seq:    req.Seq,
+		Errnum: errnum,
+		Route:  append([]string(nil), req.Route...),
+	}
+	// Marshal of errorBody cannot fail.
+	m.Payload, _ = json.Marshal(errorBody{Error: msg})
+	return m
+}
+
+// RPCError is the decoded form of a failed response.
+type RPCError struct {
+	Topic  string
+	Errnum int32
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *RPCError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("%s: %s (errnum %d)", e.Topic, e.Msg, e.Errnum)
+	}
+	return fmt.Sprintf("%s: errnum %d", e.Topic, e.Errnum)
+}
+
+// IsErrnum reports whether err is an RPCError carrying errnum.
+func IsErrnum(err error, errnum int32) bool {
+	var re *RPCError
+	return errors.As(err, &re) && re.Errnum == errnum
+}
+
+// ResponseError converts a failed response into an *RPCError, or returns
+// nil for a success response.
+func ResponseError(m *Message) error {
+	if m.Errnum == 0 {
+		return nil
+	}
+	e := &RPCError{Topic: m.Topic, Errnum: m.Errnum}
+	var body errorBody
+	if err := json.Unmarshal(m.Payload, &body); err == nil {
+		e.Msg = body.Error
+	}
+	return e
+}
+
+// NewEvent builds an event message for the given topic and body. The
+// sequence number is assigned by the session root when published.
+func NewEvent(topic string, body any) (*Message, error) {
+	m := &Message{Type: Event, Topic: topic, Nodeid: NodeidAny}
+	if body == nil {
+		body = struct{}{}
+	}
+	if err := m.PackJSON(body); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Codec constants.
+const (
+	magic   = 0xF1
+	version = 1
+	// MaxMessageSize bounds a single encoded message; oversized messages
+	// are rejected by both Marshal and Unmarshal to protect brokers.
+	MaxMessageSize = 64 << 20
+)
+
+// Codec errors.
+var (
+	ErrBadMagic  = errors.New("wire: bad magic byte")
+	ErrBadVer    = errors.New("wire: unsupported version")
+	ErrTruncated = errors.New("wire: truncated message")
+	ErrTooLarge  = errors.New("wire: message exceeds size limit")
+)
+
+// Marshal encodes m into a self-contained byte slice.
+//
+// Layout: magic, version, type, then uvarint-framed fields:
+// nodeid(u32 LE), seq(u64 LE), errnum(i32 zigzag-free LE),
+// topic(len+bytes), nroutes(uvarint) × route(len+bytes),
+// payload(len+bytes).
+func Marshal(m *Message) ([]byte, error) {
+	size := 3 + 4 + 8 + 4
+	size += uvarintLen(uint64(len(m.Topic))) + len(m.Topic)
+	size += uvarintLen(uint64(len(m.Route)))
+	for _, r := range m.Route {
+		size += uvarintLen(uint64(len(r))) + len(r)
+	}
+	size += uvarintLen(uint64(len(m.Payload))) + len(m.Payload)
+	if size > MaxMessageSize {
+		return nil, ErrTooLarge
+	}
+
+	buf := make([]byte, 0, size)
+	buf = append(buf, magic, version, byte(m.Type))
+	buf = binary.LittleEndian.AppendUint32(buf, m.Nodeid)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Errnum))
+	buf = appendBytes(buf, []byte(m.Topic))
+	buf = binary.AppendUvarint(buf, uint64(len(m.Route)))
+	for _, r := range m.Route {
+		buf = appendBytes(buf, []byte(r))
+	}
+	buf = appendBytes(buf, m.Payload)
+	return buf, nil
+}
+
+// Unmarshal decodes a message previously produced by Marshal.
+func Unmarshal(data []byte) (*Message, error) {
+	if len(data) > MaxMessageSize {
+		return nil, ErrTooLarge
+	}
+	if len(data) < 3+4+8+4 {
+		return nil, ErrTruncated
+	}
+	if data[0] != magic {
+		return nil, ErrBadMagic
+	}
+	if data[1] != version {
+		return nil, ErrBadVer
+	}
+	m := &Message{Type: Type(data[2])}
+	if m.Type < Request || m.Type > Control {
+		return nil, fmt.Errorf("wire: invalid message type %d", data[2])
+	}
+	p := data[3:]
+	m.Nodeid = binary.LittleEndian.Uint32(p)
+	m.Seq = binary.LittleEndian.Uint64(p[4:])
+	m.Errnum = int32(binary.LittleEndian.Uint32(p[12:]))
+	p = p[16:]
+
+	topic, p, err := readBytes(p)
+	if err != nil {
+		return nil, err
+	}
+	m.Topic = string(topic)
+
+	nroutes, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, ErrTruncated
+	}
+	p = p[n:]
+	if nroutes > uint64(len(p)) { // each route costs at least 1 byte
+		return nil, ErrTruncated
+	}
+	if nroutes > 0 {
+		m.Route = make([]string, 0, nroutes)
+		for i := uint64(0); i < nroutes; i++ {
+			var r []byte
+			r, p, err = readBytes(p)
+			if err != nil {
+				return nil, err
+			}
+			m.Route = append(m.Route, string(r))
+		}
+	}
+
+	payload, p, err := readBytes(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(p))
+	}
+	if len(payload) > 0 {
+		m.Payload = append([]byte(nil), payload...)
+	}
+	return m, nil
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func readBytes(p []byte) (b, rest []byte, err error) {
+	n, w := binary.Uvarint(p)
+	if w <= 0 {
+		return nil, nil, ErrTruncated
+	}
+	p = p[w:]
+	if n > uint64(len(p)) {
+		return nil, nil, ErrTruncated
+	}
+	return p[:n], p[n:], nil
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,270 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		Request:  "request",
+		Response: "response",
+		Event:    "event",
+		Control:  "control",
+		Type(99): "type(99)",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("Type(%d).String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestServiceMethod(t *testing.T) {
+	cases := []struct {
+		topic, service, method string
+	}{
+		{"kvs.put", "kvs", "put"},
+		{"kvs.get.deep", "kvs", "get.deep"},
+		{"barrier", "barrier", ""},
+		{"", "", ""},
+	}
+	for _, c := range cases {
+		m := &Message{Topic: c.topic}
+		if got := m.Service(); got != c.service {
+			t.Errorf("Service(%q) = %q, want %q", c.topic, got, c.service)
+		}
+		if got := m.Method(); got != c.method {
+			t.Errorf("Method(%q) = %q, want %q", c.topic, got, c.method)
+		}
+	}
+}
+
+func TestRouteStack(t *testing.T) {
+	m := &Message{}
+	if _, ok := m.PopRoute(); ok {
+		t.Fatal("PopRoute on empty stack reported ok")
+	}
+	m.PushRoute("a")
+	m.PushRoute("b")
+	id, ok := m.PopRoute()
+	if !ok || id != "b" {
+		t.Fatalf("PopRoute = %q,%v, want b,true", id, ok)
+	}
+	id, ok = m.PopRoute()
+	if !ok || id != "a" {
+		t.Fatalf("PopRoute = %q,%v, want a,true", id, ok)
+	}
+}
+
+func TestCopyIsDeep(t *testing.T) {
+	m := &Message{
+		Type:    Request,
+		Topic:   "kvs.put",
+		Route:   []string{"r1"},
+		Payload: []byte(`{"x":1}`),
+	}
+	c := m.Copy()
+	c.Route[0] = "changed"
+	c.Payload[0] = 'X'
+	c.PushRoute("r2")
+	if m.Route[0] != "r1" || m.Payload[0] != '{' || len(m.Route) != 1 {
+		t.Fatal("Copy aliases original message state")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	msgs := []*Message{
+		{Type: Request, Topic: "kvs.put", Nodeid: NodeidAny, Seq: 42,
+			Route: []string{"hop0", "hop1"}, Payload: []byte(`{"key":"a.b"}`)},
+		{Type: Response, Topic: "kvs.put", Seq: 42, Errnum: -7,
+			Payload: []byte(`{"error":"nope"}`)},
+		{Type: Event, Topic: "hb", Seq: 9999999, Payload: []byte(`{}`)},
+		{Type: Control, Topic: "cmb.hello", Nodeid: 3},
+	}
+	for _, m := range msgs {
+		b, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("Marshal(%v): %v", m.Topic, err)
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("Unmarshal(%v): %v", m.Topic, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", m, got)
+		}
+	}
+}
+
+func TestMarshalRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(topic string, nodeid uint32, seq uint64, errnum int32, routes []string, payload []byte) bool {
+		m := &Message{
+			Type:    Type(1 + rng.Intn(4)),
+			Topic:   topic,
+			Nodeid:  nodeid,
+			Seq:     seq,
+			Errnum:  errnum,
+			Payload: payload,
+		}
+		if len(routes) > 0 {
+			m.Route = routes
+		}
+		if len(payload) == 0 {
+			m.Payload = nil
+		}
+		b, err := Marshal(m)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	m := &Message{Type: Event, Topic: "hb", Payload: []byte(`{"epoch":1}`)}
+	good, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := append([]byte(nil), good...)
+	bad[0] = 0x00
+	if _, err := Unmarshal(bad); err != ErrBadMagic {
+		t.Errorf("bad magic: err = %v, want ErrBadMagic", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[1] = 99
+	if _, err := Unmarshal(bad); err != ErrBadVer {
+		t.Errorf("bad version: err = %v, want ErrBadVer", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[2] = 0
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("invalid type accepted")
+	}
+
+	for cut := 1; cut < len(good); cut++ {
+		if _, err := Unmarshal(good[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+
+	if _, err := Unmarshal(append(good, 0x00)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestUnmarshalFuzzDoesNotPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(128))
+		rng.Read(b)
+		if rng.Intn(2) == 0 && len(b) >= 2 {
+			b[0], b[1] = magic, version
+		}
+		Unmarshal(b) // must not panic
+	}
+}
+
+func TestMarshalTooLarge(t *testing.T) {
+	m := &Message{Type: Event, Topic: "big", Payload: make([]byte, MaxMessageSize)}
+	if _, err := Marshal(m); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestNewRequestResponseHelpers(t *testing.T) {
+	req, err := NewRequest("kvs.get", NodeidAny, map[string]string{"key": "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Seq = 77
+	req.PushRoute("client-1")
+
+	resp, err := NewResponse(req, map[string]int{"val": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != Response || resp.Seq != 77 || resp.Topic != "kvs.get" {
+		t.Fatalf("response header mismatch: %+v", resp)
+	}
+	if len(resp.Route) != 1 || resp.Route[0] != "client-1" {
+		t.Fatalf("response route = %v, want [client-1]", resp.Route)
+	}
+	if err := ResponseError(resp); err != nil {
+		t.Fatalf("success response yielded error %v", err)
+	}
+
+	eresp := NewErrorResponse(req, 2, "no such key")
+	if eresp.Errnum != 2 {
+		t.Fatalf("errnum = %d, want 2", eresp.Errnum)
+	}
+	err = ResponseError(eresp)
+	if err == nil || !strings.Contains(err.Error(), "no such key") {
+		t.Fatalf("ResponseError = %v, want message mentioning 'no such key'", err)
+	}
+
+	// Errnum 0 passed to NewErrorResponse must still mark failure.
+	eresp = NewErrorResponse(req, 0, "boom")
+	if eresp.Errnum == 0 {
+		t.Fatal("NewErrorResponse produced success errnum")
+	}
+}
+
+func TestNewEventDefaultsEmptyBody(t *testing.T) {
+	ev, err := NewEvent("hb", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != Event || !bytes.Equal(ev.Payload, []byte("{}")) {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestPackUnpackJSON(t *testing.T) {
+	type body struct {
+		Key string `json:"key"`
+		N   int    `json:"n"`
+	}
+	m := &Message{Topic: "t"}
+	if err := m.PackJSON(body{Key: "k", N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var got body
+	if err := m.UnpackJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != "k" || got.N != 3 {
+		t.Fatalf("unpacked %+v", got)
+	}
+	empty := &Message{Topic: "t"}
+	if err := empty.UnpackJSON(&got); err == nil {
+		t.Fatal("UnpackJSON on empty payload succeeded")
+	}
+	bad := &Message{Topic: "t", Payload: []byte("{")}
+	if err := bad.UnpackJSON(&got); err == nil {
+		t.Fatal("UnpackJSON on invalid JSON succeeded")
+	}
+}
+
+func TestPackJSONUnmarshalable(t *testing.T) {
+	m := &Message{Topic: "t"}
+	if err := m.PackJSON(func() {}); err == nil {
+		t.Fatal("PackJSON of func succeeded")
+	}
+}
