@@ -1,0 +1,28 @@
+# fluxgo build/test entry points.
+#
+# `make check` is the gate: vet plus the full test suite under the race
+# detector, including the chaos soak at its short default duration.
+# Lengthen the soak (and pin a fault schedule) via the env vars the soak
+# test reads, e.g.:
+#
+#   CHAOS_SOAK=30s CHAOS_SEED=42 make chaos
+
+GO ?= go
+
+.PHONY: build test check chaos vet
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+check: vet
+	$(GO) test -race ./...
+
+# Longer fault-injection soak; honours CHAOS_SOAK / CHAOS_SEED.
+chaos:
+	$(GO) test -race -run 'TestChaosSoak' -v ./internal/session/

@@ -199,11 +199,14 @@ func putAndCommit(c *client.Client, key string, val json.RawMessage) {
 		"key": key, "ref": ref, "data": data,
 	})
 	fatalIf(err)
+	name := fmt.Sprintf("flux-cli-%d", time.Now().UnixNano())
 	resp, err := c.RPC("kvs.fence", wire.NodeidAny, map[string]any{
-		"name":   fmt.Sprintf("flux-cli-%d", time.Now().UnixNano()),
+		"name":   name,
 		"nprocs": 1,
-		"count":  1,
-		"ops":    []map[string]any{{"key": key, "ref": ref}},
+		"entries": []map[string]any{{
+			"id":  name + "/cli",
+			"ops": []map[string]any{{"key": key, "ref": ref}},
+		}},
 	})
 	fatalIf(err)
 	var body struct {

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fluxgo/internal/clock"
 	"fluxgo/internal/topo"
@@ -85,14 +86,28 @@ type link struct {
 	gated bool
 }
 
-// send delivers a message outbound on this link.
-func (l *link) send(m *wire.Message) {
+// send delivers a message outbound on this link, reporting failure so
+// the broker can account for it (see Broker.send).
+func (l *link) send(m *wire.Message) error {
 	if l.conn != nil {
-		l.conn.Send(m) // best effort; link-down cleanup handles errors
-		return
+		return l.conn.Send(m)
 	}
-	if l.h != nil {
-		l.h.deliver(m)
+	if l.h != nil && !l.h.deliver(m) {
+		return errShutdown
+	}
+	return nil
+}
+
+// send delivers m on l, counting failures in Stats.SendErrors instead of
+// silently discarding them. Link-down cleanup still handles the
+// connection teardown itself; the counter is what makes a lossy or dying
+// link observable through cmb.stats before that happens.
+func (b *Broker) send(l *link, m *wire.Message) {
+	if err := l.send(m); err != nil {
+		b.mu.Lock()
+		b.stats.SendErrors++
+		b.mu.Unlock()
+		b.logf("send on link %s failed: %v", l.id, err)
 	}
 }
 
@@ -123,6 +138,11 @@ type Config struct {
 	Reparent func(b *Broker, oldParentRank int)
 	// Log, when non-nil, receives broker diagnostics.
 	Log func(format string, args ...any)
+	// RPCTimeout is the default deadline applied to Handle RPCs that do
+	// not specify their own. 0 defaults to DefaultRPCTimeout; negative
+	// disables the default deadline entirely (callers may still pass one
+	// per call).
+	RPCTimeout time.Duration
 }
 
 // Stats are cumulative broker counters, readable at any time.
@@ -136,6 +156,8 @@ type Stats struct {
 	EventsDuplicate  uint64 // dropped as already-seen after resync
 	EventSeqGaps     uint64
 	Reparents        uint64
+	SendErrors       uint64 // outbound link sends that failed (conn closed, handle gone)
+	InflightFailed   uint64 // routed RPCs failed with EHOSTUNREACH on a return-route link drop
 }
 
 // Broker is one CMB rank.
@@ -156,6 +178,13 @@ type Broker struct {
 	stats       Stats
 	closed      bool
 	reparenting bool // a Reparent callback is in flight
+	// inflight tracks requests this broker forwarded over an outbound
+	// link and whose responses must retrace through it. When that link
+	// drops, every tracked request is failed with ErrnoHostUnreach back
+	// toward its requester, so no caller is left waiting on a response
+	// that can never arrive (the no-hang guarantee's fast path; the RPC
+	// deadline is the backstop for silent faults that drop no link).
+	inflight map[string]*inflightReq
 
 	handleSeq atomic.Uint64
 
@@ -189,6 +218,9 @@ func New(cfg Config) (*Broker, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.RPCTimeout == 0 {
+		cfg.RPCTimeout = DefaultRPCTimeout
+	}
 	return &Broker{
 		cfg:        cfg,
 		tree:       tree,
@@ -196,9 +228,53 @@ func New(cfg Config) (*Broker, error) {
 		inbox:      NewMailbox[inbound](),
 		links:      make(map[string]*link),
 		modules:    make(map[string]*moduleRunner),
+		inflight:   make(map[string]*inflightReq),
 		parentRank: tree.Parent(cfg.Rank),
 		done:       make(chan struct{}),
 	}, nil
+}
+
+// inflightReq is the bookkeeping for one request forwarded over an
+// outbound link (see Broker.inflight).
+type inflightReq struct {
+	topic   string
+	seq     uint64
+	route   []string // route stack at forward time (top = arrival hop)
+	out     string   // outbound link id
+	arrival string   // arrival link id ("" for broker-internal submissions)
+}
+
+// inflightKey identifies a forwarded request by its match tag plus the
+// return route, which together are unique: handle ids are broker-unique
+// and tags are unique per handle.
+func inflightKey(seq uint64, route []string) string {
+	var sb strings.Builder
+	sb.Grow(24 + len(route)*12)
+	fmt.Fprintf(&sb, "%d", seq)
+	for _, hop := range route {
+		sb.WriteByte('|')
+		sb.WriteString(hop)
+	}
+	return sb.String()
+}
+
+// trackInflight records a routed request forwarded over out. Requests
+// with no match tag (fire-and-forget) or no return route need no
+// tracking: nothing is waiting on them.
+func (b *Broker) trackInflight(m *wire.Message, out *link, arrival string) {
+	if m.Seq == 0 || len(m.Route) == 0 {
+		return
+	}
+	e := &inflightReq{
+		topic:   m.Topic,
+		seq:     m.Seq,
+		route:   append([]string(nil), m.Route...),
+		out:     out.id,
+		arrival: arrival,
+	}
+	b.mu.Lock()
+	b.inflight[inflightKey(e.seq, e.route)] = e
+	b.mu.Unlock()
 }
 
 // Rank returns this broker's rank in the comms session.
@@ -317,19 +393,24 @@ func (b *Broker) routeRequest(in inbound) {
 		m.PushRoute(in.from.id)
 	}
 
+	arrival := ""
+	if in.from != nil {
+		arrival = in.from.id
+	}
+
 	switch {
 	case m.Nodeid == wire.NodeidUpstream:
 		m.Nodeid = wire.NodeidAny
-		b.forwardUpstream(m)
+		b.forwardUpstream(m, arrival)
 	case m.Nodeid == wire.NodeidAny:
 		if in.forceUp {
-			b.forwardUpstream(m)
+			b.forwardUpstream(m, arrival)
 			return
 		}
 		if b.dispatchLocal(m) {
 			return
 		}
-		b.forwardUpstream(m)
+		b.forwardUpstream(m, arrival)
 	case int(m.Nodeid) == b.cfg.Rank:
 		if !b.dispatchLocal(m) {
 			b.respondErr(m, ErrnoNoSys, fmt.Sprintf("no module %q at rank %d", m.Service(), b.cfg.Rank))
@@ -348,7 +429,8 @@ func (b *Broker) routeRequest(in inbound) {
 			b.respondErr(m, ErrnoHostUnreach, fmt.Sprintf("rank %d unreachable: no ring link", m.Nodeid))
 			return
 		}
-		out.send(m)
+		b.trackInflight(m, out, arrival)
+		b.send(out, m)
 	default:
 		b.respondErr(m, ErrnoInval, fmt.Sprintf("nodeid %d outside session of size %d", m.Nodeid, b.cfg.Size))
 	}
@@ -371,24 +453,38 @@ func (b *Broker) dispatchLocal(m *wire.Message) bool {
 	return true
 }
 
-// forwardUpstream sends m toward the root, or answers ENOSYS at the root.
-func (b *Broker) forwardUpstream(m *wire.Message) {
+// forwardUpstream sends m toward the root, or answers ENOSYS at the
+// root. At a non-root broker whose parent link is down (crashed parent,
+// re-parenting still in flight) it answers EHOSTUNREACH instead, so
+// callers fail fast and can retry after the overlay self-heals.
+func (b *Broker) forwardUpstream(m *wire.Message, arrival string) {
 	b.mu.Lock()
 	p := b.parentTree
 	b.stats.RequestsUpstream++
 	b.mu.Unlock()
 	if p == nil {
-		b.respondErr(m, ErrnoNoSys, fmt.Sprintf("no module %q in session", m.Service()))
+		if b.IsRoot() {
+			b.respondErr(m, ErrnoNoSys, fmt.Sprintf("no module %q in session", m.Service()))
+		} else {
+			b.respondErr(m, ErrnoHostUnreach,
+				fmt.Sprintf("rank %d: parent link down (re-parenting)", b.cfg.Rank))
+		}
 		return
 	}
-	p.send(m)
+	b.trackInflight(m, p, arrival)
+	b.send(p, m)
 }
 
-// routeResponse pops one hop off the route stack and forwards.
+// routeResponse pops one hop off the route stack and forwards. A
+// response passing through settles the matching in-flight entry created
+// when the request was forwarded.
 func (b *Broker) routeResponse(in inbound) {
 	m := in.msg
 	b.mu.Lock()
 	b.stats.ResponsesRouted++
+	if m.Seq != 0 && len(b.inflight) > 0 {
+		delete(b.inflight, inflightKey(m.Seq, m.Route))
+	}
 	b.mu.Unlock()
 	if m.Seq == 0 && len(m.Route) == 0 {
 		return // response to a fire-and-forget send: drop
@@ -405,7 +501,7 @@ func (b *Broker) routeResponse(in inbound) {
 		b.logf("response %s to unknown link %q dropped", m.Topic, id)
 		return
 	}
-	l.send(m)
+	b.send(l, m)
 }
 
 // respondErr generates an error response for a request and routes it
@@ -417,7 +513,11 @@ func (b *Broker) respondErr(req *wire.Message, errnum int32, msg string) {
 	b.routeResponse(inbound{msg: wire.NewErrorResponse(req, errnum, msg)})
 }
 
-// linkDown cleans up after a connection failure or close.
+// linkDown cleans up after a connection failure or close. Requests this
+// broker forwarded over the dead link are failed back toward their
+// requesters with EHOSTUNREACH: their responses could only have returned
+// through this link, so without this they would hang until the caller's
+// deadline.
 func (b *Broker) linkDown(l *link) {
 	b.mu.Lock()
 	delete(b.links, l.id)
@@ -434,6 +534,19 @@ func (b *Broker) linkDown(l *link) {
 	if b.ringOut == l {
 		b.ringOut = nil
 	}
+	var failed []*inflightReq
+	for key, e := range b.inflight {
+		switch l.id {
+		case e.out:
+			failed = append(failed, e)
+			delete(b.inflight, key)
+		case e.arrival:
+			// The requester's own link is gone; any response would be
+			// dropped at routing time, so just forget the entry.
+			delete(b.inflight, key)
+		}
+	}
+	b.stats.InflightFailed += uint64(len(failed))
 	closed := b.closed
 	reparent := b.cfg.Reparent
 	trigger := parentLost && !closed && reparent != nil && !b.reparenting
@@ -442,6 +555,11 @@ func (b *Broker) linkDown(l *link) {
 	}
 	b.mu.Unlock()
 	l.conn.Close()
+	for _, e := range failed {
+		req := &wire.Message{Type: wire.Request, Topic: e.topic, Seq: e.seq, Route: e.route}
+		b.routeResponse(inbound{msg: wire.NewErrorResponse(req, ErrnoHostUnreach,
+			fmt.Sprintf("rank %d: link %s down on return route", b.cfg.Rank, e.out))})
+	}
 	// Both parent-plane links fail on a parent death; re-parent once.
 	if trigger {
 		go reparent(b, oldParent)
@@ -474,7 +592,7 @@ func (b *Broker) SetParent(treeConn, eventConn transport.Conn, newParentRank int
 	go b.readLoop(el)
 	// Ask the new parent to replay any events we missed during failover.
 	resync := &wire.Message{Type: wire.Control, Topic: "cmb.resync", Seq: last}
-	el.send(resync)
+	b.send(el, resync)
 }
 
 // handleControl processes link-level control messages.

@@ -80,6 +80,8 @@ func (b *Broker) builtinRequest(m *wire.Message) bool {
 			"events_duplicate":  st.EventsDuplicate,
 			"event_seq_gaps":    st.EventSeqGaps,
 			"reparents":         st.Reparents,
+			"send_errors":       st.SendErrors,
+			"inflight_failed":   st.InflightFailed,
 			"last_event_seq":    b.LastEventSeq(),
 		})
 		if err == nil {
@@ -196,10 +198,10 @@ func (b *Broker) applyEvent(ev *wire.Message) {
 		r.inbox.Push(ev)
 	}
 	for _, l := range local {
-		l.send(ev)
+		b.send(l, ev)
 	}
 	for _, l := range down {
-		l.send(ev)
+		b.send(l, ev)
 	}
 }
 
@@ -215,7 +217,7 @@ func (b *Broker) replayEvents(l *link, last uint64) {
 	}
 	b.mu.Unlock()
 	for _, ev := range replay {
-		l.send(ev)
+		b.send(l, ev)
 	}
 }
 

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fluxgo/internal/clock"
 	"fluxgo/internal/wire"
@@ -76,7 +78,8 @@ func (h *Handle) Clock() clock.Clock { return h.b.cfg.Clock }
 func (h *Handle) Broker() *Broker { return h.b }
 
 // deliver is called by the broker loop to hand a message to the handle.
-func (h *Handle) deliver(m *wire.Message) { h.inbox.Push(m) }
+// It reports false once the handle has shut down.
+func (h *Handle) deliver(m *wire.Message) bool { return h.inbox.Push(m) }
 
 // wantsEvent reports whether any subscription matches topic.
 func (h *Handle) wantsEvent(topic string) bool {
@@ -122,17 +125,100 @@ func (h *Handle) demux() {
 	}
 }
 
-// RPC sends a request and blocks until the matching response arrives.
-// On a failed response (nonzero errnum) the response is returned along
-// with the decoded error. nodeid selects routing: wire.NodeidAny routes
-// upstream to the first matching module; wire.NodeidUpstream skips the
-// local rank; a concrete rank routes over the rank-addressed overlay.
+// DefaultRPCTimeout is the deadline applied to RPCs when neither the
+// call (RPCOptions.Timeout) nor the broker (Config.RPCTimeout) sets one.
+// It is deliberately generous: it is a no-hang backstop for faults that
+// drop no link (silent crashes, partitions), not a latency target —
+// link-drop failures surface much sooner via EHOSTUNREACH.
+const DefaultRPCTimeout = 60 * time.Second
+
+// RPCOptions tunes the deadline/retry behaviour of one RPC.
+type RPCOptions struct {
+	// Timeout bounds each attempt. 0 uses the broker's configured
+	// default (Config.RPCTimeout, itself defaulting to
+	// DefaultRPCTimeout); negative disables the deadline.
+	Timeout time.Duration
+	// Retries is how many additional attempts are made after a transient
+	// failure (EHOSTUNREACH on a dropped route, or a deadline expiry).
+	// Retries MUST only be requested for idempotent operations — kvs
+	// gets, version queries, deduplicated fence entries — because the
+	// failed attempt may in fact have been executed.
+	Retries int
+	// Backoff is the delay before the first retry; it doubles on each
+	// subsequent retry (capped at 2s) and is jittered to [d/2, d] so
+	// synchronized failures do not retry in lockstep. 0 defaults to 20ms.
+	Backoff time.Duration
+}
+
+// maxRetryBackoff caps the exponential retry delay.
+const maxRetryBackoff = 2 * time.Second
+
+// IsTransient reports whether err is a transient routing failure — a
+// deadline expiry or an unreachable hop — that an idempotent caller may
+// retry, possibly after the overlay self-heals.
+func IsTransient(err error) bool {
+	return wire.IsErrnum(err, ErrnoTimedOut) || wire.IsErrnum(err, ErrnoHostUnreach)
+}
+
+// RPC sends a request and blocks until the matching response arrives or
+// the broker's default deadline expires (no Handle RPC can hang
+// indefinitely). On a failed response (nonzero errnum) the response is
+// returned along with the decoded error. nodeid selects routing:
+// wire.NodeidAny routes upstream to the first matching module;
+// wire.NodeidUpstream skips the local rank; a concrete rank routes over
+// the rank-addressed overlay.
 func (h *Handle) RPC(topic string, nodeid uint32, body any) (*wire.Message, error) {
-	return h.RPCContext(context.Background(), topic, nodeid, body)
+	return h.RPCWithOptions(context.Background(), topic, nodeid, body, RPCOptions{})
 }
 
 // RPCContext is RPC with cancellation.
 func (h *Handle) RPCContext(ctx context.Context, topic string, nodeid uint32, body any) (*wire.Message, error) {
+	return h.RPCWithOptions(ctx, topic, nodeid, body, RPCOptions{})
+}
+
+// RPCWithOptions is RPC with an explicit deadline/retry policy. Every
+// attempt is a fresh request with a fresh match tag; a response to an
+// abandoned attempt is dropped by the demultiplexer. Retries re-route
+// from scratch, so an attempt that failed over a now-dead parent link is
+// re-issued over the adoptive parent once re-parenting completes.
+func (h *Handle) RPCWithOptions(ctx context.Context, topic string, nodeid uint32, body any, opts RPCOptions) (*wire.Message, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = h.b.cfg.RPCTimeout
+	}
+	backoff := opts.Backoff
+	if backoff <= 0 {
+		backoff = 20 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := h.rpcOnce(ctx, topic, nodeid, body, timeout)
+		if err == nil || attempt >= opts.Retries || !IsTransient(err) {
+			return resp, err
+		}
+		d := backoff << uint(attempt)
+		if d > maxRetryBackoff {
+			d = maxRetryBackoff
+		}
+		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1)) // jitter to [d/2, d]
+		t := h.Clock().NewTimer(d)
+		select {
+		case <-t.C():
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-h.closedCh:
+			t.Stop()
+			return nil, errShutdown
+		}
+	}
+}
+
+// rpcOnce performs a single request/response exchange with an optional
+// deadline (timeout <= 0 disables it).
+func (h *Handle) rpcOnce(ctx context.Context, topic string, nodeid uint32, body any, timeout time.Duration) (*wire.Message, error) {
 	m, err := wire.NewRequest(topic, nodeid, body)
 	if err != nil {
 		return nil, err
@@ -153,12 +239,22 @@ func (h *Handle) RPCContext(ctx context.Context, topic string, nodeid uint32, bo
 		h.forget(tag)
 		return nil, errShutdown
 	}
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		t := h.Clock().NewTimer(timeout)
+		defer t.Stop()
+		timerC = t.C()
+	}
 	select {
 	case resp := <-ch:
 		if err := wire.ResponseError(resp); err != nil {
 			return resp, err
 		}
 		return resp, nil
+	case <-timerC:
+		h.forget(tag)
+		return nil, &wire.RPCError{Topic: topic, Errnum: ErrnoTimedOut,
+			Msg: fmt.Sprintf("rpc deadline (%s) exceeded", timeout)}
 	case <-ctx.Done():
 		h.forget(tag)
 		return nil, ctx.Err()

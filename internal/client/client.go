@@ -14,6 +14,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fluxgo/internal/transport"
 	"fluxgo/internal/wire"
@@ -22,10 +23,24 @@ import (
 // ErrClosed is returned after the connection has shut down.
 var ErrClosed = errors.New("client: connection closed")
 
+// DefaultRPCTimeout bounds RPCs issued without a caller deadline, so an
+// external tool never hangs on a wedged or partitioned broker. It
+// mirrors broker.DefaultRPCTimeout.
+const DefaultRPCTimeout = 60 * time.Second
+
+// errnoTimedOut matches broker.ErrnoTimedOut (ETIMEDOUT), so callers
+// can classify client-side and broker-side deadline errors uniformly
+// with wire.IsErrnum.
+const errnoTimedOut = 110
+
 // Client is a connection to one broker.
 type Client struct {
 	conn    transport.Conn
 	nextTag atomic.Uint64
+
+	// Timeout bounds each RPC whose context carries no deadline of its
+	// own. Zero means DefaultRPCTimeout; negative disables the bound.
+	Timeout time.Duration
 
 	mu      sync.Mutex
 	pending map[uint64]chan *wire.Message
@@ -119,8 +134,20 @@ func (c *Client) RPC(topic string, nodeid uint32, body any) (*wire.Message, erro
 	return c.RPCContext(context.Background(), topic, nodeid, body)
 }
 
-// RPCContext is RPC with cancellation.
+// RPCContext is RPC with cancellation. When ctx carries no deadline,
+// the client's Timeout applies.
 func (c *Client) RPCContext(ctx context.Context, topic string, nodeid uint32, body any) (*wire.Message, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = DefaultRPCTimeout
+	}
+	ownDeadline := false
+	if _, has := ctx.Deadline(); !has && timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+		ownDeadline = true
+	}
 	m, err := wire.NewRequest(topic, nodeid, body)
 	if err != nil {
 		return nil, err
@@ -150,6 +177,10 @@ func (c *Client) RPCContext(ctx context.Context, topic string, nodeid uint32, bo
 		return resp, nil
 	case <-ctx.Done():
 		c.forget(tag)
+		if ownDeadline && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, &wire.RPCError{Topic: topic, Errnum: errnoTimedOut,
+				Msg: fmt.Sprintf("rpc deadline (%s) exceeded", timeout)}
+		}
 		return nil, ctx.Err()
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"time"
+
 	"fluxgo/internal/broker"
 	"fluxgo/internal/cas"
 	"fluxgo/internal/wire"
@@ -40,6 +42,16 @@ func NewClientFor(h *broker.Handle, service string) *Client {
 
 // topic builds a service-qualified topic.
 func (c *Client) topic(method string) string { return c.service + "." + method }
+
+// Retry policies. All retried client operations are idempotent: reads
+// are side-effect free, sync re-registers a version waiter, and fence
+// entries are deduplicated by ID at every aggregation level. Transient
+// failures here are route errors during re-parenting or deadline expiry
+// under partition, both of which heal.
+var (
+	readOpts  = broker.RPCOptions{Retries: 3, Backoff: 25 * time.Millisecond}
+	fenceOpts = broker.RPCOptions{Retries: 4, Backoff: 50 * time.Millisecond}
+)
 
 // Handle returns the underlying broker handle.
 func (c *Client) Handle() *broker.Handle { return c.h }
@@ -131,12 +143,16 @@ func (c *Client) Fence(name string, nprocs int) (uint64, error) {
 }
 
 func (c *Client) fence(name string, nprocs int, ops []Op) (uint64, error) {
-	resp, err := c.h.RPC(c.topic("fence"), wire.NodeidAny, fenceBody{
-		Name:   name,
-		NProcs: nprocs,
-		Count:  1,
-		Ops:    ops,
-	})
+	// The entry ID is globally unique (handle IDs embed the rank), so a
+	// retried request — after a timeout or a route failure mid-fence —
+	// is deduplicated at every aggregation level and can never double
+	// count this participant or re-apply its ops.
+	entry := fenceEntry{ID: name + "/" + c.h.ID(), Ops: ops}
+	resp, err := c.h.RPCWithOptions(context.Background(), c.topic("fence"), wire.NodeidAny, fenceBody{
+		Name:    name,
+		NProcs:  nprocs,
+		Entries: []fenceEntry{entry},
+	}, fenceOpts)
 	if err != nil {
 		c.restorePending(ops)
 		return 0, err
@@ -218,7 +234,7 @@ func (c *Client) getRaw(key string) (*getResp, error) {
 	if err := ValidateKey(key); err != nil {
 		return nil, err
 	}
-	resp, err := c.h.RPC(c.topic("get"), wire.NodeidAny, getBody{Key: key})
+	resp, err := c.h.RPCWithOptions(context.Background(), c.topic("get"), wire.NodeidAny, getBody{Key: key}, readOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -232,7 +248,7 @@ func (c *Client) getRaw(key string) (*getResp, error) {
 // RootRef returns the local root reference (hex) and version — a
 // snapshot handle usable with GetAt even after later commits.
 func (c *Client) RootRef() (string, uint64, error) {
-	resp, err := c.h.RPC(c.topic("getversion"), wire.NodeidAny, struct{}{})
+	resp, err := c.h.RPCWithOptions(context.Background(), c.topic("getversion"), wire.NodeidAny, struct{}{}, readOpts)
 	if err != nil {
 		return "", 0, err
 	}
@@ -253,7 +269,7 @@ func (c *Client) GetAt(rootRef, key string, out any) error {
 	if err := ValidateKey(key); err != nil {
 		return err
 	}
-	resp, err := c.h.RPC(c.topic("get"), wire.NodeidAny, getBody{Key: key, Root: rootRef})
+	resp, err := c.h.RPCWithOptions(context.Background(), c.topic("get"), wire.NodeidAny, getBody{Key: key, Root: rootRef}, readOpts)
 	if err != nil {
 		return err
 	}
@@ -273,7 +289,7 @@ func (c *Client) GetAt(rootRef, key string, out any) error {
 // GetVersion returns the local root version (kvs_get_version). Passing
 // it to another process's WaitVersion yields causal consistency.
 func (c *Client) GetVersion() (uint64, error) {
-	resp, err := c.h.RPC(c.topic("getversion"), wire.NodeidAny, struct{}{})
+	resp, err := c.h.RPCWithOptions(context.Background(), c.topic("getversion"), wire.NodeidAny, struct{}{}, readOpts)
 	if err != nil {
 		return 0, err
 	}
@@ -285,9 +301,14 @@ func (c *Client) GetVersion() (uint64, error) {
 }
 
 // WaitVersion blocks until the local root version reaches at least
-// version (kvs_wait_version).
+// version (kvs_wait_version). A deadline expiry while the version is
+// legitimately still in flight re-registers the waiter (sync is
+// idempotent), so WaitVersion survives lost setroot events: the kvs
+// module's heartbeat root poll unsticks the version, and the retried
+// sync observes it.
 func (c *Client) WaitVersion(version uint64) error {
-	_, err := c.h.RPC(c.topic("sync"), wire.NodeidAny, syncBody{Version: version})
+	_, err := c.h.RPCWithOptions(context.Background(), c.topic("sync"), wire.NodeidAny, syncBody{Version: version},
+		broker.RPCOptions{Retries: 8, Backoff: 25 * time.Millisecond})
 	return err
 }
 

@@ -1,0 +1,103 @@
+package kvs
+
+import (
+	"testing"
+
+	"fluxgo/internal/wire"
+)
+
+// TestFenceEntryDedup: retransmitted fence batches (what an RPC retry or
+// a fault-duplicated link delivery produces) must not inflate the
+// participant count or re-apply ops.
+func TestFenceEntryDedup(t *testing.T) {
+	s := newKVSSession(t, 1, 2)
+	c := client(t, s, 0)
+	h := c.Handle()
+
+	if err := c.Put("dedup.key", 1); err != nil {
+		t.Fatal(err)
+	}
+	ops := c.takePending()
+	body := fenceBody{
+		Name:    "dedupfence",
+		NProcs:  2,
+		Entries: []fenceEntry{{ID: "dedupfence/p0", Ops: ops}},
+	}
+
+	// The same entry delivered three times counts one participant: the
+	// fence must stay incomplete (the RPCs park as pending requests, so
+	// probe via fire-and-forget sends and the version counter).
+	for i := 0; i < 3; i++ {
+		if err := h.Send("kvs.fence", wire.NodeidAny, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, err := c.GetVersion(); err != nil || v != 0 {
+		t.Fatalf("version = %d (err %v) after duplicate entries, want 0", v, err)
+	}
+
+	// A distinct second participant completes the fence exactly once.
+	done := fenceBody{
+		Name:    "dedupfence",
+		NProcs:  2,
+		Entries: []fenceEntry{{ID: "dedupfence/p1"}},
+	}
+	resp, err := h.RPC("kvs.fence", wire.NodeidAny, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var root rootBody
+	if err := resp.UnpackJSON(&root); err != nil {
+		t.Fatal(err)
+	}
+	if root.Version != 1 {
+		t.Fatalf("fence completed at version %d, want 1", root.Version)
+	}
+	var got int
+	if err := c.Get("dedup.key", &got); err != nil || got != 1 {
+		t.Fatalf("dedup.key = %d (err %v), want 1", got, err)
+	}
+}
+
+// TestFenceReplyCache: a batch retried after the fence completed (its
+// response was lost) is answered from the master's reply cache with the
+// original result — it must not seed a phantom fence or advance the
+// version again.
+func TestFenceReplyCache(t *testing.T) {
+	s := newKVSSession(t, 1, 2)
+	c := client(t, s, 0)
+	h := c.Handle()
+
+	if err := c.Put("cached.key", "v"); err != nil {
+		t.Fatal(err)
+	}
+	body := fenceBody{
+		Name:    "cachedfence",
+		NProcs:  1,
+		Entries: []fenceEntry{{ID: "cachedfence/p0", Ops: c.takePending()}},
+	}
+	first, err := h.RPC("kvs.fence", wire.NodeidAny, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r1 rootBody
+	if err := first.UnpackJSON(&r1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Retry of the identical batch after completion.
+	second, err := h.RPC("kvs.fence", wire.NodeidAny, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r2 rootBody
+	if err := second.UnpackJSON(&r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2 != r1 {
+		t.Fatalf("replayed fence answered %+v, want cached %+v", r2, r1)
+	}
+	if v, _ := c.GetVersion(); v != r1.Version {
+		t.Fatalf("version advanced to %d by replayed fence", v)
+	}
+}

@@ -1,6 +1,7 @@
 package kvs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -23,11 +24,20 @@ type putBody struct {
 	Data []byte `json:"data"`
 }
 
+// fenceEntry is one participant's contribution to a fence. The ID is
+// globally unique (fence name + handle identity), and entries travel
+// verbatim through every aggregation level, so a retried or duplicated
+// batch can always be deduplicated by ID — retransmission can never
+// inflate the participant count or re-append ops.
+type fenceEntry struct {
+	ID  string `json:"id"`
+	Ops []Op   `json:"ops,omitempty"`
+}
+
 type fenceBody struct {
 	Name    string            `json:"name"`
 	NProcs  int               `json:"nprocs"`
-	Count   int               `json:"count"`             // participants in this batch
-	Ops     []Op              `json:"ops"`               // concatenated tuples
+	Entries []fenceEntry      `json:"entries"`           // deduped by ID at every level
 	Objects map[string][]byte `json:"objects,omitempty"` // ref-hex -> encoded object
 }
 
@@ -67,17 +77,29 @@ type syncBody struct {
 // fenceState accumulates fence contributions at one module instance.
 type fenceState struct {
 	nprocs  int
-	count   int               // total participants seen (for the master)
-	ops     []Op              // unsent ops (slaves) / all ops (master)
+	seen    map[string]bool   // entry IDs accumulated (dedupe under retry/dup)
+	entries []fenceEntry      // deduped entries, in arrival order
+	unsent  int               // entries[unsent:] not yet batched upstream (slaves)
 	objects map[string][]byte // unsent objects, deduped by ref
-	sent    map[string]bool   // refs already forwarded upstream (slaves):
+	sentObj map[string]bool   // refs already forwarded upstream (slaves):
 	// an object's data crosses each tree edge at most once per fence;
 	// later batches carry the (key, ref) tuple only. This is what makes
 	// redundant values reduce up the tree (Fig. 3) while tuples always
 	// concatenate.
-	unsent  int             // participants not yet batched upstream
 	pending []*wire.Message // requests awaiting fence completion
 }
+
+// doneFence is the master's record of a completed fence, kept so batches
+// retried after completion (their response was lost to a link failure)
+// are answered from cache instead of seeding a phantom fence that could
+// never complete — or worse, re-applying ops.
+type doneFence struct {
+	resp   rootBody
+	errmsg string // nonempty if the fence failed to apply
+}
+
+// doneFenceCap bounds the master's completed-fence reply cache.
+const doneFenceCap = 256
 
 // ModuleConfig parameterizes the kvs comms module.
 type ModuleConfig struct {
@@ -110,6 +132,18 @@ type Module struct {
 	fences map[string]*fenceState
 	syncs  []*wire.Message // kvs.sync requests waiting for a version
 
+	// doneFences / doneOrder: master-only reply cache for retried
+	// post-completion fence batches (see doneFence).
+	doneFences map[string]doneFence
+	doneOrder  []string
+
+	// polling marks an in-flight heartbeat-driven root poll (slaves): when
+	// sync waiters are stalled — typically because a setroot event was
+	// lost to an injected fault — the slave asks upstream for the current
+	// root instead of hanging until the event plane happens to carry a
+	// newer one.
+	polling bool
+
 	// statsGets counts get requests served; loads counts fault-ins.
 	statsGets  uint64
 	statsLoads uint64
@@ -120,7 +154,7 @@ func NewModule(cfg ModuleConfig) *Module {
 	if cfg.Service == "" {
 		cfg.Service = "kvs"
 	}
-	return &Module{cfg: cfg, fences: map[string]*fenceState{}}
+	return &Module{cfg: cfg, fences: map[string]*fenceState{}, doneFences: map[string]doneFence{}}
 }
 
 // Factory returns a session.ModuleFactory-compatible constructor loading
@@ -171,6 +205,7 @@ func (m *Module) Recv(msg *wire.Message) {
 			if m.cfg.CacheMaxAge > 0 && !m.isMaster() {
 				m.store.Expire(m.cfg.CacheMaxAge)
 			}
+			m.pollRootIfStalled()
 		case m.setrootTopic():
 			m.recvSetroot(msg)
 		}
@@ -183,6 +218,8 @@ func (m *Module) Recv(msg *wire.Message) {
 		m.recvFence(msg)
 	case "fencedone":
 		m.recvFenceDone(msg)
+	case "rootupdate":
+		m.recvRootUpdate(msg)
 	case "get":
 		m.recvGet(msg)
 	case "load":
@@ -228,27 +265,38 @@ func (m *Module) recvPut(msg *wire.Message) {
 }
 
 // recvFence accumulates one fence contribution (a client entry or an
-// aggregated child batch). Objects are deduped by content hash, so
-// redundant values reduce up the tree while (key, ref) tuples
-// concatenate — the asymmetry behind Fig. 3.
+// aggregated child batch). Entries are deduplicated by ID, so retried
+// and fault-duplicated batches are harmless; objects are deduped by
+// content hash, so redundant values reduce up the tree while (key, ref)
+// tuples concatenate — the asymmetry behind Fig. 3.
 func (m *Module) recvFence(msg *wire.Message) {
 	var body fenceBody
 	if err := msg.UnpackJSON(&body); err != nil {
 		m.h.RespondError(msg, broker.ErrnoInval, err.Error())
 		return
 	}
-	if body.Count == 0 {
-		body.Count = 1 // a bare client entry counts itself
-	}
 	if msg.Method() == "commit" {
 		body.NProcs = 1
+	}
+	if m.isMaster() {
+		// A batch retried after completion (its response was lost): answer
+		// from the reply cache rather than seeding a phantom fence.
+		if done, ok := m.doneFences[body.Name]; ok {
+			if done.errmsg != "" {
+				m.h.RespondError(msg, broker.ErrnoInval, done.errmsg)
+			} else {
+				m.h.Respond(msg, done.resp)
+			}
+			return
+		}
 	}
 	st := m.fences[body.Name]
 	if st == nil {
 		st = &fenceState{
 			nprocs:  body.NProcs,
+			seen:    map[string]bool{},
 			objects: map[string][]byte{},
-			sent:    map[string]bool{},
+			sentObj: map[string]bool{},
 		}
 		m.fences[body.Name] = st
 	}
@@ -257,33 +305,35 @@ func (m *Module) recvFence(msg *wire.Message) {
 			fmt.Sprintf("kvs: fence %q nprocs mismatch (%d vs %d)", body.Name, body.NProcs, st.nprocs))
 		return
 	}
-	st.count += body.Count
-	st.unsent += body.Count
-	st.ops = append(st.ops, body.Ops...)
-	for refHex, data := range body.Objects {
-		if _, dup := st.objects[refHex]; !dup && !st.sent[refHex] {
-			st.objects[refHex] = data
+	for _, e := range body.Entries {
+		if st.seen[e.ID] {
+			continue // retransmitted or duplicated entry
+		}
+		st.seen[e.ID] = true
+		st.entries = append(st.entries, e)
+		// A client entry references locally cached dirty objects; attach
+		// them so they flow upstream with the batch ("commit flushes
+		// tuples and any still-dirty objects to the master").
+		for _, op := range e.Ops {
+			if op.Delete || op.Ref == "" {
+				continue
+			}
+			if _, have := st.objects[op.Ref]; have {
+				continue
+			}
+			if st.sentObj[op.Ref] {
+				continue // data already crossed our upstream edge
+			}
+			if ref, err := cas.ParseRef(op.Ref); err == nil {
+				if data, ok := m.store.GetRaw(ref); ok {
+					st.objects[op.Ref] = data
+				}
+			}
 		}
 	}
-	// A client entry references locally cached dirty objects; attach them
-	// so they flow upstream with the batch ("commit flushes tuples and
-	// any still-dirty objects to the master").
-	for _, op := range body.Ops {
-		if op.Delete || op.Ref == "" {
-			continue
-		}
-		if _, have := st.objects[op.Ref]; have {
-			continue
-		}
-		if st.sent[op.Ref] {
-			continue // data already crossed our upstream edge
-		}
-		ref, err := cas.ParseRef(op.Ref)
-		if err != nil {
-			continue
-		}
-		if data, ok := m.store.GetRaw(ref); ok {
-			st.objects[op.Ref] = data
+	for refHex, data := range body.Objects {
+		if _, dup := st.objects[refHex]; !dup && !st.sentObj[refHex] {
+			st.objects[refHex] = data
 		}
 	}
 	st.pending = append(st.pending, msg)
@@ -297,7 +347,7 @@ func (m *Module) recvFence(msg *wire.Message) {
 // participant has contributed, publishes the new root session-wide, and
 // answers all held batch requests with the new root version.
 func (m *Module) maybeCompleteFence(name string, st *fenceState) {
-	if st.count < st.nprocs {
+	if len(st.entries) < st.nprocs {
 		return
 	}
 	// Make sure every flushed object is present and pinned (client
@@ -305,11 +355,16 @@ func (m *Module) maybeCompleteFence(name string, st *fenceState) {
 	for _, data := range st.objects {
 		m.store.Pin(m.store.PutRaw(data))
 	}
-	newRoot, err := ApplyOps(m.store, m.root, st.ops, true)
+	var ops []Op
+	for _, e := range st.entries {
+		ops = append(ops, e.Ops...)
+	}
+	newRoot, err := ApplyOps(m.store, m.root, ops, true)
 	if err != nil {
 		for _, req := range st.pending {
 			m.h.RespondError(req, broker.ErrnoInval, err.Error())
 		}
+		m.recordDone(name, doneFence{errmsg: err.Error()})
 		delete(m.fences, name)
 		return
 	}
@@ -318,14 +373,27 @@ func (m *Module) maybeCompleteFence(name string, st *fenceState) {
 	resp := rootBody{Root: refString(m.root), Version: m.version}
 	if _, err := m.h.PublishEvent(m.setrootTopic(), resp); err != nil && !broker.ErrShutdown(err) {
 		// The root update is already applied locally; slaves will learn
-		// of it from the next successful publication.
+		// of it from the next successful publication or a root poll.
 		_ = err
 	}
 	for _, req := range st.pending {
 		m.h.Respond(req, resp)
 	}
+	m.recordDone(name, doneFence{resp: resp})
 	delete(m.fences, name)
 	m.serveSyncs()
+}
+
+// recordDone remembers a completed fence in the bounded reply cache.
+func (m *Module) recordDone(name string, d doneFence) {
+	if _, exists := m.doneFences[name]; !exists {
+		m.doneOrder = append(m.doneOrder, name)
+		if len(m.doneOrder) > doneFenceCap {
+			delete(m.doneFences, m.doneOrder[0])
+			m.doneOrder = m.doneOrder[1:]
+		}
+	}
+	m.doneFences[name] = d
 }
 
 // Idle implements broker.IdleBatcher: slaves forward their accumulated
@@ -336,21 +404,19 @@ func (m *Module) Idle() {
 		return
 	}
 	for name, st := range m.fences {
-		if st.unsent == 0 {
+		if st.unsent == len(st.entries) {
 			continue
 		}
 		batch := fenceBody{
 			Name:    name,
 			NProcs:  st.nprocs,
-			Count:   st.unsent,
-			Ops:     st.ops,
+			Entries: append([]fenceEntry(nil), st.entries[st.unsent:]...),
 			Objects: st.objects,
 		}
 		for ref := range st.objects {
-			st.sent[ref] = true
+			st.sentObj[ref] = true
 		}
-		st.unsent = 0
-		st.ops = nil
+		st.unsent = len(st.entries)
 		st.objects = map[string][]byte{}
 		go m.sendFenceBatch(batch)
 	}
@@ -358,8 +424,13 @@ func (m *Module) Idle() {
 
 // sendFenceBatch forwards one aggregate upstream and re-injects the
 // completion through the broker so fence state stays single-threaded.
+// Transient routing failures (a parent crash mid-fence, a deadline hit
+// during a partition) are retried with backoff: entry-ID deduplication
+// upstream makes retransmission safe, and a retry issued after
+// re-parenting travels the adoptive parent path.
 func (m *Module) sendFenceBatch(batch fenceBody) {
-	resp, err := m.h.RPC(m.cfg.Service+".fence", m.upstreamTarget(), batch)
+	resp, err := m.h.RPCWithOptions(context.Background(), m.cfg.Service+".fence", m.upstreamTarget(), batch,
+		broker.RPCOptions{Retries: 6, Backoff: 25 * time.Millisecond})
 	done := rootBody{}
 	status := ""
 	if err != nil {
@@ -402,6 +473,43 @@ func (m *Module) recvFenceDone(msg *wire.Message) {
 	for _, req := range st.pending {
 		m.h.Respond(req, resp)
 	}
+}
+
+// pollRootIfStalled (slaves, on heartbeat) detects sync waiters stalled
+// behind a lost setroot event — under fault injection the event plane
+// may drop an event — and asks upstream for the current root. The result
+// re-enters through the broker as a rootupdate request so module state
+// stays single-threaded. Polling repeats on subsequent heartbeats until
+// the waiters drain, walking the root forward one upstream hop at a time
+// even when intermediate slaves are themselves behind.
+func (m *Module) pollRootIfStalled() {
+	if m.isMaster() || len(m.syncs) == 0 || m.polling {
+		return
+	}
+	m.polling = true
+	go func() {
+		var body rootBody
+		resp, err := m.h.RPCWithOptions(context.Background(), m.cfg.Service+".getversion", m.upstreamTarget(), struct{}{},
+			broker.RPCOptions{Retries: 2, Backoff: 25 * time.Millisecond})
+		if err == nil {
+			if uerr := resp.UnpackJSON(&body); uerr != nil {
+				body = rootBody{}
+			}
+		}
+		// Always re-inject, even on failure (zero version adopts nothing):
+		// recvRootUpdate is what clears the polling latch.
+		m.h.Send(m.cfg.Service+".rootupdate", uint32(m.h.Rank()), body)
+	}()
+}
+
+// recvRootUpdate adopts a polled root and re-arms the heartbeat poll.
+func (m *Module) recvRootUpdate(msg *wire.Message) {
+	m.polling = false
+	var body rootBody
+	if err := msg.UnpackJSON(&body); err != nil {
+		return
+	}
+	m.adoptRoot(body)
 }
 
 // recvSetroot switches to a new root reference, in version order, and
@@ -482,7 +590,8 @@ func (m *Module) fetchRoot() {
 		return
 	}
 	m.askedRoot = true
-	resp, err := m.h.RPC(m.cfg.Service+".getroot", m.upstreamTarget(), struct{}{})
+	resp, err := m.h.RPCWithOptions(context.Background(), m.cfg.Service+".getroot", m.upstreamTarget(), struct{}{},
+		broker.RPCOptions{Retries: 2, Backoff: 25 * time.Millisecond})
 	if err != nil {
 		m.askedRoot = false
 		return
@@ -504,7 +613,10 @@ func (m *Module) loadObject(ref cas.Ref) ([]byte, error) {
 		return nil, fmt.Errorf("kvs: object %s not found", ref.Short())
 	}
 	m.statsLoads++
-	resp, err := m.h.RPC(m.cfg.Service+".load", m.upstreamTarget(), loadBody{Ref: ref.String()})
+	// Loads are idempotent (content-addressed), so transient route
+	// failures are retried rather than surfaced to the reader.
+	resp, err := m.h.RPCWithOptions(context.Background(), m.cfg.Service+".load", m.upstreamTarget(), loadBody{Ref: ref.String()},
+		broker.RPCOptions{Retries: 4, Backoff: 25 * time.Millisecond})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,187 @@
+package session
+
+import (
+	"fluxgo/internal/transport"
+)
+
+// Chaos is the session-level fault-injection controller, available when
+// the session is built with Options.FaultInjection. It owns a registry
+// of every inter-broker link endpoint, wrapped in transport.Faulty, and
+// exposes the failure vocabulary of the chaos tests:
+//
+//   - per-link loss, latency, duplication (SetLinkFaults)
+//   - network partitions between rank sets (Partition / Heal)
+//   - silent rank crashes, where peers observe no EOF (Crash), with
+//     failure detection modelled separately (Sever)
+//
+// Faults are directional: SetLinkFaults(a, b, f) shapes only the a→b
+// traffic. All randomized decisions derive from the session's FaultSeed,
+// so a failing chaos run replays exactly from its seed.
+type Chaos struct {
+	s *Session
+
+	// endpoints[owner][peer] holds the fault injectors carrying traffic
+	// from owner toward peer (tree request, tree event, and ring planes
+	// all register here). Guarded by s.mu: registration happens during
+	// wiring and re-parenting, control during tests.
+	endpoints map[int]map[int][]*transport.Faulty
+
+	seed     int64
+	seedStep int64
+}
+
+func newChaos(s *Session, seed int64) *Chaos {
+	return &Chaos{s: s, endpoints: map[int]map[int][]*transport.Faulty{}, seed: seed}
+}
+
+// wrap installs fault injectors on both endpoints of a link between
+// ranks a and b and registers them. Called under no lock from session
+// wiring paths.
+func (c *Chaos) wrap(a, b int, ca, cb transport.Conn) (transport.Conn, transport.Conn) {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	fa := transport.NewFaulty(ca, c.nextSeedLocked())
+	fb := transport.NewFaulty(cb, c.nextSeedLocked())
+	c.registerLocked(a, b, fa)
+	c.registerLocked(b, a, fb)
+	return fa, fb
+}
+
+// nextSeedLocked derives the next per-endpoint RNG seed. Caller holds s.mu.
+func (c *Chaos) nextSeedLocked() int64 {
+	c.seedStep++
+	return c.seed*1_000_003 + c.seedStep
+}
+
+func (c *Chaos) registerLocked(owner, peer int, f *transport.Faulty) {
+	m := c.endpoints[owner]
+	if m == nil {
+		m = map[int][]*transport.Faulty{}
+		c.endpoints[owner] = m
+	}
+	m[peer] = append(m[peer], f)
+}
+
+// SetLinkFaults applies f to all traffic flowing from rank `from` toward
+// rank `to` (every overlay plane sharing that rank pair). Passing the
+// zero Faults heals the direction.
+func (c *Chaos) SetLinkFaults(from, to int, f transport.Faults) {
+	c.s.mu.Lock()
+	eps := append([]*transport.Faulty(nil), c.endpoints[from][to]...)
+	c.s.mu.Unlock()
+	for _, ep := range eps {
+		ep.SetFaults(f)
+	}
+}
+
+// SetAllFaults applies f to every link direction between live ranks —
+// background noise for soak tests (e.g. 1% loss everywhere).
+func (c *Chaos) SetAllFaults(f transport.Faults) {
+	c.s.mu.Lock()
+	var eps []*transport.Faulty
+	for owner, peers := range c.endpoints {
+		if c.s.dead[owner] {
+			continue
+		}
+		for peer, list := range peers {
+			if c.s.dead[peer] {
+				continue
+			}
+			eps = append(eps, list...)
+		}
+	}
+	c.s.mu.Unlock()
+	for _, ep := range eps {
+		ep.SetFaults(f)
+	}
+}
+
+// Partition blackholes every link crossing the cut between group and the
+// rest of the session, in both directions: the two sides observe mutual
+// silence, exactly like a switch failure — no EOF, no error, nothing.
+// Heal (or SetLinkFaults per direction) removes it.
+func (c *Chaos) Partition(group ...int) {
+	in := map[int]bool{}
+	for _, r := range group {
+		in[r] = true
+	}
+	c.s.mu.Lock()
+	var eps []*transport.Faulty
+	for owner, peers := range c.endpoints {
+		for peer, list := range peers {
+			if in[owner] != in[peer] {
+				eps = append(eps, list...)
+			}
+		}
+	}
+	c.s.mu.Unlock()
+	for _, ep := range eps {
+		ep.SetFaults(transport.Faults{Blackhole: true})
+	}
+}
+
+// Heal clears every fault on every link between live ranks. Links that
+// touch crashed ranks stay blackholed: a dead peer does not come back.
+func (c *Chaos) Heal() {
+	c.SetAllFaults(transport.Faults{})
+}
+
+// Crash kills the broker at rank the hard way: every link touching it is
+// blackholed first — in both directions — so its peers observe pure
+// silence rather than the EOFs a graceful Kill produces, and then the
+// broker stops. Until Sever models failure detection, nothing in the
+// session learns of the death: in-flight RPCs through the rank are
+// bounded only by their deadlines, which is precisely the window the
+// no-hang guarantee is about.
+func (c *Chaos) Crash(rank int) {
+	if !c.s.markDead(rank) {
+		return
+	}
+	c.s.mu.Lock()
+	var eps []*transport.Faulty
+	for _, list := range c.endpoints[rank] {
+		eps = append(eps, list...)
+	}
+	for owner, peers := range c.endpoints {
+		if owner == rank {
+			continue
+		}
+		eps = append(eps, peers[rank]...)
+	}
+	c.s.mu.Unlock()
+	for _, ep := range eps {
+		ep.SetFaults(transport.Faults{Blackhole: true})
+	}
+	c.s.logf("session: chaos: rank %d crashed silently", rank)
+	c.s.brokers[rank].Shutdown()
+}
+
+// Sever models the failure detector noticing a crashed rank: the peers'
+// endpoints toward it are closed, surfacing EOF so their brokers run
+// link-down cleanup — failing in-flight routed RPCs with EHOSTUNREACH
+// and triggering re-parenting of the crashed rank's children.
+func (c *Chaos) Sever(rank int) {
+	c.s.mu.Lock()
+	var eps []*transport.Faulty
+	for owner, peers := range c.endpoints {
+		if owner == rank {
+			continue
+		}
+		eps = append(eps, peers[rank]...)
+		delete(peers, rank)
+	}
+	delete(c.endpoints, rank)
+	c.s.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	c.s.logf("session: chaos: rank %d severed (failure detected)", rank)
+}
+
+// CrashAndSever is Crash immediately followed by Sever: a crash whose
+// detection is instantaneous. Most tests separate the two to exercise
+// the silent window in between.
+func (c *Chaos) CrashAndSever(rank int) {
+	c.Crash(rank)
+	c.Sever(rank)
+}

@@ -1,0 +1,451 @@
+package session
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"fluxgo/internal/kvs"
+	"fluxgo/internal/modules/hb"
+	"fluxgo/internal/modules/live"
+	"fluxgo/internal/transport"
+	"fluxgo/internal/wire"
+)
+
+// chaosSeed returns the soak seed: CHAOS_SEED env var, or 1. A failing
+// soak prints its seed; rerunning with that seed replays the same fault
+// schedule.
+func chaosSeed() int64 {
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return 1
+}
+
+// chaosDuration returns the soak length: CHAOS_SOAK env var (a Go
+// duration), or a short default so `make check` stays fast.
+func chaosDuration() time.Duration {
+	if v := os.Getenv("CHAOS_SOAK"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			return d
+		}
+	}
+	return 2 * time.Second
+}
+
+// waitOrFatal fails the test if wg does not finish within d — the
+// signature of a hung RPC, which is exactly what the no-hang guarantee
+// forbids.
+func waitOrFatal(t *testing.T, wg *sync.WaitGroup, d time.Duration, what string) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatalf("liveness violation: %s still running after %s", what, d)
+	}
+}
+
+// TestChaosSoak drives a fault-injected session with a live KVS + ping
+// workload while a seeded chaos schedule drops, delays, duplicates, and
+// partitions traffic and silently crashes interior ranks. It asserts:
+//
+//   - liveness: every RPC issued by the workload returns (success or
+//     error) within its deadline budget — nothing hangs;
+//   - safety: KVS causal consistency holds — after WaitVersion(v)
+//     succeeds on any rank, a read of a key committed at version v
+//     returns the committed value;
+//   - convergence: once faults heal and crashes are severed, the overlay
+//     re-parents and a final commit is visible session-wide.
+//
+// The run is reproducible: rerun with CHAOS_SEED=<seed> (and optionally
+// a longer CHAOS_SOAK=30s) to replay a failure.
+func TestChaosSoak(t *testing.T) {
+	seed := chaosSeed()
+	dur := chaosDuration()
+	if testing.Short() {
+		dur = 500 * time.Millisecond
+	}
+	t.Logf("chaos soak: seed=%d duration=%s (replay with CHAOS_SEED=%d)", seed, dur, seed)
+
+	const size = 15
+	s, err := New(Options{
+		Size:           size,
+		Arity:          2,
+		FaultInjection: true,
+		FaultSeed:      seed,
+		RPCTimeout:     1500 * time.Millisecond,
+		Modules: []ModuleFactory{
+			hb.Factory(hb.Config{Interval: 100 * time.Millisecond}),
+			live.Factory(live.Config{}),
+			kvs.Factory(kvs.ModuleConfig{}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ch := s.Chaos()
+
+	rng := rand.New(rand.NewSource(seed))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	type commitRec struct {
+		key     string
+		val     int
+		version uint64
+	}
+	recs := make(chan commitRec, 1024)
+
+	// Writers at leaf ranks: unique keys, so any successful read has
+	// exactly one correct answer.
+	for _, w := range []int{7, 9, 11, 13} {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Handle(w)
+			defer h.Close()
+			c := kvs.NewClient(h)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("chaos.w%d.i%d", w, i)
+				if err := c.Put(key, i); err != nil {
+					continue // chaos error: liveness is the only obligation
+				}
+				v, err := c.Commit()
+				if err != nil {
+					continue
+				}
+				select {
+				case recs <- commitRec{key, i, v}:
+				default:
+				}
+			}
+		}(w)
+	}
+
+	// Readers at other leaves: causal-consistency checkers.
+	for _, r := range []int{8, 10, 12, 14} {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			h := s.Handle(r)
+			defer h.Close()
+			c := kvs.NewClient(h)
+			for {
+				select {
+				case <-stop:
+					return
+				case rec := <-recs:
+					if err := c.WaitVersion(rec.version); err != nil {
+						continue
+					}
+					var got int
+					if err := c.Get(rec.key, &got); err != nil {
+						continue
+					}
+					if got != rec.val {
+						t.Errorf("causal violation at rank %d: %s = %d after WaitVersion(%d), committed %d (seed %d)",
+							r, rec.key, got, rec.version, rec.val, seed)
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Ring pinger: rank-addressed plane under fire.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := s.Handle(0)
+		defer h.Close()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h.RPC("cmb.ping", uint32(1+i%(size-1)), nil) // errors are fine; hangs are not
+		}
+	}()
+
+	// Chaos driver: seeded schedule of noise, partitions, and crashes.
+	interior := []int{1, 2, 3, 4, 5, 6}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(50 * time.Millisecond)
+		defer ticker.Stop()
+		crashes := 0
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+			}
+			switch rng.Intn(6) {
+			case 0, 1: // background noise on every live link
+				ch.SetAllFaults(transport.Faults{
+					Drop:   0.05,
+					Dup:    0.02,
+					Delay:  time.Duration(rng.Intn(3)) * time.Millisecond,
+					Jitter: 2 * time.Millisecond,
+				})
+			case 2, 3: // heal everything
+				ch.Heal()
+			case 4: // partition a random subtree away, heal later by case 2/3
+				ch.Partition(interior[rng.Intn(len(interior))])
+			case 5: // silent crash of an interior rank, detected later
+				if crashes >= 2 {
+					continue
+				}
+				victim := interior[rng.Intn(len(interior))]
+				if !s.Alive(victim) {
+					continue
+				}
+				crashes++
+				ch.Crash(victim)
+				wg.Add(1)
+				go func(victim int) {
+					defer wg.Done()
+					// The silent window: only RPC deadlines bound callers.
+					select {
+					case <-time.After(300 * time.Millisecond):
+					case <-stop:
+					}
+					ch.Sever(victim)
+				}(victim)
+			}
+		}
+	}()
+
+	time.Sleep(dur)
+	close(stop)
+	// Generous bound: worst case is a fence/sync retrying through the
+	// full backoff schedule against 1.5s deadlines.
+	waitOrFatal(t, &wg, 60*time.Second, "chaos workload (some RPC hung past its deadline)")
+
+	// Convergence: heal all faults, then every surviving rank must have a
+	// live parent and agree on one final committed value.
+	ch.Heal()
+	deadline := time.After(20 * time.Second)
+	for {
+		converged := true
+		for r := 1; r < size; r++ {
+			if !s.Alive(r) {
+				continue
+			}
+			if p := s.Broker(r).ParentRank(); p < 0 || !s.Alive(p) {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			break
+		}
+		select {
+		case <-deadline:
+			for r := 1; r < size; r++ {
+				if s.Alive(r) {
+					t.Logf("rank %d parent=%d alive=%v", r, s.Broker(r).ParentRank(), s.Alive(s.Broker(r).ParentRank()))
+				}
+			}
+			t.Fatalf("overlay never converged after heal (seed %d)", seed)
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	wh := s.Handle(7)
+	defer wh.Close()
+	wc := kvs.NewClient(wh)
+	if err := wc.Put("chaos.final", "done"); err != nil {
+		t.Fatalf("final put after heal: %v (seed %d)", err, seed)
+	}
+	ver, err := wc.Commit()
+	if err != nil {
+		t.Fatalf("final commit after heal: %v (seed %d)", err, seed)
+	}
+	for r := 0; r < size; r++ {
+		if !s.Alive(r) {
+			continue
+		}
+		h := s.Handle(r)
+		c := kvs.NewClient(h)
+		var got string
+		err := c.WaitVersion(ver)
+		if err == nil {
+			err = c.Get("chaos.final", &got)
+		}
+		h.Close()
+		if err != nil || got != "done" {
+			t.Fatalf("rank %d: final read %q err %v (seed %d)", r, got, err, seed)
+		}
+	}
+}
+
+// TestConcurrentInteriorKillsDuringFence kills four interior ranks at
+// once while an 8-party fence is in flight, then asserts the fence
+// completes exactly once with one version, re-parenting converges, and
+// every surviving rank's live module agrees on the down set.
+func TestConcurrentInteriorKillsDuringFence(t *testing.T) {
+	const size = 15
+	s, err := New(Options{
+		Size:       size,
+		Arity:      2,
+		RPCTimeout: 3 * time.Second,
+		Modules: []ModuleFactory{
+			hb.Factory(hb.Config{Interval: 100 * time.Millisecond}),
+			live.Factory(live.Config{}),
+			kvs.Factory(kvs.ModuleConfig{}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	// Victims are the depth-2 interior ranks: their parents (1, 2) stay
+	// alive to detect the deaths, and all eight leaves must re-parent.
+	victims := []int{3, 4, 5, 6}
+	leaves := []int{7, 8, 9, 10, 11, 12, 13, 14}
+
+	type fenceResult struct {
+		rank int
+		ver  uint64
+		err  error
+	}
+	results := make(chan fenceResult, len(leaves))
+	for _, leaf := range leaves {
+		go func(leaf int) {
+			h := s.Handle(leaf)
+			defer h.Close()
+			c := kvs.NewClient(h)
+			if err := c.Put(fmt.Sprintf("kf.r%d", leaf), leaf); err != nil {
+				results <- fenceResult{leaf, 0, err}
+				return
+			}
+			v, err := c.Fence("killfence", len(leaves))
+			results <- fenceResult{leaf, v, err}
+		}(leaf)
+	}
+
+	// Let contributions start flowing through the doomed aggregators,
+	// then take all four out concurrently.
+	time.Sleep(20 * time.Millisecond)
+	var kwg sync.WaitGroup
+	for _, v := range victims {
+		kwg.Add(1)
+		go func(v int) {
+			defer kwg.Done()
+			s.Kill(v)
+		}(v)
+	}
+	kwg.Wait()
+
+	// Every participant must complete with the same version.
+	var version uint64
+	for range leaves {
+		select {
+		case res := <-results:
+			if res.err != nil {
+				t.Fatalf("rank %d: fence failed: %v", res.rank, res.err)
+			}
+			if version == 0 {
+				version = res.ver
+			} else if res.ver != version {
+				t.Fatalf("rank %d: fence version %d, others got %d", res.rank, res.ver, version)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("fence participants hung after concurrent interior kills")
+		}
+	}
+
+	// All fenced data landed in one root transition.
+	h0 := s.Handle(0)
+	defer h0.Close()
+	c0 := kvs.NewClient(h0)
+	for _, leaf := range leaves {
+		var got int
+		if err := c0.Get(fmt.Sprintf("kf.r%d", leaf), &got); err != nil || got != leaf {
+			t.Fatalf("kf.r%d = %d (err %v), want %d", leaf, got, err, leaf)
+		}
+	}
+
+	// Re-parenting converged: every leaf's parent is a live rank.
+	deadline := time.After(20 * time.Second)
+	for _, leaf := range leaves {
+		for {
+			if p := s.Broker(leaf).ParentRank(); p >= 0 && s.Alive(p) {
+				break
+			}
+			select {
+			case <-deadline:
+				t.Fatalf("rank %d parent = %d (dead) after kills", leaf, s.Broker(leaf).ParentRank())
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+
+	// live.Down converges to exactly the victim set on every survivor.
+	want := append([]int(nil), victims...)
+	sort.Ints(want)
+	survivors := []int{0, 1, 2, 7, 8, 9, 10, 11, 12, 13, 14}
+	for _, r := range survivors {
+		h := s.Handle(r)
+		for {
+			down, err := live.Down(h)
+			if err == nil && equalInts(down, want) {
+				break
+			}
+			select {
+			case <-deadline:
+				h.Close()
+				t.Fatalf("rank %d: live.Down = %v (err %v), want %v", r, down, err, want)
+			default:
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+		h.Close()
+	}
+
+	// The overlays still work end to end: ring ping from a reparented
+	// leaf to another subtree.
+	hl := s.Handle(7)
+	defer hl.Close()
+	if _, err := hl.RPC("cmb.ping", uint32(14), nil); err != nil {
+		t.Fatalf("post-kill ring ping: %v", err)
+	}
+	if _, err := hl.RPC("cmb.ping", wire.NodeidAny, nil); err != nil {
+		t.Fatalf("post-kill tree ping: %v", err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -13,6 +13,7 @@ package session
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"fluxgo/internal/broker"
 	"fluxgo/internal/clock"
@@ -55,6 +56,18 @@ type Options struct {
 	// hop pays a copy cost proportional to message size. Benchmarks use
 	// this to make value-size effects observable in-process.
 	Codec bool
+	// FaultInjection wraps every inter-broker link in a controllable
+	// fault injector (transport.Faulty) and enables the session's Chaos
+	// controller. Chaos tests use it to drop, delay, duplicate, and
+	// blackhole traffic on live links and to crash ranks silently.
+	FaultInjection bool
+	// FaultSeed makes every fault-injection decision reproducible. The
+	// per-link RNG seeds derive deterministically from it.
+	FaultSeed int64
+	// RPCTimeout overrides the brokers' default RPC deadline
+	// (broker.DefaultRPCTimeout when zero; negative disables it). Chaos
+	// tests shorten it so liveness violations surface quickly.
+	RPCTimeout time.Duration
 }
 
 // Session is a running comms session.
@@ -62,6 +75,7 @@ type Session struct {
 	opts    Options
 	tree    topo.Tree
 	brokers []*broker.Broker
+	chaos   *Chaos // non-nil when Options.FaultInjection is set
 
 	mu   sync.Mutex
 	dead map[int]bool
@@ -85,6 +99,9 @@ func New(opts Options) (*Session, error) {
 		brokers: make([]*broker.Broker, opts.Size),
 		dead:    make(map[int]bool),
 	}
+	if opts.FaultInjection {
+		s.chaos = newChaos(s, opts.FaultSeed)
+	}
 
 	for r := 0; r < opts.Size; r++ {
 		b, err := broker.New(broker.Config{
@@ -95,6 +112,7 @@ func New(opts Options) (*Session, error) {
 			EventHistory: opts.EventHistory,
 			Log:          opts.Log,
 			Reparent:     s.reparent,
+			RPCTimeout:   opts.RPCTimeout,
 		})
 		if err != nil {
 			return nil, err
@@ -113,7 +131,7 @@ func New(opts Options) (*Session, error) {
 		ring, _ := topo.NewRing(opts.Size)
 		for r := 0; r < opts.Size; r++ {
 			next := ring.Next(r)
-			out, in := s.pipe(rankID(r), rankID(next))
+			out, in := s.pipeRanks(r, next)
 			s.brokers[r].AttachConn(broker.LinkRingOut, out)
 			s.brokers[next].AttachConn(broker.LinkRingIn, in)
 		}
@@ -145,13 +163,26 @@ func (s *Session) pipe(aID, bID string) (transport.Conn, transport.Conn) {
 	return transport.Pipe(aID, bID)
 }
 
+// pipeRanks creates one inter-broker connection pair between ranks a and
+// b, wrapping both endpoints in fault injectors (and registering them
+// with the chaos controller) when fault injection is enabled. All
+// inter-broker links — initial wiring and re-parenting alike — go
+// through here, so no link escapes chaos control.
+func (s *Session) pipeRanks(a, b int) (transport.Conn, transport.Conn) {
+	ca, cb := s.pipe(rankID(a), rankID(b))
+	if s.chaos != nil {
+		return s.chaos.wrap(a, b, ca, cb)
+	}
+	return ca, cb
+}
+
 // wireParentChild creates the two tree-plane pipes between p and c.
 func (s *Session) wireParentChild(p, c int) {
-	treeP, treeC := s.pipe(rankID(p), rankID(c))
+	treeP, treeC := s.pipeRanks(p, c)
 	s.brokers[p].AttachConn(broker.LinkChildTree, treeP)
 	s.brokers[c].AttachConn(broker.LinkParentTree, treeC)
 
-	evP, evC := s.pipe(rankID(p), rankID(c))
+	evP, evC := s.pipeRanks(p, c)
 	s.brokers[p].AttachConn(broker.LinkChildEvent, evP)
 	s.brokers[c].AttachConn(broker.LinkParentEvent, evC)
 	// Child event links start gated at the parent; the initial resync
@@ -173,18 +204,46 @@ func (s *Session) Handle(rank int) *broker.Handle {
 	return s.brokers[rank].NewHandle()
 }
 
-// Kill simulates the failure of the broker at rank: all of its links
-// drop, and its orphaned children re-parent to the nearest live
-// ancestor. Killing rank 0 is permitted but the session loses its event
-// sequencer (root fail-over is future work in the paper, too).
-func (s *Session) Kill(rank int) {
+// Chaos returns the session's chaos controller, or nil unless the
+// session was built with Options.FaultInjection.
+func (s *Session) Chaos() *Chaos { return s.chaos }
+
+// markDead records rank as dead, reporting whether it was alive before.
+func (s *Session) markDead(rank int) bool {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.dead[rank] {
-		s.mu.Unlock()
-		return
+		return false
 	}
 	s.dead[rank] = true
-	s.mu.Unlock()
+	return true
+}
+
+func (s *Session) logf(format string, args ...any) {
+	if s.opts.Log != nil {
+		s.opts.Log(format, args...)
+	}
+}
+
+// Kill simulates the graceful failure of the broker at rank: all of its
+// links close (peers observe EOF immediately and re-parent), and its
+// orphaned children re-attach to the nearest live ancestor. For a crash
+// with no failure notification — peers see only silence — use
+// Chaos().Crash instead.
+//
+// Killing rank 0 is permitted but leaves the session without its event
+// sequencer and (in the default configuration) its KVS master: root
+// fail-over is NOT implemented — the paper likewise leaves eliminating
+// the rank-0 single point of failure to future work — so event
+// publication and KVS commits will fail until a new session is built.
+// Surviving ranks can still serve cached reads and rank-addressed RPCs.
+func (s *Session) Kill(rank int) {
+	if !s.markDead(rank) {
+		return
+	}
+	if rank == 0 {
+		s.logf("session: WARNING: rank 0 killed — no root fail-over: event sequencing and KVS commits are unavailable for the rest of this session's life")
+	}
 	s.brokers[rank].Shutdown()
 }
 
@@ -219,8 +278,8 @@ func (s *Session) reparent(b *broker.Broker, oldParent int) {
 
 	adopter := s.brokers[p]
 	c := b.Rank()
-	treeP, treeC := s.pipe(rankID(p), rankID(c))
-	evP, evC := s.pipe(rankID(p), rankID(c))
+	treeP, treeC := s.pipeRanks(p, c)
+	evP, evC := s.pipeRanks(p, c)
 	adopter.AttachConn(broker.LinkChildTree, treeP)
 	adopter.AttachConn(broker.LinkChildEvent, evP)
 	b.SetParent(treeC, evC, p)

@@ -2,6 +2,7 @@ package session
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 	"time"
 
@@ -137,8 +138,11 @@ func StartTCPBroker(cfg TCPConfig) (*TCPBroker, error) {
 	return t, nil
 }
 
-// dialRetry dials with exponential backoff until the deadline — peer
-// brokers may not be up yet.
+// dialRetry dials with jittered exponential backoff until the deadline —
+// peer brokers may not be up yet. The jitter (uniform in [delay/2,
+// delay]) desynchronizes the many children of one parent: without it a
+// session-wide bring-up or a mass re-dial after a parent restart hits
+// the listener in lockstep waves.
 func dialRetry(addr string, key []byte, localID string, timeout time.Duration) (transport.Conn, error) {
 	deadline := time.Now().Add(timeout)
 	delay := 50 * time.Millisecond
@@ -150,7 +154,7 @@ func dialRetry(addr string, key []byte, localID string, timeout time.Duration) (
 		if time.Now().After(deadline) {
 			return nil, err
 		}
-		time.Sleep(delay)
+		time.Sleep(delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1)))
 		if delay < time.Second {
 			delay *= 2
 		}

@@ -1,0 +1,198 @@
+package transport
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"fluxgo/internal/wire"
+)
+
+// Faults describes the failure behaviour injected on the *outbound*
+// direction of one Faulty endpoint. Both endpoints of a link are wrapped
+// by the chaos controller, so inbound faults on one side are expressed
+// as outbound faults on the peer.
+//
+// Delay and Jitter are applied by a serial delivery pump, so injected
+// latency never reorders messages: the FIFO property the overlay planes
+// depend on is preserved under every fault combination.
+type Faults struct {
+	// Drop is the probability in [0, 1] that a sent message is silently
+	// discarded.
+	Drop float64
+	// Dup is the probability in [0, 1] that a sent message is delivered
+	// twice (the duplicate is a deep copy, so route mutations never
+	// alias).
+	Dup float64
+	// Delay is a fixed extra latency added to every delivery.
+	Delay time.Duration
+	// Jitter adds a uniformly random extra latency in [0, Jitter).
+	Jitter time.Duration
+	// Blackhole simulates a crashed peer or a network partition: sends
+	// are swallowed, inbound traffic is discarded, and — crucially — a
+	// peer close is NOT surfaced as EOF. The reader blocks in silence
+	// exactly as a TCP endpoint does when the remote host dies without
+	// sending FIN, until the wrapper itself is closed (the analogue of a
+	// failure detector severing the link).
+	Blackhole bool
+}
+
+// faultyItem is one staged outbound delivery.
+type faultyItem struct {
+	m   *wire.Message
+	due time.Time
+}
+
+// Faulty wraps a Conn with controllable fault injection. It implements
+// Conn; see Faults for the failure model. A Faulty is safe for
+// concurrent use and faults may be changed at any time with SetFaults.
+type Faulty struct {
+	inner Conn
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	f        Faults
+	rng      *rand.Rand
+	staged   []faultyItem
+	closed   bool
+	closedCh chan struct{}
+}
+
+// NewFaulty wraps inner in a fault injector with no faults configured.
+// seed makes the drop/dup/jitter decisions reproducible.
+func NewFaulty(inner Conn, seed int64) *Faulty {
+	c := &Faulty{
+		inner:    inner,
+		rng:      rand.New(rand.NewSource(seed)),
+		closedCh: make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go c.pump()
+	return c
+}
+
+// SetFaults replaces the endpoint's fault configuration.
+func (c *Faulty) SetFaults(f Faults) {
+	c.mu.Lock()
+	c.f = f
+	c.mu.Unlock()
+}
+
+// Faults returns the current fault configuration.
+func (c *Faulty) Faults() Faults {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.f
+}
+
+// Send stages m for delivery, applying drop/dup/delay faults. Faulted
+// sends still report success: a lossy link looks healthy to the sender,
+// which is the point.
+func (c *Faulty) Send(m *wire.Message) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	f := c.f
+	if f.Drop > 0 && c.rng.Float64() < f.Drop {
+		c.mu.Unlock()
+		return nil // dropped on the floor
+	}
+	delay := f.Delay
+	if f.Jitter > 0 {
+		delay += time.Duration(c.rng.Int63n(int64(f.Jitter)))
+	}
+	due := time.Now().Add(delay)
+	c.staged = append(c.staged, faultyItem{m: m, due: due})
+	if f.Dup > 0 && c.rng.Float64() < f.Dup {
+		c.staged = append(c.staged, faultyItem{m: m.Copy(), due: due})
+	}
+	c.cond.Signal()
+	c.mu.Unlock()
+	return nil
+}
+
+// pump delivers staged messages in order, honouring per-message due
+// times. Blackhole is re-checked at delivery time so a crash also
+// swallows messages staged before it.
+func (c *Faulty) pump() {
+	for {
+		c.mu.Lock()
+		for len(c.staged) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if c.closed {
+			c.staged = nil
+			c.mu.Unlock()
+			return
+		}
+		it := c.staged[0]
+		c.staged[0] = faultyItem{}
+		c.staged = c.staged[1:]
+		c.mu.Unlock()
+
+		if wait := time.Until(it.due); wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-c.closedCh:
+				t.Stop()
+				return
+			}
+		}
+		c.mu.Lock()
+		blackhole := c.f.Blackhole
+		c.mu.Unlock()
+		if !blackhole {
+			c.inner.Send(it.m) // best effort; inner close surfaces via Recv
+		}
+	}
+}
+
+// Recv returns the next inbound message. Under Blackhole, inbound
+// messages are discarded and a peer close is absorbed: Recv blocks until
+// the wrapper itself is closed, then returns io.EOF — modelling a peer
+// that died silently until a failure detector tears the link down.
+func (c *Faulty) Recv() (*wire.Message, error) {
+	for {
+		m, err := c.inner.Recv()
+		c.mu.Lock()
+		blackhole := c.f.Blackhole
+		closed := c.closed
+		c.mu.Unlock()
+		if err != nil {
+			if closed {
+				return nil, io.EOF
+			}
+			if blackhole {
+				<-c.closedCh // silence until severed
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		if blackhole {
+			continue // swallowed
+		}
+		return m, nil
+	}
+}
+
+// PeerIdentity delegates to the wrapped connection.
+func (c *Faulty) PeerIdentity() string { return c.inner.PeerIdentity() }
+
+// Close tears the endpoint down: staged messages are discarded, blocked
+// readers return io.EOF, and the wrapped connection is closed.
+func (c *Faulty) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.closedCh)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return c.inner.Close()
+}

@@ -1,0 +1,221 @@
+package transport
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"fluxgo/internal/wire"
+)
+
+func fmsg(topic string) *wire.Message {
+	return &wire.Message{Type: wire.Request, Topic: topic, Seq: 1}
+}
+
+// recvN drains up to n messages with a deadline, returning what arrived.
+func recvN(t *testing.T, c Conn, n int, wait time.Duration) []*wire.Message {
+	t.Helper()
+	ch := make(chan *wire.Message, n)
+	go func() {
+		for i := 0; i < n; i++ {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			ch <- m
+		}
+	}()
+	var got []*wire.Message
+	deadline := time.After(wait)
+	for len(got) < n {
+		select {
+		case m := <-ch:
+			got = append(got, m)
+		case <-deadline:
+			return got
+		}
+	}
+	return got
+}
+
+func TestFaultyPassThrough(t *testing.T) {
+	a, b := Pipe("a", "b")
+	fa := NewFaulty(a, 1)
+	defer fa.Close()
+	defer b.Close()
+	for i := 0; i < 10; i++ {
+		if err := fa.Send(fmsg("t")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := recvN(t, b, 10, 5*time.Second); len(got) != 10 {
+		t.Fatalf("got %d messages, want 10", len(got))
+	}
+}
+
+func TestFaultyDropLossRate(t *testing.T) {
+	a, b := Pipe("a", "b")
+	fa := NewFaulty(a, 42)
+	defer fa.Close()
+	defer b.Close()
+	fa.SetFaults(Faults{Drop: 0.5})
+	const n = 400
+	for i := 0; i < n; i++ {
+		fa.Send(fmsg("t"))
+	}
+	got := recvN(t, b, n, 500*time.Millisecond)
+	if len(got) == 0 || len(got) == n {
+		t.Fatalf("drop 0.5 delivered %d of %d", len(got), n)
+	}
+	if len(got) < n/4 || len(got) > 3*n/4 {
+		t.Fatalf("drop 0.5 delivered %d of %d, outside [%d, %d]", len(got), n, n/4, 3*n/4)
+	}
+}
+
+func TestFaultyDuplicate(t *testing.T) {
+	a, b := Pipe("a", "b")
+	fa := NewFaulty(a, 7)
+	defer fa.Close()
+	defer b.Close()
+	fa.SetFaults(Faults{Dup: 1.0})
+	m := fmsg("dup")
+	m.PushRoute("r1")
+	fa.Send(m)
+	got := recvN(t, b, 2, 5*time.Second)
+	if len(got) != 2 {
+		t.Fatalf("dup 1.0 delivered %d messages, want 2", len(got))
+	}
+	// The duplicate must be a deep copy: mutating one route stack must
+	// not affect the other.
+	got[0].PopRoute()
+	if len(got[1].Route) != 1 {
+		t.Fatal("duplicate aliases the original's route stack")
+	}
+}
+
+func TestFaultyDelayPreservesOrder(t *testing.T) {
+	a, b := Pipe("a", "b")
+	fa := NewFaulty(a, 3)
+	defer fa.Close()
+	defer b.Close()
+	fa.SetFaults(Faults{Delay: 5 * time.Millisecond, Jitter: 10 * time.Millisecond})
+	const n = 20
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		m := fmsg("ord")
+		m.Seq = uint64(i + 1)
+		fa.Send(m)
+	}
+	got := recvN(t, b, n, 5*time.Second)
+	if len(got) != n {
+		t.Fatalf("delivered %d of %d", len(got), n)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("no delay observed")
+	}
+	for i, m := range got {
+		if m.Seq != uint64(i+1) {
+			t.Fatalf("message %d has seq %d: delay reordered delivery", i, m.Seq)
+		}
+	}
+}
+
+func TestFaultyBlackholeSilence(t *testing.T) {
+	a, b := Pipe("a", "b")
+	fa := NewFaulty(a, 5)
+	fb := NewFaulty(b, 6)
+	defer fb.Close()
+
+	// Crash semantics: the controller blackholes both endpoints of the
+	// link before the crashed broker's shutdown closes its side.
+	fa.SetFaults(Faults{Blackhole: true})
+	fb.SetFaults(Faults{Blackhole: true})
+	fa.Send(fmsg("lost"))
+
+	// The peer must see silence, not data and not EOF — even after the
+	// blackholed side closes (a crashed peer sends no FIN).
+	fa.Close()
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := fb.Recv()
+		recvErr <- err
+	}()
+	select {
+	case err := <-recvErr:
+		t.Fatalf("peer Recv returned (%v); want silence until severed", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Severing the link (failure detection) surfaces io.EOF.
+	fb.Close()
+	select {
+	case err := <-recvErr:
+		if err != io.EOF {
+			t.Fatalf("severed Recv returned %v, want io.EOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("severed Recv still blocked")
+	}
+}
+
+func TestFaultyBlackholeSwallowsInbound(t *testing.T) {
+	a, b := Pipe("a", "b")
+	fa := NewFaulty(a, 9)
+	fb := NewFaulty(b, 10)
+	defer fa.Close()
+	defer fb.Close()
+
+	// One persistent reader: messages swallowed under blackhole never
+	// reach it; the first post-heal message does.
+	ch := make(chan *wire.Message, 4)
+	go func() {
+		for {
+			m, err := fb.Recv()
+			if err != nil {
+				return
+			}
+			ch <- m
+		}
+	}()
+
+	fb.SetFaults(Faults{Blackhole: true})
+	fa.Send(fmsg("swallowed"))
+	select {
+	case m := <-ch:
+		t.Fatalf("blackholed endpoint received %q", m.Topic)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Healing restores delivery for traffic sent after the heal.
+	fb.SetFaults(Faults{})
+	fa.Send(fmsg("after-heal"))
+	select {
+	case m := <-ch:
+		if m.Topic != "after-heal" {
+			t.Fatalf("post-heal delivery got %q", m.Topic)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-heal message never delivered")
+	}
+}
+
+func TestFaultyCloseUnblocksSender(t *testing.T) {
+	a, b := Pipe("a", "b")
+	fa := NewFaulty(a, 11)
+	defer b.Close()
+	fa.SetFaults(Faults{Delay: time.Hour})
+	fa.Send(fmsg("stuck"))
+	done := make(chan struct{})
+	go func() {
+		fa.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked behind a delayed delivery")
+	}
+	if err := fa.Send(fmsg("late")); err != ErrClosed {
+		t.Fatalf("Send after Close = %v, want ErrClosed", err)
+	}
+}
