@@ -1,15 +1,20 @@
 # fluxgo build/test entry points.
 #
-# `make check` is the gate: vet plus the full test suite under the race
+# `make check` is the gate: vet, fluxlint (the repo's own static
+# analysis, see cmd/fluxlint), and the full test suite under the race
 # detector, including the chaos soak at its short default duration.
 # Lengthen the soak (and pin a fault schedule) via the env vars the soak
 # test reads, e.g.:
 #
 #   CHAOS_SOAK=30s CHAOS_SEED=42 make chaos
+#
+# `make debuglock` reruns the suite with the lock-order-checking mutex
+# build (-tags debuglock): cycles in lock acquisition order panic with
+# both stacks instead of deadlocking silently.
 
 GO ?= go
 
-.PHONY: build test check chaos vet
+.PHONY: build test check chaos vet lint debuglock
 
 build:
 	$(GO) build ./...
@@ -17,11 +22,19 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static analysis: four passes over the module, zero findings required.
+lint:
+	$(GO) run ./cmd/fluxlint ./...
+
 test:
 	$(GO) test ./...
 
-check: vet
+check: vet lint
 	$(GO) test -race ./...
+
+# Race suite with the runtime lock-order checker compiled in.
+debuglock:
+	$(GO) test -race -tags debuglock ./...
 
 # Longer fault-injection soak; honours CHAOS_SOAK / CHAOS_SEED.
 chaos:

@@ -78,14 +78,14 @@ flagsDone:
 	case "ping":
 		cmdPing(c, args[1:])
 	case "info":
-		cmdJSON(c, "cmb.info", wire.NodeidAny, nil)
+		cmdJSON(c, wire.TopicInfo, wire.NodeidAny, nil)
 	case "lsmod":
-		cmdJSON(c, "cmb.lsmod", wire.NodeidAny, nil)
+		cmdJSON(c, wire.TopicLsmod, wire.NodeidAny, nil)
 	case "rmmod":
 		if len(args) != 2 {
 			usage()
 		}
-		cmdJSON(c, "cmb.rmmod", wire.NodeidAny, map[string]string{"name": args[1]})
+		cmdJSON(c, wire.TopicRmmod, wire.NodeidAny, map[string]string{"name": args[1]})
 	case "kvs":
 		cmdKVS(c, args[1:])
 	case "event":
@@ -117,7 +117,7 @@ flagsDone:
 			fatalIf(err)
 			nodeid = uint32(r)
 		}
-		cmdJSON(c, "cmb.stats", nodeid, nil)
+		cmdJSON(c, wire.TopicStats, nodeid, nil)
 	case "resources":
 		cmdJSON(c, "resrc.avail", wire.NodeidAny, nil)
 	default:
@@ -150,7 +150,7 @@ func cmdPing(c *client.Client, args []string) {
 		nodeid = uint32(r)
 	}
 	start := time.Now()
-	resp, err := c.RPC("cmb.ping", nodeid, map[string]string{"pad": "flux-ping"})
+	resp, err := c.RPC(wire.TopicPing, nodeid, map[string]string{"pad": "flux-ping"})
 	fatalIf(err)
 	var body struct {
 		Rank int `json:"rank"`
@@ -250,7 +250,7 @@ func cmdEvent(c *client.Client, args []string) {
 	}
 	switch args[0] {
 	case "pub":
-		resp, err := c.RPC("cmb.pub", wire.NodeidAny, map[string]any{
+		resp, err := c.RPC(wire.TopicPub, wire.NodeidAny, map[string]any{
 			"topic": args[1], "payload": map[string]string{},
 		})
 		fatalIf(err)

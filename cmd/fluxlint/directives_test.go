@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDirectives runs the full suite (with suppression) over the
+// directives fixture: the two well-formed ignores must silence their
+// wire-hygiene findings, the unknown-pass and missing-reason ones must
+// be reported themselves, and a malformed ignore must not suppress the
+// finding beneath it.
+func TestDirectives(t *testing.T) {
+	l := fixtureLoader(t)
+	p := loadFixture(t, l, "directives")
+	findings := runAll(l, []*Package{p})
+
+	var unknown, noReason, unsuppressed int
+	for _, f := range findings {
+		switch {
+		case f.Pass == "directive" && strings.Contains(f.Msg, "unknown pass"):
+			unknown++
+		case f.Pass == "directive" && strings.Contains(f.Msg, "needs a reason"):
+			noReason++
+		case f.Pass == wireHygieneName && strings.Contains(f.Msg, "cmb.resync"):
+			unsuppressed++
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	if unknown != 1 {
+		t.Errorf("unknown-pass directive findings = %d, want 1", unknown)
+	}
+	if noReason != 1 {
+		t.Errorf("missing-reason directive findings = %d, want 1", noReason)
+	}
+	if unsuppressed != 1 {
+		t.Errorf("finding under malformed directive: reported %d times, want 1", unsuppressed)
+	}
+}

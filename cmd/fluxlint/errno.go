@@ -1,0 +1,248 @@
+package main
+
+// errno-discipline: two related hygiene rules around the wire errno
+// protocol.
+//
+// Rule 1 — no raw errno integers. Error responses must be built from
+// the named constants of the wire package (or local aliases following
+// the Errno*/errFoo naming convention), never from bare integer
+// literals: `RespondError(msg, 22, ...)` silently diverges from the
+// protocol table when the table changes. Checked call shapes:
+// NewErrorResponse / RespondError / respondErr (errnum is argument 1)
+// and composite literals of wire.RPCError (the Errnum field).
+//
+// Rule 2 — no ignored RPC-family or connection errors. A discarded
+// error from RPC/RPCContext/RPCWithOptions/PublishEvent, or from
+// Send/Recv on a connection-shaped receiver, hides routing failures the
+// no-hang design depends on surfacing. Flagged shapes: the call as a
+// bare statement, `go`/`defer` of the call, and `_` in the error
+// position of an assignment.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+const errnoDisciplineName = "errno-discipline"
+
+var errnoDisciplinePass = Pass{
+	Name: errnoDisciplineName,
+	Doc:  "flag raw errno literals and ignored RPC/connection errors",
+	Run:  runErrnoDiscipline,
+}
+
+// errnoBuilders maps callee base name to the index of its errnum
+// argument.
+var errnoBuilders = map[string]int{
+	"NewErrorResponse": 1,
+	"RespondError":     1,
+	"respondErr":       1,
+}
+
+// errnoConstName matches local errno constant conventions.
+var errnoConstName = regexp.MustCompile(`^(Errno|errno[A-Z]|err[A-Z])`)
+
+func runErrnoDiscipline(l *Loader, p *Package) []Finding {
+	c := &errnoChecker{l: l, p: p}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				c.checkBuilder(n)
+			case *ast.CompositeLit:
+				c.checkRPCErrorLit(n)
+			case *ast.ExprStmt:
+				c.checkDiscarded(n.X, "result ignored")
+			case *ast.GoStmt:
+				c.checkDiscarded(n.Call, "error discarded by go statement")
+			case *ast.DeferStmt:
+				c.checkDiscarded(n.Call, "error discarded by defer")
+			case *ast.AssignStmt:
+				c.checkBlankError(n)
+			}
+			return true
+		})
+	}
+	return c.findings
+}
+
+type errnoChecker struct {
+	l        *Loader
+	p        *Package
+	findings []Finding
+}
+
+func (c *errnoChecker) report(pos token.Pos, format string, args ...any) {
+	c.findings = append(c.findings, Finding{
+		Pass: errnoDisciplineName,
+		Pos:  c.l.Fset.Position(pos),
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// calleeName returns the base name of the called function or method.
+func calleeName(e ast.Expr) string {
+	switch fun := e.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// checkBuilder enforces rule 1 on error-response constructor calls.
+func (c *errnoChecker) checkBuilder(ce *ast.CallExpr) {
+	idx, ok := errnoBuilders[calleeName(ce.Fun)]
+	if !ok || len(ce.Args) <= idx {
+		return
+	}
+	if bad, what := c.rawErrno(ce.Args[idx]); bad {
+		c.report(ce.Args[idx].Pos(),
+			"%s as errnum; use a wire.Errno* constant (or a named alias)", what)
+	}
+}
+
+// checkRPCErrorLit enforces rule 1 on wire.RPCError composite literals.
+func (c *errnoChecker) checkRPCErrorLit(cl *ast.CompositeLit) {
+	t := c.p.Info.TypeOf(cl)
+	if t == nil {
+		return
+	}
+	named, ok := derefNamed(t)
+	if !ok || named.Obj().Name() != "RPCError" || named.Obj().Pkg() == nil ||
+		named.Obj().Pkg().Name() != "wire" {
+		return
+	}
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Errnum" {
+			if bad, what := c.rawErrno(kv.Value); bad {
+				c.report(kv.Value.Pos(),
+					"%s as Errnum; use a wire.Errno* constant (or a named alias)", what)
+			}
+		}
+	}
+}
+
+// rawErrno reports whether e is a bare (possibly converted) integer
+// literal rather than a named errno constant. Named constants pass if
+// they are declared in a package named wire or follow the Errno*/errX
+// naming convention; anything else named is given the benefit of the
+// doubt (it is at least traceable).
+func (c *errnoChecker) rawErrno(e ast.Expr) (bad bool, what string) {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		if e.Kind == token.INT {
+			return true, "integer literal " + e.Value
+		}
+	case *ast.CallExpr:
+		// int32(22)-style conversion of a literal.
+		if len(e.Args) == 1 {
+			if tv, ok := c.p.Info.Types[e.Fun]; ok && tv.IsType() {
+				return c.rawErrno(e.Args[0])
+			}
+		}
+	case *ast.Ident:
+		return c.checkConstObj(c.p.Info.Uses[e])
+	case *ast.SelectorExpr:
+		return c.checkConstObj(c.p.Info.Uses[e.Sel])
+	}
+	return false, ""
+}
+
+func (c *errnoChecker) checkConstObj(obj types.Object) (bad bool, what string) {
+	cst, ok := obj.(*types.Const)
+	if !ok {
+		return false, ""
+	}
+	if cst.Pkg() != nil && cst.Pkg().Name() == "wire" {
+		return false, ""
+	}
+	if errnoConstName.MatchString(cst.Name()) {
+		return false, ""
+	}
+	return true, fmt.Sprintf("constant %s (not wire-derived or Errno*-named)", cst.Name())
+}
+
+// errorProne reports whether ce is a call whose error result must not
+// be discarded, with a short description for the message.
+func (c *errnoChecker) errorProne(ce *ast.CallExpr) (string, bool) {
+	se, ok := ce.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := se.Sel.Name
+	if rpcFamily[name] && c.p.Info.Selections[se] != nil {
+		return name, true
+	}
+	if connLike(c.p.Info, se) {
+		return "connection " + name, true
+	}
+	return "", false
+}
+
+// checkDiscarded enforces rule 2 on statements that drop every result.
+func (c *errnoChecker) checkDiscarded(e ast.Expr, how string) {
+	ce, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if name, prone := c.errorProne(ce); prone {
+		c.report(ce.Pos(), "%s: %s", name, how)
+	}
+}
+
+// checkBlankError flags `_` in the error result position of an
+// error-prone call.
+func (c *errnoChecker) checkBlankError(as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	ce, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, prone := c.errorProne(ce)
+	if !prone {
+		return
+	}
+	sig, ok := c.p.Info.TypeOf(ce.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len() && i < len(as.Lhs); i++ {
+		if !isErrorType(res.At(i).Type()) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			c.report(id.Pos(), "%s: error assigned to _", name)
+		}
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}
+
+// derefNamed unwraps pointers down to a named type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt, true
+		default:
+			return nil, false
+		}
+	}
+}

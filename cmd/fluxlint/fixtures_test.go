@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureLoader returns a loader rooted at the fixture corpus, which is
+// a miniature module ("fixture.example") mirroring the shapes the
+// passes discriminate on.
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("abs: %v", err)
+	}
+	return NewLoader("fixture.example", dir)
+}
+
+func loadFixture(t *testing.T, l *Loader, name string) *Package {
+	t.Helper()
+	p, err := l.Load("fixture.example/" + name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	return p
+}
+
+// badLines returns the 1-based line numbers in file carrying a trailing
+// "// BAD" marker.
+func badLines(t *testing.T, file string) map[int]bool {
+	t.Helper()
+	b, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatalf("read %s: %v", file, err)
+	}
+	lines := map[int]bool{}
+	for i, ln := range strings.Split(string(b), "\n") {
+		if strings.Contains(ln, "// BAD") {
+			lines[i+1] = true
+		}
+	}
+	if len(lines) == 0 {
+		t.Fatalf("%s has no // BAD markers; fixture is not testing anything", file)
+	}
+	return lines
+}
+
+// checkPassFixture runs a single pass over one fixture package and
+// asserts that findings land exactly on the // BAD lines of bad.go and
+// nowhere else (in particular: none in good.go).
+func checkPassFixture(t *testing.T, pass Pass, pkgName string) {
+	t.Helper()
+	l := fixtureLoader(t)
+	p := loadFixture(t, l, pkgName)
+	want := badLines(t, filepath.Join(p.Dir, "bad.go"))
+
+	seen := map[int]bool{}
+	for _, f := range pass.Run(l, p) {
+		if filepath.Base(f.Pos.Filename) != "bad.go" {
+			t.Errorf("finding outside bad.go: %s", f)
+			continue
+		}
+		if !want[f.Pos.Line] {
+			t.Errorf("unexpected finding at unmarked line: %s", f)
+			continue
+		}
+		seen[f.Pos.Line] = true
+	}
+	for line := range want {
+		if !seen[line] {
+			t.Errorf("%s: no %s finding at bad.go:%d (marked // BAD)", pkgName, pass.Name, line)
+		}
+	}
+}
+
+func TestLockAcrossBlockFixture(t *testing.T) {
+	checkPassFixture(t, lockAcrossBlockPass, "lockblock")
+}
+
+func TestGoroutineLifecycleFixture(t *testing.T) {
+	checkPassFixture(t, goroutineLifecyclePass, "goroutine")
+}
+
+func TestErrnoDisciplineFixture(t *testing.T) {
+	checkPassFixture(t, errnoDisciplinePass, "errno")
+}
+
+func TestWireHygieneFixture(t *testing.T) {
+	checkPassFixture(t, wireHygienePass, "wirehyg")
+}

@@ -1,0 +1,95 @@
+package main
+
+// goroutine-lifecycle: every `go func() { ... }()` in production code
+// must be tied to some lifecycle mechanism, or broker shutdown cannot
+// guarantee quiescence (the property the testutil leak checker asserts
+// at runtime — this pass is its static twin). A literal is considered
+// lifecycle-tied if its body (including nested literals and deferred
+// calls) does any of:
+//
+//   - call Done on a sync.WaitGroup (registered with a waiter)
+//   - receive from a channel, select, or range over a channel (it can
+//     be unblocked/terminated by a close or a shutdown message)
+//   - send on a channel or close one (a rendezvous: a collector is
+//     waiting for it, bounding its lifetime)
+//
+// Named-function goroutines (`go c.writeLoop()`) are not checked: their
+// termination is the callee's contract and typically encapsulated.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const goroutineLifecycleName = "goroutine-lifecycle"
+
+var goroutineLifecyclePass = Pass{
+	Name: goroutineLifecycleName,
+	Doc:  "flag go-literal goroutines with no shutdown or WaitGroup tie",
+	Run:  runGoroutineLifecycle,
+}
+
+func runGoroutineLifecycle(l *Loader, p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			fl, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !lifecycleTied(p.Info, fl.Body) {
+				out = append(out, Finding{
+					Pass: goroutineLifecycleName,
+					Pos:  l.Fset.Position(gs.Pos()),
+					Msg:  "goroutine has no lifecycle tie (no WaitGroup.Done, channel op, or select)",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// lifecycleTied scans the literal's whole body (nested literals and
+// defers included) for any lifecycle marker.
+func lifecycleTied(info *types.Info, body *ast.BlockStmt) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			tied = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				tied = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(info.TypeOf(n.X)) {
+				tied = true
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				// close(ch) is a rendezvous with whoever ranges/receives.
+				if fun.Name == "close" {
+					if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+						tied = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" && methodPkgPath(info, fun) == "sync" {
+					tied = true
+				}
+			}
+		}
+		return !tied
+	})
+	return tied
+}

@@ -1,0 +1,197 @@
+package main
+
+// The lint engine: passes produce Findings, directives suppress them.
+//
+// A finding may be waived with a directive comment on the flagged line
+// or the line directly above it:
+//
+//	//fluxlint:ignore <pass-name> <reason>
+//
+// The reason is mandatory — an ignore that cannot say why it is safe is
+// itself reported. Directives are per-pass: ignoring lock-across-block
+// on a line does not silence errno-discipline there.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by a pass.
+type Finding struct {
+	Pass string
+	Pos  token.Position
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Pass, f.Msg)
+}
+
+// Pass is one independent analysis.
+type Pass struct {
+	Name string
+	Doc  string
+	Run  func(l *Loader, p *Package) []Finding
+}
+
+// passes is the full suite, in reporting order.
+var passes = []Pass{
+	lockAcrossBlockPass,
+	goroutineLifecyclePass,
+	errnoDisciplinePass,
+	wireHygienePass,
+}
+
+// directive is one parsed //fluxlint:ignore comment.
+type directive struct {
+	pass   string
+	reason string
+	line   int
+}
+
+const directivePrefix = "fluxlint:ignore"
+
+// fileDirectives extracts the ignore directives of one file. Malformed
+// directives (unknown pass, missing reason) are returned as findings so
+// they cannot silently rot.
+func fileDirectives(fset *token.FileSet, f *ast.File) ([]directive, []Finding) {
+	var dirs []directive
+	var bad []Finding
+	known := map[string]bool{}
+	for _, p := range passes {
+		known[p.Name] = true
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+			pos := fset.Position(c.Pos())
+			name, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			switch {
+			case !known[name]:
+				bad = append(bad, Finding{Pass: "directive", Pos: pos,
+					Msg: fmt.Sprintf("ignore names unknown pass %q", name)})
+			case reason == "":
+				bad = append(bad, Finding{Pass: "directive", Pos: pos,
+					Msg: "ignore directive needs a reason"})
+			default:
+				dirs = append(dirs, directive{pass: name, reason: reason, line: pos.Line})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// runAll executes every pass over the packages, applies directives, and
+// returns surviving findings sorted by position.
+func runAll(l *Loader, pkgs []*Package) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		// suppress[file][line][pass]
+		suppress := map[string]map[int]map[string]bool{}
+		for _, f := range p.Files {
+			dirs, bad := fileDirectives(l.Fset, f)
+			out = append(out, bad...)
+			file := l.Fset.Position(f.Pos()).Filename
+			for _, d := range dirs {
+				if suppress[file] == nil {
+					suppress[file] = map[int]map[string]bool{}
+				}
+				if suppress[file][d.line] == nil {
+					suppress[file][d.line] = map[string]bool{}
+				}
+				suppress[file][d.line][d.pass] = true
+			}
+		}
+		for _, pass := range passes {
+			for _, f := range pass.Run(l, p) {
+				lines := suppress[f.Pos.Filename]
+				if lines != nil && (lines[f.Pos.Line][f.Pass] || lines[f.Pos.Line-1][f.Pass]) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pass < b.Pass
+	})
+	return out
+}
+
+// ---- shared type helpers used by several passes ----
+
+// methodPkgPath returns the defining package path of the called method,
+// resolving promoted methods to their true owner (an embedded
+// sync.Mutex's Lock reports "sync").
+func methodPkgPath(info *types.Info, se *ast.SelectorExpr) string {
+	obj := info.Uses[se.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// isMutexMethodPkg reports whether pkgPath defines one of the mutex
+// flavors fluxlint tracks: the standard library's sync and the module's
+// debuglock wrapper.
+func isMutexMethodPkg(pkgPath string) bool {
+	return pkgPath == "sync" || strings.HasSuffix(pkgPath, "internal/debuglock")
+}
+
+// connLike reports whether the method call through se is Send or Recv
+// on a transport-connection-shaped receiver: one whose method set
+// contains BOTH Send and Recv. This distinguishes transport.Conn (and
+// anything wrapping it) from fire-and-forget senders like
+// broker.Handle.Send, which has no Recv.
+func connLike(info *types.Info, se *ast.SelectorExpr) bool {
+	name := se.Sel.Name
+	if name != "Send" && name != "Recv" {
+		return false
+	}
+	sel := info.Selections[se]
+	if sel == nil || sel.Kind() != types.MethodVal {
+		return false
+	}
+	recv := sel.Recv()
+	ms := types.NewMethodSet(recv)
+	if _, ok := recv.Underlying().(*types.Interface); !ok {
+		if _, ok := recv.(*types.Pointer); !ok {
+			ms = types.NewMethodSet(types.NewPointer(recv))
+		}
+	}
+	return ms.Lookup(nil, "Send") != nil && ms.Lookup(nil, "Recv") != nil
+}
+
+// rpcFamily are Handle methods that perform a routed round trip (or a
+// sequenced publish) and return an error the caller must consider.
+var rpcFamily = map[string]bool{
+	"RPC":            true,
+	"RPCContext":     true,
+	"RPCWithOptions": true,
+	"PublishEvent":   true,
+}
+
+// isChanType reports whether t is (or points to) a channel.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

@@ -1,0 +1,186 @@
+package main
+
+// Package loading without golang.org/x/tools: packages are discovered
+// by walking the module tree, parsed with go/parser, and type-checked
+// with go/types. Imports inside the module resolve recursively through
+// the same loader; standard-library imports are delegated to the
+// compiler's source importer, which type-checks from GOROOT/src. Build
+// constraints are honored via go/build's MatchFile, so files like the
+// debuglock-tagged mutex variant are excluded exactly as in a default
+// build. Test files are never loaded: fluxlint's contract covers
+// production code.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and memoizes packages of a single module.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string
+	ModuleDir  string
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader for the module rooted at moduleDir with
+// the given module path (the `module` line of its go.mod).
+func NewLoader(modulePath, moduleDir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModulePath: modulePath,
+		ModuleDir:  moduleDir,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}
+}
+
+// Import implements types.Importer: module-internal paths load through
+// this loader; everything else is treated as standard library.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor maps an in-module import path to its directory.
+func (l *Loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+	return filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+}
+
+// sourceFiles lists the dir's buildable non-test Go files.
+func sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		ok, err := ctx.MatchFile(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			files = append(files, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// Load parses and type-checks the package at the given in-module import
+// path (memoized).
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	names, err := sourceFiles(dir)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no buildable Go files in %s", path, dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// Discover returns the import paths of every buildable package under
+// the module root, in lexical order. testdata, vendor, and dot
+// directories are skipped, matching the go tool's "./..." expansion.
+func (l *Loader) Discover() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.ModuleDir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.ModuleDir && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := sourceFiles(p)
+		if err != nil || len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModuleDir, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, l.ModulePath)
+		} else {
+			paths = append(paths, l.ModulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	return paths, err
+}

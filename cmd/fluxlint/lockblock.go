@@ -1,0 +1,366 @@
+package main
+
+// lock-across-block: flags operations that can block indefinitely while
+// a sync (or debuglock) mutex is held. In a message broker every such
+// site is a latent deadlock: the blocked goroutine holds the lock, the
+// goroutine that would unblock it needs the lock. The CMB design rule
+// is that mailboxes and send queues are unbounded precisely so nothing
+// blocks under a lock; this pass is the mechanized form of that rule.
+//
+// The analysis is a conservative may-hold dataflow over each function
+// body: Lock/RLock adds the printed receiver expression to the held
+// set, Unlock/RUnlock removes it, `defer mu.Unlock()` holds to the end
+// of the function, and branches are analyzed on clones whose held sets
+// are unioned afterwards. While any lock may be held, these operations
+// are flagged:
+//
+//   - channel send statements and receive expressions
+//   - select without a default clause, and range over a channel
+//   - time.Sleep
+//   - Send/Recv on connection-shaped receivers (method set has both)
+//   - the Handle RPC family (RPC, RPCContext, RPCWithOptions,
+//     PublishEvent), which block on a routed round trip
+//
+// sync.Cond.Wait is deliberately not flagged: it unlocks while parked,
+// which is the one sanctioned way to wait under a mutex.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const lockAcrossBlockName = "lock-across-block"
+
+var lockAcrossBlockPass = Pass{
+	Name: lockAcrossBlockName,
+	Doc:  "flag potentially blocking operations reachable while a mutex is held",
+	Run:  runLockAcrossBlock,
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opUnlock
+)
+
+type lockChecker struct {
+	l        *Loader
+	p        *Package
+	findings []Finding
+	// inline marks function literals analyzed in their caller's lock
+	// context (immediately-invoked ones); the top-level sweep skips
+	// them. Every other literal runs on a fresh goroutine or at an
+	// unknown time and is analyzed with an empty held set.
+	inline map[*ast.FuncLit]bool
+}
+
+type heldSet map[string]token.Pos
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func (h heldSet) union(others ...heldSet) {
+	for _, o := range others {
+		for k, v := range o {
+			h[k] = v
+		}
+	}
+}
+
+// anyHeld returns an arbitrary held lock name for the message.
+func (h heldSet) anyHeld() string {
+	for k := range h {
+		return k
+	}
+	return ""
+}
+
+func runLockAcrossBlock(l *Loader, p *Package) []Finding {
+	c := &lockChecker{l: l, p: p, inline: map[*ast.FuncLit]bool{}}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.stmts(fd.Body.List, heldSet{})
+		}
+		// Non-inline function literals start life with nothing held.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok && !c.inline[fl] {
+				c.stmts(fl.Body.List, heldSet{})
+			}
+			return true
+		})
+	}
+	return c.findings
+}
+
+func (c *lockChecker) report(pos token.Pos, format string, args ...any) {
+	c.findings = append(c.findings, Finding{
+		Pass: lockAcrossBlockName,
+		Pos:  c.l.Fset.Position(pos),
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// lockOp classifies e as a Lock/Unlock-style call on a tracked mutex
+// and returns the lock's identity (the printed receiver expression).
+func (c *lockChecker) lockOp(e ast.Expr) (key string, kind lockOpKind) {
+	ce, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", opNone
+	}
+	se, ok := ce.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	var k lockOpKind
+	switch se.Sel.Name {
+	case "Lock", "RLock":
+		k = opLock
+	case "Unlock", "RUnlock":
+		k = opUnlock
+	default:
+		return "", opNone
+	}
+	if !isMutexMethodPkg(methodPkgPath(c.p.Info, se)) {
+		return "", opNone
+	}
+	return types.ExprString(se.X), k
+}
+
+func (c *lockChecker) stmts(list []ast.Stmt, held heldSet) {
+	for _, s := range list {
+		c.stmt(s, held)
+	}
+}
+
+func (c *lockChecker) stmt(s ast.Stmt, held heldSet) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, kind := c.lockOp(s.X); kind == opLock {
+			held[key] = s.Pos()
+			return
+		} else if kind == opUnlock {
+			delete(held, key)
+			return
+		}
+		// An immediately-invoked literal runs on this goroutine with the
+		// current locks held.
+		if ce, ok := s.X.(*ast.CallExpr); ok {
+			if fl, ok := ce.Fun.(*ast.FuncLit); ok {
+				c.inline[fl] = true
+				for _, a := range ce.Args {
+					c.checkExpr(a, held)
+				}
+				c.stmts(fl.Body.List, held)
+				return
+			}
+		}
+		c.checkExpr(s.X, held)
+
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			c.report(s.Pos(), "channel send while %s is held", held.anyHeld())
+		}
+		c.checkExpr(s.Chan, held)
+		c.checkExpr(s.Value, held)
+
+	case *ast.DeferStmt:
+		// defer mu.Unlock() means held to end of function: leave the set
+		// alone. Other deferred calls run at an unknowable lock state;
+		// their literals are analyzed by the top-level sweep.
+		if _, kind := c.lockOp(s.Call); kind != opNone {
+			return
+		}
+		for _, a := range s.Call.Args {
+			c.checkExpr(a, held)
+		}
+
+	case *ast.GoStmt:
+		// The spawned goroutine does not hold our locks; arguments are
+		// evaluated here though.
+		for _, a := range s.Call.Args {
+			c.checkExpr(a, held)
+		}
+
+	case *ast.BlockStmt:
+		c.stmts(s.List, held)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		c.checkExpr(s.Cond, held)
+		thenH := held.clone()
+		c.stmt(s.Body, thenH)
+		if s.Else != nil {
+			// Exactly one branch executes: the result is the union of the
+			// two outcomes, so a lock released on both paths is released.
+			elseH := held.clone()
+			c.stmt(s.Else, elseH)
+			for k := range held {
+				delete(held, k)
+			}
+			held.union(thenH, elseH)
+		} else {
+			held.union(thenH)
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, held)
+		}
+		bodyH := held.clone()
+		c.stmts(s.Body.List, bodyH)
+		if s.Post != nil {
+			c.stmt(s.Post, bodyH)
+		}
+		held.union(bodyH)
+
+	case *ast.RangeStmt:
+		if len(held) > 0 && isChanType(c.p.Info.TypeOf(s.X)) {
+			c.report(s.Pos(), "range over channel while %s is held", held.anyHeld())
+		}
+		c.checkExpr(s.X, held)
+		bodyH := held.clone()
+		c.stmts(s.Body.List, bodyH)
+		held.union(bodyH)
+
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if len(held) > 0 && !hasDefault {
+			c.report(s.Pos(), "select without default while %s is held", held.anyHeld())
+		}
+		var branches []heldSet
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			h := held.clone()
+			// The comm op itself was accounted for by the select report;
+			// only the clause bodies need walking.
+			c.stmts(cc.Body, h)
+			branches = append(branches, h)
+		}
+		held.union(branches...)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, held)
+		}
+		var branches []heldSet
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			h := held.clone()
+			for _, e := range cc.List {
+				c.checkExpr(e, h)
+			}
+			c.stmts(cc.Body, h)
+			branches = append(branches, h)
+		}
+		held.union(branches...)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		var branches []heldSet
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			h := held.clone()
+			c.stmts(cc.Body, h)
+			branches = append(branches, h)
+		}
+		held.union(branches...)
+
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, held)
+
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			c.checkExpr(e, held)
+		}
+
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.checkExpr(e, held)
+		}
+
+	case *ast.DeclStmt:
+		c.checkExpr(nil, held) // no-op; declarations may carry values below
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.checkExpr(v, held)
+					}
+				}
+			}
+		}
+
+	default:
+		// IncDecStmt, BranchStmt, EmptyStmt: nothing blocking inside.
+	}
+}
+
+// checkExpr walks an expression for blocking operations under held
+// locks. Function literals are skipped: they execute elsewhere.
+func (c *lockChecker) checkExpr(e ast.Expr, held heldSet) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.report(n.Pos(), "channel receive while %s is held", held.anyHeld())
+			}
+		case *ast.CallExpr:
+			c.checkCall(n, held)
+		}
+		return true
+	})
+}
+
+// checkCall flags blocking calls made while locks are held.
+func (c *lockChecker) checkCall(ce *ast.CallExpr, held heldSet) {
+	se, ok := ce.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := se.Sel.Name
+	pkgPath := methodPkgPath(c.p.Info, se)
+	switch {
+	case pkgPath == "time" && name == "Sleep":
+		c.report(ce.Pos(), "time.Sleep while %s is held", held.anyHeld())
+	case rpcFamily[name] && c.p.Info.Selections[se] != nil:
+		c.report(ce.Pos(), "%s (blocking round trip) while %s is held", name, held.anyHeld())
+	case connLike(c.p.Info, se):
+		c.report(ce.Pos(), "connection %s while %s is held", name, held.anyHeld())
+	}
+}

@@ -1,0 +1,121 @@
+// Command fluxlint is the repository's static-analysis suite, built on
+// the standard library's go/parser, go/ast, and go/types only (no
+// golang.org/x/tools). It enforces the concurrency and wire-protocol
+// invariants the CMB design depends on; see the per-pass files for the
+// exact rules:
+//
+//	lock-across-block   nothing blocking runs while a mutex is held
+//	goroutine-lifecycle go-literal goroutines have a shutdown tie
+//	errno-discipline    errnos are named constants; RPC errors are read
+//	wire-hygiene        wire topics/types go through wire constants
+//
+// Usage:
+//
+//	fluxlint [packages]
+//
+// with packages as ./... (default) or ./relative/dirs, run from within
+// the module. Exit status is 1 when findings (or malformed ignore
+// directives) survive; see lint.go for the //fluxlint:ignore form.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fluxlint:", err)
+		os.Exit(2)
+	}
+}
+
+var moduleLine = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// findModule walks up from dir to the nearest go.mod, returning the
+// module path and root directory.
+func findModule(dir string) (string, string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		b, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			m := moduleLine.FindSubmatch(b)
+			if m == nil {
+				return "", "", fmt.Errorf("%s/go.mod has no module line", dir)
+			}
+			return string(m[1]), dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func run(args []string) error {
+	modPath, modDir, err := findModule(".")
+	if err != nil {
+		return err
+	}
+	l := NewLoader(modPath, modDir)
+
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var paths []string
+	for _, a := range args {
+		switch {
+		case a == "./..." || a == "...":
+			all, err := l.Discover()
+			if err != nil {
+				return err
+			}
+			paths = append(paths, all...)
+		case strings.HasPrefix(a, modPath):
+			paths = append(paths, a)
+		default:
+			abs, err := filepath.Abs(a)
+			if err != nil {
+				return err
+			}
+			rel, err := filepath.Rel(modDir, abs)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return fmt.Errorf("package %q is outside module %s", a, modPath)
+			}
+			if rel == "." {
+				paths = append(paths, modPath)
+			} else {
+				paths = append(paths, modPath+"/"+filepath.ToSlash(rel))
+			}
+		}
+	}
+
+	var pkgs []*Package
+	for _, path := range paths {
+		p, err := l.Load(path)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, p)
+	}
+	findings := runAll(l, pkgs)
+	for _, f := range findings {
+		rel, err := filepath.Rel(modDir, f.Pos.Filename)
+		if err == nil {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "fluxlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	return nil
+}

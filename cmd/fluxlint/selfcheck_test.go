@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+// TestRepoIsFindingFree is the dogfood gate: the full suite over the
+// real module must report nothing. Any regression shows up here (and in
+// `make lint`) with its exact position.
+func TestRepoIsFindingFree(t *testing.T) {
+	modPath, modDir, err := findModule(".")
+	if err != nil {
+		t.Fatalf("findModule: %v", err)
+	}
+	l := NewLoader(modPath, modDir)
+	paths, err := l.Discover()
+	if err != nil {
+		t.Fatalf("discover: %v", err)
+	}
+	if len(paths) < 5 {
+		t.Fatalf("discovered only %d packages (%v); loader is missing the tree", len(paths), paths)
+	}
+	var pkgs []*Package
+	for _, path := range paths {
+		p, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	for _, f := range runAll(l, pkgs) {
+		t.Errorf("finding in repo: %s", f)
+	}
+}

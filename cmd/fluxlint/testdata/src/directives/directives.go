@@ -1,0 +1,16 @@
+// Package directives exercises the //fluxlint:ignore machinery: valid
+// directives on the flagged line or the line above suppress exactly one
+// pass there; malformed directives are themselves findings and suppress
+// nothing.
+package directives
+
+//fluxlint:ignore wire-hygiene fixture: suppression from the line above
+const suppressedAbove = "cmb.ping"
+
+const suppressedSameLine = "cmb.stats" //fluxlint:ignore wire-hygiene fixture: same-line suppression
+
+//fluxlint:ignore no-such-pass the unknown pass name must be reported
+const unknownPass = "plain string"
+
+//fluxlint:ignore wire-hygiene
+const missingReason = "cmb.resync"

@@ -1,0 +1,39 @@
+// Package errno holds fixtures for the errno-discipline pass.
+package errno
+
+import (
+	"fixture.example/fakes"
+	"fixture.example/wire"
+)
+
+// notConvention is named outside the Errno*/err* conventions, so using
+// it as an errnum is flagged as untraceable.
+const notConvention = 71
+
+func rawLiteral(h *fakes.Handle, m *wire.Message) error {
+	return h.RespondError(m, 22, "invalid argument") // BAD
+}
+
+func rawConverted(m *wire.Message) error {
+	return &wire.RPCError{Topic: m.Topic, Errnum: int32(38), Msg: "not implemented"} // BAD
+}
+
+func rawInBuilder(m *wire.Message) *wire.Message {
+	return wire.NewErrorResponse(m, 108, "shutting down") // BAD
+}
+
+func unconventionalConst(h *fakes.Handle, m *wire.Message) error {
+	return h.RespondError(m, notConvention, "protocol error") // BAD
+}
+
+func droppedResults(h *fakes.Handle, c *fakes.Conn, m *wire.Message) {
+	h.RPC("kvs.get", 0, nil)           // BAD
+	_, _ = h.RPC("kvs.get", 0, nil)    // BAD
+	go h.PublishEvent("job.done", nil) // BAD
+	c.Send(m)                          // BAD
+	_ = c.Send(m)                      // BAD
+}
+
+func deferredDrop(h *fakes.Handle) {
+	defer h.PublishEvent("job.done", nil) // BAD
+}

@@ -1,0 +1,44 @@
+package errno
+
+import (
+	"fixture.example/fakes"
+	"fixture.example/wire"
+)
+
+// Named aliases in either sanctioned convention are traceable.
+const (
+	errShutdown       = wire.ErrnoHostDown
+	errnoLocalTimeout = wire.ErrnoTimedOut
+)
+
+func wireConstant(h *fakes.Handle, m *wire.Message) error {
+	return h.RespondError(m, wire.ErrnoInval, "invalid argument")
+}
+
+func namedAliases(h *fakes.Handle, m *wire.Message) error {
+	if err := h.RespondError(m, errShutdown, "shutting down"); err != nil {
+		return err
+	}
+	return h.RespondError(m, errnoLocalTimeout, "deadline exceeded")
+}
+
+func literalRPCError(m *wire.Message) error {
+	return &wire.RPCError{Topic: m.Topic, Errnum: wire.ErrnoNoSys, Msg: "not implemented"}
+}
+
+func handledResults(h *fakes.Handle, c *fakes.Conn, m *wire.Message) error {
+	resp, err := h.RPC("kvs.get", 0, nil)
+	if err != nil {
+		return err
+	}
+	_ = resp
+	if err := h.PublishEvent("job.done", nil); err != nil {
+		return err
+	}
+	return c.Send(m)
+}
+
+// fireAndForget: Handle.Send returns nothing; ignoring it is fine.
+func fireAndForget(h *fakes.Handle, m *wire.Message) {
+	h.Send(m)
+}

@@ -1,0 +1,32 @@
+// Package fakes supplies the receiver shapes the passes discriminate
+// on: Conn is connection-shaped (method set has BOTH Send and Recv),
+// Handle carries the RPC family plus a fire-and-forget Send that must
+// NOT be treated as connection-shaped.
+package fakes
+
+import "fixture.example/wire"
+
+// Conn is transport-connection-shaped.
+type Conn struct{}
+
+func (c *Conn) Send(m *wire.Message) error   { return nil }
+func (c *Conn) Recv() (*wire.Message, error) { return nil, nil }
+
+// Handle mimics the broker module handle.
+type Handle struct{}
+
+func (h *Handle) RPC(topic string, nodeid uint32, payload []byte) (*wire.Message, error) {
+	return nil, nil
+}
+
+func (h *Handle) RPCContext(topic string, nodeid uint32, payload []byte) (*wire.Message, error) {
+	return nil, nil
+}
+
+func (h *Handle) PublishEvent(topic string, payload []byte) error { return nil }
+
+func (h *Handle) RespondError(m *wire.Message, errnum int32, msg string) error { return nil }
+
+// Send is fire-and-forget: no Recv in the method set, so it is not
+// connection-shaped and its result may be ignored.
+func (h *Handle) Send(m *wire.Message) {}

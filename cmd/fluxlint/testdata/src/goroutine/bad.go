@@ -1,0 +1,23 @@
+// Package goroutine holds fixtures for the goroutine-lifecycle pass.
+package goroutine
+
+import "time"
+
+// spawnUntied launches a literal with no shutdown channel, WaitGroup,
+// or channel rendezvous: nothing can ever stop or observe it.
+func spawnUntied(f func()) {
+	go func() { // BAD
+		for {
+			f()
+		}
+	}()
+}
+
+// pollForever has only a timer, which is not a lifecycle tie.
+func pollForever(f func() bool) {
+	go func() { // BAD
+		for !f() {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}

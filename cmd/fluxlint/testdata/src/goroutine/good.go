@@ -1,0 +1,59 @@
+package goroutine
+
+import "sync"
+
+// tiedToShutdownChannel can always be terminated by closing stop.
+func tiedToShutdownChannel(stop chan struct{}, f func()) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				f()
+			}
+		}
+	}()
+}
+
+// tiedToWaitGroup is registered with a waiter.
+func tiedToWaitGroup(wg *sync.WaitGroup, f func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f()
+	}()
+}
+
+// rendezvous sends its result on a channel someone is waiting on.
+func rendezvous(f func() int) chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- f()
+	}()
+	return out
+}
+
+// closer signals completion by closing a channel.
+func closer(done chan struct{}, f func()) {
+	go func() {
+		defer close(done)
+		f()
+	}()
+}
+
+// drain ranges over a channel, so a close terminates it.
+func drain(in chan int, f func(int)) {
+	go func() {
+		for v := range in {
+			f(v)
+		}
+	}()
+}
+
+func namedLoop() {}
+
+// named goroutines are the callee's contract, not checked here.
+func spawnNamed() {
+	go namedLoop()
+}

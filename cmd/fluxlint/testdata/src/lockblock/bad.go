@@ -1,0 +1,83 @@
+// Package lockblock holds fixtures for the lock-across-block pass.
+// Every line carrying a trailing BAD marker comment must produce a
+// finding; lines without the marker must produce none.
+package lockblock
+
+import (
+	"sync"
+	"time"
+
+	"fixture.example/fakes"
+)
+
+type S struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan int
+	conn *fakes.Conn
+	h    *fakes.Handle
+}
+
+func (s *S) sendHeld() {
+	s.mu.Lock()
+	s.ch <- 1 // BAD
+	s.mu.Unlock()
+}
+
+func (s *S) recvDeferredHeld() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // BAD
+}
+
+// sleepAfterBranch exercises the branch union: the lock is released on
+// only one path, so the sleep below the if is may-held.
+func (s *S) sleepAfterBranch(b bool) {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+	}
+	time.Sleep(time.Millisecond) // BAD
+}
+
+func (s *S) selectHeld() {
+	s.mu.Lock()
+	select { // BAD
+	case v := <-s.ch:
+		_ = v
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) rangeHeld() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	for v := range s.ch { // BAD
+		_ = v
+	}
+}
+
+func (s *S) connSendHeld(m *fakes.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.conn.Send(nil); err != nil { // BAD
+		return
+	}
+}
+
+func (s *S) rpcHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp, err := s.h.RPC("kvs.get", 0, nil) // BAD
+	_, _ = resp, err
+}
+
+// iifeInheritsHeld: an immediately-invoked literal runs on this
+// goroutine with the lock still held.
+func (s *S) iifeInheritsHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	func() {
+		<-s.ch // BAD
+	}()
+}

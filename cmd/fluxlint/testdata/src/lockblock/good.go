@@ -1,0 +1,63 @@
+package lockblock
+
+import (
+	"sync"
+	"time"
+)
+
+// sendAfterUnlock stages under the lock and communicates outside it —
+// the sanctioned pattern.
+func (s *S) sendAfterUnlock() {
+	s.mu.Lock()
+	v := 1
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// selectWithDefault cannot block.
+func (s *S) selectWithDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+// goroutineDoesNotHold: the spawned literal runs without our lock.
+func (s *S) goroutineDoesNotHold() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		<-s.ch
+	}()
+}
+
+// bothPathsRelease: the union of the branches is lock-free.
+func (s *S) bothPathsRelease(b bool) {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+	time.Sleep(time.Millisecond)
+}
+
+// condWait is the one sanctioned wait-under-mutex: Cond.Wait unlocks
+// while parked.
+func condWait(mu *sync.Mutex, c *sync.Cond, ready *bool) {
+	mu.Lock()
+	for !*ready {
+		c.Wait()
+	}
+	mu.Unlock()
+}
+
+// fireAndForgetSend: Handle.Send has no Recv sibling, so it is not
+// connection-shaped and does not block.
+func (s *S) fireAndForgetSend() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.h.Send(nil)
+}

@@ -1,0 +1,55 @@
+// Package wire is a miniature of the real module's wire package: just
+// enough named constants and message shapes for the fixture packages to
+// exercise every fluxlint rule. Detection keys on the package name
+// "wire" and the type names Message/Type, so the passes treat this
+// fixture exactly like the real thing.
+package wire
+
+// Type is the wire message type.
+type Type uint8
+
+const (
+	Request Type = iota
+	Response
+	Event
+	Control
+)
+
+// Service and control-plane topic constants.
+const (
+	ServiceCMB  = "cmb"
+	TopicPing   = "cmb.ping"
+	TopicResync = "cmb.resync"
+	TopicStats  = "cmb.stats"
+)
+
+// Errno constants (the protocol error table).
+const (
+	ErrnoInval    int32 = 22
+	ErrnoNoSys    int32 = 38
+	ErrnoProto    int32 = 71
+	ErrnoHostDown int32 = 112
+	ErrnoTimedOut int32 = 110
+)
+
+// Message is the unit of wire traffic.
+type Message struct {
+	Type  Type
+	Topic string
+	Seq   uint64
+	Data  []byte
+}
+
+// RPCError is a decoded error response.
+type RPCError struct {
+	Topic  string
+	Errnum int32
+	Msg    string
+}
+
+func (e *RPCError) Error() string { return e.Msg }
+
+// NewErrorResponse builds an error response for m.
+func NewErrorResponse(m *Message, errnum int32, msg string) *Message {
+	return &Message{Type: Response, Topic: m.Topic, Seq: m.Seq, Data: []byte(msg)}
+}

@@ -1,0 +1,18 @@
+// Package wirehyg holds fixtures for the wire-hygiene pass.
+package wirehyg
+
+import "fixture.example/wire"
+
+const service = "cmb" // BAD
+
+func rawTopic() string {
+	return "cmb.ping" // BAD
+}
+
+func rawMessageType() *wire.Message {
+	return &wire.Message{Type: 3, Topic: wire.TopicStats} // BAD
+}
+
+func rawConversion() wire.Type {
+	return wire.Type(2) // BAD
+}

@@ -1,0 +1,23 @@
+package wirehyg
+
+import "fixture.example/wire"
+
+const svc = wire.ServiceCMB
+
+func namedTopic() *wire.Message {
+	return &wire.Message{Type: wire.Event, Topic: wire.TopicPing}
+}
+
+func namedConversion() wire.Type {
+	return wire.Control
+}
+
+// prose mentioning the service does not match the topic shape.
+func proseIsFine() string {
+	return "cmb overlay unreachable"
+}
+
+// struct tags are not wire strings.
+type tagged struct {
+	Field string `json:"cmb.field"`
+}

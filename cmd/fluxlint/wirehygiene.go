@@ -1,0 +1,110 @@
+package main
+
+// wire-hygiene: wire-protocol identifiers must round-trip through the
+// declared constants of the wire package, not through scattered
+// literals that drift apart silently.
+//
+//   - String literals spelling the CMB service name ("cmb") or a
+//     cmb.* control topic are flagged outside the wire package itself:
+//     use wire.ServiceCMB / wire.Topic*. Prose mentioning "cmb: ..."
+//     in error text does not match the topic shape and passes.
+//   - Integer literals used as a wire message type — in the Type field
+//     of a wire.Message composite literal or a wire.Type(n) conversion
+//     — are flagged: use wire.Request/Response/Event/Control.
+//
+// Detection keys on the package *name* "wire" and type names Message /
+// Type, so the pass works identically against the real module and the
+// test fixture corpus.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+)
+
+const wireHygieneName = "wire-hygiene"
+
+var wireHygienePass = Pass{
+	Name: wireHygieneName,
+	Doc:  "flag raw wire topic strings and message-type integers",
+	Run:  runWireHygiene,
+}
+
+// cmbTopicShape matches the service name itself or a dotted cmb topic.
+var cmbTopicShape = regexp.MustCompile(`^cmb(\.[a-z][a-z0-9_]*)+$`)
+
+func runWireHygiene(l *Loader, p *Package) []Finding {
+	if p.Types.Name() == "wire" {
+		return nil // the wire package is where the constants live
+	}
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			Pass: wireHygieneName,
+			Pos:  l.Fset.Position(pos),
+			Msg:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range p.Files {
+		// Struct tags are string literals too; exclude them.
+		tags := map[*ast.BasicLit]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.Field); ok && fd.Tag != nil {
+				tags[fd.Tag] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				if n.Kind != token.STRING || tags[n] {
+					return true
+				}
+				s, err := strconv.Unquote(n.Value)
+				if err != nil {
+					return true
+				}
+				//fluxlint:ignore wire-hygiene the pass must spell the service name to detect it
+				if s == "cmb" || cmbTopicShape.MatchString(s) {
+					report(n.Pos(), "raw wire string %q; use the wire package constant", s)
+				}
+			case *ast.CompositeLit:
+				if named, ok := derefNamed(p.Info.TypeOf(n)); ok &&
+					named.Obj().Name() == "Message" && named.Obj().Pkg() != nil &&
+					named.Obj().Pkg().Name() == "wire" {
+					for _, el := range n.Elts {
+						kv, ok := el.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Type" {
+							if bl, ok := kv.Value.(*ast.BasicLit); ok && bl.Kind == token.INT {
+								report(bl.Pos(), "raw message type %s; use a wire.Type constant", bl.Value)
+							}
+						}
+					}
+				}
+			case *ast.CallExpr:
+				// wire.Type(3)-style conversion of a literal.
+				if len(n.Args) != 1 {
+					return true
+				}
+				bl, ok := n.Args[0].(*ast.BasicLit)
+				if !ok || bl.Kind != token.INT {
+					return true
+				}
+				if tv, ok := p.Info.Types[n.Fun]; ok && tv.IsType() {
+					if named, ok := derefNamed(tv.Type); ok &&
+						named.Obj().Name() == "Type" && named.Obj().Pkg() != nil &&
+						named.Obj().Pkg().Name() == "wire" {
+						report(bl.Pos(), "raw message type %s; use a wire.Type constant", bl.Value)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

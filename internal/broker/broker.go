@@ -24,21 +24,23 @@ import (
 	"time"
 
 	"fluxgo/internal/clock"
+	"fluxgo/internal/debuglock"
 	"fluxgo/internal/topo"
 	"fluxgo/internal/transport"
 	"fluxgo/internal/wire"
 )
 
-// Errno values used in CMB error responses (POSIX-flavoured, as in the
-// C prototype).
+// Errno values used in CMB error responses. The canonical table lives
+// in the wire package (they are protocol constants); these aliases keep
+// the broker API ergonomic for modules.
 const (
-	ErrnoNoEnt       int32 = 2   // no such key / object
-	ErrnoInval       int32 = 22  // malformed request
-	ErrnoNoSys       int32 = 38  // no comms module matches the topic
-	ErrnoProto       int32 = 71  // protocol violation
-	ErrnoShutdown    int32 = 108 // broker shutting down
-	ErrnoTimedOut    int32 = 110 // RPC timeout
-	ErrnoHostUnreach int32 = 113 // rank not reachable
+	ErrnoNoEnt       = wire.ErrnoNoEnt
+	ErrnoInval       = wire.ErrnoInval
+	ErrnoNoSys       = wire.ErrnoNoSys
+	ErrnoProto       = wire.ErrnoProto
+	ErrnoShutdown    = wire.ErrnoShutdown
+	ErrnoTimedOut    = wire.ErrnoTimedOut
+	ErrnoHostUnreach = wire.ErrnoHostUnreach
 )
 
 // LinkKind classifies a broker attachment to one of the overlay planes.
@@ -62,8 +64,13 @@ func (k LinkKind) prefix() string {
 		return "t:"
 	case LinkParentEvent, LinkChildEvent:
 		return "e:"
-	case LinkRingOut, LinkRingIn:
-		return "r:"
+	// Ring in and out must map to distinct ids: in a two-rank session
+	// both directions have the same peer, and a shared prefix would
+	// collide in the link registry, orphaning one conn at shutdown.
+	case LinkRingOut:
+		return "ro:"
+	case LinkRingIn:
+		return "ri:"
 	case LinkClient:
 		return "c:"
 	default:
@@ -168,7 +175,9 @@ type Broker struct {
 
 	inbox *Mailbox[inbound]
 
-	mu          sync.Mutex
+	// mu is a debuglock.Mutex so `-tags debuglock` builds verify the
+	// broker's lock ordering (broker.mu -> handle.mu, never reversed).
+	mu          debuglock.Mutex
 	links       map[string]*link
 	parentTree  *link
 	parentEvent *link
@@ -187,6 +196,10 @@ type Broker struct {
 	inflight map[string]*inflightReq
 
 	handleSeq atomic.Uint64
+
+	// bg tracks loop-spawned background work (e.g. async rmmod drains)
+	// so Shutdown does not return while any of it is still running.
+	bg sync.WaitGroup
 
 	eventSeq     uint64 // root only: last assigned sequence number
 	lastEventSeq uint64 // last applied sequence number
@@ -221,7 +234,7 @@ func New(cfg Config) (*Broker, error) {
 	if cfg.RPCTimeout == 0 {
 		cfg.RPCTimeout = DefaultRPCTimeout
 	}
-	return &Broker{
+	b := &Broker{
 		cfg:        cfg,
 		tree:       tree,
 		ring:       ring,
@@ -231,7 +244,9 @@ func New(cfg Config) (*Broker, error) {
 		inflight:   make(map[string]*inflightReq),
 		parentRank: tree.Parent(cfg.Rank),
 		done:       make(chan struct{}),
-	}, nil
+	}
+	b.mu.SetClass("broker.Broker.mu")
+	return b, nil
 }
 
 // inflightReq is the bookkeeping for one request forwarded over an
@@ -440,7 +455,7 @@ func (b *Broker) routeRequest(in inbound) {
 // service. It reports whether a local service matched.
 func (b *Broker) dispatchLocal(m *wire.Message) bool {
 	svc := m.Service()
-	if svc == "cmb" {
+	if svc == wire.ServiceCMB {
 		return b.builtinRequest(m)
 	}
 	b.mu.Lock()
@@ -591,14 +606,14 @@ func (b *Broker) SetParent(treeConn, eventConn transport.Conn, newParentRank int
 	go b.readLoop(tl)
 	go b.readLoop(el)
 	// Ask the new parent to replay any events we missed during failover.
-	resync := &wire.Message{Type: wire.Control, Topic: "cmb.resync", Seq: last}
+	resync := &wire.Message{Type: wire.Control, Topic: wire.TopicResync, Seq: last}
 	b.send(el, resync)
 }
 
 // handleControl processes link-level control messages.
 func (b *Broker) handleControl(in inbound) {
 	switch in.msg.Topic {
-	case "cmb.resync":
+	case wire.TopicResync:
 		if in.from == nil {
 			return
 		}
@@ -606,7 +621,7 @@ func (b *Broker) handleControl(in inbound) {
 		b.mu.Lock()
 		in.from.gated = false
 		b.mu.Unlock()
-	case "cmb.sub":
+	case wire.TopicSub:
 		if in.from != nil {
 			var body struct {
 				Prefix string `json:"prefix"`
@@ -617,7 +632,7 @@ func (b *Broker) handleControl(in inbound) {
 				b.mu.Unlock()
 			}
 		}
-	case "cmb.unsub":
+	case wire.TopicUnsub:
 		if in.from != nil {
 			var body struct {
 				Prefix string `json:"prefix"`
@@ -674,6 +689,7 @@ func (b *Broker) Shutdown() {
 	}
 	b.inbox.Close()
 	<-b.done
+	b.bg.Wait()
 }
 
 // matchTopic reports whether topic matches a subscription prefix, using

@@ -98,7 +98,10 @@ func (b *Broker) builtinRequest(m *wire.Message) bool {
 		}
 		// Unloading drains the module and may need the broker loop to
 		// route its in-flight responses, so it must not run on the loop.
+		// Shutdown waits for it through b.bg.
+		b.bg.Add(1)
 		go func() {
+			defer b.bg.Done()
 			if err := b.UnloadModule(body.Name); err != nil {
 				b.respondErr(m, ErrnoNoEnt, err.Error())
 				return

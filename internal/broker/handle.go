@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"fluxgo/internal/clock"
+	"fluxgo/internal/debuglock"
 	"fluxgo/internal/wire"
 )
 
@@ -33,7 +34,7 @@ type Handle struct {
 	nextTag  atomic.Uint64
 	closedCh chan struct{}
 
-	mu       sync.Mutex
+	mu       debuglock.Mutex
 	pending  map[uint64]chan *wire.Message
 	subs     []*Subscription
 	prefixes []string
@@ -49,6 +50,7 @@ func (b *Broker) NewHandle() *Handle {
 		closedCh: make(chan struct{}),
 		pending:  make(map[uint64]chan *wire.Message),
 	}
+	h.mu.SetClass("broker.Handle.mu")
 	h.link = &link{kind: linkHandle, id: h.id, h: h}
 	b.mu.Lock()
 	if b.closed {
@@ -76,6 +78,11 @@ func (h *Handle) Clock() clock.Clock { return h.b.cfg.Clock }
 
 // Broker returns the handle's broker (for introspection).
 func (h *Handle) Broker() *Broker { return h.b }
+
+// Logf routes a diagnostic line to the broker's configured logger, so
+// modules can report background failures (a dropped event publish, a
+// failed upstream reduction) without their own logging plumbing.
+func (h *Handle) Logf(format string, args ...any) { h.b.logf(format, args...) }
 
 // deliver is called by the broker loop to hand a message to the handle.
 // It reports false once the handle has shut down.
@@ -332,7 +339,7 @@ func (h *Handle) PublishEvent(topic string, body any) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("broker: publish %s: %w", topic, err)
 	}
-	resp, err := h.RPC("cmb.pub", wire.NodeidAny, pubBody{Topic: topic, Payload: raw})
+	resp, err := h.RPC(wire.TopicPub, wire.NodeidAny, pubBody{Topic: topic, Payload: raw})
 	if err != nil {
 		return 0, err
 	}

@@ -65,12 +65,14 @@ func (b *Broker) LoadModule(m Module) error {
 	r.h = b.NewHandle()
 	if err := m.Init(r.h); err != nil {
 		r.h.Close()
+		r.inbox.CloseNow()
 		return err
 	}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
 		r.h.Close()
+		r.inbox.CloseNow()
 		return errShutdown
 	}
 	b.modules[m.Name()] = r

@@ -17,10 +17,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"fluxgo/internal/clock"
+	"fluxgo/internal/debuglock"
 )
 
 // RefLen is the byte length of a SHA-1 reference.
@@ -181,7 +181,7 @@ type entry struct {
 // store pins everything; slave caches expire unused entries via Expire.
 type Store struct {
 	clk  clock.Clock
-	mu   sync.Mutex
+	mu   debuglock.Mutex
 	objs map[Ref]*entry
 	hits uint64
 	miss uint64
@@ -192,7 +192,9 @@ func NewStore(clk clock.Clock) *Store {
 	if clk == nil {
 		clk = clock.Real()
 	}
-	return &Store{clk: clk, objs: make(map[Ref]*entry)}
+	s := &Store{clk: clk, objs: make(map[Ref]*entry)}
+	s.mu.SetClass("cas.Store.mu")
+	return s
 }
 
 // Put stores the object and returns its reference. Storing identical

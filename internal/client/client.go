@@ -28,10 +28,10 @@ var ErrClosed = errors.New("client: connection closed")
 // mirrors broker.DefaultRPCTimeout.
 const DefaultRPCTimeout = 60 * time.Second
 
-// errnoTimedOut matches broker.ErrnoTimedOut (ETIMEDOUT), so callers
-// can classify client-side and broker-side deadline errors uniformly
-// with wire.IsErrnum.
-const errnoTimedOut = 110
+// errnoTimedOut aliases the wire-level ETIMEDOUT, so callers can
+// classify client-side and broker-side deadline errors uniformly with
+// wire.IsErrnum.
+const errnoTimedOut = wire.ErrnoTimedOut
 
 // Client is a connection to one broker.
 type Client struct {
@@ -214,8 +214,9 @@ func (s *Subscription) Chan() <-chan *wire.Message { return s.ch }
 // Close cancels the subscription broker-side and locally.
 func (s *Subscription) Close() {
 	s.once.Do(func() {
-		un := &wire.Message{Type: wire.Control, Topic: "cmb.unsub"}
+		un := &wire.Message{Type: wire.Control, Topic: wire.TopicUnsub}
 		un.PackJSON(map[string]string{"prefix": s.prefix})
+		//fluxlint:ignore errno-discipline best-effort unsubscribe on teardown; a failed send means the conn is closing, which unsubscribes anyway
 		s.c.conn.Send(un)
 		s.c.mu.Lock()
 		if s.c.subs[s] {
@@ -236,7 +237,7 @@ func (c *Client) Subscribe(prefix string) (*Subscription, error) {
 	}
 	c.subs[s] = true
 	c.mu.Unlock()
-	sub := &wire.Message{Type: wire.Control, Topic: "cmb.sub"}
+	sub := &wire.Message{Type: wire.Control, Topic: wire.TopicSub}
 	if err := sub.PackJSON(map[string]string{"prefix": prefix}); err != nil {
 		return nil, err
 	}

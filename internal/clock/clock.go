@@ -84,6 +84,7 @@ func (m *Manual) NewTimer(d time.Duration) Timer {
 	}
 	if d <= 0 {
 		t.fired = true
+		//fluxlint:ignore lock-across-block ch has capacity 1 and fires at most once (fired latch), so this send never blocks
 		t.ch <- m.now
 		return t
 	}
@@ -118,6 +119,7 @@ func (m *Manual) Advance(d time.Duration) {
 			m.now = next.when
 		}
 		next.fired = true
+		//fluxlint:ignore lock-across-block ch has capacity 1 and fires at most once (fired latch), so this send never blocks
 		next.ch <- m.now
 	}
 	m.now = target

@@ -66,6 +66,12 @@ type Instance struct {
 	sess *session.Session
 	pool *resource.Pool
 
+	// ctx is canceled at Close so job-wait goroutines unblock; wg
+	// tracks them so Close returns only after they finish.
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
 	mu       sync.Mutex
 	nodes    []*resource.Resource // instance rank i runs on nodes[i]
 	jobs     map[string]*JobRecord
@@ -121,7 +127,7 @@ func newInstance(id string, depth int, parent *Instance, nodes []*resource.Resou
 	if err != nil {
 		return nil, fmt.Errorf("core: instance %s session: %w", id, err)
 	}
-	return &Instance{
+	inst := &Instance{
 		id:       id,
 		depth:    depth,
 		parent:   parent,
@@ -131,7 +137,9 @@ func newInstance(id string, depth int, parent *Instance, nodes []*resource.Resou
 		nodes:    append([]*resource.Resource(nil), nodes...),
 		jobs:     map[string]*JobRecord{},
 		children: map[string]*Instance{},
-	}, nil
+	}
+	inst.ctx, inst.cancel = context.WithCancel(context.Background())
+	return inst, nil
 }
 
 // NewRoot creates the root instance of a job hierarchy over a cluster
@@ -321,6 +329,10 @@ func (i *Instance) Close() {
 	for _, c := range children {
 		c.Close()
 	}
+	// Unblock job-wait goroutines and let them finish before the
+	// session they are waiting on is torn down.
+	i.cancel()
+	i.wg.Wait()
 	i.sess.Close()
 	if i.parent != nil {
 		i.parent.pool.Release(i.id)
@@ -439,9 +451,11 @@ func (i *Instance) startJob(q *queuedJob, alloc *resource.Allocation, rankOf map
 		i.pool.Release(rec.ID)
 		return err
 	}
+	i.wg.Add(1)
 	go func() {
+		defer i.wg.Done()
 		defer h.Close()
-		rec.result, rec.err = wexec.Wait(context.Background(), h, rec.ID)
+		rec.result, rec.err = wexec.Wait(i.ctx, h, rec.ID)
 		i.pool.Release(rec.ID)
 		close(rec.done)
 		i.trySchedule() // freed resources may admit queued jobs

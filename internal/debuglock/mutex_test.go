@@ -1,0 +1,46 @@
+package debuglock
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMutexBasics exercises the Mutex in whichever build mode is
+// active: plain mutual exclusion must hold, and consistently ordered
+// nested acquisition must never panic.
+func TestMutexBasics(t *testing.T) {
+	var a, b Mutex
+	a.SetClass("test.a")
+	b.SetClass("test.b")
+
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				a.Lock()
+				b.Lock()
+				counter++
+				b.Unlock()
+				a.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8*200 {
+		t.Fatalf("counter = %d, want %d", counter, 8*200)
+	}
+}
+
+func TestGID(t *testing.T) {
+	if g := gid(); g <= 0 {
+		t.Fatalf("gid() = %d, want > 0", g)
+	}
+	got := make(chan int64, 1)
+	go func() { got <- gid() }()
+	if other := <-got; other == gid() || other <= 0 {
+		t.Fatalf("goroutine ids not distinct/positive: %d vs %d", other, gid())
+	}
+}

@@ -1,0 +1,85 @@
+//go:build debuglock
+
+package debuglock
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic = %v, want it to contain %q", r, substr)
+		}
+	}()
+	f()
+}
+
+// TestOrderCycle establishes ord.x -> ord.y on one path, then closes
+// the cycle by acquiring them in the reverse order: the checker must
+// panic at the second acquisition even though no deadlock actually
+// occurs (both acquisitions happen on one goroutine).
+func TestOrderCycle(t *testing.T) {
+	var x, y Mutex
+	x.SetClass("ord.x")
+	y.SetClass("ord.y")
+
+	x.Lock()
+	y.Lock()
+	y.Unlock()
+	x.Unlock()
+
+	y.Lock()
+	defer y.Unlock()
+	mustPanic(t, "lock-order cycle", func() { x.Lock() })
+}
+
+// TestTransitiveCycle checks that cycles through an intermediate class
+// (a -> b -> c, then c -> a) are caught, not just direct inversions.
+func TestTransitiveCycle(t *testing.T) {
+	var a, b, c Mutex
+	a.SetClass("tr.a")
+	b.SetClass("tr.b")
+	c.SetClass("tr.c")
+
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+	b.Lock()
+	c.Lock()
+	c.Unlock()
+	b.Unlock()
+
+	c.Lock()
+	defer c.Unlock()
+	mustPanic(t, "lock-order cycle", func() { a.Lock() })
+}
+
+// TestSelfDeadlock checks that re-acquiring the same instance on one
+// goroutine panics instead of deadlocking.
+func TestSelfDeadlock(t *testing.T) {
+	var m Mutex
+	m.SetClass("self.m")
+	m.Lock()
+	defer m.Unlock()
+	mustPanic(t, "self-deadlock", func() { m.Lock() })
+}
+
+// TestSameClassInstances verifies that two instances of one class may
+// nest without tripping the checker (sharded clients do this).
+func TestSameClassInstances(t *testing.T) {
+	var m1, m2 Mutex
+	m1.SetClass("shard.mu")
+	m2.SetClass("shard.mu")
+	m1.Lock()
+	m2.Lock()
+	m2.Unlock()
+	m1.Unlock()
+}

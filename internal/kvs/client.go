@@ -4,13 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"time"
 
 	"fluxgo/internal/broker"
 	"fluxgo/internal/cas"
+	"fluxgo/internal/debuglock"
 	"fluxgo/internal/wire"
 )
 
@@ -23,7 +23,7 @@ type Client struct {
 	h       *broker.Handle
 	service string
 
-	mu      sync.Mutex
+	mu      debuglock.Mutex
 	pending []Op
 	epoch   atomic.Uint64 // commit-name uniquifier
 }
@@ -37,7 +37,9 @@ func NewClient(h *broker.Handle) *Client {
 // NewClientFor wraps a handle in a client for a specific kvs service
 // instance (sharded deployments load several: "kvs0", "kvs1", ...).
 func NewClientFor(h *broker.Handle, service string) *Client {
-	return &Client{h: h, service: service}
+	c := &Client{h: h, service: service}
+	c.mu.SetClass("kvs.Client.mu")
+	return c
 }
 
 // topic builds a service-qualified topic.

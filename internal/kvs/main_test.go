@@ -1,0 +1,13 @@
+package kvs
+
+import (
+	"testing"
+
+	"fluxgo/internal/testutil"
+)
+
+// TestMain fails the package run if any fluxgo goroutine survives the
+// test suite — see internal/testutil.
+func TestMain(m *testing.M) {
+	testutil.VerifyTestMain(m)
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"fluxgo/internal/broker"
@@ -12,9 +13,9 @@ import (
 	"fluxgo/internal/wire"
 )
 
-const (
-	errNotDir int32 = 20 // key path traverses a value object
-)
+// errNotDir aliases the wire-level ENOTDIR: a key path traverses a
+// value object.
+const errNotDir = wire.ErrnoNotDir
 
 // Wire bodies.
 
@@ -125,6 +126,13 @@ type Module struct {
 	h     *broker.Handle
 	store *cas.Store
 
+	// ctx is canceled by Shutdown so background pollers unblock
+	// promptly instead of riding out their RPC deadlines; wg tracks
+	// them so Shutdown returns only once they are gone.
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
 	root      cas.Ref
 	version   uint64
 	askedRoot bool
@@ -177,11 +185,15 @@ func (m *Module) Subscriptions() []string { return []string{m.setrootTopic(), "h
 func (m *Module) Init(h *broker.Handle) error {
 	m.h = h
 	m.store = cas.NewStore(h.Clock())
+	m.ctx, m.cancel = context.WithCancel(context.Background())
 	return nil
 }
 
 // Shutdown implements broker.Module.
-func (m *Module) Shutdown() {}
+func (m *Module) Shutdown() {
+	m.cancel()
+	m.wg.Wait()
+}
 
 func (m *Module) isMaster() bool { return m.h.Rank() == m.cfg.MasterRank }
 
@@ -487,9 +499,11 @@ func (m *Module) pollRootIfStalled() {
 		return
 	}
 	m.polling = true
+	m.wg.Add(1)
 	go func() {
+		defer m.wg.Done()
 		var body rootBody
-		resp, err := m.h.RPCWithOptions(context.Background(), m.cfg.Service+".getversion", m.upstreamTarget(), struct{}{},
+		resp, err := m.h.RPCWithOptions(m.ctx, m.cfg.Service+".getversion", m.upstreamTarget(), struct{}{},
 			broker.RPCOptions{Retries: 2, Backoff: 25 * time.Millisecond})
 		if err == nil {
 			if uerr := resp.UnpackJSON(&body); uerr != nil {
@@ -497,8 +511,12 @@ func (m *Module) pollRootIfStalled() {
 			}
 		}
 		// Always re-inject, even on failure (zero version adopts nothing):
-		// recvRootUpdate is what clears the polling latch.
-		m.h.Send(m.cfg.Service+".rootupdate", uint32(m.h.Rank()), body)
+		// recvRootUpdate is what clears the polling latch. The send can
+		// only fail once the broker is shutting down, when nothing is
+		// left to unlatch.
+		if serr := m.h.Send(m.cfg.Service+".rootupdate", uint32(m.h.Rank()), body); serr != nil {
+			m.h.Logf("kvs: rootupdate re-injection failed: %v", serr)
+		}
 	}()
 }
 

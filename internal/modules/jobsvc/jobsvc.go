@@ -144,7 +144,11 @@ func (m *Module) record(info *Info) uint64 {
 	if err != nil {
 		return 0
 	}
-	m.h.PublishEvent("job.state", stateEvent{ID: info.ID, State: info.State, Version: version})
+	if _, err := m.h.PublishEvent("job.state", stateEvent{ID: info.ID, State: info.State, Version: version}); err != nil {
+		// The KVS record is committed; only the notification was lost.
+		// Waiters polling the KVS still converge.
+		m.h.Logf("jobsvc: job.state event for %q failed: %v", info.ID, err)
+	}
 	return version
 }
 

@@ -134,7 +134,14 @@ func (m *Module) onHeartbeat(msg *wire.Message) {
 		m.h.Send("live.hello", wire.NodeidUpstream, helloBody{Rank: m.h.Rank(), Epoch: body.Epoch})
 	}
 	for _, r := range died {
-		m.h.PublishEvent("live.down", statusBody{Rank: r})
+		if _, err := m.h.PublishEvent("live.down", statusBody{Rank: r}); err != nil {
+			// Un-flag the rank so the next heartbeat epoch re-detects it
+			// and retries the announcement.
+			m.h.Logf("live: down event for rank %d failed: %v", r, err)
+			m.mu.Lock()
+			delete(m.deemed, r)
+			m.mu.Unlock()
+		}
 	}
 }
 
@@ -153,7 +160,9 @@ func (m *Module) onHello(msg *wire.Message) {
 	}
 	m.mu.Unlock()
 	if wasDead {
-		m.h.PublishEvent("live.up", statusBody{Rank: body.Rank})
+		if _, err := m.h.PublishEvent("live.up", statusBody{Rank: body.Rank}); err != nil {
+			m.h.Logf("live: up event for rank %d failed: %v", body.Rank, err)
+		}
 	}
 }
 

@@ -79,6 +79,8 @@ type Module struct {
 	h   *broker.Handle
 	kc  *kvs.Client
 
+	wg sync.WaitGroup // background reduce RPCs, drained by Shutdown
+
 	mu      sync.Mutex
 	enabled bool
 	stride  uint64
@@ -112,7 +114,7 @@ func (m *Module) Init(h *broker.Handle) error {
 }
 
 // Shutdown implements broker.Module.
-func (m *Module) Shutdown() {}
+func (m *Module) Shutdown() { m.wg.Wait() }
 
 // Recv implements broker.Module.
 func (m *Module) Recv(msg *wire.Message) {
@@ -212,7 +214,9 @@ func (m *Module) finalize(epoch uint64, st *epochState) {
 	if _, err := m.kc.Commit(); err != nil {
 		return
 	}
-	m.h.PublishEvent("mon.epoch", map[string]uint64{"epoch": epoch})
+	if _, err := m.h.PublishEvent("mon.epoch", map[string]uint64{"epoch": epoch}); err != nil {
+		m.h.Logf("mon: epoch %d event publish failed: %v", epoch, err)
+	}
 }
 
 // Idle implements broker.IdleBatcher: slaves forward accumulated partial
@@ -233,7 +237,16 @@ func (m *Module) Idle() {
 	m.mu.Unlock()
 	for _, b := range batches {
 		batch := b
-		go m.h.RPC("mon.reduce", wire.NodeidUpstream, batch)
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			if _, err := m.h.RPC("mon.reduce", wire.NodeidUpstream, batch); err != nil {
+				// Merge the partial back so the next Idle pass retries
+				// it instead of silently losing the contribution.
+				m.h.Logf("mon: reduce epoch %d failed, requeued: %v", batch.Epoch, err)
+				m.contribute(batch.Epoch, batch.Ranks, batch.Metrics)
+			}
+		}()
 	}
 }
 

@@ -341,9 +341,11 @@ func (m *Module) finishJob(jobid string) {
 	}
 	// The event carries the committing KVS version so waiters can sync
 	// their local root before reading the record (causal consistency).
-	m.h.PublishEvent("wexec.complete", map[string]any{
+	if _, err := m.h.PublishEvent("wexec.complete", map[string]any{
 		"jobid": jobid, "state": state, "version": version,
-	})
+	}); err != nil {
+		m.h.Logf("wexec: complete event for %q failed: %v", jobid, err)
+	}
 }
 
 // onKill cancels local tasks of a job.

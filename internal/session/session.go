@@ -17,6 +17,7 @@ import (
 
 	"fluxgo/internal/broker"
 	"fluxgo/internal/clock"
+	"fluxgo/internal/debuglock"
 	"fluxgo/internal/topo"
 	"fluxgo/internal/transport"
 	"fluxgo/internal/wire"
@@ -77,7 +78,7 @@ type Session struct {
 	brokers []*broker.Broker
 	chaos   *Chaos // non-nil when Options.FaultInjection is set
 
-	mu   sync.Mutex
+	mu   debuglock.Mutex
 	dead map[int]bool
 }
 
@@ -99,6 +100,7 @@ func New(opts Options) (*Session, error) {
 		brokers: make([]*broker.Broker, opts.Size),
 		dead:    make(map[int]bool),
 	}
+	s.mu.SetClass("session.Session.mu")
 	if opts.FaultInjection {
 		s.chaos = newChaos(s, opts.FaultSeed)
 	}
@@ -123,7 +125,10 @@ func New(opts Options) (*Session, error) {
 	// Tree planes (request/response and event), parent <-> child.
 	for r := 1; r < opts.Size; r++ {
 		p := tree.Parent(r)
-		s.wireParentChild(p, r)
+		if err := s.wireParentChild(p, r); err != nil {
+			s.Close()
+			return nil, err
+		}
 	}
 
 	// Ring plane: rank r -> r+1 mod size.
@@ -177,7 +182,7 @@ func (s *Session) pipeRanks(a, b int) (transport.Conn, transport.Conn) {
 }
 
 // wireParentChild creates the two tree-plane pipes between p and c.
-func (s *Session) wireParentChild(p, c int) {
+func (s *Session) wireParentChild(p, c int) error {
 	treeP, treeC := s.pipeRanks(p, c)
 	s.brokers[p].AttachConn(broker.LinkChildTree, treeP)
 	s.brokers[c].AttachConn(broker.LinkParentTree, treeC)
@@ -186,8 +191,12 @@ func (s *Session) wireParentChild(p, c int) {
 	s.brokers[p].AttachConn(broker.LinkChildEvent, evP)
 	s.brokers[c].AttachConn(broker.LinkParentEvent, evC)
 	// Child event links start gated at the parent; the initial resync
-	// opens them (and replays anything already published).
-	evC.Send(&wire.Message{Type: wire.Control, Topic: "cmb.resync", Seq: 0})
+	// opens them (and replays anything already published). If it cannot
+	// be delivered the gate would never open, so that is fatal.
+	if err := evC.Send(&wire.Message{Type: wire.Control, Topic: wire.TopicResync, Seq: 0}); err != nil {
+		return fmt.Errorf("session: resync %d -> %d: %w", c, p, err)
+	}
+	return nil
 }
 
 // Size returns the session size.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"time"
 
 	"fluxgo/internal/broker"
@@ -45,9 +46,13 @@ type TCPConfig struct {
 	// DialTimeout bounds how long to keep retrying the parent and ring
 	// dials during bring-up (brokers may start in any order). Default 30s.
 	DialTimeout time.Duration
-	Modules     []ModuleFactory
-	Clock       clock.Clock
-	Log         func(format string, args ...any)
+	// Seed derives the dial-retry jitter RNG. Zero derives it from the
+	// rank, so a re-run of the same deployment (same seed, e.g. from
+	// CHAOS_SEED) replays the same backoff schedule on every rank.
+	Seed    int64
+	Modules []ModuleFactory
+	Clock   clock.Clock
+	Log     func(format string, args ...any)
 }
 
 // TCPBroker is one running rank of a TCP session.
@@ -55,6 +60,8 @@ type TCPBroker struct {
 	B    *broker.Broker
 	ln   *transport.Listener
 	done chan struct{}
+	stop chan struct{} // closed by Close; aborts in-flight dial backoff
+	once sync.Once
 }
 
 // Addr returns the broker's bound listen address.
@@ -62,6 +69,7 @@ func (t *TCPBroker) Addr() string { return t.ln.Addr().String() }
 
 // Close shuts the broker and its listener down.
 func (t *TCPBroker) Close() {
+	t.once.Do(func() { close(t.stop) })
 	t.ln.Close()
 	t.B.Shutdown()
 	<-t.done
@@ -106,16 +114,25 @@ func StartTCPBroker(cfg TCPConfig) (*TCPBroker, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &TCPBroker{B: b, ln: ln, done: make(chan struct{})}
+	t := &TCPBroker{B: b, ln: ln, done: make(chan struct{}), stop: make(chan struct{})}
 	go t.acceptLoop(cfg)
 
+	// One seeded RNG per broker bring-up: all this rank's dial jitter
+	// comes from it, so runs are reproducible given the seed, while
+	// distinct ranks (distinct seeds) still desynchronize.
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = int64(cfg.Rank) + 1
+	}
+	rng := rand.New(rand.NewSource(seed*1_000_003 + int64(cfg.Rank)))
+
 	if cfg.ParentAddr != "" {
-		treeConn, err := dialRetry(cfg.ParentAddr, cfg.Key, idTree+rankID(cfg.Rank), cfg.DialTimeout)
+		treeConn, err := dialRetry(cfg.ParentAddr, cfg.Key, idTree+rankID(cfg.Rank), cfg.DialTimeout, rng, t.stop)
 		if err != nil {
 			t.Close()
 			return nil, fmt.Errorf("session: dial parent tree plane: %w", err)
 		}
-		evConn, err := dialRetry(cfg.ParentAddr, cfg.Key, idEvent+rankID(cfg.Rank), cfg.DialTimeout)
+		evConn, err := dialRetry(cfg.ParentAddr, cfg.Key, idEvent+rankID(cfg.Rank), cfg.DialTimeout, rng, t.stop)
 		if err != nil {
 			t.Close()
 			return nil, fmt.Errorf("session: dial parent event plane: %w", err)
@@ -123,11 +140,15 @@ func StartTCPBroker(cfg TCPConfig) (*TCPBroker, error) {
 		b.AttachConn(broker.LinkParentTree, treeConn)
 		b.AttachConn(broker.LinkParentEvent, evConn)
 		// Open the parent's gate on our event link, replaying any events
-		// published before we joined.
-		evConn.Send(&wire.Message{Type: wire.Control, Topic: "cmb.resync", Seq: 0})
+		// published before we joined. A failed resync would leave the
+		// gate shut forever, so it is a bring-up error.
+		if err := evConn.Send(&wire.Message{Type: wire.Control, Topic: wire.TopicResync, Seq: 0}); err != nil {
+			t.Close()
+			return nil, fmt.Errorf("session: parent event resync: %w", err)
+		}
 	}
 	if cfg.RingNextAddr != "" {
-		ringConn, err := dialRetry(cfg.RingNextAddr, cfg.Key, idRing+rankID(cfg.Rank), cfg.DialTimeout)
+		ringConn, err := dialRetry(cfg.RingNextAddr, cfg.Key, idRing+rankID(cfg.Rank), cfg.DialTimeout, rng, t.stop)
 		if err != nil {
 			t.Close()
 			return nil, fmt.Errorf("session: dial ring successor: %w", err)
@@ -143,7 +164,10 @@ func StartTCPBroker(cfg TCPConfig) (*TCPBroker, error) {
 // delay]) desynchronizes the many children of one parent: without it a
 // session-wide bring-up or a mass re-dial after a parent restart hits
 // the listener in lockstep waves.
-func dialRetry(addr string, key []byte, localID string, timeout time.Duration) (transport.Conn, error) {
+// The RNG is caller-owned (seeded per broker) so retry schedules are
+// reproducible; stop aborts the backoff wait when the broker is closed
+// mid-bring-up instead of sleeping out the full delay.
+func dialRetry(addr string, key []byte, localID string, timeout time.Duration, rng *rand.Rand, stop <-chan struct{}) (transport.Conn, error) {
 	deadline := time.Now().Add(timeout)
 	delay := 50 * time.Millisecond
 	for {
@@ -154,7 +178,14 @@ func dialRetry(addr string, key []byte, localID string, timeout time.Duration) (
 		if time.Now().After(deadline) {
 			return nil, err
 		}
-		time.Sleep(delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1)))
+		jittered := delay/2 + time.Duration(rng.Int63n(int64(delay/2)+1))
+		timer := time.NewTimer(jittered)
+		select {
+		case <-timer.C:
+		case <-stop:
+			timer.Stop()
+			return nil, fmt.Errorf("session: broker closed while dialing %s: %w", addr, err)
+		}
 		if delay < time.Second {
 			delay *= 2
 		}

@@ -1,0 +1,136 @@
+// Package testutil provides shared test helpers, chiefly a
+// goroutine-leak asserter in the spirit of go.uber.org/goleak but
+// implemented with the standard library only.
+//
+// A "leak" here is a goroutine whose stack passes through any fluxgo
+// package (other than testutil itself) and that is still alive after
+// the retry window closes. Runtime-internal goroutines, the test
+// driver, and third-party stacks are ignored so that the asserter
+// stays quiet in clean runs and points at our own code when it fires.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// modulePrefix identifies goroutines owned by this module. Any stack
+// frame mentioning it (outside testutil) marks the goroutine as ours.
+const modulePrefix = "fluxgo/"
+
+// testutilMarker excludes the asserter's own frames from the scan.
+const testutilMarker = "fluxgo/internal/testutil"
+
+// TB is the subset of testing.TB the asserter needs; taking an
+// interface keeps testutil importable from non-test helpers.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...interface{})
+}
+
+// allStacks returns one stack-text chunk per live goroutine.
+func allStacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	return strings.Split(string(buf), "\n\n")
+}
+
+// leakedStacks returns the full stack text of every live goroutine
+// that runs module code. Goroutines blocked in module code forever
+// (e.g. a connection reader whose peer was never closed) show up here.
+func leakedStacks() []string {
+	var leaks []string
+	for _, g := range allStacks() {
+		if !strings.Contains(g, modulePrefix) {
+			continue
+		}
+		if strings.Contains(g, testutilMarker) {
+			continue
+		}
+		leaks = append(leaks, g)
+	}
+	return leaks
+}
+
+// CheckNoLeaks polls until no module goroutines remain or the window
+// expires, then reports every surviving stack through tb.Errorf. The
+// retry loop absorbs goroutines that are mid-exit when the test body
+// returns (deferred Close calls racing the final scan).
+func CheckNoLeaks(tb TB) {
+	tb.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	delay := 1 * time.Millisecond
+	var leaks []string
+	for {
+		leaks = leakedStacks()
+		if len(leaks) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+	tb.Errorf("found %d leaked goroutine(s):\n\n%s",
+		len(leaks), strings.Join(leaks, "\n\n"))
+}
+
+// exitFunc is swapped out by tests of VerifyTestMain itself.
+var exitFunc = os.Exit
+
+// mainRunner matches *testing.M without importing the testing package
+// at package scope (so importing testutil from a non-test file does
+// not drag testing into a production binary).
+type mainRunner interface {
+	Run() int
+}
+
+// VerifyTestMain runs a package's tests and then fails the run (exit
+// code 1) if module goroutines are still alive afterwards. Adopt it
+// with:
+//
+//	func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }
+//
+// The leak scan happens once, after all tests in the package, which
+// catches cross-test leaks that per-test checks miss.
+func VerifyTestMain(m mainRunner, exit ...func(int)) {
+	doExit := exitFunc
+	if len(exit) > 0 {
+		doExit = exit[0]
+	}
+	code := m.Run()
+	if code == 0 {
+		rep := &reporter{}
+		CheckNoLeaks(rep)
+		if rep.failed {
+			fmt.Print(rep.buf.String())
+			code = 1
+		}
+	}
+	doExit(code)
+}
+
+type reporter struct {
+	failed bool
+	buf    strings.Builder
+}
+
+func (r *reporter) Helper() {}
+
+func (r *reporter) Errorf(format string, args ...interface{}) {
+	r.failed = true
+	fmt.Fprintf(&r.buf, "goroutine leak check: "+format+"\n", args...)
+}

@@ -1,0 +1,80 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder captures Errorf calls so we can assert on the asserter.
+type recorder struct {
+	msgs []string
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Errorf(format string, args ...interface{}) {
+	var b strings.Builder
+	b.WriteString(format)
+	r.msgs = append(r.msgs, b.String())
+}
+
+func TestCheckNoLeaksClean(t *testing.T) {
+	rec := &recorder{}
+	CheckNoLeaks(rec)
+	if len(rec.msgs) != 0 {
+		t.Fatalf("clean run reported leaks: %v", rec.msgs)
+	}
+}
+
+// leakyHelper parks a goroutine inside module code until release is
+// closed; while parked it must be visible to leakedStacks.
+func leakyHelper(release <-chan struct{}, started chan<- struct{}) {
+	close(started)
+	<-release
+}
+
+func TestCheckNoLeaksDetects(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go leakyHelper(release, started)
+	<-started
+
+	// leakedStacks must see the parked goroutine even though it lives
+	// in testutil's own test file: the _test binary's frames carry the
+	// fluxgo/ prefix via the helper's package path. Use the low-level
+	// scan directly so the testutil-marker exclusion (which applies to
+	// this package) doesn't hide it from the assertion.
+	//
+	// Since this package IS testutil, the marker excludes our helper;
+	// emulate an adopter instead by checking the raw scan against a
+	// widened filter.
+	found := false
+	for i := 0; i < 100 && !found; i++ {
+		for _, g := range allStacks() {
+			if strings.Contains(g, "leakyHelper") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	close(release)
+	if !found {
+		t.Fatal("parked goroutine never appeared in stack scan")
+	}
+}
+
+func TestVerifyTestMainPropagatesFailure(t *testing.T) {
+	var got int
+	VerifyTestMain(fakeM{code: 7}, func(code int) { got = code })
+	if got != 7 {
+		t.Fatalf("exit code = %d, want 7", got)
+	}
+}
+
+type fakeM struct{ code int }
+
+func (f fakeM) Run() int { return f.code }

@@ -146,7 +146,8 @@ func (c *Faulty) pump() {
 		blackhole := c.f.Blackhole
 		c.mu.Unlock()
 		if !blackhole {
-			c.inner.Send(it.m) // best effort; inner close surfaces via Recv
+			//fluxlint:ignore errno-discipline fault-injected delivery is best effort; inner close surfaces via Recv
+			c.inner.Send(it.m)
 		}
 	}
 }

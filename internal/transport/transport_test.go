@@ -156,6 +156,7 @@ func tcpPair(t *testing.T, key []byte) (Conn, Conn, *Listener) {
 func TestTCPConn(t *testing.T) {
 	server, client, l := tcpPair(t, []byte("secret"))
 	defer l.Close()
+	defer server.Close()
 	if server.PeerIdentity() != "client" || client.PeerIdentity() != "server" {
 		t.Fatalf("identities: %q %q", server.PeerIdentity(), client.PeerIdentity())
 	}

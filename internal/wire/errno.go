@@ -1,0 +1,54 @@
+package wire
+
+// Wire errno table.
+//
+// Every error response crossing a CMB link carries one of these values
+// (POSIX-flavoured, as in the C prototype). They live in the wire
+// package because they are part of the protocol: a broker at one rank
+// must be able to classify an errnum produced at another, so ad-hoc
+// integer literals are forbidden — fluxlint's errno-discipline pass
+// flags error responses whose errnum is not drawn from this table (or a
+// named alias of it).
+const (
+	ErrnoNoEnt       int32 = 2   // no such key / object
+	ErrnoNotDir      int32 = 20  // key path traverses a value object
+	ErrnoInval       int32 = 22  // malformed request
+	ErrnoNoSys       int32 = 38  // no comms module matches the topic
+	ErrnoProto       int32 = 71  // protocol violation
+	ErrnoShutdown    int32 = 108 // broker shutting down
+	ErrnoTimedOut    int32 = 110 // RPC timeout
+	ErrnoHostUnreach int32 = 113 // rank not reachable
+)
+
+// Control-plane topics.
+//
+// The "cmb" service is the broker itself: its built-in request methods
+// and the link-level control messages. These strings are protocol
+// constants — a typo in one wedges a resync or silently drops a
+// subscription — so fluxlint's wire-hygiene pass flags any "cmb."
+// string literal outside this package: every use must round-trip
+// through these declarations.
+const (
+	// ServiceCMB is the broker's built-in service name.
+	ServiceCMB = "cmb"
+
+	// TopicResync (control) asks a parent to replay events after Seq and
+	// open the child's gated event link.
+	TopicResync = "cmb.resync"
+	// TopicSub / TopicUnsub (control) maintain a client link's
+	// event-topic subscriptions broker-side.
+	TopicSub   = "cmb.sub"
+	TopicUnsub = "cmb.unsub"
+
+	// TopicPub (request) publishes an event via the root sequencer.
+	TopicPub = "cmb.pub"
+	// TopicPing (request) echoes its payload with rank and hop count.
+	TopicPing = "cmb.ping"
+	// TopicInfo (request) reports rank, size, arity, and parent.
+	TopicInfo = "cmb.info"
+	// TopicStats (request) snapshots the broker counters.
+	TopicStats = "cmb.stats"
+	// TopicLsmod / TopicRmmod (request) list and unload comms modules.
+	TopicLsmod = "cmb.lsmod"
+	TopicRmmod = "cmb.rmmod"
+)
