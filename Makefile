@@ -22,7 +22,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Static analysis: four passes over the module, zero findings required.
+# Static analysis: five passes over the module, zero findings required.
 lint:
 	$(GO) run ./cmd/fluxlint ./...
 

@@ -14,8 +14,11 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,6 +34,7 @@ import (
 	"fluxgo/internal/modules/resrc"
 	"fluxgo/internal/modules/wexec"
 	"fluxgo/internal/session"
+	"fluxgo/internal/wire"
 )
 
 var (
@@ -45,6 +49,7 @@ var (
 	keyFileFlag  = flag.String("key-file", "", "file holding the shared session key")
 	hbFlag       = flag.Duration("hb", 2*time.Second, "heartbeat interval")
 	verboseFlag  = flag.Bool("v", false, "log broker diagnostics to stderr")
+	debugFlag    = flag.String("debug-addr", "", "serve expvar (/debug/vars, incl. the broker metrics registry) and pprof (/debug/pprof) on this address")
 )
 
 func main() {
@@ -106,6 +111,21 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("flux-broker: rank %d/%d up on %s\n", *rankFlag, *sizeFlag, b.Addr())
+
+	if *debugFlag != "" {
+		// Publish the broker's metrics registry as one expvar; pprof
+		// registers its handlers on DefaultServeMux via its import.
+		expvar.Publish(wire.ServiceCMB, expvar.Func(func() any { return b.B.Metrics().Snapshot() }))
+		srv := &http.Server{Addr: *debugFlag, ReadHeaderTimeout: 5 * time.Second}
+		//fluxlint:ignore goroutine-lifecycle debug server lives for the process; srv.Close on exit stops it
+		go func() {
+			fmt.Printf("flux-broker: debug endpoint on http://%s/debug/vars\n", *debugFlag)
+			if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "flux-broker: debug endpoint:", err)
+			}
+		}()
+		defer srv.Close()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -26,7 +26,9 @@
 //	wait <id>                block until a job completes, print its record
 //	log dump [count]         recent entries from the root log sink
 //	up                       ranks currently considered down by live
-//	stats [rank]             broker counters (local or rank-addressed)
+//	stats [--rank N]         broker counters and metrics (local or rank-addressed)
+//	top                      per-rank broker activity and route latency table
+//	trace <id>               merged per-hop span chain of one traced message
 //	resources                unallocated ranks per the resource service
 package main
 
@@ -35,10 +37,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"time"
 
 	"fluxgo/internal/client"
+	"fluxgo/internal/obs"
 	"fluxgo/internal/wire"
 )
 
@@ -112,12 +116,23 @@ flagsDone:
 		cmdJSON(c, "live.query", wire.NodeidAny, nil)
 	case "stats":
 		nodeid := wire.NodeidAny
-		if len(args) > 1 {
-			r, err := strconv.Atoi(args[1])
+		rest := args[1:]
+		if len(rest) > 0 && rest[0] == "--rank" {
+			rest = rest[1:]
+		}
+		if len(rest) > 0 {
+			r, err := strconv.Atoi(rest[0])
 			fatalIf(err)
 			nodeid = uint32(r)
 		}
 		cmdJSON(c, wire.TopicStats, nodeid, nil)
+	case "top":
+		cmdTop(c)
+	case "trace":
+		if len(args) != 2 {
+			usage()
+		}
+		cmdTrace(c, args[1])
 	case "resources":
 		cmdJSON(c, "resrc.avail", wire.NodeidAny, nil)
 	default:
@@ -157,7 +172,7 @@ func cmdPing(c *client.Client, args []string) {
 		Hops int `json:"hops"`
 	}
 	fatalIf(resp.UnpackJSON(&body))
-	fmt.Printf("pong from rank %d: hops=%d time=%v\n", body.Rank, body.Hops, time.Since(start))
+	fmt.Printf("pong from rank %d: hops=%d time=%v trace=%#x\n", body.Rank, body.Hops, time.Since(start), resp.TraceID)
 }
 
 func cmdKVS(c *client.Client, args []string) {
@@ -362,6 +377,93 @@ func cmdWaitJob(c *client.Client, id string) {
 		if ev.UnpackJSON(&se) == nil && se.ID == id && show() {
 			return
 		}
+	}
+}
+
+// sessionSize asks the connected broker for the session size.
+func sessionSize(c *client.Client) int {
+	resp, err := c.RPC(wire.TopicInfo, wire.NodeidAny, nil)
+	fatalIf(err)
+	var info struct {
+		Size int `json:"size"`
+	}
+	fatalIf(resp.UnpackJSON(&info))
+	return info.Size
+}
+
+// cmdTop prints one row of broker activity per rank: request/response
+// counters and the route-request latency percentiles, flux-top style.
+func cmdTop(c *client.Client) {
+	size := sessionSize(c)
+	fmt.Printf("%5s %9s %9s %9s %7s %7s  %-23s %7s\n",
+		"RANK", "REQS", "RESPS", "EVENTS", "GAPS", "ERRS", "ROUTE p50/p95/p99(us)", "SPANS")
+	for r := 0; r < size; r++ {
+		resp, err := c.RPC(wire.TopicStats, uint32(r), nil)
+		if err != nil {
+			fmt.Printf("%5d  unreachable: %v\n", r, err)
+			continue
+		}
+		var st struct {
+			TraceSpans int          `json:"trace_spans"`
+			Metrics    obs.Snapshot `json:"metrics"`
+		}
+		if err := resp.UnpackJSON(&st); err != nil {
+			fmt.Printf("%5d  bad stats: %v\n", r, err)
+			continue
+		}
+		h := st.Metrics.Hists[wire.MetricRouteRequestNS]
+		us := func(ns uint64) float64 { return float64(ns) / 1e3 }
+		fmt.Printf("%5d %9d %9d %9d %7d %7d  %7.1f/%7.1f/%7.1f %7d\n",
+			r,
+			st.Metrics.Counters[wire.MetricRequestsRouted],
+			st.Metrics.Counters[wire.MetricResponsesRouted],
+			st.Metrics.Counters[wire.MetricEventsApplied],
+			st.Metrics.Counters[wire.MetricEventSeqGaps],
+			st.Metrics.Counters[wire.MetricSendErrors]+st.Metrics.Counters[wire.MetricInflightFailed],
+			us(h.P50NS), us(h.P95NS), us(h.P99NS),
+			st.TraceSpans)
+	}
+}
+
+// cmdTrace collects one trace's spans from every rank and prints the
+// merged per-hop chain.
+func cmdTrace(c *client.Client, idArg string) {
+	id, err := strconv.ParseUint(idArg, 0, 64)
+	fatalIf(err)
+	size := sessionSize(c)
+	var spans []obs.Span
+	for r := 0; r < size; r++ {
+		resp, err := c.RPC(wire.TopicTrace, uint32(r), map[string]uint64{"id": id})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flux: rank %d: %v\n", r, err)
+			continue
+		}
+		var body struct {
+			Spans []obs.Span `json:"spans"`
+		}
+		if resp.UnpackJSON(&body) == nil {
+			spans = append(spans, body.Spans...)
+		}
+	}
+	if len(spans) == 0 {
+		fmt.Printf("no spans recorded for trace %s\n", idArg)
+		return
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Hop != spans[j].Hop {
+			return spans[i].Hop < spans[j].Hop
+		}
+		return spans[i].StartNS < spans[j].StartNS
+	})
+	fmt.Printf("trace %#x: %d spans\n", id, len(spans))
+	for _, s := range spans {
+		errs := ""
+		if s.Errnum != 0 {
+			errs = fmt.Sprintf("  errno=%d", s.Errnum)
+		}
+		fmt.Printf("  hop %3d  rank %3d  %-8s %-24s via %-14s queue %8.1fus work %8.1fus%s\n",
+			s.Hop, s.Rank, s.Kind, s.Topic, s.Link,
+			float64(s.QueueNS)/1e3, float64(s.WorkNS)/1e3, errs)
 	}
 }
 

@@ -1,0 +1,136 @@
+package main
+
+// deadline-propagation: a function that receives a context.Context must
+// thread it into the RPCs it issues. A bare h.RPC(...) call inside such
+// a function silently substitutes context.Background() for the caller's
+// deadline (that is exactly what RPC does), so cancellation stops
+// propagating at that hop and the no-hang guarantee degrades to the
+// default timeout; passing context.Background() or context.TODO() to
+// RPCContext/RPCWithOptions is the same bug spelled explicitly. Both
+// shapes are flagged anywhere inside the function, including closures
+// nested in it (the parameter is in scope there too).
+//
+// Functions without a context parameter are exempt: bare RPC is the
+// sanctioned blocking call when no caller deadline exists to propagate.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const deadlinePropagationName = "deadline-propagation"
+
+var deadlinePropagationPass = Pass{
+	Name: deadlinePropagationName,
+	Doc:  "flag RPCs that drop an in-scope context.Context",
+	Run:  runDeadlinePropagation,
+}
+
+// deadlineFamily are the round-trip calls subject to the rule: RPC
+// never takes a context; the other two take it as their first argument.
+var deadlineFamily = map[string]bool{
+	"RPC":            true,
+	"RPCContext":     true,
+	"RPCWithOptions": true,
+}
+
+func runDeadlinePropagation(l *Loader, p *Package) []Finding {
+	c := &deadlineChecker{l: l, p: p}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil && hasCtxParam(p, n.Type) {
+					c.checkBody(n.Body)
+					return false // checkBody already covered nested closures
+				}
+			case *ast.FuncLit:
+				if hasCtxParam(p, n.Type) {
+					c.checkBody(n.Body)
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return c.findings
+}
+
+type deadlineChecker struct {
+	l        *Loader
+	p        *Package
+	findings []Finding
+}
+
+func (c *deadlineChecker) report(pos token.Pos, format string, args ...any) {
+	c.findings = append(c.findings, Finding{
+		Pass: deadlinePropagationName,
+		Pos:  c.l.Fset.Position(pos),
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// checkBody flags deadline-dropping RPCs anywhere under body.
+func (c *deadlineChecker) checkBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		ce, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		se, ok := ce.Fun.(*ast.SelectorExpr)
+		if !ok || !deadlineFamily[se.Sel.Name] || c.p.Info.Selections[se] == nil {
+			return true
+		}
+		switch se.Sel.Name {
+		case "RPC":
+			c.report(ce.Pos(),
+				"RPC drops the in-scope context; use RPCContext(ctx, ...)")
+		default:
+			if len(ce.Args) > 0 && isFreshContext(c.p, ce.Args[0]) {
+				c.report(ce.Args[0].Pos(),
+					"%s given a fresh context while the caller's is in scope", se.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// hasCtxParam reports whether ft declares a context.Context parameter.
+func hasCtxParam(p *Package, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t := p.Info.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Context" &&
+		n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context"
+}
+
+// isFreshContext reports whether e is a context.Background() or
+// context.TODO() call.
+func isFreshContext(p *Package, e ast.Expr) bool {
+	ce, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	se, ok := ce.Fun.(*ast.SelectorExpr)
+	if !ok || (se.Sel.Name != "Background" && se.Sel.Name != "TODO") {
+		return false
+	}
+	id, ok := se.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "context"
+}

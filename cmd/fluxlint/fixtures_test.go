@@ -91,3 +91,7 @@ func TestErrnoDisciplineFixture(t *testing.T) {
 func TestWireHygieneFixture(t *testing.T) {
 	checkPassFixture(t, wireHygienePass, "wirehyg")
 }
+
+func TestDeadlinePropagationFixture(t *testing.T) {
+	checkPassFixture(t, deadlinePropagationPass, "deadline")
+}

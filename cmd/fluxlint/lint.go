@@ -44,6 +44,7 @@ var passes = []Pass{
 	goroutineLifecyclePass,
 	errnoDisciplinePass,
 	wireHygienePass,
+	deadlinePropagationPass,
 }
 
 // directive is one parsed //fluxlint:ignore comment.

@@ -8,6 +8,7 @@
 //	goroutine-lifecycle go-literal goroutines have a shutdown tie
 //	errno-discipline    errnos are named constants; RPC errors are read
 //	wire-hygiene        wire topics/types go through wire constants
+//	deadline-propagation in-scope contexts are threaded into RPCs
 //
 // Usage:
 //

@@ -1,0 +1,31 @@
+// Package deadline holds fixtures for the deadline-propagation pass.
+package deadline
+
+import (
+	"context"
+
+	"fixture.example/fakes"
+)
+
+func bareRPC(ctx context.Context, h *fakes.Handle) error {
+	_, err := h.RPC("kvs.get", 0, nil) // BAD
+	return err
+}
+
+func freshBackground(ctx context.Context, h *fakes.Handle) error {
+	_, err := h.RPCContext(context.Background(), "kvs.get", 0, nil) // BAD
+	return err
+}
+
+func freshTODO(ctx context.Context, h *fakes.Handle) error {
+	_, err := h.RPCWithOptions(context.TODO(), "kvs.get", 0, nil, fakes.RPCOptions{}) // BAD
+	return err
+}
+
+// The parameter is in scope inside closures, so dropping it there is
+// the same leak.
+func inClosure(ctx context.Context, h *fakes.Handle) {
+	go func() {
+		_, _ = h.RPC("kvs.get", 0, nil) // BAD
+	}()
+}

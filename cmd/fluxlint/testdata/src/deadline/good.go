@@ -1,0 +1,44 @@
+package deadline
+
+import (
+	"context"
+
+	"fixture.example/fakes"
+)
+
+// Threading the caller's context is the point of the rule.
+func threaded(ctx context.Context, h *fakes.Handle) error {
+	_, err := h.RPCContext(ctx, "kvs.get", 0, nil)
+	return err
+}
+
+// Contexts derived from the parameter count as threading.
+func derived(ctx context.Context, h *fakes.Handle) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	_, err := h.RPCWithOptions(sub, "kvs.get", 0, nil, fakes.RPCOptions{})
+	return err
+}
+
+// No context parameter: bare RPC is the sanctioned blocking call.
+func noCtx(h *fakes.Handle) error {
+	_, err := h.RPC("kvs.get", 0, nil)
+	return err
+}
+
+// A closure without a surrounding context parameter is likewise free.
+func noCtxClosure(h *fakes.Handle) {
+	f := func() {
+		_, _ = h.RPC("kvs.get", 0, nil)
+	}
+	f()
+}
+
+// A closure that takes its own context must thread that one.
+func ownCtxClosure(h *fakes.Handle) {
+	f := func(ctx context.Context) error {
+		_, err := h.RPCContext(ctx, "kvs.get", 0, nil)
+		return err
+	}
+	_ = f(context.Background())
+}

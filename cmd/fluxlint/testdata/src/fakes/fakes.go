@@ -4,7 +4,11 @@
 // NOT be treated as connection-shaped.
 package fakes
 
-import "fixture.example/wire"
+import (
+	"context"
+
+	"fixture.example/wire"
+)
 
 // Conn is transport-connection-shaped.
 type Conn struct{}
@@ -19,7 +23,14 @@ func (h *Handle) RPC(topic string, nodeid uint32, payload []byte) (*wire.Message
 	return nil, nil
 }
 
-func (h *Handle) RPCContext(topic string, nodeid uint32, payload []byte) (*wire.Message, error) {
+func (h *Handle) RPCContext(ctx context.Context, topic string, nodeid uint32, payload []byte) (*wire.Message, error) {
+	return nil, nil
+}
+
+// RPCOptions mirrors the broker's deadline/retry policy struct.
+type RPCOptions struct{}
+
+func (h *Handle) RPCWithOptions(ctx context.Context, topic string, nodeid uint32, payload []byte, opts RPCOptions) (*wire.Message, error) {
 	return nil, nil
 }
 

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 
 	"fluxgo/internal/kap"
 	"fluxgo/internal/model"
+	"fluxgo/internal/obs"
 )
 
 var (
@@ -32,6 +34,7 @@ var (
 	accessFlag = flag.String("access", "1,4,16,64", "per-consumer access counts for fig 4")
 	arityFlag  = flag.Int("arity", 2, "comms tree fan-out")
 	csvFlag    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonFlag   = flag.String("json", "", "also write every run's per-op latency percentiles to this JSON file (e.g. BENCH_kap.json)")
 
 	repsFlag      = flag.Int("reps", 1, "repetitions per point; the minimum latency is reported")
 	customFlag    = flag.Bool("custom", false, "run one custom configuration instead of a figure sweep")
@@ -67,8 +70,10 @@ func main() {
 
 	if *customFlag {
 		runCustom(ranks)
+		flushJSON()
 		return
 	}
+	defer flushJSON()
 	switch *figFlag {
 	case "2":
 		fig2(ranks, vsizes)
@@ -95,9 +100,79 @@ func main() {
 	}
 }
 
+// opSummary is one operation's latency distribution in a bench record.
+type opSummary struct {
+	Count  uint64  `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+func summarize(s obs.HistSnapshot) opSummary {
+	toMS := func(ns uint64) float64 { return float64(ns) / 1e6 }
+	return opSummary{
+		Count: s.Count,
+		P50MS: toMS(s.P50NS), P95MS: toMS(s.P95NS), P99MS: toMS(s.P99NS),
+		MeanMS: toMS(s.MeanNS()), MaxMS: toMS(s.MaxNS),
+	}
+}
+
+// benchRecord is one KAP run in the -json output.
+type benchRecord struct {
+	Ranks       int     `json:"ranks"`
+	Procs       int     `json:"procs_per_rank"`
+	Producers   int     `json:"producers"`
+	Consumers   int     `json:"consumers"`
+	ValueSize   int     `json:"value_size"`
+	AccessCount int     `json:"access_count"`
+	DirFanout   int     `json:"dir_fanout"`
+	Redundant   bool    `json:"redundant"`
+	Arity       int     `json:"arity"`
+	ProducerMS  float64 `json:"producer_ms"`
+	SyncMS      float64 `json:"sync_ms"`
+	ConsumerMS  float64 `json:"consumer_ms"`
+
+	Put   opSummary `json:"put"`
+	Fence opSummary `json:"fence"`
+	Get   opSummary `json:"get"`
+}
+
+// benchRecords accumulates every executed run for -json. The sweeps run
+// sequentially, so no locking is needed.
+var benchRecords []benchRecord
+
+func record(res kap.Result) {
+	p := res.Params
+	msf := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	benchRecords = append(benchRecords, benchRecord{
+		Ranks: p.Ranks, Procs: p.ProcsPerRank,
+		Producers: p.Producers, Consumers: p.Consumers,
+		ValueSize: p.ValueSize, AccessCount: p.AccessCount,
+		DirFanout: p.DirFanout, Redundant: p.Redundant, Arity: p.Arity,
+		ProducerMS: msf(res.Producer), SyncMS: msf(res.Sync), ConsumerMS: msf(res.Consumer),
+		Put: summarize(res.PutHist), Fence: summarize(res.FenceHist), Get: summarize(res.GetHist),
+	})
+}
+
+// flushJSON writes the accumulated records to the -json path.
+func flushJSON() {
+	if *jsonFlag == "" {
+		return
+	}
+	out := map[string]any{"benchmark": "kap", "records": benchRecords}
+	data, err := json.MarshalIndent(out, "", "  ")
+	fatalIf(err)
+	fatalIf(os.WriteFile(*jsonFlag, append(data, '\n'), 0o644))
+	fmt.Fprintf(os.Stderr, "kap: wrote %d records to %s\n", len(benchRecords), *jsonFlag)
+}
+
 // runMin runs one configuration repsFlag times and keeps the per-phase
 // minimum, the standard way to suppress scheduler noise in latency
-// measurements.
+// measurements. Per-op histograms keep the first rep's distribution
+// (warm-up noise is a max-latency problem; percentile shapes are
+// stable).
 func runMin(p kap.Params) (kap.Result, error) {
 	reps := *repsFlag
 	if reps < 1 {
@@ -123,6 +198,7 @@ func runMin(p kap.Params) (kap.Result, error) {
 			best.Consumer = res.Consumer
 		}
 	}
+	record(best)
 	return best, nil
 }
 
@@ -344,6 +420,7 @@ func runCustom(ranks []int) {
 			DirFanout: *dirFlag, Redundant: *redundantFlag, Arity: *arityFlag,
 		})
 		fatalIf(err)
+		record(res)
 		rows = append(rows, []string{
 			strconv.Itoa(r), strconv.Itoa(*procsFlag),
 			strconv.Itoa(prod), strconv.Itoa(cons),

@@ -25,6 +25,7 @@ import (
 
 	"fluxgo/internal/clock"
 	"fluxgo/internal/debuglock"
+	"fluxgo/internal/obs"
 	"fluxgo/internal/topo"
 	"fluxgo/internal/transport"
 	"fluxgo/internal/wire"
@@ -111,9 +112,7 @@ func (l *link) send(m *wire.Message) error {
 // link observable through cmb.stats before that happens.
 func (b *Broker) send(l *link, m *wire.Message) {
 	if err := l.send(m); err != nil {
-		b.mu.Lock()
-		b.stats.SendErrors++
-		b.mu.Unlock()
+		b.ctr.sendErrors.Inc()
 		b.logf("send on link %s failed: %v", l.id, err)
 	}
 }
@@ -122,6 +121,11 @@ func (b *Broker) send(l *link, m *wire.Message) {
 type inbound struct {
 	msg  *wire.Message
 	from *link // arrival link; nil for broker-internal submissions
+	// enq is when the message entered the broker inbox; the loop's
+	// pickup delay against it is the queue-wait recorded in trace spans
+	// and the cmb.request_queue_ns histogram. Zero for loop-internal
+	// submissions, which never queue.
+	enq time.Time
 	// forceUp requests upstream forwarding without local module matching
 	// (used by modules re-forwarding a request toward the root).
 	forceUp bool
@@ -150,9 +154,15 @@ type Config struct {
 	// disables the default deadline entirely (callers may still pass one
 	// per call).
 	RPCTimeout time.Duration
+	// TraceSpans is the capacity of the broker's trace-span ring buffer.
+	// 0 defaults to obs.DefaultTraceSpans; negative disables span
+	// recording entirely (the metrics registry stays on).
+	TraceSpans int
 }
 
-// Stats are cumulative broker counters, readable at any time.
+// Stats are cumulative broker counters, readable at any time. They are
+// a typed snapshot of the broker's obs.Registry counters (see
+// Broker.Metrics for the full registry, histograms included).
 type Stats struct {
 	RequestsRouted   uint64 // requests entering routing
 	RequestsUpstream uint64 // requests forwarded to the tree parent
@@ -165,6 +175,33 @@ type Stats struct {
 	Reparents        uint64
 	SendErrors       uint64 // outbound link sends that failed (conn closed, handle gone)
 	InflightFailed   uint64 // routed RPCs failed with EHOSTUNREACH on a return-route link drop
+}
+
+// counters are the broker's hot-path counters: handles into the
+// registry resolved once at New so every increment is a single
+// uncontended atomic add, with no broker lock involved (they used to
+// live under b.mu, which serialized the routing loop against every
+// Stats reader).
+type counters struct {
+	requestsRouted   *obs.Counter
+	requestsUpstream *obs.Counter
+	requestsRing     *obs.Counter
+	responsesRouted  *obs.Counter
+	eventsPublished  *obs.Counter
+	eventsApplied    *obs.Counter
+	eventsDuplicate  *obs.Counter
+	eventSeqGaps     *obs.Counter
+	reparents        *obs.Counter
+	sendErrors       *obs.Counter
+	inflightFailed   *obs.Counter
+}
+
+// hists are the broker's hot-path latency histograms.
+type hists struct {
+	requestQueue  *obs.Histogram // inbox wait of routed requests
+	routeRequest  *obs.Histogram // routeRequest handle time
+	routeResponse *obs.Histogram // routeResponse handle time
+	applyEvent    *obs.Histogram // applyEvent fan-out time
 }
 
 // Broker is one CMB rank.
@@ -184,7 +221,6 @@ type Broker struct {
 	ringOut     *link
 	parentRank  int
 	modules     map[string]*moduleRunner
-	stats       Stats
 	closed      bool
 	reparenting bool // a Reparent callback is in flight
 	// inflight tracks requests this broker forwarded over an outbound
@@ -196,6 +232,17 @@ type Broker struct {
 	inflight map[string]*inflightReq
 
 	handleSeq atomic.Uint64
+
+	// Observability plane: the metrics registry (shared with this
+	// broker's comms modules via Metrics), resolved hot-path counter and
+	// histogram handles, the bounded trace-span ring, and the sequence
+	// for originating trace ids.
+	metrics  *obs.Registry
+	ctr      counters
+	hist     hists
+	traces   *obs.TraceBuffer
+	traceSeq atomic.Uint64
+	depth    int // this rank's depth in the tree (root = 0)
 
 	// bg tracks loop-spawned background work (e.g. async rmmod drains)
 	// so Shutdown does not return while any of it is still running.
@@ -246,8 +293,55 @@ func New(cfg Config) (*Broker, error) {
 		done:       make(chan struct{}),
 	}
 	b.mu.SetClass("broker.Broker.mu")
+	for r := cfg.Rank; tree.Parent(r) >= 0; r = tree.Parent(r) {
+		b.depth++
+	}
+	reg := obs.NewRegistry()
+	b.metrics = reg
+	b.ctr = counters{
+		requestsRouted:   reg.Counter(wire.MetricRequestsRouted),
+		requestsUpstream: reg.Counter(wire.MetricRequestsUpstream),
+		requestsRing:     reg.Counter(wire.MetricRequestsRing),
+		responsesRouted:  reg.Counter(wire.MetricResponsesRouted),
+		eventsPublished:  reg.Counter(wire.MetricEventsPublished),
+		eventsApplied:    reg.Counter(wire.MetricEventsApplied),
+		eventsDuplicate:  reg.Counter(wire.MetricEventsDuplicate),
+		eventSeqGaps:     reg.Counter(wire.MetricEventSeqGaps),
+		reparents:        reg.Counter(wire.MetricReparents),
+		sendErrors:       reg.Counter(wire.MetricSendErrors),
+		inflightFailed:   reg.Counter(wire.MetricInflightFailed),
+	}
+	b.hist = hists{
+		requestQueue:  reg.Histogram(wire.MetricRequestQueueNS),
+		routeRequest:  reg.Histogram(wire.MetricRouteRequestNS),
+		routeResponse: reg.Histogram(wire.MetricRouteResponseNS),
+		applyEvent:    reg.Histogram(wire.MetricApplyEventNS),
+	}
+	spans := cfg.TraceSpans
+	if spans == 0 {
+		spans = obs.DefaultTraceSpans
+	}
+	if spans < 0 {
+		spans = 0
+	}
+	b.traces = obs.NewTraceBuffer(spans)
 	return b, nil
 }
+
+// newTraceID originates a session-unique, nonzero trace id: the
+// originating rank (+1, so rank 0 still yields nonzero ids) in the high
+// bits over a per-broker sequence.
+func (b *Broker) newTraceID() uint64 {
+	return uint64(b.cfg.Rank+1)<<40 | (b.traceSeq.Add(1) & (1<<40 - 1))
+}
+
+// Metrics returns the broker's observability registry. Comms modules
+// loaded into this broker record their metrics here (namespaced by
+// module name), so one registry snapshot covers the whole rank.
+func (b *Broker) Metrics() *obs.Registry { return b.metrics }
+
+// Traces returns the broker's bounded trace-span ring.
+func (b *Broker) Traces() *obs.TraceBuffer { return b.traces }
 
 // inflightReq is the bookkeeping for one request forwarded over an
 // outbound link (see Broker.inflight).
@@ -257,6 +351,12 @@ type inflightReq struct {
 	route   []string // route stack at forward time (top = arrival hop)
 	out     string   // outbound link id
 	arrival string   // arrival link id ("" for broker-internal submissions)
+	// Trace context at forward time, so the EHOSTUNREACH response
+	// synthesized on a link drop carries the request's trace and its
+	// failure span lands in the right chain.
+	traceID uint64
+	parent  uint8
+	hops    uint8
 }
 
 // inflightKey identifies a forwarded request by its match tag plus the
@@ -286,6 +386,9 @@ func (b *Broker) trackInflight(m *wire.Message, out *link, arrival string) {
 		route:   append([]string(nil), m.Route...),
 		out:     out.id,
 		arrival: arrival,
+		traceID: m.TraceID,
+		parent:  m.Parent,
+		hops:    m.Hops,
 	}
 	b.mu.Lock()
 	b.inflight[inflightKey(e.seq, e.route)] = e
@@ -315,11 +418,23 @@ func (b *Broker) ParentRank() int {
 	return b.parentRank
 }
 
-// Stats returns a snapshot of the broker's counters.
+// Stats returns a snapshot of the broker's counters. Each field is an
+// independent atomic load; no broker lock is taken, so Stats is safe to
+// poll at any rate without slowing the routing loop.
 func (b *Broker) Stats() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.stats
+	return Stats{
+		RequestsRouted:   b.ctr.requestsRouted.Load(),
+		RequestsUpstream: b.ctr.requestsUpstream.Load(),
+		RequestsRing:     b.ctr.requestsRing.Load(),
+		ResponsesRouted:  b.ctr.responsesRouted.Load(),
+		EventsPublished:  b.ctr.eventsPublished.Load(),
+		EventsApplied:    b.ctr.eventsApplied.Load(),
+		EventsDuplicate:  b.ctr.eventsDuplicate.Load(),
+		EventSeqGaps:     b.ctr.eventSeqGaps.Load(),
+		Reparents:        b.ctr.reparents.Load(),
+		SendErrors:       b.ctr.sendErrors.Load(),
+		InflightFailed:   b.ctr.inflightFailed.Load(),
+	}
 }
 
 func (b *Broker) logf(format string, args ...any) {
@@ -362,7 +477,7 @@ func (b *Broker) readLoop(l *link) {
 			b.inbox.Push(inbound{ctl: func() { b.linkDown(l) }})
 			return
 		}
-		b.inbox.Push(inbound{msg: m, from: l})
+		b.inbox.Push(inbound{msg: m, from: l, enq: time.Now()})
 	}
 }
 
@@ -394,16 +509,24 @@ func (b *Broker) loop() {
 }
 
 // submit is how handles and modules inject work into the loop.
-func (b *Broker) submit(in inbound) bool { return b.inbox.Push(in) }
+func (b *Broker) submit(in inbound) bool {
+	if in.enq.IsZero() && in.msg != nil {
+		in.enq = time.Now()
+	}
+	return b.inbox.Push(in)
+}
 
 // routeRequest implements the paper's routing rules: requests travel
 // upstream in the tree to the first matching comms module, or around the
-// ring when addressed to a concrete rank.
+// ring when addressed to a concrete rank. Every routed request advances
+// the message's trace context one hop and records a span; the span
+// fields are captured into locals before the message is handed to its
+// next owner (a module inbox or an outbound link), so recording never
+// races with downstream mutation.
 func (b *Broker) routeRequest(in inbound) {
+	start := time.Now()
 	m := in.msg
-	b.mu.Lock()
-	b.stats.RequestsRouted++
-	b.mu.Unlock()
+	b.ctr.requestsRouted.Inc()
 	if in.from != nil {
 		m.PushRoute(in.from.id)
 	}
@@ -413,42 +536,87 @@ func (b *Broker) routeRequest(in inbound) {
 		arrival = in.from.id
 	}
 
+	if m.TraceID == 0 {
+		m.TraceID = b.newTraceID()
+	}
+	m.Parent = m.Hops
+	if m.Hops < 255 {
+		m.Hops++
+	}
+	tid, parent, hop, topic := m.TraceID, m.Parent, m.Hops, m.Topic
+
+	var outLink string
+	var errnum int32
+
 	switch {
 	case m.Nodeid == wire.NodeidUpstream:
 		m.Nodeid = wire.NodeidAny
-		b.forwardUpstream(m, arrival)
+		outLink, errnum = b.forwardUpstream(m, arrival)
 	case m.Nodeid == wire.NodeidAny:
 		if in.forceUp {
-			b.forwardUpstream(m, arrival)
-			return
+			outLink, errnum = b.forwardUpstream(m, arrival)
+			break
 		}
-		if b.dispatchLocal(m) {
-			return
+		if svc := m.Service(); b.dispatchLocal(m) {
+			outLink = "local:" + svc
+			break
 		}
-		b.forwardUpstream(m, arrival)
+		outLink, errnum = b.forwardUpstream(m, arrival)
 	case int(m.Nodeid) == b.cfg.Rank:
-		if !b.dispatchLocal(m) {
-			b.respondErr(m, ErrnoNoSys, fmt.Sprintf("no module %q at rank %d", m.Service(), b.cfg.Rank))
+		if svc := m.Service(); b.dispatchLocal(m) {
+			outLink = "local:" + svc
+		} else {
+			errnum = ErrnoNoSys
+			b.respondErr(m, ErrnoNoSys, fmt.Sprintf("no module %q at rank %d", svc, b.cfg.Rank))
 		}
 	case int(m.Nodeid) < b.cfg.Size:
 		// Rank-addressed: forward on the ring overlay.
+		b.ctr.requestsRing.Inc()
 		if len(m.Route) > b.cfg.Size+8 {
+			errnum = ErrnoHostUnreach
 			b.respondErr(m, ErrnoHostUnreach, "ring TTL exceeded")
-			return
+			break
 		}
 		b.mu.Lock()
 		out := b.ringOut
-		b.stats.RequestsRing++
 		b.mu.Unlock()
 		if out == nil {
+			errnum = ErrnoHostUnreach
 			b.respondErr(m, ErrnoHostUnreach, fmt.Sprintf("rank %d unreachable: no ring link", m.Nodeid))
-			return
+			break
 		}
+		outLink = out.id
 		b.trackInflight(m, out, arrival)
 		b.send(out, m)
 	default:
+		errnum = ErrnoInval
 		b.respondErr(m, ErrnoInval, fmt.Sprintf("nodeid %d outside session of size %d", m.Nodeid, b.cfg.Size))
 	}
+
+	queue := queueWait(in.enq, start)
+	work := time.Since(start)
+	b.hist.requestQueue.Observe(queue)
+	b.hist.routeRequest.Observe(work)
+	if outLink == "" {
+		outLink = "error"
+	}
+	b.traces.Append(obs.Span{
+		Trace: tid, Rank: b.cfg.Rank, Hop: hop, Parent: parent,
+		Kind: "request", Topic: topic, Link: outLink, Errnum: errnum,
+		QueueNS: int64(queue), WorkNS: int64(work), StartNS: start.UnixNano(),
+	})
+}
+
+// queueWait is the inbox residence time of a message picked up at
+// start; zero for loop-internal submissions that never queued.
+func queueWait(enq, start time.Time) time.Duration {
+	if enq.IsZero() {
+		return 0
+	}
+	if d := start.Sub(enq); d > 0 {
+		return d
+	}
+	return 0
 }
 
 // dispatchLocal delivers m to a local comms module or the built-in cmb
@@ -471,52 +639,92 @@ func (b *Broker) dispatchLocal(m *wire.Message) bool {
 // forwardUpstream sends m toward the root, or answers ENOSYS at the
 // root. At a non-root broker whose parent link is down (crashed parent,
 // re-parenting still in flight) it answers EHOSTUNREACH instead, so
-// callers fail fast and can retry after the overlay self-heals.
-func (b *Broker) forwardUpstream(m *wire.Message, arrival string) {
+// callers fail fast and can retry after the overlay self-heals. It
+// returns the outbound link id (or "") and the errnum it answered with,
+// for the caller's trace span.
+func (b *Broker) forwardUpstream(m *wire.Message, arrival string) (string, int32) {
+	b.ctr.requestsUpstream.Inc()
 	b.mu.Lock()
 	p := b.parentTree
-	b.stats.RequestsUpstream++
 	b.mu.Unlock()
 	if p == nil {
 		if b.IsRoot() {
 			b.respondErr(m, ErrnoNoSys, fmt.Sprintf("no module %q in session", m.Service()))
-		} else {
-			b.respondErr(m, ErrnoHostUnreach,
-				fmt.Sprintf("rank %d: parent link down (re-parenting)", b.cfg.Rank))
+			return "", ErrnoNoSys
 		}
-		return
+		b.respondErr(m, ErrnoHostUnreach,
+			fmt.Sprintf("rank %d: parent link down (re-parenting)", b.cfg.Rank))
+		return "", ErrnoHostUnreach
 	}
 	b.trackInflight(m, p, arrival)
 	b.send(p, m)
+	return p.id, 0
 }
 
 // routeResponse pops one hop off the route stack and forwards. A
 // response passing through settles the matching in-flight entry created
-// when the request was forwarded.
+// when the request was forwarded. Traced responses continue the
+// request's hop numbering and record a span per hop, including the
+// errnum they carry (so a failure's origin is visible in the chain).
 func (b *Broker) routeResponse(in inbound) {
+	start := time.Now()
+	m := in.msg
+	b.ctr.responsesRouted.Inc()
+	var tid uint64
+	var parent, hop uint8
+	var topic string
+	var errnum int32
+	if m.TraceID != 0 {
+		m.Parent = m.Hops
+		if m.Hops < 255 {
+			m.Hops++
+		}
+		tid, parent, hop, topic, errnum = m.TraceID, m.Parent, m.Hops, m.Topic, m.Errnum
+	}
+	outLink := b.forwardResponse(in)
+	if tid != 0 {
+		queue := queueWait(in.enq, start)
+		work := time.Since(start)
+		b.hist.routeResponse.Observe(work)
+		if outLink == "" {
+			outLink = "drop"
+		}
+		b.traces.Append(obs.Span{
+			Trace: tid, Rank: b.cfg.Rank, Hop: hop, Parent: parent,
+			Kind: "response", Topic: topic, Link: outLink, Errnum: errnum,
+			QueueNS: int64(queue), WorkNS: int64(work), StartNS: start.UnixNano(),
+		})
+	} else {
+		b.hist.routeResponse.Observe(time.Since(start))
+	}
+}
+
+// forwardResponse does the actual response routing and returns the link
+// the response left on ("" when it was dropped).
+func (b *Broker) forwardResponse(in inbound) string {
 	m := in.msg
 	b.mu.Lock()
-	b.stats.ResponsesRouted++
 	if m.Seq != 0 && len(b.inflight) > 0 {
 		delete(b.inflight, inflightKey(m.Seq, m.Route))
 	}
 	b.mu.Unlock()
 	if m.Seq == 0 && len(m.Route) == 0 {
-		return // response to a fire-and-forget send: drop
+		return "" // response to a fire-and-forget send: drop
 	}
 	id, ok := m.PopRoute()
 	if !ok {
 		b.logf("response %s with empty route stack dropped", m.Topic)
-		return
+		return ""
 	}
 	b.mu.Lock()
 	l, ok := b.links[id]
 	b.mu.Unlock()
 	if !ok {
 		b.logf("response %s to unknown link %q dropped", m.Topic, id)
-		return
+		return ""
 	}
 	b.send(l, m)
+	return l.id
 }
 
 // respondErr generates an error response for a request and routes it
@@ -561,7 +769,7 @@ func (b *Broker) linkDown(l *link) {
 			delete(b.inflight, key)
 		}
 	}
-	b.stats.InflightFailed += uint64(len(failed))
+	b.ctr.inflightFailed.Add(uint64(len(failed)))
 	closed := b.closed
 	reparent := b.cfg.Reparent
 	trigger := parentLost && !closed && reparent != nil && !b.reparenting
@@ -571,7 +779,8 @@ func (b *Broker) linkDown(l *link) {
 	b.mu.Unlock()
 	l.conn.Close()
 	for _, e := range failed {
-		req := &wire.Message{Type: wire.Request, Topic: e.topic, Seq: e.seq, Route: e.route}
+		req := &wire.Message{Type: wire.Request, Topic: e.topic, Seq: e.seq, Route: e.route,
+			TraceID: e.traceID, Parent: e.parent, Hops: e.hops}
 		b.routeResponse(inbound{msg: wire.NewErrorResponse(req, ErrnoHostUnreach,
 			fmt.Sprintf("rank %d: link %s down on return route", b.cfg.Rank, e.out))})
 	}
@@ -599,10 +808,10 @@ func (b *Broker) SetParent(treeConn, eventConn transport.Conn, newParentRank int
 	b.parentTree = tl
 	b.parentEvent = el
 	b.parentRank = newParentRank
-	b.stats.Reparents++
 	b.reparenting = false
 	last := b.lastEventSeq
 	b.mu.Unlock()
+	b.ctr.reparents.Inc()
 	go b.readLoop(tl)
 	go b.readLoop(el)
 	// Ask the new parent to replay any events we missed during failover.

@@ -25,6 +25,26 @@ func BenchmarkLocalRPC(b *testing.B) {
 	}
 }
 
+// BenchmarkLocalRPCNoTrace is BenchmarkLocalRPC with span recording
+// disabled (TraceSpans < 0), isolating the observability plane's
+// hot-path overhead; the acceptance budget is <5% on ns/op.
+func BenchmarkLocalRPCNoTrace(b *testing.B) {
+	br, err := New(Config{Rank: 0, Size: 1, TraceSpans: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	br.Start()
+	defer br.Shutdown()
+	h := br.NewHandle()
+	defer h.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.RPC("cmb.ping", wire.NodeidAny, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkModuleDispatch measures request dispatch into a loaded module
 // and its response.
 func BenchmarkModuleDispatch(b *testing.B) {

@@ -543,15 +543,33 @@ func TestCmbStatsRPC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var body map[string]uint64
+	var body struct {
+		EventsPublished uint64 `json:"events_published"`
+		LastEventSeq    uint64 `json:"last_event_seq"`
+		RequestsRouted  uint64 `json:"requests_routed"`
+		Metrics         struct {
+			Counters map[string]uint64 `json:"counters"`
+			Hists    map[string]struct {
+				Count uint64 `json:"count"`
+			} `json:"hists"`
+		} `json:"metrics"`
+	}
 	if err := resp.UnpackJSON(&body); err != nil {
 		t.Fatal(err)
 	}
-	if body["events_published"] != 1 || body["last_event_seq"] != 1 {
-		t.Fatalf("stats %v", body)
+	if body.EventsPublished != 1 || body.LastEventSeq != 1 {
+		t.Fatalf("stats %+v", body)
 	}
-	if body["requests_routed"] == 0 {
+	if body.RequestsRouted == 0 {
 		t.Fatal("requests_routed not counted")
+	}
+	// The registry snapshot rides along: counters must agree with the
+	// flat fields, and the hot-path histograms must have observations.
+	if body.Metrics.Counters["cmb.events_published"] != 1 {
+		t.Fatalf("registry counters %v", body.Metrics.Counters)
+	}
+	if body.Metrics.Hists["cmb.route_request_ns"].Count == 0 {
+		t.Fatal("route_request_ns histogram empty")
 	}
 }
 

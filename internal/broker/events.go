@@ -3,7 +3,9 @@ package broker
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
+	"fluxgo/internal/obs"
 	"fluxgo/internal/wire"
 )
 
@@ -35,7 +37,7 @@ func (b *Broker) builtinRequest(m *wire.Message) bool {
 			b.respondErr(m, ErrnoInval, err.Error())
 			return true
 		}
-		seq := b.sequenceEvent(body.Topic, body.Payload)
+		seq := b.sequenceEvent(body.Topic, body.Payload, m.TraceID, m.Hops)
 		if m.Seq != 0 {
 			resp, err := wire.NewResponse(m, map[string]uint64{"seq": seq})
 			if err == nil {
@@ -70,7 +72,8 @@ func (b *Broker) builtinRequest(m *wire.Message) bool {
 		return true
 	case "stats":
 		st := b.Stats()
-		resp, err := wire.NewResponse(m, map[string]uint64{
+		resp, err := wire.NewResponse(m, map[string]any{
+			"rank":              b.cfg.Rank,
 			"requests_routed":   st.RequestsRouted,
 			"requests_upstream": st.RequestsUpstream,
 			"requests_ring":     st.RequestsRing,
@@ -83,10 +86,36 @@ func (b *Broker) builtinRequest(m *wire.Message) bool {
 			"send_errors":       st.SendErrors,
 			"inflight_failed":   st.InflightFailed,
 			"last_event_seq":    b.LastEventSeq(),
+			"trace_spans":       b.traces.Len(),
+			"metrics":           b.metrics.Snapshot(),
 		})
 		if err == nil {
 			b.routeResponse(inbound{msg: resp})
 		}
+		return true
+	case "trace":
+		var body struct {
+			ID uint64 `json:"id"`
+		}
+		if len(m.Payload) > 0 {
+			if err := m.UnpackJSON(&body); err != nil {
+				b.respondErr(m, ErrnoInval, err.Error())
+				return true
+			}
+		}
+		spans := b.traces.Snapshot(body.ID)
+		if spans == nil {
+			spans = []obs.Span{}
+		}
+		resp, err := wire.NewResponse(m, map[string]any{
+			"rank":  b.cfg.Rank,
+			"spans": spans,
+		})
+		if err != nil {
+			b.respondErr(m, ErrnoInval, err.Error())
+			return true
+		}
+		b.routeResponse(inbound{msg: resp})
 		return true
 	case "rmmod":
 		var body struct {
@@ -131,13 +160,20 @@ func (b *Broker) builtinRequest(m *wire.Message) bool {
 
 // sequenceEvent (root only) assigns the next sequence number and
 // distributes the event session-wide. It returns the assigned sequence.
-func (b *Broker) sequenceEvent(topic string, payload json.RawMessage) uint64 {
+// The event inherits the publishing request's trace context (or starts
+// a fresh trace for broker-internal publications), so an event's
+// session-wide fan-out chains onto the cmb.pub request that caused it.
+func (b *Broker) sequenceEvent(topic string, payload json.RawMessage, traceID uint64, hops uint8) uint64 {
 	b.mu.Lock()
 	b.eventSeq++
 	seq := b.eventSeq
-	b.stats.EventsPublished++
 	b.mu.Unlock()
-	ev := &wire.Message{Type: wire.Event, Topic: topic, Seq: seq, Payload: payload}
+	b.ctr.eventsPublished.Inc()
+	if traceID == 0 {
+		traceID = b.newTraceID()
+	}
+	ev := &wire.Message{Type: wire.Event, Topic: topic, Seq: seq, Payload: payload,
+		TraceID: traceID, Parent: hops, Hops: hops}
 	b.applyEvent(ev)
 	return seq
 }
@@ -145,18 +181,24 @@ func (b *Broker) sequenceEvent(topic string, payload json.RawMessage) uint64 {
 // applyEvent delivers an event locally in sequence order and forwards it
 // down the event-plane tree. Duplicates (possible after a resync) are
 // dropped by sequence number, preserving exactly-once, in-order apply.
+//
+// An event message is shared by every recipient and forwarded child, so
+// unlike requests its trace context is never advanced in place: the
+// per-rank span derives its hop number from the rank's static tree
+// depth (events only ever flow root-to-leaves), continuing the
+// publisher's hop numbering without mutation.
 func (b *Broker) applyEvent(ev *wire.Message) {
+	start := time.Now()
 	b.mu.Lock()
 	if ev.Seq <= b.lastEventSeq {
-		b.stats.EventsDuplicate++
 		b.mu.Unlock()
+		b.ctr.eventsDuplicate.Inc()
 		return
 	}
 	if ev.Seq != b.lastEventSeq+1 && b.lastEventSeq != 0 {
-		b.stats.EventSeqGaps++
+		b.ctr.eventSeqGaps.Inc()
 	}
 	b.lastEventSeq = ev.Seq
-	b.stats.EventsApplied++
 	b.eventHist = append(b.eventHist, ev)
 	if over := len(b.eventHist) - b.cfg.EventHistory; over > 0 {
 		b.eventHist = append([]*wire.Message(nil), b.eventHist[over:]...)
@@ -195,6 +237,8 @@ func (b *Broker) applyEvent(ev *wire.Message) {
 	}
 	b.mu.Unlock()
 
+	b.ctr.eventsApplied.Inc()
+
 	// Events are immutable once published: the same message value is
 	// shared by every local recipient and forwarded child.
 	for _, r := range mods {
@@ -205,6 +249,21 @@ func (b *Broker) applyEvent(ev *wire.Message) {
 	}
 	for _, l := range down {
 		b.send(l, ev)
+	}
+
+	work := time.Since(start)
+	b.hist.applyEvent.Observe(work)
+	if ev.TraceID != 0 {
+		hop := int(ev.Hops) + b.depth + 1
+		if hop > 255 {
+			hop = 255
+		}
+		b.traces.Append(obs.Span{
+			Trace: ev.TraceID, Rank: b.cfg.Rank, Hop: uint8(hop), Parent: uint8(hop - 1),
+			Kind: "event", Topic: ev.Topic,
+			Link:   fmt.Sprintf("down:%d local:%d", len(down), len(mods)+len(local)),
+			WorkNS: int64(work), StartNS: start.UnixNano(),
+		})
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"fluxgo/internal/kvs"
+	"fluxgo/internal/obs"
 	"fluxgo/internal/session"
 )
 
@@ -106,7 +107,9 @@ func (p *Params) check() error {
 	return nil
 }
 
-// Result reports the maximum per-phase latency across processes.
+// Result reports the maximum per-phase latency across processes, plus
+// per-operation latency distributions (every individual kvs_put,
+// kvs_fence, and kvs_get across all processes) for percentile analysis.
 type Result struct {
 	Params   Params
 	Setup    time.Duration
@@ -114,6 +117,12 @@ type Result struct {
 	Sync     time.Duration // max kvs_fence latency (Fig. 3)
 	Consumer time.Duration // max kvs_get phase latency (Fig. 4)
 	Total    time.Duration
+
+	// PutHist, FenceHist, and GetHist are client-observed per-op latency
+	// histograms with p50/p95/p99 summaries.
+	PutHist   obs.HistSnapshot
+	FenceHist obs.HistSnapshot
+	GetHist   obs.HistSnapshot
 }
 
 // keyFor names object idx under the configured directory layout.
@@ -181,6 +190,7 @@ func Run(p Params) (Result, error) {
 		}
 	}
 	res := Result{Params: p, Setup: time.Since(start)}
+	var putHist, fenceHist, getHist obs.Histogram
 
 	var mu sync.Mutex
 	var firstErr error
@@ -212,10 +222,12 @@ func Run(p Params) (Result, error) {
 			t0 := time.Now()
 			for k := 0; k < p.PutsPerProducer; k++ {
 				idx := pr.idx*p.PutsPerProducer + k
+				op0 := time.Now()
 				if err := pr.client.PutRaw(keyFor(&p, idx), jsonString(valueFor(&p, idx))); err != nil {
 					fail(err)
 					return
 				}
+				putHist.Observe(time.Since(op0))
 			}
 			maxDur(&res.Producer, time.Since(t0))
 		}(pr)
@@ -248,6 +260,7 @@ func Run(p Params) (Result, error) {
 				fail(err)
 				return
 			}
+			fenceHist.Observe(time.Since(t0))
 			maxDur(&res.Sync, time.Since(t0))
 			versionMu.Lock()
 			if v > fenceVersion {
@@ -275,10 +288,12 @@ func Run(p Params) (Result, error) {
 			for k := 0; k < p.AccessCount; k++ {
 				idx := (pr.idx + k*p.Stride) % totalObjects
 				var v string
+				op0 := time.Now()
 				if err := pr.client.Get(keyFor(&p, idx), &v); err != nil {
 					fail(fmt.Errorf("consumer %d get %s: %w", pr.idx, keyFor(&p, idx), err))
 					return
 				}
+				getHist.Observe(time.Since(op0))
 				if len(v) != p.ValueSize {
 					fail(fmt.Errorf("consumer %d: value size %d, want %d", pr.idx, len(v), p.ValueSize))
 					return
@@ -289,6 +304,9 @@ func Run(p Params) (Result, error) {
 	}
 	wg.Wait()
 	res.Total = time.Since(start)
+	res.PutHist = putHist.Snapshot()
+	res.FenceHist = fenceHist.Snapshot()
+	res.GetHist = getHist.Snapshot()
 	return res, firstErr
 }
 

@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"fluxgo/internal/broker"
 	"fluxgo/internal/cas"
+	"fluxgo/internal/obs"
 	"fluxgo/internal/wire"
 )
 
@@ -152,9 +154,15 @@ type Module struct {
 	// newer one.
 	polling bool
 
-	// statsGets counts get requests served; loads counts fault-ins.
-	statsGets  uint64
-	statsLoads uint64
+	// Observability: counter and histogram handles into the broker's
+	// registry, resolved once at Init and namespaced by service name so
+	// sharded instances ("kvs0", "kvs1", ...) stay distinguishable.
+	obsGets   *obs.Counter // get requests served
+	obsLoads  *obs.Counter // object fault-ins from upstream
+	histGet   *obs.Histogram
+	histPut   *obs.Histogram
+	histFence *obs.Histogram
+	histLoad  *obs.Histogram
 }
 
 // NewModule returns a kvs module instance with the given configuration.
@@ -186,6 +194,14 @@ func (m *Module) Init(h *broker.Handle) error {
 	m.h = h
 	m.store = cas.NewStore(h.Clock())
 	m.ctx, m.cancel = context.WithCancel(context.Background())
+	reg := h.Broker().Metrics()
+	svc := m.cfg.Service
+	m.obsGets = reg.Counter(svc + ".gets")
+	m.obsLoads = reg.Counter(svc + ".loads")
+	m.histGet = reg.Histogram(svc + ".get_ns")
+	m.histPut = reg.Histogram(svc + ".put_ns")
+	m.histFence = reg.Histogram(svc + ".fence_ns")
+	m.histLoad = reg.Histogram(svc + ".load_ns")
 	return nil
 }
 
@@ -225,17 +241,25 @@ func (m *Module) Recv(msg *wire.Message) {
 	}
 	switch msg.Method() {
 	case "put":
+		start := time.Now()
 		m.recvPut(msg)
+		m.histPut.Observe(time.Since(start))
 	case "fence", "commit":
+		start := time.Now()
 		m.recvFence(msg)
+		m.histFence.Observe(time.Since(start))
 	case "fencedone":
 		m.recvFenceDone(msg)
 	case "rootupdate":
 		m.recvRootUpdate(msg)
 	case "get":
+		start := time.Now()
 		m.recvGet(msg)
+		m.histGet.Observe(time.Since(start))
 	case "load":
+		start := time.Now()
 		m.recvLoad(msg)
+		m.histLoad.Observe(time.Since(start))
 	case "sync":
 		m.recvSync(msg)
 	case "getversion":
@@ -630,7 +654,7 @@ func (m *Module) loadObject(ref cas.Ref) ([]byte, error) {
 	if m.isMaster() {
 		return nil, fmt.Errorf("kvs: object %s not found", ref.Short())
 	}
-	m.statsLoads++
+	m.obsLoads.Inc()
 	// Loads are idempotent (content-addressed), so transient route
 	// failures are retried rather than surfaced to the reader.
 	resp, err := m.h.RPCWithOptions(context.Background(), m.cfg.Service+".load", m.upstreamTarget(), loadBody{Ref: ref.String()},
@@ -683,7 +707,7 @@ func (m *Module) recvGet(msg *wire.Message) {
 		m.h.RespondError(msg, broker.ErrnoInval, err.Error())
 		return
 	}
-	m.statsGets++
+	m.obsGets.Inc()
 	root := m.root
 	if body.Root != "" {
 		snap, err := cas.ParseRef(body.Root)
@@ -756,13 +780,24 @@ func (m *Module) recvGet(msg *wire.Message) {
 
 func (m *Module) recvStats(msg *wire.Message) {
 	hits, misses := m.store.Stats()
+	// Per-op latency summaries come out of the broker registry, filtered
+	// down to this service's namespace so sharded instances stay separate.
+	snap := m.h.Broker().Metrics().Snapshot()
+	prefix := m.cfg.Service + "."
+	hists := make(map[string]obs.HistSnapshot)
+	for name, h := range snap.Hists {
+		if strings.HasPrefix(name, prefix) {
+			hists[name] = h
+		}
+	}
 	m.h.Respond(msg, map[string]any{
 		"rank":    m.h.Rank(),
 		"objects": m.store.Len(),
 		"hits":    hits,
 		"misses":  misses,
-		"gets":    m.statsGets,
-		"loads":   m.statsLoads,
+		"gets":    m.obsGets.Load(),
+		"loads":   m.obsLoads.Load(),
 		"version": m.version,
+		"hists":   hists,
 	})
 }

@@ -10,8 +10,10 @@ package barrier
 
 import (
 	"fmt"
+	"time"
 
 	"fluxgo/internal/broker"
+	"fluxgo/internal/obs"
 	"fluxgo/internal/wire"
 )
 
@@ -38,6 +40,14 @@ type state struct {
 type Module struct {
 	h        *broker.Handle
 	barriers map[string]*state
+
+	// Observability handles into the broker registry ("barrier.*").
+	obsEnters    *obs.Counter // enter requests received (incl. aggregates)
+	obsReleases  *obs.Counter // waiters released
+	obsBatches   *obs.Counter // upstream aggregates sent
+	obsActive    *obs.Gauge   // barriers currently in progress here
+	histEnter    *obs.Histogram
+	histComplete *obs.Histogram
 }
 
 // New returns a barrier module instance.
@@ -53,7 +63,17 @@ func (m *Module) Name() string { return "barrier" }
 func (m *Module) Subscriptions() []string { return nil }
 
 // Init implements broker.Module.
-func (m *Module) Init(h *broker.Handle) error { m.h = h; return nil }
+func (m *Module) Init(h *broker.Handle) error {
+	m.h = h
+	reg := h.Broker().Metrics()
+	m.obsEnters = reg.Counter("barrier.enters")
+	m.obsReleases = reg.Counter("barrier.releases")
+	m.obsBatches = reg.Counter("barrier.batches")
+	m.obsActive = reg.Gauge("barrier.active")
+	m.histEnter = reg.Histogram("barrier.enter_ns")
+	m.histComplete = reg.Histogram("barrier.complete_ns")
+	return nil
+}
 
 // Shutdown implements broker.Module.
 func (m *Module) Shutdown() {}
@@ -65,9 +85,13 @@ func (m *Module) Recv(msg *wire.Message) {
 	}
 	switch msg.Method() {
 	case "enter":
+		start := time.Now()
 		m.recvEnter(msg)
+		m.histEnter.Observe(time.Since(start))
 	case "done":
 		m.recvDone(msg)
+	case "stats":
+		m.recvStats(msg)
 	default:
 		m.h.RespondError(msg, broker.ErrnoNoSys, fmt.Sprintf("barrier: unknown method %q", msg.Method()))
 	}
@@ -86,10 +110,12 @@ func (m *Module) recvEnter(msg *wire.Message) {
 	if body.Count == 0 {
 		body.Count = 1
 	}
+	m.obsEnters.Inc()
 	st := m.barriers[body.Name]
 	if st == nil {
 		st = &state{nprocs: body.NProcs}
 		m.barriers[body.Name] = st
+		m.obsActive.Add(1)
 	}
 	if st.nprocs != body.NProcs {
 		m.h.RespondError(msg, broker.ErrnoInval,
@@ -106,6 +132,7 @@ func (m *Module) recvEnter(msg *wire.Message) {
 
 // complete releases every held waiter at this instance.
 func (m *Module) complete(name string, st *state, errMsg string) {
+	start := time.Now()
 	for _, req := range st.pending {
 		if errMsg != "" {
 			m.h.RespondError(req, broker.ErrnoProto, errMsg)
@@ -113,7 +140,10 @@ func (m *Module) complete(name string, st *state, errMsg string) {
 			m.h.Respond(req, struct{}{})
 		}
 	}
+	m.obsReleases.Add(uint64(len(st.pending)))
 	delete(m.barriers, name)
+	m.obsActive.Add(-1)
+	m.histComplete.Observe(time.Since(start))
 }
 
 // Idle implements broker.IdleBatcher: forward accumulated entry counts
@@ -128,6 +158,7 @@ func (m *Module) Idle() {
 		}
 		batch := enterBody{Name: name, NProcs: st.nprocs, Count: st.unsent}
 		st.unsent = 0
+		m.obsBatches.Inc()
 		go m.sendBatch(batch)
 	}
 }
@@ -152,6 +183,26 @@ func (m *Module) recvDone(msg *wire.Message) {
 		return
 	}
 	m.complete(body.Name, st, body.Error)
+}
+
+// recvStats serves barrier.stats: this instance's live barrier state
+// plus its slice of the broker metrics registry.
+func (m *Module) recvStats(msg *wire.Message) {
+	snap := m.h.Broker().Metrics().Snapshot()
+	hists := map[string]obs.HistSnapshot{}
+	for name, h := range snap.Hists {
+		if len(name) > 8 && name[:8] == "barrier." {
+			hists[name] = h
+		}
+	}
+	m.h.Respond(msg, map[string]any{
+		"rank":     m.h.Rank(),
+		"active":   m.obsActive.Load(),
+		"enters":   m.obsEnters.Load(),
+		"releases": m.obsReleases.Load(),
+		"batches":  m.obsBatches.Load(),
+		"hists":    hists,
+	})
 }
 
 // Enter is the client call: block until nprocs processes have entered

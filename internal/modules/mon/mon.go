@@ -64,6 +64,13 @@ type Config struct {
 	// KVSPrefix is where completed epoch records are stored; defaults to
 	// "mon".
 	KVSPrefix string
+	// BrokerMetrics, when set, additionally samples every counter and
+	// gauge in the broker's metrics registry on sampling epochs, riding
+	// the same tree reduction into the root KVS. The resulting aggregates
+	// are session-wide: Sum totals a counter across all ranks while
+	// Min/Max expose per-rank imbalance (e.g. a hot-spot broker routing
+	// far more requests than its siblings).
+	BrokerMetrics bool
 }
 
 // epochState accumulates one epoch's reduction at one instance.
@@ -149,15 +156,27 @@ func (m *Module) onHeartbeat(msg *wire.Message) {
 	m.mu.Lock()
 	active := m.enabled && body.Epoch%m.stride == 0
 	m.mu.Unlock()
-	if !active || len(m.cfg.Samplers) == 0 {
+	if !active || (len(m.cfg.Samplers) == 0 && !m.cfg.BrokerMetrics) {
 		return
 	}
 	metrics := map[string]Agg{}
-	for _, s := range m.cfg.Samplers {
-		name, v := s(m.h.Rank())
+	fold := func(name string, v float64) {
 		agg := metrics[name]
 		agg.merge(Agg{Sum: v, Min: v, Max: v, Count: 1})
 		metrics[name] = agg
+	}
+	for _, s := range m.cfg.Samplers {
+		name, v := s(m.h.Rank())
+		fold(name, v)
+	}
+	if m.cfg.BrokerMetrics {
+		snap := m.h.Broker().Metrics().Snapshot()
+		for name, v := range snap.Counters {
+			fold(name, float64(v))
+		}
+		for name, v := range snap.Gauges {
+			fold(name, float64(v))
+		}
 	}
 	m.contribute(body.Epoch, 1, metrics)
 }

@@ -147,3 +147,56 @@ func TestDisableStopsSampling(t *testing.T) {
 	case <-time.After(200 * time.Millisecond):
 	}
 }
+
+func TestBrokerMetricsBridge(t *testing.T) {
+	const size = 3
+	s, err := session.New(session.Options{
+		Size: size,
+		Modules: []session.ModuleFactory{
+			kvs.Factory(kvs.ModuleConfig{}),
+			hb.Factory(hb.Config{Interval: time.Hour}),
+			Factory(Config{BrokerMetrics: true}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	h := s.Handle(0)
+	defer h.Close()
+
+	sub, err := h.Subscribe("mon.epoch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Enable(h, 1); err != nil {
+		t.Fatal(err)
+	}
+	epoch, err := hb.Pulse(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sub.Chan():
+	case <-time.After(10 * time.Second):
+		t.Fatal("epoch record never finalized")
+	}
+
+	// Every rank contributes its broker registry; events_applied is
+	// nonzero everywhere (the hb pulse itself was applied at each rank).
+	kc := kvs.NewClient(h)
+	var record struct {
+		Sum   float64
+		Count int
+	}
+	key := "mon.cmb.events_applied.epoch-" + itoa(epoch)
+	if err := kc.Get(key, &record); err != nil {
+		t.Fatal(err)
+	}
+	if record.Count != size {
+		t.Fatalf("count = %d, want %d", record.Count, size)
+	}
+	if record.Sum < float64(size) {
+		t.Fatalf("events_applied sum = %v, want >= %d", record.Sum, size)
+	}
+}

@@ -15,9 +15,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"fluxgo/internal/broker"
 	"fluxgo/internal/kvs"
+	"fluxgo/internal/obs"
 	"fluxgo/internal/wire"
 )
 
@@ -117,6 +119,13 @@ type Module struct {
 	jobs    map[string]*jobState
 	cancels map[string][]context.CancelFunc // jobid -> local task cancels
 	wg      sync.WaitGroup
+
+	// Observability handles into the broker registry ("wexec.*").
+	obsTasks    *obs.Counter // tasks launched at this rank
+	obsFailed   *obs.Counter // tasks that exited nonzero
+	obsFinished *obs.Counter // jobs finalized (root only)
+	obsRunning  *obs.Gauge   // tasks currently running here
+	histTask    *obs.Histogram
 }
 
 // New returns a wexec module instance.
@@ -146,6 +155,12 @@ func (m *Module) Subscriptions() []string { return []string{"wexec.run", "wexec.
 func (m *Module) Init(h *broker.Handle) error {
 	m.h = h
 	m.kc = kvs.NewClient(h)
+	reg := h.Broker().Metrics()
+	m.obsTasks = reg.Counter("wexec.tasks")
+	m.obsFailed = reg.Counter("wexec.tasks_failed")
+	m.obsFinished = reg.Counter("wexec.jobs_finished")
+	m.obsRunning = reg.Gauge("wexec.running")
+	m.histTask = reg.Histogram("wexec.task_ns")
 	return nil
 }
 
@@ -172,6 +187,8 @@ func (m *Module) Recv(msg *wire.Message) {
 		m.recvDone(msg)
 	case msg.Type == wire.Request && msg.Method() == "run":
 		m.recvRun(msg)
+	case msg.Type == wire.Request && msg.Method() == "stats":
+		m.recvStats(msg)
 	case msg.Type == wire.Request:
 		m.h.RespondError(msg, broker.ErrnoNoSys, fmt.Sprintf("wexec: unknown method %q", msg.Method()))
 	}
@@ -243,7 +260,10 @@ func (m *Module) onRun(msg *wire.Message) {
 	m.cancels[body.JobID] = append(m.cancels[body.JobID], cancel)
 	m.mu.Unlock()
 	m.wg.Add(1)
+	m.obsTasks.Inc()
+	m.obsRunning.Add(1)
 	go func() {
+		start := time.Now()
 		defer m.wg.Done()
 		defer cancel()
 		var stdout, stderr strings.Builder
@@ -258,6 +278,11 @@ func (m *Module) onRun(msg *wire.Message) {
 		default:
 			fmt.Fprintf(&stderr, "wexec: no such program %q\n", body.Program)
 		}
+		m.obsRunning.Add(-1)
+		if code != 0 {
+			m.obsFailed.Inc()
+		}
+		m.histTask.Observe(time.Since(start))
 		m.completeTask(body.JobID, code, stdout.String(), stderr.String())
 	}()
 }
@@ -328,6 +353,7 @@ func (m *Module) finishJob(jobid string) {
 	delete(m.cancels, jobid)
 	m.mu.Unlock()
 
+	m.obsFinished.Inc()
 	state := "complete"
 	if fails > 0 {
 		state = "failed"
@@ -346,6 +372,30 @@ func (m *Module) finishJob(jobid string) {
 	}); err != nil {
 		m.h.Logf("wexec: complete event for %q failed: %v", jobid, err)
 	}
+}
+
+// recvStats serves wexec.stats: per-rank task accounting plus this
+// service's slice of the broker metrics registry.
+func (m *Module) recvStats(msg *wire.Message) {
+	m.mu.Lock()
+	njobs := len(m.jobs)
+	m.mu.Unlock()
+	snap := m.h.Broker().Metrics().Snapshot()
+	hists := map[string]obs.HistSnapshot{}
+	for name, h := range snap.Hists {
+		if strings.HasPrefix(name, "wexec.") {
+			hists[name] = h
+		}
+	}
+	m.h.Respond(msg, map[string]any{
+		"rank":          m.h.Rank(),
+		"jobs_tracked":  njobs,
+		"tasks":         m.obsTasks.Load(),
+		"tasks_failed":  m.obsFailed.Load(),
+		"jobs_finished": m.obsFinished.Load(),
+		"running":       m.obsRunning.Load(),
+		"hists":         hists,
+	})
 }
 
 // onKill cancels local tasks of a job.

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("reqs") != c {
+		t.Fatal("Counter not idempotent per name")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// 90 fast observations around 1µs, 10 slow around 1ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := r.Snapshot().Hists["lat"]
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	// p50 must sit in the microsecond bucket, p95/p99 in the millisecond
+	// one. Buckets are powers of two, so compare against loose bounds.
+	if s.P50NS > 4_000 {
+		t.Fatalf("p50 = %dns, want ~1µs", s.P50NS)
+	}
+	if s.P95NS < 500_000 || s.P95NS > 4_000_000 {
+		t.Fatalf("p95 = %dns, want ~1ms", s.P95NS)
+	}
+	if s.P99NS < s.P95NS {
+		t.Fatalf("p99 (%d) < p95 (%d)", s.P99NS, s.P95NS)
+	}
+	if s.MeanNS() == 0 {
+		t.Fatal("mean = 0")
+	}
+}
+
+func TestHistogramNegativeAndEmpty(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second) // clamped, must not panic or corrupt
+	s := h.Snapshot()
+	if s.Count != 1 || s.SumNS != 0 {
+		t.Fatalf("snapshot after negative observe: %+v", s)
+	}
+	var empty Histogram
+	es := empty.Snapshot()
+	if q := es.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %d, want 0", q)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("x").Add(3)
+	b.Counter("x").Add(4)
+	b.Counter("y").Inc()
+	a.Gauge("g").Set(2)
+	b.Gauge("g").Set(5)
+	a.Histogram("h").Observe(time.Microsecond)
+	b.Histogram("h").Observe(time.Millisecond)
+
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Counters["x"] != 7 || s.Counters["y"] != 1 {
+		t.Fatalf("merged counters: %v", s.Counters)
+	}
+	if s.Gauges["g"] != 7 {
+		t.Fatalf("merged gauge: %v", s.Gauges)
+	}
+	h := s.Hists["h"]
+	if h.Count != 2 {
+		t.Fatalf("merged hist count = %d, want 2", h.Count)
+	}
+	if h.P99NS < 500_000 {
+		t.Fatalf("merged p99 = %d, want ~1ms", h.P99NS)
+	}
+	// Merge into a zero-value snapshot must also work.
+	var zero Snapshot
+	zero.Merge(s)
+	if zero.Counters["x"] != 7 {
+		t.Fatalf("merge into zero: %v", zero.Counters)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Histogram("h").Observe(42 * time.Microsecond)
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["c"] != 1 || back.Hists["h"].Count != 1 {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("n")
+			h := r.Histogram("d")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(time.Duration(j))
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Load(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestTraceBufferRing(t *testing.T) {
+	tb := NewTraceBuffer(4)
+	for i := 1; i <= 6; i++ {
+		tb.Append(Span{Trace: uint64(i), Hop: uint8(i)})
+	}
+	if tb.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tb.Len())
+	}
+	all := tb.Snapshot(0)
+	if len(all) != 4 || all[0].Trace != 3 || all[3].Trace != 6 {
+		t.Fatalf("ring order wrong: %+v", all)
+	}
+	// Filtered view.
+	tb.Append(Span{Trace: 6, Hop: 9})
+	got := tb.Snapshot(6)
+	if len(got) != 2 || got[1].Hop != 9 {
+		t.Fatalf("filter by trace: %+v", got)
+	}
+}
+
+func TestTraceBufferDisabled(t *testing.T) {
+	tb := NewTraceBuffer(0)
+	tb.Append(Span{Trace: 1})
+	if tb.Len() != 0 || tb.Snapshot(0) != nil {
+		t.Fatal("disabled buffer recorded spans")
+	}
+	var nilBuf *TraceBuffer
+	nilBuf.Append(Span{Trace: 1}) // must not panic
+	if nilBuf.Snapshot(0) != nil || nilBuf.Len() != 0 {
+		t.Fatal("nil buffer misbehaved")
+	}
+}

@@ -1,0 +1,321 @@
+// Package obs is the observability plane shared by the broker and its
+// comms modules: a metrics registry of atomic counters, gauges, and
+// log2-bucketed latency histograms, plus a bounded per-broker ring
+// buffer of message trace spans (trace.go).
+//
+// The registry lives on the RPC hot path, so its cost model is strict:
+// a metric is looked up once (Counter/Gauge/Histogram return a handle)
+// and every subsequent update is one or two uncontended atomic adds —
+// no maps, no locks, no allocation. Snapshots are taken off the hot
+// path and are mergeable, so per-rank registries aggregate tree-wide
+// over the mon reduction path into one session view.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous atomic value that may move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// HistBuckets is the number of log2 latency buckets. Bucket i counts
+// observations whose nanosecond duration has bit length i (i.e. in
+// [2^(i-1), 2^i)); the last bucket absorbs everything larger, which at
+// 2^47 ns is ~39 hours — beyond any RPC deadline in the system.
+const HistBuckets = 48
+
+// Histogram is a log2-bucketed latency histogram. Observe is two atomic
+// adds; quantile summaries are computed at snapshot time from the
+// bucket counts, accurate to the bucket width (a factor of 2 — enough
+// to tell a 10µs path from a 10ms one, which is what hot-path tuning
+// needs).
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(d)
+	if d < 0 {
+		ns = 0
+	}
+	i := bits.Len64(ns)
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[i].Add(1)
+}
+
+// Snapshot copies the histogram's counters into a HistSnapshot.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		SumNS: h.sum.Load(),
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Bit: i, N: n})
+		}
+	}
+	s.summarize()
+	return s
+}
+
+// Bucket is one populated log2 bucket of a histogram snapshot: N
+// observations with nanosecond bit length Bit.
+type Bucket struct {
+	Bit int    `json:"bit"`
+	N   uint64 `json:"n"`
+}
+
+// upperNS is the exclusive upper bound of the bucket in nanoseconds.
+func (b Bucket) upperNS() uint64 {
+	if b.Bit >= 63 {
+		return 1 << 62
+	}
+	return 1 << uint(b.Bit)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram with quantile
+// summaries precomputed (upper-bound estimates: a quantile is reported
+// as the top of the bucket containing it).
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	SumNS   uint64   `json:"sum_ns"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+	P50NS   uint64   `json:"p50_ns"`
+	P95NS   uint64   `json:"p95_ns"`
+	P99NS   uint64   `json:"p99_ns"`
+	MaxNS   uint64   `json:"max_ns"` // upper bound of the highest bucket
+}
+
+// summarize recomputes the quantile fields from the bucket counts.
+func (s *HistSnapshot) summarize() {
+	s.P50NS = s.Quantile(0.50)
+	s.P95NS = s.Quantile(0.95)
+	s.P99NS = s.Quantile(0.99)
+	s.MaxNS = 0
+	if n := len(s.Buckets); n > 0 {
+		s.MaxNS = s.Buckets[n-1].upperNS()
+	}
+}
+
+// Quantile returns the upper bound of the bucket containing quantile q
+// (0 < q <= 1), in nanoseconds. Zero when the histogram is empty.
+func (s *HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	// Nearest-rank: the smallest bucket whose cumulative count covers
+	// ceil(q * Count) observations.
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target == 0 {
+		target = 1
+	}
+	if target > s.Count {
+		target = s.Count
+	}
+	var seen uint64
+	for _, b := range s.Buckets {
+		seen += b.N
+		if seen >= target {
+			return b.upperNS()
+		}
+	}
+	if n := len(s.Buckets); n > 0 {
+		return s.Buckets[n-1].upperNS()
+	}
+	return 0
+}
+
+// MeanNS returns the exact mean in nanoseconds (sum is tracked
+// exactly, unlike the bucketed quantiles).
+func (s *HistSnapshot) MeanNS() uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.SumNS / s.Count
+}
+
+// merge folds o's buckets into s and recomputes summaries.
+func (s *HistSnapshot) merge(o HistSnapshot) {
+	s.Count += o.Count
+	s.SumNS += o.SumNS
+	byBit := make(map[int]uint64, len(s.Buckets)+len(o.Buckets))
+	for _, b := range s.Buckets {
+		byBit[b.Bit] += b.N
+	}
+	for _, b := range o.Buckets {
+		byBit[b.Bit] += b.N
+	}
+	s.Buckets = s.Buckets[:0]
+	for bit, n := range byBit {
+		s.Buckets = append(s.Buckets, Bucket{Bit: bit, N: n})
+	}
+	sort.Slice(s.Buckets, func(i, j int) bool { return s.Buckets[i].Bit < s.Buckets[j].Bit })
+	s.summarize()
+}
+
+// Registry is a named collection of metrics. Registration (the
+// get-or-create lookups) takes a mutex; the returned handles are then
+// updated lock-free, so hot paths hoist the lookup out of the loop.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	gauge map[string]*Gauge
+	hists map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:  make(map[string]*Counter),
+		gauge: make(map[string]*Gauge),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauge[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauge[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time, JSON-marshalable copy of a registry.
+// Snapshots from different ranks Merge into a session-wide view.
+type Snapshot struct {
+	Counters map[string]uint64       `json:"counters,omitempty"`
+	Gauges   map[string]int64        `json:"gauges,omitempty"`
+	Hists    map[string]HistSnapshot `json:"hists,omitempty"`
+}
+
+// Snapshot copies every metric's current value. Counter and gauge
+// reads are atomic loads; the result is not a consistent cut across
+// metrics (none is needed: these are monitoring counters).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters: make(map[string]uint64, len(r.ctrs)),
+		Gauges:   make(map[string]int64, len(r.gauge)),
+		Hists:    make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for name, c := range r.ctrs {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauge {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.hists {
+		s.Hists[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Merge folds o into s: counters and gauges sum, histograms merge
+// bucket-wise with quantiles recomputed. Merging per-rank snapshots
+// yields the tree-wide totals the mon reduction reports.
+func (s *Snapshot) Merge(o Snapshot) {
+	if s.Counters == nil {
+		s.Counters = make(map[string]uint64, len(o.Counters))
+	}
+	for name, v := range o.Counters {
+		s.Counters[name] += v
+	}
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]int64, len(o.Gauges))
+	}
+	for name, v := range o.Gauges {
+		s.Gauges[name] += v
+	}
+	if s.Hists == nil {
+		s.Hists = make(map[string]HistSnapshot, len(o.Hists))
+	}
+	for name, h := range o.Hists {
+		cur := s.Hists[name]
+		cur.merge(h)
+		s.Hists[name] = cur
+	}
+}
+
+// Names returns the sorted metric names of each kind, for stable
+// rendering in CLIs.
+func (s *Snapshot) Names() (counters, gauges, hists []string) {
+	for name := range s.Counters {
+		counters = append(counters, name)
+	}
+	for name := range s.Gauges {
+		gauges = append(gauges, name)
+	}
+	for name := range s.Hists {
+		hists = append(hists, name)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+	return counters, gauges, hists
+}

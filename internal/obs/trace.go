@@ -1,0 +1,101 @@
+package obs
+
+import "sync"
+
+// Span is one hop of a traced message: a record of what one broker did
+// with it — which link it left on (or which local service consumed it),
+// how long it waited in the broker inbox, how long routing/handling
+// took, and the errnum if the hop failed. Spans are keyed by the trace
+// id carried in the message's wire-level trace context; Hop numbers the
+// span within the trace and Parent names the hop that sent it here, so
+// a trace's spans chain into the message's end-to-end path.
+type Span struct {
+	Trace   uint64 `json:"trace"`
+	Rank    int    `json:"rank"`
+	Hop     uint8  `json:"hop"`
+	Parent  uint8  `json:"parent"`
+	Kind    string `json:"kind"` // request | response | event
+	Topic   string `json:"topic"`
+	Link    string `json:"link"` // outbound link id, or local:<svc>
+	Errnum  int32  `json:"errnum,omitempty"`
+	QueueNS int64  `json:"queue_ns"` // wait in the broker inbox
+	WorkNS  int64  `json:"work_ns"`  // routing / handling time
+	StartNS int64  `json:"start_ns"` // wall-clock unix nanos
+}
+
+// DefaultTraceSpans is the default ring capacity of a broker's span
+// buffer: enough to hold the complete recent history of a busy broker
+// between flux trace invocations without unbounded growth.
+const DefaultTraceSpans = 4096
+
+// TraceBuffer is a bounded ring of spans. Append overwrites the oldest
+// span once the ring is full; a nil or zero-capacity buffer drops
+// everything, which is how tracing is disabled.
+type TraceBuffer struct {
+	mu    sync.Mutex
+	spans []Span
+	next  int
+	full  bool
+}
+
+// NewTraceBuffer creates a ring holding up to capacity spans.
+// capacity <= 0 yields a buffer that records nothing.
+func NewTraceBuffer(capacity int) *TraceBuffer {
+	if capacity <= 0 {
+		return &TraceBuffer{}
+	}
+	return &TraceBuffer{spans: make([]Span, capacity)}
+}
+
+// Append records one span, evicting the oldest when full.
+func (t *TraceBuffer) Append(s Span) {
+	if t == nil || len(t.spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.spans[t.next] = s
+	t.next++
+	if t.next == len(t.spans) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns the buffered spans in arrival order, filtered to the
+// given trace id; id 0 returns everything.
+func (t *TraceBuffer) Snapshot(id uint64) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	appendIf := func(s Span) {
+		if s.Trace != 0 && (id == 0 || s.Trace == id) {
+			out = append(out, s)
+		}
+	}
+	if t.full {
+		for _, s := range t.spans[t.next:] {
+			appendIf(s)
+		}
+	}
+	for _, s := range t.spans[:t.next] {
+		appendIf(s)
+	}
+	return out
+}
+
+// Len reports how many spans are currently buffered.
+func (t *TraceBuffer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.spans)
+	}
+	return t.next
+}

@@ -81,7 +81,7 @@ func BuiltinTools() wexec.HandleRegistry {
 		// epoch reports the local heartbeat epoch, demonstrating tool use
 		// of session services beyond the KVS.
 		"epoch": func(ctx context.Context, h *broker.Handle, rank int, args []string, stdout, stderr *fmtBuilder) int {
-			resp, err := h.RPC("hb.get", wire.NodeidAny, nil)
+			resp, err := h.RPCContext(ctx, "hb.get", wire.NodeidAny, nil)
 			if err != nil {
 				fmt.Fprintf(stderr, "epoch: %v\n", err)
 				return 1

@@ -46,9 +46,36 @@ const (
 	TopicPing = "cmb.ping"
 	// TopicInfo (request) reports rank, size, arity, and parent.
 	TopicInfo = "cmb.info"
-	// TopicStats (request) snapshots the broker counters.
+	// TopicStats (request) snapshots the broker counters and its
+	// observability-registry metrics.
 	TopicStats = "cmb.stats"
+	// TopicTrace (request) returns the broker's buffered trace spans,
+	// optionally filtered to one trace id.
+	TopicTrace = "cmb.trace"
 	// TopicLsmod / TopicRmmod (request) list and unload comms modules.
 	TopicLsmod = "cmb.lsmod"
 	TopicRmmod = "cmb.rmmod"
+)
+
+// Metric names of the broker core's observability registry. They share
+// the "cmb." namespace with the broker's wire topics (the registry is
+// keyed by service, like the wire protocol), so they live here with the
+// other cmb strings.
+const (
+	MetricRequestsRouted   = "cmb.requests_routed"
+	MetricRequestsUpstream = "cmb.requests_upstream"
+	MetricRequestsRing     = "cmb.requests_ring"
+	MetricResponsesRouted  = "cmb.responses_routed"
+	MetricEventsPublished  = "cmb.events_published"
+	MetricEventsApplied    = "cmb.events_applied"
+	MetricEventsDuplicate  = "cmb.events_duplicate"
+	MetricEventSeqGaps     = "cmb.event_seq_gaps"
+	MetricReparents        = "cmb.reparents"
+	MetricSendErrors       = "cmb.send_errors"
+	MetricInflightFailed   = "cmb.inflight_failed"
+
+	MetricRequestQueueNS  = "cmb.request_queue_ns"
+	MetricRouteRequestNS  = "cmb.route_request_ns"
+	MetricRouteResponseNS = "cmb.route_response_ns"
+	MetricApplyEventNS    = "cmb.apply_event_ns"
 )

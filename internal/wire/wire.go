@@ -68,6 +68,19 @@ type Message struct {
 	Errnum  int32    // response status; 0 means success
 	Route   []string // identity hop stack for response back-routing
 	Payload []byte   // JSON frame
+
+	// Trace context (codec v2). TraceID names the end-to-end exchange
+	// the message belongs to; it is assigned by the first broker to
+	// route the message (when zero) and then propagated unchanged, so
+	// every hop of a request, its response, and any re-forwarding
+	// records spans under one id. Hops is the span index: each broker
+	// increments it as it routes the message, and copies the previous
+	// value into Parent, so a hop's span names the hop that sent it.
+	// Responses inherit the request's trace context and continue its
+	// hop numbering.
+	TraceID uint64
+	Parent  uint8
+	Hops    uint8
 }
 
 // Service returns the first component of the hierarchical topic — the
@@ -157,13 +170,17 @@ func NewRequest(topic string, nodeid uint32, body any) (*Message, error) {
 }
 
 // NewResponse builds a success response mirroring req's topic, match tag,
-// and route stack.
+// route stack, and trace context (the response's hops continue the
+// request's numbering, so one trace covers the full round trip).
 func NewResponse(req *Message, body any) (*Message, error) {
 	m := &Message{
-		Type:  Response,
-		Topic: req.Topic,
-		Seq:   req.Seq,
-		Route: append([]string(nil), req.Route...),
+		Type:    Response,
+		Topic:   req.Topic,
+		Seq:     req.Seq,
+		Route:   append([]string(nil), req.Route...),
+		TraceID: req.TraceID,
+		Parent:  req.Parent,
+		Hops:    req.Hops,
 	}
 	if body == nil {
 		body = struct{}{}
@@ -181,11 +198,14 @@ func NewErrorResponse(req *Message, errnum int32, msg string) *Message {
 		errnum = 1
 	}
 	m := &Message{
-		Type:   Response,
-		Topic:  req.Topic,
-		Seq:    req.Seq,
-		Errnum: errnum,
-		Route:  append([]string(nil), req.Route...),
+		Type:    Response,
+		Topic:   req.Topic,
+		Seq:     req.Seq,
+		Errnum:  errnum,
+		Route:   append([]string(nil), req.Route...),
+		TraceID: req.TraceID,
+		Parent:  req.Parent,
+		Hops:    req.Hops,
 	}
 	// Marshal of errorBody cannot fail.
 	m.Payload, _ = json.Marshal(errorBody{Error: msg})
@@ -242,11 +262,18 @@ func NewEvent(topic string, body any) (*Message, error) {
 
 // Codec constants.
 const (
-	magic   = 0xF1
-	version = 1
+	magic = 0xF1
+	// version 2 added the fixed trace-context fields (TraceID, Parent,
+	// Hops) to the header. All brokers of a session run one binary, so
+	// no compatibility shim for v1 peers is kept: a v1 frame is
+	// rejected with ErrBadVer.
+	version = 2
 	// MaxMessageSize bounds a single encoded message; oversized messages
 	// are rejected by both Marshal and Unmarshal to protect brokers.
 	MaxMessageSize = 64 << 20
+	// headerLen is the fixed-size prefix: magic, version, type,
+	// nodeid(4), seq(8), errnum(4), traceid(8), parent(1), hops(1).
+	headerLen = 3 + 4 + 8 + 4 + 8 + 1 + 1
 )
 
 // Codec errors.
@@ -261,10 +288,11 @@ var (
 //
 // Layout: magic, version, type, then uvarint-framed fields:
 // nodeid(u32 LE), seq(u64 LE), errnum(i32 zigzag-free LE),
+// traceid(u64 LE), parent(u8), hops(u8),
 // topic(len+bytes), nroutes(uvarint) × route(len+bytes),
 // payload(len+bytes).
 func Marshal(m *Message) ([]byte, error) {
-	size := 3 + 4 + 8 + 4
+	size := headerLen
 	size += uvarintLen(uint64(len(m.Topic))) + len(m.Topic)
 	size += uvarintLen(uint64(len(m.Route)))
 	for _, r := range m.Route {
@@ -280,6 +308,8 @@ func Marshal(m *Message) ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint32(buf, m.Nodeid)
 	buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Errnum))
+	buf = binary.LittleEndian.AppendUint64(buf, m.TraceID)
+	buf = append(buf, m.Parent, m.Hops)
 	buf = appendBytes(buf, []byte(m.Topic))
 	buf = binary.AppendUvarint(buf, uint64(len(m.Route)))
 	for _, r := range m.Route {
@@ -294,7 +324,7 @@ func Unmarshal(data []byte) (*Message, error) {
 	if len(data) > MaxMessageSize {
 		return nil, ErrTooLarge
 	}
-	if len(data) < 3+4+8+4 {
+	if len(data) < headerLen {
 		return nil, ErrTruncated
 	}
 	if data[0] != magic {
@@ -311,7 +341,10 @@ func Unmarshal(data []byte) (*Message, error) {
 	m.Nodeid = binary.LittleEndian.Uint32(p)
 	m.Seq = binary.LittleEndian.Uint64(p[4:])
 	m.Errnum = int32(binary.LittleEndian.Uint32(p[12:]))
-	p = p[16:]
+	m.TraceID = binary.LittleEndian.Uint64(p[16:])
+	m.Parent = p[24]
+	m.Hops = p[25]
+	p = p[26:]
 
 	topic, p, err := readBytes(p)
 	if err != nil {

@@ -85,6 +85,8 @@ func TestMarshalRoundTrip(t *testing.T) {
 			Payload: []byte(`{"error":"nope"}`)},
 		{Type: Event, Topic: "hb", Seq: 9999999, Payload: []byte(`{}`)},
 		{Type: Control, Topic: "cmb.hello", Nodeid: 3},
+		{Type: Request, Topic: "kvs.get", Nodeid: 2, Seq: 7,
+			TraceID: 0xDEADBEEF01, Parent: 2, Hops: 3, Payload: []byte(`{}`)},
 	}
 	for _, m := range msgs {
 		b, err := Marshal(m)
@@ -103,7 +105,7 @@ func TestMarshalRoundTrip(t *testing.T) {
 
 func TestMarshalRoundTripQuick(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	f := func(topic string, nodeid uint32, seq uint64, errnum int32, routes []string, payload []byte) bool {
+	f := func(topic string, nodeid uint32, seq uint64, errnum int32, routes []string, payload []byte, traceid uint64, parent, hops uint8) bool {
 		m := &Message{
 			Type:    Type(1 + rng.Intn(4)),
 			Topic:   topic,
@@ -111,6 +113,9 @@ func TestMarshalRoundTripQuick(t *testing.T) {
 			Seq:     seq,
 			Errnum:  errnum,
 			Payload: payload,
+			TraceID: traceid,
+			Parent:  parent,
+			Hops:    hops,
 		}
 		if len(routes) > 0 {
 			m.Route = routes
@@ -196,12 +201,19 @@ func TestNewRequestResponseHelpers(t *testing.T) {
 	req.Seq = 77
 	req.PushRoute("client-1")
 
+	req.TraceID = 99
+	req.Parent = 1
+	req.Hops = 2
+
 	resp, err := NewResponse(req, map[string]int{"val": 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.Type != Response || resp.Seq != 77 || resp.Topic != "kvs.get" {
 		t.Fatalf("response header mismatch: %+v", resp)
+	}
+	if resp.TraceID != 99 || resp.Parent != 1 || resp.Hops != 2 {
+		t.Fatalf("response trace context not inherited: %+v", resp)
 	}
 	if len(resp.Route) != 1 || resp.Route[0] != "client-1" {
 		t.Fatalf("response route = %v, want [client-1]", resp.Route)
