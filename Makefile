@@ -14,7 +14,10 @@
 
 GO ?= go
 
-.PHONY: build test check chaos vet lint debuglock
+# Hot-path packages covered by `make bench` / the CI bench job.
+BENCH_PKGS = ./internal/wire/ ./internal/broker/ ./internal/kvs/ ./internal/cas/
+
+.PHONY: build test check chaos vet lint debuglock bench
 
 build:
 	$(GO) build ./...
@@ -39,3 +42,9 @@ debuglock:
 # Longer fault-injection soak; honours CHAOS_SOAK / CHAOS_SEED.
 chaos:
 	$(GO) test -race -run 'TestChaosSoak' -v ./internal/session/
+
+# Hot-path microbenchmarks, archived as JSON (see cmd/benchjson and
+# EXPERIMENTS.md for the tracked before/after numbers).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson -label current -o BENCH_core.json

@@ -32,12 +32,21 @@ const (
 	ErrnoTimedOut int32 = 110
 )
 
-// Message is the unit of wire traffic.
+// Message is the unit of wire traffic. Payload may alias a pooled
+// receive buffer on decoded messages; Detach copies it out.
 type Message struct {
-	Type  Type
-	Topic string
-	Seq   uint64
-	Data  []byte
+	Type    Type
+	Topic   string
+	Seq     uint64
+	Data    []byte
+	Payload []byte
+}
+
+// Detach copies Payload out of the receive buffer so it survives
+// buffer reuse, and returns m for chaining.
+func (m *Message) Detach() *Message {
+	m.Payload = append([]byte(nil), m.Payload...)
+	return m
 }
 
 // RPCError is a decoded error response.

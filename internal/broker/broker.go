@@ -117,6 +117,19 @@ func (b *Broker) send(l *link, m *wire.Message) {
 	}
 }
 
+// sendHandoff is send for the single-destination routing paths: when l
+// is a transport link, the message is armed so the link's writer
+// recycles it (and its receive buffer) after encoding. The caller must
+// not touch m afterwards. Messages fanned out to several links (events)
+// or delivered to local handles are never armed: for them this
+// degenerates to send, and they are garbage-collected as before.
+func (b *Broker) sendHandoff(l *link, m *wire.Message) {
+	if l.conn != nil {
+		m.Handoff()
+	}
+	b.send(l, m)
+}
+
 // inbound is one unit of work for the broker loop.
 type inbound struct {
 	msg  *wire.Message
@@ -450,6 +463,7 @@ func (b *Broker) AttachConn(kind LinkKind, c transport.Conn) {
 	if kind == LinkChildEvent {
 		l.gated = true // opened by the child's cmb.resync
 	}
+	b.meterLink(l)
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -467,6 +481,22 @@ func (b *Broker) AttachConn(kind LinkKind, c transport.Conn) {
 	}
 	b.mu.Unlock()
 	go b.readLoop(l)
+}
+
+// meterLink installs per-link traffic counters on metered transports
+// (bytes each way plus frames saved by write coalescing), named
+// "link.<id>.*" in the broker registry so they surface in cmb.stats and
+// the mon reduction automatically.
+func (b *Broker) meterLink(l *link) {
+	mc, ok := l.conn.(transport.Metered)
+	if !ok {
+		return
+	}
+	mc.SetMeter(
+		b.metrics.Counter(wire.MetricLinkPrefix+l.id+wire.MetricSuffixBytesSent),
+		b.metrics.Counter(wire.MetricLinkPrefix+l.id+wire.MetricSuffixBytesRecv),
+		b.metrics.Counter(wire.MetricLinkPrefix+l.id+wire.MetricSuffixFramesCoalesc),
+	)
 }
 
 // readLoop pumps messages from a connection into the broker loop.
@@ -587,7 +617,7 @@ func (b *Broker) routeRequest(in inbound) {
 		}
 		outLink = out.id
 		b.trackInflight(m, out, arrival)
-		b.send(out, m)
+		b.sendHandoff(out, m)
 	default:
 		errnum = ErrnoInval
 		b.respondErr(m, ErrnoInval, fmt.Sprintf("nodeid %d outside session of size %d", m.Nodeid, b.cfg.Size))
@@ -657,7 +687,7 @@ func (b *Broker) forwardUpstream(m *wire.Message, arrival string) (string, int32
 		return "", ErrnoHostUnreach
 	}
 	b.trackInflight(m, p, arrival)
-	b.send(p, m)
+	b.sendHandoff(p, m)
 	return p.id, 0
 }
 
@@ -723,7 +753,7 @@ func (b *Broker) forwardResponse(in inbound) string {
 		b.logf("response %s to unknown link %q dropped", m.Topic, id)
 		return ""
 	}
-	b.send(l, m)
+	b.sendHandoff(l, m)
 	return l.id
 }
 
@@ -803,6 +833,8 @@ func (b *Broker) SetParent(treeConn, eventConn transport.Conn, newParentRank int
 	}
 	tl := &link{kind: LinkParentTree, id: LinkParentTree.prefix() + treeConn.PeerIdentity(), conn: treeConn}
 	el := &link{kind: LinkParentEvent, id: LinkParentEvent.prefix() + eventConn.PeerIdentity(), conn: eventConn}
+	b.meterLink(tl)
+	b.meterLink(el)
 	b.links[tl.id] = tl
 	b.links[el.id] = el
 	b.parentTree = tl

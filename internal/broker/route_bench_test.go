@@ -1,0 +1,41 @@
+package broker
+
+import (
+	"testing"
+
+	"fluxgo/internal/transport"
+	"fluxgo/internal/wire"
+)
+
+// BenchmarkRouteHop measures a request forwarded through a child broker
+// to its parent (route push, upstream handoff, builtin dispatch at the
+// root, and the response hop back) — the unit of work interior brokers
+// repeat per message on the fan-in path.
+func BenchmarkRouteHop(b *testing.B) {
+	root, err := New(Config{Rank: 0, Size: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	root.Start()
+	defer root.Shutdown()
+
+	child, err := New(Config{Rank: 1, Size: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	child.Start()
+	defer child.Shutdown()
+
+	up, down := transport.Pipe("rank:1", "rank:0")
+	child.AttachConn(LinkParentTree, up)
+	root.AttachConn(LinkChildTree, down)
+
+	h := child.NewHandle()
+	defer h.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.RPC("cmb.ping", wire.NodeidUpstream, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,8 +8,9 @@ import (
 	"fluxgo/internal/session"
 )
 
-// kvsStats fetches one rank's kvs module statistics.
-func kvsStats(t *testing.T, s *session.Session, rank int) (objects int, loads uint64) {
+// kvsStats fetches one rank's kvs module statistics: cached object
+// count, refs faulted from upstream, and upstream load RPCs issued.
+func kvsStats(t *testing.T, s *session.Session, rank int) (objects int, loads, batches uint64) {
 	t.Helper()
 	h := s.Handle(rank)
 	defer h.Close()
@@ -20,11 +21,12 @@ func kvsStats(t *testing.T, s *session.Session, rank int) (objects int, loads ui
 	var body struct {
 		Objects int    `json:"objects"`
 		Loads   uint64 `json:"loads"`
+		Batches uint64 `json:"load_batches"`
 	}
 	if err := resp.UnpackJSON(&body); err != nil {
 		t.Fatal(err)
 	}
-	return body.Objects, body.Loads
+	return body.Objects, body.Loads, body.Batches
 }
 
 // TestSlaveCacheExpiryOnHeartbeat: unused slave cache entries are
@@ -54,7 +56,7 @@ func TestSlaveCacheExpiryOnHeartbeat(t *testing.T) {
 	if err := r.Get("exp.k", &v); err != nil {
 		t.Fatal(err)
 	}
-	objsBefore, loadsBefore := kvsStats(t, s, 2)
+	objsBefore, loadsBefore, _ := kvsStats(t, s, 2)
 	if objsBefore == 0 {
 		t.Fatal("slave cache empty after read")
 	}
@@ -69,7 +71,7 @@ func TestSlaveCacheExpiryOnHeartbeat(t *testing.T) {
 	}
 	deadline := time.After(10 * time.Second)
 	for {
-		objs, _ := kvsStats(t, s, 2)
+		objs, _, _ := kvsStats(t, s, 2)
 		if objs == 0 {
 			break
 		}
@@ -82,7 +84,7 @@ func TestSlaveCacheExpiryOnHeartbeat(t *testing.T) {
 	}
 
 	// Master keeps everything pinned.
-	if objs, _ := kvsStats(t, s, 0); objs == 0 {
+	if objs, _, _ := kvsStats(t, s, 0); objs == 0 {
 		t.Fatal("master store expired pinned objects")
 	}
 
@@ -90,16 +92,19 @@ func TestSlaveCacheExpiryOnHeartbeat(t *testing.T) {
 	if err := r.Get("exp.k", &v); err != nil || v != "cached" {
 		t.Fatalf("re-read after expiry: %q %v", v, err)
 	}
-	_, loadsAfter := kvsStats(t, s, 2)
+	_, loadsAfter, _ := kvsStats(t, s, 2)
 	if loadsAfter <= loadsBefore {
 		t.Fatal("re-read did not fault objects back in")
 	}
 }
 
-// TestWholeObjectCaching verifies the structural cause of Fig. 4(a):
-// reading one small value from a big directory faults in the whole
-// directory object (2 loads: directory + value), and a second value from
-// the same directory costs only 1 more load (the directory is cached).
+// TestWholeObjectCaching verifies the read-path cost structure behind
+// Fig. 4(a) with batched prefetch: reading one small value from a big
+// directory faults in the directory object and all of its missing
+// entries — the whole 50-value directory rides along in the same
+// upstream round-trip — at a cost of one load RPC per tree level. A
+// second read from the same directory is then served entirely from
+// cache, costing no upstream traffic at all.
 func TestWholeObjectCaching(t *testing.T) {
 	s, err := session.New(session.Options{
 		Size:    3,
@@ -117,20 +122,23 @@ func TestWholeObjectCaching(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := client(t, s, 2)
-	_, l0 := kvsStats(t, s, 2)
+	_, l0, b0 := kvsStats(t, s, 2)
 	var v int
 	if err := r.Get("big.k7", &v); err != nil {
 		t.Fatal(err)
 	}
-	_, l1 := kvsStats(t, s, 2)
-	if l1-l0 != 3 { // root dir + "big" dir + value
-		t.Fatalf("first read faulted %d objects, want 3", l1-l0)
+	_, l1, b1 := kvsStats(t, s, 2)
+	if l1-l0 != 52 { // root dir + "big" dir + all 50 values prefetched
+		t.Fatalf("first read faulted %d objects, want 52", l1-l0)
+	}
+	if b1-b0 != 3 { // one batched RPC per level: root, "big" dir, "big"'s entries
+		t.Fatalf("first read issued %d load RPCs, want 3", b1-b0)
 	}
 	if err := r.Get("big.k9", &v); err != nil {
 		t.Fatal(err)
 	}
-	_, l2 := kvsStats(t, s, 2)
-	if l2-l1 != 1 { // directories cached; only the value faults
-		t.Fatalf("second read faulted %d objects, want 1", l2-l1)
+	_, l2, b2 := kvsStats(t, s, 2)
+	if l2 != l1 || b2 != b1 { // everything prefetched; no upstream traffic
+		t.Fatalf("second read faulted %d objects in %d RPCs, want 0 in 0", l2-l1, b2-b1)
 	}
 }

@@ -1,0 +1,53 @@
+package kvs
+
+import (
+	"fmt"
+	"testing"
+
+	"fluxgo/internal/session"
+)
+
+// BenchmarkLoadFanout measures a cold deep read: a producer at the root
+// commits one directory of 64 entries, then a leaf two hops down reads
+// every entry with an empty slave cache, so each iteration pays the full
+// fault-in fan-out (directory object plus all value objects) through the
+// tree. Session setup and teardown are excluded from the timing.
+func BenchmarkLoadFanout(b *testing.B) {
+	const fanout = 64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := session.New(session.Options{
+			Size:    4,
+			Arity:   2,
+			Modules: []session.ModuleFactory{Factory(ModuleConfig{})},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wh := s.Handle(0)
+		w := NewClient(wh)
+		for k := 0; k < fanout; k++ {
+			if err := w.Put(fmt.Sprintf("fan.k%03d", k), k); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := w.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		rh := s.Handle(3)
+		r := NewClient(rh)
+		b.StartTimer()
+		for k := 0; k < fanout; k++ {
+			var v int
+			if err := r.Get(fmt.Sprintf("fan.k%03d", k), &v); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		rh.Close()
+		wh.Close()
+		s.Close()
+		b.StartTimer()
+	}
+}

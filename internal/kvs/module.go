@@ -65,12 +65,23 @@ type getResp struct {
 	Dir []string        `json:"dir,omitempty"`
 }
 
+// loadBody requests object fault-ins. The batched form (Refs) lets one
+// RPC carry every miss a directory walk discovers, so a deep read costs
+// one upstream round-trip per level instead of one per object; the
+// single-ref form (Ref) is kept so old clients and tests interoperate.
 type loadBody struct {
-	Ref string `json:"ref"`
+	Ref  string   `json:"ref,omitempty"`
+	Refs []string `json:"refs,omitempty"`
 }
 
+// loadResp answers a loadBody: Data for the single-ref form, Objects
+// (ref-hex -> encoded object) for the batched form. A batched response
+// carries every requested object the responder holds; refs it could not
+// produce are simply absent, and the requester decides which absences
+// are fatal.
 type loadResp struct {
-	Data []byte `json:"data"`
+	Data    []byte            `json:"data,omitempty"`
+	Objects map[string][]byte `json:"objects,omitempty"`
 }
 
 type syncBody struct {
@@ -103,6 +114,17 @@ type doneFence struct {
 
 // doneFenceCap bounds the master's completed-fence reply cache.
 const doneFenceCap = 256
+
+// maxLoadBatch caps the refs one kvs.load RPC carries: a directory walk
+// prefetches at most this many missing entries per level, and larger
+// fault sets are chunked into several RPCs.
+const maxLoadBatch = 64
+
+// maxLoadWorkers bounds concurrent get/load worker goroutines per module
+// instance. Read requests beyond the bound queue on the semaphore inside
+// their (cheap) goroutines, so the Recv loop itself never blocks on read
+// traffic.
+const maxLoadWorkers = 64
 
 // ModuleConfig parameterizes the kvs comms module.
 type ModuleConfig struct {
@@ -147,6 +169,13 @@ type Module struct {
 	doneFences map[string]doneFence
 	doneOrder  []string
 
+	// flights collapses duplicate concurrent fault-ins of one ref, and
+	// sem bounds the get/load worker goroutines. Both are touched from
+	// worker goroutines; everything below root (root, version, fences,
+	// syncs, polling, askedRoot, doneFences) stays Recv-goroutine-owned.
+	flights flightGroup
+	sem     chan struct{}
+
 	// polling marks an in-flight heartbeat-driven root poll (slaves): when
 	// sync waiters are stalled — typically because a setroot event was
 	// lost to an injected fault — the slave asks upstream for the current
@@ -157,12 +186,14 @@ type Module struct {
 	// Observability: counter and histogram handles into the broker's
 	// registry, resolved once at Init and namespaced by service name so
 	// sharded instances ("kvs0", "kvs1", ...) stay distinguishable.
-	obsGets   *obs.Counter // get requests served
-	obsLoads  *obs.Counter // object fault-ins from upstream
-	histGet   *obs.Histogram
-	histPut   *obs.Histogram
-	histFence *obs.Histogram
-	histLoad  *obs.Histogram
+	obsGets      *obs.Counter // get requests served
+	obsLoads     *obs.Counter // objects faulted in from upstream
+	obsBatches   *obs.Counter // upstream load RPCs issued (each may carry many refs)
+	obsCoalesced *obs.Counter // fault-ins satisfied by waiting on another goroutine's fetch
+	histGet      *obs.Histogram
+	histPut      *obs.Histogram
+	histFence    *obs.Histogram
+	histLoad     *obs.Histogram
 }
 
 // NewModule returns a kvs module instance with the given configuration.
@@ -198,6 +229,9 @@ func (m *Module) Init(h *broker.Handle) error {
 	svc := m.cfg.Service
 	m.obsGets = reg.Counter(svc + ".gets")
 	m.obsLoads = reg.Counter(svc + ".loads")
+	m.obsBatches = reg.Counter(svc + ".load_batches")
+	m.obsCoalesced = reg.Counter(svc + ".loads_coalesced")
+	m.sem = make(chan struct{}, maxLoadWorkers)
 	m.histGet = reg.Histogram(svc + ".get_ns")
 	m.histPut = reg.Histogram(svc + ".put_ns")
 	m.histFence = reg.Histogram(svc + ".fence_ns")
@@ -226,6 +260,10 @@ func (m *Module) upstreamTarget() uint32 {
 // Recv implements broker.Module. All module state is owned by the Recv
 // goroutine except fence completion, which arrives on batch-RPC
 // goroutines and re-enters through the broker as kvs.fencedone requests.
+// Read traffic (get/load) is parsed here, then served on bounded worker
+// goroutines that touch only the thread-safe store, the singleflight
+// table, and the handle — so a read stalled faulting objects upstream
+// no longer blocks every other reader behind it.
 func (m *Module) Recv(msg *wire.Message) {
 	if msg.Type == wire.Event {
 		switch msg.Topic {
@@ -253,13 +291,11 @@ func (m *Module) Recv(msg *wire.Message) {
 	case "rootupdate":
 		m.recvRootUpdate(msg)
 	case "get":
-		start := time.Now()
+		// Served on a worker goroutine; recvGet times itself so the
+		// histogram covers the full walk, not just the dispatch.
 		m.recvGet(msg)
-		m.histGet.Observe(time.Since(start))
 	case "load":
-		start := time.Now()
 		m.recvLoad(msg)
-		m.histLoad.Observe(time.Since(start))
 	case "sync":
 		m.recvSync(msg)
 	case "getversion":
@@ -644,6 +680,25 @@ func (m *Module) fetchRoot() {
 	}
 }
 
+// spawnWorker runs fn on a tracked goroutine gated by the worker
+// semaphore. The goroutine (not the caller) waits for a slot, so Recv
+// stays responsive however many reads are queued; fn is skipped when the
+// module shuts down before a slot frees up (its request dies with the
+// session, like any request in flight at teardown).
+func (m *Module) spawnWorker(fn func()) {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		select {
+		case m.sem <- struct{}{}:
+		case <-m.ctx.Done():
+			return
+		}
+		defer func() { <-m.sem }()
+		fn()
+	}()
+}
+
 // loadObject returns the encoded object for ref, faulting it in from the
 // CMB-tree parent (recursively up the tree) on a local cache miss, then
 // caching it — the paper's slave fault-in path.
@@ -651,53 +706,209 @@ func (m *Module) loadObject(ref cas.Ref) ([]byte, error) {
 	if data, ok := m.store.GetRaw(ref); ok {
 		return data, nil
 	}
-	if m.isMaster() {
-		return nil, fmt.Errorf("kvs: object %s not found", ref.Short())
-	}
-	m.obsLoads.Inc()
-	// Loads are idempotent (content-addressed), so transient route
-	// failures are retried rather than surfaced to the reader.
-	resp, err := m.h.RPCWithOptions(context.Background(), m.cfg.Service+".load", m.upstreamTarget(), loadBody{Ref: ref.String()},
-		broker.RPCOptions{Retries: 4, Backoff: 25 * time.Millisecond})
-	if err != nil {
+	if err := m.loadObjects([]cas.Ref{ref}); err != nil {
 		return nil, err
 	}
-	var body loadResp
-	if err := resp.UnpackJSON(&body); err != nil {
-		return nil, err
+	data, ok := m.store.GetRaw(ref)
+	if !ok {
+		// Only reachable if expiry raced the fault-in, which fresh
+		// last-use stamps make all but impossible; fail loudly.
+		return nil, fmt.Errorf("kvs: object %s evicted during load", ref.Short())
 	}
-	if cas.HashOf(body.Data) != ref {
-		return nil, fmt.Errorf("kvs: loaded object fails hash check for %s", ref.Short())
+	return data, nil
+}
+
+// loadObjects ensures every ref is present in the local store, faulting
+// all misses from upstream in (chunked) batched kvs.load RPCs. Misses
+// already being fetched by another goroutine are waited on rather than
+// re-requested (see flightGroup). Returns the first error; refs that
+// loaded successfully stay cached regardless.
+func (m *Module) loadObjects(refs []cas.Ref) error {
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
 	}
-	m.store.PutRaw(body.Data)
-	return body.Data, nil
+	var need []cas.Ref
+	var waits []*flight
+	seen := make(map[cas.Ref]bool, len(refs))
+	for _, ref := range refs {
+		if seen[ref] || m.store.Has(ref) {
+			continue
+		}
+		seen[ref] = true
+		if m.isMaster() {
+			// The master holds everything pinned; a miss here is a real
+			// absence, not a cache fault.
+			fail(fmt.Errorf("kvs: object %s not found", ref.Short()))
+			continue
+		}
+		if f, leader := m.flights.begin(ref); leader {
+			need = append(need, ref)
+		} else {
+			m.obsCoalesced.Inc()
+			waits = append(waits, f)
+		}
+	}
+	if len(need) > 0 {
+		errs := m.fetchBatch(need)
+		for _, ref := range need {
+			err := errs[ref]
+			m.flights.finish(ref, err)
+			if err != nil {
+				fail(err)
+			}
+		}
+	}
+	for _, f := range waits {
+		<-f.done
+		if f.err != nil {
+			fail(f.err)
+		}
+	}
+	return firstErr
+}
+
+// fetchBatch faults refs in from upstream, at most maxLoadBatch per RPC,
+// verifying and caching every object returned. The per-ref error map
+// holds entries only for refs that failed.
+func (m *Module) fetchBatch(refs []cas.Ref) map[cas.Ref]error {
+	errs := map[cas.Ref]error{}
+	for len(refs) > 0 {
+		chunk := refs
+		if len(chunk) > maxLoadBatch {
+			chunk = chunk[:maxLoadBatch]
+		}
+		refs = refs[len(chunk):]
+		hex := make([]string, len(chunk))
+		for i, ref := range chunk {
+			hex[i] = ref.String()
+		}
+		m.obsBatches.Inc()
+		// Loads are idempotent (content-addressed), so transient route
+		// failures are retried rather than surfaced to the reader.
+		resp, err := m.h.RPCWithOptions(m.ctx, m.cfg.Service+".load", m.upstreamTarget(), loadBody{Refs: hex},
+			broker.RPCOptions{Retries: 4, Backoff: 25 * time.Millisecond})
+		if err != nil {
+			for _, ref := range chunk {
+				errs[ref] = err
+			}
+			continue
+		}
+		var body loadResp
+		if err := resp.UnpackJSON(&body); err != nil {
+			for _, ref := range chunk {
+				errs[ref] = err
+			}
+			continue
+		}
+		for _, ref := range chunk {
+			data, ok := body.Objects[ref.String()]
+			if !ok {
+				errs[ref] = fmt.Errorf("kvs: object %s not found", ref.Short())
+				continue
+			}
+			if cas.HashOf(data) != ref {
+				errs[ref] = fmt.Errorf("kvs: loaded object fails hash check for %s", ref.Short())
+				continue
+			}
+			m.obsLoads.Inc()
+			m.store.PutRaw(data)
+		}
+	}
+	return errs
 }
 
 // recvLoad serves a child's fault-in request from the local cache,
-// faulting the object in from our own parent if necessary.
+// faulting misses in from our own parent if necessary. The work happens
+// on a worker goroutine: an intermediate slave blocked on its own parent
+// must not stall its Recv loop. A batched request is answered with every
+// object this instance ended up holding; the single-ref form keeps its
+// original data-or-ENOENT contract.
 func (m *Module) recvLoad(msg *wire.Message) {
 	var body loadBody
 	if err := msg.UnpackJSON(&body); err != nil {
 		m.h.RespondError(msg, broker.ErrnoInval, err.Error())
 		return
 	}
-	ref, err := cas.ParseRef(body.Ref)
-	if err != nil {
-		m.h.RespondError(msg, broker.ErrnoInval, err.Error())
-		return
+	single := len(body.Refs) == 0
+	hexes := body.Refs
+	if single {
+		hexes = []string{body.Ref}
 	}
-	data, err := m.loadObject(ref)
-	if err != nil {
-		m.h.RespondError(msg, broker.ErrnoNoEnt, err.Error())
-		return
+	refs := make([]cas.Ref, len(hexes))
+	cached := true
+	for i, hx := range hexes {
+		ref, err := cas.ParseRef(hx)
+		if err != nil {
+			m.h.RespondError(msg, broker.ErrnoInval, err.Error())
+			return
+		}
+		refs[i] = ref
+		cached = cached && m.store.Has(ref)
 	}
-	m.h.Respond(msg, loadResp{Data: data})
+	// Fast path: every requested object is already cached, so answer
+	// from the Recv goroutine and spare the worker handoff.
+	if cached {
+		start := time.Now()
+		if single {
+			if data, ok := m.store.GetRaw(refs[0]); ok {
+				m.h.Respond(msg, loadResp{Data: data})
+				m.histLoad.Observe(time.Since(start))
+				return
+			}
+		} else {
+			objects := make(map[string][]byte, len(refs))
+			for i, ref := range refs {
+				if data, ok := m.store.GetRaw(ref); ok {
+					objects[hexes[i]] = data
+				}
+			}
+			if len(objects) == len(refs) {
+				m.h.Respond(msg, loadResp{Objects: objects})
+				m.histLoad.Observe(time.Since(start))
+				return
+			}
+		}
+		// An eviction raced the Has scan; fall through to the slow path.
+	}
+	m.spawnWorker(func() {
+		start := time.Now()
+		defer func() { m.histLoad.Observe(time.Since(start)) }()
+		err := m.loadObjects(refs)
+		if single {
+			data, ok := m.store.GetRaw(refs[0])
+			if !ok {
+				if err == nil {
+					err = fmt.Errorf("kvs: object %s not found", refs[0].Short())
+				}
+				m.h.RespondError(msg, broker.ErrnoNoEnt, err.Error())
+				return
+			}
+			m.h.Respond(msg, loadResp{Data: data})
+			return
+		}
+		objects := make(map[string][]byte, len(refs))
+		for i, ref := range refs {
+			if data, ok := m.store.GetRaw(ref); ok {
+				objects[hexes[i]] = data
+			}
+		}
+		if len(objects) == 0 && err != nil {
+			m.h.RespondError(msg, broker.ErrnoNoEnt, err.Error())
+			return
+		}
+		m.h.Respond(msg, loadResp{Objects: objects})
+	})
 }
 
-// recvGet walks the hash tree from the current root, faulting objects in
-// as needed, and returns the terminal object: a value's JSON, or a
-// directory's sorted entry list.
+// recvGet resolves the read's snapshot root on the Recv goroutine (the
+// only place module root state may be touched, and what keeps a get
+// ordered against the setroot events queued before it), then hands the
+// tree walk to a worker goroutine.
 func (m *Module) recvGet(msg *wire.Message) {
+	start := time.Now()
 	var body getBody
 	if err := msg.UnpackJSON(&body); err != nil {
 		m.h.RespondError(msg, broker.ErrnoInval, err.Error())
@@ -726,18 +937,79 @@ func (m *Module) recvGet(msg *wire.Message) {
 		m.h.RespondError(msg, broker.ErrnoNoEnt, fmt.Sprintf("kvs: %q: no such key", body.Key))
 		return
 	}
-	ref := root
-	parts := splitKey(body.Key)
-	for i, part := range parts {
+	// Fast path: a fully cached walk is served right here, sparing the
+	// worker handoff — warm reads are the overwhelmingly common case.
+	if m.serveGet(msg, body.Key, root, false) {
+		m.histGet.Observe(time.Since(start))
+		return
+	}
+	m.spawnWorker(func() {
+		m.serveGet(msg, body.Key, root, true)
+		m.histGet.Observe(time.Since(start))
+	})
+}
+
+// prefetchDir batches the fault-in of a directory's missing entries:
+// when the walk needs one child of dir, every other missing entry is
+// almost certainly about to be read too (deep reads and dir scans touch
+// them all), so they ride along in the same upstream round-trip. next is
+// placed first so the cap can never push out the object the walk
+// actually needs; failures beyond next are harmless (that entry just
+// faults again when actually read).
+func (m *Module) prefetchDir(dir map[string]cas.Ref, next cas.Ref) {
+	if m.isMaster() || m.store.Has(next) {
+		// Prefetch only rides along with a fetch the walk needs anyway;
+		// when next is cached, no speculative RPC is worth the latency.
+		return
+	}
+	refs := make([]cas.Ref, 1, len(dir))
+	refs[0] = next
+	for _, ref := range dir {
+		if len(refs) >= maxLoadBatch {
+			break
+		}
+		if ref != next && !m.store.Has(ref) {
+			refs = append(refs, ref)
+		}
+	}
+	// Best effort: the walk re-checks next via loadObject and reports
+	// its own error there.
+	_ = m.loadObjects(refs)
+}
+
+// serveGet walks the hash tree from root and responds with the terminal
+// object: a value's JSON, or a directory's sorted entry list. With fault
+// set, misses are faulted in from upstream, batched per directory level
+// (see prefetchDir), and the walk always completes (done is true).
+// Without it — the synchronous fast path — the walk uses only the local
+// cache and bails with done == false at the first miss, responding
+// nothing; errors the cache alone can prove (a bad path, a missing
+// entry) are final in either mode, because the walk reads an immutable
+// content-addressed snapshot.
+func (m *Module) serveGet(msg *wire.Message, key string, root cas.Ref, fault bool) (done bool) {
+	load := func(ref cas.Ref) ([]byte, bool, error) {
+		if !fault {
+			data, ok := m.store.GetRaw(ref)
+			return data, ok, nil
+		}
 		data, err := m.loadObject(ref)
+		return data, err == nil, err
+	}
+	ref := root
+	parts := splitKey(key)
+	for i, part := range parts {
+		data, ok, err := load(ref)
 		if err != nil {
 			m.h.RespondError(msg, broker.ErrnoNoEnt, err.Error())
-			return
+			return true
+		}
+		if !ok {
+			return false
 		}
 		obj, derr := cas.Decode(data)
 		if derr != nil {
 			m.h.RespondError(msg, broker.ErrnoProto, derr.Error())
-			return
+			return true
 		}
 		if obj.Kind != cas.KindDir {
 			at := "root"
@@ -745,25 +1017,31 @@ func (m *Module) recvGet(msg *wire.Message) {
 				at = parts[i-1]
 			}
 			m.h.RespondError(msg, errNotDir,
-				fmt.Sprintf("kvs: %q: %q is not a directory", body.Key, at))
-			return
+				fmt.Sprintf("kvs: %q: %q is not a directory", key, at))
+			return true
 		}
 		next, ok := obj.Dir[part]
 		if !ok {
-			m.h.RespondError(msg, broker.ErrnoNoEnt, fmt.Sprintf("kvs: %q: no such key", body.Key))
-			return
+			m.h.RespondError(msg, broker.ErrnoNoEnt, fmt.Sprintf("kvs: %q: no such key", key))
+			return true
+		}
+		if fault {
+			m.prefetchDir(obj.Dir, next)
 		}
 		ref = next
 	}
-	data, err := m.loadObject(ref)
+	data, ok, err := load(ref)
 	if err != nil {
 		m.h.RespondError(msg, broker.ErrnoNoEnt, err.Error())
-		return
+		return true
+	}
+	if !ok {
+		return false
 	}
 	obj, derr := cas.Decode(data)
 	if derr != nil {
 		m.h.RespondError(msg, broker.ErrnoProto, derr.Error())
-		return
+		return true
 	}
 	resp := getResp{Ref: ref.String()}
 	if obj.Kind == cas.KindDir {
@@ -776,6 +1054,7 @@ func (m *Module) recvGet(msg *wire.Message) {
 		resp.Val = json.RawMessage(obj.Value)
 	}
 	m.h.Respond(msg, resp)
+	return true
 }
 
 func (m *Module) recvStats(msg *wire.Message) {
@@ -791,13 +1070,15 @@ func (m *Module) recvStats(msg *wire.Message) {
 		}
 	}
 	m.h.Respond(msg, map[string]any{
-		"rank":    m.h.Rank(),
-		"objects": m.store.Len(),
-		"hits":    hits,
-		"misses":  misses,
-		"gets":    m.obsGets.Load(),
-		"loads":   m.obsLoads.Load(),
-		"version": m.version,
-		"hists":   hists,
+		"rank":            m.h.Rank(),
+		"objects":         m.store.Len(),
+		"hits":            hits,
+		"misses":          misses,
+		"gets":            m.obsGets.Load(),
+		"loads":           m.obsLoads.Load(),
+		"load_batches":    m.obsBatches.Load(),
+		"loads_coalesced": m.obsCoalesced.Load(),
+		"version":         m.version,
+		"hists":           hists,
 	})
 }

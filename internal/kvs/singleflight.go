@@ -1,0 +1,58 @@
+package kvs
+
+import (
+	"sync"
+
+	"fluxgo/internal/cas"
+)
+
+// flightGroup collapses duplicate concurrent fault-ins of the same
+// content ref: the first goroutine to ask for a missing ref becomes its
+// leader and fetches it upstream; everyone else who asks while the
+// fetch is in flight waits on the leader's result instead of issuing a
+// redundant upstream round-trip. Refs are content-addressed, so every
+// waiter is satisfied by whichever fetch completes — this is pure
+// de-duplication, with no staleness hazard.
+//
+// A hand-rolled implementation (mutex + map + channel) is used because
+// the module only needs begin/finish semantics and the repo takes no
+// external dependencies.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[cas.Ref]*flight
+}
+
+// flight is one in-progress fault. done is closed by the leader after
+// the object is in the local store (err == nil) or the fetch failed.
+type flight struct {
+	done chan struct{}
+	err  error
+}
+
+// begin registers interest in ref. leader is true when the caller must
+// fetch the object and later call finish; otherwise the returned flight
+// is an existing fetch the caller can wait on.
+func (g *flightGroup) begin(ref cas.Ref) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = map[cas.Ref]*flight{}
+	}
+	if f, ok := g.m[ref]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.m[ref] = f
+	return f, true
+}
+
+// finish resolves ref's flight with err and wakes every waiter. Only
+// the leader returned by begin may call it, exactly once.
+func (g *flightGroup) finish(ref cas.Ref, err error) {
+	g.mu.Lock()
+	f := g.m[ref]
+	delete(g.m, ref)
+	g.mu.Unlock()
+	f.err = err
+	close(f.done)
+}

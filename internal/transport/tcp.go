@@ -10,6 +10,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fluxgo/internal/wire"
@@ -26,8 +27,25 @@ const (
 	nonceLen         = 32
 )
 
+// flushBytes is the coalescing threshold: the writer keeps appending
+// queued frames to one scratch buffer until the queue drains or the
+// batch reaches this size, then writes it with a single syscall.
+const flushBytes = 64 << 10
+
+// maxRetainedScratch bounds the write scratch kept across flushes, so a
+// one-off bulk frame (KVS objects may reach MaxMessageSize) does not pin
+// its buffer on the link forever.
+const maxRetainedScratch = 1 << 20
+
+// meters is the (atomically swapped) set of per-link counter sinks.
+type meters struct {
+	bytesSent, bytesRecv, framesCoalesced Counter
+}
+
 // tcpConn adapts a net.Conn to the Conn interface. A writer goroutine
-// drains an unbounded out-queue so Send never blocks the caller.
+// drains an unbounded out-queue, coalescing bursts of frames into
+// single writes so fan-in links near the tree root pay one syscall per
+// batch instead of one per frame.
 type tcpConn struct {
 	nc      net.Conn
 	r       *bufio.Reader
@@ -36,9 +54,15 @@ type tcpConn struct {
 	closeMu sync.Mutex
 	closed  bool
 	done    chan struct{}
+	meter   atomic.Pointer[meters]
 }
 
 func newTCPConn(nc net.Conn, peerID string) *tcpConn {
+	if tc, ok := nc.(*net.TCPConn); ok {
+		// The writer already batches; Nagle would only add latency on
+		// the small flushes that end a burst.
+		tc.SetNoDelay(true)
+	}
 	c := &tcpConn{
 		nc:     nc,
 		r:      bufio.NewReaderSize(nc, 64<<10),
@@ -50,27 +74,57 @@ func newTCPConn(nc net.Conn, peerID string) *tcpConn {
 	return c
 }
 
+// SetMeter implements Metered.
+func (c *tcpConn) SetMeter(bytesSent, bytesRecv, framesCoalesced Counter) {
+	c.meter.Store(&meters{bytesSent: bytesSent, bytesRecv: bytesRecv, framesCoalesced: framesCoalesced})
+}
+
 func (c *tcpConn) writeLoop() {
-	w := bufio.NewWriterSize(c.nc, 64<<10)
+	var scratch []byte
+	fail := func() {
+		c.out.close(false)
+		close(c.done)
+	}
 	for {
 		m, err := c.out.pop()
 		if err != nil {
 			close(c.done)
 			return
 		}
-		if err := writeFrameMsg(w, m); err != nil {
-			c.out.close(false)
-			close(c.done)
-			return
-		}
-		// Flush when the queue momentarily empties so latency stays low
-		// while bursts still coalesce into large writes.
-		if c.out.len() == 0 {
-			if err := w.Flush(); err != nil {
-				c.out.close(false)
-				close(c.done)
+		scratch = scratch[:0]
+		frames := 0
+		for {
+			// Length prefix, then the frame, encoded in place.
+			hdrAt := len(scratch)
+			scratch = append(scratch, 0, 0, 0, 0)
+			scratch, err = wire.MarshalAppend(scratch, m)
+			if err != nil {
+				fail()
 				return
 			}
+			binary.LittleEndian.PutUint32(scratch[hdrAt:], uint32(len(scratch)-hdrAt-4))
+			m.Release() // no-op unless the broker handed the message off
+			frames++
+			if len(scratch) >= flushBytes {
+				break
+			}
+			var ok bool
+			if m, ok = c.out.tryPop(); !ok {
+				break
+			}
+		}
+		if _, err := c.nc.Write(scratch); err != nil {
+			fail()
+			return
+		}
+		if mt := c.meter.Load(); mt != nil {
+			mt.bytesSent.Add(uint64(len(scratch)))
+			if frames > 1 {
+				mt.framesCoalesced.Add(uint64(frames - 1))
+			}
+		}
+		if cap(scratch) > maxRetainedScratch {
+			scratch = nil
 		}
 	}
 }
@@ -80,14 +134,22 @@ func (c *tcpConn) Send(m *wire.Message) error {
 }
 
 func (c *tcpConn) Recv() (*wire.Message, error) {
-	b, err := readFrame(c.r)
+	b, err := readFramePooled(c.r)
 	if err != nil {
 		if err == io.ErrUnexpectedEOF {
 			err = io.EOF
 		}
 		return nil, err
 	}
-	return wire.Unmarshal(b)
+	m, err := wire.UnmarshalPooled(b)
+	if err != nil {
+		wire.PutBuf(b)
+		return nil, err
+	}
+	if mt := c.meter.Load(); mt != nil {
+		mt.bytesRecv.Add(uint64(len(b) + 4))
+	}
+	return m, nil
 }
 
 func (c *tcpConn) PeerIdentity() string { return c.peerID }
@@ -113,14 +175,6 @@ func (c *tcpConn) Close() error {
 	return c.nc.Close()
 }
 
-func writeFrameMsg(w *bufio.Writer, m *wire.Message) error {
-	b, err := wire.Marshal(m)
-	if err != nil {
-		return err
-	}
-	return writeFrame(w, b)
-}
-
 func writeFrame(w io.Writer, b []byte) error {
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
@@ -142,6 +196,28 @@ func readFrame(r io.Reader) ([]byte, error) {
 	}
 	b := make([]byte, n)
 	if _, err := io.ReadFull(r, b); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return b, nil
+}
+
+// readFramePooled is readFrame with the body read into a pooled buffer
+// (see wire.GetBuf); the caller owns it until UnmarshalPooled adopts it.
+func readFramePooled(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > wire.MaxMessageSize {
+		return nil, wire.ErrTooLarge
+	}
+	b := wire.GetBuf(int(n))
+	if _, err := io.ReadFull(r, b); err != nil {
+		wire.PutBuf(b)
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}

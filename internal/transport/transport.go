@@ -37,6 +37,23 @@ type Conn interface {
 // ErrClosed is returned by Send on a closed connection.
 var ErrClosed = errors.New("transport: connection closed")
 
+// Counter is the minimal metering sink a connection reports into; it is
+// satisfied by *obs.Counter without the transport importing obs.
+type Counter interface {
+	Add(n uint64)
+}
+
+// Metered is implemented by connections that can report per-link
+// traffic counters. The broker wires registry counters in when it
+// attaches the link; connections run unmetered until then.
+type Metered interface {
+	// SetMeter installs the sinks: bytesSent/bytesRecv count framed
+	// bytes on the wire (length prefixes included), framesCoalesced
+	// counts frames that shared a flush with a preceding frame (i.e.
+	// syscalls saved by write coalescing).
+	SetMeter(bytesSent, bytesRecv, framesCoalesced Counter)
+}
+
 // queue is an unbounded FIFO of messages with close semantics.
 type queue struct {
 	mu     sync.Mutex
@@ -77,6 +94,20 @@ func (q *queue) pop() (*wire.Message, error) {
 	q.items[0] = nil
 	q.items = q.items[1:]
 	return m, nil
+}
+
+// tryPop returns the next item without blocking. ok is false when the
+// queue is momentarily empty or closed-and-drained.
+func (q *queue) tryPop() (*wire.Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	m := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return m, true
 }
 
 // close marks the queue closed. If drain is false pending items are
@@ -155,7 +186,13 @@ func (c codecConn) Send(m *wire.Message) error {
 	if err != nil {
 		return err
 	}
-	return c.Conn.Send(dup)
+	if err := c.Conn.Send(dup); err != nil {
+		return err
+	}
+	// The duplicate now carries the message; recycle the original if the
+	// broker handed it off (no-op otherwise).
+	m.Release()
+	return nil
 }
 
 // CodecPipe is Pipe with per-hop serialization cost (see codecConn).

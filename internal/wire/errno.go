@@ -78,4 +78,12 @@ const (
 	MetricRouteRequestNS  = "cmb.route_request_ns"
 	MetricRouteResponseNS = "cmb.route_response_ns"
 	MetricApplyEventNS    = "cmb.apply_event_ns"
+
+	// Per-link transport counters, suffixes under "link.<id>.": bytes on
+	// the wire each way and frames that shared a coalesced flush (i.e.
+	// syscalls saved by the batching writer).
+	MetricLinkPrefix          = "link."
+	MetricSuffixBytesSent     = ".bytes_sent"
+	MetricSuffixBytesRecv     = ".bytes_recv"
+	MetricSuffixFramesCoalesc = ".frames_coalesced"
 )

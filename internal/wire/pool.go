@@ -1,0 +1,123 @@
+package wire
+
+import "sync"
+
+// Message ownership and pooling.
+//
+// The hot path of an interior broker is: read a frame off one link,
+// decode it, push/pop a route hop, and write it to exactly one other
+// link. Allocating a fresh Message, topic/route strings, and a payload
+// copy for every such hop dominated the codec profile, so decode and
+// encode are pooled:
+//
+//   - Get returns a recycled *Message; UnmarshalPooled decodes into one
+//     and records the receive buffer as owned by the message.
+//   - A broker that forwards a message to exactly one transport link
+//     arms it with Handoff; the link's writer calls Release after the
+//     frame is encoded, returning buffer and Message to their pools.
+//   - Everything else (events fanned out to several links, messages
+//     delivered to modules or handles, messages held across an RPC)
+//     is simply never armed: Release is a no-op and the message falls
+//     to the garbage collector exactly as before this scheme existed.
+//   - A consumer that wants to retain the payload past the handler
+//     return calls Detach, which copies the payload out of the shared
+//     receive buffer and severs pool ownership.
+//
+// The invariant, stated once: after arming a message with Handoff, the
+// sender must not touch it again; after Release returns, neither the
+// Message nor its Payload may be referenced. Double release is a silent
+// no-op in normal builds (armed is cleared) and panics under the
+// debuglock build tag, mirroring the lock-order checker.
+
+// maxPooledBuf bounds the receive/encode buffers kept in the pool;
+// oversized frames (bulk KVS objects) are allocated and dropped rather
+// than pinning megabytes in the free list.
+const maxPooledBuf = 64 << 10
+
+var (
+	msgPool = sync.Pool{New: func() any { return new(Message) }}
+	bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+)
+
+// Get returns a zeroed Message from the free list. The message is
+// recycled only if it is later armed with Handoff and Released; an
+// unreleased message is collected normally.
+func Get() *Message {
+	m := msgPool.Get().(*Message)
+	m.pooled = true
+	m.guardArm()
+	return m
+}
+
+// GetBuf returns a pooled byte slice of length n (its contents are
+// undefined). Pair with PutBuf, or hand it to UnmarshalPooled which
+// ties its lifetime to the returned message.
+func GetBuf(n int) []byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		bufPool.Put(bp)
+		return make([]byte, n)
+	}
+	return (*bp)[:n]
+}
+
+// PutBuf returns a buffer obtained from GetBuf to the pool.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
+
+// Handoff arms the message for release by the transport writer that
+// encodes it. Call it immediately before handing the message to a
+// single outgoing link; the caller must not touch the message again.
+func (m *Message) Handoff() {
+	m.armed = true
+	m.guardArm()
+}
+
+// Release recycles an armed message: its receive buffer (if pooled)
+// and, when the Message itself came from Get, the Message too. On a
+// message that was never armed it is a no-op, so transport writers call
+// it unconditionally after encoding.
+func (m *Message) Release() {
+	if !m.armed {
+		// Already-released messages land here; the debuglock build
+		// panics instead of letting the bug pass silently.
+		m.guardIdleRelease()
+		return
+	}
+	m.armed = false
+	buf := m.buf
+	pooled := m.pooled
+	keepRoute := m.Route
+	*m = Message{}
+	m.guardMarkReleased()
+	if buf != nil {
+		PutBuf(buf)
+	}
+	if pooled {
+		// Keep the route backing array across recycles; the strings it
+		// held are dropped so they do not pin their string block.
+		if cap(keepRoute) > 0 && cap(keepRoute) <= 16 {
+			clear(keepRoute[:cap(keepRoute)])
+			m.routeScratch = keepRoute[:0]
+		}
+		msgPool.Put(m)
+	}
+}
+
+// Detach copies the payload out of the shared receive buffer and severs
+// pool ownership, making the message an ordinary GC-managed value that
+// is safe to retain indefinitely. It returns m for chaining.
+func (m *Message) Detach() *Message {
+	if len(m.Payload) > 0 && m.buf != nil {
+		m.Payload = append([]byte(nil), m.Payload...)
+	}
+	m.buf = nil
+	m.pooled = false
+	m.armed = false
+	return m
+}

@@ -1,0 +1,21 @@
+//go:build debuglock
+
+package wire
+
+import "testing"
+
+// TestDoubleReleasePanics: under the debuglock build, releasing a
+// message twice without re-arming must panic instead of silently
+// no-opping, mirroring the lock-order checker's policy for mutexes.
+func TestDoubleReleasePanics(t *testing.T) {
+	m := Get()
+	m.Topic = "x"
+	m.Handoff()
+	m.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release did not panic under debuglock")
+		}
+	}()
+	m.Release()
+}

@@ -1,0 +1,22 @@
+//go:build debuglock
+
+package wire
+
+import "sync/atomic"
+
+// Debug release-guard: relState is 0 while a message is live and
+// flipped to released when Release recycles it. A second Release before
+// the message is re-armed (Get/Handoff both reset the marker) panics,
+// surfacing use-after-release bugs that the no-op fast path would hide.
+
+const relReleased int32 = 2
+
+func (m *Message) guardArm() { atomic.StoreInt32(&m.relState, 0) }
+
+func (m *Message) guardMarkReleased() { atomic.StoreInt32(&m.relState, relReleased) }
+
+func (m *Message) guardIdleRelease() {
+	if atomic.LoadInt32(&m.relState) == relReleased {
+		panic("wire: Message double-released (second Release without re-arm)")
+	}
+}

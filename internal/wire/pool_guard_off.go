@@ -1,0 +1,12 @@
+//go:build !debuglock
+
+package wire
+
+// Release-guard hooks. In normal builds they compile to nothing; the
+// debuglock build (pool_guard_debug.go) turns a double Release into a
+// panic with the offending stack, the same policy the lock-order
+// checker applies to mutexes.
+
+func (m *Message) guardArm()          {}
+func (m *Message) guardMarkReleased() {}
+func (m *Message) guardIdleRelease()  {}

@@ -1,0 +1,203 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/hex"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fixtureFrames loads the committed pre-overhaul v2 frames.
+func fixtureFrames(t testing.TB) [][]byte {
+	t.Helper()
+	f, err := os.Open("testdata/frames_v2.hex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var frames [][]byte
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b, err := hex.DecodeString(line)
+		if err != nil {
+			t.Fatalf("bad fixture line %q: %v", line, err)
+		}
+		frames = append(frames, b)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) == 0 {
+		t.Fatal("no fixture frames")
+	}
+	return frames
+}
+
+// TestWireCompatFixtures proves the overhauled codec still speaks the
+// pre-PR v2 format: every committed frame decodes, re-encodes to the
+// identical bytes, and decodes the same through the pooled path.
+func TestWireCompatFixtures(t *testing.T) {
+	for i, frame := range fixtureFrames(t) {
+		m, err := Unmarshal(frame)
+		if err != nil {
+			t.Fatalf("frame %d: Unmarshal: %v", i, err)
+		}
+		out, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("frame %d: Marshal: %v", i, err)
+		}
+		if !reflect.DeepEqual(out, frame) {
+			t.Fatalf("frame %d: re-encode mismatch\n got %x\nwant %x", i, out, frame)
+		}
+		buf := GetBuf(len(frame))
+		copy(buf, frame)
+		pm, err := UnmarshalPooled(buf)
+		if err != nil {
+			t.Fatalf("frame %d: UnmarshalPooled: %v", i, err)
+		}
+		if pm.Type != m.Type || pm.Topic != m.Topic || pm.Nodeid != m.Nodeid ||
+			pm.Seq != m.Seq || pm.Errnum != m.Errnum ||
+			!reflect.DeepEqual(pm.Route, m.Route) ||
+			string(pm.Payload) != string(m.Payload) ||
+			pm.TraceID != m.TraceID || pm.Parent != m.Parent || pm.Hops != m.Hops {
+			t.Fatalf("frame %d: pooled decode differs from plain decode", i)
+		}
+		pm.Handoff()
+		pm.Release()
+	}
+}
+
+// TestDetachSurvivesBufferReuse pins the aliasing contract: a pooled
+// message's payload aliases the receive buffer until Detach copies it
+// out, after which recycling and overwriting the buffer must not be
+// visible through the message.
+func TestDetachSurvivesBufferReuse(t *testing.T) {
+	src := &Message{Type: Request, Topic: "a.b", Payload: []byte("payload-before")}
+	frame, err := Marshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := GetBuf(len(frame))
+	copy(buf, frame)
+	m, err := UnmarshalPooled(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-Detach the payload aliases the receive buffer (zero-copy).
+	buf[len(buf)-1] = 'X'
+	if string(m.Payload) != "payload-beforX" {
+		t.Fatalf("payload does not alias receive buffer: %q", m.Payload)
+	}
+	buf[len(buf)-1] = 'e'
+
+	m.Detach()
+	// Simulate the transport recycling and clobbering the buffer.
+	for i := range buf {
+		buf[i] = 0xAA
+	}
+	PutBuf(buf)
+	if string(m.Payload) != "payload-before" {
+		t.Fatalf("Detach()ed payload corrupted by buffer reuse: %q", m.Payload)
+	}
+	// After Detach the message is GC-owned; Release must be a no-op and
+	// must not recycle anything.
+	m.Release()
+	if string(m.Payload) != "payload-before" {
+		t.Fatalf("Release after Detach touched the message: %q", m.Payload)
+	}
+}
+
+// TestReleaseRecyclesAndZeroes exercises the pooled lifecycle: an armed
+// release wipes the message, and a released message obtained again from
+// Get starts zeroed.
+func TestReleaseRecyclesAndZeroes(t *testing.T) {
+	frame, err := Marshal(&Message{Type: Request, Topic: "kvs.load",
+		Route: []string{"h:1", "t:rank:0"}, Payload: []byte("xyz")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := GetBuf(len(frame))
+	copy(buf, frame)
+	m, err := UnmarshalPooled(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Handoff()
+	m.Release()
+	if m.Topic != "" || m.Payload != nil || m.Route != nil || m.armed || m.buf != nil {
+		t.Fatalf("Release left state behind: %+v", m)
+	}
+	// A second Release without re-arming is a no-op in normal builds
+	// (and panics under -tags debuglock; see pool_debug_test.go).
+	got := Get()
+	if got.Topic != "" || got.Payload != nil || len(got.Route) != 0 || got.armed || got.buf != nil {
+		t.Fatalf("Get returned dirty message: %+v", got)
+	}
+}
+
+// TestUnreleasedMessagesAreSafe: messages that are never armed —
+// events fanned out to many links, module-delivered requests — must be
+// completely unaffected by Release.
+func TestUnreleasedMessagesAreSafe(t *testing.T) {
+	frame, err := Marshal(&Message{Type: Event, Topic: "hb", Payload: []byte("ev")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := GetBuf(len(frame))
+	copy(buf, frame)
+	m, err := UnmarshalPooled(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Release() // not armed: no-op
+	if m.Topic != "hb" || string(m.Payload) != "ev" {
+		t.Fatalf("Release on unarmed message mutated it: %+v", m)
+	}
+}
+
+// FuzzUnmarshal fuzzes the decoder round trip: any input that decodes
+// must re-encode and decode again to the same message, through both the
+// plain and pooled paths.
+func FuzzUnmarshal(f *testing.F) {
+	for _, frame := range fixtureFrames(f) {
+		f.Add(frame)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{magic, version, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("re-encode of decodable input failed: %v", err)
+		}
+		m2, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("decode of re-encoded frame failed: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip diverged:\n m=%+v\nm2=%+v", m, m2)
+		}
+		buf := GetBuf(len(data))
+		copy(buf, data)
+		pm, err := UnmarshalPooled(buf)
+		if err != nil {
+			t.Fatalf("pooled decode disagrees with plain decode: %v", err)
+		}
+		if pm.Topic != m.Topic || !reflect.DeepEqual(pm.Route, m.Route) ||
+			string(pm.Payload) != string(m.Payload) {
+			t.Fatal("pooled decode content differs from plain decode")
+		}
+		pm.Handoff()
+		pm.Release()
+	})
+}

@@ -81,6 +81,19 @@ type Message struct {
 	TraceID uint64
 	Parent  uint8
 	Hops    uint8
+
+	// Pool/ownership state (see pool.go). A zero Message is an ordinary
+	// GC-managed value: pooled marks a Message obtained from Get, buf is
+	// the receive buffer Payload aliases when the message owns one, and
+	// armed marks a message handed off to a single transport writer,
+	// which will Release it after encoding. routeScratch caches the
+	// route backing array across recycles; relState backs the
+	// double-release guard in debuglock builds.
+	pooled       bool
+	armed        bool
+	buf          []byte
+	routeScratch []string
+	relState     int32
 }
 
 // Service returns the first component of the hierarchical topic — the
@@ -119,8 +132,11 @@ func (m *Message) PopRoute() (string, bool) {
 
 // Copy returns a deep copy of the message. Brokers that fan a message out
 // to multiple links must copy it so per-link route mutations do not alias.
+// The copy is an ordinary GC-managed value with no pool ownership,
+// whatever the state of the original.
 func (m *Message) Copy() *Message {
 	c := *m
+	c.pooled, c.armed, c.buf, c.routeScratch, c.relState = false, false, nil, nil, 0
 	if m.Route != nil {
 		c.Route = append([]string(nil), m.Route...)
 	}
@@ -207,10 +223,20 @@ func NewErrorResponse(req *Message, errnum int32, msg string) *Message {
 		Parent:  req.Parent,
 		Hops:    req.Hops,
 	}
-	// Marshal of errorBody cannot fail.
-	m.Payload, _ = json.Marshal(errorBody{Error: msg})
+	b, err := json.Marshal(errorBody{Error: msg})
+	if err != nil {
+		// json.Marshal of a string cannot realistically fail, but a
+		// response must never ship an empty payload: fall back to a
+		// preencoded body so the peer still decodes a message.
+		b = staticErrorBody
+	}
+	m.Payload = b
 	return m
 }
+
+// staticErrorBody is the preencoded fallback payload for error
+// responses whose human-readable message failed to encode.
+var staticErrorBody = []byte(`{"error":"error message unencodable"}`)
 
 // RPCError is the decoded form of a failed response.
 type RPCError struct {
@@ -284,6 +310,18 @@ var (
 	ErrTooLarge  = errors.New("wire: message exceeds size limit")
 )
 
+// encodedSize returns the exact encoded length of m.
+func encodedSize(m *Message) int {
+	size := headerLen
+	size += uvarintLen(uint64(len(m.Topic))) + len(m.Topic)
+	size += uvarintLen(uint64(len(m.Route)))
+	for _, r := range m.Route {
+		size += uvarintLen(uint64(len(r))) + len(r)
+	}
+	size += uvarintLen(uint64(len(m.Payload))) + len(m.Payload)
+	return size
+}
+
 // Marshal encodes m into a self-contained byte slice.
 //
 // Layout: magic, version, type, then uvarint-framed fields:
@@ -292,18 +330,25 @@ var (
 // topic(len+bytes), nroutes(uvarint) × route(len+bytes),
 // payload(len+bytes).
 func Marshal(m *Message) ([]byte, error) {
-	size := headerLen
-	size += uvarintLen(uint64(len(m.Topic))) + len(m.Topic)
-	size += uvarintLen(uint64(len(m.Route)))
-	for _, r := range m.Route {
-		size += uvarintLen(uint64(len(r))) + len(r)
-	}
-	size += uvarintLen(uint64(len(m.Payload))) + len(m.Payload)
+	size := encodedSize(m)
 	if size > MaxMessageSize {
 		return nil, ErrTooLarge
 	}
+	return marshalAppend(make([]byte, 0, size), m), nil
+}
 
-	buf := make([]byte, 0, size)
+// MarshalAppend appends the encoding of m to dst and returns the
+// extended slice, allocating only when dst lacks capacity. It is the
+// alloc-free encode path for transport writers with a reusable scratch
+// buffer.
+func MarshalAppend(dst []byte, m *Message) ([]byte, error) {
+	if encodedSize(m) > MaxMessageSize {
+		return dst, ErrTooLarge
+	}
+	return marshalAppend(dst, m), nil
+}
+
+func marshalAppend(buf []byte, m *Message) []byte {
 	buf = append(buf, magic, version, byte(m.Type))
 	buf = binary.LittleEndian.AppendUint32(buf, m.Nodeid)
 	buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
@@ -316,26 +361,56 @@ func Marshal(m *Message) ([]byte, error) {
 		buf = appendBytes(buf, []byte(r))
 	}
 	buf = appendBytes(buf, m.Payload)
-	return buf, nil
+	return buf
 }
 
 // Unmarshal decodes a message previously produced by Marshal.
+//
+// Decoding is zero-copy: Payload aliases data, and the topic and route
+// strings are carved from a single combined allocation. The caller must
+// therefore not modify or reuse data while the message (or anything
+// retaining its Payload) is live; a consumer that outlives the buffer
+// calls Detach. Transport readers with pooled receive buffers use
+// UnmarshalPooled instead, which ties the buffer's lifetime to the
+// message.
 func Unmarshal(data []byte) (*Message, error) {
+	m := &Message{}
+	if err := decodeInto(m, data); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// UnmarshalPooled decodes data into a pooled Message (see Get) and, on
+// success, adopts data as the message's receive buffer: Release returns
+// both to their pools. data must come from GetBuf. On error the buffer
+// is not adopted and the caller still owns it.
+func UnmarshalPooled(data []byte) (*Message, error) {
+	m := Get()
+	if err := decodeInto(m, data); err != nil {
+		m.pooled = false // abandon partially-filled message to the GC
+		return nil, err
+	}
+	m.buf = data
+	return m, nil
+}
+
+func decodeInto(m *Message, data []byte) error {
 	if len(data) > MaxMessageSize {
-		return nil, ErrTooLarge
+		return ErrTooLarge
 	}
 	if len(data) < headerLen {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if data[0] != magic {
-		return nil, ErrBadMagic
+		return ErrBadMagic
 	}
 	if data[1] != version {
-		return nil, ErrBadVer
+		return ErrBadVer
 	}
-	m := &Message{Type: Type(data[2])}
+	m.Type = Type(data[2])
 	if m.Type < Request || m.Type > Control {
-		return nil, fmt.Errorf("wire: invalid message type %d", data[2])
+		return fmt.Errorf("wire: invalid message type %d", data[2])
 	}
 	p := data[3:]
 	m.Nodeid = binary.LittleEndian.Uint32(p)
@@ -348,41 +423,72 @@ func Unmarshal(data []byte) (*Message, error) {
 
 	topic, p, err := readBytes(p)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	m.Topic = string(topic)
 
 	nroutes, n := binary.Uvarint(p)
 	if n <= 0 {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	p = p[n:]
 	if nroutes > uint64(len(p)) { // each route costs at least 1 byte
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
-	if nroutes > 0 {
-		m.Route = make([]string, 0, nroutes)
-		for i := uint64(0); i < nroutes; i++ {
-			var r []byte
-			r, p, err = readBytes(p)
-			if err != nil {
-				return nil, err
-			}
-			m.Route = append(m.Route, string(r))
+
+	// Validate the route region and total its string bytes, so topic and
+	// routes can share one string allocation below.
+	routes := p
+	strBytes := len(topic)
+	for i := uint64(0); i < nroutes; i++ {
+		var r []byte
+		r, p, err = readBytes(p)
+		if err != nil {
+			return err
 		}
+		strBytes += len(r)
 	}
 
 	payload, p, err := readBytes(p)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if len(p) != 0 {
-		return nil, fmt.Errorf("wire: %d trailing bytes", len(p))
+		return fmt.Errorf("wire: %d trailing bytes", len(p))
 	}
+
+	// One combined allocation backs the topic and every route string, so
+	// none of them alias the (possibly recycled) receive buffer.
+	var sb strings.Builder
+	sb.Grow(strBytes)
+	sb.Write(topic)
+	q := routes
+	for i := uint64(0); i < nroutes; i++ {
+		var r []byte
+		r, q, _ = readBytes(q)
+		sb.Write(r)
+	}
+	s := sb.String()
+	m.Topic = s[:len(topic)]
+	off := len(topic)
+	if nroutes > 0 {
+		if m.pooled && uint64(cap(m.routeScratch)) >= nroutes {
+			m.Route = m.routeScratch[:0]
+		} else {
+			m.Route = make([]string, 0, nroutes)
+		}
+		q = routes
+		for i := uint64(0); i < nroutes; i++ {
+			var r []byte
+			r, q, _ = readBytes(q)
+			m.Route = append(m.Route, s[off:off+len(r)])
+			off += len(r)
+		}
+	}
+
 	if len(payload) > 0 {
-		m.Payload = append([]byte(nil), payload...)
+		m.Payload = payload // aliases data; see Unmarshal doc
 	}
-	return m, nil
+	return nil
 }
 
 func appendBytes(buf, b []byte) []byte {

@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"testing"
+)
+
+// benchMessage builds a representative routed request: a three-hop route
+// stack, a short topic, a 256-byte payload, and live trace context —
+// i.e. what an interior broker near the root sees on the fan-in path.
+func benchMessage() *Message {
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	return &Message{
+		Type:    Request,
+		Topic:   "kvs.load",
+		Nodeid:  0,
+		Seq:     42,
+		Route:   []string{"h:7", "t:rank:6", "t:rank:3"},
+		Payload: payload,
+		TraceID: 0x1234567890abcdef,
+		Parent:  3,
+		Hops:    4,
+	}
+}
+
+// BenchmarkMarshal measures hot-path encoding of one routed message as
+// the transport writer performs it: MarshalAppend into a reused scratch
+// buffer (pre-PR baseline: one exact-size allocation per Marshal call).
+func BenchmarkMarshal(b *testing.B) {
+	m := benchMessage()
+	scratch := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		scratch, err = MarshalAppend(scratch[:0], m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarshalAlloc measures the allocating Marshal variant used
+// off the hot path (fresh self-contained slice per call).
+func BenchmarkMarshalAlloc(b *testing.B) {
+	m := benchMessage()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnmarshal measures hot-path decoding of one routed message.
+func BenchmarkUnmarshal(b *testing.B) {
+	m := benchMessage()
+	buf, err := Marshal(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnmarshalPooled measures the transport reader's decode path:
+// a pooled receive buffer adopted by a pooled message, released again
+// after the (simulated) single-destination handoff.
+func BenchmarkUnmarshalPooled(b *testing.B) {
+	m := benchMessage()
+	frame, err := Marshal(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := GetBuf(len(frame))
+		copy(buf, frame)
+		got, err := UnmarshalPooled(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got.Handoff()
+		got.Release()
+	}
+}
