@@ -17,7 +17,7 @@ GO ?= go
 # Hot-path packages covered by `make bench` / the CI bench job.
 BENCH_PKGS = ./internal/wire/ ./internal/broker/ ./internal/kvs/ ./internal/cas/
 
-.PHONY: build test check chaos vet lint debuglock bench
+.PHONY: build test check chaos vet lint debuglock bench benchdiff
 
 build:
 	$(GO) build ./...
@@ -48,3 +48,10 @@ chaos:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -label current -o BENCH_core.json
+
+# Perf gate: rerun the hot-path benchmarks and fail on a >15% p50/p99
+# regression against the committed archive (see cmd/benchdiff).
+benchdiff:
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson -label fresh -o /tmp/bench_fresh.json
+	$(GO) run ./cmd/benchdiff -old BENCH_core.json -new /tmp/bench_fresh.json

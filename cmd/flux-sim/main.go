@@ -124,6 +124,32 @@ func run() error {
 	}
 	fmt.Printf("job service: 3 oversubscribed batch jobs serialized and completed in %v\n\n", time.Since(t0))
 
+	// Elastic overlay: grow the session by two ranks, commit to the KVS
+	// from a rank that did not exist a moment ago, then gracefully drain
+	// one of the newcomers — every step fenced by the membership epoch.
+	t0 = time.Now()
+	first, err := sess.Grow(2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("elastic: grew to %d live ranks (first new rank %d) at epoch %d in %v\n",
+		len(sess.LiveRanks()), first, sess.Epoch(), time.Since(t0))
+	hj := sess.Handle(first)
+	kvj := fluxgo.NewKVS(hj)
+	kvj.Put("demo.from-joiner", first)
+	if _, err := kvj.Commit(); err != nil {
+		hj.Close()
+		return err
+	}
+	hj.Close()
+	fmt.Printf("elastic: joined rank %d committed to the KVS through its new parent\n", first)
+	t0 = time.Now()
+	if err := sess.Shrink([]int{first + 1}); err != nil {
+		return err
+	}
+	fmt.Printf("elastic: drained rank %d in %v; epoch %d, %d ranks live\n\n",
+		first+1, time.Since(t0), sess.Epoch(), len(sess.LiveRanks()))
+
 	// Fault injection: kill an interior broker, watch self-healing.
 	victim := 1
 	fmt.Printf("killing interior broker at rank %d...\n", victim)

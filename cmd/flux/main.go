@@ -126,6 +126,24 @@ flagsDone:
 			nodeid = uint32(r)
 		}
 		cmdJSON(c, wire.TopicStats, nodeid, nil)
+	case "grow":
+		if len(args) != 2 {
+			usage()
+		}
+		n, err := strconv.Atoi(args[1])
+		fatalIf(err)
+		cmdJSON(c, wire.TopicGrow, wire.NodeidAny, map[string]int{"n": n})
+	case "shrink":
+		if len(args) < 2 {
+			usage()
+		}
+		ranks := make([]int, 0, len(args)-1)
+		for _, a := range args[1:] {
+			r, err := strconv.Atoi(a)
+			fatalIf(err)
+			ranks = append(ranks, r)
+		}
+		cmdJSON(c, wire.TopicShrink, wire.NodeidAny, map[string][]int{"ranks": ranks})
 	case "top":
 		cmdTop(c)
 	case "trace":
@@ -395,8 +413,9 @@ func sessionSize(c *client.Client) int {
 // counters and the route-request latency percentiles, flux-top style.
 func cmdTop(c *client.Client) {
 	size := sessionSize(c)
-	fmt.Printf("%5s %9s %9s %9s %7s %7s  %-23s %7s\n",
-		"RANK", "REQS", "RESPS", "EVENTS", "GAPS", "ERRS", "ROUTE p50/p95/p99(us)", "SPANS")
+	fmt.Printf("%5s %5s %4s %9s %9s %9s %7s %7s %4s %4s %5s %5s  %-23s %7s\n",
+		"RANK", "EPOCH", "LIVE", "REQS", "RESPS", "EVENTS", "GAPS", "ERRS",
+		"JOIN", "LEAV", "DRAIN", "STALE", "ROUTE p50/p95/p99(us)", "SPANS")
 	for r := 0; r < size; r++ {
 		resp, err := c.RPC(wire.TopicStats, uint32(r), nil)
 		if err != nil {
@@ -404,8 +423,14 @@ func cmdTop(c *client.Client) {
 			continue
 		}
 		var st struct {
-			TraceSpans int          `json:"trace_spans"`
-			Metrics    obs.Snapshot `json:"metrics"`
+			Epoch        uint32       `json:"epoch"`
+			LiveSize     int          `json:"live_size"`
+			Joins        uint64       `json:"joins"`
+			Leaves       uint64       `json:"leaves"`
+			Drains       uint64       `json:"drains"`
+			EpochRejects uint64       `json:"epoch_rejects"`
+			TraceSpans   int          `json:"trace_spans"`
+			Metrics      obs.Snapshot `json:"metrics"`
 		}
 		if err := resp.UnpackJSON(&st); err != nil {
 			fmt.Printf("%5d  bad stats: %v\n", r, err)
@@ -413,13 +438,14 @@ func cmdTop(c *client.Client) {
 		}
 		h := st.Metrics.Hists[wire.MetricRouteRequestNS]
 		us := func(ns uint64) float64 { return float64(ns) / 1e3 }
-		fmt.Printf("%5d %9d %9d %9d %7d %7d  %7.1f/%7.1f/%7.1f %7d\n",
-			r,
+		fmt.Printf("%5d %5d %4d %9d %9d %9d %7d %7d %4d %4d %5d %5d  %7.1f/%7.1f/%7.1f %7d\n",
+			r, st.Epoch, st.LiveSize,
 			st.Metrics.Counters[wire.MetricRequestsRouted],
 			st.Metrics.Counters[wire.MetricResponsesRouted],
 			st.Metrics.Counters[wire.MetricEventsApplied],
 			st.Metrics.Counters[wire.MetricEventSeqGaps],
 			st.Metrics.Counters[wire.MetricSendErrors]+st.Metrics.Counters[wire.MetricInflightFailed],
+			st.Joins, st.Leaves, st.Drains, st.EpochRejects,
 			us(h.P50NS), us(h.P95NS), us(h.P99NS),
 			st.TraceSpans)
 	}

@@ -1,0 +1,180 @@
+package main
+
+// epoch-discipline: epoch-fenced drops must never be silent.
+//
+// The membership protocol rejects traffic whose wire epoch fails a
+// comparison against the local membership state (a stale-epoch fence).
+// A handler that drops such a message without accounting for it makes
+// membership bugs invisible: the overlay quietly sheds traffic and
+// nothing in cmb.stats or the logs moves. The wire protocol reserves
+// ErrnoStale (ESTALE) for rejected requests, and the broker's fence
+// counts every rejection in cmb.epoch_rejects and logs it.
+//
+// Flagged shape: an `if` whose condition compares an epoch-named value
+// (any identifier containing "epoch") and whose body ends the message's
+// processing with `return` or `continue`, while neither the body nor a
+// same-package helper it calls (one level deep) increments a counter
+// (Inc/Add) or logs. Branches that fall through — an epoch ratchet, a
+// sync trigger — are not drops and are never flagged.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+const epochDisciplineName = "epoch-discipline"
+
+var epochDisciplinePass = Pass{
+	Name: epochDisciplineName,
+	Doc:  "flag epoch-compared drops that are neither counted nor logged",
+	Run:  runEpochDiscipline,
+}
+
+var epochName = regexp.MustCompile(`(?i)epoch`)
+
+// accountingCall matches callee base names that make a drop observable:
+// counter arithmetic or any logging/printing flavor.
+var accountingCall = regexp.MustCompile(`^(Inc|Add)$|(?i)log|print|fatal`)
+
+func runEpochDiscipline(l *Loader, p *Package) []Finding {
+	c := &epochChecker{l: l, p: p, decls: map[types.Object]*ast.FuncDecl{}}
+	// Index this package's function declarations so accounting done in a
+	// helper (the broker's rejectEpoch pattern) is credited to callers.
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != nil {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					c.decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if ifs, ok := n.(*ast.IfStmt); ok {
+				c.checkIf(ifs)
+			}
+			return true
+		})
+	}
+	return c.findings
+}
+
+type epochChecker struct {
+	l        *Loader
+	p        *Package
+	decls    map[types.Object]*ast.FuncDecl
+	findings []Finding
+}
+
+func (c *epochChecker) checkIf(ifs *ast.IfStmt) {
+	if !comparesEpoch(ifs.Cond) || !dropsMessage(ifs.Body) {
+		return
+	}
+	if c.accounts(ifs.Body, 1) {
+		return
+	}
+	c.findings = append(c.findings, Finding{
+		Pass: epochDisciplineName,
+		Pos:  c.l.Fset.Position(ifs.Pos()),
+		Msg: fmt.Sprintf("epoch-fenced drop is silent; count it (Inc/Add) or log it " +
+			"so stale-epoch rejections stay observable"),
+	})
+}
+
+// comparesEpoch reports whether the condition contains a comparison with
+// an epoch-named value on either side.
+func comparesEpoch(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || found {
+			return !found
+		}
+		switch be.Op {
+		case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+			if mentionsEpoch(be.X) || mentionsEpoch(be.Y) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func mentionsEpoch(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && epochName.MatchString(id.Name) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// dropsMessage reports whether the branch ends the surrounding
+// processing: its last statement is a return or a continue. A branch
+// that falls through (ratcheting the epoch, triggering a sync) is not a
+// drop.
+func dropsMessage(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.CONTINUE
+	}
+	return false
+}
+
+// accounts reports whether node contains an accounting call — a counter
+// Inc/Add or a log call — directly or inside a same-package function it
+// calls, up to depth levels of delegation.
+func (c *epochChecker) accounts(node ast.Node, depth int) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ce, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if accountingCall.MatchString(calleeName(ce.Fun)) {
+			found = true
+			return false
+		}
+		if depth > 0 {
+			if fd := c.declOf(ce.Fun); fd != nil && fd.Body != nil && c.accounts(fd.Body, depth-1) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// declOf resolves a call target to its declaration in this package.
+func (c *epochChecker) declOf(fun ast.Expr) *ast.FuncDecl {
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	obj := c.p.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	return c.decls[obj]
+}

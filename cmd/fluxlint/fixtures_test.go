@@ -88,6 +88,10 @@ func TestErrnoDisciplineFixture(t *testing.T) {
 	checkPassFixture(t, errnoDisciplinePass, "errno")
 }
 
+func TestEpochDisciplineFixture(t *testing.T) {
+	checkPassFixture(t, epochDisciplinePass, "epoch")
+}
+
 func TestWireHygieneFixture(t *testing.T) {
 	checkPassFixture(t, wireHygienePass, "wirehyg")
 }

@@ -43,6 +43,7 @@ var passes = []Pass{
 	lockAcrossBlockPass,
 	goroutineLifecyclePass,
 	errnoDisciplinePass,
+	epochDisciplinePass,
 	wireHygienePass,
 	deadlinePropagationPass,
 }

@@ -7,6 +7,7 @@
 //	lock-across-block   nothing blocking runs while a mutex is held
 //	goroutine-lifecycle go-literal goroutines have a shutdown tie
 //	errno-discipline    errnos are named constants; RPC errors are read
+//	epoch-discipline    epoch-fenced drops are counted or logged
 //	wire-hygiene        wire topics/types go through wire constants
 //	deadline-propagation in-scope contexts are threaded into RPCs
 //

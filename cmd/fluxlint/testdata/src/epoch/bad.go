@@ -1,0 +1,60 @@
+// Package epoch holds fixtures for the epoch-discipline pass: every
+// epoch-fenced drop must be counted (Inc/Add) or logged.
+package epoch
+
+import (
+	"fixture.example/wire"
+)
+
+// broker is a miniature of the real broker's fence state.
+type broker struct {
+	epoch  uint32
+	ctr    counter
+	events []*wire.Message
+}
+
+type counter struct{}
+
+func (counter) Inc()         {}
+func (counter) Add(n uint64) {}
+func (counter) Set(n int64)  {}
+
+func (b *broker) logf(format string, args ...any) {}
+
+// silentReturn drops a stale message with no trace of it anywhere.
+func (b *broker) silentReturn(m *wire.Message) {
+	if m.Epoch < b.epoch { // BAD
+		return
+	}
+	b.events = append(b.events, m)
+}
+
+// silentContinue sheds stale messages inside a drain loop, silently.
+func (b *broker) silentContinue(ms []*wire.Message) {
+	for _, m := range ms {
+		if m.Epoch < b.epoch { // BAD
+			continue
+		}
+		b.events = append(b.events, m)
+	}
+}
+
+// silentFence compares against a local fence variable; still a fence.
+func (b *broker) silentFence(m *wire.Message, minEpoch uint32) bool {
+	if minEpoch != 0 && m.Epoch < minEpoch { // BAD
+		return false
+	}
+	return true
+}
+
+// unaccountedHelper delegates the drop to a helper that neither counts
+// nor logs, so the delegation does not launder the silence.
+func (b *broker) unaccountedHelper(m *wire.Message) {
+	if m.Epoch < b.epoch { // BAD
+		b.forget(m)
+		return
+	}
+	b.events = append(b.events, m)
+}
+
+func (b *broker) forget(m *wire.Message) { m.Payload = nil }

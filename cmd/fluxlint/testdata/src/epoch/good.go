@@ -1,0 +1,60 @@
+package epoch
+
+import (
+	"fixture.example/fakes"
+	"fixture.example/wire"
+)
+
+// countedDrop accounts for the rejection with a counter.
+func (b *broker) countedDrop(m *wire.Message) {
+	if m.Epoch < b.epoch {
+		b.ctr.Inc()
+		return
+	}
+	b.events = append(b.events, m)
+}
+
+// loggedDrop accounts for the rejection in the log.
+func (b *broker) loggedDrop(m *wire.Message) {
+	if m.Epoch < b.epoch {
+		b.logf("stale epoch %d dropped", m.Epoch)
+		return
+	}
+	b.events = append(b.events, m)
+}
+
+// delegatedDrop accounts through a helper, the real broker's
+// rejectEpoch pattern: the helper counts, logs, and answers requests
+// with the reserved stale-membership errno.
+func (b *broker) delegatedDrop(h *fakes.Handle, m *wire.Message) {
+	if m.Epoch < b.epoch {
+		b.reject(h, m)
+		return
+	}
+	b.events = append(b.events, m)
+}
+
+func (b *broker) reject(h *fakes.Handle, m *wire.Message) {
+	b.ctr.Inc()
+	b.logf("epoch fence: %q rejected", m.Topic)
+	if err := h.RespondError(m, wire.ErrnoStale, "stale membership epoch"); err != nil {
+		b.logf("respond: %v", err)
+	}
+}
+
+// ratchet falls through after the comparison — not a drop, never
+// flagged even though nothing is counted or logged.
+func (b *broker) ratchet(epoch uint32) {
+	if epoch > b.epoch {
+		b.epoch = epoch
+	}
+}
+
+// unrelatedGate returns early on a non-epoch comparison; none of the
+// epoch-discipline machinery applies.
+func (b *broker) unrelatedGate(m *wire.Message) {
+	if m.Seq == 0 {
+		return
+	}
+	b.events = append(b.events, m)
+}

@@ -30,6 +30,7 @@ const (
 	ErrnoProto    int32 = 71
 	ErrnoHostDown int32 = 112
 	ErrnoTimedOut int32 = 110
+	ErrnoStale    int32 = 116
 )
 
 // Message is the unit of wire traffic. Payload may alias a pooled
@@ -38,6 +39,7 @@ type Message struct {
 	Type    Type
 	Topic   string
 	Seq     uint64
+	Epoch   uint32
 	Data    []byte
 	Payload []byte
 }

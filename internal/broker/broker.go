@@ -42,6 +42,7 @@ const (
 	ErrnoShutdown    = wire.ErrnoShutdown
 	ErrnoTimedOut    = wire.ErrnoTimedOut
 	ErrnoHostUnreach = wire.ErrnoHostUnreach
+	ErrnoStale       = wire.ErrnoStale
 )
 
 // LinkKind classifies a broker attachment to one of the overlay planes.
@@ -92,6 +93,14 @@ type link struct {
 	// would advance the child's sequence and make it drop the backlog as
 	// duplicates).
 	gated bool
+	// pending marks a child tree link from a joining rank that has not
+	// completed the cmb.join handshake: the membership fence admits
+	// nothing but the handshake itself on it.
+	pending atomic.Bool
+	// minEpoch, when nonzero, is the lowest membership epoch admitted on
+	// this link; it is raised to the leave epoch when the peer departs,
+	// fencing out its residual traffic (see Broker.admitEpoch).
+	minEpoch atomic.Uint32
 }
 
 // send delivers a message outbound on this link, reporting failure so
@@ -171,7 +180,36 @@ type Config struct {
 	// 0 defaults to obs.DefaultTraceSpans; negative disables span
 	// recording entirely (the metrics registry stays on).
 	TraceSpans int
+	// SessionID names the comms session for the cmb.join membership
+	// handshake: a joiner presenting a different id is refused admission.
+	SessionID string
+	// Epoch seeds the membership epoch (0 means the founding epoch, 1).
+	// Brokers added by growth are seeded with the epoch current at their
+	// creation so replayed membership history is a no-op for them.
+	Epoch uint32
+	// Tombstones seeds the set of already-departed ranks, for brokers
+	// added by growth after earlier shrinks.
+	Tombstones []int
+	// Joined marks a broker added by session growth after the founding
+	// ranks started (see Broker.JoinedLate).
+	Joined bool
+	// Grow / Shrink, when non-nil, serve the cmb.grow / cmb.shrink
+	// requests by adding n fresh ranks (returning the first new rank) /
+	// gracefully draining the given ranks. The session installs them on
+	// every broker; without them those topics answer ENOSYS.
+	Grow   func(n int) (int, error)
+	Shrink func(ranks []int) error
+	// SyncInterval is the period of membership anti-entropy: non-root
+	// brokers pull the parent's view this often, guaranteeing eventual
+	// membership convergence even when every event carrying a change was
+	// lost and no later traffic carries a newer epoch. 0 defaults to
+	// DefaultSyncInterval; negative disables the periodic pull (the
+	// gap- and epoch-triggered syncs remain).
+	SyncInterval time.Duration
 }
+
+// DefaultSyncInterval is the default membership anti-entropy period.
+const DefaultSyncInterval = 2 * time.Second
 
 // Stats are cumulative broker counters, readable at any time. They are
 // a typed snapshot of the broker's obs.Registry counters (see
@@ -188,6 +226,10 @@ type Stats struct {
 	Reparents        uint64
 	SendErrors       uint64 // outbound link sends that failed (conn closed, handle gone)
 	InflightFailed   uint64 // routed RPCs failed with EHOSTUNREACH on a return-route link drop
+	Joins            uint64 // membership join events folded into the view
+	Leaves           uint64 // membership leave events folded into the view
+	Drains           uint64 // departing child ranks this broker drained
+	EpochRejects     uint64 // messages refused at the membership fence
 }
 
 // counters are the broker's hot-path counters: handles into the
@@ -207,6 +249,10 @@ type counters struct {
 	reparents        *obs.Counter
 	sendErrors       *obs.Counter
 	inflightFailed   *obs.Counter
+	joins            *obs.Counter
+	leaves           *obs.Counter
+	drains           *obs.Counter
+	epochRejects     *obs.Counter
 }
 
 // hists are the broker's hot-path latency histograms.
@@ -243,6 +289,15 @@ type Broker struct {
 	// that can never arrive (the no-hang guarantee's fast path; the RPC
 	// deadline is the backstop for silent faults that drop no link).
 	inflight map[string]*inflightReq
+	// view is this broker's membership view: the dynamic rank space with
+	// departed ranks tombstoned. It converges across brokers by folding
+	// the totally ordered live.join / live.leave events (guarded by mu;
+	// epoch and space shadow its hot-path reads atomically).
+	view       *topo.View
+	epoch      atomic.Uint32 // current membership epoch
+	space      atomic.Uint32 // current rank-space size (view.Size())
+	syncing    atomic.Bool   // membership anti-entropy pull in flight
+	epochGauge *obs.Gauge
 
 	handleSeq atomic.Uint64
 
@@ -294,6 +349,9 @@ func New(cfg Config) (*Broker, error) {
 	if cfg.RPCTimeout == 0 {
 		cfg.RPCTimeout = DefaultRPCTimeout
 	}
+	if cfg.SyncInterval == 0 {
+		cfg.SyncInterval = DefaultSyncInterval
+	}
 	b := &Broker{
 		cfg:        cfg,
 		tree:       tree,
@@ -309,6 +367,16 @@ func New(cfg Config) (*Broker, error) {
 	for r := cfg.Rank; tree.Parent(r) >= 0; r = tree.Parent(r) {
 		b.depth++
 	}
+	b.view = topo.NewView(tree)
+	for _, r := range cfg.Tombstones {
+		b.view.Leave(r)
+	}
+	epoch := cfg.Epoch
+	if epoch == 0 {
+		epoch = 1
+	}
+	b.epoch.Store(epoch)
+	b.space.Store(uint32(b.view.Size()))
 	reg := obs.NewRegistry()
 	b.metrics = reg
 	b.ctr = counters{
@@ -323,7 +391,13 @@ func New(cfg Config) (*Broker, error) {
 		reparents:        reg.Counter(wire.MetricReparents),
 		sendErrors:       reg.Counter(wire.MetricSendErrors),
 		inflightFailed:   reg.Counter(wire.MetricInflightFailed),
+		joins:            reg.Counter(wire.MetricJoins),
+		leaves:           reg.Counter(wire.MetricLeaves),
+		drains:           reg.Counter(wire.MetricDrains),
+		epochRejects:     reg.Counter(wire.MetricEpochRejects),
 	}
+	b.epochGauge = reg.Gauge(wire.MetricEpoch)
+	b.epochGauge.Set(int64(epoch))
 	b.hist = hists{
 		requestQueue:  reg.Histogram(wire.MetricRequestQueueNS),
 		routeRequest:  reg.Histogram(wire.MetricRouteRequestNS),
@@ -447,6 +521,10 @@ func (b *Broker) Stats() Stats {
 		Reparents:        b.ctr.reparents.Load(),
 		SendErrors:       b.ctr.sendErrors.Load(),
 		InflightFailed:   b.ctr.inflightFailed.Load(),
+		Joins:            b.ctr.joins.Load(),
+		Leaves:           b.ctr.leaves.Load(),
+		Drains:           b.ctr.drains.Load(),
+		EpochRejects:     b.ctr.epochRejects.Load(),
 	}
 }
 
@@ -459,9 +537,23 @@ func (b *Broker) logf(format string, args ...any) {
 // AttachConn registers a transport connection as a link of the given
 // kind and starts its reader. Safe to call before or after Start.
 func (b *Broker) AttachConn(kind LinkKind, c transport.Conn) {
+	b.attachConn(kind, c, false)
+}
+
+// AttachPendingConn registers the child tree link of a joining rank:
+// the link starts pending, so the membership fence admits nothing but
+// the cmb.join handshake on it until the join is served.
+func (b *Broker) AttachPendingConn(kind LinkKind, c transport.Conn) {
+	b.attachConn(kind, c, true)
+}
+
+func (b *Broker) attachConn(kind LinkKind, c transport.Conn, pending bool) {
 	l := &link{kind: kind, id: kind.prefix() + c.PeerIdentity(), conn: c}
 	if kind == LinkChildEvent {
 		l.gated = true // opened by the child's cmb.resync
+	}
+	if pending {
+		l.pending.Store(true)
 	}
 	b.meterLink(l)
 	b.mu.Lock()
@@ -470,6 +562,11 @@ func (b *Broker) AttachConn(kind LinkKind, c transport.Conn) {
 		c.Close()
 		return
 	}
+	// A link with the same id means the peer was re-wired to this broker
+	// again (e.g. the ring re-spliced onto the same neighbour). Close the
+	// displaced conn: overwriting the registry entry alone would orphan
+	// it, leaking its read loop past Shutdown.
+	displaced := b.links[l.id]
 	b.links[l.id] = l
 	switch kind {
 	case LinkParentTree:
@@ -480,7 +577,36 @@ func (b *Broker) AttachConn(kind LinkKind, c transport.Conn) {
 		b.ringOut = l
 	}
 	b.mu.Unlock()
+	if displaced != nil && displaced.conn != nil {
+		displaced.conn.Close()
+	}
 	go b.readLoop(l)
+}
+
+// ReplaceRingOut re-points this broker's ring-out link at a new
+// next-live neighbour (the membership just grew or shrank) and closes
+// the old link. Requests in flight on the old link fail fast with
+// EHOSTUNREACH and are retried by their callers over the new wiring.
+func (b *Broker) ReplaceRingOut(c transport.Conn) {
+	b.mu.Lock()
+	old := b.ringOut
+	b.mu.Unlock()
+	b.AttachConn(LinkRingOut, c)
+	if old != nil && old.conn != nil {
+		old.conn.Close()
+	}
+}
+
+// DropRingOut closes the ring-out link without a replacement: this
+// broker is the sole live rank, so the ring plane has no peer left.
+func (b *Broker) DropRingOut() {
+	b.mu.Lock()
+	old := b.ringOut
+	b.ringOut = nil
+	b.mu.Unlock()
+	if old != nil && old.conn != nil {
+		old.conn.Close()
+	}
 }
 
 // meterLink installs per-link traffic counters on metered transports
@@ -511,9 +637,14 @@ func (b *Broker) readLoop(l *link) {
 	}
 }
 
-// Start runs the broker routing loop until Shutdown.
+// Start runs the broker routing loop until Shutdown, plus the periodic
+// membership anti-entropy pull on non-root brokers.
 func (b *Broker) Start() {
 	go b.loop()
+	if b.cfg.Rank != 0 && b.cfg.SyncInterval > 0 {
+		b.bg.Add(1)
+		go b.runAntiEntropy()
+	}
 }
 
 func (b *Broker) loop() {
@@ -522,6 +653,14 @@ func (b *Broker) loop() {
 		if in.ctl != nil {
 			in.ctl()
 			continue
+		}
+		if !b.admitEpoch(in) {
+			continue
+		}
+		// A peer operating under a newer membership epoch means this
+		// broker's view may be stale: pull the root's view off-loop.
+		if in.from != nil && in.msg.Epoch > b.epoch.Load() {
+			b.startMembershipSync()
 		}
 		switch in.msg.Type {
 		case wire.Request:
@@ -569,6 +708,9 @@ func (b *Broker) routeRequest(in inbound) {
 	if m.TraceID == 0 {
 		m.TraceID = b.newTraceID()
 	}
+	if m.Epoch == 0 {
+		m.Epoch = b.epoch.Load()
+	}
 	m.Parent = m.Hops
 	if m.Hops < 255 {
 		m.Hops++
@@ -599,10 +741,22 @@ func (b *Broker) routeRequest(in inbound) {
 			errnum = ErrnoNoSys
 			b.respondErr(m, ErrnoNoSys, fmt.Sprintf("no module %q at rank %d", svc, b.cfg.Rank))
 		}
-	case int(m.Nodeid) < b.cfg.Size:
-		// Rank-addressed: forward on the ring overlay.
+	case int(m.Nodeid) < b.RankSpace() || fromRing(in.from):
+		// Rank-addressed: forward on the ring overlay. Transit messages
+		// (arriving over a ring link) are forwarded even when the target
+		// lies beyond this broker's rank space: during growth a broker
+		// that has not yet folded the join event must not reject traffic
+		// a fresher originator validly addressed — the TTL below still
+		// bounds bogus targets.
 		b.ctr.requestsRing.Inc()
-		if len(m.Route) > b.cfg.Size+8 {
+		if b.Departed(int(m.Nodeid)) {
+			// Fail fast instead of looping a request to a tombstone
+			// around the ring until its TTL runs out.
+			errnum = ErrnoHostUnreach
+			b.respondErr(m, ErrnoHostUnreach, fmt.Sprintf("rank %d departed the session", m.Nodeid))
+			break
+		}
+		if len(m.Route) > b.RankSpace()+8 {
 			errnum = ErrnoHostUnreach
 			b.respondErr(m, ErrnoHostUnreach, "ring TTL exceeded")
 			break
@@ -620,7 +774,7 @@ func (b *Broker) routeRequest(in inbound) {
 		b.sendHandoff(out, m)
 	default:
 		errnum = ErrnoInval
-		b.respondErr(m, ErrnoInval, fmt.Sprintf("nodeid %d outside session of size %d", m.Nodeid, b.cfg.Size))
+		b.respondErr(m, ErrnoInval, fmt.Sprintf("nodeid %d outside rank space of size %d", m.Nodeid, b.RankSpace()))
 	}
 
 	queue := queueWait(in.enq, start)
@@ -635,6 +789,12 @@ func (b *Broker) routeRequest(in inbound) {
 		Kind: "request", Topic: topic, Link: outLink, Errnum: errnum,
 		QueueNS: int64(queue), WorkNS: int64(work), StartNS: start.UnixNano(),
 	})
+}
+
+// fromRing reports whether a message arrived over a ring link (it is in
+// transit on the rank-addressed plane, not originating here).
+func fromRing(l *link) bool {
+	return l != nil && (l.kind == LinkRingIn || l.kind == LinkRingOut)
 }
 
 // queueWait is the inbox residence time of a message picked up at
@@ -773,7 +933,12 @@ func (b *Broker) respondErr(req *wire.Message, errnum int32, msg string) {
 // deadline.
 func (b *Broker) linkDown(l *link) {
 	b.mu.Lock()
-	delete(b.links, l.id)
+	// Deregister only if the registry still points at this exact link: a
+	// re-wire may have installed a fresh link under the same id, and
+	// deleting that one would hide a live conn from Shutdown.
+	if b.links[l.id] == l {
+		delete(b.links, l.id)
+	}
 	parentLost := false
 	oldParent := b.parentRank
 	if b.parentTree == l {

@@ -60,11 +60,17 @@ func (b *Broker) builtinRequest(m *wire.Message) bool {
 		b.routeResponse(inbound{msg: resp})
 		return true
 	case "info":
-		resp, err := wire.NewResponse(m, map[string]int{
-			"rank":   b.cfg.Rank,
-			"size":   b.cfg.Size,
-			"arity":  b.cfg.Arity,
-			"parent": b.ParentRank(),
+		b.mu.Lock()
+		tombs := b.view.Tombstones()
+		b.mu.Unlock()
+		resp, err := wire.NewResponse(m, map[string]any{
+			"rank":       b.cfg.Rank,
+			"size":       b.RankSpace(),
+			"live":       b.LiveSize(),
+			"epoch":      int(b.Epoch()),
+			"arity":      b.cfg.Arity,
+			"parent":     b.ParentRank(),
+			"tombstones": tombs,
 		})
 		if err == nil {
 			b.routeResponse(inbound{msg: resp})
@@ -85,6 +91,12 @@ func (b *Broker) builtinRequest(m *wire.Message) bool {
 			"reparents":         st.Reparents,
 			"send_errors":       st.SendErrors,
 			"inflight_failed":   st.InflightFailed,
+			"epoch":             b.Epoch(),
+			"live_size":         b.LiveSize(),
+			"joins":             st.Joins,
+			"leaves":            st.Leaves,
+			"drains":            st.Drains,
+			"epoch_rejects":     st.EpochRejects,
 			"last_event_seq":    b.LastEventSeq(),
 			"trace_spans":       b.traces.Len(),
 			"metrics":           b.metrics.Snapshot(),
@@ -140,6 +152,15 @@ func (b *Broker) builtinRequest(m *wire.Message) bool {
 			}
 		}()
 		return true
+	case "join":
+		b.serveJoin(m)
+		return true
+	case "grow":
+		b.serveGrow(m)
+		return true
+	case "shrink":
+		b.serveShrink(m)
+		return true
 	case "lsmod":
 		b.mu.Lock()
 		names := make([]string, 0, len(b.modules))
@@ -173,7 +194,7 @@ func (b *Broker) sequenceEvent(topic string, payload json.RawMessage, traceID ui
 		traceID = b.newTraceID()
 	}
 	ev := &wire.Message{Type: wire.Event, Topic: topic, Seq: seq, Payload: payload,
-		TraceID: traceID, Parent: hops, Hops: hops}
+		Epoch: b.epoch.Load(), TraceID: traceID, Parent: hops, Hops: hops}
 	b.applyEvent(ev)
 	return seq
 }
@@ -197,8 +218,16 @@ func (b *Broker) applyEvent(ev *wire.Message) {
 	}
 	if ev.Seq != b.lastEventSeq+1 && b.lastEventSeq != 0 {
 		b.ctr.eventSeqGaps.Inc()
+		// The gap may have swallowed a membership event; anti-entropy
+		// re-fetches the authoritative view from the root.
+		b.startMembershipSync()
 	}
 	b.lastEventSeq = ev.Seq
+	// Membership events are folded while the sequencing lock is held, so
+	// every broker applies the same view changes in the same total order.
+	if ev.Topic == wire.EventJoin || ev.Topic == wire.EventLeave {
+		b.applyMembershipLocked(ev)
+	}
 	b.eventHist = append(b.eventHist, ev)
 	if over := len(b.eventHist) - b.cfg.EventHistory; over > 0 {
 		b.eventHist = append([]*wire.Message(nil), b.eventHist[over:]...)

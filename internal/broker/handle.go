@@ -79,6 +79,20 @@ func (h *Handle) Clock() clock.Clock { return h.b.cfg.Clock }
 // Broker returns the handle's broker (for introspection).
 func (h *Handle) Broker() *Broker { return h.b }
 
+// LiveSize returns the number of live ranks in the broker's current
+// membership view (Size is the founding size and never changes).
+func (h *Handle) LiveSize() int { return h.b.LiveSize() }
+
+// Epoch returns the broker's current membership epoch.
+func (h *Handle) Epoch() uint32 { return h.b.Epoch() }
+
+// RankSpace returns the broker's current rank-space size (departed
+// ranks included).
+func (h *Handle) RankSpace() int { return h.b.RankSpace() }
+
+// JoinedLate reports whether the broker joined after session start.
+func (h *Handle) JoinedLate() bool { return h.b.JoinedLate() }
+
 // Logf routes a diagnostic line to the broker's configured logger, so
 // modules can report background failures (a dropped event publish, a
 // failed upstream reduction) without their own logging plumbing.
@@ -161,10 +175,12 @@ type RPCOptions struct {
 const maxRetryBackoff = 2 * time.Second
 
 // IsTransient reports whether err is a transient routing failure — a
-// deadline expiry or an unreachable hop — that an idempotent caller may
-// retry, possibly after the overlay self-heals.
+// deadline expiry, an unreachable hop, or a stale-epoch rejection during
+// a membership change — that an idempotent caller may retry, possibly
+// after the overlay self-heals or the join handshake completes.
 func IsTransient(err error) bool {
-	return wire.IsErrnum(err, ErrnoTimedOut) || wire.IsErrnum(err, ErrnoHostUnreach)
+	return wire.IsErrnum(err, ErrnoTimedOut) || wire.IsErrnum(err, ErrnoHostUnreach) ||
+		wire.IsErrnum(err, ErrnoStale)
 }
 
 // RPC sends a request and blocks until the matching response arrives or

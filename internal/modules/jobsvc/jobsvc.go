@@ -96,7 +96,9 @@ func (m *Module) Name() string { return "job" }
 
 // Subscriptions implements broker.Module: the service reacts to bulk-job
 // completions to drive its queue.
-func (m *Module) Subscriptions() []string { return []string{"wexec.complete"} }
+func (m *Module) Subscriptions() []string {
+	return []string{"wexec.complete", wire.EventJoin, wire.EventLeave}
+}
 
 // Init implements broker.Module.
 func (m *Module) Init(h *broker.Handle) error {
@@ -110,6 +112,13 @@ func (m *Module) Shutdown() {}
 
 // Recv implements broker.Module.
 func (m *Module) Recv(msg *wire.Message) {
+	if msg.Type == wire.Event && (msg.Topic == wire.EventJoin || msg.Topic == wire.EventLeave) {
+		// Membership changed: a join adds capacity for queued jobs, a
+		// leave means the queue head may now fit in what remains (the
+		// allocator already excludes the departed rank either way).
+		m.schedule()
+		return
+	}
 	if msg.Type == wire.Event && msg.Topic == "wexec.complete" {
 		m.onComplete(msg)
 		return
@@ -165,9 +174,9 @@ func (m *Module) recvSubmit(msg *wire.Message) {
 	if spec.Nodes < 1 {
 		spec.Nodes = 1
 	}
-	if spec.Nodes > m.h.Size() {
+	if spec.Nodes > m.h.LiveSize() {
 		m.h.RespondError(msg, broker.ErrnoInval,
-			fmt.Sprintf("job: %d nodes requested, session has %d", spec.Nodes, m.h.Size()))
+			fmt.Sprintf("job: %d nodes requested, session has %d live", spec.Nodes, m.h.LiveSize()))
 		return
 	}
 	m.mu.Lock()

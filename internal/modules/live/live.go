@@ -45,6 +45,12 @@ type Module struct {
 	lastHello map[int]uint64 // child rank -> epoch of last hello
 	deemed    map[int]bool   // child rank -> currently deemed down (local view)
 	down      map[int]bool   // session-wide down set from events
+	// left tracks gracefully departed ranks. A leave prunes the rank from
+	// every map above — otherwise a parent would keep counting missed
+	// hellos against a rank that is gone by design and report it dead
+	// forever — and fences out stragglers (a late live.down or hello for
+	// a departed rank is ignored).
+	left map[int]bool
 }
 
 // New returns a live module instance.
@@ -57,6 +63,7 @@ func New(cfg Config) *Module {
 		lastHello: map[int]uint64{},
 		deemed:    map[int]bool{},
 		down:      map[int]bool{},
+		left:      map[int]bool{},
 	}
 }
 
@@ -70,7 +77,7 @@ func (m *Module) Name() string { return "live" }
 
 // Subscriptions implements broker.Module.
 func (m *Module) Subscriptions() []string {
-	return []string{hb.EventTopic, "live.down", "live.up"}
+	return []string{hb.EventTopic, "live.down", "live.up", wire.EventJoin, wire.EventLeave}
 }
 
 // Init implements broker.Module. Expected hello senders start as the
@@ -96,6 +103,10 @@ func (m *Module) Recv(msg *wire.Message) {
 		m.onStatus(msg, true)
 	case msg.Type == wire.Event && msg.Topic == "live.up":
 		m.onStatus(msg, false)
+	case msg.Type == wire.Event && msg.Topic == wire.EventJoin:
+		m.onMembership(msg, false)
+	case msg.Type == wire.Event && msg.Topic == wire.EventLeave:
+		m.onMembership(msg, true)
 	case msg.Type == wire.Request && msg.Method() == "hello":
 		m.onHello(msg)
 	case msg.Type == wire.Request && msg.Method() == "query":
@@ -153,6 +164,10 @@ func (m *Module) onHello(msg *wire.Message) {
 		return
 	}
 	m.mu.Lock()
+	if m.left[body.Rank] {
+		m.mu.Unlock()
+		return // straggler hello from a departed rank
+	}
 	m.lastHello[body.Rank] = body.Epoch
 	wasDead := m.deemed[body.Rank]
 	if wasDead {
@@ -174,9 +189,34 @@ func (m *Module) onStatus(msg *wire.Message, down bool) {
 	}
 	m.mu.Lock()
 	if down {
-		m.down[body.Rank] = true
+		if !m.left[body.Rank] {
+			m.down[body.Rank] = true
+		}
 	} else {
 		delete(m.down, body.Rank)
+	}
+	m.mu.Unlock()
+}
+
+// onMembership folds an epoch-tagged membership event. A leave prunes
+// the departed rank from the hello ledger and both down views, so a rank
+// that left gracefully is never (re)declared dead; a join just clears
+// any tombstone bookkeeping (rank numbers are not reused). Joined
+// children register in lastHello when their first hello arrives, like
+// adopted children after re-parenting.
+func (m *Module) onMembership(msg *wire.Message, leave bool) {
+	var body broker.MembershipEvent
+	if err := msg.UnpackJSON(&body); err != nil {
+		return
+	}
+	m.mu.Lock()
+	if leave {
+		m.left[body.Rank] = true
+		delete(m.lastHello, body.Rank)
+		delete(m.deemed, body.Rank)
+		delete(m.down, body.Rank)
+	} else {
+		delete(m.left, body.Rank)
 	}
 	m.mu.Unlock()
 }
@@ -190,7 +230,7 @@ func (m *Module) onQuery(msg *wire.Message) {
 	}
 	m.mu.Unlock()
 	sort.Ints(downs)
-	m.h.Respond(msg, map[string][]int{"down": downs})
+	m.h.Respond(msg, map[string]any{"down": downs, "epoch": m.h.Epoch()})
 }
 
 // Down queries the local rank's view of dead ranks.

@@ -125,3 +125,96 @@ func waitDown(t *testing.T, s *session.Session, r, target int) {
 		}
 	}
 }
+
+// TestLeavePrunesDeparted: a graceful leave must prune the departed rank
+// from the hello ledger so it is never deemed down — unlike a crash
+// (TestDeadLeafDetected), a drain is not a failure.
+func TestLeavePrunesDeparted(t *testing.T) {
+	s := newSession(t, 7)
+	h := s.Handle(0)
+	defer h.Close()
+
+	// Establish hellos, then gracefully drain leaf rank 6.
+	pulse(t, h)
+	time.Sleep(50 * time.Millisecond)
+	if err := s.Shrink([]int{6}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Advance well past the miss limit: the departed rank must never be
+	// reported down, at rank 2 (its old parent) or anywhere else.
+	for i := 0; i < 8; i++ {
+		pulse(t, h)
+		time.Sleep(20 * time.Millisecond)
+	}
+	down, err := Down(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(down) != 0 {
+		t.Fatalf("down=%v after graceful leave, want none", down)
+	}
+
+	// The liveness query carries the membership epoch (founding epoch 1,
+	// one leave -> 2).
+	resp, err := h.RPC("live.query", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Epoch uint32 `json:"epoch"`
+	}
+	if err := resp.UnpackJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Epoch != 2 {
+		t.Fatalf("live.query epoch %d, want 2", body.Epoch)
+	}
+}
+
+// TestJoinedRankMonitored: a rank added by growth participates in the
+// liveness protocol — it hellos its parent, and when it later crashes
+// the miss-limit machinery reports it down like any founding rank.
+func TestJoinedRankMonitored(t *testing.T) {
+	s := newSession(t, 3)
+	h := s.Handle(0)
+	defer h.Close()
+
+	first, err := s.Grow(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 3 {
+		t.Fatalf("grew rank %d, want 3", first)
+	}
+	for i := 0; i < 4; i++ {
+		pulse(t, h)
+		time.Sleep(20 * time.Millisecond)
+	}
+	down, err := Down(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(down) != 0 {
+		t.Fatalf("down=%v with the joined rank alive, want none", down)
+	}
+
+	s.Kill(3)
+	deadline := time.After(10 * time.Second)
+	for {
+		pulse(t, h)
+		time.Sleep(20 * time.Millisecond)
+		down, err = Down(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(down) == 1 && down[0] == 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("joined rank never reported down; down=%v", down)
+		default:
+		}
+	}
+}

@@ -111,7 +111,9 @@ func Factory(cfg Config) func(rank, size int) broker.Module {
 func (m *Module) Name() string { return "mon" }
 
 // Subscriptions implements broker.Module.
-func (m *Module) Subscriptions() []string { return []string{hb.EventTopic, "mon.ctl"} }
+func (m *Module) Subscriptions() []string {
+	return []string{hb.EventTopic, "mon.ctl", wire.EventLeave}
+}
 
 // Init implements broker.Module.
 func (m *Module) Init(h *broker.Handle) error {
@@ -140,6 +142,8 @@ func (m *Module) Recv(msg *wire.Message) {
 		m.mu.Unlock()
 	case msg.Type == wire.Event && msg.Topic == hb.EventTopic:
 		m.onHeartbeat(msg)
+	case msg.Type == wire.Event && msg.Topic == wire.EventLeave:
+		m.onLeave()
 	case msg.Type == wire.Request && msg.Method() == "reduce":
 		m.recvReduce(msg)
 	case msg.Type == wire.Request:
@@ -208,12 +212,37 @@ func (m *Module) contribute(epoch uint64, ranks int, metrics map[string]Agg) {
 		cur.merge(agg)
 		st.metrics[name] = cur
 	}
-	complete := m.h.Rank() == 0 && st.ranks >= m.h.Size()
+	// An epoch completes when every *live* rank has contributed: the
+	// membership view, not the founding size, is the reduction's target
+	// (a session that grew expects more partials, one that shrank fewer).
+	complete := m.h.Rank() == 0 && st.ranks >= m.h.LiveSize()
 	if complete {
 		delete(m.epochs, epoch)
 	}
 	m.mu.Unlock()
 	if complete {
+		m.finalize(epoch, st)
+	}
+}
+
+// onLeave re-checks pending epochs at the root: the live size just
+// dropped and the departed rank's contribution may never arrive, so an
+// epoch stuck waiting on it may now be complete.
+func (m *Module) onLeave() {
+	if m.h.Rank() != 0 {
+		return
+	}
+	live := m.h.LiveSize()
+	done := map[uint64]*epochState{}
+	m.mu.Lock()
+	for epoch, st := range m.epochs {
+		if st.ranks >= live {
+			done[epoch] = st
+			delete(m.epochs, epoch)
+		}
+	}
+	m.mu.Unlock()
+	for epoch, st := range done {
 		m.finalize(epoch, st)
 	}
 }

@@ -64,6 +64,7 @@ type Module struct {
 	mu         sync.Mutex
 	enumerated bool
 	allocated  map[int]string // root only: rank -> allocation id
+	left       map[int]bool   // root only: departed ranks, never allocatable
 }
 
 // New returns a resrc module instance.
@@ -71,7 +72,7 @@ func New(cfg Config) *Module {
 	if cfg.Describe == nil {
 		cfg.Describe = DefaultDescribe
 	}
-	return &Module{cfg: cfg, allocated: map[int]string{}}
+	return &Module{cfg: cfg, allocated: map[int]string{}, left: map[int]bool{}}
 }
 
 // Factory loads resrc at every rank. It requires kvs and hb.
@@ -83,7 +84,9 @@ func Factory(cfg Config) func(rank, size int) broker.Module {
 func (m *Module) Name() string { return "resrc" }
 
 // Subscriptions implements broker.Module.
-func (m *Module) Subscriptions() []string { return []string{hb.EventTopic} }
+func (m *Module) Subscriptions() []string {
+	return []string{hb.EventTopic, wire.EventJoin, wire.EventLeave}
+}
 
 // Init implements broker.Module.
 func (m *Module) Init(h *broker.Handle) error {
@@ -99,6 +102,10 @@ func (m *Module) Shutdown() {}
 func (m *Module) Recv(msg *wire.Message) {
 	if msg.Type == wire.Event && msg.Topic == hb.EventTopic {
 		m.maybeEnumerate()
+		return
+	}
+	if msg.Type == wire.Event && (msg.Topic == wire.EventJoin || msg.Topic == wire.EventLeave) {
+		m.onMembership(msg, msg.Topic == wire.EventLeave)
 		return
 	}
 	if msg.Type != wire.Request {
@@ -129,7 +136,35 @@ func (m *Module) maybeEnumerate() {
 	info := m.cfg.Describe(m.h.Rank())
 	info.Rank = m.h.Rank()
 	m.kc.Put(fmt.Sprintf("resource.rank.%d", m.h.Rank()), info)
+	if m.h.JoinedLate() {
+		// The founding enumeration fence has a fixed participant count;
+		// a rank that joined later publishes its inventory with a plain
+		// commit instead of disturbing it.
+		m.kc.Commit()
+		return
+	}
 	m.kc.Fence("resrc.enumerate", m.h.Size())
+}
+
+// onMembership (root) keeps the allocatable pool in step with the
+// membership view: a departed rank is never handed out again (its
+// last allocation entry is cleaned up when the job frees), a joined
+// rank becomes allocatable as soon as the live size covers it.
+func (m *Module) onMembership(msg *wire.Message, leave bool) {
+	if m.h.Rank() != 0 {
+		return
+	}
+	var body broker.MembershipEvent
+	if err := msg.UnpackJSON(&body); err != nil {
+		return
+	}
+	m.mu.Lock()
+	if leave {
+		m.left[body.Rank] = true
+	} else {
+		delete(m.left, body.Rank)
+	}
+	m.mu.Unlock()
 }
 
 // recvAlloc (root) claims ranks for an allocation id and records it in
@@ -156,8 +191,8 @@ func (m *Module) recvAlloc(msg *wire.Message) {
 			m.h.RespondError(msg, broker.ErrnoInval, "resrc: ranks or nodes required")
 			return
 		}
-		for r := 0; r < m.h.Size() && len(ranks) < body.Nodes; r++ {
-			if _, busy := m.allocated[r]; !busy {
+		for r := 0; r < m.h.RankSpace() && len(ranks) < body.Nodes; r++ {
+			if _, busy := m.allocated[r]; !busy && !m.left[r] {
 				ranks = append(ranks, r)
 			}
 		}
@@ -175,9 +210,14 @@ func (m *Module) recvAlloc(msg *wire.Message) {
 					fmt.Sprintf("resrc: rank %d already allocated to %s", r, id))
 				return
 			}
-			if r < 0 || r >= m.h.Size() {
+			if r < 0 || r >= m.h.RankSpace() {
 				m.mu.Unlock()
 				m.h.RespondError(msg, broker.ErrnoInval, fmt.Sprintf("resrc: rank %d out of range", r))
+				return
+			}
+			if m.left[r] {
+				m.mu.Unlock()
+				m.h.RespondError(msg, broker.ErrnoInval, fmt.Sprintf("resrc: rank %d departed the session", r))
 				return
 			}
 		}
@@ -237,8 +277,8 @@ func (m *Module) recvAvail(msg *wire.Message) {
 	}
 	m.mu.Lock()
 	var avail []int
-	for r := 0; r < m.h.Size(); r++ {
-		if _, busy := m.allocated[r]; !busy {
+	for r := 0; r < m.h.RankSpace(); r++ {
+		if _, busy := m.allocated[r]; !busy && !m.left[r] {
 			avail = append(avail, r)
 		}
 	}

@@ -1,0 +1,190 @@
+package sched
+
+// Elastic simulation: the discrete-event scheduler core, generalized
+// over a membership timeline. An elastic session grows and shrinks while
+// jobs run (Session.Grow / Session.Shrink); the simulator mirrors that
+// by adopting and evicting pool nodes at virtual times, so policies can
+// be evaluated under churn. A leave uses drain semantics, exactly like
+// the live protocol: nodes still allocated at the leave time are evicted
+// as soon as their job retires, never preempted.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fluxgo/internal/resource"
+)
+
+// MembershipChange alters the simulated pool at virtual time At: Join
+// nodes are adopted into the pool, Leave names nodes to evict. Busy
+// leave targets are drained — evicted when their allocation releases.
+type MembershipChange struct {
+	At    time.Duration
+	Join  []*resource.Resource
+	Leave []string
+}
+
+// SimulateElastic runs jobs through pool under policy in virtual time
+// while applying the membership timeline, and returns schedule metrics.
+// Jobs are mutated in place (Start/End/State). Utilization is measured
+// against the time-integral of pool capacity, so it stays comparable
+// across pool sizes.
+func SimulateElastic(pool *resource.Pool, policy Policy, jobs []*Job, changes []MembershipChange) (Metrics, error) {
+	timeline := append([]MembershipChange(nil), changes...)
+	sort.SliceStable(timeline, func(a, b int) bool { return timeline[a].At < timeline[b].At })
+
+	// Peak capacity over the timeline bounds what any job may ask for.
+	peak, size := pool.TotalNodes(), pool.TotalNodes()
+	for _, c := range timeline {
+		size += len(c.Join) - len(c.Leave)
+		if size > peak {
+			peak = size
+		}
+	}
+
+	byID := map[string]*Job{}
+	for _, j := range jobs {
+		if j.Req.Nodes < 1 {
+			return Metrics{}, fmt.Errorf("sched: job %s requests %d nodes", j.ID, j.Req.Nodes)
+		}
+		if j.Req.Nodes > peak {
+			return Metrics{}, fmt.Errorf("sched: job %s needs %d nodes, pool has %d",
+				j.ID, j.Req.Nodes, peak)
+		}
+		if _, dup := byID[j.ID]; dup {
+			return Metrics{}, fmt.Errorf("sched: duplicate job id %s", j.ID)
+		}
+		byID[j.ID] = j
+		j.State = StatePending
+	}
+
+	pending := append([]*Job(nil), jobs...)
+	sort.SliceStable(pending, func(a, b int) bool { return pending[a].Submit < pending[b].Submit })
+	var running []*Job
+	var draining []string // leave targets waiting for their job to retire
+	var now time.Duration
+	m := Metrics{Policy: policy.Name()}
+	var nodeSeconds, capacitySeconds float64
+
+	for len(pending) > 0 || len(running) > 0 {
+		// Fold due membership changes into the pool, then retry drains:
+		// a node named by an earlier leave evicts once it is free.
+		for len(timeline) > 0 && timeline[0].At <= now {
+			c := timeline[0]
+			timeline = timeline[1:]
+			pool.Adopt(c.Join)
+			draining = append(draining, c.Leave...)
+		}
+		draining = evictFree(pool, draining)
+
+		// Queue: pending jobs that have arrived.
+		var queue []*Job
+		for _, j := range pending {
+			if j.Submit <= now {
+				queue = append(queue, j)
+			}
+		}
+		if len(queue) > 0 {
+			m.Decisions++
+			for _, j := range policy.Pick(queue, running, pool, now) {
+				if _, err := pool.Allocate(j.ID, j.Req); err != nil {
+					return m, fmt.Errorf("sched: policy %s picked infeasible job %s: %v",
+						policy.Name(), j.ID, err)
+				}
+				j.State = StateRunning
+				j.Start = now
+				j.End = now + j.Duration
+				running = append(running, j)
+				nodeSeconds += float64(j.Req.Nodes) * j.Duration.Seconds()
+				for i, p := range pending {
+					if p == j {
+						pending = append(pending[:i], pending[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+
+		// Advance virtual time to the next event: earliest job end, next
+		// submit, or next membership change.
+		next := time.Duration(-1)
+		for _, r := range running {
+			if next < 0 || r.End < next {
+				next = r.End
+			}
+		}
+		for _, p := range pending {
+			if p.Submit > now && (next < 0 || p.Submit < next) {
+				next = p.Submit
+			}
+		}
+		if len(timeline) > 0 && timeline[0].At > now && (next < 0 || timeline[0].At < next) {
+			next = timeline[0].At
+		}
+		if next < 0 {
+			if len(pending) > 0 {
+				return m, fmt.Errorf("sched: %d jobs starved (first: %s)", len(pending), pending[0].ID)
+			}
+			break
+		}
+		capacitySeconds += float64(pool.TotalNodes()) * (next - now).Seconds()
+		now = next
+
+		// Retire finished jobs.
+		keep := running[:0]
+		for _, r := range running {
+			if r.End <= now {
+				r.State = StateComplete
+				pool.Release(r.ID)
+				m.Completed++
+				m.AvgWait += r.Wait()
+				if r.Wait() > m.MaxWait {
+					m.MaxWait = r.Wait()
+				}
+				if r.End > m.Makespan {
+					m.Makespan = r.End
+				}
+			} else {
+				keep = append(keep, r)
+			}
+		}
+		running = keep
+	}
+	if m.Completed > 0 {
+		m.AvgWait /= time.Duration(m.Completed)
+	}
+	if capacitySeconds > 0 {
+		m.Utilization = nodeSeconds / capacitySeconds
+	}
+	return m, nil
+}
+
+// evictFree evicts every named node that is currently free and returns
+// the names still draining (allocated, or not present in the pool yet).
+func evictFree(pool *resource.Pool, names []string) []string {
+	if len(names) == 0 {
+		return names
+	}
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var free []*resource.Resource
+	for _, n := range pool.Root().FindAll(resource.TypeNode) {
+		if want[n.Name] && n.Owner() == "" {
+			free = append(free, n)
+			delete(want, n.Name)
+		}
+	}
+	if len(free) > 0 {
+		if err := pool.Evict(free); err == nil {
+			names = names[:0]
+			for n := range want {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+		}
+	}
+	return names
+}

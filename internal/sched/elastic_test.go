@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"fluxgo/internal/resource"
+)
+
+func freshNodes(names ...string) []*resource.Resource {
+	nodes := make([]*resource.Resource, 0, len(names))
+	for _, n := range names {
+		nodes = append(nodes, resource.New(resource.TypeNode, n))
+	}
+	return nodes
+}
+
+// TestSimulateElasticGrow: a job too wide for the founding pool becomes
+// schedulable once a membership join adopts more nodes mid-simulation.
+func TestSimulateElasticGrow(t *testing.T) {
+	p := pool(t, 2)
+	jobs := []*Job{
+		job("a", 2, 10*time.Second, 0),
+		job("b", 4, 10*time.Second, 0),
+	}
+	changes := []MembershipChange{
+		{At: 5 * time.Second, Join: freshNodes("x0", "x1")},
+	}
+	m, err := SimulateElastic(p, FCFS{}, jobs, changes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != 2 {
+		t.Fatalf("completed %d, want 2", m.Completed)
+	}
+	if jobs[1].Start != 10*time.Second {
+		t.Fatalf("wide job started at %v, want 10s (after a retires on the grown pool)", jobs[1].Start)
+	}
+	if p.TotalNodes() != 4 {
+		t.Fatalf("pool has %d nodes after join, want 4", p.TotalNodes())
+	}
+	if m.Utilization <= 0 || m.Utilization > 1.000001 {
+		t.Fatalf("utilization %f out of range", m.Utilization)
+	}
+}
+
+// TestSimulateElasticDrain: a leave naming allocated nodes must not
+// preempt — the nodes drain out when their job retires, after which the
+// shrunken pool keeps scheduling.
+func TestSimulateElasticDrain(t *testing.T) {
+	p := pool(t, 4)
+	jobs := []*Job{
+		job("a", 4, 10*time.Second, 0),
+		job("b", 2, 5*time.Second, 0),
+	}
+	changes := []MembershipChange{
+		{At: 2 * time.Second, Leave: []string{"node2", "node3"}},
+	}
+	m, err := SimulateElastic(p, FCFS{}, jobs, changes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != 2 {
+		t.Fatalf("completed %d, want 2", m.Completed)
+	}
+	if jobs[0].End != 10*time.Second {
+		t.Fatalf("running job preempted by leave: end %v, want 10s", jobs[0].End)
+	}
+	if p.TotalNodes() != 2 {
+		t.Fatalf("pool has %d nodes after drain, want 2", p.TotalNodes())
+	}
+	if jobs[1].Start != 10*time.Second {
+		t.Fatalf("follow-up job started at %v, want 10s on the shrunken pool", jobs[1].Start)
+	}
+}
+
+// TestSimulateElasticValidation: a job wider than the peak capacity over
+// the whole timeline is rejected up front.
+func TestSimulateElasticValidation(t *testing.T) {
+	p := pool(t, 2)
+	changes := []MembershipChange{
+		{At: time.Second, Join: freshNodes("x0")},
+	}
+	_, err := SimulateElastic(p, FCFS{}, []*Job{job("w", 4, time.Second, 0)}, changes)
+	if err == nil {
+		t.Fatal("job wider than peak capacity accepted")
+	}
+}

@@ -187,105 +187,7 @@ type Metrics struct {
 
 // Simulate runs jobs through pool under policy in virtual time and
 // returns schedule metrics. Jobs are mutated in place (Start/End/State).
+// It is the fixed-membership special case of SimulateElastic.
 func Simulate(pool *resource.Pool, policy Policy, jobs []*Job) (Metrics, error) {
-	byID := map[string]*Job{}
-	for _, j := range jobs {
-		if j.Req.Nodes < 1 {
-			return Metrics{}, fmt.Errorf("sched: job %s requests %d nodes", j.ID, j.Req.Nodes)
-		}
-		if j.Req.Nodes > pool.TotalNodes() {
-			return Metrics{}, fmt.Errorf("sched: job %s needs %d nodes, pool has %d",
-				j.ID, j.Req.Nodes, pool.TotalNodes())
-		}
-		if _, dup := byID[j.ID]; dup {
-			return Metrics{}, fmt.Errorf("sched: duplicate job id %s", j.ID)
-		}
-		byID[j.ID] = j
-		j.State = StatePending
-	}
-
-	pending := append([]*Job(nil), jobs...)
-	sort.SliceStable(pending, func(a, b int) bool { return pending[a].Submit < pending[b].Submit })
-	var running []*Job
-	var now time.Duration
-	m := Metrics{Policy: policy.Name()}
-	var nodeSeconds float64
-
-	for len(pending) > 0 || len(running) > 0 {
-		// Queue: pending jobs that have arrived.
-		var queue []*Job
-		for _, j := range pending {
-			if j.Submit <= now {
-				queue = append(queue, j)
-			}
-		}
-		if len(queue) > 0 {
-			m.Decisions++
-			for _, j := range policy.Pick(queue, running, pool, now) {
-				if _, err := pool.Allocate(j.ID, j.Req); err != nil {
-					return m, fmt.Errorf("sched: policy %s picked infeasible job %s: %v",
-						policy.Name(), j.ID, err)
-				}
-				j.State = StateRunning
-				j.Start = now
-				j.End = now + j.Duration
-				running = append(running, j)
-				nodeSeconds += float64(j.Req.Nodes) * j.Duration.Seconds()
-				for i, p := range pending {
-					if p == j {
-						pending = append(pending[:i], pending[i+1:]...)
-						break
-					}
-				}
-			}
-		}
-
-		// Advance virtual time to the next event: earliest job end or
-		// next submit.
-		next := time.Duration(-1)
-		for _, r := range running {
-			if next < 0 || r.End < next {
-				next = r.End
-			}
-		}
-		for _, p := range pending {
-			if p.Submit > now && (next < 0 || p.Submit < next) {
-				next = p.Submit
-			}
-		}
-		if next < 0 {
-			if len(pending) > 0 {
-				return m, fmt.Errorf("sched: %d jobs starved (first: %s)", len(pending), pending[0].ID)
-			}
-			break
-		}
-		now = next
-
-		// Retire finished jobs.
-		keep := running[:0]
-		for _, r := range running {
-			if r.End <= now {
-				r.State = StateComplete
-				pool.Release(r.ID)
-				m.Completed++
-				m.AvgWait += r.Wait()
-				if r.Wait() > m.MaxWait {
-					m.MaxWait = r.Wait()
-				}
-				if r.End > m.Makespan {
-					m.Makespan = r.End
-				}
-			} else {
-				keep = append(keep, r)
-			}
-		}
-		running = keep
-	}
-	if m.Completed > 0 {
-		m.AvgWait /= time.Duration(m.Completed)
-	}
-	if m.Makespan > 0 {
-		m.Utilization = nodeSeconds / (float64(pool.TotalNodes()) * m.Makespan.Seconds())
-	}
-	return m, nil
+	return SimulateElastic(pool, policy, jobs, nil)
 }

@@ -153,7 +153,7 @@ func (c *Chaos) Crash(rank int) {
 		ep.SetFaults(transport.Faults{Blackhole: true})
 	}
 	c.s.logf("session: chaos: rank %d crashed silently", rank)
-	c.s.brokers[rank].Shutdown()
+	c.s.Broker(rank).Shutdown()
 }
 
 // Sever models the failure detector noticing a crashed rank: the peers'
@@ -175,6 +175,7 @@ func (c *Chaos) Sever(rank int) {
 	for _, ep := range eps {
 		ep.Close()
 	}
+	c.s.healRing(rank)
 	c.s.logf("session: chaos: rank %d severed (failure detected)", rank)
 }
 

@@ -69,6 +69,13 @@ type Options struct {
 	// (broker.DefaultRPCTimeout when zero; negative disables it). Chaos
 	// tests shorten it so liveness violations surface quickly.
 	RPCTimeout time.Duration
+	// SyncInterval overrides the brokers' membership anti-entropy period
+	// (broker.DefaultSyncInterval when zero; negative disables it). Chaos
+	// tests shorten it so membership convergence is quick after a heal.
+	SyncInterval time.Duration
+	// SessionID names the session for the cmb.join membership handshake;
+	// empty defaults to "inproc".
+	SessionID string
 }
 
 // Session is a running comms session.
@@ -80,6 +87,14 @@ type Session struct {
 
 	mu   debuglock.Mutex
 	dead map[int]bool
+	// view is the session's own membership view (rank space plus
+	// tombstones); epoch is the membership epoch it will stamp into the
+	// next live.join / live.leave event. Both are guarded by mu.
+	view  *topo.View
+	epoch uint32
+	// memberMu serializes Grow/Shrink so each membership change gets a
+	// unique, monotone epoch. Never held while holding mu.
+	memberMu sync.Mutex
 }
 
 // New builds, wires, and starts an in-process comms session.
@@ -94,11 +109,16 @@ func New(opts Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.SessionID == "" {
+		opts.SessionID = "inproc"
+	}
 	s := &Session{
 		opts:    opts,
 		tree:    tree,
 		brokers: make([]*broker.Broker, opts.Size),
 		dead:    make(map[int]bool),
+		view:    topo.NewView(tree),
+		epoch:   1,
 	}
 	s.mu.SetClass("session.Session.mu")
 	if opts.FaultInjection {
@@ -115,6 +135,10 @@ func New(opts Options) (*Session, error) {
 			Log:          opts.Log,
 			Reparent:     s.reparent,
 			RPCTimeout:   opts.RPCTimeout,
+			SyncInterval: opts.SyncInterval,
+			SessionID:    opts.SessionID,
+			Grow:         s.hookGrow,
+			Shrink:       s.hookShrink,
 		})
 		if err != nil {
 			return nil, err
@@ -205,12 +229,40 @@ func (s *Session) Size() int { return s.opts.Size }
 // Tree returns the session's tree topology.
 func (s *Session) Tree() topo.Tree { return s.tree }
 
-// Broker returns the broker at rank.
-func (s *Session) Broker(rank int) *broker.Broker { return s.brokers[rank] }
+// Broker returns the broker at rank. The slice of brokers can grow at
+// runtime, so the read is made under the session lock.
+func (s *Session) Broker(rank int) *broker.Broker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.brokers[rank]
+}
 
 // Handle attaches and returns a new handle at rank.
 func (s *Session) Handle(rank int) *broker.Handle {
-	return s.brokers[rank].NewHandle()
+	return s.Broker(rank).NewHandle()
+}
+
+// Epoch returns the session's current membership epoch.
+func (s *Session) Epoch() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// RankSpace returns the current rank-space size (tombstones included).
+func (s *Session) RankSpace() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.view.Size()
+}
+
+// LiveRanks returns the ranks that are current members: granted a rank,
+// not departed. (A killed rank is a failed member, not a departed one,
+// so it stays in this list; the live module reports it down.)
+func (s *Session) LiveRanks() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.view.LiveRanks()
 }
 
 // Chaos returns the session's chaos controller, or nil unless the
@@ -253,7 +305,8 @@ func (s *Session) Kill(rank int) {
 	if rank == 0 {
 		s.logf("session: WARNING: rank 0 killed — no root fail-over: event sequencing and KVS commits are unavailable for the rest of this session's life")
 	}
-	s.brokers[rank].Shutdown()
+	s.healRing(rank)
+	s.Broker(rank).Shutdown()
 }
 
 // Alive reports whether the broker at rank has not been killed.
@@ -283,9 +336,9 @@ func (s *Session) reparent(b *broker.Broker, oldParent int) {
 		}
 		return
 	}
+	adopter := s.brokers[p]
 	s.mu.Unlock()
 
-	adopter := s.brokers[p]
 	c := b.Rank()
 	treeP, treeC := s.pipeRanks(p, c)
 	evP, evC := s.pipeRanks(p, c)
@@ -299,8 +352,11 @@ func (s *Session) reparent(b *broker.Broker, oldParent int) {
 
 // Close shuts down every broker in the session.
 func (s *Session) Close() {
+	s.mu.Lock()
+	brokers := append([]*broker.Broker(nil), s.brokers...)
+	s.mu.Unlock()
 	var wg sync.WaitGroup
-	for r := range s.brokers {
+	for r := range brokers {
 		s.mu.Lock()
 		deadAlready := s.dead[r]
 		s.dead[r] = true
@@ -312,7 +368,7 @@ func (s *Session) Close() {
 		go func(b *broker.Broker) {
 			defer wg.Done()
 			b.Shutdown()
-		}(s.brokers[r])
+		}(brokers[r])
 	}
 	wg.Wait()
 }

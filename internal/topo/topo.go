@@ -8,7 +8,10 @@
 // neighbours, for any session size and tree arity.
 package topo
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Tree describes a complete k-ary tree over ranks 0..Size-1 laid out in
 // breadth-first order: the children of rank r are k*r+1 .. k*r+k.
@@ -57,14 +60,62 @@ func (t Tree) Children(rank int) []int {
 	return kids
 }
 
-// Depth returns the number of edges between rank and the root.
+// Depth returns the number of edges between rank and the root. It is
+// computed in O(1) from the BFS index: rank r sits at depth d iff
+// firstOfDepth(d) <= r < firstOfDepth(d+1) with firstOfDepth(d) =
+// (k^d - 1)/(k - 1), so d = floor(log_k(r*(k-1) + 1)). The float
+// estimate can be off by one near exact powers of k; it is corrected
+// against the exact integer bounds.
 func (t Tree) Depth(rank int) int {
-	d := 0
-	for rank > 0 {
-		rank = t.Parent(rank)
+	if rank <= 0 {
+		return 0
+	}
+	k := t.Arity
+	if k == 1 {
+		return rank // a unary tree is a chain
+	}
+	d := int(math.Log(float64(rank)*float64(k-1)+1) / math.Log(float64(k)))
+	for d > 0 && t.firstOfDepth(d) > rank {
+		d--
+	}
+	for t.firstOfDepth(d+1) <= rank {
 		d++
 	}
 	return d
+}
+
+// firstOfDepth returns the BFS index of the leftmost rank at depth d,
+// (k^d - 1)/(k - 1), saturating at the maximum int so callers can
+// compare it against any rank without overflow.
+func (t Tree) firstOfDepth(d int) int {
+	const maxInt = int(^uint(0) >> 1)
+	p, ok := ipow(t.Arity, d)
+	if !ok {
+		return maxInt
+	}
+	return (p - 1) / (t.Arity - 1)
+}
+
+// ipow computes k^d by squaring, reporting false on int overflow.
+func ipow(k, d int) (int, bool) {
+	const maxInt = int(^uint(0) >> 1)
+	result, base := 1, k
+	for d > 0 {
+		if d&1 == 1 {
+			if result > maxInt/base {
+				return 0, false
+			}
+			result *= base
+		}
+		d >>= 1
+		if d > 0 {
+			if base > maxInt/base {
+				return 0, false
+			}
+			base *= base
+		}
+	}
+	return result, true
 }
 
 // Height returns the maximum depth over all ranks — the tree height.

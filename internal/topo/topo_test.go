@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -189,5 +190,117 @@ func TestRingWalkCoversAllRanks(t *testing.T) {
 	}
 	if len(seen) != 8 || rank != 3 {
 		t.Fatalf("ring walk did not cover ring: %v end=%d", seen, rank)
+	}
+}
+
+// TestTreePropertyCrossCheck is the randomized consistency suite for
+// the pure tree arithmetic: over arbitrary sizes and arities it
+// cross-checks the O(1) closed-form Depth against a parent-chain walk,
+// Height against the maximum walked depth, and InSubtree/ChildToward
+// against their from-first-principles definitions.
+func TestTreePropertyCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	walkDepth := func(tr Tree, r int) int {
+		d := 0
+		for r > 0 {
+			r = tr.Parent(r)
+			d++
+		}
+		return d
+	}
+	for iter := 0; iter < 200; iter++ {
+		size := rng.Intn(3000) + 1
+		arity := rng.Intn(9) + 1
+		tr, err := NewTree(size, arity)
+		if err != nil {
+			t.Fatalf("NewTree(%d,%d): %v", size, arity, err)
+		}
+
+		ranks := []int{0, size - 1, size / 2}
+		for j := 0; j < 20; j++ {
+			ranks = append(ranks, rng.Intn(size))
+		}
+		for _, r := range ranks {
+			if got, want := tr.Depth(r), walkDepth(tr, r); got != want {
+				t.Fatalf("size=%d arity=%d: Depth(%d) = %d, walk says %d", size, arity, r, got, want)
+			}
+			if got, want := tr.IsLeaf(r), len(tr.Children(r)) == 0; got != want {
+				t.Fatalf("size=%d arity=%d: IsLeaf(%d) = %v, Children = %v", size, arity, r, got, tr.Children(r))
+			}
+			for _, c := range tr.Children(r) {
+				if tr.Parent(c) != r {
+					t.Fatalf("size=%d arity=%d: Parent(Children(%d)) mismatch at %d", size, arity, r, c)
+				}
+			}
+		}
+		// The last BFS rank is always on the deepest level.
+		if got, want := tr.Height(), walkDepth(tr, size-1); got != want {
+			t.Fatalf("size=%d arity=%d: Height = %d, walk says %d", size, arity, got, want)
+		}
+
+		for j := 0; j < 50; j++ {
+			a, b := rng.Intn(size), rng.Intn(size)
+			want := false
+			for x := b; x >= 0; x = tr.Parent(x) {
+				if x == a {
+					want = true
+					break
+				}
+			}
+			if got := tr.InSubtree(a, b); got != want {
+				t.Fatalf("size=%d arity=%d: InSubtree(%d,%d) = %v, walk says %v", size, arity, a, b, got, want)
+			}
+			if want && a != b {
+				c := tr.ChildToward(a, b)
+				if tr.Parent(c) != a || !tr.InSubtree(c, b) {
+					t.Fatalf("size=%d arity=%d: ChildToward(%d,%d) = %d inconsistent", size, arity, a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// TestViewMembership covers the dynamic-membership view: tombstones,
+// growth at the high end, live-parent and live-ring traversal.
+func TestViewMembership(t *testing.T) {
+	tr, _ := NewTree(7, 2)
+	v := NewView(tr)
+	if v.LiveCount() != 7 || !v.Live(3) {
+		t.Fatalf("fresh view: count=%d live(3)=%v", v.LiveCount(), v.Live(3))
+	}
+	if !v.Leave(1) || v.Leave(1) {
+		t.Fatal("Leave(1) idempotence broken")
+	}
+	if v.Live(1) || !v.Left(1) || v.LiveCount() != 6 {
+		t.Fatalf("tombstone not applied: live=%v left=%v count=%d", v.Live(1), v.Left(1), v.LiveCount())
+	}
+	// 3's parent 1 is gone; nearest live ancestor is the root.
+	if p := v.LiveParent(3); p != 0 {
+		t.Fatalf("LiveParent(3) = %d, want 0", p)
+	}
+	if first := v.Grow(2); first != 7 || v.Size() != 9 || !v.Live(8) {
+		t.Fatalf("Grow: first=%d size=%d live(8)=%v", first, v.Size(), v.Live(8))
+	}
+	// Ring traversal skips the tombstone in both directions.
+	if n := v.NextLive(0); n != 2 {
+		t.Fatalf("NextLive(0) = %d, want 2", n)
+	}
+	if p := v.PrevLive(2); p != 0 {
+		t.Fatalf("PrevLive(2) = %d, want 0", p)
+	}
+	if n := v.NextLive(8); n != 0 {
+		t.Fatalf("NextLive(8) = %d, want 0 (wraparound)", n)
+	}
+	if got := v.Tombstones(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Tombstones = %v, want [1]", got)
+	}
+	if got := v.LiveRanks(); len(got) != 8 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("LiveRanks = %v", got)
+	}
+	// A single-survivor ring has no live neighbours.
+	solo := NewView(Tree{Size: 2, Arity: 2})
+	solo.Leave(1)
+	if solo.NextLive(0) != -1 || solo.PrevLive(0) != -1 {
+		t.Fatal("solo ring should have no live neighbour")
 	}
 }

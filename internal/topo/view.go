@@ -1,0 +1,120 @@
+package topo
+
+import "sort"
+
+// View is a dynamic membership view over the overlay rank space: a
+// k-ary Tree whose size can grow at the high end and whose departed
+// ranks are tombstoned rather than renumbered. BFS indices are stable
+// for a rank's whole life — growth appends fresh ranks, a leave only
+// marks its rank — so the pure Tree arithmetic keeps working and the
+// membership epoch protocol never has to rewrite routes.
+//
+// A View is not safe for concurrent use; holders guard it with their
+// own lock (the broker under b.mu, the session under s.mu).
+type View struct {
+	tree Tree
+	left map[int]bool // tombstoned ranks
+}
+
+// NewView returns a membership view initially covering tree with every
+// rank live.
+func NewView(tree Tree) *View {
+	return &View{tree: tree, left: make(map[int]bool)}
+}
+
+// Tree returns the current nominal shape. Its Size counts tombstoned
+// ranks too: it is the rank-space bound, not the live population.
+func (v *View) Tree() Tree { return v.tree }
+
+// Size returns the current rank-space size (tombstones included).
+func (v *View) Size() int { return v.tree.Size }
+
+// Grow extends the rank space by n fresh ranks and returns the first
+// new rank. Tombstoned ranks are never reused.
+func (v *View) Grow(n int) int {
+	first := v.tree.Size
+	v.tree.Size += n
+	return first
+}
+
+// Leave tombstones rank, reporting whether it was live.
+func (v *View) Leave(rank int) bool {
+	if !v.tree.Valid(rank) || v.left[rank] {
+		return false
+	}
+	v.left[rank] = true
+	return true
+}
+
+// Live reports whether rank is a current, non-departed member.
+func (v *View) Live(rank int) bool {
+	return v.tree.Valid(rank) && !v.left[rank]
+}
+
+// Left reports whether rank has departed (tombstoned).
+func (v *View) Left(rank int) bool { return v.left[rank] }
+
+// LiveCount returns the number of live ranks.
+func (v *View) LiveCount() int { return v.tree.Size - len(v.left) }
+
+// LiveRanks returns the live ranks in ascending order.
+func (v *View) LiveRanks() []int {
+	ranks := make([]int, 0, v.LiveCount())
+	for r := 0; r < v.tree.Size; r++ {
+		if !v.left[r] {
+			ranks = append(ranks, r)
+		}
+	}
+	return ranks
+}
+
+// LiveParent returns the nearest live ancestor of rank in the tree, or
+// -1 when rank is the root or every ancestor has departed.
+func (v *View) LiveParent(rank int) int {
+	for p := v.tree.Parent(rank); p >= 0; p = v.tree.Parent(p) {
+		if !v.left[p] {
+			return p
+		}
+	}
+	return -1
+}
+
+// NextLive returns the first live rank after rank on the ring (skipping
+// tombstones), or -1 when rank is the only live rank.
+func (v *View) NextLive(rank int) int {
+	for i, r := 0, rank; i < v.tree.Size; i++ {
+		r = (r + 1) % v.tree.Size
+		if r == rank {
+			return -1
+		}
+		if !v.left[r] {
+			return r
+		}
+	}
+	return -1
+}
+
+// PrevLive returns the first live rank before rank on the ring, or -1
+// when rank is the only live rank.
+func (v *View) PrevLive(rank int) int {
+	for i, r := 0, rank; i < v.tree.Size; i++ {
+		r = (r - 1 + v.tree.Size) % v.tree.Size
+		if r == rank {
+			return -1
+		}
+		if !v.left[r] {
+			return r
+		}
+	}
+	return -1
+}
+
+// Tombstones returns the departed ranks in ascending order.
+func (v *View) Tombstones() []int {
+	out := make([]int, 0, len(v.left))
+	for r := range v.left {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}

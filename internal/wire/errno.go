@@ -18,6 +18,7 @@ const (
 	ErrnoShutdown    int32 = 108 // broker shutting down
 	ErrnoTimedOut    int32 = 110 // RPC timeout
 	ErrnoHostUnreach int32 = 113 // rank not reachable
+	ErrnoStale       int32 = 116 // stale membership epoch (departed or unadmitted rank)
 )
 
 // Control-plane topics.
@@ -55,6 +56,25 @@ const (
 	// TopicLsmod / TopicRmmod (request) list and unload comms modules.
 	TopicLsmod = "cmb.lsmod"
 	TopicRmmod = "cmb.rmmod"
+
+	// TopicJoin (request) is the membership join handshake: a joining
+	// broker sends it as the first message on its new parent-tree link,
+	// carrying session id, wire version, and proposed rank; the parent
+	// admits the link (un-pends it) and replies with the current
+	// membership epoch and live size.
+	TopicJoin = "cmb.join"
+	// TopicGrow / TopicShrink (request) ask the session to add ranks /
+	// gracefully drain and remove ranks. Served at any broker whose
+	// session installed membership hooks; ENOSYS otherwise.
+	TopicGrow   = "cmb.grow"
+	TopicShrink = "cmb.shrink"
+
+	// EventJoin / EventLeave are the epoch-tagged membership events
+	// sequenced through the root: every broker folds them into its
+	// membership view (current epoch, live size, tombstone set), so the
+	// totally ordered event stream is what keeps views convergent.
+	EventJoin  = "live.join"
+	EventLeave = "live.leave"
 )
 
 // Metric names of the broker core's observability registry. They share
@@ -73,6 +93,16 @@ const (
 	MetricReparents        = "cmb.reparents"
 	MetricSendErrors       = "cmb.send_errors"
 	MetricInflightFailed   = "cmb.inflight_failed"
+
+	// Membership-epoch plane: the current epoch gauge plus counters for
+	// admitted joins, applied leaves, drains this broker performed on
+	// departing ranks, and messages rejected at the boundary for carrying
+	// a stale epoch.
+	MetricEpoch        = "cmb.epoch"
+	MetricJoins        = "cmb.joins"
+	MetricLeaves       = "cmb.leaves"
+	MetricDrains       = "cmb.drains"
+	MetricEpochRejects = "cmb.epoch_rejects"
 
 	MetricRequestQueueNS  = "cmb.request_queue_ns"
 	MetricRouteRequestNS  = "cmb.route_request_ns"

@@ -9,10 +9,11 @@ import (
 	"testing"
 )
 
-// fixtureFrames loads the committed pre-overhaul v2 frames.
+// fixtureFrames loads the committed v3 golden frames (regenerate with
+// testdata/gen.go after a deliberate codec change).
 func fixtureFrames(t testing.TB) [][]byte {
 	t.Helper()
-	f, err := os.Open("testdata/frames_v2.hex")
+	f, err := os.Open("testdata/frames_v3.hex")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,9 +40,9 @@ func fixtureFrames(t testing.TB) [][]byte {
 	return frames
 }
 
-// TestWireCompatFixtures proves the overhauled codec still speaks the
-// pre-PR v2 format: every committed frame decodes, re-encodes to the
-// identical bytes, and decodes the same through the pooled path.
+// TestWireCompatFixtures pins the v3 frame format: every committed
+// frame decodes, re-encodes to the identical bytes, and decodes the
+// same through the pooled path.
 func TestWireCompatFixtures(t *testing.T) {
 	for i, frame := range fixtureFrames(t) {
 		m, err := Unmarshal(frame)
@@ -62,7 +63,7 @@ func TestWireCompatFixtures(t *testing.T) {
 			t.Fatalf("frame %d: UnmarshalPooled: %v", i, err)
 		}
 		if pm.Type != m.Type || pm.Topic != m.Topic || pm.Nodeid != m.Nodeid ||
-			pm.Seq != m.Seq || pm.Errnum != m.Errnum ||
+			pm.Seq != m.Seq || pm.Errnum != m.Errnum || pm.Epoch != m.Epoch ||
 			!reflect.DeepEqual(pm.Route, m.Route) ||
 			string(pm.Payload) != string(m.Payload) ||
 			pm.TraceID != m.TraceID || pm.Parent != m.Parent || pm.Hops != m.Hops {

@@ -1,0 +1,48 @@
+//go:build ignore
+
+// Generator for frames_v3.hex, the golden wire-compat fixture. Run from
+// internal/wire after a deliberate codec change:
+//
+//	go run testdata/gen.go > testdata/frames_v3.hex
+//
+// The frames cover each message type plus the layout corners (route
+// stacks, empty payloads, epoch stamping, max-style field values) so the
+// byte-exact re-encode test pins the full header and framing.
+package main
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"fluxgo/internal/wire"
+)
+
+func main() {
+	frames := []*wire.Message{
+		{Type: wire.Request, Topic: "kvs.load", Nodeid: wire.NodeidUpstream,
+			Seq: 7, Epoch: 1, TraceID: 0xdeadbeefcafef00d, Parent: 2, Hops: 5,
+			Route:   []string{"h:3", "t:rank:2"},
+			Payload: []byte(`{"ref":"abc"}`)},
+		{Type: wire.Response, Topic: "kvs.load", Seq: 7, Errnum: wire.ErrnoHostUnreach,
+			Epoch: 1, Route: []string{"h:3"},
+			Payload: []byte(`{"error":"host unreachable"}`)},
+		{Type: wire.Event, Topic: "hb", Nodeid: wire.NodeidAny, Seq: 99, Epoch: 3,
+			Payload: []byte(`{}`)},
+		{Type: wire.Control, Topic: "cmb.resync", Seq: 12},
+		{Type: wire.Request, Topic: wire.TopicJoin, Nodeid: wire.NodeidAny,
+			Seq: 1, Epoch: 4,
+			Payload: []byte(`{"session":"s","wire_version":3,"rank":9}`)},
+		{Type: wire.Response, Topic: "barrier.enter", Seq: 0xFFFFFFFFFFFFFFFF,
+			Errnum: wire.ErrnoStale, Epoch: 0xFFFFFFFF,
+			Route:   []string{"h:1", "t:rank:0", "e:x"},
+			Payload: []byte(`{"error":"stale epoch"}`)},
+	}
+	fmt.Println("# v3 frames encoded by the PR-6 codec (membership epoch in the header); one hex frame per line.")
+	for _, m := range frames {
+		b, err := wire.Marshal(m)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(hex.EncodeToString(b))
+	}
+}

@@ -69,6 +69,15 @@ type Message struct {
 	Route   []string // identity hop stack for response back-routing
 	Payload []byte   // JSON frame
 
+	// Epoch (codec v3) is the membership epoch the message was produced
+	// under — the monotone generation number advanced by every rank
+	// join/leave. Brokers stamp it at origination (when zero) and check it
+	// at the receive boundary: traffic from a departed or not-yet-admitted
+	// epoch is rejected with ErrnoStale instead of corrupting routes.
+	// Zero means "unstamped" (pre-membership traffic, tests, tools);
+	// brokers accept it and stamp on the next hop.
+	Epoch uint32
+
 	// Trace context (codec v2). TraceID names the end-to-end exchange
 	// the message belongs to; it is assigned by the first broker to
 	// route the message (when zero) and then propagated unchanged, so
@@ -194,6 +203,7 @@ func NewResponse(req *Message, body any) (*Message, error) {
 		Topic:   req.Topic,
 		Seq:     req.Seq,
 		Route:   append([]string(nil), req.Route...),
+		Epoch:   req.Epoch,
 		TraceID: req.TraceID,
 		Parent:  req.Parent,
 		Hops:    req.Hops,
@@ -219,6 +229,7 @@ func NewErrorResponse(req *Message, errnum int32, msg string) *Message {
 		Seq:     req.Seq,
 		Errnum:  errnum,
 		Route:   append([]string(nil), req.Route...),
+		Epoch:   req.Epoch,
 		TraceID: req.TraceID,
 		Parent:  req.Parent,
 		Hops:    req.Hops,
@@ -290,17 +301,23 @@ func NewEvent(topic string, body any) (*Message, error) {
 const (
 	magic = 0xF1
 	// version 2 added the fixed trace-context fields (TraceID, Parent,
-	// Hops) to the header. All brokers of a session run one binary, so
-	// no compatibility shim for v1 peers is kept: a v1 frame is
-	// rejected with ErrBadVer.
-	version = 2
+	// Hops) to the header; version 3 added the membership epoch. All
+	// brokers of a session run one binary, so no compatibility shim for
+	// older peers is kept: a v1/v2 frame is rejected with ErrBadVer.
+	version = 3
 	// MaxMessageSize bounds a single encoded message; oversized messages
 	// are rejected by both Marshal and Unmarshal to protect brokers.
 	MaxMessageSize = 64 << 20
 	// headerLen is the fixed-size prefix: magic, version, type,
-	// nodeid(4), seq(8), errnum(4), traceid(8), parent(1), hops(1).
-	headerLen = 3 + 4 + 8 + 4 + 8 + 1 + 1
+	// nodeid(4), seq(8), errnum(4), epoch(4), traceid(8), parent(1),
+	// hops(1).
+	headerLen = 3 + 4 + 8 + 4 + 4 + 8 + 1 + 1
 )
+
+// Version returns the codec version this binary speaks. The cmb.join
+// membership handshake carries it so a joining broker built from a
+// different protocol generation is rejected before admission.
+func Version() int { return version }
 
 // Codec errors.
 var (
@@ -326,7 +343,7 @@ func encodedSize(m *Message) int {
 //
 // Layout: magic, version, type, then uvarint-framed fields:
 // nodeid(u32 LE), seq(u64 LE), errnum(i32 zigzag-free LE),
-// traceid(u64 LE), parent(u8), hops(u8),
+// epoch(u32 LE), traceid(u64 LE), parent(u8), hops(u8),
 // topic(len+bytes), nroutes(uvarint) × route(len+bytes),
 // payload(len+bytes).
 func Marshal(m *Message) ([]byte, error) {
@@ -353,6 +370,7 @@ func marshalAppend(buf []byte, m *Message) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, m.Nodeid)
 	buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Errnum))
+	buf = binary.LittleEndian.AppendUint32(buf, m.Epoch)
 	buf = binary.LittleEndian.AppendUint64(buf, m.TraceID)
 	buf = append(buf, m.Parent, m.Hops)
 	buf = appendBytes(buf, []byte(m.Topic))
@@ -416,10 +434,11 @@ func decodeInto(m *Message, data []byte) error {
 	m.Nodeid = binary.LittleEndian.Uint32(p)
 	m.Seq = binary.LittleEndian.Uint64(p[4:])
 	m.Errnum = int32(binary.LittleEndian.Uint32(p[12:]))
-	m.TraceID = binary.LittleEndian.Uint64(p[16:])
-	m.Parent = p[24]
-	m.Hops = p[25]
-	p = p[26:]
+	m.Epoch = binary.LittleEndian.Uint32(p[16:])
+	m.TraceID = binary.LittleEndian.Uint64(p[20:])
+	m.Parent = p[28]
+	m.Hops = p[29]
+	p = p[30:]
 
 	topic, p, err := readBytes(p)
 	if err != nil {
