@@ -17,7 +17,7 @@ GO ?= go
 # Hot-path packages covered by `make bench` / the CI bench job.
 BENCH_PKGS = ./internal/wire/ ./internal/broker/ ./internal/kvs/ ./internal/cas/
 
-.PHONY: build test check chaos vet lint debuglock bench benchdiff
+.PHONY: build test check chaos recovery vet lint debuglock bench benchdiff
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Static analysis: five passes over the module, zero findings required.
+# Static analysis: seven passes over the module, zero findings required.
 lint:
 	$(GO) run ./cmd/fluxlint ./...
 
@@ -42,6 +42,17 @@ debuglock:
 # Longer fault-injection soak; honours CHAOS_SOAK / CHAOS_SEED.
 chaos:
 	$(GO) test -race -run 'TestChaosSoak' -v ./internal/session/
+
+# Durability gate: the WAL truncation sweep, the restart protocol tests,
+# and the seeded crash-restart soak (kill/crash/restart of ranks and
+# shard masters under link + storage faults, then prove every
+# acknowledged commit survived). Honours FLUX_CHAOS_SEEDS / CHAOS_SOAK:
+#
+#   FLUX_CHAOS_SEEDS=1,2,3,4,5,6 CHAOS_SOAK=2s make recovery
+recovery:
+	$(GO) test -race -run 'TestWALTruncationSweep|TestDurableCommitRecovery' -v ./internal/cas/
+	$(GO) test -race -run 'TestRestart|TestKillRootRefused|TestCrashRootRefused' -v ./internal/session/
+	$(GO) test -race -run 'TestCrashRestartSoak' -v ./internal/kvs/
 
 # Hot-path microbenchmarks, archived as JSON (see cmd/benchjson and
 # EXPERIMENTS.md for the tracked before/after numbers).

@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"fluxgo/internal/cas"
 	"fluxgo/internal/kvs"
 	"fluxgo/internal/modules/barrier"
 	"fluxgo/internal/modules/group"
@@ -50,6 +51,8 @@ var (
 	hbFlag       = flag.Duration("hb", 2*time.Second, "heartbeat interval")
 	verboseFlag  = flag.Bool("v", false, "log broker diagnostics to stderr")
 	debugFlag    = flag.String("debug-addr", "", "serve expvar (/debug/vars, incl. the broker metrics registry) and pprof (/debug/pprof) on this address")
+	kvsDirFlag   = flag.String("kvs-dir", "", "root directory for the KVS durable tier (each rank persists under its own rank<r>/<svc> subdir); empty disables persistence")
+	ckptFlag     = flag.Int("kvs-checkpoint-every", 64, "fold the KVS WAL into a pack every N commits (with -kvs-dir)")
 )
 
 func main() {
@@ -95,7 +98,7 @@ func main() {
 		Key:          key,
 		Log:          logf,
 		Modules: []session.ModuleFactory{
-			kvs.Factory(kvs.ModuleConfig{CacheMaxAge: 5 * time.Minute}),
+			kvs.Factory(kvsConfig()),
 			hb.Factory(hb.Config{Interval: *hbFlag}),
 			live.Factory(live.Config{}),
 			logmod.Factory(logmod.Config{Sink: os.Stderr}),
@@ -132,4 +135,18 @@ func main() {
 	<-sig
 	fmt.Println("flux-broker: shutting down")
 	b.Close()
+}
+
+// kvsConfig builds the KVS module config, wiring the durable disk tier
+// when -kvs-dir is set (the module namespaces the root by rank and
+// service itself), so a restarted broker cold-loads its cache — and,
+// at rank 0, the master's root commit — from disk.
+func kvsConfig() kvs.ModuleConfig {
+	cfg := kvs.ModuleConfig{CacheMaxAge: 5 * time.Minute}
+	if *kvsDirFlag != "" {
+		cfg.Dir = *kvsDirFlag
+		cfg.FS = cas.DirFS()
+		cfg.CheckpointEvery = *ckptFlag
+	}
+	return cfg
 }

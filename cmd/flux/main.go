@@ -17,6 +17,8 @@
 //	kvs dir <key>            list a directory
 //	kvs version              current root version
 //	kvs watch <key>          print updates until interrupted
+//	kvs checkpoint [rank]    force the durable tier to fold its WAL into a pack
+//	kvs storage [rank]       durable-tier stats (WAL bytes, packs, recovery counts)
 //	event pub <topic>        publish an event
 //	event sub <prefix>       print matching events until interrupted
 //	run <jobid> <prog> [...] bulk-launch a simulated program on all ranks
@@ -27,6 +29,7 @@
 //	log dump [count]         recent entries from the root log sink
 //	up                       ranks currently considered down by live
 //	stats [--rank N]         broker counters and metrics (local or rank-addressed)
+//	restart <rank>           readmit a killed or crashed rank (durable state reloads from disk)
 //	top                      per-rank broker activity and route latency table
 //	trace <id>               merged per-hop span chain of one traced message
 //	resources                unallocated ranks per the resource service
@@ -133,6 +136,13 @@ flagsDone:
 		n, err := strconv.Atoi(args[1])
 		fatalIf(err)
 		cmdJSON(c, wire.TopicGrow, wire.NodeidAny, map[string]int{"n": n})
+	case "restart":
+		if len(args) != 2 {
+			usage()
+		}
+		r, err := strconv.Atoi(args[1])
+		fatalIf(err)
+		cmdJSON(c, wire.TopicRestart, wire.NodeidAny, map[string]int{"rank": r})
 	case "shrink":
 		if len(args) < 2 {
 			usage()
@@ -210,6 +220,10 @@ func cmdKVS(c *client.Client, args []string) {
 		putAndCommit(c, args[1], json.RawMessage(args[2]))
 	case "version":
 		cmdJSON(c, "kvs.getversion", wire.NodeidAny, nil)
+	case "checkpoint":
+		cmdJSON(c, "kvs.checkpoint", rankOrAny(args[1:]), nil)
+	case "storage":
+		cmdJSON(c, "kvs.storage", rankOrAny(args[1:]), nil)
 	case "watch":
 		if len(args) != 2 {
 			usage()
@@ -218,6 +232,17 @@ func cmdKVS(c *client.Client, args []string) {
 	default:
 		usage()
 	}
+}
+
+// rankOrAny parses an optional trailing rank argument; absent means the
+// connected broker answers (NodeidAny).
+func rankOrAny(args []string) uint32 {
+	if len(args) == 0 {
+		return wire.NodeidAny
+	}
+	r, err := strconv.Atoi(args[0])
+	fatalIf(err)
+	return uint32(r)
 }
 
 // putAndCommit issues the put + single-participant fence the KVS client

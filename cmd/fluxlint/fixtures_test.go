@@ -99,3 +99,7 @@ func TestWireHygieneFixture(t *testing.T) {
 func TestDeadlinePropagationFixture(t *testing.T) {
 	checkPassFixture(t, deadlinePropagationPass, "deadline")
 }
+
+func TestFsyncDisciplineFixture(t *testing.T) {
+	checkPassFixture(t, fsyncDisciplinePass, "fsync")
+}

@@ -1,0 +1,161 @@
+package main
+
+// fsync-discipline: on a write path, a discarded Sync or Close error is
+// a silent durability lie. Sync is the only point where the kernel
+// reports that earlier buffered writes failed to reach stable storage;
+// ignoring its error means acknowledging a commit the disk never took.
+// Close is the last chance to observe a delayed write-back error, so on
+// a handle the function also wrote through, its error matters too.
+//
+// The rule applies to file-like values — anything whose method set has
+// Write (or Append) plus Sync plus Close, which covers *os.File, the
+// cas.File abstraction, and its fault-injecting wrappers, while
+// excluding net.Conn (no Sync) and bytes.Buffer (no Close):
+//
+//   - a Sync() whose result is discarded (expression statement, defer,
+//     or go) is always flagged: nobody syncs a file they did not write;
+//   - a Close() whose result is discarded is flagged only when the same
+//     function writes through the same variable — read-only opens keep
+//     the idiomatic `defer f.Close()`.
+//
+// `_ = f.Close()` is an explicit, visible discard (the error is already
+// being superseded, e.g. on an error path) and is not flagged.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const fsyncDisciplineName = "fsync-discipline"
+
+var fsyncDisciplinePass = Pass{
+	Name: fsyncDisciplineName,
+	Doc:  "flag discarded Sync/Close errors on write paths",
+	Run:  runFsyncDiscipline,
+}
+
+// fileWriteMethods are the calls that mark a handle as written within a
+// function. Sync is included: syncing implies a write path even when
+// the writes happened elsewhere (e.g. a helper took the handle).
+var fileWriteMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteAt":     true,
+	"Append":      true,
+	"Sync":        true,
+}
+
+func runFsyncDiscipline(l *Loader, p *Package) []Finding {
+	c := &fsyncChecker{l: l, p: p}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			c.checkFunc(fd.Body)
+			return false // checkFunc already covered nested closures
+		})
+	}
+	return c.findings
+}
+
+type fsyncChecker struct {
+	l        *Loader
+	p        *Package
+	findings []Finding
+}
+
+func (c *fsyncChecker) report(pos token.Pos, format string, args ...any) {
+	c.findings = append(c.findings, Finding{
+		Pass: fsyncDisciplineName,
+		Pos:  c.l.Fset.Position(pos),
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// checkFunc analyzes one function body (closures included — a write in
+// the function with a deferred close in a closure, or vice versa, is
+// still the same handle's lifecycle).
+func (c *fsyncChecker) checkFunc(body *ast.BlockStmt) {
+	// Pass 1: which file-like variables does this function write through?
+	written := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ce, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		se, ok := ce.Fun.(*ast.SelectorExpr)
+		if !ok || !fileWriteMethods[se.Sel.Name] || !c.fileLike(se) {
+			return true
+		}
+		if obj := c.recvObj(se.X); obj != nil {
+			written[obj] = true
+		}
+		return true
+	})
+
+	// Pass 2: discarded Sync/Close on those handles.
+	ast.Inspect(body, func(n ast.Node) bool {
+		var ce *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			ce, _ = n.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			ce = n.Call
+		case *ast.GoStmt:
+			ce = n.Call
+		}
+		if ce == nil {
+			return true
+		}
+		se, ok := ce.Fun.(*ast.SelectorExpr)
+		if !ok || !c.fileLike(se) {
+			return true
+		}
+		switch se.Sel.Name {
+		case "Sync":
+			c.report(ce.Pos(), "Sync error discarded: a failed fsync means the data is not durable")
+		case "Close":
+			if obj := c.recvObj(se.X); obj != nil && written[obj] {
+				c.report(ce.Pos(), "Close error discarded on a written file: the last write-back error is lost")
+			}
+		}
+		return true
+	})
+}
+
+// fileLike reports whether se is a method call on a value whose method
+// set includes Write-or-Append, Sync, and Close.
+func (c *fsyncChecker) fileLike(se *ast.SelectorExpr) bool {
+	sel := c.p.Info.Selections[se]
+	if sel == nil || sel.Kind() != types.MethodVal {
+		return false
+	}
+	recv := sel.Recv()
+	ms := types.NewMethodSet(recv)
+	if _, isPtr := recv.(*types.Pointer); !isPtr {
+		if _, isIface := recv.Underlying().(*types.Interface); !isIface {
+			ms = types.NewMethodSet(types.NewPointer(recv))
+		}
+	}
+	has := func(name string) bool { return ms.Lookup(nil, name) != nil }
+	return (has("Write") || has("Append")) && has("Sync") && has("Close")
+}
+
+// recvObj resolves the receiver expression to a stable types.Object so
+// writes and closes through the same variable (or same struct field)
+// correlate. Unresolvable receivers (e.g. a call result) return nil.
+func (c *fsyncChecker) recvObj(e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return c.p.Info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return c.p.Info.ObjectOf(e.Sel)
+	case *ast.ParenExpr:
+		return c.recvObj(e.X)
+	}
+	return nil
+}

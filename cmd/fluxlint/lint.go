@@ -46,6 +46,7 @@ var passes = []Pass{
 	epochDisciplinePass,
 	wireHygienePass,
 	deadlinePropagationPass,
+	fsyncDisciplinePass,
 }
 
 // directive is one parsed //fluxlint:ignore comment.

@@ -10,6 +10,7 @@
 //	epoch-discipline    epoch-fenced drops are counted or logged
 //	wire-hygiene        wire topics/types go through wire constants
 //	deadline-propagation in-scope contexts are threaded into RPCs
+//	fsync-discipline    Sync/Close errors are checked on write paths
 //
 // Usage:
 //

@@ -1,0 +1,65 @@
+// Package fsync holds fixtures for the fsync-discipline pass.
+package fsync
+
+import "os"
+
+// tornCheckpoint drops both durability errors: the deferred Close on a
+// written file and the naked Sync.
+func tornCheckpoint(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // BAD
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	f.Sync() // BAD
+	return nil
+}
+
+// syncOnly: even with no Write in sight, a discarded Sync is a lie —
+// nobody syncs a file they did not write.
+func syncOnly(f *os.File) {
+	f.Sync() // BAD
+}
+
+// closeAfterWrite: a bare Close statement on a written handle loses the
+// last write-back error.
+func closeAfterWrite(f *os.File, b []byte) {
+	if _, err := f.Write(b); err != nil {
+		return
+	}
+	f.Close() // BAD
+}
+
+// inGoroutine: discarding in a go statement is no better.
+func inGoroutine(f *os.File) {
+	go f.Sync() // BAD
+}
+
+// fileLike shapes beyond *os.File are covered too.
+type walFile struct{}
+
+func (*walFile) Append(b []byte) (int, error) { return len(b), nil }
+func (*walFile) Write(b []byte) (int, error)  { return len(b), nil }
+func (*walFile) Sync() error                  { return nil }
+func (*walFile) Close() error                 { return nil }
+
+func appendAndDrop(w *walFile, b []byte) {
+	if _, err := w.Append(b); err != nil {
+		return
+	}
+	w.Sync()  // BAD
+	w.Close() // BAD
+}
+
+// writeInClosure: the write happens inside a closure, the deferred
+// Close outside — same handle, same lifecycle.
+func writeInClosure(f *os.File, b []byte) func() error {
+	defer f.Close() // BAD
+	return func() error {
+		_, err := f.Write(b)
+		return err
+	}
+}

@@ -1,0 +1,67 @@
+package fsync
+
+import "os"
+
+// checkpoint is the disciplined shape: every Sync and Close error on
+// the write path is either returned or explicitly superseded with `_ =`
+// on a path that already carries an error.
+func checkpoint(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readAll never writes, so the idiomatic deferred Close stays legal.
+func readAll(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 128)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}
+
+// capturedSync: the result is used, not discarded.
+func capturedSync(f *os.File) error {
+	return f.Sync()
+}
+
+// collectedErrors: assignments are uses, not discards.
+func collectedErrors(f *os.File, b []byte) error {
+	_, werr := f.Write(b)
+	serr := f.Sync()
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// notAFile: Write+Close without Sync (a conn-like shape) is out of
+// scope — there is no durability promise to break.
+type conn struct{}
+
+func (*conn) Write(b []byte) (int, error) { return len(b), nil }
+func (*conn) Close() error                { return nil }
+
+func sendAndClose(c *conn, b []byte) {
+	if _, err := c.Write(b); err != nil {
+		return
+	}
+	c.Close()
+}

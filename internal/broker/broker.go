@@ -36,6 +36,7 @@ import (
 // the broker API ergonomic for modules.
 const (
 	ErrnoNoEnt       = wire.ErrnoNoEnt
+	ErrnoIO          = wire.ErrnoIO
 	ErrnoInval       = wire.ErrnoInval
 	ErrnoNoSys       = wire.ErrnoNoSys
 	ErrnoProto       = wire.ErrnoProto
@@ -199,6 +200,10 @@ type Config struct {
 	// every broker; without them those topics answer ENOSYS.
 	Grow   func(n int) (int, error)
 	Shrink func(ranks []int) error
+	// Restart, when non-nil, serves cmb.restart by bringing a previously
+	// killed or crashed rank back through the join path, cold-loading its
+	// durable state from disk. ENOSYS otherwise.
+	Restart func(rank int) error
 	// SyncInterval is the period of membership anti-entropy: non-root
 	// brokers pull the parent's view this often, guaranteeing eventual
 	// membership convergence even when every event carrying a change was

@@ -161,6 +161,9 @@ func (b *Broker) builtinRequest(m *wire.Message) bool {
 	case "shrink":
 		b.serveShrink(m)
 		return true
+	case "restart":
+		b.serveRestart(m)
+		return true
 	case "lsmod":
 		b.mu.Lock()
 		names := make([]string, 0, len(b.modules))

@@ -415,6 +415,41 @@ func (b *Broker) serveShrink(m *wire.Message) {
 	}()
 }
 
+// serveRestart handles cmb.restart by invoking the session's restart
+// hook, off-loop for the same reason as serveGrow: bringing a rank back
+// publishes a membership event and runs the join handshake, both of
+// which need this broker's loop.
+func (b *Broker) serveRestart(m *wire.Message) {
+	restart := b.cfg.Restart
+	if restart == nil {
+		b.respondErr(m, ErrnoNoSys, "cmb: no membership hooks installed at this broker")
+		return
+	}
+	var body struct {
+		Rank int `json:"rank"`
+	}
+	if err := m.UnpackJSON(&body); err != nil || body.Rank < 1 {
+		b.respondErr(m, ErrnoInval, "cmb: restart needs rank >= 1")
+		return
+	}
+	b.bg.Add(1)
+	go func() {
+		defer b.bg.Done()
+		if err := restart(body.Rank); err != nil {
+			b.respondErr(m, ErrnoInval, err.Error())
+			return
+		}
+		resp, rerr := wire.NewResponse(m, map[string]any{
+			"rank":  body.Rank,
+			"epoch": b.epoch.Load(),
+			"size":  b.RankSpace(),
+		})
+		if rerr == nil {
+			b.routeResponse(inbound{msg: resp})
+		}
+	}()
+}
+
 // JoinSession runs the cmb.join admission handshake for this handle's
 // broker: one upstream RPC to the parent the session wired it to,
 // retried while the overlay settles. Until it succeeds the parent's

@@ -185,6 +185,13 @@ type Store struct {
 	objs map[Ref]*entry
 	hits uint64
 	miss uint64
+
+	// sink, when installed, receives every object newly inserted by
+	// Put/PutRaw. It is invoked after the store lock is released (so a
+	// sink may do I/O) and only for first insertion of a ref, never for
+	// the idempotent re-put of known content. Written once before the
+	// store is shared; read without the lock.
+	sink func(ref Ref, encoded []byte)
 }
 
 // NewStore returns an empty store whose expiry decisions use clk.
@@ -206,6 +213,7 @@ func (s *Store) Put(o *Object) Ref {
 // PutRaw stores pre-encoded object bytes and returns their reference.
 func (s *Store) PutRaw(encoded []byte) Ref {
 	ref := HashOf(encoded)
+	inserted := false
 	s.mu.Lock()
 	if e, ok := s.objs[ref]; ok {
 		e.lastUsed = s.clk.Now()
@@ -214,9 +222,34 @@ func (s *Store) PutRaw(encoded []byte) Ref {
 			data:     append([]byte(nil), encoded...),
 			lastUsed: s.clk.Now(),
 		}
+		inserted = true
 	}
 	s.mu.Unlock()
+	if inserted && s.sink != nil {
+		s.sink(ref, encoded)
+	}
 	return ref
+}
+
+// SetSink installs the write-through hook; see the sink field. Must be
+// called before the store is shared across goroutines.
+func (s *Store) SetSink(fn func(ref Ref, encoded []byte)) { s.sink = fn }
+
+// snapEntry is one object captured by snapshot.
+type snapEntry struct {
+	ref  Ref
+	data []byte // aliases the store entry; entries are never mutated
+}
+
+// snapshot returns every cached object, for checkpointing.
+func (s *Store) snapshot() []snapEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]snapEntry, 0, len(s.objs))
+	for ref, e := range s.objs {
+		out = append(out, snapEntry{ref: ref, data: e.data})
+	}
+	return out
 }
 
 // Get returns the decoded object for ref, refreshing its last-use time.

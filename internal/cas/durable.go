@@ -1,0 +1,465 @@
+package cas
+
+// The disk-backed tier beneath the in-memory store: a write-through
+// WAL plus git-style pack checkpoints.
+//
+// Layout under dir:
+//
+//	wal.log           append-only CRC-framed records (wal.go framing)
+//	pack-<seq>.pack   checkpoint: full store image, written to a .tmp
+//	                  sibling, fsynced, then atomically renamed
+//
+// Every object newly inserted into the Store is shadowed into the WAL
+// by the store's sink hook; the master's root ref + commit version ride
+// the same log as recRoot records. Checkpoint folds the log into a new
+// pack (root record first, then every object, then a recEnd trailer
+// carrying the record count) and truncates the log. Recovery loads the
+// newest pack — a named pack is complete by construction, so one that
+// fails validation is a fatal media error, never silently skipped for
+// a staler ancestor — then replays the WAL on top, object records
+// idempotently and root records version-ratcheted, so a crash between
+// pack rename and log truncation is harmless.
+//
+// Fsync discipline: an object append is durable only after the Sync
+// inside Commit (or Checkpoint) returns nil; Commit never acknowledges
+// a root whose objects could be lost — a failed write-through append
+// poisons the log and forces an inline heal checkpoint (which rewrites
+// the full store through a fresh file) before any further root is
+// persisted.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fluxgo/internal/clock"
+	"fluxgo/internal/debuglock"
+)
+
+const (
+	walName    = "wal.log"
+	packPrefix = "pack-"
+	packSuffix = ".pack"
+	tmpSuffix  = ".tmp"
+)
+
+// rootMeta is the persisted master state: the current root reference
+// and the commit sequence number that produced it.
+type rootMeta struct {
+	Root    string `json:"root"`
+	Version uint64 `json:"version"`
+}
+
+// recLoc locates one framed object record on disk for read-miss loads.
+type recLoc struct {
+	pack bool // in the current pack file (else the WAL)
+	off  int64
+	n    int
+}
+
+// DurableStats is a point-in-time snapshot of the disk tier, surfaced
+// through kvs stats RPCs and `flux storage`.
+type DurableStats struct {
+	Dir              string
+	IndexedObjects   int
+	WALBytes         int64
+	WALRecords       uint64
+	Syncs            uint64
+	Checkpoints      uint64
+	PackSeq          uint64
+	PackBytes        int64
+	RecoveredObjects int // objects loaded from disk at open
+	ReplayedRecords  int // WAL records replayed at open
+	DiskLoads        uint64
+	SinkErr          string // sticky write-through failure, if any
+}
+
+// Durable layers the disk tier beneath store. Obtain via OpenDurable;
+// all methods are safe for concurrent use.
+type Durable struct {
+	fs    FS
+	dir   string
+	store *Store
+	wal   *WAL
+
+	mu      debuglock.Mutex
+	root    Ref
+	version uint64
+	packSeq uint64
+	index   map[Ref]recLoc
+
+	// sinkErr latches a failed write-through append: the WAL may be
+	// missing objects, so no root may be committed until a checkpoint
+	// heals the gap. Cleared by a successful checkpoint.
+	sinkErr error
+
+	recoveredObjects int
+	replayedRecords  int
+	checkpoints      uint64
+	packBytes        int64
+	diskLoads        uint64
+}
+
+// OpenDurable recovers (or initializes) the disk tier at dir and
+// returns it with a fresh in-memory Store attached, write-through
+// installed. The store's expiry clock is clk.
+func OpenDurable(fsys FS, dir string, clk clock.Clock) (*Durable, error) {
+	if fsys == nil {
+		fsys = DirFS()
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("cas: durable mkdir: %w", err)
+	}
+	d := &Durable{
+		fs:    fsys,
+		dir:   dir,
+		store: NewStore(clk),
+		index: make(map[Ref]recLoc),
+	}
+	d.mu.SetClass("cas.Durable.mu")
+
+	if err := d.loadPack(); err != nil {
+		return nil, err
+	}
+	wal, recs, err := OpenWAL(fsys, join(dir, walName))
+	if err != nil {
+		return nil, err
+	}
+	d.wal = wal
+	off := int64(0)
+	for _, rec := range recs {
+		total := walOverhead + len(rec.Payload)
+		d.applyRecord(rec, recLoc{pack: false, off: off, n: total})
+		off += int64(total)
+	}
+	d.replayedRecords = len(recs)
+	d.recoveredObjects = len(d.index)
+	d.store.SetSink(d.onInsert)
+	return d, nil
+}
+
+// loadPack finds, validates, and applies the newest checkpoint, and
+// sweeps leftover temp files and superseded packs.
+func (d *Durable) loadPack() error {
+	names, err := d.fs.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("cas: durable readdir: %w", err)
+	}
+	var seqs []uint64
+	for _, name := range names {
+		if strings.HasSuffix(name, tmpSuffix) {
+			// A checkpoint that died before its rename; never visible
+			// to recovery, so removal is cleanup, not correctness.
+			d.removeQuiet(join(d.dir, name))
+			continue
+		}
+		if seq, ok := parsePackName(name); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	if len(seqs) == 0 {
+		return nil
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	newest := seqs[len(seqs)-1]
+	path := join(d.dir, packName(newest))
+	data, err := readStable(d.fs, path)
+	if err != nil {
+		return fmt.Errorf("cas: durable read pack %s: %w", packName(newest), err)
+	}
+	recs, err := validatePack(data)
+	if err != nil {
+		return fmt.Errorf("cas: pack %s: %w", packName(newest), err)
+	}
+	off := int64(0)
+	for _, rec := range recs {
+		total := walOverhead + len(rec.Payload)
+		d.applyRecord(rec, recLoc{pack: true, off: off, n: total})
+		off += int64(total)
+	}
+	d.packSeq = newest
+	d.packBytes = int64(len(data))
+	for _, seq := range seqs[:len(seqs)-1] {
+		d.removeQuiet(join(d.dir, packName(seq)))
+	}
+	return nil
+}
+
+// applyRecord folds one recovered record into the store and index.
+// Root records ratchet by version, so a stale WAL replayed over a
+// newer pack can never move the root backwards.
+func (d *Durable) applyRecord(rec Record, loc recLoc) {
+	switch rec.Kind {
+	case recObject:
+		ref := d.store.PutRaw(rec.Payload)
+		d.index[ref] = loc
+	case recRoot:
+		var meta rootMeta
+		if json.Unmarshal(rec.Payload, &meta) != nil {
+			return
+		}
+		ref, err := ParseRef(meta.Root)
+		if err != nil || meta.Version < d.version {
+			return
+		}
+		d.root, d.version = ref, meta.Version
+	}
+}
+
+// validatePack checks a pack image end to end: every record CRC-clean,
+// the file fully consumed, and the recEnd trailer's count matching.
+func validatePack(data []byte) ([]Record, error) {
+	recs, n := ScanRecords(data)
+	if n != len(data) || len(recs) == 0 {
+		return nil, fmt.Errorf("corrupt pack: consistent prefix %d of %d bytes", n, len(data))
+	}
+	last := recs[len(recs)-1]
+	if last.Kind != recEnd {
+		return nil, fmt.Errorf("corrupt pack: missing trailer")
+	}
+	count, w := binary.Uvarint(last.Payload)
+	if w <= 0 || count != uint64(len(recs)-1) {
+		return nil, fmt.Errorf("corrupt pack: trailer count %d, have %d records", count, len(recs)-1)
+	}
+	return recs[:len(recs)-1], nil
+}
+
+// onInsert is the store's write-through sink: shadow every new object
+// into the WAL and remember where it landed. Objects already on disk
+// (recovered, or re-faulted after expiry) are skipped, so the log does
+// not regrow on cache churn. An append failure latches sinkErr; Commit
+// refuses to persist a root until a checkpoint heals the log.
+func (d *Durable) onInsert(ref Ref, encoded []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.index[ref]; ok {
+		return
+	}
+	off, err := d.wal.Append(recObject, encoded)
+	if err != nil {
+		if d.sinkErr == nil {
+			d.sinkErr = err
+		}
+		return
+	}
+	d.index[ref] = recLoc{pack: false, off: off, n: walOverhead + len(encoded)}
+}
+
+// Store returns the in-memory tier this disk tier shadows.
+func (d *Durable) Store() *Store { return d.store }
+
+// Root returns the recovered (or last committed) root and version.
+func (d *Durable) Root() (Ref, uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.root, d.version
+}
+
+// Commit durably records root as the state at commit sequence version:
+// the root record is appended and the log fsynced before Commit
+// returns nil. This is the KVS master's acknowledgment barrier — a
+// fence is answered only after its root survives here. If an earlier
+// write-through append failed, Commit first heals the log with an
+// inline checkpoint; on any error the root is NOT persisted and the
+// caller must not acknowledge.
+func (d *Durable) Commit(root Ref, version uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if reason := d.sinkErr; reason != nil || d.wal.Poisoned() != nil {
+		if reason == nil {
+			reason = d.wal.Poisoned()
+		}
+		if _, err := d.checkpointLocked(); err != nil {
+			return fmt.Errorf("cas: commit heal (after %v): %w", reason, err)
+		}
+	}
+	payload, err := json.Marshal(rootMeta{Root: root.String(), Version: version})
+	if err != nil {
+		return fmt.Errorf("cas: commit encode: %w", err)
+	}
+	if _, err := d.wal.Append(recRoot, payload); err != nil {
+		return err
+	}
+	if err := d.wal.Sync(); err != nil {
+		return err
+	}
+	d.root, d.version = root, version
+	return nil
+}
+
+// Sync flushes the WAL without writing a root record (used to make
+// write-through object appends durable on demand).
+func (d *Durable) Sync() error { return d.wal.Sync() }
+
+// CheckpointStats describes one completed checkpoint.
+type CheckpointStats struct {
+	Pack    string
+	Objects int
+	Bytes   int64
+}
+
+// Checkpoint folds the current store image into a new pack and resets
+// the WAL. Safe to run concurrently with commits (they serialize on
+// the tier lock).
+func (d *Durable) Checkpoint() (CheckpointStats, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.checkpointLocked()
+}
+
+func (d *Durable) checkpointLocked() (CheckpointStats, error) {
+	snap := d.store.snapshot()
+	seq := d.packSeq + 1
+	newIndex := make(map[Ref]recLoc, len(snap))
+
+	buf := AppendRecord(nil, recRoot, mustJSON(rootMeta{Root: d.root.String(), Version: d.version}))
+	for _, e := range snap {
+		off := int64(len(buf))
+		buf = AppendRecord(buf, recObject, e.data)
+		newIndex[e.ref] = recLoc{pack: true, off: off, n: len(buf) - int(off)}
+	}
+	var trailer [10]byte
+	buf = AppendRecord(buf, recEnd, trailer[:binary.PutUvarint(trailer[:], uint64(1+len(snap)))])
+
+	tmp := join(d.dir, packName(seq)+tmpSuffix)
+	final := join(d.dir, packName(seq))
+	f, err := d.fs.Create(tmp)
+	if err != nil {
+		return CheckpointStats{}, fmt.Errorf("cas: checkpoint create: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		closeQuiet(f)
+		d.removeQuiet(tmp)
+		return CheckpointStats{}, fmt.Errorf("cas: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		closeQuiet(f)
+		d.removeQuiet(tmp)
+		return CheckpointStats{}, fmt.Errorf("cas: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		d.removeQuiet(tmp)
+		return CheckpointStats{}, fmt.Errorf("cas: checkpoint close: %w", err)
+	}
+	if err := d.fs.Rename(tmp, final); err != nil {
+		d.removeQuiet(tmp)
+		return CheckpointStats{}, fmt.Errorf("cas: checkpoint rename: %w", err)
+	}
+
+	// The pack is live: from here on the tier is consistent even if the
+	// remaining steps fail (a stale WAL replays harmlessly over it).
+	oldSeq := d.packSeq
+	d.packSeq = seq
+	d.index = newIndex
+	d.sinkErr = nil
+	d.checkpoints++
+	d.packBytes = int64(len(buf))
+	if oldSeq != 0 {
+		d.removeQuiet(join(d.dir, packName(oldSeq)))
+	}
+	if err := d.wal.Reset(); err != nil {
+		return CheckpointStats{}, fmt.Errorf("cas: checkpoint wal reset: %w", err)
+	}
+	return CheckpointStats{Pack: packName(seq), Objects: len(snap), Bytes: int64(len(buf))}, nil
+}
+
+// Load reads one object from disk for a read miss, validating its CRC
+// framing and content hash, and inserts it into the store. Returns
+// false if ref is not on disk or the bytes do not verify.
+func (d *Durable) Load(ref Ref) ([]byte, bool) {
+	d.mu.Lock()
+	loc, ok := d.index[ref]
+	path := join(d.dir, walName)
+	if loc.pack {
+		path = join(d.dir, packName(d.packSeq))
+	}
+	d.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	data, err := d.fs.ReadFileRange(path, loc.off, loc.n)
+	if err != nil {
+		return nil, false
+	}
+	rec, _, valid := scanOne(data)
+	if !valid || rec.Kind != recObject || HashOf(rec.Payload) != ref {
+		return nil, false
+	}
+	d.mu.Lock()
+	d.diskLoads++
+	d.mu.Unlock()
+	d.store.PutRaw(rec.Payload)
+	return rec.Payload, true
+}
+
+// Close syncs and closes the tier. The store remains usable in memory.
+func (d *Durable) Close() error {
+	return d.wal.Close()
+}
+
+// Stats returns a snapshot of the tier's counters.
+func (d *Durable) Stats() DurableStats {
+	walRecs, syncs := d.wal.Counters()
+	walBytes := d.wal.Size()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := DurableStats{
+		Dir:              d.dir,
+		IndexedObjects:   len(d.index),
+		WALBytes:         walBytes,
+		WALRecords:       walRecs,
+		Syncs:            syncs,
+		Checkpoints:      d.checkpoints,
+		PackSeq:          d.packSeq,
+		PackBytes:        d.packBytes,
+		RecoveredObjects: d.recoveredObjects,
+		ReplayedRecords:  d.replayedRecords,
+		DiskLoads:        d.diskLoads,
+	}
+	if d.sinkErr != nil {
+		s.SinkErr = d.sinkErr.Error()
+	}
+	return s
+}
+
+// ---- small helpers ----
+
+func packName(seq uint64) string {
+	return fmt.Sprintf("%s%08d%s", packPrefix, seq, packSuffix)
+}
+
+func parsePackName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, packPrefix) || !strings.HasSuffix(name, packSuffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, packPrefix), packSuffix)
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// removeQuiet deletes best-effort: the files it targets (temp debris,
+// superseded packs) are never read by recovery, so a failed removal
+// costs disk, not correctness.
+func (d *Durable) removeQuiet(path string) {
+	_ = d.fs.Remove(path)
+}
+
+// closeQuiet is for error paths where the close result cannot change
+// the (already failed) outcome.
+func closeQuiet(f File) {
+	_ = f.Close()
+}
+
+func mustJSON(v interface{}) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,403 @@
+package cas
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"fluxgo/internal/clock"
+)
+
+// valueObj returns the encoded bytes of a small leaf object.
+func valueObj(s string) []byte {
+	return NewValue([]byte(s)).Encode()
+}
+
+func TestWALAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, walName)
+	w, recs, err := OpenWAL(DirFS(), path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log recovered %d records", len(recs))
+	}
+	payloads := []string{"alpha", "", "a much longer payload with some length to it", "z"}
+	for _, p := range payloads {
+		if _, err := w.Append(recObject, []byte(p)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	w2, recs, err := OpenWAL(DirFS(), path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w2.Close()
+	if len(recs) != len(payloads) {
+		t.Fatalf("recovered %d records, want %d", len(recs), len(payloads))
+	}
+	for i, rec := range recs {
+		if string(rec.Payload) != payloads[i] {
+			t.Fatalf("record %d: got %q want %q", i, rec.Payload, payloads[i])
+		}
+	}
+}
+
+// TestWALTruncationSweep cuts a log at every byte boundary and asserts
+// recovery always lands on a consistent prefix: exactly the records
+// whose frames fit entirely below the cut, never a partial one.
+func TestWALTruncationSweep(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("first"),
+		{},
+		[]byte("second-record-with-more-bytes"),
+		{0xff, 0x00, 0xde, 0xad},
+		[]byte("tail"),
+	}
+	var full []byte
+	var ends []int // cumulative frame end offsets
+	for _, p := range payloads {
+		full = AppendRecord(full, recObject, p)
+		ends = append(ends, len(full))
+	}
+
+	fsys := DirFS()
+	for cut := 0; cut <= len(full); cut++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, walName)
+		f, err := fsys.Create(path)
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if _, err := f.Write(full[:cut]); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+
+		wantRecs := 0
+		wantPrefix := 0
+		for i, end := range ends {
+			if end <= cut {
+				wantRecs = i + 1
+				wantPrefix = end
+			}
+		}
+
+		w, recs, err := OpenWAL(fsys, path)
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		if len(recs) != wantRecs {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(recs), wantRecs)
+		}
+		for i, rec := range recs {
+			if string(rec.Payload) != string(payloads[i]) {
+				t.Fatalf("cut %d: record %d corrupt", cut, i)
+			}
+		}
+		if sz, err := fsys.Size(path); err != nil || sz != int64(wantPrefix) {
+			t.Fatalf("cut %d: file size %d after recovery, want %d (err %v)", cut, sz, wantPrefix, err)
+		}
+		// The recovered log must accept appends and survive a reopen.
+		if _, err := w.Append(recRoot, []byte("post")); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+		_, recs2, err := OpenWAL(fsys, path)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if len(recs2) != wantRecs+1 || string(recs2[wantRecs].Payload) != "post" {
+			t.Fatalf("cut %d: reopen recovered %d records, want %d", cut, len(recs2), wantRecs+1)
+		}
+	}
+}
+
+func TestDurableCommitRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(nil, dir, clock.Real())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var lastRoot Ref
+	var refs []Ref
+	for i := 1; i <= 5; i++ {
+		ref := d.Store().PutRaw(valueObj(fmt.Sprintf("val-%d", i)))
+		refs = append(refs, ref)
+		lastRoot = ref
+		if err := d.Commit(ref, uint64(i)); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	d2, err := OpenDurable(nil, dir, clock.Real())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	root, version := d2.Root()
+	if root != lastRoot || version != 5 {
+		t.Fatalf("recovered root %s v%d, want %s v5", root.Short(), version, lastRoot.Short())
+	}
+	for i, ref := range refs {
+		if !d2.Store().Has(ref) {
+			t.Fatalf("object %d missing after recovery", i)
+		}
+	}
+	st := d2.Stats()
+	if st.RecoveredObjects != len(refs) {
+		t.Fatalf("stats: recovered %d objects, want %d", st.RecoveredObjects, len(refs))
+	}
+}
+
+func TestDurableCheckpointAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(nil, dir, clock.Real())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	r1 := d.Store().PutRaw(valueObj("before-checkpoint"))
+	if err := d.Commit(r1, 1); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	cp, err := d.Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if cp.Objects != 1 {
+		t.Fatalf("checkpoint packed %d objects, want 1", cp.Objects)
+	}
+	if sz := d.wal.Size(); sz != 0 {
+		t.Fatalf("wal holds %d bytes after checkpoint, want 0", sz)
+	}
+	r2 := d.Store().PutRaw(valueObj("after-checkpoint"))
+	if err := d.Commit(r2, 2); err != nil {
+		t.Fatalf("commit 2: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	d2, err := OpenDurable(nil, dir, clock.Real())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	root, version := d2.Root()
+	if root != r2 || version != 2 {
+		t.Fatalf("recovered root v%d, want v2 (pack + wal replay)", version)
+	}
+	if !d2.Store().Has(r1) || !d2.Store().Has(r2) {
+		t.Fatal("objects missing after pack+wal recovery")
+	}
+}
+
+func TestDurableCrashLosesOnlyUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultyFS(DirFS(), 1)
+	d, err := OpenDurable(ffs, dir, clock.Real())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	acked := d.Store().PutRaw(valueObj("acked"))
+	if err := d.Commit(acked, 1); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	// Written through but never synced: may not survive the crash.
+	d.Store().PutRaw(valueObj("unsynced"))
+
+	if err := ffs.Crash(); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	if err := d.Close(); err == nil {
+		t.Fatal("close succeeded under crash latch")
+	}
+	ffs.Revive()
+
+	d2, err := OpenDurable(ffs, dir, clock.Real())
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer d2.Close()
+	root, version := d2.Root()
+	if root != acked || version != 1 {
+		t.Fatalf("acked commit lost: recovered v%d", version)
+	}
+	if !d2.Store().Has(acked) {
+		t.Fatal("acked object lost")
+	}
+}
+
+// TestDurableAckedCommitsSurviveFaultySoak hammers the tier with torn
+// writes, fsync failures, and a final power loss, asserting the
+// contract Commit sells: anything acknowledged is recovered.
+func TestDurableAckedCommitsSurviveFaultySoak(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := NewFaultyFS(DirFS(), seed)
+			d, err := OpenDurable(ffs, dir, clock.Real())
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			ffs.SetFaults(FSFaults{TornWrite: 0.25, SyncFail: 0.25})
+
+			rng := rand.New(rand.NewSource(seed))
+			ackedRoots := map[uint64]Ref{}
+			var ackedObjs []Ref
+			maxAcked := uint64(0)
+			for i := 1; i <= 60; i++ {
+				ref := d.Store().PutRaw(valueObj(fmt.Sprintf("seed%d-obj%d", seed, i)))
+				if rng.Intn(4) == 0 {
+					continue // object without a commit this round
+				}
+				v := maxAcked + 1
+				if err := d.Commit(ref, v); err != nil {
+					continue // not acknowledged; free to vanish
+				}
+				ackedRoots[v] = ref
+				ackedObjs = append(ackedObjs, ref)
+				maxAcked = v
+			}
+			ffs.SetFaults(FSFaults{})
+			if err := ffs.Crash(); err != nil {
+				t.Fatalf("crash: %v", err)
+			}
+			ffs.Revive()
+
+			d2, err := OpenDurable(ffs, dir, clock.Real())
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			defer d2.Close()
+			root, version := d2.Root()
+			if version < maxAcked {
+				t.Fatalf("recovered v%d < last acked v%d", version, maxAcked)
+			}
+			if want, ok := ackedRoots[version]; ok && root != want {
+				t.Fatalf("recovered root mismatch at v%d", version)
+			}
+			for i, ref := range ackedObjs {
+				if !d2.Store().Has(ref) {
+					t.Fatalf("acked object %d lost (of %d; recovered v%d)", i, len(ackedObjs), version)
+				}
+			}
+		})
+	}
+}
+
+func TestDurableHealAfterTornWrites(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultyFS(DirFS(), 7)
+	d, err := OpenDurable(ffs, dir, clock.Real())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer d.Close()
+	ffs.SetFaults(FSFaults{TornWrite: 1})
+	ref := d.Store().PutRaw(valueObj("through-the-storm"))
+	if d.Stats().SinkErr == "" {
+		t.Fatal("torn write-through did not latch sinkErr")
+	}
+	if err := d.Commit(ref, 1); err == nil {
+		t.Fatal("commit succeeded while every write tears")
+	}
+	ffs.SetFaults(FSFaults{})
+	if err := d.Commit(ref, 1); err != nil {
+		t.Fatalf("commit after faults cleared: %v (heal checkpoint should recover)", err)
+	}
+	if d.Stats().SinkErr != "" {
+		t.Fatal("sinkErr survived a successful heal")
+	}
+	if _, version := d.Root(); version != 1 {
+		t.Fatalf("version %d after healed commit", version)
+	}
+}
+
+func TestDurableReadMissLoad(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(nil, dir, clock.Real())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer d.Close()
+	data := valueObj("evict-me")
+	ref := d.Store().PutRaw(data)
+	if err := d.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if n := d.Store().Expire(0); n != 1 {
+		t.Fatalf("expired %d entries, want 1", n)
+	}
+	if _, ok := d.Store().GetRaw(ref); ok {
+		t.Fatal("object still in memory after expiry")
+	}
+	got, ok := d.Load(ref)
+	if !ok || string(got) != string(data) {
+		t.Fatalf("disk load failed (ok=%v)", ok)
+	}
+	if _, ok := d.Store().GetRaw(ref); !ok {
+		t.Fatal("disk load did not repopulate the store")
+	}
+	if st := d.Stats(); st.DiskLoads != 1 {
+		t.Fatalf("DiskLoads = %d, want 1", st.DiskLoads)
+	}
+
+	// Load after a checkpoint must follow the object into the pack.
+	if _, err := d.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	d.Store().Expire(0)
+	if _, ok := d.Load(ref); !ok {
+		t.Fatal("disk load from pack failed")
+	}
+}
+
+func TestFaultyFSCrashTruncatesToWatermark(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultyFS(DirFS(), 3)
+	path := filepath.Join(dir, "data")
+	f, err := ffs.Create(path)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := f.Write([]byte("durable...")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if _, err := f.Write([]byte("doomed")); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	if err := ffs.Crash(); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	if _, err := ffs.ReadFile(path); err != ErrCrashed {
+		t.Fatalf("read under crash latch: %v, want ErrCrashed", err)
+	}
+	ffs.Revive()
+	got, err := ffs.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read after revive: %v", err)
+	}
+	if string(got) != "durable..." {
+		t.Fatalf("crash kept %q, want the synced prefix only", got)
+	}
+	if st := ffs.Stats(); st.Crashes != 1 {
+		t.Fatalf("Crashes = %d, want 1", st.Crashes)
+	}
+}

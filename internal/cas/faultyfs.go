@@ -1,0 +1,329 @@
+package cas
+
+// FaultyFS wraps an FS with seeded fault injection, giving storage the
+// same adversarial treatment transport.Faulty gives the network:
+//
+//   - torn writes: a Write persists only a random prefix and errors
+//   - fsync failures: Sync errors and the durability watermark stays put
+//   - short reads / bit flips: ReadFile returns a damaged copy
+//   - power loss: Crash() truncates every tracked file back to its
+//     last-synced watermark — everything since the last successful
+//     Sync evaporates, exactly like a lost page cache — and latches
+//     all operations to ErrCrashed until Revive()
+//
+// The watermark model is what makes the chaos soak honest: an
+// in-process "crash" (broker shutdown) would otherwise flush OS
+// buffers on close and make every write look durable, proving nothing
+// about the WAL's fsync discipline.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fluxgo/internal/debuglock"
+)
+
+// FSFaults are per-operation fault probabilities in [0,1].
+type FSFaults struct {
+	TornWrite float64 // Write persists a random prefix, then errors
+	SyncFail  float64 // Sync errors; watermark does not advance
+	ShortRead float64 // ReadFile returns a truncated copy
+	BitFlip   float64 // ReadFile flips one random bit in the copy
+}
+
+// FSFaultStats count injected faults, for test assertions and stats.
+type FSFaultStats struct {
+	TornWrites uint64
+	SyncFails  uint64
+	ReadFaults uint64
+	Crashes    uint64
+}
+
+// FaultyFS implements FS over inner with fault injection. Safe for
+// concurrent use.
+type FaultyFS struct {
+	inner FS
+
+	mu      debuglock.Mutex
+	rng     *rand.Rand
+	faults  FSFaults
+	crashed bool
+	size    map[string]int64 // bytes written through us, per path
+	synced  map[string]int64 // durability watermark, per path
+	stats   FSFaultStats
+}
+
+// NewFaultyFS wraps inner with a deterministic fault source. Faults
+// are off until SetFaults.
+func NewFaultyFS(inner FS, seed int64) *FaultyFS {
+	if inner == nil {
+		inner = DirFS()
+	}
+	f := &FaultyFS{
+		inner:  inner,
+		rng:    rand.New(rand.NewSource(seed)),
+		size:   make(map[string]int64),
+		synced: make(map[string]int64),
+	}
+	f.mu.SetClass("cas.FaultyFS.mu")
+	return f
+}
+
+// SetFaults replaces the fault probabilities.
+func (f *FaultyFS) SetFaults(faults FSFaults) {
+	f.mu.Lock()
+	f.faults = faults
+	f.mu.Unlock()
+}
+
+// Stats returns cumulative injected-fault counts.
+func (f *FaultyFS) Stats() FSFaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Crash simulates power loss: every file written through this FS is
+// truncated back to its last successful Sync, and all subsequent
+// operations fail with ErrCrashed until Revive. Call before shutting
+// the owning broker down so the recovery path sees honest damage.
+func (f *FaultyFS) Crash() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = true
+	f.stats.Crashes++
+	var firstErr error
+	for path, sz := range f.size {
+		mark := f.synced[path]
+		if mark >= sz {
+			continue
+		}
+		if err := f.inner.Truncate(path, mark); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cas: crash truncate %s: %w", path, err)
+		}
+		f.size[path] = mark
+	}
+	return firstErr
+}
+
+// Revive lifts the crash latch so the storage can be reopened; the
+// truncation damage of course remains.
+func (f *FaultyFS) Revive() {
+	f.mu.Lock()
+	f.crashed = false
+	f.mu.Unlock()
+}
+
+// roll returns true with probability p; callers hold f.mu.
+func (f *FaultyFS) roll(p float64) bool {
+	return p > 0 && f.rng.Float64() < p
+}
+
+func (f *FaultyFS) MkdirAll(dir string) error {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+func (f *FaultyFS) OpenAppend(name string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	file, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	sz, err := f.inner.Size(name)
+	if err != nil {
+		sz = 0
+	}
+	// Bytes present at open were validated by recovery; treat them as
+	// durable — the interesting vulnerability window is this session's.
+	f.size[name] = sz
+	f.synced[name] = sz
+	return &faultyFile{fs: f, name: name, inner: file}, nil
+}
+
+func (f *FaultyFS) Create(name string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	f.size[name] = 0
+	f.synced[name] = 0
+	return &faultyFile{fs: f, name: name, inner: file}, nil
+}
+
+func (f *FaultyFS) ReadFile(name string) ([]byte, error) {
+	data, err := f.inner.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.damage(name, data)
+}
+
+func (f *FaultyFS) ReadFileRange(name string, off int64, n int) ([]byte, error) {
+	data, err := f.inner.ReadFileRange(name, off, n)
+	if err != nil {
+		return nil, err
+	}
+	return f.damage(name, data)
+}
+
+// damage applies the read-side faults to a fresh copy of data.
+func (f *FaultyFS) damage(name string, data []byte) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	if f.roll(f.faults.ShortRead) && len(data) > 0 {
+		f.stats.ReadFaults++
+		return append([]byte(nil), data[:f.rng.Intn(len(data))]...), nil
+	}
+	if f.roll(f.faults.BitFlip) && len(data) > 0 {
+		f.stats.ReadFaults++
+		cp := append([]byte(nil), data...)
+		cp[f.rng.Intn(len(cp))] ^= 1 << uint(f.rng.Intn(8))
+		return cp, nil
+	}
+	return data, nil
+}
+
+func (f *FaultyFS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	if err := f.inner.Rename(oldname, newname); err != nil {
+		return err
+	}
+	if sz, ok := f.size[oldname]; ok {
+		f.size[newname] = sz
+		f.synced[newname] = f.synced[oldname]
+		delete(f.size, oldname)
+		delete(f.synced, oldname)
+	}
+	return nil
+}
+
+func (f *FaultyFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	if err := f.inner.Remove(name); err != nil {
+		return err
+	}
+	delete(f.size, name)
+	delete(f.synced, name)
+	return nil
+}
+
+func (f *FaultyFS) Truncate(name string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	if err := f.inner.Truncate(name, size); err != nil {
+		return err
+	}
+	if _, ok := f.size[name]; ok {
+		if f.size[name] > size {
+			f.size[name] = size
+		}
+		if f.synced[name] > size {
+			f.synced[name] = size
+		}
+	}
+	return nil
+}
+
+func (f *FaultyFS) Size(name string) (int64, error) {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return 0, ErrCrashed
+	}
+	return f.inner.Size(name)
+}
+
+func (f *FaultyFS) ReadDir(dir string) ([]string, error) {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// faultyFile is the write-side interposer tracking the durability
+// watermark of one file.
+type faultyFile struct {
+	fs    *FaultyFS
+	name  string
+	inner File
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if ff.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if ff.fs.roll(ff.fs.faults.TornWrite) && len(p) > 0 {
+		ff.fs.stats.TornWrites++
+		n, _ := ff.inner.Write(p[:ff.fs.rng.Intn(len(p))])
+		ff.fs.size[ff.name] += int64(n)
+		return n, fmt.Errorf("cas: simulated torn write to %s (%d of %d bytes)", ff.name, n, len(p))
+	}
+	n, err := ff.inner.Write(p)
+	ff.fs.size[ff.name] += int64(n)
+	return n, err
+}
+
+func (ff *faultyFile) Sync() error {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if ff.fs.crashed {
+		return ErrCrashed
+	}
+	if ff.fs.roll(ff.fs.faults.SyncFail) {
+		ff.fs.stats.SyncFails++
+		return fmt.Errorf("cas: simulated fsync failure on %s", ff.name)
+	}
+	if err := ff.inner.Sync(); err != nil {
+		return err
+	}
+	ff.fs.synced[ff.name] = ff.fs.size[ff.name]
+	return nil
+}
+
+// Close always releases the real handle; under the crash latch it
+// still reports ErrCrashed so shutdown paths see the failure.
+func (ff *faultyFile) Close() error {
+	err := ff.inner.Close()
+	ff.fs.mu.Lock()
+	crashed := ff.fs.crashed
+	ff.fs.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	return err
+}

@@ -1,0 +1,110 @@
+package cas
+
+// The durable tier reaches the disk only through the FS seam below, so
+// the chaos controller can interpose a FaultyFS (torn writes, fsync
+// failures, bit flips, simulated power loss) without touching the real
+// filesystem. The production implementation is osFS, a thin veneer over
+// package os.
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the subset of *os.File the durable tier writes through. Sync
+// is the durability point: bytes written before a successful Sync are
+// guaranteed to survive a crash; bytes after it are not.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem operations the durable tier performs.
+// All paths are interpreted by the implementation (osFS uses them
+// verbatim; FaultyFS keys its per-file durability watermarks on them).
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Create opens name truncated to zero length, creating it if absent.
+	Create(name string) (File, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// ReadFileRange returns n bytes of name starting at off.
+	ReadFileRange(name string, off int64, n int) ([]byte, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate cuts name to size bytes.
+	Truncate(name string, size int64) error
+	// Size returns the current length of name in bytes.
+	Size(name string) (int64, error)
+	// ReadDir lists the entry names (not paths) under dir, sorted.
+	ReadDir(dir string) ([]string, error)
+}
+
+// DirFS returns the production FS backed by package os. The dir
+// argument is advisory (paths passed in are already absolute or
+// process-relative); it exists so call sites read naturally.
+func DirFS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) ReadFileRange(name string, off int64, n int) ([]byte, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) Size(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// join builds an FS path from components; split out so durable code
+// reads the same against osFS and FaultyFS.
+func join(elem ...string) string { return filepath.Join(elem...) }

@@ -1,0 +1,282 @@
+package cas
+
+// Write-ahead log framing and recovery.
+//
+// The WAL is an append-only sequence of self-checking records:
+//
+//	+------+-------------+---------------------+-----------+
+//	| kind | length (4B) | payload (length B)  | crc32 (4B)|
+//	+------+-------------+---------------------+-----------+
+//
+// kind is a single discriminator byte, length is big-endian, and the
+// CRC-32 (IEEE) covers kind+length+payload. Recovery scans from the
+// front and stops at the first record that is incomplete or fails its
+// CRC: everything before that point is the consistent prefix, and the
+// file is truncated back to it so a torn tail can never be re-read as
+// data. This is the classic "prefix consistency" contract — a crash
+// mid-append loses at most the record being written, never an earlier
+// one, and a record is only considered durable once a Sync after its
+// Append has returned nil.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"fluxgo/internal/debuglock"
+)
+
+// Record kinds used by the durable store. The WAL framing itself is
+// kind-agnostic; these live here so pack files and the log share one
+// vocabulary.
+const (
+	recObject byte = 'O' // payload: canonical object bytes (Object.Encode)
+	recRoot   byte = 'R' // payload: JSON rootMeta (root ref + version)
+	recEnd    byte = 'E' // pack trailer: payload is uvarint record count
+)
+
+// walOverhead is the framing cost per record: kind + length + CRC.
+const walOverhead = 1 + 4 + 4
+
+// maxRecordLen guards recovery against reading an absurd length field
+// from a corrupt header and trying to allocate it.
+const maxRecordLen = 1 << 28 // 256 MiB
+
+// Record is one decoded WAL or pack entry.
+type Record struct {
+	Kind    byte
+	Payload []byte
+}
+
+// AppendRecord appends the framed record to buf and returns the
+// extended slice. The payload is copied into the frame.
+func AppendRecord(buf []byte, kind byte, payload []byte) []byte {
+	start := len(buf)
+	buf = append(buf, kind)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	sum := crc32.ChecksumIEEE(buf[start:])
+	return binary.BigEndian.AppendUint32(buf, sum)
+}
+
+// ScanRecords parses data from the front, returning the records of the
+// longest consistent prefix and that prefix's byte length. A trailing
+// record that is short, oversized, or CRC-corrupt ends the scan; it and
+// everything after it are excluded. Payloads alias data.
+func ScanRecords(data []byte) ([]Record, int) {
+	var recs []Record
+	off := 0
+	for {
+		rec, n, ok := scanOne(data[off:])
+		if !ok {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+}
+
+// scanOne parses a single record at the head of data.
+func scanOne(data []byte) (Record, int, bool) {
+	if len(data) < walOverhead {
+		return Record{}, 0, false
+	}
+	plen := binary.BigEndian.Uint32(data[1:5])
+	if plen > maxRecordLen {
+		return Record{}, 0, false
+	}
+	total := walOverhead + int(plen)
+	if len(data) < total {
+		return Record{}, 0, false
+	}
+	want := binary.BigEndian.Uint32(data[total-4 : total])
+	if crc32.ChecksumIEEE(data[:total-4]) != want {
+		return Record{}, 0, false
+	}
+	return Record{Kind: data[0], Payload: data[5 : total-4]}, total, true
+}
+
+// ErrCrashed is returned by FaultyFS-backed files after a simulated
+// power loss, until Revive is called.
+var ErrCrashed = errors.New("cas: simulated storage crash")
+
+// WAL is an append-only record log over one file. Appends go straight
+// to the file handle (the OS page cache); Sync is the durability
+// barrier. Safe for concurrent use.
+type WAL struct {
+	fs   FS
+	path string
+
+	mu      debuglock.Mutex
+	f       File
+	size    int64 // bytes appended (consistent prefix + this session)
+	records uint64
+	syncs   uint64
+	scratch []byte
+
+	// failed poisons the log after a write or sync error. A torn
+	// append leaves garbage mid-file, so any record appended after it
+	// would sit beyond recovery's consistent prefix — durable in name
+	// only. A failed fsync is treated the same way (the kernel may
+	// have dropped the dirty pages; see the fsyncgate saga). The log
+	// refuses further appends until Reset rewrites it from scratch.
+	failed error
+}
+
+// OpenWAL recovers the log at path — truncating any torn or corrupt
+// tail back to the consistent prefix — and returns it opened for
+// append, along with the recovered records (payloads are copies and
+// remain valid). A missing file is an empty log.
+func OpenWAL(fsys FS, path string) (*WAL, []Record, error) {
+	data, readErr := readStable(fsys, path)
+	var recs []Record
+	prefix := 0
+	if readErr == nil {
+		recs, prefix = ScanRecords(data)
+		if prefix < len(data) {
+			// Torn tail: cut the file back so the garbage can never
+			// be mistaken for data by a later, luckier scan.
+			if err := fsys.Truncate(path, int64(prefix)); err != nil {
+				return nil, nil, fmt.Errorf("cas: wal truncate torn tail: %w", err)
+			}
+		}
+	}
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cas: wal open: %w", err)
+	}
+	w := &WAL{fs: fsys, path: path, f: f, size: int64(prefix), records: uint64(len(recs))}
+	w.mu.SetClass("cas.WAL.mu")
+	return w, recs, nil
+}
+
+// readStable reads path repeatedly until two consecutive reads agree
+// byte-for-byte, defending recovery against transient read faults
+// (short reads, bit flips) that would otherwise masquerade as a torn
+// tail and cause good records to be truncated away. Returns the last
+// read if stability is never reached — the CRC scan still bounds the
+// damage to a conservative prefix.
+func readStable(fsys FS, path string) ([]byte, error) {
+	var prev []byte
+	havePrev := false
+	for attempt := 0; attempt < 4; attempt++ {
+		data, err := fsys.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if havePrev && string(prev) == string(data) {
+			return data, nil
+		}
+		prev, havePrev = data, true
+	}
+	return prev, nil
+}
+
+// Append frames and writes one record, returning the byte offset the
+// record starts at. The record is not durable until a subsequent Sync
+// returns nil.
+func (w *WAL) Append(kind byte, payload []byte) (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0, errors.New("cas: wal closed")
+	}
+	if w.failed != nil {
+		return 0, fmt.Errorf("cas: wal poisoned: %w", w.failed)
+	}
+	start := w.size
+	w.scratch = AppendRecord(w.scratch[:0], kind, payload)
+	n, err := w.f.Write(w.scratch)
+	w.size += int64(n)
+	if err != nil {
+		w.failed = err
+		return 0, fmt.Errorf("cas: wal append: %w", err)
+	}
+	w.records++
+	return start, nil
+}
+
+// Sync makes all previously appended records durable.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("cas: wal closed")
+	}
+	if w.failed != nil {
+		return fmt.Errorf("cas: wal poisoned: %w", w.failed)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.failed = err
+		return fmt.Errorf("cas: wal sync: %w", err)
+	}
+	w.syncs++
+	return nil
+}
+
+// Poisoned returns the write/sync error that poisoned the log, if any.
+func (w *WAL) Poisoned() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failed
+}
+
+// Reset truncates the log to empty — called after a checkpoint has made
+// its contents redundant. The handle is reopened on the truncated file.
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("cas: wal closed")
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("cas: wal reset close: %w", err)
+	}
+	w.f = nil
+	if err := w.fs.Truncate(w.path, 0); err != nil {
+		return fmt.Errorf("cas: wal reset truncate: %w", err)
+	}
+	f, err := w.fs.OpenAppend(w.path)
+	if err != nil {
+		return fmt.Errorf("cas: wal reset reopen: %w", err)
+	}
+	w.f = f
+	w.size = 0
+	w.records = 0
+	w.failed = nil
+	return nil
+}
+
+// Close syncs and closes the log. Further operations fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	syncErr := w.f.Sync()
+	closeErr := w.f.Close()
+	w.f = nil
+	if syncErr != nil {
+		return fmt.Errorf("cas: wal close sync: %w", syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("cas: wal close: %w", closeErr)
+	}
+	return nil
+}
+
+// Size returns the bytes currently in the log.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Counters returns cumulative appended records and syncs this session.
+func (w *WAL) Counters() (records, syncs uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records, w.syncs
+}

@@ -1,0 +1,49 @@
+// Package chaosenv parses the environment knobs shared by the seeded
+// chaos soaks, so a CI failure is reproducible locally with a single
+// copy-paste:
+//
+//	FLUX_CHAOS_SEEDS=7,11 CHAOS_SOAK=30s go test ./... -run Soak -race
+//
+// FLUX_CHAOS_SEEDS is a comma-separated seed list: each soak runs once
+// per seed (as a subtest named seed=N). The older single-seed CHAOS_SEED
+// variable is still honoured when FLUX_CHAOS_SEEDS is unset.
+package chaosenv
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Seeds returns the chaos seed list: FLUX_CHAOS_SEEDS (comma-separated
+// int64s, malformed entries skipped), else CHAOS_SEED, else def.
+func Seeds(def ...int64) []int64 {
+	if v := os.Getenv("FLUX_CHAOS_SEEDS"); v != "" {
+		var seeds []int64
+		for _, f := range strings.Split(v, ",") {
+			if n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64); err == nil {
+				seeds = append(seeds, n)
+			}
+		}
+		if len(seeds) > 0 {
+			return seeds
+		}
+	}
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return []int64{n}
+		}
+	}
+	return def
+}
+
+// Duration returns the soak length: CHAOS_SOAK (a Go duration), else def.
+func Duration(def time.Duration) time.Duration {
+	if v := os.Getenv("CHAOS_SOAK"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			return d
+		}
+	}
+	return def
+}

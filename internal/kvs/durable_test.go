@@ -1,0 +1,182 @@
+package kvs
+
+import (
+	"fmt"
+	"testing"
+
+	"fluxgo/internal/cas"
+	"fluxgo/internal/session"
+)
+
+// newDurableSession starts a session whose kvs instances are backed by
+// the disk tier under dir (shared base; each rank gets its own subdir).
+func newDurableSession(t testing.TB, size, arity int, dir string, fs cas.FS) *session.Session {
+	t.Helper()
+	s, err := session.New(session.Options{
+		Size:    size,
+		Arity:   arity,
+		Modules: []session.ModuleFactory{Factory(ModuleConfig{Dir: dir, FS: fs})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestDurableKVSSurvivesSessionRestart commits through one session,
+// tears the whole session down, and verifies a fresh session over the
+// same directory resumes the master's root, version, and every value.
+func TestDurableKVSSurvivesSessionRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := newDurableSession(t, 3, 2, dir, nil)
+	c := client(t, s1, 0)
+	for i := 1; i <= 5; i++ {
+		if err := c.Put(fmt.Sprintf("job.%d.state", i), "complete"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Commit(); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	ver, err := c.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	s2 := newDurableSession(t, 3, 2, dir, nil)
+	defer s2.Close()
+	c2 := client(t, s2, 0)
+	gotVer, err := c2.GetVersion()
+	if err != nil {
+		t.Fatalf("getversion after restart: %v", err)
+	}
+	if gotVer < ver {
+		t.Fatalf("recovered version %d < committed %d", gotVer, ver)
+	}
+	for i := 1; i <= 5; i++ {
+		var state string
+		if err := c2.Get(fmt.Sprintf("job.%d.state", i), &state); err != nil {
+			t.Fatalf("get job.%d.state after restart: %v", i, err)
+		}
+		if state != "complete" {
+			t.Fatalf("job.%d.state = %q after restart", i, state)
+		}
+	}
+	// The recovered master must keep committing from where it left off.
+	if err := c2.Put("post.restart", true); err != nil {
+		t.Fatal(err)
+	}
+	newVer, err := c2.Commit()
+	if err != nil {
+		t.Fatalf("commit after restart: %v", err)
+	}
+	if newVer <= gotVer {
+		t.Fatalf("post-restart commit version %d did not advance past %d", newVer, gotVer)
+	}
+}
+
+// TestDurableKVSCheckpointRPC exercises the kvs.checkpoint and
+// kvs.storage methods end to end.
+func TestDurableKVSCheckpointRPC(t *testing.T) {
+	dir := t.TempDir()
+	s := newDurableSession(t, 3, 2, dir, nil)
+	defer s.Close()
+	c := client(t, s, 1)
+	if err := c.Put("ckpt.key", 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	h := s.Handle(0)
+	defer h.Close()
+	resp, err := h.RPC("kvs.checkpoint", 0, struct{}{})
+	if err != nil {
+		t.Fatalf("kvs.checkpoint: %v", err)
+	}
+	var cp struct {
+		Pack    string `json:"pack"`
+		Objects int    `json:"objects"`
+	}
+	if err := resp.UnpackJSON(&cp); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Pack == "" || cp.Objects == 0 {
+		t.Fatalf("checkpoint response %+v", cp)
+	}
+
+	resp, err = h.RPC("kvs.storage", 0, struct{}{})
+	if err != nil {
+		t.Fatalf("kvs.storage: %v", err)
+	}
+	var st struct {
+		Storage struct {
+			Checkpoints uint64 `json:"Checkpoints"`
+			PackSeq     uint64 `json:"PackSeq"`
+		} `json:"storage"`
+	}
+	if err := resp.UnpackJSON(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Storage.Checkpoints == 0 || st.Storage.PackSeq == 0 {
+		t.Fatalf("storage stats %+v", st.Storage)
+	}
+}
+
+// TestDurableKVSCheckpointCadence verifies CheckpointEvery folds the
+// WAL automatically.
+func TestDurableKVSCheckpointCadence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := session.New(session.Options{
+		Size:    1,
+		Arity:   2,
+		Modules: []session.ModuleFactory{Factory(ModuleConfig{Dir: dir, CheckpointEvery: 2})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := client(t, s, 0)
+	for i := 0; i < 5; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := s.Handle(0)
+	defer h.Close()
+	resp, err := h.RPC("kvs.storage", 0, struct{}{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Storage struct {
+			Checkpoints uint64 `json:"Checkpoints"`
+		} `json:"storage"`
+	}
+	if err := resp.UnpackJSON(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Storage.Checkpoints != 2 { // 5 commits / every 2
+		t.Fatalf("Checkpoints = %d after 5 commits with CheckpointEvery=2, want 2", st.Storage.Checkpoints)
+	}
+}
+
+// TestDurableKVSNoTierErrors verifies checkpoint/storage respond ENOSYS
+// on a memory-only instance.
+func TestDurableKVSNoTierErrors(t *testing.T) {
+	s := newKVSSession(t, 1, 2)
+	h := s.Handle(0)
+	defer h.Close()
+	if _, err := h.RPC("kvs.checkpoint", 0, struct{}{}); err == nil {
+		t.Fatal("checkpoint succeeded without a durable tier")
+	}
+	if _, err := h.RPC("kvs.storage", 0, struct{}{}); err == nil {
+		t.Fatal("storage succeeded without a durable tier")
+	}
+}

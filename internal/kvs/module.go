@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -140,6 +141,20 @@ type ModuleConfig struct {
 	// the paper's future-work direction of "distributing the KVS master
 	// itself" via per-namespace masters.
 	MasterRank int
+	// Dir, when nonempty, backs this instance's object store with the
+	// disk tier at Dir/rank<N>/<service>: a write-through WAL plus pack
+	// checkpoints (see cas.OpenDurable). A restarted rank cold-loads
+	// its cache from disk, and a restarted master resumes its root ref
+	// and commit sequence without losing acknowledged fences — the
+	// master acknowledges a fence only after its root is fsynced.
+	Dir string
+	// FS is the filesystem the durable tier writes through; nil means
+	// the real one. Chaos tests inject a cas.FaultyFS here.
+	FS cas.FS
+	// CheckpointEvery folds the WAL into a new pack every N commits
+	// (master only). Zero checkpoints only on explicit kvs.checkpoint
+	// requests.
+	CheckpointEvery int
 }
 
 // Module is the kvs comms module. The instance at cfg.MasterRank is the
@@ -149,6 +164,12 @@ type Module struct {
 	cfg   ModuleConfig
 	h     *broker.Handle
 	store *cas.Store
+
+	// disk is the durable tier beneath store when cfg.Dir is set; nil
+	// for a purely in-memory instance. commitsSinceCkpt drives the
+	// CheckpointEvery cadence (Recv-goroutine-owned, master only).
+	disk             *cas.Durable
+	commitsSinceCkpt int
 
 	// ctx is canceled by Shutdown so background pollers unblock
 	// promptly instead of riding out their RPC deadlines; wg tracks
@@ -186,14 +207,19 @@ type Module struct {
 	// Observability: counter and histogram handles into the broker's
 	// registry, resolved once at Init and namespaced by service name so
 	// sharded instances ("kvs0", "kvs1", ...) stay distinguishable.
-	obsGets      *obs.Counter // get requests served
-	obsLoads     *obs.Counter // objects faulted in from upstream
-	obsBatches   *obs.Counter // upstream load RPCs issued (each may carry many refs)
-	obsCoalesced *obs.Counter // fault-ins satisfied by waiting on another goroutine's fetch
-	histGet      *obs.Histogram
-	histPut      *obs.Histogram
-	histFence    *obs.Histogram
-	histLoad     *obs.Histogram
+	obsGets        *obs.Counter // get requests served
+	obsLoads       *obs.Counter // objects faulted in from upstream
+	obsBatches     *obs.Counter // upstream load RPCs issued (each may carry many refs)
+	obsCoalesced   *obs.Counter // fault-ins satisfied by waiting on another goroutine's fetch
+	obsDiskLoads   *obs.Counter // read misses served from the disk tier instead of upstream
+	obsRecoveries  *obs.Counter // durable opens that found prior state on disk
+	obsPersistErrs *obs.Counter // commits refused because the root could not be made durable
+	histGet        *obs.Histogram
+	histPut        *obs.Histogram
+	histFence      *obs.Histogram
+	histLoad       *obs.Histogram
+	histReplay     *obs.Histogram // cold-restore (recovery replay) latency
+	histCheckpoint *obs.Histogram
 }
 
 // NewModule returns a kvs module instance with the given configuration.
@@ -223,7 +249,6 @@ func (m *Module) Subscriptions() []string { return []string{m.setrootTopic(), "h
 // Init implements broker.Module.
 func (m *Module) Init(h *broker.Handle) error {
 	m.h = h
-	m.store = cas.NewStore(h.Clock())
 	m.ctx, m.cancel = context.WithCancel(context.Background())
 	reg := h.Broker().Metrics()
 	svc := m.cfg.Service
@@ -231,11 +256,44 @@ func (m *Module) Init(h *broker.Handle) error {
 	m.obsLoads = reg.Counter(svc + ".loads")
 	m.obsBatches = reg.Counter(svc + ".load_batches")
 	m.obsCoalesced = reg.Counter(svc + ".loads_coalesced")
+	m.obsDiskLoads = reg.Counter(svc + ".disk_loads")
+	m.obsRecoveries = reg.Counter(svc + ".recoveries")
+	m.obsPersistErrs = reg.Counter(svc + ".persist_errors")
 	m.sem = make(chan struct{}, maxLoadWorkers)
 	m.histGet = reg.Histogram(svc + ".get_ns")
 	m.histPut = reg.Histogram(svc + ".put_ns")
 	m.histFence = reg.Histogram(svc + ".fence_ns")
 	m.histLoad = reg.Histogram(svc + ".load_ns")
+	m.histReplay = reg.Histogram(svc + ".replay_ns")
+	m.histCheckpoint = reg.Histogram(svc + ".checkpoint_ns")
+
+	if m.cfg.Dir == "" {
+		m.store = cas.NewStore(h.Clock())
+		return nil
+	}
+	dir := filepath.Join(m.cfg.Dir, fmt.Sprintf("rank%d", h.Rank()), svc)
+	start := time.Now()
+	disk, err := cas.OpenDurable(m.cfg.FS, dir, h.Clock())
+	if err != nil {
+		return fmt.Errorf("%s: open durable tier: %w", svc, err)
+	}
+	m.disk = disk
+	m.store = disk.Store()
+	st := disk.Stats()
+	if st.RecoveredObjects > 0 || st.ReplayedRecords > 0 {
+		m.obsRecoveries.Inc()
+		m.histReplay.Observe(time.Since(start))
+	}
+	if m.isMaster() {
+		if root, version := disk.Root(); version > 0 {
+			// Resume exactly where the last acknowledged fence left the
+			// tree: acknowledged commits survive the restart by
+			// construction (the ack barrier is Commit's fsync).
+			m.root, m.version = root, version
+			m.h.Logf("%s: master recovered root %s v%d (%d objects, %d WAL records replayed)",
+				svc, root.Short(), version, st.RecoveredObjects, st.ReplayedRecords)
+		}
+	}
 	return nil
 }
 
@@ -243,6 +301,11 @@ func (m *Module) Init(h *broker.Handle) error {
 func (m *Module) Shutdown() {
 	m.cancel()
 	m.wg.Wait()
+	if m.disk != nil {
+		if err := m.disk.Close(); err != nil {
+			m.h.Logf("%s: durable close: %v", m.cfg.Service, err)
+		}
+	}
 }
 
 func (m *Module) isMaster() bool { return m.h.Rank() == m.cfg.MasterRank }
@@ -302,6 +365,10 @@ func (m *Module) Recv(msg *wire.Message) {
 		m.h.Respond(msg, rootBody{Root: refString(m.root), Version: m.version})
 	case "getroot":
 		m.recvGetroot(msg)
+	case "checkpoint":
+		m.recvCheckpoint(msg)
+	case "storage":
+		m.recvStorage(msg)
 	case "stats":
 		m.recvStats(msg)
 	default:
@@ -440,6 +507,25 @@ func (m *Module) maybeCompleteFence(name string, st *fenceState) {
 		delete(m.fences, name)
 		return
 	}
+	if m.disk != nil {
+		// The acknowledgment barrier: the new root (and, via the shared
+		// WAL, every object it references) must be fsynced before any
+		// participant hears success — a fence acknowledged here survives
+		// any crash. A storage failure answers the held batches with
+		// EIO but keeps the fence state: entry-ID dedup makes a retried
+		// batch re-enter and retry this persist idempotently (ApplyOps
+		// over the same unchanged root recomputes the same newRoot), so
+		// the fence is not poisoned, merely not yet acknowledged.
+		if perr := m.disk.Commit(newRoot, m.version+1); perr != nil {
+			m.obsPersistErrs.Inc()
+			m.h.Logf("%s: fence %q persist: %v", m.cfg.Service, name, perr)
+			for _, req := range st.pending {
+				m.h.RespondError(req, broker.ErrnoIO, perr.Error())
+			}
+			st.pending = st.pending[:0]
+			return
+		}
+	}
 	m.root = newRoot
 	m.version++
 	resp := rootBody{Root: refString(m.root), Version: m.version}
@@ -454,6 +540,29 @@ func (m *Module) maybeCompleteFence(name string, st *fenceState) {
 	m.recordDone(name, doneFence{resp: resp})
 	delete(m.fences, name)
 	m.serveSyncs()
+	m.maybeCheckpoint()
+}
+
+// maybeCheckpoint folds the WAL into a pack every CheckpointEvery
+// commits. It runs inline on the Recv goroutine — a checkpoint is a
+// single buffered write + fsync + rename, and commits must serialize
+// against it anyway. Failure is logged, not fatal: the WAL remains the
+// source of truth and Commit's heal path covers any poisoning.
+func (m *Module) maybeCheckpoint() {
+	if m.disk == nil || m.cfg.CheckpointEvery <= 0 {
+		return
+	}
+	m.commitsSinceCkpt++
+	if m.commitsSinceCkpt < m.cfg.CheckpointEvery {
+		return
+	}
+	m.commitsSinceCkpt = 0
+	start := time.Now()
+	if _, err := m.disk.Checkpoint(); err != nil {
+		m.h.Logf("%s: periodic checkpoint: %v", m.cfg.Service, err)
+		return
+	}
+	m.histCheckpoint.Observe(time.Since(start))
 }
 
 // recordDone remembers a completed fence in the bounded reply cache.
@@ -738,6 +847,16 @@ func (m *Module) loadObjects(refs []cas.Ref) error {
 			continue
 		}
 		seen[ref] = true
+		if m.disk != nil {
+			// The read-miss tier: an object evicted from memory (or never
+			// warmed after a restart) may still be on local disk, sparing
+			// the upstream round trip. Load verifies CRC and content hash
+			// and repopulates the store.
+			if _, ok := m.disk.Load(ref); ok {
+				m.obsDiskLoads.Inc()
+				continue
+			}
+		}
 		if m.isMaster() {
 			// The master holds everything pinned; a miss here is a real
 			// absence, not a cache fault.
@@ -1057,6 +1176,43 @@ func (m *Module) serveGet(msg *wire.Message, key string, root cas.Ref, fault boo
 	return true
 }
 
+// recvCheckpoint forces this instance's disk tier to fold its WAL into
+// a fresh pack (an operator action: before planned maintenance, or to
+// bound cold-restore time).
+func (m *Module) recvCheckpoint(msg *wire.Message) {
+	if m.disk == nil {
+		m.h.RespondError(msg, broker.ErrnoNoSys, m.cfg.Service+": no durable tier configured")
+		return
+	}
+	start := time.Now()
+	cp, err := m.disk.Checkpoint()
+	if err != nil {
+		m.h.RespondError(msg, broker.ErrnoIO, err.Error())
+		return
+	}
+	m.histCheckpoint.Observe(time.Since(start))
+	m.commitsSinceCkpt = 0
+	m.h.Respond(msg, map[string]any{
+		"rank":    m.h.Rank(),
+		"pack":    cp.Pack,
+		"objects": cp.Objects,
+		"bytes":   cp.Bytes,
+	})
+}
+
+// recvStorage reports the disk tier's counters (flux storage).
+func (m *Module) recvStorage(msg *wire.Message) {
+	if m.disk == nil {
+		m.h.RespondError(msg, broker.ErrnoNoSys, m.cfg.Service+": no durable tier configured")
+		return
+	}
+	m.h.Respond(msg, map[string]any{
+		"rank":    m.h.Rank(),
+		"service": m.cfg.Service,
+		"storage": m.disk.Stats(),
+	})
+}
+
 func (m *Module) recvStats(msg *wire.Message) {
 	hits, misses := m.store.Stats()
 	// Per-op latency summaries come out of the broker registry, filtered
@@ -1069,7 +1225,7 @@ func (m *Module) recvStats(msg *wire.Message) {
 			hists[name] = h
 		}
 	}
-	m.h.Respond(msg, map[string]any{
+	body := map[string]any{
 		"rank":            m.h.Rank(),
 		"objects":         m.store.Len(),
 		"hits":            hits,
@@ -1080,5 +1236,11 @@ func (m *Module) recvStats(msg *wire.Message) {
 		"loads_coalesced": m.obsCoalesced.Load(),
 		"version":         m.version,
 		"hists":           hists,
-	})
+	}
+	if m.disk != nil {
+		body["disk_loads"] = m.obsDiskLoads.Load()
+		body["persist_errors"] = m.obsPersistErrs.Load()
+		body["storage"] = m.disk.Stats()
+	}
+	m.h.Respond(msg, body)
 }

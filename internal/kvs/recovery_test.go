@@ -1,0 +1,394 @@
+package kvs
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"fluxgo/internal/broker"
+	"fluxgo/internal/cas"
+	"fluxgo/internal/chaosenv"
+	"fluxgo/internal/session"
+	"fluxgo/internal/transport"
+)
+
+const recoveryShards = 2
+
+// recoveryPrefix returns a key prefix owned by shard (shard mapping
+// hashes the first path component).
+func recoveryPrefix(shard int) string {
+	for i := 0; ; i++ {
+		p := fmt.Sprintf("p%d", i)
+		if ShardOf(p, recoveryShards) == shard {
+			return p
+		}
+	}
+}
+
+// TestCrashRestartSoak is the durability headline: a sharded, durable
+// KVS session under seeded chaos that kills, silently crashes, and
+// restarts interior ranks AND shard masters — with link faults and
+// storage faults (torn writes, fsync failures, short reads, bit flips)
+// active throughout — then heals, restarts every dead rank, and proves
+//
+//   - safety: every commit acknowledged to a writer before a crash is
+//     still readable after recovery, and no shard's version regressed
+//     below its highest acknowledged commit;
+//   - liveness: the fully restarted session commits again on every
+//     shard.
+//
+// Each seed runs as its own subtest; replay a CI failure with
+// FLUX_CHAOS_SEEDS=<seed> (and optionally CHAOS_SOAK=30s).
+func TestCrashRestartSoak(t *testing.T) {
+	dur := chaosenv.Duration(time.Second)
+	seeds := chaosenv.Seeds(1, 2, 3, 4, 5, 6)
+	if testing.Short() {
+		dur = 400 * time.Millisecond
+		if len(seeds) > 2 {
+			seeds = seeds[:2]
+		}
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runCrashRestartSoak(t, seed, dur)
+		})
+	}
+}
+
+func runCrashRestartSoak(t *testing.T, seed int64, dur time.Duration) {
+	t.Logf("crash-restart soak: seed=%d duration=%s (replay with FLUX_CHAOS_SEEDS=%d)", seed, dur, seed)
+
+	const size = 15
+	dir := t.TempDir()
+
+	// Per-rank simulated disks: a crash truncates exactly that rank's
+	// files back to their last fsync watermark, like a machine reboot.
+	disks := make([]*cas.FaultyFS, size)
+	for r := range disks {
+		disks[r] = cas.NewFaultyFS(cas.DirFS(), seed*1000+int64(r))
+	}
+	mods := make([]session.ModuleFactory, recoveryShards)
+	for i := 0; i < recoveryShards; i++ {
+		i := i
+		mods[i] = func(rank, sz int) broker.Module {
+			return NewModule(ModuleConfig{
+				Dir:             dir,
+				FS:              disks[rank],
+				CheckpointEvery: 4,
+				Service:         ShardService(i),
+				MasterRank:      ShardMasterRank(i, recoveryShards, sz),
+			})
+		}
+	}
+
+	s, err := session.New(session.Options{
+		Size:           size,
+		Arity:          2,
+		FaultInjection: true,
+		FaultSeed:      seed,
+		RPCTimeout:     time.Second,
+		SyncInterval:   300 * time.Millisecond,
+		Modules:        mods,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ch := s.Chaos()
+	for r := 0; r < size; r++ {
+		ch.RegisterStorage(r, disks[r])
+	}
+	var masters [recoveryShards]int
+	for i := range masters {
+		masters[i] = ShardMasterRank(i, recoveryShards, size) // ranks 0 and 7
+	}
+
+	// The acknowledged-commit ledger: per shard, the last value acked
+	// per key plus the highest acked version. Values per key only grow,
+	// so recovery may legally expose a NEWER value (a commit applied but
+	// whose ack was lost to a crash) — never an older one.
+	var mu sync.Mutex
+	var acked [recoveryShards]map[string]int
+	var ackedVer [recoveryShards]uint64
+	for i := range acked {
+		acked[i] = map[string]int{}
+	}
+
+	stopWrite := make(chan struct{})
+	stopChaos := make(chan struct{})
+	var writers, chaosWG sync.WaitGroup
+
+	// One writer per shard, at rank 0 (the only immortal rank). Chaos
+	// errors are fine; only acknowledged commits join the ledger.
+	for sh := 0; sh < recoveryShards; sh++ {
+		writers.Add(1)
+		go func(sh int) {
+			defer writers.Done()
+			h := s.Handle(0)
+			defer h.Close()
+			c := NewClientFor(h, ShardService(sh))
+			prefix := recoveryPrefix(sh)
+			for i := 1; ; i++ {
+				select {
+				case <-stopWrite:
+					return
+				default:
+				}
+				key := fmt.Sprintf("%s.w.k%d", prefix, i%8)
+				if err := c.Put(key, i); err != nil {
+					continue
+				}
+				v, err := c.Commit()
+				if err != nil {
+					continue
+				}
+				mu.Lock()
+				acked[sh][key] = i
+				if v > ackedVer[sh] {
+					ackedVer[sh] = v
+				}
+				mu.Unlock()
+			}
+		}(sh)
+	}
+
+	// Chaos driver: seeded schedule of kills, silent crashes (detected
+	// sometimes), restarts, link noise, and storage faults. At most two
+	// victims dead at once so a quorum of the tree keeps routing.
+	victims := []int{1, 2, 3, 4, 5, 6, masters[1]}
+	rng := rand.New(rand.NewSource(seed))
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		ticker := time.NewTicker(40 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopChaos:
+				return
+			case <-ticker.C:
+			}
+			var deadRanks []int
+			for _, v := range victims {
+				if !s.Alive(v) {
+					deadRanks = append(deadRanks, v)
+				}
+			}
+			switch rng.Intn(8) {
+			case 0: // graceful kill: links EOF, children re-parent
+				if len(deadRanks) >= 2 {
+					continue
+				}
+				v := victims[rng.Intn(len(victims))]
+				if err := s.Kill(v); err != nil {
+					t.Errorf("kill %d: %v", v, err)
+				}
+			case 1: // silent crash: storage truncates to its watermark
+				if len(deadRanks) >= 2 {
+					continue
+				}
+				v := victims[rng.Intn(len(victims))]
+				if !s.Alive(v) {
+					continue
+				}
+				if err := ch.Crash(v); err != nil {
+					t.Errorf("crash %d: %v", v, err)
+					continue
+				}
+				if rng.Intn(2) == 0 {
+					ch.Sever(v) // failure detection, sometimes
+				}
+			case 2, 3: // bring a dead rank back, mid-chaos
+				if len(deadRanks) == 0 {
+					continue
+				}
+				r := deadRanks[rng.Intn(len(deadRanks))]
+				if err := s.Restart(r); err != nil {
+					// Retryable: the handshake can lose to active faults;
+					// the rank reads as dead again and a later tick retries.
+					t.Logf("restart %d (will retry): %v", r, err)
+				}
+			case 4: // background link noise
+				ch.SetAllFaults(transport.Faults{
+					Drop: 0.03, Delay: time.Millisecond, Jitter: time.Millisecond,
+				})
+			case 5: // storage faults on a random rank's disk
+				ch.SetStorageFaults(rng.Intn(size), cas.FSFaults{
+					TornWrite: 0.2, SyncFail: 0.2, ShortRead: 0.05, BitFlip: 0.02,
+				})
+			case 6, 7: // heal links and disks
+				ch.Heal()
+				for r := 0; r < size; r++ {
+					ch.SetStorageFaults(r, cas.FSFaults{})
+				}
+			}
+		}
+	}()
+
+	// healAndRestartAll heals every link and disk fault and brings every
+	// dead rank back, retrying while the overlay settles.
+	healAndRestartAll := func(what string) {
+		ch.Heal()
+		for r := 0; r < size; r++ {
+			ch.SetStorageFaults(r, cas.FSFaults{})
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			allUp := true
+			for r := 1; r < size; r++ {
+				if s.Alive(r) {
+					continue
+				}
+				allUp = false
+				if err := s.Restart(r); err != nil {
+					t.Logf("%s restart %d: %v", what, r, err)
+				}
+			}
+			if allUp {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("dead ranks never all restarted after %s (seed %d)", what, seed)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	waitOr := func(wg *sync.WaitGroup, what string) {
+		done := make(chan struct{})
+		go func() {
+			wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			t.Fatalf("liveness violation: %s still running after 60s (seed %d)", what, seed)
+		}
+	}
+
+	time.Sleep(dur)
+	close(stopChaos)
+	waitOr(&chaosWG, "chaos driver")
+
+	// Calm window: heal, restart everyone, and let the writers commit
+	// against the recovered session — so every seed freezes a ledger
+	// with real post-recovery commits on BOTH shards before the finale.
+	// Adaptive: wait until each shard acknowledges a few commits beyond
+	// its pre-calm version, however long the recovery took to settle.
+	healAndRestartAll("calm")
+	var preCalm [recoveryShards]uint64
+	mu.Lock()
+	for i := range preCalm {
+		preCalm[i] = ackedVer[i]
+	}
+	mu.Unlock()
+	calmDeadline := time.Now().Add(30 * time.Second)
+	for {
+		settled := true
+		mu.Lock()
+		for i := range preCalm {
+			if ackedVer[i] < preCalm[i]+3 {
+				settled = false
+			}
+		}
+		mu.Unlock()
+		if settled {
+			break
+		}
+		if time.Now().After(calmDeadline) {
+			t.Fatalf("writers never committed against the recovered session (seed %d)", seed)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stopWrite)
+	waitOr(&writers, "writers")
+
+	// Deterministic finale: crash the off-root shard master (and kill an
+	// interior rank) once more, so every seed — whatever its random
+	// schedule did — exercises a master cold restore from disk with the
+	// ledger frozen.
+	if s.Alive(masters[1]) {
+		if err := ch.Crash(masters[1]); err != nil {
+			t.Fatal(err)
+		}
+		ch.Sever(masters[1])
+	}
+	if s.Alive(3) {
+		if err := s.Kill(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	healAndRestartAll("finale")
+
+	// Verification. Per shard: the session commits again (liveness), the
+	// version never regressed below the highest ack, and every acked
+	// key reads back at least its acked value (safety).
+	h := s.Handle(0)
+	defer h.Close()
+	for sh := 0; sh < recoveryShards; sh++ {
+		c := NewClientFor(h, ShardService(sh))
+		mu.Lock()
+		wantVer := ackedVer[sh]
+		want := make(map[string]int, len(acked[sh]))
+		for k, v := range acked[sh] {
+			want[k] = v
+		}
+		mu.Unlock()
+		t.Logf("shard %d: %d acked keys, acked version %d", sh, len(want), wantVer)
+
+		if err := c.Put(recoveryPrefix(sh)+".final", "done"); err != nil {
+			t.Fatalf("shard %d final put: %v (seed %d)", sh, err, seed)
+		}
+		finalVer, err := c.Commit()
+		if err != nil {
+			t.Fatalf("shard %d cannot commit after recovery: %v (seed %d)", sh, err, seed)
+		}
+		if finalVer < wantVer {
+			t.Fatalf("shard %d: version regressed to %d, acked %d (seed %d)", sh, finalVer, wantVer, seed)
+		}
+		waitDeadline := time.Now().Add(30 * time.Second)
+		for {
+			if err := c.WaitVersion(wantVer); err == nil {
+				break
+			}
+			if time.Now().After(waitDeadline) {
+				t.Fatalf("shard %d never reached acked version %d (seed %d)", sh, wantVer, seed)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		for key, val := range want {
+			var got int
+			if err := c.Get(key, &got); err != nil {
+				t.Fatalf("shard %d: acked key %s lost: %v (seed %d)", sh, key, err, seed)
+			}
+			if got < val {
+				t.Fatalf("shard %d: %s = %d after recovery, acked %d (seed %d)", sh, key, got, val, seed)
+			}
+		}
+	}
+
+	// The restarted off-root master must have cold-loaded real state.
+	mu.Lock()
+	shard1Acked := len(acked[1])
+	mu.Unlock()
+	if shard1Acked > 0 {
+		resp, err := h.RPC(ShardService(1)+".storage", uint32(masters[1]), struct{}{})
+		if err != nil {
+			t.Fatalf("storage stats at restarted master: %v (seed %d)", err, seed)
+		}
+		var st struct {
+			Storage struct {
+				RecoveredObjects uint64 `json:"RecoveredObjects"`
+			} `json:"storage"`
+		}
+		if err := resp.UnpackJSON(&st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Storage.RecoveredObjects == 0 {
+			t.Fatalf("restarted master recovered 0 objects with %d acked shard-1 keys (seed %d)", shard1Acked, seed)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package session
 
 import (
+	"fmt"
+
+	"fluxgo/internal/cas"
 	"fluxgo/internal/transport"
 )
 
@@ -26,12 +29,57 @@ type Chaos struct {
 	// wiring and re-parenting, control during tests.
 	endpoints map[int]map[int][]*transport.Faulty
 
+	// storage[rank] is the simulated-disk fault injector backing rank's
+	// durable state, when the test registered one (RegisterStorage).
+	// Crash(rank) crashes it along with the broker — losing everything
+	// past the last fsync watermark — and Session.Restart revives it
+	// before the cold reload. Guarded by s.mu.
+	storage map[int]*cas.FaultyFS
+
 	seed     int64
 	seedStep int64
 }
 
 func newChaos(s *Session, seed int64) *Chaos {
-	return &Chaos{s: s, endpoints: map[int]map[int][]*transport.Faulty{}, seed: seed}
+	return &Chaos{
+		s:         s,
+		endpoints: map[int]map[int][]*transport.Faulty{},
+		storage:   map[int]*cas.FaultyFS{},
+		seed:      seed,
+	}
+}
+
+// RegisterStorage associates a simulated-disk fault injector with rank,
+// so Crash(rank) also crashes the rank's storage (truncating unsynced
+// writes) and Session.Restart(rank) revives it for the cold reload.
+func (c *Chaos) RegisterStorage(rank int, fs *cas.FaultyFS) {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	c.storage[rank] = fs
+}
+
+// Storage returns the fault injector registered for rank's durable
+// state, or nil.
+func (c *Chaos) Storage(rank int) *cas.FaultyFS {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.storage[rank]
+}
+
+// SetStorageFaults shapes the I/O-level fault rates (torn writes, fsync
+// failures, short reads, bit flips) of rank's registered storage. A
+// no-op when no storage is registered for rank.
+func (c *Chaos) SetStorageFaults(rank int, f cas.FSFaults) {
+	if fs := c.Storage(rank); fs != nil {
+		fs.SetFaults(f)
+	}
+}
+
+// reviveStorage brings rank's crashed storage back for a restart.
+func (c *Chaos) reviveStorage(rank int) {
+	if fs := c.Storage(rank); fs != nil {
+		fs.Revive()
+	}
 }
 
 // wrap installs fault injectors on both endpoints of a link between
@@ -128,14 +176,23 @@ func (c *Chaos) Heal() {
 
 // Crash kills the broker at rank the hard way: every link touching it is
 // blackholed first — in both directions — so its peers observe pure
-// silence rather than the EOFs a graceful Kill produces, and then the
-// broker stops. Until Sever models failure detection, nothing in the
-// session learns of the death: in-flight RPCs through the rank are
-// bounded only by their deadlines, which is precisely the window the
-// no-hang guarantee is about.
-func (c *Chaos) Crash(rank int) {
+// silence rather than the EOFs a graceful Kill produces; the rank's
+// registered storage (if any) crashes with it, truncating everything
+// past its last fsync watermark; and then the broker stops. Until Sever
+// models failure detection, nothing in the session learns of the death:
+// in-flight RPCs through the rank are bounded only by their deadlines,
+// which is precisely the window the no-hang guarantee is about.
+// Crashing an already-dead rank is a no-op.
+//
+// Crashing rank 0 is refused for the same reason Session.Kill refuses
+// it: there is no root fail-over, so the session would be left without
+// its event sequencer for the rest of its life.
+func (c *Chaos) Crash(rank int) error {
+	if rank == 0 {
+		return fmt.Errorf("session: rank 0 cannot be crashed — no root fail-over (use Close to end the session)")
+	}
 	if !c.s.markDead(rank) {
-		return
+		return nil
 	}
 	c.s.mu.Lock()
 	var eps []*transport.Faulty
@@ -148,12 +205,19 @@ func (c *Chaos) Crash(rank int) {
 		}
 		eps = append(eps, peers[rank]...)
 	}
+	fs := c.storage[rank]
 	c.s.mu.Unlock()
 	for _, ep := range eps {
 		ep.SetFaults(transport.Faults{Blackhole: true})
 	}
+	if fs != nil {
+		if err := fs.Crash(); err != nil {
+			c.s.logf("session: chaos: rank %d storage crash: %v", rank, err)
+		}
+	}
 	c.s.logf("session: chaos: rank %d crashed silently", rank)
 	c.s.Broker(rank).Shutdown()
+	return nil
 }
 
 // Sever models the failure detector noticing a crashed rank: the peers'
@@ -182,7 +246,34 @@ func (c *Chaos) Sever(rank int) {
 // CrashAndSever is Crash immediately followed by Sever: a crash whose
 // detection is instantaneous. Most tests separate the two to exercise
 // the silent window in between.
-func (c *Chaos) CrashAndSever(rank int) {
-	c.Crash(rank)
+func (c *Chaos) CrashAndSever(rank int) error {
+	if err := c.Crash(rank); err != nil {
+		return err
+	}
 	c.Sever(rank)
+	return nil
+}
+
+// forget closes and deregisters every fault-injected endpoint touching
+// rank, in both directions. Session.Restart calls it before re-wiring:
+// a crashed rank's old blackholed endpoints must not linger in the
+// registry or later blanket fault operations would target dead conns.
+func (c *Chaos) forget(rank int) {
+	c.s.mu.Lock()
+	var eps []*transport.Faulty
+	for _, list := range c.endpoints[rank] {
+		eps = append(eps, list...)
+	}
+	delete(c.endpoints, rank)
+	for owner, peers := range c.endpoints {
+		if owner == rank {
+			continue
+		}
+		eps = append(eps, peers[rank]...)
+		delete(peers, rank)
+	}
+	c.s.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
 }

@@ -3,13 +3,12 @@ package session
 import (
 	"fmt"
 	"math/rand"
-	"os"
 	"sort"
-	"strconv"
 	"sync"
 	"testing"
 	"time"
 
+	"fluxgo/internal/chaosenv"
 	"fluxgo/internal/kvs"
 	"fluxgo/internal/modules/hb"
 	"fluxgo/internal/modules/live"
@@ -17,27 +16,18 @@ import (
 	"fluxgo/internal/wire"
 )
 
-// chaosSeed returns the soak seed: CHAOS_SEED env var, or 1. A failing
-// soak prints its seed; rerunning with that seed replays the same fault
-// schedule.
-func chaosSeed() int64 {
-	if v := os.Getenv("CHAOS_SEED"); v != "" {
-		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
-			return n
-		}
-	}
-	return 1
+// chaosSeeds returns the soak seed list: FLUX_CHAOS_SEEDS (comma-
+// separated) or CHAOS_SEED env vars, else {1}. A failing soak subtest
+// carries its seed in its name; rerunning with that seed replays the
+// same fault schedule.
+func chaosSeeds() []int64 {
+	return chaosenv.Seeds(1)
 }
 
 // chaosDuration returns the soak length: CHAOS_SOAK env var (a Go
 // duration), or a short default so `make check` stays fast.
 func chaosDuration() time.Duration {
-	if v := os.Getenv("CHAOS_SOAK"); v != "" {
-		if d, err := time.ParseDuration(v); err == nil {
-			return d
-		}
-	}
-	return 2 * time.Second
+	return chaosenv.Duration(2 * time.Second)
 }
 
 // waitOrFatal fails the test if wg does not finish within d — the
@@ -69,15 +59,22 @@ func waitOrFatal(t *testing.T, wg *sync.WaitGroup, d time.Duration, what string)
 //   - convergence: once faults heal and crashes are severed, the overlay
 //     re-parents and a final commit is visible session-wide.
 //
-// The run is reproducible: rerun with CHAOS_SEED=<seed> (and optionally
-// a longer CHAOS_SOAK=30s) to replay a failure.
+// The run is reproducible: rerun with FLUX_CHAOS_SEEDS=<seed> (and
+// optionally a longer CHAOS_SOAK=30s) to replay a failure.
 func TestChaosSoak(t *testing.T) {
-	seed := chaosSeed()
 	dur := chaosDuration()
 	if testing.Short() {
 		dur = 500 * time.Millisecond
 	}
-	t.Logf("chaos soak: seed=%d duration=%s (replay with CHAOS_SEED=%d)", seed, dur, seed)
+	for _, seed := range chaosSeeds() {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runChaosSoak(t, seed, dur)
+		})
+	}
+}
+
+func runChaosSoak(t *testing.T, seed int64, dur time.Duration) {
+	t.Logf("chaos soak: seed=%d duration=%s (replay with FLUX_CHAOS_SEEDS=%d)", seed, dur, seed)
 
 	const size = 15
 	s, err := New(Options{

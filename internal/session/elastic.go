@@ -102,6 +102,7 @@ func (s *Session) growOne() (int, error) {
 		Joined:       true,
 		Grow:         s.hookGrow,
 		Shrink:       s.hookShrink,
+		Restart:      s.hookRestart,
 	})
 	if err != nil {
 		return -1, err

@@ -103,14 +103,21 @@ func TestElasticGrowShrink(t *testing.T) {
 // plus membership convergence: every surviving member ends on the same
 // epoch and the same live set.
 //
-// Reproducible via CHAOS_SEED / CHAOS_SOAK like TestChaosSoak.
+// Reproducible via FLUX_CHAOS_SEEDS / CHAOS_SOAK like TestChaosSoak.
 func TestElasticChaosSoak(t *testing.T) {
-	seed := chaosSeed()
 	dur := chaosDuration()
 	if testing.Short() {
 		dur = 500 * time.Millisecond
 	}
-	t.Logf("elastic chaos soak: seed=%d duration=%s (replay with CHAOS_SEED=%d)", seed, dur, seed)
+	for _, seed := range chaosSeeds() {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runElasticChaosSoak(t, seed, dur)
+		})
+	}
+}
+
+func runElasticChaosSoak(t *testing.T, seed int64, dur time.Duration) {
+	t.Logf("elastic chaos soak: seed=%d duration=%s (replay with FLUX_CHAOS_SEEDS=%d)", seed, dur, seed)
 
 	const size = 15
 	s, err := New(Options{

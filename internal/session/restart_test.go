@@ -1,0 +1,192 @@
+package session
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// pingVia asserts rank target answers a ring-addressed ping sent from
+// a handle at rank from, retrying briefly while the overlay settles.
+func pingVia(t *testing.T, s *Session, from, target int) {
+	t.Helper()
+	h := s.Handle(from)
+	defer h.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := h.RPC("cmb.ping", uint32(target), map[string]string{"pad": "p"})
+		if err == nil {
+			var body struct {
+				Rank int `json:"rank"`
+			}
+			if uerr := resp.UnpackJSON(&body); uerr == nil && body.Rank == target {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rank %d unreachable from %d: %v", target, from, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestKillRootRefused verifies rank 0 cannot be killed or crashed: a
+// session without its event sequencer is a trap now that restart
+// exists, so the PR-1 logged warning became an explicit error.
+func TestKillRootRefused(t *testing.T) {
+	s := newSession(t, 3, 2)
+	if err := s.Kill(0); err == nil || !strings.Contains(err.Error(), "root fail-over") {
+		t.Fatalf("Kill(0) = %v, want root fail-over error", err)
+	}
+	if !s.Alive(0) {
+		t.Fatal("refused Kill(0) still marked rank 0 dead")
+	}
+	pingVia(t, s, 2, 0)
+}
+
+func TestCrashRootRefused(t *testing.T) {
+	s, err := New(Options{Size: 3, Arity: 2, FaultInjection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Chaos().Crash(0); err == nil || !strings.Contains(err.Error(), "root fail-over") {
+		t.Fatalf("Crash(0) = %v, want root fail-over error", err)
+	}
+	if !s.Alive(0) {
+		t.Fatal("refused Crash(0) still marked rank 0 dead")
+	}
+	pingVia(t, s, 1, 0)
+}
+
+// TestRestartErrors walks the refusal cases: the root, a rank outside
+// the rank space, a live rank, and a gracefully departed rank.
+func TestRestartErrors(t *testing.T) {
+	s := newSession(t, 7, 2)
+	for _, tc := range []struct {
+		rank int
+		want string
+	}{
+		{0, "root fail-over"},
+		{99, "outside rank space"},
+		{2, "alive"},
+	} {
+		if err := s.Restart(tc.rank); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("Restart(%d) = %v, want %q", tc.rank, err, tc.want)
+		}
+	}
+	if err := s.Shrink([]int{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restart(5); err == nil || !strings.Contains(err.Error(), "departed") {
+		t.Fatalf("Restart(departed 5) = %v, want departed error", err)
+	}
+}
+
+// TestRestartAfterKill kills an interior rank (whose children re-parent
+// away) and brings it back: it must serve ring-addressed RPCs and ride
+// the event plane again, under a fresh membership epoch.
+func TestRestartAfterKill(t *testing.T) {
+	s := newSession(t, 7, 2)
+	before := s.Epoch()
+	if err := s.Kill(1); err != nil { // interior: parent of ranks 3 and 4
+		t.Fatal(err)
+	}
+	if err := s.Restart(1); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if s.Epoch() <= before {
+		t.Fatalf("epoch %d did not advance past %d across kill+restart", s.Epoch(), before)
+	}
+	if !s.Alive(1) {
+		t.Fatal("restarted rank still marked dead")
+	}
+	pingVia(t, s, 4, 1)
+
+	// Event plane round trip through the restarted rank: it can publish
+	// (request routed upstream to the sequencer) and it receives the
+	// session-wide fan-out back on its new parent event link.
+	h := s.Handle(1)
+	defer h.Close()
+	sub, err := h.Subscribe("restart.ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.PublishEvent("restart.ev", map[string]int{"from": 1}); err != nil {
+		t.Fatalf("publish from restarted rank: %v", err)
+	}
+	select {
+	case <-sub.Chan():
+	case <-time.After(10 * time.Second):
+		t.Fatal("restarted rank never received its own event")
+	}
+
+	// Killing it again and restarting again must also work: the restart
+	// path fully replaces the previous incarnation.
+	if err := s.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restart(1); err != nil {
+		t.Fatalf("second restart: %v", err)
+	}
+	pingVia(t, s, 6, 1)
+}
+
+// TestRestartAfterCrashSever runs the failure-path variant: a silent
+// crash, failure detection, then restart under fault injection (so the
+// chaos endpoint registry must be scrubbed and re-wired).
+func TestRestartAfterCrashSever(t *testing.T) {
+	s, err := New(Options{Size: 7, Arity: 2, FaultInjection: true, FaultSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ch := s.Chaos()
+	if err := ch.Crash(5); err != nil {
+		t.Fatal(err)
+	}
+	ch.Sever(5)
+	if err := s.Restart(5); err != nil {
+		t.Fatalf("restart after crash+sever: %v", err)
+	}
+	pingVia(t, s, 2, 5)
+	// The new links are live fault injectors: blackhole the restarted
+	// rank's traffic and verify control still works, then heal.
+	ch.Partition(5)
+	ch.Heal()
+	pingVia(t, s, 0, 5)
+}
+
+// TestRestartRPC drives recovery through the wire API: cmb.restart at a
+// surviving broker invokes the session hook.
+func TestRestartRPC(t *testing.T) {
+	s := newSession(t, 7, 2)
+	if err := s.Kill(3); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handle(2)
+	defer h.Close()
+	resp, err := h.RPC("cmb.restart", 2, map[string]int{"rank": 3})
+	if err != nil {
+		t.Fatalf("cmb.restart: %v", err)
+	}
+	var body struct {
+		Rank  int    `json:"rank"`
+		Epoch uint32 `json:"epoch"`
+	}
+	if err := resp.UnpackJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Rank != 3 || body.Epoch == 0 {
+		t.Fatalf("restart response %+v", body)
+	}
+	pingVia(t, s, 0, 3)
+
+	// Malformed and refused requests answer with errors, not silence.
+	if _, err := h.RPC("cmb.restart", 2, map[string]int{"rank": 0}); err == nil {
+		t.Fatal("cmb.restart rank 0 succeeded")
+	}
+	if _, err := h.RPC("cmb.restart", 2, map[string]int{"rank": 3}); err == nil {
+		t.Fatal("cmb.restart of a live rank succeeded")
+	}
+}

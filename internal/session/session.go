@@ -139,6 +139,7 @@ func New(opts Options) (*Session, error) {
 			SessionID:    opts.SessionID,
 			Grow:         s.hookGrow,
 			Shrink:       s.hookShrink,
+			Restart:      s.hookRestart,
 		})
 		if err != nil {
 			return nil, err
@@ -290,23 +291,24 @@ func (s *Session) logf(format string, args ...any) {
 // links close (peers observe EOF immediately and re-parent), and its
 // orphaned children re-attach to the nearest live ancestor. For a crash
 // with no failure notification — peers see only silence — use
-// Chaos().Crash instead.
+// Chaos().Crash instead. Killing an already-dead rank is a no-op.
 //
-// Killing rank 0 is permitted but leaves the session without its event
-// sequencer and (in the default configuration) its KVS master: root
-// fail-over is NOT implemented — the paper likewise leaves eliminating
-// the rank-0 single point of failure to future work — so event
-// publication and KVS commits will fail until a new session is built.
-// Surviving ranks can still serve cached reads and rank-addressed RPCs.
-func (s *Session) Kill(rank int) {
-	if !s.markDead(rank) {
-		return
-	}
+// Killing rank 0 is refused: root fail-over is NOT implemented — the
+// paper likewise leaves eliminating the rank-0 single point of failure
+// to future work — and a session without its event sequencer and (in
+// the default configuration) its KVS master cannot commit or publish
+// for the rest of its life. Tearing the whole session down is what
+// Close is for.
+func (s *Session) Kill(rank int) error {
 	if rank == 0 {
-		s.logf("session: WARNING: rank 0 killed — no root fail-over: event sequencing and KVS commits are unavailable for the rest of this session's life")
+		return fmt.Errorf("session: rank 0 cannot be killed — no root fail-over: event sequencing and KVS commits would be unavailable for the rest of this session's life (use Close to end the session)")
+	}
+	if !s.markDead(rank) {
+		return nil
 	}
 	s.healRing(rank)
 	s.Broker(rank).Shutdown()
+	return nil
 }
 
 // Alive reports whether the broker at rank has not been killed.

@@ -11,6 +11,7 @@ package wire
 // named alias of it).
 const (
 	ErrnoNoEnt       int32 = 2   // no such key / object
+	ErrnoIO          int32 = 5   // storage tier failure (persist / checkpoint)
 	ErrnoNotDir      int32 = 20  // key path traverses a value object
 	ErrnoInval       int32 = 22  // malformed request
 	ErrnoNoSys       int32 = 38  // no comms module matches the topic
@@ -68,6 +69,10 @@ const (
 	// session installed membership hooks; ENOSYS otherwise.
 	TopicGrow   = "cmb.grow"
 	TopicShrink = "cmb.shrink"
+	// TopicRestart (request) asks the session to bring a previously
+	// killed or crashed rank back through the join path, cold-loading
+	// its durable state from disk.
+	TopicRestart = "cmb.restart"
 
 	// EventJoin / EventLeave are the epoch-tagged membership events
 	// sequenced through the root: every broker folds them into its
