@@ -1,0 +1,518 @@
+package main
+
+// Per-function control-flow graphs lowered from go/ast, the substrate
+// the flow-sensitive passes share. The lowering is syntactic and
+// deliberately small: every compound statement contributes a head op
+// (the part of it the machine evaluates before choosing a successor —
+// an if condition, a switch tag, a select park) and its nested blocks
+// become CFG blocks of their own. Simple statements stay whole as ops.
+//
+// Edges modeled: if/else, for (cond and cond-less), range, switch and
+// type switch (with fallthrough and implicit no-default exit), select
+// (no head→after edge without a default: the statement blocks), break
+// and continue with labels, goto, return→exit, and panic→exit. Defers
+// are kept in source order on the graph for passes that reason about
+// function exit. Code made unreachable by a terminating statement stays
+// in the graph as blocks with no path from entry; passes walk only
+// reachable blocks.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+type opKind uint8
+
+const (
+	opStmt       opKind = iota // a simple statement, executed whole
+	opIf                       // *ast.IfStmt: the condition
+	opFor                      // *ast.ForStmt: the condition
+	opRange                    // *ast.RangeStmt: next element
+	opSwitch                   // *ast.SwitchStmt: the tag
+	opTypeSwitch               // *ast.TypeSwitchStmt: the assign
+	opSelect                   // *ast.SelectStmt: the park point
+	opCase                     // *ast.CaseClause: the case expressions
+	opComm                     // *ast.CommClause: the comm operation
+)
+
+// op is one evaluation step inside a block.
+type op struct {
+	kind opKind
+	node ast.Node
+}
+
+// headNodes returns the sub-nodes this op itself evaluates. Nested
+// statement blocks are excluded — they are separate CFG blocks — so a
+// pass that inspects every op's head nodes over all reachable blocks
+// sees each expression exactly once.
+func (o op) headNodes() []ast.Node {
+	var out []ast.Node
+	add := func(n ast.Node) {
+		if n != nil && !isNilNode(n) {
+			out = append(out, n)
+		}
+	}
+	switch n := o.node.(type) {
+	case *ast.IfStmt:
+		add(n.Cond)
+	case *ast.ForStmt:
+		add(n.Cond)
+	case *ast.RangeStmt:
+		add(n.Key)
+		add(n.Value)
+		add(n.X)
+	case *ast.SwitchStmt:
+		add(n.Tag)
+	case *ast.TypeSwitchStmt:
+		add(n.Assign)
+	case *ast.SelectStmt:
+		// The park point itself; the comm ops are opComm heads.
+	case *ast.CaseClause:
+		for _, e := range n.List {
+			add(e)
+		}
+	case *ast.CommClause:
+		add(n.Comm)
+	default:
+		add(o.node)
+	}
+	return out
+}
+
+// isNilNode guards against typed-nil ast.Expr values inside interfaces.
+func isNilNode(n ast.Node) bool {
+	switch v := n.(type) {
+	case ast.Expr:
+		return v == nil
+	case ast.Stmt:
+		return v == nil
+	}
+	return false
+}
+
+// block is a straight-line op sequence with branch-free interior.
+type block struct {
+	index int
+	kind  string // entry, exit, if.then, for.body, ... (golden tests)
+	ops   []op
+	succs []*block
+	preds []*block
+}
+
+// funcCFG is the graph of one function body.
+type funcCFG struct {
+	body   *ast.BlockStmt
+	entry  *block
+	exit   *block
+	blocks []*block // in creation order; blocks[i].index == i
+	defers []*ast.DeferStmt
+}
+
+// reachable returns the set of blocks reachable from entry.
+func (g *funcCFG) reachable() map[*block]bool {
+	seen := map[*block]bool{g.entry: true}
+	work := []*block{g.entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+// buildCFG lowers one function body. The graph always has entry as
+// block 0 and exit as block 1.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{body: body}
+	b := &cfgBuilder{g: g}
+	g.entry = b.newBlock("entry")
+	g.exit = b.newBlock("exit")
+	b.cur = g.entry
+	b.stmts(body.List)
+	b.link(b.cur, g.exit) // implicit return at the closing brace
+	return g
+}
+
+// ctrlFrame is one enclosing breakable construct during lowering.
+type ctrlFrame struct {
+	label      string
+	isLoop     bool
+	breakTo    *block
+	continueTo *block // loops only
+}
+
+type cfgBuilder struct {
+	g            *funcCFG
+	cur          *block
+	frames       []ctrlFrame
+	labels       map[string]*block
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock(kind string) *block {
+	blk := &block{index: len(b.g.blocks), kind: kind}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *block) {
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+	to.preds = append(to.preds, from)
+}
+
+// terminate parks the builder on a fresh predecessor-less block, so
+// statements after a return/branch lower into unreachable blocks.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock("unreachable")
+}
+
+func (b *cfgBuilder) emit(kind opKind, n ast.Node) {
+	b.cur.ops = append(b.cur.ops, op{kind: kind, node: n})
+}
+
+// takeLabel consumes the pending label for a labeled loop/switch.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) labelBlock(name string) *block {
+	if b.labels == nil {
+		b.labels = map[string]*block{}
+	}
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	if _, ok := s.(*ast.LabeledStmt); !ok {
+		defer func() { b.pendingLabel = "" }()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.EmptyStmt:
+
+	case *ast.LabeledStmt:
+		lbl := b.labelBlock(s.Label.Name)
+		b.link(b.cur, lbl)
+		b.cur = lbl
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.emit(opIf, s)
+		head := b.cur
+		then := b.newBlock("if.then")
+		after := b.newBlock("if.after")
+		b.link(head, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.link(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.link(head, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.link(b.cur, after)
+		} else {
+			b.link(head, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock("for.head")
+		b.link(b.cur, head)
+		head.ops = append(head.ops, op{kind: opFor, node: s})
+		bodyB := b.newBlock("for.body")
+		after := b.newBlock("for.after")
+		b.link(head, bodyB)
+		if s.Cond != nil {
+			b.link(head, after)
+		}
+		contTo := head
+		var post *block
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			contTo = post
+		}
+		b.frames = append(b.frames, ctrlFrame{label: label, isLoop: true, breakTo: after, continueTo: contTo})
+		b.cur = bodyB
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		if post != nil {
+			b.link(b.cur, post)
+			b.cur = post
+			b.stmt(s.Post)
+			b.link(b.cur, head)
+		} else {
+			b.link(b.cur, head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		b.link(b.cur, head)
+		head.ops = append(head.ops, op{kind: opRange, node: s})
+		bodyB := b.newBlock("range.body")
+		after := b.newBlock("range.after")
+		b.link(head, bodyB)
+		b.link(head, after)
+		b.frames = append(b.frames, ctrlFrame{label: label, isLoop: true, breakTo: after, continueTo: head})
+		b.cur = bodyB
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.link(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.emit(opSwitch, s)
+		b.switchClauses(label, b.cur, s.Body, "switch")
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.emit(opTypeSwitch, s)
+		b.switchClauses(label, b.cur, s.Body, "typeswitch")
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.emit(opSelect, s)
+		head := b.cur
+		after := b.newBlock("select.after")
+		b.frames = append(b.frames, ctrlFrame{label: label, breakTo: after})
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			kind := "select.comm"
+			if cc.Comm == nil {
+				kind = "select.default"
+			}
+			cb := b.newBlock(kind)
+			cb.ops = append(cb.ops, op{kind: opComm, node: cc})
+			b.link(head, cb)
+			b.cur = cb
+			b.stmts(cc.Body)
+			b.link(b.cur, after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		// No default: the select blocks until a case fires, so there is
+		// deliberately no head→after edge.
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.emit(opStmt, s)
+		b.link(b.cur, b.g.exit)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			for i := len(b.frames) - 1; i >= 0; i-- {
+				f := b.frames[i]
+				if s.Label == nil || f.label == s.Label.Name {
+					b.link(b.cur, f.breakTo)
+					break
+				}
+			}
+			b.terminate()
+		case token.CONTINUE:
+			for i := len(b.frames) - 1; i >= 0; i-- {
+				f := b.frames[i]
+				if f.isLoop && (s.Label == nil || f.label == s.Label.Name) {
+					b.link(b.cur, f.continueTo)
+					break
+				}
+			}
+			b.terminate()
+		case token.GOTO:
+			b.link(b.cur, b.labelBlock(s.Label.Name))
+			b.terminate()
+		case token.FALLTHROUGH:
+			// Handled by switchClauses; nothing to do if seen elsewhere.
+		}
+
+	case *ast.DeferStmt:
+		// Arguments are evaluated at the defer site; the call runs at
+		// exit. The op carries the site, defers the exit-time order.
+		b.emit(opStmt, s)
+		b.g.defers = append(b.g.defers, s)
+
+	case *ast.ExprStmt:
+		b.emit(opStmt, s)
+		if isPanicCall(s.X) {
+			b.link(b.cur, b.g.exit)
+			b.terminate()
+		}
+
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.GoStmt, *ast.SendStmt, *ast.IncDecStmt:
+		b.emit(opStmt, s)
+
+	default:
+		b.emit(opStmt, s)
+	}
+}
+
+// switchClauses lowers the clause list shared by switch/type switch:
+// head already carries the tag op; each clause gets a case-head block,
+// a fallthrough edge to the next clause body, and a break target after.
+func (b *cfgBuilder) switchClauses(label string, head *block, body *ast.BlockStmt, prefix string) {
+	after := b.newBlock(prefix + ".after")
+	b.frames = append(b.frames, ctrlFrame{label: label, breakTo: after})
+	hasDefault := false
+	var caseBlocks []*block
+	var clauses []*ast.CaseClause
+	for _, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		kind := prefix + ".case"
+		if cc.List == nil {
+			kind = prefix + ".default"
+			hasDefault = true
+		}
+		cb := b.newBlock(kind)
+		cb.ops = append(cb.ops, op{kind: opCase, node: cc})
+		b.link(head, cb)
+		caseBlocks = append(caseBlocks, cb)
+		clauses = append(clauses, cc)
+	}
+	for i, cc := range clauses {
+		b.cur = caseBlocks[i]
+		stmts := cc.Body
+		fallsThrough := false
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				stmts = stmts[:n-1]
+			}
+		}
+		b.stmts(stmts)
+		if fallsThrough && i+1 < len(caseBlocks) {
+			b.link(b.cur, caseBlocks[i+1])
+		} else {
+			b.link(b.cur, after)
+		}
+	}
+	if !hasDefault {
+		b.link(head, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// isPanicCall recognizes a direct call of the panic builtin. The check
+// is syntactic (a shadowing local named panic would fool it) — fine for
+// a linter that only uses it to cut unreachable paths.
+func isPanicCall(e ast.Expr) bool {
+	ce, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ce.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// dump renders the graph for golden tests: one line per block in index
+// order, ops abbreviated, unreachable blocks marked.
+func (g *funcCFG) dump(fset *token.FileSet) string {
+	reach := g.reachable()
+	var sb strings.Builder
+	for _, blk := range g.blocks {
+		if blk.kind == "unreachable" && len(blk.ops) == 0 && len(blk.succs) == 0 {
+			continue // builder parking lot with no content
+		}
+		fmt.Fprintf(&sb, "b%d %s:", blk.index, blk.kind)
+		if !reach[blk] && blk != g.exit {
+			sb.WriteString(" (unreachable)")
+		}
+		for _, o := range blk.ops {
+			fmt.Fprintf(&sb, " [%s]", o.describe(fset))
+		}
+		if len(blk.succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.succs {
+				fmt.Fprintf(&sb, " b%d", s.index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+var opKindNames = [...]string{
+	opStmt: "stmt", opIf: "if", opFor: "for", opRange: "range",
+	opSwitch: "switch", opTypeSwitch: "typeswitch", opSelect: "select",
+	opCase: "case", opComm: "comm",
+}
+
+func (o op) describe(fset *token.FileSet) string {
+	name := opKindNames[o.kind]
+	var snippet ast.Node
+	switch n := o.node.(type) {
+	case *ast.IfStmt:
+		snippet = n.Cond
+	case *ast.ForStmt:
+		snippet = n.Cond
+	case *ast.SwitchStmt:
+		snippet = n.Tag
+	case *ast.CaseClause:
+		if len(n.List) > 0 {
+			snippet = n.List[0]
+		}
+	case *ast.CommClause:
+		snippet = n.Comm
+	case *ast.RangeStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+	default:
+		snippet = o.node
+	}
+	if snippet == nil || isNilNode(snippet) {
+		return name
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, snippet); err != nil {
+		return name
+	}
+	s := strings.Join(strings.Fields(buf.String()), " ")
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return name + " " + s
+}

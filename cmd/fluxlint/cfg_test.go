@@ -1,0 +1,228 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFunc parses a single function declaration and returns its body
+// plus the FileSet (for dump snippets).
+func parseFunc(t *testing.T, src string) (*funcCFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return buildCFG(fd.Body), fset
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+func checkDump(t *testing.T, g *funcCFG, fset *token.FileSet, want string) {
+	t.Helper()
+	got := strings.TrimSpace(g.dump(fset))
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("CFG mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// Defer inside a loop: the defer op stays in the loop body (arguments
+// are evaluated there), the continue edge targets the range head, and
+// the function-exit defers list records the site.
+func TestCFGDeferInLoop(t *testing.T) {
+	g, fset := parseFunc(t, `
+func f(items []int) {
+	for _, it := range items {
+		f, err := open(it)
+		if err != nil {
+			continue
+		}
+		defer f.Close()
+		use(f)
+	}
+	flush()
+}`)
+	checkDump(t, g, fset, `
+b0 entry: -> b2
+b1 exit:
+b2 range.head: [range] -> b3 b4
+b3 range.body: [stmt f, err := open(it)] [if err != nil] -> b5 b6
+b4 range.after: [stmt flush()] -> b1
+b5 if.then: -> b2
+b6 if.after: [stmt defer f.Close()] [stmt use(f)] -> b2
+b7 unreachable: (unreachable) -> b6
+`)
+	if len(g.defers) != 1 {
+		t.Errorf("defers recorded = %d, want 1", len(g.defers))
+	}
+}
+
+// Labeled break and continue: break outer exits both loops (edge to the
+// outer range.after), continue outer re-tests the outer range head.
+func TestCFGLabeledBreak(t *testing.T) {
+	g, fset := parseFunc(t, `
+func f(rows [][]int) int {
+outer:
+	for _, row := range rows {
+		for _, v := range row {
+			if v < 0 {
+				break outer
+			}
+			if v == 0 {
+				continue outer
+			}
+			sink(v)
+		}
+	}
+	return done()
+}`)
+	checkDump(t, g, fset, `
+b0 entry: -> b2
+b1 exit:
+b2 label.outer: -> b3
+b3 range.head: [range] -> b4 b5
+b4 range.body: -> b6
+b5 range.after: [stmt return done()] -> b1
+b6 range.head: [range] -> b7 b8
+b7 range.body: [if v < 0] -> b9 b10
+b8 range.after: -> b3
+b9 if.then: -> b5
+b10 if.after: [if v == 0] -> b12 b13
+b11 unreachable: (unreachable) -> b10
+b12 if.then: -> b3
+b13 if.after: [stmt sink(v)] -> b6
+b14 unreachable: (unreachable) -> b13
+b15 unreachable: (unreachable) -> b1
+`)
+}
+
+// Panic terminates its path (edge to exit, code after it unreachable);
+// the deferred recover closure is a single op at the defer site.
+func TestCFGPanicRecover(t *testing.T) {
+	g, fset := parseFunc(t, `
+func f(m map[string]int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = wrap(r)
+		}
+	}()
+	if m == nil {
+		panic("nil map")
+		cleanup()
+	}
+	touch(m)
+	return nil
+}`)
+	checkDump(t, g, fset, `
+b0 entry: [stmt defer func() { if r := recover(); r !...] [if m == nil] -> b2 b3
+b1 exit:
+b2 if.then: [stmt panic("nil map")] -> b1
+b3 if.after: [stmt touch(m)] [stmt return nil] -> b1
+b4 unreachable: (unreachable) [stmt cleanup()] -> b3
+b5 unreachable: (unreachable) -> b1
+`)
+}
+
+// Select without a default blocks: no head→after edge, so facts flowing
+// to select.after come only through the comm clauses.
+func TestCFGSelectNoDefault(t *testing.T) {
+	g, _ := parseFunc(t, `
+func f(ch chan int, done chan struct{}) {
+	select {
+	case v := <-ch:
+		sink(v)
+	case <-done:
+		return
+	}
+	after()
+}`)
+	// Find the block holding the select op and the select.after block.
+	var head, after *block
+	for _, blk := range g.blocks {
+		for _, o := range blk.ops {
+			if o.kind == opSelect {
+				head = blk
+			}
+		}
+		if blk.kind == "select.after" {
+			after = blk
+		}
+	}
+	if head == nil || after == nil {
+		t.Fatal("select head or after block not found")
+	}
+	for _, s := range head.succs {
+		if s == after {
+			t.Error("select without default has a head→after edge; it should block")
+		}
+	}
+}
+
+// The solver reaches a fixpoint on a nested-loop graph in a small
+// number of steps (far under the runaway cap) and computes the right
+// join: a forward "reached" analysis must mark every reachable block.
+func TestSolverConvergence(t *testing.T) {
+	g, _ := parseFunc(t, `
+func f(rows [][]int) {
+	for i := 0; i < len(rows); i++ {
+		for _, v := range rows[i] {
+			if v < 0 {
+				continue
+			}
+			sink(v)
+		}
+	}
+	done()
+}`)
+	facts, steps := solve(g, analysis[bool]{
+		dir:      forward,
+		boundary: func() bool { return true },
+		bottom:   func() bool { return false },
+		join:     func(dst, src bool) bool { return dst || src },
+		equal:    func(a, b bool) bool { return a == b },
+		transfer: func(b *block, in bool) bool { return in },
+	})
+	reach := g.reachable()
+	for blk := range reach {
+		if !facts[blk] {
+			t.Errorf("b%d %s: reachable but fact not propagated", blk.index, blk.kind)
+		}
+	}
+	// Each block is relaxed once, plus one revisit per back edge.
+	// Anything near the cap (64·(n+1)²) means the worklist is thrashing.
+	if max := 3 * len(g.blocks); steps > max {
+		t.Errorf("solver took %d steps on %d blocks (limit %d)", steps, len(g.blocks), max)
+	}
+}
+
+// A deliberately non-converging transfer (alternating parity) must be
+// cut off by the step cap instead of hanging.
+func TestSolverRunawayCap(t *testing.T) {
+	g, _ := parseFunc(t, `
+func f() {
+	for {
+		spin()
+	}
+}`)
+	_, steps := solve(g, analysis[int]{
+		dir:      forward,
+		boundary: func() int { return 1 },
+		bottom:   func() int { return 0 },
+		join:     func(dst, src int) int { return dst + src + 1 }, // not monotone-bounded
+		equal:    func(a, b int) bool { return a == b },
+		transfer: func(b *block, in int) int { return in + 1 },
+	})
+	cap := 64 * (len(g.blocks) + 1) * (len(g.blocks) + 1)
+	if steps > cap+1 {
+		t.Errorf("runaway analysis ran %d steps, cap %d", steps, cap)
+	}
+}

@@ -7,8 +7,9 @@ package main
 // propagating at that hop and the no-hang guarantee degrades to the
 // default timeout; passing context.Background() or context.TODO() to
 // RPCContext/RPCWithOptions is the same bug spelled explicitly. Both
-// shapes are flagged anywhere inside the function, including closures
-// nested in it (the parameter is in scope there too).
+// shapes are flagged anywhere reachable inside the function, including
+// closures nested in it (the parameter is in scope there too); code cut
+// off by return/panic is not reported.
 //
 // Functions without a context parameter are exempt: bare RPC is the
 // sanctioned blocking call when no caller deadline exists to propagate.
@@ -37,19 +38,17 @@ var deadlineFamily = map[string]bool{
 }
 
 func runDeadlinePropagation(l *Loader, p *Package) []Finding {
-	c := &deadlineChecker{l: l, p: p}
+	c := &deadlineChecker{l: l, p: p, ix: indexOf(p), covered: map[*ast.BlockStmt]bool{}}
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.FuncDecl:
 				if n.Body != nil && hasCtxParam(p, n.Type) {
 					c.checkBody(n.Body)
-					return false // checkBody already covered nested closures
 				}
 			case *ast.FuncLit:
 				if hasCtxParam(p, n.Type) {
 					c.checkBody(n.Body)
-					return false
 				}
 			}
 			return true
@@ -61,6 +60,8 @@ func runDeadlinePropagation(l *Loader, p *Package) []Finding {
 type deadlineChecker struct {
 	l        *Loader
 	p        *Package
+	ix       *pkgIndex
+	covered  map[*ast.BlockStmt]bool
 	findings []Finding
 }
 
@@ -72,29 +73,53 @@ func (c *deadlineChecker) report(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// checkBody flags deadline-dropping RPCs anywhere under body.
+// checkBody flags deadline-dropping RPCs on the reachable paths of
+// body's CFG, recursing into nested function literals (where the
+// context parameter is still in scope). The covered set keeps a
+// closure checked through its enclosing function from being reported
+// twice when it declares a context parameter of its own.
 func (c *deadlineChecker) checkBody(body *ast.BlockStmt) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		ce, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+	if c.covered[body] {
+		return
+	}
+	c.covered[body] = true
+	g := c.ix.cfgOf(body)
+	reach := g.reachable()
+	for _, blk := range g.blocks {
+		if !reach[blk] {
+			continue
 		}
-		se, ok := ce.Fun.(*ast.SelectorExpr)
-		if !ok || !deadlineFamily[se.Sel.Name] || c.p.Info.Selections[se] == nil {
-			return true
-		}
-		switch se.Sel.Name {
-		case "RPC":
-			c.report(ce.Pos(),
-				"RPC drops the in-scope context; use RPCContext(ctx, ...)")
-		default:
-			if len(ce.Args) > 0 && isFreshContext(c.p, ce.Args[0]) {
-				c.report(ce.Args[0].Pos(),
-					"%s given a fresh context while the caller's is in scope", se.Sel.Name)
+		for _, o := range blk.ops {
+			for _, h := range o.headNodes() {
+				inspectHead(h, func(n ast.Node) bool {
+					if ce, ok := n.(*ast.CallExpr); ok {
+						c.checkCall(ce)
+					}
+					return true
+				})
+				for _, fl := range funcLitsIn(h) {
+					c.checkBody(fl.Body)
+				}
 			}
 		}
-		return true
-	})
+	}
+}
+
+func (c *deadlineChecker) checkCall(ce *ast.CallExpr) {
+	se, ok := ce.Fun.(*ast.SelectorExpr)
+	if !ok || !deadlineFamily[se.Sel.Name] || c.p.Info.Selections[se] == nil {
+		return
+	}
+	switch se.Sel.Name {
+	case "RPC":
+		c.report(ce.Pos(),
+			"RPC drops the in-scope context; use RPCContext(ctx, ...)")
+	default:
+		if len(ce.Args) > 0 && isFreshContext(c.p, ce.Args[0]) {
+			c.report(ce.Args[0].Pos(),
+				"%s given a fresh context while the caller's is in scope", se.Sel.Name)
+		}
+	}
 }
 
 // hasCtxParam reports whether ft declares a context.Context parameter.

@@ -13,7 +13,7 @@ import (
 func TestDirectives(t *testing.T) {
 	l := fixtureLoader(t)
 	p := loadFixture(t, l, "directives")
-	findings := runAll(l, []*Package{p})
+	findings, stats := runAll(l, []*Package{p})
 
 	var unknown, noReason, unsuppressed int
 	for _, f := range findings {
@@ -36,5 +36,17 @@ func TestDirectives(t *testing.T) {
 	}
 	if unsuppressed != 1 {
 		t.Errorf("finding under malformed directive: reported %d times, want 1", unsuppressed)
+	}
+
+	// Suppressions are counted per pass (the -stats view CI prints).
+	wantSuppressed := map[string]int{
+		wireHygieneName:      2, // line-above and same-line constants
+		"pool-ownership":     1, // double release waived in-fixture
+		"errno-completeness": 1, // missing default waived in-fixture
+	}
+	for pass, want := range wantSuppressed {
+		if got := stats[pass].suppressed; got != want {
+			t.Errorf("stats[%s].suppressed = %d, want %d", pass, got, want)
+		}
 	}
 }

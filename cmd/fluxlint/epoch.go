@@ -21,7 +21,6 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
-	"go/types"
 	"regexp"
 )
 
@@ -40,18 +39,10 @@ var epochName = regexp.MustCompile(`(?i)epoch`)
 var accountingCall = regexp.MustCompile(`^(Inc|Add)$|(?i)log|print|fatal`)
 
 func runEpochDiscipline(l *Loader, p *Package) []Finding {
-	c := &epochChecker{l: l, p: p, decls: map[types.Object]*ast.FuncDecl{}}
-	// Index this package's function declarations so accounting done in a
-	// helper (the broker's rejectEpoch pattern) is credited to callers.
-	for _, f := range p.Files {
-		for _, d := range f.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != nil {
-				if obj := p.Info.Defs[fd.Name]; obj != nil {
-					c.decls[obj] = fd
-				}
-			}
-		}
-	}
+	// The shared package index resolves same-package helpers, so
+	// accounting done in a helper (the broker's rejectEpoch pattern) is
+	// credited to callers.
+	c := &epochChecker{l: l, p: p, ix: indexOf(p)}
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			if ifs, ok := n.(*ast.IfStmt); ok {
@@ -66,7 +57,7 @@ func runEpochDiscipline(l *Loader, p *Package) []Finding {
 type epochChecker struct {
 	l        *Loader
 	p        *Package
-	decls    map[types.Object]*ast.FuncDecl
+	ix       *pkgIndex
 	findings []Finding
 }
 
@@ -151,7 +142,7 @@ func (c *epochChecker) accounts(node ast.Node, depth int) bool {
 			return false
 		}
 		if depth > 0 {
-			if fd := c.declOf(ce.Fun); fd != nil && fd.Body != nil && c.accounts(fd.Body, depth-1) {
+			if fd := c.ix.calleeDecl(ce.Fun); fd != nil && fd.Body != nil && c.accounts(fd.Body, depth-1) {
 				found = true
 				return false
 			}
@@ -159,22 +150,4 @@ func (c *epochChecker) accounts(node ast.Node, depth int) bool {
 		return true
 	})
 	return found
-}
-
-// declOf resolves a call target to its declaration in this package.
-func (c *epochChecker) declOf(fun ast.Expr) *ast.FuncDecl {
-	var id *ast.Ident
-	switch f := fun.(type) {
-	case *ast.Ident:
-		id = f
-	case *ast.SelectorExpr:
-		id = f.Sel
-	default:
-		return nil
-	}
-	obj := c.p.Info.Uses[id]
-	if obj == nil {
-		return nil
-	}
-	return c.decls[obj]
 }

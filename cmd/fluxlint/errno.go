@@ -16,7 +16,10 @@ package main
 // Send/Recv on a connection-shaped receiver, hides routing failures the
 // no-hang design depends on surfacing. Flagged shapes: the call as a
 // bare statement, `go`/`defer` of the call, and `_` in the error
-// position of an assignment.
+// position of an assignment. Rule 2 runs over the reachable ops of
+// each function's CFG (closures included), so a discard in code cut
+// off by return/panic is not reported; rule 1 is a naming-hygiene rule
+// and still covers every literal in the file.
 
 import (
 	"fmt"
@@ -46,32 +49,59 @@ var errnoBuilders = map[string]int{
 var errnoConstName = regexp.MustCompile(`^(Errno|errno[A-Z]|err[A-Z])`)
 
 func runErrnoDiscipline(l *Loader, p *Package) []Finding {
-	c := &errnoChecker{l: l, p: p}
+	c := &errnoChecker{l: l, p: p, ix: indexOf(p)}
 	for _, f := range p.Files {
+		// Rule 1: every literal in the file, reachable or not.
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
 				c.checkBuilder(n)
 			case *ast.CompositeLit:
 				c.checkRPCErrorLit(n)
-			case *ast.ExprStmt:
-				c.checkDiscarded(n.X, "result ignored")
-			case *ast.GoStmt:
-				c.checkDiscarded(n.Call, "error discarded by go statement")
-			case *ast.DeferStmt:
-				c.checkDiscarded(n.Call, "error discarded by defer")
-			case *ast.AssignStmt:
-				c.checkBlankError(n)
 			}
 			return true
 		})
+		// Rule 2: reachable ops only (closures included via recursion).
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					reachableOps(c.ix, d.Body, c.checkOp)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							for _, fl := range funcLitsIn(v) {
+								reachableOps(c.ix, fl.Body, c.checkOp)
+							}
+						}
+					}
+				}
+			}
+		}
 	}
 	return c.findings
+}
+
+// checkOp applies rule 2 to one reachable CFG op.
+func (c *errnoChecker) checkOp(o op) {
+	switch n := o.node.(type) {
+	case *ast.ExprStmt:
+		c.checkDiscarded(n.X, "result ignored")
+	case *ast.GoStmt:
+		c.checkDiscarded(n.Call, "error discarded by go statement")
+	case *ast.DeferStmt:
+		c.checkDiscarded(n.Call, "error discarded by defer")
+	case *ast.AssignStmt:
+		c.checkBlankError(n)
+	}
 }
 
 type errnoChecker struct {
 	l        *Loader
 	p        *Package
+	ix       *pkgIndex
 	findings []Finding
 }
 

@@ -103,3 +103,11 @@ func TestDeadlinePropagationFixture(t *testing.T) {
 func TestFsyncDisciplineFixture(t *testing.T) {
 	checkPassFixture(t, fsyncDisciplinePass, "fsync")
 }
+
+func TestPoolOwnershipFixture(t *testing.T) {
+	checkPassFixture(t, poolOwnershipPass, "poolown")
+}
+
+func TestErrnoCompletenessFixture(t *testing.T) {
+	checkPassFixture(t, errnoCompletenessPass, "errnocomplete")
+}

@@ -18,6 +18,12 @@ package main
 //     function writes through the same variable — read-only opens keep
 //     the idiomatic `defer f.Close()`.
 //
+// "Writes through" is interprocedural within the package (summary.go):
+// a handle returned by a same-package helper that wrote it, or passed
+// to a same-package helper that writes its parameter, is a written
+// handle here too — `defer f.Close()` after `f, _ := createLog(...)`
+// does not escape the rule just because the Write lives in the helper.
+//
 // `_ = f.Close()` is an explicit, visible discard (the error is already
 // being superseded, e.g. on an error path) and is not flagged.
 
@@ -48,7 +54,7 @@ var fileWriteMethods = map[string]bool{
 }
 
 func runFsyncDiscipline(l *Loader, p *Package) []Finding {
-	c := &fsyncChecker{l: l, p: p}
+	c := &fsyncChecker{l: l, p: p, ix: indexOf(p)}
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			fd, ok := n.(*ast.FuncDecl)
@@ -65,6 +71,7 @@ func runFsyncDiscipline(l *Loader, p *Package) []Finding {
 type fsyncChecker struct {
 	l        *Loader
 	p        *Package
+	ix       *pkgIndex
 	findings []Finding
 }
 
@@ -80,24 +87,11 @@ func (c *fsyncChecker) report(pos token.Pos, format string, args ...any) {
 // the function with a deferred close in a closure, or vice versa, is
 // still the same handle's lifecycle).
 func (c *fsyncChecker) checkFunc(body *ast.BlockStmt) {
-	// Pass 1: which file-like variables does this function write through?
-	written := map[types.Object]bool{}
-	ast.Inspect(body, func(n ast.Node) bool {
-		ce, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		se, ok := ce.Fun.(*ast.SelectorExpr)
-		if !ok || !fileWriteMethods[se.Sel.Name] || !c.fileLike(se) {
-			return true
-		}
-		if obj := c.recvObj(se.X); obj != nil {
-			written[obj] = true
-		}
-		return true
-	})
+	// Which file-like variables does this function write through,
+	// directly or via same-package helpers (summary layer)?
+	written := c.ix.writtenHandles(body)
 
-	// Pass 2: discarded Sync/Close on those handles.
+	// Discarded Sync/Close on those handles.
 	ast.Inspect(body, func(n ast.Node) bool {
 		var ce *ast.CallExpr
 		switch n := n.(type) {
@@ -112,14 +106,14 @@ func (c *fsyncChecker) checkFunc(body *ast.BlockStmt) {
 			return true
 		}
 		se, ok := ce.Fun.(*ast.SelectorExpr)
-		if !ok || !c.fileLike(se) {
+		if !ok || !fileLike(c.p, se) {
 			return true
 		}
 		switch se.Sel.Name {
 		case "Sync":
 			c.report(ce.Pos(), "Sync error discarded: a failed fsync means the data is not durable")
 		case "Close":
-			if obj := c.recvObj(se.X); obj != nil && written[obj] {
+			if obj := recvObj(c.p, se.X); obj != nil && written[obj] {
 				c.report(ce.Pos(), "Close error discarded on a written file: the last write-back error is lost")
 			}
 		}
@@ -129,8 +123,8 @@ func (c *fsyncChecker) checkFunc(body *ast.BlockStmt) {
 
 // fileLike reports whether se is a method call on a value whose method
 // set includes Write-or-Append, Sync, and Close.
-func (c *fsyncChecker) fileLike(se *ast.SelectorExpr) bool {
-	sel := c.p.Info.Selections[se]
+func fileLike(p *Package, se *ast.SelectorExpr) bool {
+	sel := p.Info.Selections[se]
 	if sel == nil || sel.Kind() != types.MethodVal {
 		return false
 	}
@@ -148,14 +142,14 @@ func (c *fsyncChecker) fileLike(se *ast.SelectorExpr) bool {
 // recvObj resolves the receiver expression to a stable types.Object so
 // writes and closes through the same variable (or same struct field)
 // correlate. Unresolvable receivers (e.g. a call result) return nil.
-func (c *fsyncChecker) recvObj(e ast.Expr) types.Object {
+func recvObj(p *Package, e ast.Expr) types.Object {
 	switch e := e.(type) {
 	case *ast.Ident:
-		return c.p.Info.ObjectOf(e)
+		return p.Info.ObjectOf(e)
 	case *ast.SelectorExpr:
-		return c.p.Info.ObjectOf(e.Sel)
+		return p.Info.ObjectOf(e.Sel)
 	case *ast.ParenExpr:
-		return c.recvObj(e.X)
+		return recvObj(p, e.X)
 	}
 	return nil
 }

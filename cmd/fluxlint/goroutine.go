@@ -14,7 +14,9 @@ package main
 //     waiting for it, bounding its lifetime)
 //
 // Named-function goroutines (`go c.writeLoop()`) are not checked: their
-// termination is the callee's contract and typically encapsulated.
+// termination is the callee's contract and typically encapsulated. Only
+// spawns on reachable CFG paths are checked: a `go` after an
+// unconditional return cannot leak.
 
 import (
 	"go/ast"
@@ -31,26 +33,44 @@ var goroutineLifecyclePass = Pass{
 }
 
 func runGoroutineLifecycle(l *Loader, p *Package) []Finding {
+	ix := indexOf(p)
 	var out []Finding
+	checkOp := func(o op) {
+		gs, ok := o.node.(*ast.GoStmt)
+		if !ok {
+			return
+		}
+		fl, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return
+		}
+		if !lifecycleTied(p.Info, fl.Body) {
+			out = append(out, Finding{
+				Pass: goroutineLifecycleName,
+				Pos:  l.Fset.Position(gs.Pos()),
+				Msg:  "goroutine has no lifecycle tie (no WaitGroup.Done, channel op, or select)",
+			})
+		}
+	}
 	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			gs, ok := n.(*ast.GoStmt)
-			if !ok {
-				return true
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					reachableOps(ix, d.Body, checkOp)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							for _, fl := range funcLitsIn(v) {
+								reachableOps(ix, fl.Body, checkOp)
+							}
+						}
+					}
+				}
 			}
-			fl, ok := gs.Call.Fun.(*ast.FuncLit)
-			if !ok {
-				return true
-			}
-			if !lifecycleTied(p.Info, fl.Body) {
-				out = append(out, Finding{
-					Pass: goroutineLifecycleName,
-					Pos:  l.Fset.Position(gs.Pos()),
-					Msg:  "goroutine has no lifecycle tie (no WaitGroup.Done, channel op, or select)",
-				})
-			}
-			return true
-		})
+		}
 	}
 	return out
 }

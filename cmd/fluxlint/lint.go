@@ -47,6 +47,8 @@ var passes = []Pass{
 	wireHygienePass,
 	deadlinePropagationPass,
 	fsyncDisciplinePass,
+	poolOwnershipPass,
+	errnoCompletenessPass,
 }
 
 // directive is one parsed //fluxlint:ignore comment.
@@ -93,16 +95,36 @@ func fileDirectives(fset *token.FileSet, f *ast.File) ([]directive, []Finding) {
 	return dirs, bad
 }
 
+// passStats counts one pass's findings across a run: kept survived to
+// the report, suppressed were waived by an ignore directive.
+type passStats struct {
+	kept, suppressed int
+}
+
 // runAll executes every pass over the packages, applies directives, and
-// returns surviving findings sorted by position.
-func runAll(l *Loader, pkgs []*Package) []Finding {
+// returns surviving findings sorted by position, plus per-pass counts
+// (keyed by pass name; "directive" counts malformed ignores).
+func runAll(l *Loader, pkgs []*Package) ([]Finding, map[string]passStats) {
 	var out []Finding
+	stats := map[string]passStats{}
+	bump := func(pass string, suppressed bool) {
+		s := stats[pass]
+		if suppressed {
+			s.suppressed++
+		} else {
+			s.kept++
+		}
+		stats[pass] = s
+	}
 	for _, p := range pkgs {
 		// suppress[file][line][pass]
 		suppress := map[string]map[int]map[string]bool{}
 		for _, f := range p.Files {
 			dirs, bad := fileDirectives(l.Fset, f)
 			out = append(out, bad...)
+			for range bad {
+				bump("directive", false)
+			}
 			file := l.Fset.Position(f.Pos()).Filename
 			for _, d := range dirs {
 				if suppress[file] == nil {
@@ -118,8 +140,10 @@ func runAll(l *Loader, pkgs []*Package) []Finding {
 			for _, f := range pass.Run(l, p) {
 				lines := suppress[f.Pos.Filename]
 				if lines != nil && (lines[f.Pos.Line][f.Pass] || lines[f.Pos.Line-1][f.Pass]) {
+					bump(f.Pass, true)
 					continue
 				}
+				bump(f.Pass, false)
 				out = append(out, f)
 			}
 		}
@@ -134,7 +158,7 @@ func runAll(l *Loader, pkgs []*Package) []Finding {
 		}
 		return a.Pass < b.Pass
 	})
-	return out
+	return out, stats
 }
 
 // ---- shared type helpers used by several passes ----

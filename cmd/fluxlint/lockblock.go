@@ -7,12 +7,17 @@ package main
 // is that mailboxes and send queues are unbounded precisely so nothing
 // blocks under a lock; this pass is the mechanized form of that rule.
 //
-// The analysis is a conservative may-hold dataflow over each function
-// body: Lock/RLock adds the printed receiver expression to the held
-// set, Unlock/RUnlock removes it, `defer mu.Unlock()` holds to the end
-// of the function, and branches are analyzed on clones whose held sets
-// are unioned afterwards. While any lock may be held, these operations
-// are flagged:
+// The analysis is a flow-sensitive may-hold dataflow over the CFG of
+// each function body: Lock/RLock adds the printed receiver expression
+// to the held set, Unlock/RUnlock removes it, `defer mu.Unlock()`
+// holds to the end of the function, and join points union the facts of
+// their predecessors — so a lock released on only one arm of a branch
+// is still may-held below it, while one released on every arm is free.
+// Same-package calls apply the callee's lock summary (a helper that
+// returns holding s.mu makes the caller's set grow at the call site;
+// see summary.go), and immediately-invoked function literals are
+// analyzed inline under the caller's held set. While any lock may be
+// held, these operations are flagged:
 //
 //   - channel send statements and receive expressions
 //   - select without a default clause, and range over a channel
@@ -22,7 +27,9 @@ package main
 //     PublishEvent), which block on a routed round trip
 //
 // sync.Cond.Wait is deliberately not flagged: it unlocks while parked,
-// which is the one sanctioned way to wait under a mutex.
+// which is the one sanctioned way to wait under a mutex. Code
+// unreachable from the function entry (after return/panic) is not
+// analyzed.
 
 import (
 	"fmt"
@@ -42,22 +49,39 @@ var lockAcrossBlockPass = Pass{
 type lockOpKind int
 
 const (
-	opNone lockOpKind = iota
-	opLock
-	opUnlock
+	lockOpNone lockOpKind = iota
+	lockOpLock
+	lockOpUnlock
 )
 
-type lockChecker struct {
-	l        *Loader
-	p        *Package
-	findings []Finding
-	// inline marks function literals analyzed in their caller's lock
-	// context (immediately-invoked ones); the top-level sweep skips
-	// them. Every other literal runs on a fresh goroutine or at an
-	// unknown time and is analyzed with an empty held set.
-	inline map[*ast.FuncLit]bool
+// lockOpOf classifies e as a Lock/Unlock-style call on a tracked mutex
+// and returns the lock's identity (the printed receiver expression).
+func lockOpOf(p *Package, e ast.Expr) (key string, kind lockOpKind) {
+	ce, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", lockOpNone
+	}
+	se, ok := ce.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", lockOpNone
+	}
+	var k lockOpKind
+	switch se.Sel.Name {
+	case "Lock", "RLock":
+		k = lockOpLock
+	case "Unlock", "RUnlock":
+		k = lockOpUnlock
+	default:
+		return "", lockOpNone
+	}
+	if !isMutexMethodPkg(methodPkgPath(p.Info, se)) {
+		return "", lockOpNone
+	}
+	return types.ExprString(se.X), k
 }
 
+// heldSet is the dataflow fact: may-held lock keys with the position of
+// the acquiring call. nil is bottom (unreachable).
 type heldSet map[string]token.Pos
 
 func (h heldSet) clone() heldSet {
@@ -68,36 +92,71 @@ func (h heldSet) clone() heldSet {
 	return c
 }
 
-func (h heldSet) union(others ...heldSet) {
-	for _, o := range others {
-		for k, v := range o {
-			h[k] = v
+// anyHeld returns the smallest held lock name, for deterministic
+// messages.
+func (h heldSet) anyHeld() string {
+	best := ""
+	for k := range h {
+		if best == "" || k < best {
+			best = k
 		}
 	}
+	return best
 }
 
-// anyHeld returns an arbitrary held lock name for the message.
-func (h heldSet) anyHeld() string {
-	for k := range h {
-		return k
+func joinHeld(dst, src heldSet) heldSet {
+	if src == nil {
+		return dst
 	}
-	return ""
+	if dst == nil {
+		dst = heldSet{}
+	}
+	for k, v := range src {
+		if _, ok := dst[k]; !ok {
+			dst[k] = v
+		}
+	}
+	return dst
+}
+
+func equalHeld(a, b heldSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+type lockChecker struct {
+	l        *Loader
+	p        *Package
+	ix       *pkgIndex
+	findings []Finding
+	// inline marks function literals analyzed in their caller's lock
+	// context (immediately-invoked ones); the top-level sweep skips
+	// them. Every other literal runs on a fresh goroutine or at an
+	// unknown time and is analyzed with an empty held set.
+	inline map[*ast.FuncLit]bool
 }
 
 func runLockAcrossBlock(l *Loader, p *Package) []Finding {
-	c := &lockChecker{l: l, p: p, inline: map[*ast.FuncLit]bool{}}
+	c := &lockChecker{l: l, p: p, ix: indexOf(p), inline: map[*ast.FuncLit]bool{}}
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			c.stmts(fd.Body.List, heldSet{})
+			c.analyze(fd.Body, heldSet{}, true)
 		}
 		// Non-inline function literals start life with nothing held.
 		ast.Inspect(f, func(n ast.Node) bool {
 			if fl, ok := n.(*ast.FuncLit); ok && !c.inline[fl] {
-				c.stmts(fl.Body.List, heldSet{})
+				c.analyze(fl.Body, heldSet{}, true)
 			}
 			return true
 		})
@@ -113,205 +172,204 @@ func (c *lockChecker) report(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// lockOp classifies e as a Lock/Unlock-style call on a tracked mutex
-// and returns the lock's identity (the printed receiver expression).
-func (c *lockChecker) lockOp(e ast.Expr) (key string, kind lockOpKind) {
-	ce, ok := e.(*ast.CallExpr)
-	if !ok {
-		return "", opNone
+// analyze solves the may-hold dataflow over body starting from entry
+// and, when report is set, walks the reachable ops once more to emit
+// findings against the converged facts. The returned set is the fact
+// at function exit (what an immediately-invoked literal leaves its
+// caller holding).
+func (c *lockChecker) analyze(body *ast.BlockStmt, entry heldSet, report bool) heldSet {
+	g := c.ix.cfgOf(body)
+	facts, _ := solve(g, analysis[heldSet]{
+		dir:      forward,
+		boundary: func() heldSet { return entry.clone() },
+		bottom:   func() heldSet { return nil },
+		join:     joinHeld,
+		equal:    equalHeld,
+		transfer: func(b *block, in heldSet) heldSet {
+			fact := in.clone()
+			for _, o := range b.ops {
+				c.applyOp(o, fact, false)
+			}
+			return fact
+		},
+	})
+	if report {
+		reach := g.reachable()
+		for _, blk := range g.blocks {
+			if !reach[blk] {
+				continue
+			}
+			fact := facts[blk].clone()
+			for _, o := range blk.ops {
+				c.checkOp(o, fact)
+				c.applyOp(o, fact, true)
+			}
+		}
 	}
-	se, ok := ce.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return "", opNone
-	}
-	var k lockOpKind
-	switch se.Sel.Name {
-	case "Lock", "RLock":
-		k = opLock
-	case "Unlock", "RUnlock":
-		k = opUnlock
-	default:
-		return "", opNone
-	}
-	if !isMutexMethodPkg(methodPkgPath(c.p.Info, se)) {
-		return "", opNone
-	}
-	return types.ExprString(se.X), k
+	return facts[g.exit].clone()
 }
 
-func (c *lockChecker) stmts(list []ast.Stmt, held heldSet) {
-	for _, s := range list {
-		c.stmt(s, held)
-	}
-}
-
-func (c *lockChecker) stmt(s ast.Stmt, held heldSet) {
-	switch s := s.(type) {
+// applyOp applies one op's lock side effects to fact: direct lock ops,
+// inlined IIFE bodies, and same-package callee summaries.
+func (c *lockChecker) applyOp(o op, fact heldSet, report bool) {
+	switch n := o.node.(type) {
 	case *ast.ExprStmt:
-		if key, kind := c.lockOp(s.X); kind == opLock {
-			held[key] = s.Pos()
+		if key, kind := lockOpOf(c.p, n.X); kind == lockOpLock {
+			fact[key] = n.Pos()
 			return
-		} else if kind == opUnlock {
-			delete(held, key)
+		} else if kind == lockOpUnlock {
+			delete(fact, key)
 			return
 		}
 		// An immediately-invoked literal runs on this goroutine with the
-		// current locks held.
-		if ce, ok := s.X.(*ast.CallExpr); ok {
+		// current locks held; its exit fact is what we continue with.
+		if ce, ok := n.X.(*ast.CallExpr); ok {
 			if fl, ok := ce.Fun.(*ast.FuncLit); ok {
 				c.inline[fl] = true
-				for _, a := range ce.Args {
-					c.checkExpr(a, held)
+				exit := c.analyze(fl.Body, fact, report)
+				for k := range fact {
+					delete(fact, k)
 				}
-				c.stmts(fl.Body.List, held)
+				for k, v := range exit {
+					fact[k] = v
+				}
 				return
 			}
 		}
-		c.checkExpr(s.X, held)
-
-	case *ast.SendStmt:
-		if len(held) > 0 {
-			c.report(s.Pos(), "channel send while %s is held", held.anyHeld())
-		}
-		c.checkExpr(s.Chan, held)
-		c.checkExpr(s.Value, held)
+		c.applyCalls(n.X, fact)
 
 	case *ast.DeferStmt:
 		// defer mu.Unlock() means held to end of function: leave the set
-		// alone. Other deferred calls run at an unknowable lock state;
-		// their literals are analyzed by the top-level sweep.
-		if _, kind := c.lockOp(s.Call); kind != opNone {
+		// alone. Other deferred calls run at exit; their effects are not
+		// applied here (the summary layer accounts for them at exit).
+
+	case *ast.GoStmt:
+		// The spawned goroutine does not affect our lock state.
+
+	default:
+		for _, h := range o.headNodes() {
+			c.applyCalls(h, fact)
+		}
+	}
+}
+
+// applyCalls applies lock ops and callee lock summaries found in one
+// op head (function literals excluded: they run elsewhere).
+func (c *lockChecker) applyCalls(n ast.Node, fact heldSet) {
+	if n == nil {
+		return
+	}
+	inspectHead(n, func(m ast.Node) bool {
+		ce, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, kind := lockOpOf(c.p, ce); kind == lockOpLock {
+			fact[key] = ce.Pos()
+			return true
+		} else if kind == lockOpUnlock {
+			delete(fact, key)
+			return true
+		}
+		if _, isLit := ce.Fun.(*ast.FuncLit); isLit {
+			return true
+		}
+		if callee := c.ix.calleeDecl(ce.Fun); callee != nil {
+			applyLockSummary(c.ix, ce, callee, fact, nil)
+		}
+		return true
+	})
+}
+
+// checkOp reports blocking operations in one op against the current
+// held set.
+func (c *lockChecker) checkOp(o op, held heldSet) {
+	if o.kind == opComm {
+		// The comm op was accounted for by the select-head report.
+		return
+	}
+	switch n := o.node.(type) {
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			c.report(n.Pos(), "channel send while %s is held", held.anyHeld())
+		}
+		c.checkExpr(n.Chan, held)
+		c.checkExpr(n.Value, held)
+
+	case *ast.ExprStmt:
+		if _, kind := lockOpOf(c.p, n.X); kind != lockOpNone {
 			return
 		}
-		for _, a := range s.Call.Args {
+		c.checkExpr(n.X, held)
+
+	case *ast.DeferStmt:
+		// Deferred calls run at an unknowable lock state; only their
+		// arguments are evaluated here.
+		if _, kind := lockOpOf(c.p, n.Call); kind != lockOpNone {
+			return
+		}
+		for _, a := range n.Call.Args {
 			c.checkExpr(a, held)
 		}
 
 	case *ast.GoStmt:
-		// The spawned goroutine does not hold our locks; arguments are
-		// evaluated here though.
-		for _, a := range s.Call.Args {
+		for _, a := range n.Call.Args {
 			c.checkExpr(a, held)
 		}
 
-	case *ast.BlockStmt:
-		c.stmts(s.List, held)
-
-	case *ast.IfStmt:
-		if s.Init != nil {
-			c.stmt(s.Init, held)
-		}
-		c.checkExpr(s.Cond, held)
-		thenH := held.clone()
-		c.stmt(s.Body, thenH)
-		if s.Else != nil {
-			// Exactly one branch executes: the result is the union of the
-			// two outcomes, so a lock released on both paths is released.
-			elseH := held.clone()
-			c.stmt(s.Else, elseH)
-			for k := range held {
-				delete(held, k)
-			}
-			held.union(thenH, elseH)
-		} else {
-			held.union(thenH)
-		}
-
-	case *ast.ForStmt:
-		if s.Init != nil {
-			c.stmt(s.Init, held)
-		}
-		if s.Cond != nil {
-			c.checkExpr(s.Cond, held)
-		}
-		bodyH := held.clone()
-		c.stmts(s.Body.List, bodyH)
-		if s.Post != nil {
-			c.stmt(s.Post, bodyH)
-		}
-		held.union(bodyH)
-
-	case *ast.RangeStmt:
-		if len(held) > 0 && isChanType(c.p.Info.TypeOf(s.X)) {
-			c.report(s.Pos(), "range over channel while %s is held", held.anyHeld())
-		}
-		c.checkExpr(s.X, held)
-		bodyH := held.clone()
-		c.stmts(s.Body.List, bodyH)
-		held.union(bodyH)
-
 	case *ast.SelectStmt:
 		hasDefault := false
-		for _, cl := range s.Body.List {
+		for _, cl := range n.Body.List {
 			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
 				hasDefault = true
 			}
 		}
 		if len(held) > 0 && !hasDefault {
-			c.report(s.Pos(), "select without default while %s is held", held.anyHeld())
+			c.report(n.Pos(), "select without default while %s is held", held.anyHeld())
 		}
-		var branches []heldSet
-		for _, cl := range s.Body.List {
-			cc := cl.(*ast.CommClause)
-			h := held.clone()
-			// The comm op itself was accounted for by the select report;
-			// only the clause bodies need walking.
-			c.stmts(cc.Body, h)
-			branches = append(branches, h)
+
+	case *ast.RangeStmt:
+		if len(held) > 0 && isChanType(c.p.Info.TypeOf(n.X)) {
+			c.report(n.Pos(), "range over channel while %s is held", held.anyHeld())
 		}
-		held.union(branches...)
+		c.checkExpr(n.X, held)
+
+	case *ast.IfStmt:
+		c.checkExpr(n.Cond, held)
+
+	case *ast.ForStmt:
+		if n.Cond != nil {
+			c.checkExpr(n.Cond, held)
+		}
 
 	case *ast.SwitchStmt:
-		if s.Init != nil {
-			c.stmt(s.Init, held)
+		if n.Tag != nil {
+			c.checkExpr(n.Tag, held)
 		}
-		if s.Tag != nil {
-			c.checkExpr(s.Tag, held)
-		}
-		var branches []heldSet
-		for _, cl := range s.Body.List {
-			cc := cl.(*ast.CaseClause)
-			h := held.clone()
-			for _, e := range cc.List {
-				c.checkExpr(e, h)
-			}
-			c.stmts(cc.Body, h)
-			branches = append(branches, h)
-		}
-		held.union(branches...)
 
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			c.stmt(s.Init, held)
-		}
-		var branches []heldSet
-		for _, cl := range s.Body.List {
-			cc := cl.(*ast.CaseClause)
-			h := held.clone()
-			c.stmts(cc.Body, h)
-			branches = append(branches, h)
-		}
-		held.union(branches...)
-
-	case *ast.LabeledStmt:
-		c.stmt(s.Stmt, held)
-
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
+	case *ast.CaseClause:
+		for _, e := range n.List {
 			c.checkExpr(e, held)
 		}
-		for _, e := range s.Lhs {
+
+	case *ast.AssignStmt:
+		for _, e := range n.Rhs {
+			c.checkExpr(e, held)
+		}
+		for _, e := range n.Lhs {
 			c.checkExpr(e, held)
 		}
 
 	case *ast.ReturnStmt:
-		for _, e := range s.Results {
+		for _, e := range n.Results {
 			c.checkExpr(e, held)
 		}
 
+	case *ast.IncDecStmt:
+		c.checkExpr(n.X, held)
+
 	case *ast.DeclStmt:
-		c.checkExpr(nil, held) // no-op; declarations may carry values below
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
 			for _, spec := range gd.Specs {
 				if vs, ok := spec.(*ast.ValueSpec); ok {
 					for _, v := range vs.Values {
@@ -320,9 +378,6 @@ func (c *lockChecker) stmt(s ast.Stmt, held heldSet) {
 				}
 			}
 		}
-
-	default:
-		// IncDecStmt, BranchStmt, EmptyStmt: nothing blocking inside.
 	}
 }
 

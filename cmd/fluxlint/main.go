@@ -11,14 +11,21 @@
 //	wire-hygiene        wire topics/types go through wire constants
 //	deadline-propagation in-scope contexts are threaded into RPCs
 //	fsync-discipline    Sync/Close errors are checked on write paths
+//	pool-ownership      pooled messages obey the Handoff/Release contract
+//	errno-completeness  dispatch switches match wire.OpErrnos exactly
+//
+// The last two (and fsync-discipline's interprocedural half) run on the
+// shared CFG + dataflow core in cfg.go / dataflow.go / summary.go.
 //
 // Usage:
 //
-//	fluxlint [packages]
+//	fluxlint [-stats] [packages]
 //
 // with packages as ./... (default) or ./relative/dirs, run from within
-// the module. Exit status is 1 when findings (or malformed ignore
-// directives) survive; see lint.go for the //fluxlint:ignore form.
+// the module. -stats prints per-pass kept/suppressed finding counts to
+// stderr (the CI lint step uses it). Exit status is 1 when findings (or
+// malformed ignore directives) survive; see lint.go for the
+// //fluxlint:ignore form.
 package main
 
 import (
@@ -69,6 +76,17 @@ func run(args []string) error {
 	}
 	l := NewLoader(modPath, modDir)
 
+	showStats := false
+	filtered := args[:0:0]
+	for _, a := range args {
+		if a == "-stats" || a == "--stats" {
+			showStats = true
+			continue
+		}
+		filtered = append(filtered, a)
+	}
+	args = filtered
+
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
@@ -108,13 +126,23 @@ func run(args []string) error {
 		}
 		pkgs = append(pkgs, p)
 	}
-	findings := runAll(l, pkgs)
+	findings, stats := runAll(l, pkgs)
 	for _, f := range findings {
 		rel, err := filepath.Rel(modDir, f.Pos.Filename)
 		if err == nil {
 			f.Pos.Filename = rel
 		}
 		fmt.Println(f)
+	}
+	if showStats {
+		fmt.Fprintf(os.Stderr, "fluxlint: %d package(s), per-pass findings (kept/suppressed):\n", len(pkgs))
+		for _, pass := range passes {
+			s := stats[pass.Name]
+			fmt.Fprintf(os.Stderr, "  %-22s %d/%d\n", pass.Name, s.kept, s.suppressed)
+		}
+		if s, ok := stats["directive"]; ok {
+			fmt.Fprintf(os.Stderr, "  %-22s %d/%d\n", "directive", s.kept, s.suppressed)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "fluxlint: %d finding(s)\n", len(findings))

@@ -1,0 +1,693 @@
+package main
+
+// pool-ownership: flow-sensitive lifecycle checking for pooled
+// wire.Message values (the PR-5 ownership protocol). The protocol:
+// Handoff() arms a message and transfers ownership to whichever
+// component the message is then handed to (the transport writer
+// releases it after encoding); Release() recycles it; Detach() severs
+// any alias into a pooled receive buffer. The invariants, enforced as
+// a forward dataflow over each function's CFG:
+//
+//   - after v.Handoff(), the sender gets exactly one sanctioned
+//     consumption: passing v to a call (or storing it into a composite
+//     literal bound for one). Any other touch — a field read, another
+//     method call, a second pass, a Release — is a use of memory the
+//     transport may already have recycled.
+//   - after v.Release(), any use (including a second Release) is a
+//     use-after-free in waiting: the debuglock build panics here at
+//     runtime; this pass catches it at lint time.
+//   - a function that Releases v on some path must settle v's
+//     ownership on every path: each use of v (re)opens an obligation
+//     that only Release, Detach, a channel send, returning v, handing
+//     it off, or rebinding v discharges. A `return err` between the
+//     use and the Release is the transport leak this pass exists for.
+//     `defer v.Release()` settles the obligation wholesale.
+//   - the payload-retention rule, relocated from wire-hygiene:
+//     a handler storing a *wire.Message parameter's .Payload into a
+//     struct field, map entry, or appended slice without a Detach()
+//     call anywhere in the function retains memory that aliases a
+//     pooled receive buffer.
+//
+// Paths that diverge (one arm releases, another does not) join to an
+// unknown state that reports nothing by itself but keeps the release
+// obligation alive — may-analysis: a finding means some path really
+// reaches the bad state. The wire package itself is exempt: it
+// implements the pool and must touch armed messages.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const poolOwnershipName = "pool-ownership"
+
+var poolOwnershipPass = Pass{
+	Name: poolOwnershipName,
+	Doc:  "flag pooled-message lifecycle violations (touch-after-Handoff, leaks, double Release)",
+	Run:  runPoolOwnership,
+}
+
+// pLife is one message variable's lifecycle state.
+type pLife uint8
+
+const (
+	pNormal   pLife = iota // owned here, nothing special observed
+	pArmed                 // Handoff() called; next call-arg consumes it
+	pConsumed              // armed and handed to its consumer
+	pReleased              // Release() called
+	pTop                   // paths disagree; report nothing, keep obligations
+)
+
+// poolState is the per-variable fact: lifecycle state plus an open
+// release obligation (position of the use that opened it, or NoPos).
+type poolState struct {
+	st      pLife
+	pending token.Pos
+}
+
+// poolFact maps tracked *wire.Message variables to their state. nil is
+// bottom (unreachable).
+type poolFact map[types.Object]poolState
+
+func (f poolFact) clone() poolFact {
+	c := make(poolFact, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+func joinPool(dst, src poolFact) poolFact {
+	if src == nil {
+		return dst
+	}
+	if dst == nil {
+		dst = poolFact{}
+	}
+	for obj, s := range src {
+		d, ok := dst[obj]
+		if !ok {
+			dst[obj] = s
+			continue
+		}
+		if d.st != s.st {
+			d.st = pTop
+		}
+		if d.pending == token.NoPos {
+			d.pending = s.pending
+		}
+		dst[obj] = d
+	}
+	return dst
+}
+
+func equalPool(a, b poolFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for obj, sa := range a {
+		sb, ok := b[obj]
+		if !ok || sa.st != sb.st || (sa.pending != token.NoPos) != (sb.pending != token.NoPos) {
+			return false
+		}
+	}
+	return true
+}
+
+func runPoolOwnership(l *Loader, p *Package) []Finding {
+	if p.Types.Name() == "wire" {
+		return nil // the pool implementation owns these internals
+	}
+	c := &poolChecker{l: l, p: p, ix: indexOf(p)}
+	forEachFuncBody(p, func(ft *ast.FuncType, body *ast.BlockStmt) {
+		c.analyze(body)
+		c.checkPayloadRetention(ft.Params, body)
+	})
+	return c.findings
+}
+
+type poolChecker struct {
+	l        *Loader
+	p        *Package
+	ix       *pkgIndex
+	findings []Finding
+
+	// per-function analysis state
+	releasers map[types.Object]bool // vars with a v.Release() in this body
+	deferred  map[types.Object]bool // vars with a defer v.Release()
+}
+
+func (c *poolChecker) report(pos token.Pos, format string, args ...any) {
+	c.findings = append(c.findings, Finding{
+		Pass: poolOwnershipName,
+		Pos:  c.l.Fset.Position(pos),
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// tracked resolves id to a *wire.Message variable object, or nil.
+func (c *poolChecker) tracked(id *ast.Ident) types.Object {
+	obj := c.p.Info.ObjectOf(id)
+	if obj == nil {
+		return nil
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return nil
+	}
+	if !isWireMessagePtr(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// varName shows a tracked object in messages.
+func varName(obj types.Object) string { return obj.Name() }
+
+// obligations prescans body (own statements only, literals excluded —
+// they are analyzed as functions of their own) for Release calls that
+// establish a release obligation, and deferred Releases that settle it
+// wholesale.
+func (c *poolChecker) obligations(body *ast.BlockStmt) {
+	c.releasers = map[types.Object]bool{}
+	c.deferred = map[types.Object]bool{}
+	var scan func(n ast.Node, inDefer bool)
+	scan = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				scan(n.Call, true)
+				return false
+			case *ast.CallExpr:
+				se, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || se.Sel.Name != "Release" {
+					return true
+				}
+				id, ok := se.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if obj := c.tracked(id); obj != nil {
+					if inDefer {
+						c.deferred[obj] = true
+					} else {
+						c.releasers[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	scan(body, false)
+}
+
+// analyze runs the lifecycle dataflow over one function body.
+func (c *poolChecker) analyze(body *ast.BlockStmt) {
+	c.obligations(body)
+	g := c.ix.cfgOf(body)
+	facts, _ := solve(g, analysis[poolFact]{
+		dir:      forward,
+		boundary: func() poolFact { return poolFact{} },
+		bottom:   func() poolFact { return nil },
+		join:     joinPool,
+		equal:    equalPool,
+		transfer: func(b *block, in poolFact) poolFact {
+			fact := in.clone()
+			for _, o := range b.ops {
+				c.applyOp(o, fact, false)
+			}
+			return fact
+		},
+	})
+	reach := g.reachable()
+	for _, blk := range g.blocks {
+		if !reach[blk] {
+			continue
+		}
+		fact := facts[blk].clone()
+		lastWasExit := false
+		for _, o := range blk.ops {
+			c.applyOp(o, fact, true)
+			switch n := o.node.(type) {
+			case *ast.ReturnStmt:
+				c.checkPendingAtExit(fact, n.Pos())
+				lastWasExit = true
+			case *ast.ExprStmt:
+				lastWasExit = isPanicCall(n.X)
+			default:
+				lastWasExit = false
+			}
+		}
+		// A block that falls off the end of the function (no explicit
+		// return) is an exit path too.
+		if !lastWasExit {
+			for _, s := range blk.succs {
+				if s == g.exit {
+					c.checkPendingAtExit(fact, body.Rbrace)
+					break
+				}
+			}
+		}
+	}
+}
+
+// checkPendingAtExit reports open release obligations on one exit path.
+func (c *poolChecker) checkPendingAtExit(fact poolFact, pos token.Pos) {
+	for obj, s := range fact {
+		if s.pending != token.NoPos && !c.deferred[obj] {
+			use := c.l.Fset.Position(s.pending)
+			c.report(pos,
+				"message %s is not Released on this path (used at line %d; Release exists on another path)",
+				varName(obj), use.Line)
+		}
+	}
+}
+
+// applyOp interprets one op's message events against fact.
+func (c *poolChecker) applyOp(o op, fact poolFact, report bool) {
+	switch o.kind {
+	case opRange:
+		rs := o.node.(*ast.RangeStmt)
+		c.exprEvents(rs.X, fact, report)
+		c.define(rs.Key, fact)
+		c.define(rs.Value, fact)
+		return
+	case opComm:
+		cc := o.node.(*ast.CommClause)
+		switch comm := cc.Comm.(type) {
+		case *ast.AssignStmt:
+			c.assign(comm, fact, report)
+		case *ast.ExprStmt:
+			c.exprEvents(comm.X, fact, report)
+		case *ast.SendStmt:
+			c.sendStmt(comm, fact, report)
+		}
+		return
+	}
+	switch n := o.node.(type) {
+	case *ast.AssignStmt:
+		c.assign(n, fact, report)
+	case *ast.SendStmt:
+		c.sendStmt(n, fact, report)
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+				if obj := c.tracked(id); obj != nil {
+					s := fact[obj]
+					switch s.st {
+					case pArmed, pConsumed:
+						if report {
+							c.report(res.Pos(), "message %s returned after Handoff (its new owner may already be releasing it)", varName(obj))
+						}
+					case pReleased:
+						if report {
+							c.report(res.Pos(), "message %s returned after Release", varName(obj))
+						}
+					}
+					delete(fact, obj) // ownership settles with the caller
+					continue
+				}
+			}
+			c.exprEvents(res, fact, report)
+		}
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred/spawned calls run at another time; the prescan
+		// accounts for defer v.Release().
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.exprEvents(v, fact, report)
+					}
+					for _, name := range vs.Names {
+						c.define(name, fact)
+					}
+				}
+			}
+		}
+	default:
+		for _, h := range o.headNodes() {
+			if e, ok := h.(ast.Expr); ok {
+				c.exprEvents(e, fact, report)
+			} else if st, ok := h.(ast.Stmt); ok {
+				if es, ok := st.(*ast.ExprStmt); ok {
+					c.exprEvents(es.X, fact, report)
+				}
+			}
+		}
+	}
+}
+
+// assign processes RHS uses then LHS definitions.
+func (c *poolChecker) assign(as *ast.AssignStmt, fact poolFact, report bool) {
+	// A fresh pooled message from wire.Get()/wire.UnmarshalPooled(..)
+	// rebinding aside, every RHS expression contributes use events.
+	for _, rhs := range as.Rhs {
+		c.exprEvents(rhs, fact, report)
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			c.define(id, fact)
+			continue
+		}
+		// v.Field = x and friends dereference v.
+		c.exprEvents(lhs, fact, report)
+	}
+}
+
+func (c *poolChecker) sendStmt(n *ast.SendStmt, fact poolFact, report bool) {
+	c.exprEvents(n.Chan, fact, report)
+	c.transferEvent(n.Value, fact, report)
+}
+
+// transferEvent handles a tracked identifier crossing an ownership
+// boundary that fully consumes it: a channel send or an append into a
+// message collection. An armed message may cross exactly once (this IS
+// the handoff's consumption); afterwards the variable must not be
+// touched, so it moves to pConsumed rather than vanishing.
+func (c *poolChecker) transferEvent(e ast.Expr, fact poolFact, report bool) {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := c.tracked(id); obj != nil {
+			s := fact[obj]
+			switch s.st {
+			case pArmed:
+				fact[obj] = poolState{st: pConsumed}
+			case pConsumed:
+				if report {
+					c.report(e.Pos(), "armed message %s passed to another call after its handoff", varName(obj))
+				}
+			case pReleased:
+				if report {
+					c.report(e.Pos(), "message %s used after Release", varName(obj))
+				}
+			default:
+				delete(fact, obj) // ownership crosses the boundary
+			}
+			return
+		}
+	}
+	c.exprEvents(e, fact, report)
+}
+
+// define rebinds e (an identifier, possibly nil/blank) to a fresh state.
+func (c *poolChecker) define(e ast.Expr, fact poolFact) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	if obj := c.tracked(id); obj != nil {
+		delete(fact, obj)
+	}
+}
+
+// exprEvents walks one expression for message events: method calls on
+// tracked variables (Handoff/Release/Detach and ordinary touches),
+// tracked variables passed to calls or stored into composite literals,
+// and field accesses. Function literals are skipped (analyzed on their
+// own); bare identifier reads (pointer-value copies, nil comparisons)
+// are not uses — reading the pointer is safe, dereferencing it is not.
+func (c *poolChecker) exprEvents(e ast.Expr, fact poolFact, report bool) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		c.exprEvents(e.X, fact, report)
+
+	case *ast.FuncLit:
+		// Analyzed independently.
+
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			if obj := c.tracked(id); obj != nil {
+				c.derefUse(obj, e.Pos(), fact, report)
+				return
+			}
+		}
+		c.exprEvents(e.X, fact, report)
+
+	case *ast.StarExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if obj := c.tracked(id); obj != nil {
+				c.derefUse(obj, e.Pos(), fact, report)
+				return
+			}
+		}
+		c.exprEvents(e.X, fact, report)
+
+	case *ast.CallExpr:
+		if se, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := se.X.(*ast.Ident); ok {
+				if obj := c.tracked(id); obj != nil {
+					c.methodCall(obj, se.Sel.Name, e, fact, report)
+					for _, a := range e.Args {
+						c.argEvent(a, fact, report)
+					}
+					return
+				}
+			}
+		}
+		// append(collection, m) stores the message for a later consumer
+		// (the queue pattern): a full ownership transfer, not a use that
+		// leaves a release obligation behind.
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := c.p.Info.Uses[id].(*types.Builtin); isBuiltin && len(e.Args) > 0 {
+				c.exprEvents(e.Args[0], fact, report)
+				for _, a := range e.Args[1:] {
+					c.transferEvent(a, fact, report)
+				}
+				return
+			}
+		}
+		c.exprEvents(e.Fun, fact, report)
+		for _, a := range e.Args {
+			c.argEvent(a, fact, report)
+		}
+
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			c.argEvent(v, fact, report)
+		}
+
+	case *ast.UnaryExpr:
+		c.exprEvents(e.X, fact, report)
+	case *ast.BinaryExpr:
+		c.exprEvents(e.X, fact, report)
+		c.exprEvents(e.Y, fact, report)
+	case *ast.IndexExpr:
+		c.exprEvents(e.X, fact, report)
+		c.exprEvents(e.Index, fact, report)
+	case *ast.SliceExpr:
+		c.exprEvents(e.X, fact, report)
+		c.exprEvents(e.Low, fact, report)
+		c.exprEvents(e.High, fact, report)
+		c.exprEvents(e.Max, fact, report)
+	case *ast.TypeAssertExpr:
+		c.exprEvents(e.X, fact, report)
+	case *ast.KeyValueExpr:
+		c.exprEvents(e.Key, fact, report)
+		c.exprEvents(e.Value, fact, report)
+	}
+}
+
+// argEvent handles an expression in argument (or composite-element)
+// position: a tracked identifier there flows into another component.
+func (c *poolChecker) argEvent(a ast.Expr, fact poolFact, report bool) {
+	if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+		if obj := c.tracked(id); obj != nil {
+			s := fact[obj]
+			switch s.st {
+			case pArmed:
+				// The one sanctioned post-Handoff consumption.
+				s.st = pConsumed
+				s.pending = token.NoPos
+				fact[obj] = s
+			case pConsumed:
+				if report {
+					c.report(a.Pos(), "armed message %s passed to another call after its handoff", varName(obj))
+				}
+			case pReleased:
+				if report {
+					c.report(a.Pos(), "message %s used after Release", varName(obj))
+				}
+			default:
+				if c.releasers[obj] && s.pending == token.NoPos {
+					s.pending = a.Pos()
+					fact[obj] = s
+				}
+			}
+			return
+		}
+	}
+	c.exprEvents(a, fact, report)
+}
+
+// derefUse handles a read/write through a tracked variable.
+func (c *poolChecker) derefUse(obj types.Object, pos token.Pos, fact poolFact, report bool) {
+	s := fact[obj]
+	switch s.st {
+	case pArmed, pConsumed:
+		if report {
+			c.report(pos, "message %s touched after Handoff (the transport may have released it)", varName(obj))
+		}
+	case pReleased:
+		if report {
+			c.report(pos, "message %s used after Release", varName(obj))
+		}
+	default:
+		if c.releasers[obj] && s.pending == token.NoPos {
+			s.pending = pos
+			fact[obj] = s
+		}
+	}
+}
+
+// methodCall handles a method call on a tracked variable.
+func (c *poolChecker) methodCall(obj types.Object, name string, ce *ast.CallExpr, fact poolFact, report bool) {
+	s := fact[obj]
+	switch name {
+	case "Handoff":
+		switch s.st {
+		case pArmed, pConsumed:
+			if report {
+				c.report(ce.Pos(), "message %s handed off twice", varName(obj))
+			}
+		case pReleased:
+			if report {
+				c.report(ce.Pos(), "message %s used after Release", varName(obj))
+			}
+		default:
+			fact[obj] = poolState{st: pArmed}
+		}
+	case "Release":
+		switch s.st {
+		case pReleased:
+			if report {
+				c.report(ce.Pos(), "message %s released twice (the debuglock build panics here)", varName(obj))
+			}
+		case pArmed, pConsumed:
+			if report {
+				c.report(ce.Pos(), "message %s released after Handoff; its consumer owns the release now", varName(obj))
+			}
+		default:
+			fact[obj] = poolState{st: pReleased}
+		}
+	case "Detach":
+		switch s.st {
+		case pArmed, pConsumed:
+			if report {
+				c.report(ce.Pos(), "message %s touched after Handoff (the transport may have released it)", varName(obj))
+			}
+		case pReleased:
+			if report {
+				c.report(ce.Pos(), "message %s used after Release", varName(obj))
+			}
+		default:
+			delete(fact, obj) // detached: no pooled alias left to leak
+		}
+	default:
+		c.derefUse(obj, ce.Pos(), fact, report)
+	}
+}
+
+// checkPayloadRetention flags a handler's message payload escaping into
+// longer-lived storage without a Detach() call — relocated from the
+// wire-hygiene pass, same semantics. params/body are one function's
+// signature and body (declaration or literal).
+func (c *poolChecker) checkPayloadRetention(params *ast.FieldList, body *ast.BlockStmt) {
+	if params == nil {
+		return
+	}
+	p := c.p
+	// The handler's *wire.Message parameters, by object identity.
+	msgs := map[types.Object]bool{}
+	for _, fd := range params.List {
+		for _, name := range fd.Names {
+			if obj := p.Info.Defs[name]; obj != nil && isWireMessagePtr(obj.Type()) {
+				msgs[obj] = true
+			}
+		}
+	}
+	if len(msgs) == 0 {
+		return
+	}
+	// payloadOf returns the message parameter e reads .Payload from, or
+	// nil: the shape is <param>.Payload with <param> one of msgs.
+	payloadOf := func(e ast.Expr) types.Object {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Payload" {
+			return nil
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := p.Info.Uses[id]; obj != nil && msgs[obj] {
+			return obj
+		}
+		return nil
+	}
+	// A Detach() call on a parameter anywhere in the body vouches for
+	// every retention of that parameter's payload.
+	detached := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Detach" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil && msgs[obj] {
+				detached[obj] = true
+			}
+		}
+		return true
+	})
+	retained := func(pos token.Pos) {
+		c.report(pos, "message payload retained past the handler; call Detach() before storing it (pooled receive buffers are recycled on release)")
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				obj := payloadOf(rhs)
+				if obj == nil || detached[obj] {
+					continue
+				}
+				if i >= len(n.Lhs) {
+					continue // f() multi-value; payload cannot appear here
+				}
+				switch n.Lhs[i].(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					// A struct field or map/slice slot outlives the call.
+					retained(rhs.Pos())
+				}
+			}
+		case *ast.CallExpr:
+			// append(s, m.Payload) retains the slice header; the
+			// spread form append(dst, m.Payload...) copies bytes out
+			// and is fine.
+			if id, ok := n.Fun.(*ast.Ident); !ok || id.Name != "append" ||
+				n.Ellipsis != token.NoPos || len(n.Args) == 0 {
+				return true
+			}
+			for _, arg := range n.Args[1:] {
+				if obj := payloadOf(arg); obj != nil && !detached[obj] {
+					retained(arg.Pos())
+				}
+			}
+		}
+		return true
+	})
+}

@@ -26,7 +26,39 @@ func TestRepoIsFindingFree(t *testing.T) {
 		}
 		pkgs = append(pkgs, p)
 	}
-	for _, f := range runAll(l, pkgs) {
+	findings, _ := runAll(l, pkgs)
+	for _, f := range findings {
 		t.Errorf("finding in repo: %s", f)
+	}
+}
+
+// BenchmarkLintRepo times the full nine-pass suite over the loaded
+// module (type-checking excluded: packages are loaded once, outside the
+// timer). It backs the `make lint` wall-clock budget in CI — per-pass
+// cost regressions surface here before they blow the 30s gate.
+func BenchmarkLintRepo(b *testing.B) {
+	modPath, modDir, err := findModule(".")
+	if err != nil {
+		b.Fatalf("findModule: %v", err)
+	}
+	l := NewLoader(modPath, modDir)
+	paths, err := l.Discover()
+	if err != nil {
+		b.Fatalf("discover: %v", err)
+	}
+	var pkgs []*Package
+	for _, path := range paths {
+		p, err := l.Load(path)
+		if err != nil {
+			b.Fatalf("load %s: %v", path, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		findings, _ := runAll(l, pkgs)
+		if len(findings) > 0 {
+			b.Fatalf("repo has %d findings; fix them before benchmarking", len(findings))
+		}
 	}
 }

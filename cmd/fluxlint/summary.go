@@ -1,0 +1,585 @@
+package main
+
+// The interprocedural layer: a per-package index of function
+// declarations, memoized CFGs, and bottom-up call summaries so facts
+// flow through intra-package calls. Three summaries are computed, each
+// on demand with a cycle guard (recursion contributes the summary
+// computed so far — a sound under-approximation for the may-facts the
+// passes consume):
+//
+//   - errno emissions: the set of errno constants a function can put in
+//     an error response, directly or via same-package callees
+//   - write effects: which parameters and results of a function are
+//     written file handles (fsync-discipline's interprocedural fuel)
+//   - lock effects: mutexes a function acquires and leaves held at
+//     exit, or releases without acquiring (lock-across-block's fuel);
+//     receiver-rooted locks are kept as templates and re-rooted at the
+//     call site
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// pkgIndex caches per-package analysis state across passes.
+type pkgIndex struct {
+	p     *Package
+	funcs map[types.Object]*ast.FuncDecl
+	cfgs  map[*ast.BlockStmt]*funcCFG
+
+	errno     map[types.Object]*errnoSummary
+	errnoBusy map[types.Object]bool
+	write     map[types.Object]*writeSummary
+	writeBusy map[types.Object]bool
+	locks     map[types.Object]*lockSummary
+	locksBusy map[types.Object]bool
+}
+
+var pkgIndexes = map[*Package]*pkgIndex{}
+
+func indexOf(p *Package) *pkgIndex {
+	if ix, ok := pkgIndexes[p]; ok {
+		return ix
+	}
+	ix := &pkgIndex{
+		p:     p,
+		funcs: map[types.Object]*ast.FuncDecl{},
+		cfgs:  map[*ast.BlockStmt]*funcCFG{},
+
+		errno:     map[types.Object]*errnoSummary{},
+		errnoBusy: map[types.Object]bool{},
+		write:     map[types.Object]*writeSummary{},
+		writeBusy: map[types.Object]bool{},
+		locks:     map[types.Object]*lockSummary{},
+		locksBusy: map[types.Object]bool{},
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != nil && fd.Body != nil {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					ix.funcs[obj] = fd
+				}
+			}
+		}
+	}
+	pkgIndexes[p] = ix
+	return ix
+}
+
+// cfgOf returns the memoized CFG of a function body.
+func (ix *pkgIndex) cfgOf(body *ast.BlockStmt) *funcCFG {
+	if g, ok := ix.cfgs[body]; ok {
+		return g
+	}
+	g := buildCFG(body)
+	ix.cfgs[body] = g
+	return g
+}
+
+// calleeDecl resolves a call expression to a function declared in this
+// package (plain calls and method calls both), or nil.
+func (ix *pkgIndex) calleeDecl(fun ast.Expr) *ast.FuncDecl {
+	var id *ast.Ident
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	obj := ix.p.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	return ix.funcs[obj]
+}
+
+func (ix *pkgIndex) declObj(fd *ast.FuncDecl) types.Object {
+	return ix.p.Info.Defs[fd.Name]
+}
+
+// ---- traversal helpers shared by the rewired passes ----
+
+// forEachFuncBody invokes fn for every function declaration and
+// function literal in the package, outermost first.
+func forEachFuncBody(p *Package, fn func(ft *ast.FuncType, body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				fn(n.Type, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// inspectHead walks one op head without descending into function
+// literals (their bodies are separate CFGs; reachableOps recurses into
+// them explicitly).
+func inspectHead(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// funcLitsIn collects the function literals syntactically inside n that
+// are not nested in another literal inside n.
+func funcLitsIn(n ast.Node) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(n, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, fl)
+			return false
+		}
+		return true
+	})
+	return lits
+}
+
+// reachableOps invokes fn for every op reachable from the entry of
+// body's CFG, in block-index order, then recurses into the bodies of
+// function literals appearing in those ops. A pass built on this sees
+// exactly the code that can execute (plus closures, wherever they may
+// later run), and never statements cut off by return/panic/break.
+func reachableOps(ix *pkgIndex, body *ast.BlockStmt, fn func(o op)) {
+	g := ix.cfgOf(body)
+	reach := g.reachable()
+	var lits []*ast.FuncLit
+	for _, blk := range g.blocks {
+		if !reach[blk] {
+			continue
+		}
+		for _, o := range blk.ops {
+			fn(o)
+			for _, h := range o.headNodes() {
+				lits = append(lits, funcLitsIn(h)...)
+			}
+		}
+	}
+	for _, fl := range lits {
+		reachableOps(ix, fl.Body, fn)
+	}
+}
+
+// ---- errno emission summary ----
+
+// errnoSummary records which errno constants a function can emit in an
+// error response (transitively through same-package callees), plus
+// whether some emission could not be constant-folded.
+type errnoSummary struct {
+	values map[int64]string // errno value -> provenance (const or callee name)
+	opaque bool             // a non-constant errnum flowed into a builder
+}
+
+// errnoEmitted computes (memoized) the emission summary of fd.
+func (ix *pkgIndex) errnoEmitted(fd *ast.FuncDecl) *errnoSummary {
+	obj := ix.declObj(fd)
+	if obj == nil {
+		return &errnoSummary{values: map[int64]string{}}
+	}
+	if s, ok := ix.errno[obj]; ok {
+		return s
+	}
+	if ix.errnoBusy[obj] {
+		return &errnoSummary{values: map[int64]string{}} // cycle: fixpoint below
+	}
+	ix.errnoBusy[obj] = true
+	defer delete(ix.errnoBusy, obj)
+
+	s := &errnoSummary{values: map[int64]string{}}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ce, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(ce.Fun)
+		if idx, isBuilder := errnoBuilders[name]; isBuilder {
+			if len(ce.Args) > idx {
+				if v, ok := ix.constInt(ce.Args[idx]); ok {
+					s.values[v] = errnoArgName(ce.Args[idx])
+				} else if !ix.isBuilderParamPassthrough(fd, ce.Args[idx]) {
+					s.opaque = true
+				}
+			}
+			// A builder's own summary is its parameter — the call site
+			// binds it, so do not recurse into builder declarations.
+			return true
+		}
+		if callee := ix.calleeDecl(ce.Fun); callee != nil && callee != fd {
+			sub := ix.errnoEmitted(callee)
+			for v := range sub.values {
+				s.values[v] = "via " + callee.Name.Name
+			}
+			if sub.opaque {
+				s.opaque = true
+			}
+		}
+		return true
+	})
+	ix.errno[obj] = s
+	return s
+}
+
+// isBuilderParamPassthrough reports whether arg is one of fd's own
+// parameters: the enclosing function is then itself builder-shaped (a
+// respondErr-style wrapper) and its callers bind the value.
+func (ix *pkgIndex) isBuilderParamPassthrough(fd *ast.FuncDecl, arg ast.Expr) bool {
+	id, ok := ast.Unparen(arg).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := ix.p.Info.Uses[id]
+	if obj == nil || fd.Type.Params == nil {
+		return false
+	}
+	for _, f := range fd.Type.Params.List {
+		for _, name := range f.Names {
+			if ix.p.Info.Defs[name] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// constInt constant-folds e to an integer value.
+func (ix *pkgIndex) constInt(e ast.Expr) (int64, bool) {
+	tv, ok := ix.p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return 0, false
+	}
+	return v, true
+}
+
+// errnoArgName names the expression for provenance in messages.
+func errnoArgName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return types.ExprString(e)
+	}
+	return types.ExprString(e)
+}
+
+// ---- write-effect summary (fsync-discipline) ----
+
+// writeSummary records which parameters (by index, receiver excluded)
+// and results of a function are written file-like handles.
+type writeSummary struct {
+	params  map[int]bool
+	results map[int]bool
+}
+
+// writeEffects computes (memoized) the write summary of fd.
+func (ix *pkgIndex) writeEffects(fd *ast.FuncDecl) *writeSummary {
+	obj := ix.declObj(fd)
+	if obj == nil {
+		return &writeSummary{params: map[int]bool{}, results: map[int]bool{}}
+	}
+	if s, ok := ix.write[obj]; ok {
+		return s
+	}
+	if ix.writeBusy[obj] {
+		return &writeSummary{params: map[int]bool{}, results: map[int]bool{}}
+	}
+	ix.writeBusy[obj] = true
+	defer delete(ix.writeBusy, obj)
+
+	s := &writeSummary{params: map[int]bool{}, results: map[int]bool{}}
+	written := ix.writtenHandles(fd.Body)
+
+	if fd.Type.Params != nil {
+		i := 0
+		for _, f := range fd.Type.Params.List {
+			for _, name := range f.Names {
+				if obj := ix.p.Info.Defs[name]; obj != nil && written[obj] {
+					s.params[i] = true
+				}
+				i++
+			}
+		}
+	}
+	// A result is written if some return statement returns a written
+	// variable in that position (named results count through the map).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a literal's returns are not fd's
+		}
+		rs, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for i, res := range rs.Results {
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+				if obj := ix.p.Info.Uses[id]; obj != nil && written[obj] {
+					s.results[i] = true
+				}
+			}
+		}
+		return true
+	})
+	ix.write[obj] = s
+	return s
+}
+
+// writtenHandles collects the file-like objects body writes through,
+// directly (Write/Append/Sync and friends) or by handing them to a
+// same-package function whose summary says it writes that parameter,
+// or by receiving them from a same-package function whose summary says
+// that result comes back written.
+func (ix *pkgIndex) writtenHandles(body *ast.BlockStmt) map[types.Object]bool {
+	written := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if se, ok := n.Fun.(*ast.SelectorExpr); ok &&
+				fileWriteMethods[se.Sel.Name] && fileLike(ix.p, se) {
+				if obj := recvObj(ix.p, se.X); obj != nil {
+					written[obj] = true
+				}
+			}
+			// f handed to a writer: mark the argument written.
+			if callee := ix.calleeDecl(n.Fun); callee != nil {
+				sum := ix.writeEffects(callee)
+				for i, arg := range n.Args {
+					if !sum.params[i] {
+						continue
+					}
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						if obj := ix.p.Info.Uses[id]; obj != nil {
+							written[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// f received from a producer of written handles.
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			ce, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := ix.calleeDecl(ce.Fun)
+			if callee == nil {
+				return true
+			}
+			sum := ix.writeEffects(callee)
+			for i, lhs := range n.Lhs {
+				if !sum.results[i] {
+					continue
+				}
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+					if obj := ix.p.Info.ObjectOf(id); obj != nil {
+						written[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return written
+}
+
+// ---- lock-effect summary (lock-across-block) ----
+
+// lockKeyTemplate is one lock identity relative to a call site: either
+// rooted at the callee's receiver (suffix applies to the caller's
+// receiver expression) or a fixed package-level key.
+type lockKeyTemplate struct {
+	recvRooted bool
+	suffix     string // ".mu" when recvRooted; the full key otherwise
+}
+
+// lockSummary records net lock effects visible to callers.
+type lockSummary struct {
+	acquires []lockKeyTemplate // held at some exit, beyond the entry set
+	releases []lockKeyTemplate // unlocked without a matching lock
+}
+
+// lockEffects computes (memoized) the lock summary of fd by running the
+// held-set dataflow over its CFG with an empty entry fact.
+func (ix *pkgIndex) lockEffects(fd *ast.FuncDecl) *lockSummary {
+	obj := ix.declObj(fd)
+	if obj == nil {
+		return &lockSummary{}
+	}
+	if s, ok := ix.locks[obj]; ok {
+		return s
+	}
+	if ix.locksBusy[obj] {
+		return &lockSummary{}
+	}
+	ix.locksBusy[obj] = true
+	defer delete(ix.locksBusy, obj)
+
+	recvName := ""
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recvName = fd.Recv.List[0].Names[0].Name
+	}
+
+	held, released := ix.lockExitFacts(fd.Body)
+	s := &lockSummary{}
+	toTemplate := func(key string) lockKeyTemplate {
+		if recvName != "" && strings.HasPrefix(key, recvName+".") {
+			return lockKeyTemplate{recvRooted: true, suffix: strings.TrimPrefix(key, recvName)}
+		}
+		return lockKeyTemplate{suffix: key}
+	}
+	for _, k := range sortedKeys(held) {
+		s.acquires = append(s.acquires, toTemplate(k))
+	}
+	for _, k := range sortedKeys(released) {
+		s.releases = append(s.releases, toTemplate(k))
+	}
+	ix.locks[obj] = s
+	return s
+}
+
+// lockExitFacts runs the may-hold dataflow over body with nothing held
+// and returns the keys held at exit and the keys unlocked while not
+// held (net releases a caller must account for).
+func (ix *pkgIndex) lockExitFacts(body *ast.BlockStmt) (held map[string]bool, released map[string]bool) {
+	g := ix.cfgOf(body)
+	released = map[string]bool{}
+	transfer := func(b *block, in heldSet) heldSet {
+		fact := in.clone()
+		for _, o := range b.ops {
+			applyLockOps(ix, o, fact, released)
+		}
+		return fact
+	}
+	facts, _ := solve(g, analysis[heldSet]{
+		dir:      forward,
+		boundary: func() heldSet { return heldSet{} },
+		bottom:   func() heldSet { return nil },
+		join:     joinHeld,
+		equal:    equalHeld,
+		transfer: transfer,
+	})
+	exit := facts[g.exit]
+	held = map[string]bool{}
+	for k := range exit {
+		held[k] = true
+	}
+	// Within the function a deferred unlock means "held to the end";
+	// from a caller's point of view the lock is released by the time
+	// the call returns. Deferred in-package callees contribute their
+	// effects at exit the same way.
+	for _, ds := range g.defers {
+		if key, kind := lockOpOf(ix.p, ds.Call); kind == lockOpUnlock {
+			delete(held, key)
+		} else if kind == lockOpLock {
+			held[key] = true
+		} else if callee := ix.calleeDecl(ds.Call.Fun); callee != nil {
+			fact := heldSet{}
+			for k := range held {
+				fact[k] = ds.Pos()
+			}
+			applyLockSummary(ix, ds.Call, callee, fact, nil)
+			held = map[string]bool{}
+			for k := range fact {
+				held[k] = true
+			}
+		}
+	}
+	return held, released
+}
+
+// applyLockOps applies the lock side effects of one op to fact: direct
+// Lock/Unlock calls (deferred unlocks hold to function end and are
+// ignored), and same-package callee summaries. Nested function literals
+// are skipped — they run elsewhere.
+func applyLockOps(ix *pkgIndex, o op, fact heldSet, released map[string]bool) {
+	if ds, ok := o.node.(*ast.DeferStmt); ok {
+		if _, kind := lockOpOf(ix.p, ds.Call); kind != lockOpNone {
+			return // defer mu.Unlock(): held to end of function
+		}
+	}
+	for _, h := range o.headNodes() {
+		inspectHead(h, func(n ast.Node) bool {
+			ce, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if key, kind := lockOpOf(ix.p, ce); kind == lockOpLock {
+				fact[key] = ce.Pos()
+				return true
+			} else if kind == lockOpUnlock {
+				if _, was := fact[key]; !was && released != nil {
+					released[key] = true
+				}
+				delete(fact, key)
+				return true
+			}
+			if _, ok := ce.Fun.(*ast.FuncLit); ok {
+				return true // IIFE: the caller's analysis inlines it
+			}
+			if callee := ix.calleeDecl(ce.Fun); callee != nil {
+				applyLockSummary(ix, ce, callee, fact, released)
+			}
+			return true
+		})
+	}
+}
+
+// applyLockSummary applies callee's net lock effects at call site ce.
+func applyLockSummary(ix *pkgIndex, ce *ast.CallExpr, callee *ast.FuncDecl, fact heldSet, released map[string]bool) {
+	sum := ix.lockEffects(callee)
+	if len(sum.acquires) == 0 && len(sum.releases) == 0 {
+		return
+	}
+	root := ""
+	if se, ok := ce.Fun.(*ast.SelectorExpr); ok && callee.Recv != nil {
+		root = types.ExprString(se.X)
+	}
+	resolve := func(t lockKeyTemplate) (string, bool) {
+		if !t.recvRooted {
+			return t.suffix, true
+		}
+		if root == "" {
+			return "", false
+		}
+		return root + t.suffix, true
+	}
+	for _, t := range sum.releases {
+		if key, ok := resolve(t); ok {
+			if _, was := fact[key]; !was && released != nil {
+				released[key] = true
+			}
+			delete(fact, key)
+		}
+	}
+	for _, t := range sum.acquires {
+		if key, ok := resolve(t); ok {
+			fact[key] = ce.Pos()
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

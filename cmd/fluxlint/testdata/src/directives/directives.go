@@ -4,6 +4,8 @@
 // nothing.
 package directives
 
+import "fixture.example/wire"
+
 //fluxlint:ignore wire-hygiene fixture: suppression from the line above
 const suppressedAbove = "cmb.ping"
 
@@ -14,3 +16,20 @@ const unknownPass = "plain string"
 
 //fluxlint:ignore wire-hygiene
 const missingReason = "cmb.resync"
+
+// The flow-sensitive passes honor the same machinery.
+
+func suppressedDoubleRelease(m *wire.Message) {
+	m.Release()
+	m.Release() //fluxlint:ignore pool-ownership fixture: same-line suppression
+}
+
+func suppressedDispatch(m *wire.Message) {
+	//fluxlint:ignore errno-completeness fixture: suppression from the line above
+	switch m.Method() {
+	case "run":
+		_ = wire.NewErrorResponse(m, wire.ErrnoInval, "nope")
+	case "stop":
+		_ = wire.NewErrorResponse(m, wire.ErrnoInval, "nope")
+	}
+}

@@ -1,0 +1,70 @@
+// Package errnocomplete holds fixtures for the errno-completeness
+// pass: request-dispatch switches checked against wire.OpErrnos (the
+// fixture wire package declares services "cmb" {ping, stats} and
+// "echo" {run, stop}).
+package errnocomplete
+
+import (
+	"fixture.example/fakes"
+	"fixture.example/wire"
+)
+
+// An error-responding dispatch with no default: unknown methods get
+// silence instead of ENOSYS.
+func dispatchNoDefault(h *fakes.Handle, msg *wire.Message) {
+	switch msg.Method() { // BAD
+	case "run":
+		h.RespondError(msg, wire.ErrnoInval, "bad request")
+	case "stop":
+		h.RespondError(msg, wire.ErrnoInval, "bad request")
+	}
+}
+
+// A clause emitting an errno the table does not declare for its op.
+func dispatchUndeclared(h *fakes.Handle, msg *wire.Message) {
+	switch msg.Method() {
+	case "run":
+		h.RespondError(msg, wire.ErrnoProto, "proto violation")
+	case "stop":
+		h.RespondError(msg, wire.ErrnoStale, "stale epoch") // BAD
+	default:
+		h.RespondError(msg, wire.ErrnoNoSys, "unknown method")
+	}
+}
+
+// Undeclared emission through a same-package helper: the summary layer
+// charges the clause with the helper's errnos.
+func failStop(h *fakes.Handle, msg *wire.Message) {
+	h.RespondError(msg, wire.ErrnoProto, "stop failed")
+}
+
+func dispatchViaHelper(h *fakes.Handle, msg *wire.Message) {
+	switch msg.Method() {
+	case "run":
+		h.RespondError(msg, wire.ErrnoInval, "bad request")
+	case "stop":
+		failStop(h, msg) // BAD
+	default:
+		h.RespondError(msg, wire.ErrnoNoSys, "unknown method")
+	}
+}
+
+// A method set no declared service covers.
+func dispatchUnknownService(h *fakes.Handle, msg *wire.Message) {
+	switch msg.Method() { // BAD
+	case "launch":
+		h.RespondError(msg, wire.ErrnoInval, "bad request")
+	default:
+		h.RespondError(msg, wire.ErrnoNoSys, "unknown method")
+	}
+}
+
+// A declared op ("cmb.stats") with no dispatch arm.
+func dispatchMissingOp(h *fakes.Handle, msg *wire.Message) {
+	switch msg.Method() { // BAD
+	case "ping":
+		h.RespondError(msg, wire.ErrnoInval, "bad ping")
+	default:
+		h.RespondError(msg, wire.ErrnoNoSys, "unknown method")
+	}
+}

@@ -1,0 +1,72 @@
+package errnocomplete
+
+import (
+	"fixture.example/fakes"
+	"fixture.example/wire"
+)
+
+// A complete echo dispatch: every declared op has an arm, every arm
+// emits only declared errnos, unknown methods get ENOSYS.
+func dispatchComplete(h *fakes.Handle, msg *wire.Message, ready bool) {
+	switch msg.Method() {
+	case "run":
+		if !ready {
+			h.RespondError(msg, wire.ErrnoInval, "not ready")
+			return
+		}
+		h.RespondError(msg, wire.ErrnoProto, "protocol violation")
+	case "stop":
+		h.RespondError(msg, wire.ErrnoInval, "bad request")
+	default:
+		h.RespondError(msg, wire.ErrnoNoSys, "unknown method")
+	}
+}
+
+// Declared-errno emission through a helper is fine too.
+func rejectRun(h *fakes.Handle, msg *wire.Message) {
+	h.RespondError(msg, wire.ErrnoProto, "run rejected")
+}
+
+func dispatchHelperDeclared(h *fakes.Handle, msg *wire.Message) {
+	switch msg.Method() {
+	case "run":
+		rejectRun(h, msg)
+	case "stop":
+		h.RespondError(msg, wire.ErrnoInval, "bad request")
+	default:
+		h.RespondError(msg, wire.ErrnoNoSys, "unknown method")
+	}
+}
+
+// The cmb built-ins: an empty arm emits nothing and needs nothing.
+func dispatchCMB(h *fakes.Handle, msg *wire.Message) {
+	switch msg.Method() {
+	case "ping":
+		h.RespondError(msg, wire.ErrnoInval, "bad ping")
+	case "stats":
+		// served without error responses
+	default:
+		h.RespondError(msg, wire.ErrnoNoSys, "unknown method")
+	}
+}
+
+// A dispatch that never emits errnos is out of scope (event folding,
+// control handling): no default required.
+func dispatchNoErrnos(msg *wire.Message) {
+	count := 0
+	switch msg.Method() {
+	case "run":
+		count++
+	case "stop":
+		count--
+	}
+	_ = count
+}
+
+// A switch on something other than msg.Method() is not a dispatch.
+func notADispatch(s string, h *fakes.Handle, msg *wire.Message) {
+	switch s {
+	case "oops":
+		h.RespondError(msg, wire.ErrnoInval, "oops")
+	}
+}

@@ -1,0 +1,94 @@
+// Package poolown holds fixtures for the pool-ownership pass: the
+// pooled wire.Message lifecycle (Handoff / Release / Detach) plus the
+// payload-retention rule relocated from wire-hygiene.
+package poolown
+
+import (
+	"errors"
+
+	"fixture.example/wire"
+)
+
+var errBoom = errors.New("boom")
+
+func send(m *wire.Message)   {}
+func record(m *wire.Message) {}
+func encode(m *wire.Message) error { return nil }
+
+func touchAfterHandoff(m *wire.Message) {
+	m.Handoff()
+	send(m)          // the one sanctioned consumption
+	m.Topic = "late" // BAD
+}
+
+func touchBeforeConsume(m *wire.Message) {
+	m.Handoff()
+	m.Seq = 9 // BAD
+}
+
+func secondPass(m *wire.Message) {
+	m.Handoff()
+	send(m)
+	send(m) // BAD
+}
+
+func doubleRelease(m *wire.Message) {
+	m.Release()
+	m.Release() // BAD
+}
+
+func useAfterRelease(m *wire.Message) string {
+	m.Release()
+	return m.Topic // BAD
+}
+
+func releaseAfterHandoff(m *wire.Message) {
+	m.Handoff()
+	send(m)
+	m.Release() // BAD
+}
+
+func leakOnError(m *wire.Message, fail bool) error {
+	record(m)
+	if fail {
+		return errBoom // BAD
+	}
+	m.Release()
+	return nil
+}
+
+func leakOnEarlyReturn(m *wire.Message) error {
+	if err := encode(m); err != nil {
+		return err // BAD
+	}
+	m.Release()
+	return nil
+}
+
+// Payload-retention shapes: each stores a handler message's payload
+// into storage that outlives the call, without detaching the message.
+
+type holder struct{ data []byte }
+
+var stash = map[string][]byte{}
+
+var backlog [][]byte
+
+func retainField(h *holder, m *wire.Message) {
+	h.data = m.Payload // BAD
+}
+
+func retainMap(m *wire.Message) {
+	stash[m.Topic] = m.Payload // BAD
+}
+
+func retainAppend(m *wire.Message) {
+	backlog = append(backlog, m.Payload) // BAD
+}
+
+func retainInLit(h *holder) {
+	fn := func(m *wire.Message) {
+		h.data = m.Payload // BAD
+	}
+	fn(nil)
+}

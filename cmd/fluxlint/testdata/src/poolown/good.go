@@ -1,0 +1,109 @@
+package poolown
+
+import (
+	"errors"
+
+	"fixture.example/wire"
+)
+
+var errFull = errors.New("full")
+
+type sender struct{ ch chan *wire.Message }
+
+type msgQueue struct{ items []*wire.Message }
+
+// The sendHandoff pattern: arm, hand to exactly one consumer, never
+// touch again.
+func handoffThenSend(m *wire.Message) {
+	m.Handoff()
+	send(m)
+}
+
+// Reading the pointer value (not through it) after handoff is safe.
+func nilCheckAfterHandoff(m *wire.Message) bool {
+	m.Handoff()
+	send(m)
+	return m != nil
+}
+
+// Every path settles the release obligation.
+func branchBothRelease(m *wire.Message, ok bool) {
+	if ok {
+		record(m)
+		m.Release()
+		return
+	}
+	m.Release()
+}
+
+// The codecConn pattern: each error arm releases, so does success.
+func errorPathReleases(m *wire.Message) error {
+	if err := encode(m); err != nil {
+		m.Release()
+		return err
+	}
+	m.Release()
+	return nil
+}
+
+// defer settles the obligation wholesale.
+func deferRelease(m *wire.Message) int {
+	defer m.Release()
+	record(m)
+	return len(m.Payload)
+}
+
+// Rebinding after Release starts a fresh message; returning it moves
+// ownership to the caller.
+func releaseThenRebind(m *wire.Message) *wire.Message {
+	m.Release()
+	m = &wire.Message{Topic: wire.TopicPing}
+	return m
+}
+
+// A channel send transfers ownership (the receiver releases).
+func channelOwner(s *sender, m *wire.Message) {
+	select {
+	case s.ch <- m:
+	default:
+		m.Release()
+	}
+}
+
+// The queue.push pattern: append transfers ownership to the queue's
+// consumer; the rejection arm releases.
+func (q *msgQueue) push(m *wire.Message) error {
+	if len(q.items) > 8 {
+		m.Release()
+		return errFull
+	}
+	q.items = append(q.items, m)
+	return nil
+}
+
+// Payload handling that is fine: detach before retaining, copy the
+// bytes out, or keep the reference local to the handler.
+
+func detachThenRetain(h *holder, m *wire.Message) {
+	m.Detach()
+	h.data = m.Payload
+}
+
+func detachAfterRetain(h *holder, m *wire.Message) {
+	h.data = m.Payload
+	m.Detach() // anywhere in the handler vouches for the retention
+}
+
+func copyOut(m *wire.Message) []byte {
+	return append([]byte(nil), m.Payload...) // spread form copies bytes
+}
+
+func localUse(m *wire.Message) int {
+	data := m.Payload // plain local; does not outlive the handler
+	return len(data)
+}
+
+func notTheParam(h *holder, m *wire.Message) {
+	other := &wire.Message{}
+	h.data = other.Payload // not a pooled receive buffer
+}

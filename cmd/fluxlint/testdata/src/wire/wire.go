@@ -33,6 +33,16 @@ const (
 	ErrnoStale    int32 = 116
 )
 
+// OpErrnos declares, per request operation, the errnos its handler may
+// emit — the table the errno-completeness pass checks dispatch switches
+// against. The echo service exists only for the fixture corpus.
+var OpErrnos = map[string][]int32{
+	TopicPing:   {ErrnoInval},
+	TopicStats:  {},
+	"echo.run":  {ErrnoInval, ErrnoProto},
+	"echo.stop": {ErrnoInval},
+}
+
 // Message is the unit of wire traffic. Payload may alias a pooled
 // receive buffer on decoded messages; Detach copies it out.
 type Message struct {
@@ -42,7 +52,27 @@ type Message struct {
 	Epoch   uint32
 	Data    []byte
 	Payload []byte
+
+	armed bool
 }
+
+// Method returns the method part of a dotted service.method topic.
+func (m *Message) Method() string {
+	for i := len(m.Topic) - 1; i >= 0; i-- {
+		if m.Topic[i] == '.' {
+			return m.Topic[i+1:]
+		}
+	}
+	return m.Topic
+}
+
+// Handoff arms m: ownership moves to whichever component m is handed
+// to next, and the sender must not touch it afterwards.
+func (m *Message) Handoff() { m.armed = true }
+
+// Release returns m to the pool (a no-op unless armed). The caller must
+// not use m afterwards.
+func (m *Message) Release() { *m = Message{} }
 
 // Detach copies Payload out of the receive buffer so it survives
 // buffer reuse, and returns m for chaining.

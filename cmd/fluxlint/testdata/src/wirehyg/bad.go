@@ -1,4 +1,5 @@
 // Package wirehyg holds fixtures for the wire-hygiene pass.
+// (Payload-retention shapes moved to the poolown fixtures with the rule.)
 package wirehyg
 
 import "fixture.example/wire"
@@ -15,32 +16,4 @@ func rawMessageType() *wire.Message {
 
 func rawConversion() wire.Type {
 	return wire.Type(2) // BAD
-}
-
-// Payload-retention shapes: each stores a handler message's payload
-// into storage that outlives the call, without detaching the message.
-
-type holder struct{ data []byte }
-
-var stash = map[string][]byte{}
-
-var backlog [][]byte
-
-func retainField(h *holder, m *wire.Message) {
-	h.data = m.Payload // BAD
-}
-
-func retainMap(m *wire.Message) {
-	stash[m.Topic] = m.Payload // BAD
-}
-
-func retainAppend(m *wire.Message) {
-	backlog = append(backlog, m.Payload) // BAD
-}
-
-func retainInLit(h *holder) {
-	fn := func(m *wire.Message) {
-		h.data = m.Payload // BAD
-	}
-	fn(nil)
 }

@@ -21,30 +21,3 @@ func proseIsFine() string {
 type tagged struct {
 	Field string `json:"cmb.field"`
 }
-
-// Payload handling that is fine: detach before retaining, copy the
-// bytes out, or keep the reference local to the handler.
-
-func detachThenRetain(h *holder, m *wire.Message) {
-	m.Detach()
-	h.data = m.Payload
-}
-
-func detachAfterRetain(h *holder, m *wire.Message) {
-	h.data = m.Payload
-	m.Detach() // anywhere in the handler vouches for the retention
-}
-
-func copyOut(m *wire.Message) []byte {
-	return append([]byte(nil), m.Payload...) // spread form copies bytes
-}
-
-func localUse(m *wire.Message) int {
-	data := m.Payload // plain local; does not outlive the handler
-	return len(data)
-}
-
-func notTheParam(h *holder, m *wire.Message) {
-	other := &wire.Message{}
-	h.data = other.Payload // not a pooled receive buffer
-}

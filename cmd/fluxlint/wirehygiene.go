@@ -11,14 +11,10 @@ package main
 //   - Integer literals used as a wire message type — in the Type field
 //     of a wire.Message composite literal or a wire.Type(n) conversion
 //     — are flagged: use wire.Request/Response/Event/Control.
-//   - A message payload escaping its handler is flagged: in a function
-//     taking a *wire.Message parameter, assigning that parameter's
-//     .Payload into a struct field or map entry, or appending it (as an
-//     element) to a slice, retains memory that may alias a pooled
-//     receive buffer — recycled the moment the message is released. The
-//     handler must call Detach() on the message (anywhere in the same
-//     function) to sever the alias; copying the bytes out with
-//     append(dst, m.Payload...) is also fine and not flagged.
+//
+// The payload-retention rule (a handler storing m.Payload without
+// Detach) used to live here as an AST heuristic; the flow-sensitive
+// pool-ownership pass (poolown.go) now owns it.
 //
 // Detection keys on the package *name* "wire" and type names Message /
 // Type, so the pass works identically against the real module and the
@@ -114,23 +110,12 @@ func runWireHygiene(l *Loader, p *Package) []Finding {
 			}
 			return true
 		})
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.FuncDecl:
-				if n.Body != nil {
-					out = append(out, checkPayloadRetention(l, p, n.Type.Params, n.Body)...)
-				}
-			case *ast.FuncLit:
-				out = append(out, checkPayloadRetention(l, p, n.Type.Params, n.Body)...)
-			}
-			return true
-		})
 	}
 	return out
 }
 
 // isWireMessagePtr reports whether t is *wire.Message (matched by
-// package and type name, like the rest of the pass).
+// package and type name, like the rest of the suite).
 func isWireMessagePtr(t types.Type) bool {
 	ptr, ok := t.(*types.Pointer)
 	if !ok {
@@ -139,102 +124,4 @@ func isWireMessagePtr(t types.Type) bool {
 	named, ok := derefNamed(ptr.Elem())
 	return ok && named.Obj().Name() == "Message" &&
 		named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "wire"
-}
-
-// checkPayloadRetention flags a handler's message payload escaping into
-// longer-lived storage without a Detach() call. params/body are one
-// function's signature and body (declaration or literal).
-func checkPayloadRetention(l *Loader, p *Package, params *ast.FieldList, body *ast.BlockStmt) []Finding {
-	if params == nil {
-		return nil
-	}
-	// The handler's *wire.Message parameters, by object identity.
-	msgs := map[types.Object]bool{}
-	for _, fd := range params.List {
-		for _, name := range fd.Names {
-			if obj := p.Info.Defs[name]; obj != nil && isWireMessagePtr(obj.Type()) {
-				msgs[obj] = true
-			}
-		}
-	}
-	if len(msgs) == 0 {
-		return nil
-	}
-	// payloadOf returns the message parameter e reads .Payload from, or
-	// nil: the shape is <param>.Payload with <param> one of msgs.
-	payloadOf := func(e ast.Expr) types.Object {
-		sel, ok := e.(*ast.SelectorExpr)
-		if !ok || sel.Sel.Name != "Payload" {
-			return nil
-		}
-		id, ok := sel.X.(*ast.Ident)
-		if !ok {
-			return nil
-		}
-		if obj := p.Info.Uses[id]; obj != nil && msgs[obj] {
-			return obj
-		}
-		return nil
-	}
-	// A Detach() call on a parameter anywhere in the body vouches for
-	// every retention of that parameter's payload.
-	detached := map[types.Object]bool{}
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || sel.Sel.Name != "Detach" {
-			return true
-		}
-		if id, ok := sel.X.(*ast.Ident); ok {
-			if obj := p.Info.Uses[id]; obj != nil && msgs[obj] {
-				detached[obj] = true
-			}
-		}
-		return true
-	})
-	var out []Finding
-	report := func(pos token.Pos) {
-		out = append(out, Finding{
-			Pass: wireHygieneName,
-			Pos:  l.Fset.Position(pos),
-			Msg:  "message payload retained past the handler; call Detach() before storing it (pooled receive buffers are recycled on release)",
-		})
-	}
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			for i, rhs := range n.Rhs {
-				obj := payloadOf(rhs)
-				if obj == nil || detached[obj] {
-					continue
-				}
-				if i >= len(n.Lhs) {
-					continue // f() multi-value; payload cannot appear here
-				}
-				switch n.Lhs[i].(type) {
-				case *ast.SelectorExpr, *ast.IndexExpr:
-					// A struct field or map/slice slot outlives the call.
-					report(rhs.Pos())
-				}
-			}
-		case *ast.CallExpr:
-			// append(s, m.Payload) retains the slice header; the
-			// spread form append(dst, m.Payload...) copies bytes out
-			// and is fine.
-			if id, ok := n.Fun.(*ast.Ident); !ok || id.Name != "append" ||
-				n.Ellipsis != token.NoPos || len(n.Args) == 0 {
-				return true
-			}
-			for _, arg := range n.Args[1:] {
-				if obj := payloadOf(arg); obj != nil && !detached[obj] {
-					report(arg.Pos())
-				}
-			}
-		}
-		return true
-	})
-	return out
 }

@@ -1,0 +1,119 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"fluxgo/internal/wire"
+)
+
+// Regression tests for pooled-message ownership on transport error
+// paths. The contract (enforced by fluxlint's pool-ownership pass) is
+// that Send consumes the message, success or failure: an armed message
+// that escapes un-Released leaks its pooled buffer. Release zeroes the
+// armed Message, so a cleared Topic is the observable for "released".
+//
+// Messages are built with a literal + Handoff rather than wire.Get so a
+// Release does not return them to the global pool mid-test.
+
+func armedMsg(topic string) *wire.Message {
+	m := &wire.Message{Type: wire.Request, Topic: topic}
+	m.Handoff()
+	return m
+}
+
+func assertReleased(t *testing.T, m *wire.Message, what string) {
+	t.Helper()
+	if m.Topic != "" {
+		t.Errorf("%s: message not released (Topic = %q, want zeroed)", what, m.Topic)
+	}
+}
+
+// A rejected push (closed queue) must release the message: pipeConn and
+// tcpConn Sends both delegate ownership to queue.push.
+func TestQueuePushClosedReleases(t *testing.T) {
+	q := newQueue()
+	q.close(false)
+	m := armedMsg("q.reject")
+	if err := q.push(m); err != ErrClosed {
+		t.Fatalf("push on closed queue: err = %v, want ErrClosed", err)
+	}
+	assertReleased(t, m, "push on closed queue")
+}
+
+// A hard close (drain=false) drops queued messages; armed ones must be
+// recycled, not dropped on the floor.
+func TestQueueCloseReleasesPending(t *testing.T) {
+	q := newQueue()
+	msgs := []*wire.Message{armedMsg("q.a"), armedMsg("q.b"), armedMsg("q.c")}
+	for _, m := range msgs {
+		if err := q.push(m); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	q.close(false)
+	for i, m := range msgs {
+		assertReleased(t, m, "hard close, queued message "+string(rune('a'+i)))
+	}
+	if _, err := q.pop(); err == nil {
+		t.Fatal("pop after hard close returned a message, want EOF")
+	}
+}
+
+// codecConn.Send must release the original message on the marshal-error
+// path (oversized payload) ...
+func TestCodecSendReleasesOnMarshalError(t *testing.T) {
+	a, b := CodecPipe("a", "b")
+	defer a.Close()
+	defer b.Close()
+	m := armedMsg("codec.big")
+	m.Payload = make([]byte, wire.MaxMessageSize)
+	if err := a.Send(m); err != wire.ErrTooLarge {
+		t.Fatalf("Send oversized: err = %v, want ErrTooLarge", err)
+	}
+	assertReleased(t, m, "codec send, marshal error")
+}
+
+// ... and on the inner-Send-error path (peer closed underneath it).
+func TestCodecSendReleasesOnClosedConn(t *testing.T) {
+	a, b := CodecPipe("a", "b")
+	defer b.Close()
+	a.Close()
+	m := armedMsg("codec.closed")
+	if err := a.Send(m); err != ErrClosed {
+		t.Fatalf("Send on closed conn: err = %v, want ErrClosed", err)
+	}
+	assertReleased(t, m, "codec send, closed conn")
+}
+
+// The TCP writer must release a message whose encoding fails; the
+// failure also closes the out-queue, releasing anything queued behind
+// it. (The writer never reaches the socket, so the unread pipe peer is
+// irrelevant.)
+func TestWriteLoopReleasesOnMarshalError(t *testing.T) {
+	pc, peer := net.Pipe()
+	defer peer.Close()
+	c := newTCPConn(pc, "peer")
+	defer c.Close()
+
+	m := armedMsg("tcp.big")
+	m.Payload = make([]byte, wire.MaxMessageSize)
+	if err := c.Send(m); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case <-c.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writeLoop did not shut down after marshal error")
+	}
+	assertReleased(t, m, "tcp writer, marshal error")
+
+	// The failed writer closed the queue: later sends are rejected and
+	// their messages recycled.
+	late := armedMsg("tcp.late")
+	if err := c.Send(late); err != ErrClosed {
+		t.Fatalf("Send after writer failure: err = %v, want ErrClosed", err)
+	}
+	assertReleased(t, late, "tcp send after writer failure")
+}

@@ -99,6 +99,11 @@ func (c *tcpConn) writeLoop() {
 			scratch = append(scratch, 0, 0, 0, 0)
 			scratch, err = wire.MarshalAppend(scratch, m)
 			if err != nil {
+				// The message is consumed by the failed send; without
+				// this Release an armed (handed-off) message leaks its
+				// pooled buffer. fail() closes the queue, which releases
+				// anything still queued behind it.
+				m.Release()
 				fail()
 				return
 			}

@@ -68,10 +68,14 @@ func newQueue() *queue {
 	return q
 }
 
+// push takes ownership of m: on success the queue's consumer releases
+// it, and a rejected push (closed queue) releases it here, so pooled
+// messages cannot leak on send/close races.
 func (q *queue) push(m *wire.Message) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
+		m.Release()
 		return ErrClosed
 	}
 	q.items = append(q.items, m)
@@ -120,6 +124,11 @@ func (q *queue) close(drain bool) {
 	}
 	q.closed = true
 	if !drain {
+		// Dropped messages may be pooled and armed; recycle them so a
+		// hard close does not leak the pool's buffers.
+		for _, m := range q.items {
+			m.Release()
+		}
 		q.items = nil
 	}
 	q.cond.Broadcast()
@@ -178,15 +187,22 @@ type codecConn struct {
 }
 
 func (c codecConn) Send(m *wire.Message) error {
+	// Send consumes m, success or failure: the broker may have handed it
+	// off, in which case an early return without Release leaks the
+	// pooled buffer (and the codec pipe is exactly the config used by
+	// large simulated sessions, where the leak compounds per hop).
 	b, err := wire.Marshal(m)
 	if err != nil {
+		m.Release()
 		return err
 	}
 	dup, err := wire.Unmarshal(b)
 	if err != nil {
+		m.Release()
 		return err
 	}
 	if err := c.Conn.Send(dup); err != nil {
+		m.Release()
 		return err
 	}
 	// The duplicate now carries the message; recycle the original if the

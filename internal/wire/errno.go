@@ -22,6 +22,80 @@ const (
 	ErrnoStale       int32 = 116 // stale membership epoch (departed or unadmitted rank)
 )
 
+// OpErrnos declares, per request operation, the errno values its
+// handler is allowed to emit in an error response. The table is the
+// protocol's error contract: a client of barrier.enter can switch on
+// exactly these values and know the switch is exhaustive. fluxlint's
+// errno-completeness pass checks every request-dispatch switch against
+// it — each dispatch arm may emit only its operation's declared errnos,
+// and every operation declared here must have an arm.
+//
+// The sets cover transitive emissions: an op is charged with every
+// errno reachable through the helpers its handler calls (so cmb.join
+// declares ErrnoStale even though the fence lives in a helper).
+// ErrnoShutdown, ErrnoTimedOut, and ErrnoHostUnreach are additionally
+// produced by the routing layer for any op and are not repeated per
+// entry.
+var OpErrnos = map[string][]int32{
+	// Broker built-ins (the "cmb" service).
+	TopicPub:     {ErrnoInval},
+	TopicPing:    {ErrnoInval},
+	TopicInfo:    {},
+	TopicStats:   {},
+	TopicTrace:   {ErrnoInval},
+	TopicLsmod:   {},
+	TopicRmmod:   {ErrnoInval, ErrnoNoEnt},
+	TopicJoin:    {ErrnoInval, ErrnoProto, ErrnoStale},
+	TopicGrow:    {ErrnoInval, ErrnoNoSys},
+	TopicShrink:  {ErrnoInval, ErrnoNoSys},
+	TopicRestart: {ErrnoInval, ErrnoNoSys},
+
+	// Barrier service.
+	"barrier.enter": {ErrnoInval, ErrnoProto},
+	"barrier.done":  {ErrnoProto},
+	"barrier.stats": {},
+
+	// Log aggregation service.
+	"log.append": {ErrnoInval},
+	"log.dump":   {ErrnoInval},
+
+	// Resource service.
+	"resrc.alloc": {ErrnoInval, ErrnoNoEnt, ErrnoProto},
+	"resrc.free":  {ErrnoInval, ErrnoNoEnt, ErrnoProto},
+	"resrc.avail": {ErrnoInval},
+
+	// Process-group service.
+	"group.join":     {ErrnoInval, ErrnoProto},
+	"group.leave":    {ErrnoInval, ErrnoProto},
+	"group.list":     {ErrnoInval},
+	"group.lsgroups": {},
+
+	// Job service.
+	"job.submit": {ErrnoInval, ErrnoProto},
+	"job.list":   {ErrnoInval},
+	"job.cancel": {ErrnoInval, ErrnoNoEnt, ErrnoProto},
+	"job.info":   {ErrnoInval, ErrnoNoEnt},
+
+	// Heartbeat service.
+	"hb.get":   {},
+	"hb.pulse": {ErrnoInval, ErrnoProto},
+
+	// KVS service.
+	"kvs.put":        {ErrnoInval, ErrnoProto},
+	"kvs.fence":      {ErrnoInval, ErrnoIO, ErrnoProto},
+	"kvs.commit":     {ErrnoInval, ErrnoIO, ErrnoProto},
+	"kvs.fencedone":  {ErrnoInval, ErrnoIO, ErrnoProto},
+	"kvs.rootupdate": {ErrnoInval},
+	"kvs.get":        {ErrnoInval, ErrnoNoEnt, ErrnoNotDir, ErrnoProto},
+	"kvs.load":       {ErrnoInval, ErrnoNoEnt, ErrnoProto},
+	"kvs.sync":       {ErrnoInval, ErrnoNoEnt},
+	"kvs.getversion": {},
+	"kvs.getroot":    {ErrnoInval},
+	"kvs.checkpoint": {ErrnoIO, ErrnoNoSys},
+	"kvs.storage":    {ErrnoNoSys},
+	"kvs.stats":      {},
+}
+
 // Control-plane topics.
 //
 // The "cmb" service is the broker itself: its built-in request methods
