@@ -15,7 +15,7 @@
 GO ?= go
 
 # Hot-path packages covered by `make bench` / the CI bench job.
-BENCH_PKGS = ./internal/wire/ ./internal/broker/ ./internal/kvs/ ./internal/cas/ ./cmd/fluxlint/
+BENCH_PKGS = ./internal/wire/ ./internal/broker/ ./internal/kvs/ ./internal/cas/ ./internal/obs/ ./cmd/fluxlint/
 
 .PHONY: build test check chaos recovery vet lint debuglock bench benchdiff
 

@@ -27,11 +27,15 @@
 //	cancel <id>              cancel a queued or running job
 //	wait <id>                block until a job completes, print its record
 //	log dump [count]         recent entries from the root log sink
+//	dmesg [--rank N] [--level L] [--follow]
+//	                         merged time-ordered log records from all live ranks
+//	                         (or one rank); --follow polls for new records
+//	dump [-o file]           flight-recorder snapshot of every live rank as JSON
 //	up                       ranks currently considered down by live
 //	stats [--rank N]         broker counters and metrics (local or rank-addressed)
 //	restart <rank>           readmit a killed or crashed rank (durable state reloads from disk)
 //	top                      per-rank broker activity and route latency table
-//	trace <id>               merged per-hop span chain of one traced message
+//	trace <id>               assembled cross-rank request tree of one traced message
 //	resources                unallocated ranks per the resource service
 package main
 
@@ -40,7 +44,6 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"sort"
 	"strconv"
 	"time"
 
@@ -115,6 +118,10 @@ flagsDone:
 		cmdWaitJob(c, args[1])
 	case "log":
 		cmdLog(c, args[1:])
+	case "dmesg":
+		cmdDmesg(c, args[1:])
+	case "dump":
+		cmdDump(c, args[1:])
 	case "up":
 		cmdJSON(c, "live.query", wire.NodeidAny, nil)
 	case "stats":
@@ -476,46 +483,194 @@ func cmdTop(c *client.Client) {
 	}
 }
 
-// cmdTrace collects one trace's spans from every rank and prints the
-// merged per-hop chain.
+// cmdTrace gathers one trace's spans session-wide (one tree-reduced RPC
+// at rank 0), assembles the causal request tree, and prints it indented
+// with per-hop latencies. Hops on the critical path — the chain that
+// bounded end-to-end latency — are marked with '*'.
 func cmdTrace(c *client.Client, idArg string) {
 	id, err := strconv.ParseUint(idArg, 0, 64)
 	fatalIf(err)
-	size := sessionSize(c)
-	var spans []obs.Span
-	for r := 0; r < size; r++ {
-		resp, err := c.RPC(wire.TopicTrace, uint32(r), map[string]uint64{"id": id})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "flux: rank %d: %v\n", r, err)
-			continue
-		}
-		var body struct {
-			Spans []obs.Span `json:"spans"`
-		}
-		if resp.UnpackJSON(&body) == nil {
-			spans = append(spans, body.Spans...)
-		}
+	resp, err := c.RPC(wire.TopicTrace, 0, map[string]any{"id": id, "gather": true})
+	fatalIf(err)
+	var body struct {
+		Spans  []obs.Span `json:"spans"`
+		Ranks  []int      `json:"ranks"`
+		Errors []string   `json:"errors"`
 	}
-	if len(spans) == 0 {
+	fatalIf(resp.UnpackJSON(&body))
+	for _, e := range body.Errors {
+		fmt.Fprintf(os.Stderr, "flux: %s\n", e)
+	}
+	if len(body.Spans) == 0 {
 		fmt.Printf("no spans recorded for trace %s\n", idArg)
 		return
 	}
-	sort.Slice(spans, func(i, j int) bool {
-		if spans[i].Hop != spans[j].Hop {
-			return spans[i].Hop < spans[j].Hop
+	tree := obs.AssembleTrace(body.Spans)
+	onPath := map[*obs.TraceNode]bool{}
+	for _, n := range tree.CriticalPath() {
+		onPath[n] = true
+	}
+	fmt.Printf("trace %#x: %d spans across %d ranks, end-to-end %.1fus\n",
+		tree.Trace, len(tree.Spans), len(body.Ranks), float64(tree.TotalNS())/1e3)
+	var walk func(n *obs.TraceNode, depth int)
+	walk = func(n *obs.TraceNode, depth int) {
+		s := n.Span
+		mark := " "
+		if onPath[n] {
+			mark = "*"
 		}
-		return spans[i].StartNS < spans[j].StartNS
-	})
-	fmt.Printf("trace %#x: %d spans\n", id, len(spans))
-	for _, s := range spans {
 		errs := ""
 		if s.Errnum != 0 {
 			errs = fmt.Sprintf("  errno=%d", s.Errnum)
 		}
-		fmt.Printf("  hop %3d  rank %3d  %-8s %-24s via %-14s queue %8.1fus work %8.1fus%s\n",
-			s.Hop, s.Rank, s.Kind, s.Topic, s.Link,
+		fmt.Printf("%s %*shop %d rank %d  %-8s %-24s via %-14s queue %8.1fus work %8.1fus%s\n",
+			mark, depth*2, "", s.Hop, s.Rank, s.Kind, s.Topic, s.Link,
 			float64(s.QueueNS)/1e3, float64(s.WorkNS)/1e3, errs)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
 	}
+	for _, r := range tree.Roots {
+		walk(r, 0)
+	}
+	if path := tree.CriticalPath(); len(path) > 0 {
+		fmt.Printf("critical path: %d hops, ends at rank %d (%s)\n",
+			len(path), path[len(path)-1].Span.Rank, path[len(path)-1].Span.Topic)
+	}
+}
+
+// cmdDmesg prints merged, time-ordered log records. By default it asks
+// rank 0 for a session-wide tree gather (including the root's
+// aggregation ring, which still holds warnings from dead ranks);
+// --rank N reads one broker's local ring; --follow keeps polling with a
+// time cursor, tail -f style.
+func cmdDmesg(c *client.Client, args []string) {
+	rank := -1
+	level := 0
+	follow := false
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "--rank":
+			i++
+			if i >= len(args) {
+				usage()
+			}
+			r, err := strconv.Atoi(args[i])
+			fatalIf(err)
+			rank = r
+		case "--level":
+			i++
+			if i >= len(args) {
+				usage()
+			}
+			l, ok := obs.ParseLevel(args[i])
+			if !ok {
+				fatalIf(fmt.Errorf("unknown level %q", args[i]))
+			}
+			level = l
+		case "--follow", "-f":
+			follow = true
+		default:
+			usage()
+		}
+	}
+	query := func(sinceNS int64) []obs.Record {
+		body := map[string]any{"level": level, "since_ns": sinceNS}
+		nodeid := uint32(0)
+		if rank >= 0 {
+			nodeid = uint32(rank)
+		} else {
+			body["subtree"] = true
+			body["fwd"] = true
+		}
+		resp, err := c.RPC(wire.TopicDmesg, nodeid, body)
+		fatalIf(err)
+		var out struct {
+			Records []obs.Record `json:"records"`
+			Errors  []string     `json:"errors"`
+		}
+		fatalIf(resp.UnpackJSON(&out))
+		for _, e := range out.Errors {
+			fmt.Fprintf(os.Stderr, "flux: %s\n", e)
+		}
+		return out.Records
+	}
+	var cursor int64
+	for {
+		recs := query(cursor)
+		for _, r := range recs {
+			printRecord(r)
+			if r.TimeNS > cursor {
+				cursor = r.TimeNS
+			}
+		}
+		if !follow {
+			return
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+}
+
+// printRecord renders one log record dmesg-style.
+func printRecord(r obs.Record) {
+	t := time.Unix(0, r.TimeNS)
+	fmt.Printf("%s rank %3d epoch %2d [%-6s] %s: %s\n",
+		t.Format("2006-01-02T15:04:05.000"), r.Rank, r.Epoch, obs.LevelName(r.Level), r.Sub, r.Msg)
+}
+
+// cmdDump snapshots every live rank's flight-recorder state (recent
+// logs, trace spans, metrics) into one combined JSON dump, to stdout or
+// a file with -o.
+func cmdDump(c *client.Client, args []string) {
+	outFile := ""
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-o":
+			i++
+			if i >= len(args) {
+				usage()
+			}
+			outFile = args[i]
+		default:
+			usage()
+		}
+	}
+	resp, err := c.RPC(wire.TopicInfo, wire.NodeidAny, nil)
+	fatalIf(err)
+	var info struct {
+		Size       int   `json:"size"`
+		Tombstones []int `json:"tombstones"`
+	}
+	fatalIf(resp.UnpackJSON(&info))
+	dead := map[int]bool{}
+	for _, r := range info.Tombstones {
+		dead[r] = true
+	}
+	d := obs.FlightDump{Reason: "flux-dump", WhenNS: time.Now().UnixNano()}
+	for r := 0; r < info.Size; r++ {
+		if dead[r] {
+			continue
+		}
+		resp, err := c.RPC(wire.TopicDump, uint32(r), nil)
+		if err != nil {
+			d.Errors = append(d.Errors, fmt.Sprintf("rank %d: %v", r, err))
+			continue
+		}
+		var fr obs.FlightRank
+		if err := resp.UnpackJSON(&fr); err != nil {
+			d.Errors = append(d.Errors, fmt.Sprintf("rank %d: %v", r, err))
+			continue
+		}
+		d.Ranks = append(d.Ranks, fr)
+	}
+	data, err := json.MarshalIndent(d, "", " ")
+	fatalIf(err)
+	if outFile == "" {
+		fmt.Println(string(data))
+		return
+	}
+	fatalIf(os.WriteFile(outFile, data, 0o644))
+	fmt.Printf("wrote %s (%d ranks, %d errors)\n", outFile, len(d.Ranks), len(d.Errors))
 }
 
 func cmdLog(c *client.Client, args []string) {

@@ -111,3 +111,7 @@ func TestPoolOwnershipFixture(t *testing.T) {
 func TestErrnoCompletenessFixture(t *testing.T) {
 	checkPassFixture(t, errnoCompletenessPass, "errnocomplete")
 }
+
+func TestLogDisciplineFixture(t *testing.T) {
+	checkPassFixture(t, logDisciplinePass, "internal/logdisc")
+}

@@ -49,6 +49,7 @@ var passes = []Pass{
 	fsyncDisciplinePass,
 	poolOwnershipPass,
 	errnoCompletenessPass,
+	logDisciplinePass,
 }
 
 // directive is one parsed //fluxlint:ignore comment.

@@ -1,0 +1,64 @@
+package main
+
+// log-discipline: internal packages must log through the broker's log
+// plane (obs.Logger / Handle.Log), never through the stdlib log
+// package. A raw log.Printf writes to a process-global sink that the
+// telemetry plane cannot see: the record never reaches the rank's ring,
+// is never forwarded upstream, and is invisible to flux dmesg and the
+// flight recorder. Test files are exempt (the loader skips them), as is
+// everything outside internal/ (commands talk to a terminal, not a
+// session).
+//
+// Detection resolves the imported package through the type info, so an
+// aliased import (stdlog "log") is caught and a local identifier named
+// "log" is not.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+const logDisciplineName = "log-discipline"
+
+var logDisciplinePass = Pass{
+	Name: logDisciplineName,
+	Doc:  "flag stdlib log calls in internal packages; use the broker log plane",
+	Run:  runLogDiscipline,
+}
+
+func runLogDiscipline(l *Loader, p *Package) []Finding {
+	if !strings.Contains(p.Path, "/internal/") {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "log" {
+				return true
+			}
+			out = append(out, Finding{
+				Pass: logDisciplineName,
+				Pos:  l.Fset.Position(call.Pos()),
+				Msg: fmt.Sprintf("stdlib log.%s bypasses the log plane; use obs.Logger / Handle.Log",
+					sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+package logdisc
+
+import (
+	"log"
+	stdlog "log"
+)
+
+// rawLogging writes through the process-global stdlib logger, which the
+// session log plane never sees.
+func rawLogging(err error) {
+	log.Printf("commit failed: %v", err) // BAD
+	log.Println("retrying")              // BAD
+	stdlog.Printf("aliased: %v", err)    // BAD
+}

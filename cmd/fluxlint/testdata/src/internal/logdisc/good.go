@@ -1,0 +1,20 @@
+package logdisc
+
+// planeLogger mimics the broker log-plane handle: records routed here
+// land in the rank's ring and travel the telemetry plane.
+type planeLogger struct{}
+
+func (planeLogger) Printf(format string, args ...any) {}
+func (planeLogger) Log(level int, sub, format string, args ...any) {}
+
+// disciplined logs through the plane handle.
+func disciplined(err error) {
+	var h planeLogger
+	h.Log(4, "logdisc", "commit failed: %v", err)
+}
+
+// localIdent proves a non-package identifier named log is not flagged.
+func localIdent() {
+	log := planeLogger{}
+	log.Printf("a method on a local, not the stdlib package")
+}

@@ -123,7 +123,7 @@ func (l *link) send(m *wire.Message) error {
 func (b *Broker) send(l *link, m *wire.Message) {
 	if err := l.send(m); err != nil {
 		b.ctr.sendErrors.Inc()
-		b.logf("send on link %s failed: %v", l.id, err)
+		b.log.Warnf(wire.ServiceCMB, "send on link %s failed: %v", l.id, err)
 	}
 }
 
@@ -181,6 +181,14 @@ type Config struct {
 	// 0 defaults to obs.DefaultTraceSpans; negative disables span
 	// recording entirely (the metrics registry stays on).
 	TraceSpans int
+	// LogRecords is the capacity of the broker's structured log ring
+	// (the log plane behind flux dmesg and the flight recorder). 0
+	// defaults to obs.DefaultLogRecords; negative disables buffering
+	// (records still reach the Log mirror).
+	LogRecords int
+	// LogLevel caps the severity recorded into the log ring; 0 defaults
+	// to obs.LevelDebug (record everything).
+	LogLevel int
 	// SessionID names the comms session for the cmb.join membership
 	// handshake: a joiner presenting a different id is refused admission.
 	SessionID string
@@ -258,6 +266,18 @@ type counters struct {
 	leaves           *obs.Counter
 	drains           *obs.Counter
 	epochRejects     *obs.Counter
+
+	// Silent-drop observability: each logf-only drop path also counts,
+	// mirroring the epoch-discipline rule for fenced messages.
+	dropsUnknownType    *obs.Counter
+	dropsEmptyRoute     *obs.Counter
+	dropsUnknownLink    *obs.Counter
+	dropsUnknownControl *obs.Counter
+
+	// Log plane.
+	logRecords    *obs.Counter
+	logForwarded  *obs.Counter
+	logFwdBatches *obs.Counter
 }
 
 // hists are the broker's hot-path latency histograms.
@@ -316,6 +336,18 @@ type Broker struct {
 	traces   *obs.TraceBuffer
 	traceSeq atomic.Uint64
 	depth    int // this rank's depth in the tree (root = 0)
+
+	// Log plane: the structured record ring and its leveled front end
+	// (b.log replaces the old ad-hoc b.logf), plus the aggregation ring
+	// holding warn+ records forwarded up the tree by descendants. boot
+	// stamps this incarnation so records survive rank restarts
+	// unambiguously. lastFwd is the forwarding cursor: the highest local
+	// Seq already batched upstream.
+	log     *obs.Logger
+	fwd     *obs.LogRing
+	boot    int64
+	lastFwd atomic.Uint64
+	fwding  atomic.Bool // an upstream log batch is being built
 
 	// bg tracks loop-spawned background work (e.g. async rmmod drains)
 	// so Shutdown does not return while any of it is still running.
@@ -400,6 +432,15 @@ func New(cfg Config) (*Broker, error) {
 		leaves:           reg.Counter(wire.MetricLeaves),
 		drains:           reg.Counter(wire.MetricDrains),
 		epochRejects:     reg.Counter(wire.MetricEpochRejects),
+
+		dropsUnknownType:    reg.Counter(wire.MetricDropsUnknownType),
+		dropsEmptyRoute:     reg.Counter(wire.MetricDropsEmptyRoute),
+		dropsUnknownLink:    reg.Counter(wire.MetricDropsUnknownLink),
+		dropsUnknownControl: reg.Counter(wire.MetricDropsUnknownControl),
+
+		logRecords:    reg.Counter(wire.MetricLogRecords),
+		logForwarded:  reg.Counter(wire.MetricLogForwarded),
+		logFwdBatches: reg.Counter(wire.MetricLogFwdBatches),
 	}
 	b.epochGauge = reg.Gauge(wire.MetricEpoch)
 	b.epochGauge.Set(int64(epoch))
@@ -417,8 +458,37 @@ func New(cfg Config) (*Broker, error) {
 		spans = 0
 	}
 	b.traces = obs.NewTraceBuffer(spans)
+
+	// Log plane: the local record ring, a same-sized aggregation ring
+	// for records forwarded up by descendants, and the leveled logger.
+	recs := cfg.LogRecords
+	if recs == 0 {
+		recs = obs.DefaultLogRecords
+	}
+	if recs < 0 {
+		recs = 0
+	}
+	b.boot = time.Now().UnixNano()
+	b.log = obs.NewLogger(obs.NewLogRing(recs, b.boot), cfg.Rank)
+	b.fwd = obs.NewLogRing(recs, b.boot)
+	if cfg.LogLevel != 0 {
+		b.log.SetVerbosity(cfg.LogLevel)
+	}
+	b.log.SetEpochFn(b.epoch.Load)
+	b.log.SetCounter(b.ctr.logRecords)
+	if cfg.Log != nil {
+		sink, rank := cfg.Log, cfg.Rank
+		b.log.SetMirror(func(r obs.Record) {
+			sink("rank %d: [%s] %s", rank, r.Sub, r.Msg)
+		})
+	}
 	return b, nil
 }
+
+// Logger returns the broker's leveled logger; comms modules and the
+// session log through it so their records land in the rank's ring with
+// rank/epoch/severity stamps.
+func (b *Broker) Logger() *obs.Logger { return b.log }
 
 // newTraceID originates a session-unique, nonzero trace id: the
 // originating rank (+1, so rank 0 still yields nonzero ids) in the high
@@ -533,11 +603,6 @@ func (b *Broker) Stats() Stats {
 	}
 }
 
-func (b *Broker) logf(format string, args ...any) {
-	if b.cfg.Log != nil {
-		b.cfg.Log("rank %d: "+format, append([]any{b.cfg.Rank}, args...)...)
-	}
-}
 
 // AttachConn registers a transport connection as a link of the given
 // kind and starts its reader. Safe to call before or after Start.
@@ -677,7 +742,8 @@ func (b *Broker) loop() {
 		case wire.Control:
 			b.handleControl(in)
 		default:
-			b.logf("dropping message of unknown type %d", in.msg.Type)
+			b.ctr.dropsUnknownType.Inc()
+			b.log.Warnf(wire.ServiceCMB, "dropping message of unknown type %d", in.msg.Type)
 		}
 	}
 }
@@ -908,14 +974,16 @@ func (b *Broker) forwardResponse(in inbound) string {
 	}
 	id, ok := m.PopRoute()
 	if !ok {
-		b.logf("response %s with empty route stack dropped", m.Topic)
+		b.ctr.dropsEmptyRoute.Inc()
+		b.log.LogT(obs.LevelWarn, wire.ServiceCMB, m.TraceID, "response %s with empty route stack dropped", m.Topic)
 		return ""
 	}
 	b.mu.Lock()
 	l, ok := b.links[id]
 	b.mu.Unlock()
 	if !ok {
-		b.logf("response %s to unknown link %q dropped", m.Topic, id)
+		b.ctr.dropsUnknownLink.Inc()
+		b.log.LogT(obs.LevelWarn, wire.ServiceCMB, m.TraceID, "response %s to unknown link %q dropped", m.Topic, id)
 		return ""
 	}
 	b.sendHandoff(l, m)
@@ -1061,7 +1129,8 @@ func (b *Broker) handleControl(in inbound) {
 			}
 		}
 	default:
-		b.logf("unknown control %q dropped", in.msg.Topic)
+		b.ctr.dropsUnknownControl.Inc()
+		b.log.Warnf(wire.ServiceCMB, "unknown control %q dropped", in.msg.Topic)
 	}
 }
 

@@ -106,28 +106,33 @@ func (b *Broker) builtinRequest(m *wire.Message) bool {
 		}
 		return true
 	case "trace":
-		var body struct {
-			ID uint64 `json:"id"`
-		}
+		var body traceBody
 		if len(m.Payload) > 0 {
 			if err := m.UnpackJSON(&body); err != nil {
 				b.respondErr(m, ErrnoInval, err.Error())
 				return true
 			}
 		}
-		spans := b.traces.Snapshot(body.ID)
-		if spans == nil {
-			spans = []obs.Span{}
-		}
-		resp, err := wire.NewResponse(m, map[string]any{
-			"rank":  b.cfg.Rank,
-			"spans": spans,
-		})
-		if err != nil {
-			b.respondErr(m, ErrnoInval, err.Error())
+		if body.Gather {
+			// The session-wide gather issues RPCs and must not block the
+			// loop; Shutdown waits for it through b.bg (like rmmod).
+			b.bg.Add(1)
+			go func() {
+				defer b.bg.Done()
+				b.respondTrace(m, b.gatherTrace(body))
+			}()
 			return true
 		}
-		b.routeResponse(inbound{msg: resp})
+		b.respondTrace(m, b.localTrace(body))
+		return true
+	case "dmesg":
+		b.serveDmesg(m)
+		return true
+	case "logfwd":
+		b.serveLogFwd(m)
+		return true
+	case "dump":
+		b.serveDump(m)
 		return true
 	case "rmmod":
 		var body struct {
@@ -235,6 +240,10 @@ func (b *Broker) applyEvent(ev *wire.Message) {
 	if over := len(b.eventHist) - b.cfg.EventHistory; over > 0 {
 		b.eventHist = append([]*wire.Message(nil), b.eventHist[over:]...)
 	}
+	// Every broker applies every event, so the session heartbeat doubles
+	// as the log plane's clock: each pulse flushes pending warn+ records
+	// one hop upstream (after the lock below is released).
+	heartbeat := ev.Topic == wire.EventHeartbeat
 
 	// Snapshot recipients under the lock; deliver outside it.
 	var mods []*moduleRunner
@@ -270,6 +279,9 @@ func (b *Broker) applyEvent(ev *wire.Message) {
 	b.mu.Unlock()
 
 	b.ctr.eventsApplied.Inc()
+	if heartbeat {
+		b.maybeForwardLogs()
+	}
 
 	// Events are immutable once published: the same message value is
 	// shared by every local recipient and forwarded child.

@@ -12,6 +12,7 @@ import (
 
 	"fluxgo/internal/clock"
 	"fluxgo/internal/debuglock"
+	"fluxgo/internal/obs"
 	"fluxgo/internal/wire"
 )
 
@@ -93,10 +94,25 @@ func (h *Handle) RankSpace() int { return h.b.RankSpace() }
 // JoinedLate reports whether the broker joined after session start.
 func (h *Handle) JoinedLate() bool { return h.b.JoinedLate() }
 
-// Logf routes a diagnostic line to the broker's configured logger, so
-// modules can report background failures (a dropped event publish, a
-// failed upstream reduction) without their own logging plumbing.
-func (h *Handle) Logf(format string, args ...any) { h.b.logf(format, args...) }
+// Log records a leveled, subsystem-tagged diagnostic in the broker's
+// structured log ring (the telemetry plane behind flux dmesg). sub
+// names the subsystem, normally the module's service name.
+func (h *Handle) Log(level int, sub, format string, args ...any) {
+	h.b.log.Log(level, sub, format, args...)
+}
+
+// Logger exposes the broker's leveled logger for modules that gate
+// expensive diagnostics on Logger().Enabled(level).
+func (h *Handle) Logger() *obs.Logger { return h.b.log }
+
+// Logf routes a diagnostic line to the broker's log plane at warning
+// severity — the compatibility shim for module code reporting
+// background failures (a dropped event publish, a failed upstream
+// reduction) without its own logging plumbing. New code should use Log
+// with an explicit level and subsystem.
+func (h *Handle) Logf(format string, args ...any) {
+	h.b.log.Warnf("module", format, args...)
+}
 
 // deliver is called by the broker loop to hand a message to the handle.
 // It reports false once the handle has shut down.

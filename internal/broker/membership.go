@@ -111,7 +111,7 @@ func (b *Broker) admitEpoch(in inbound) bool {
 func (b *Broker) rejectEpoch(in inbound, why string) {
 	b.ctr.epochRejects.Inc()
 	m := in.msg
-	b.logf("epoch fence: %s %q from %s rejected: %s", m.Type, m.Topic, in.from.id, why)
+	b.log.Debugf(wire.ServiceCMB, "epoch fence: %s %q from %s rejected: %s", m.Type, m.Topic, in.from.id, why)
 	if m.Type == wire.Request && m.Seq != 0 {
 		m.PushRoute(in.from.id)
 		b.respondErr(m, ErrnoStale, fmt.Sprintf("rank %d: stale membership epoch: %s", b.cfg.Rank, why))
@@ -130,7 +130,7 @@ func (b *Broker) rejectEpoch(in inbound, why string) {
 func (b *Broker) applyMembershipLocked(ev *wire.Message) {
 	var body MembershipEvent
 	if err := ev.UnpackJSON(&body); err != nil || body.Rank < 0 {
-		b.logf("malformed membership event %q dropped: %v", ev.Topic, err)
+		b.log.Warnf(wire.ServiceCMB, "malformed membership event %q dropped: %v", ev.Topic, err)
 		return
 	}
 	switch ev.Topic {
@@ -240,7 +240,7 @@ func (b *Broker) syncMembership() {
 	defer h.Close()
 	resp, err := h.RPC(wire.TopicInfo, wire.NodeidUpstream, nil)
 	if err != nil {
-		b.logf("membership sync: %v", err)
+		b.log.Debugf(wire.ServiceCMB, "membership sync: %v", err)
 		return
 	}
 	var body struct {
@@ -249,7 +249,7 @@ func (b *Broker) syncMembership() {
 		Tombstones []int  `json:"tombstones"`
 	}
 	if err := resp.UnpackJSON(&body); err != nil {
-		b.logf("membership sync: bad info response: %v", err)
+		b.log.Warnf(wire.ServiceCMB, "membership sync: bad info response: %v", err)
 		return
 	}
 	b.mu.Lock()

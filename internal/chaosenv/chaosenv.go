@@ -47,3 +47,8 @@ func Duration(def time.Duration) time.Duration {
 	}
 	return def
 }
+
+// DumpDir returns the flight-recorder dump directory (FLUX_DUMP_DIR),
+// or "" when unset. Soaks that find it set enable the session flight
+// recorder there, so a CI failure ships its telemetry as an artifact.
+func DumpDir() string { return os.Getenv("FLUX_DUMP_DIR") }

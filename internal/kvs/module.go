@@ -220,6 +220,22 @@ type Module struct {
 	histLoad       *obs.Histogram
 	histReplay     *obs.Histogram // cold-restore (recovery replay) latency
 	histCheckpoint *obs.Histogram
+
+	// Storage gauges mirror cas.DurableStats into the broker registry so
+	// flux stats / flight dumps carry the disk tier's state without a
+	// separate kvs.storage RPC. gaugePoisoned is the latch the session
+	// flight recorder polls for (*.storage.poisoned nonzero => dump).
+	gaugeWALBytes   *obs.Gauge
+	gaugeWALRecords *obs.Gauge
+	gaugeSyncs      *obs.Gauge
+	gaugeCkpts      *obs.Gauge
+	gaugePackSeq    *obs.Gauge
+	gaugePackBytes  *obs.Gauge
+	gaugeIndexed    *obs.Gauge
+	gaugeRecovered  *obs.Gauge
+	gaugeReplayed   *obs.Gauge
+	gaugeDiskLoads  *obs.Gauge
+	gaugePoisoned   *obs.Gauge
 }
 
 // NewModule returns a kvs module instance with the given configuration.
@@ -244,7 +260,7 @@ func (m *Module) setrootTopic() string { return m.cfg.Service + ".setroot" }
 
 // Subscriptions implements broker.Module: root updates plus the session
 // heartbeat used to synchronize cache expiry.
-func (m *Module) Subscriptions() []string { return []string{m.setrootTopic(), "hb"} }
+func (m *Module) Subscriptions() []string { return []string{m.setrootTopic(), wire.EventHeartbeat} }
 
 // Init implements broker.Module.
 func (m *Module) Init(h *broker.Handle) error {
@@ -266,6 +282,17 @@ func (m *Module) Init(h *broker.Handle) error {
 	m.histLoad = reg.Histogram(svc + ".load_ns")
 	m.histReplay = reg.Histogram(svc + ".replay_ns")
 	m.histCheckpoint = reg.Histogram(svc + ".checkpoint_ns")
+	m.gaugeWALBytes = reg.Gauge(svc + ".storage.wal_bytes")
+	m.gaugeWALRecords = reg.Gauge(svc + ".storage.wal_records")
+	m.gaugeSyncs = reg.Gauge(svc + ".storage.syncs")
+	m.gaugeCkpts = reg.Gauge(svc + ".storage.checkpoints")
+	m.gaugePackSeq = reg.Gauge(svc + ".storage.pack_seq")
+	m.gaugePackBytes = reg.Gauge(svc + ".storage.pack_bytes")
+	m.gaugeIndexed = reg.Gauge(svc + ".storage.indexed_objects")
+	m.gaugeRecovered = reg.Gauge(svc + ".storage.recovered_objects")
+	m.gaugeReplayed = reg.Gauge(svc + ".storage.replayed_records")
+	m.gaugeDiskLoads = reg.Gauge(svc + ".storage.disk_loads")
+	m.gaugePoisoned = reg.Gauge(svc + ".storage.poisoned")
 
 	if m.cfg.Dir == "" {
 		m.store = cas.NewStore(h.Clock())
@@ -290,11 +317,39 @@ func (m *Module) Init(h *broker.Handle) error {
 			// tree: acknowledged commits survive the restart by
 			// construction (the ack barrier is Commit's fsync).
 			m.root, m.version = root, version
-			m.h.Logf("%s: master recovered root %s v%d (%d objects, %d WAL records replayed)",
-				svc, root.Short(), version, st.RecoveredObjects, st.ReplayedRecords)
+			m.h.Log(obs.LevelInfo, svc,
+				"master recovered root %s v%d (%d objects, %d WAL records replayed)",
+				root.Short(), version, st.RecoveredObjects, st.ReplayedRecords)
 		}
 	}
+	m.syncStorageMetrics()
 	return nil
+}
+
+// syncStorageMetrics copies the durable tier's counters into the broker
+// registry gauges. Called wherever the disk state moves (commit,
+// checkpoint, heartbeat, storage RPC) so flux stats and flight dumps
+// see a current picture without asking the cas layer directly.
+func (m *Module) syncStorageMetrics() {
+	if m.disk == nil {
+		return
+	}
+	st := m.disk.Stats()
+	m.gaugeWALBytes.Set(st.WALBytes)
+	m.gaugeWALRecords.Set(int64(st.WALRecords))
+	m.gaugeSyncs.Set(int64(st.Syncs))
+	m.gaugeCkpts.Set(int64(st.Checkpoints))
+	m.gaugePackSeq.Set(int64(st.PackSeq))
+	m.gaugePackBytes.Set(st.PackBytes)
+	m.gaugeIndexed.Set(int64(st.IndexedObjects))
+	m.gaugeRecovered.Set(int64(st.RecoveredObjects))
+	m.gaugeReplayed.Set(int64(st.ReplayedRecords))
+	m.gaugeDiskLoads.Set(int64(st.DiskLoads))
+	if st.SinkErr != "" {
+		m.gaugePoisoned.Set(1)
+	} else {
+		m.gaugePoisoned.Set(0)
+	}
 }
 
 // Shutdown implements broker.Module.
@@ -303,7 +358,7 @@ func (m *Module) Shutdown() {
 	m.wg.Wait()
 	if m.disk != nil {
 		if err := m.disk.Close(); err != nil {
-			m.h.Logf("%s: durable close: %v", m.cfg.Service, err)
+			m.h.Log(obs.LevelWarn, m.cfg.Service, "durable close: %v", err)
 		}
 	}
 }
@@ -330,11 +385,12 @@ func (m *Module) upstreamTarget() uint32 {
 func (m *Module) Recv(msg *wire.Message) {
 	if msg.Type == wire.Event {
 		switch msg.Topic {
-		case "hb":
+		case wire.EventHeartbeat:
 			if m.cfg.CacheMaxAge > 0 && !m.isMaster() {
 				m.store.Expire(m.cfg.CacheMaxAge)
 			}
 			m.pollRootIfStalled()
+			m.syncStorageMetrics()
 		case m.setrootTopic():
 			m.recvSetroot(msg)
 		}
@@ -518,13 +574,15 @@ func (m *Module) maybeCompleteFence(name string, st *fenceState) {
 		// the fence is not poisoned, merely not yet acknowledged.
 		if perr := m.disk.Commit(newRoot, m.version+1); perr != nil {
 			m.obsPersistErrs.Inc()
-			m.h.Logf("%s: fence %q persist: %v", m.cfg.Service, name, perr)
+			m.syncStorageMetrics()
+			m.h.Log(obs.LevelErr, m.cfg.Service, "fence %q persist: %v", name, perr)
 			for _, req := range st.pending {
 				m.h.RespondError(req, broker.ErrnoIO, perr.Error())
 			}
 			st.pending = st.pending[:0]
 			return
 		}
+		m.syncStorageMetrics()
 	}
 	m.root = newRoot
 	m.version++
@@ -559,10 +617,12 @@ func (m *Module) maybeCheckpoint() {
 	m.commitsSinceCkpt = 0
 	start := time.Now()
 	if _, err := m.disk.Checkpoint(); err != nil {
-		m.h.Logf("%s: periodic checkpoint: %v", m.cfg.Service, err)
+		m.h.Log(obs.LevelWarn, m.cfg.Service, "periodic checkpoint: %v", err)
+		m.syncStorageMetrics()
 		return
 	}
 	m.histCheckpoint.Observe(time.Since(start))
+	m.syncStorageMetrics()
 }
 
 // recordDone remembers a completed fence in the bounded reply cache.
@@ -684,7 +744,7 @@ func (m *Module) pollRootIfStalled() {
 		// only fail once the broker is shutting down, when nothing is
 		// left to unlatch.
 		if serr := m.h.Send(m.cfg.Service+".rootupdate", uint32(m.h.Rank()), body); serr != nil {
-			m.h.Logf("kvs: rootupdate re-injection failed: %v", serr)
+			m.h.Log(obs.LevelWarn, m.cfg.Service, "rootupdate re-injection failed: %v", serr)
 		}
 	}()
 }
@@ -1206,6 +1266,7 @@ func (m *Module) recvStorage(msg *wire.Message) {
 		m.h.RespondError(msg, broker.ErrnoNoSys, m.cfg.Service+": no durable tier configured")
 		return
 	}
+	m.syncStorageMetrics()
 	m.h.Respond(msg, map[string]any{
 		"rank":    m.h.Rank(),
 		"service": m.cfg.Service,

@@ -3,6 +3,7 @@ package kvs
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -100,6 +101,22 @@ func runCrashRestartSoak(t *testing.T, seed int64, dur time.Duration) {
 	for r := 0; r < size; r++ {
 		ch.RegisterStorage(r, disks[r])
 	}
+
+	// With FLUX_DUMP_DIR set (CI), storage faults and a failed soak
+	// leave flight-recorder dumps behind as artifacts.
+	var flight *session.Recorder
+	if dumpDir := chaosenv.DumpDir(); dumpDir != "" {
+		flight = s.EnableFlightRecorder(filepath.Join(dumpDir, fmt.Sprintf("recovery-seed%d", seed)))
+	}
+	t.Cleanup(func() {
+		if flight == nil {
+			return
+		}
+		if t.Failed() {
+			flight.Dump("soak-failed")
+		}
+		flight.Wait()
+	})
 	var masters [recoveryShards]int
 	for i := range masters {
 		masters[i] = ShardMasterRank(i, recoveryShards, size) // ranks 0 and 7
@@ -169,6 +186,9 @@ func runCrashRestartSoak(t *testing.T, seed int64, dur time.Duration) {
 			case <-stopChaos:
 				return
 			case <-ticker.C:
+			}
+			if flight != nil {
+				flight.Poll() // poison latches and errno spikes dump themselves
 			}
 			var deadRanks []int
 			for _, v := range victims {

@@ -18,8 +18,11 @@ import (
 	"fluxgo/internal/wire"
 )
 
-// EventTopic is the heartbeat event topic.
-const EventTopic = "hb"
+// EventTopic is the heartbeat event topic. It aliases the wire-level
+// constant because the broker itself keys work off heartbeats (the log
+// plane flushes warn+ batches upstream on each pulse) and must agree on
+// the topic without importing this package.
+const EventTopic = wire.EventHeartbeat
 
 // Body is the heartbeat event payload.
 type Body struct {

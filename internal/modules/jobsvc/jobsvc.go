@@ -20,6 +20,7 @@ import (
 	"fluxgo/internal/kvs"
 	"fluxgo/internal/modules/resrc"
 	"fluxgo/internal/modules/wexec"
+	"fluxgo/internal/obs"
 	"fluxgo/internal/wire"
 )
 
@@ -156,7 +157,7 @@ func (m *Module) record(info *Info) uint64 {
 	if _, err := m.h.PublishEvent("job.state", stateEvent{ID: info.ID, State: info.State, Version: version}); err != nil {
 		// The KVS record is committed; only the notification was lost.
 		// Waiters polling the KVS still converge.
-		m.h.Logf("jobsvc: job.state event for %q failed: %v", info.ID, err)
+		m.h.Log(obs.LevelWarn, "jobsvc", "job.state event for %q failed: %v", info.ID, err)
 	}
 	return version
 }

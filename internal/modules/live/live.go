@@ -14,6 +14,7 @@ import (
 
 	"fluxgo/internal/broker"
 	"fluxgo/internal/modules/hb"
+	"fluxgo/internal/obs"
 	"fluxgo/internal/wire"
 )
 
@@ -148,7 +149,7 @@ func (m *Module) onHeartbeat(msg *wire.Message) {
 		if _, err := m.h.PublishEvent("live.down", statusBody{Rank: r}); err != nil {
 			// Un-flag the rank so the next heartbeat epoch re-detects it
 			// and retries the announcement.
-			m.h.Logf("live: down event for rank %d failed: %v", r, err)
+			m.h.Log(obs.LevelWarn, "live", "down event for rank %d failed: %v", r, err)
 			m.mu.Lock()
 			delete(m.deemed, r)
 			m.mu.Unlock()
@@ -176,7 +177,7 @@ func (m *Module) onHello(msg *wire.Message) {
 	m.mu.Unlock()
 	if wasDead {
 		if _, err := m.h.PublishEvent("live.up", statusBody{Rank: body.Rank}); err != nil {
-			m.h.Logf("live: up event for rank %d failed: %v", body.Rank, err)
+			m.h.Log(obs.LevelWarn, "live", "up event for rank %d failed: %v", body.Rank, err)
 		}
 	}
 }

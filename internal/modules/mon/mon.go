@@ -15,6 +15,7 @@ import (
 	"fluxgo/internal/broker"
 	"fluxgo/internal/kvs"
 	"fluxgo/internal/modules/hb"
+	"fluxgo/internal/obs"
 	"fluxgo/internal/wire"
 )
 
@@ -263,7 +264,7 @@ func (m *Module) finalize(epoch uint64, st *epochState) {
 		return
 	}
 	if _, err := m.h.PublishEvent("mon.epoch", map[string]uint64{"epoch": epoch}); err != nil {
-		m.h.Logf("mon: epoch %d event publish failed: %v", epoch, err)
+		m.h.Log(obs.LevelWarn, "mon", "epoch %d event publish failed: %v", epoch, err)
 	}
 }
 
@@ -291,7 +292,7 @@ func (m *Module) Idle() {
 			if _, err := m.h.RPC("mon.reduce", wire.NodeidUpstream, batch); err != nil {
 				// Merge the partial back so the next Idle pass retries
 				// it instead of silently losing the contribution.
-				m.h.Logf("mon: reduce epoch %d failed, requeued: %v", batch.Epoch, err)
+				m.h.Log(obs.LevelWarn, "mon", "reduce epoch %d failed, requeued: %v", batch.Epoch, err)
 				m.contribute(batch.Epoch, batch.Ranks, batch.Metrics)
 			}
 		}()

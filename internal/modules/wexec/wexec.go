@@ -370,7 +370,7 @@ func (m *Module) finishJob(jobid string) {
 	if _, err := m.h.PublishEvent("wexec.complete", map[string]any{
 		"jobid": jobid, "state": state, "version": version,
 	}); err != nil {
-		m.h.Logf("wexec: complete event for %q failed: %v", jobid, err)
+		m.h.Log(obs.LevelWarn, "wexec", "complete event for %q failed: %v", jobid, err)
 	}
 }
 

@@ -1,0 +1,26 @@
+package obs
+
+// Flight recorder types: the JSON shape of a post-mortem snapshot. One
+// FlightRank captures everything a single broker knew when the dump was
+// taken — its recent log records, its span ring, and its metrics
+// registry — and a FlightDump stitches the per-rank snapshots of a
+// whole session together with the reason the recorder fired.
+
+// FlightRank is one broker's contribution to a flight dump.
+type FlightRank struct {
+	Rank    int      `json:"rank"`
+	Epoch   uint32   `json:"epoch"`
+	BootNS  int64    `json:"boot_ns,omitempty"`
+	Records []Record `json:"records,omitempty"`
+	Spans   []Span   `json:"spans,omitempty"`
+	Metrics Snapshot `json:"metrics"`
+}
+
+// FlightDump is a full flight-recorder snapshot.
+type FlightDump struct {
+	Reason  string       `json:"reason"`
+	WhenNS  int64        `json:"when_ns"`
+	Session string       `json:"session,omitempty"`
+	Ranks   []FlightRank `json:"ranks"`
+	Errors  []string     `json:"errors,omitempty"` // ranks that could not be snapshotted
+}

@@ -1,0 +1,51 @@
+package obs
+
+import "testing"
+
+// BenchmarkLogAppend is the log plane's hot-path cost: one formatted
+// record through the Logger into the ring.
+func BenchmarkLogAppend(b *testing.B) {
+	l := NewLogger(NewLogRing(DefaultLogRecords, 1), 3)
+	l.SetEpochFn(func() uint32 { return 2 })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Warnf("bench", "record %d of %d", i, b.N)
+	}
+}
+
+// BenchmarkLogDisabled is the gate cost of a below-verbosity call — the
+// price a hot path pays for a debug line that is off. Formatting args
+// are built behind an Enabled check (the pattern for hot paths; a bare
+// Debugf with args still pays vararg boxing at the call site), so the
+// whole thing must stay allocation-free.
+func BenchmarkLogDisabled(b *testing.B) {
+	l := NewLogger(NewLogRing(DefaultLogRecords, 1), 3)
+	l.SetVerbosity(LevelWarn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Debugf("bench", "static record")
+		if l.Enabled(LevelDebug) {
+			l.Debugf("bench", "record %d of %d", i, b.N)
+		}
+	}
+}
+
+// BenchmarkLogSnapshot measures a filtered ring snapshot over a full
+// ring — what a heartbeat flush or dmesg query costs the origin.
+func BenchmarkLogSnapshot(b *testing.B) {
+	r := NewLogRing(DefaultLogRecords, 1)
+	for i := 0; i < DefaultLogRecords; i++ {
+		lvl := LevelDebug
+		if i%8 == 0 {
+			lvl = LevelWarn
+		}
+		r.Append(Record{TimeNS: int64(i + 1), Level: lvl, Msg: "x"})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Snapshot(LogFilter{MaxLevel: LevelWarn})
+	}
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLogRingAppendSnapshot(t *testing.T) {
+	r := NewLogRing(4, 100)
+	for i := 0; i < 6; i++ {
+		r.Append(Record{TimeNS: int64(i + 1), Level: LevelInfo, Msg: fmt.Sprintf("m%d", i)})
+	}
+	recs := r.Snapshot(LogFilter{})
+	if len(recs) != 4 {
+		t.Fatalf("snapshot len = %d, want 4 (ring capacity)", len(recs))
+	}
+	// Oldest two were overwritten; arrival order preserved.
+	for i, rec := range recs {
+		if want := fmt.Sprintf("m%d", i+2); rec.Msg != want {
+			t.Errorf("recs[%d].Msg = %q, want %q", i, rec.Msg, want)
+		}
+		if rec.Seq != uint64(i+3) {
+			t.Errorf("recs[%d].Seq = %d, want %d", i, rec.Seq, i+3)
+		}
+		if rec.BootNS != 100 {
+			t.Errorf("recs[%d].BootNS = %d, want 100", i, rec.BootNS)
+		}
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", r.Dropped())
+	}
+	if r.Len() != 4 {
+		t.Errorf("Len = %d, want 4", r.Len())
+	}
+	if r.LastSeq() != 6 {
+		t.Errorf("LastSeq = %d, want 6", r.LastSeq())
+	}
+}
+
+func TestLogRingPreservesForwardedStamps(t *testing.T) {
+	r := NewLogRing(8, 999)
+	// A forwarded record arrives with its origin seq and boot intact.
+	r.Append(Record{Seq: 42, BootNS: 7, TimeNS: 1, Rank: 3, Msg: "forwarded"})
+	recs := r.Snapshot(LogFilter{})
+	if len(recs) != 1 || recs[0].Seq != 42 || recs[0].BootNS != 7 {
+		t.Fatalf("forwarded record = %+v, want Seq=42 BootNS=7", recs)
+	}
+}
+
+func TestLogFilter(t *testing.T) {
+	r := NewLogRing(16, 1)
+	r.Append(Record{TimeNS: 10, Level: LevelDebug, Msg: "d"})
+	r.Append(Record{TimeNS: 20, Level: LevelWarn, Msg: "w"})
+	r.Append(Record{TimeNS: 30, Level: LevelErr, Msg: "e"})
+	r.Append(Record{TimeNS: 40, Level: LevelInfo, Msg: "i"})
+
+	warns := r.Snapshot(LogFilter{MaxLevel: LevelWarn})
+	if len(warns) != 2 || warns[0].Msg != "w" || warns[1].Msg != "e" {
+		t.Fatalf("MaxLevel=warn snapshot = %+v", warns)
+	}
+	since := r.Snapshot(LogFilter{SinceSeq: 2})
+	if len(since) != 2 || since[0].Msg != "e" {
+		t.Fatalf("SinceSeq=2 snapshot = %+v", since)
+	}
+	sinceT := r.Snapshot(LogFilter{SinceNS: 25})
+	if len(sinceT) != 2 || sinceT[0].Msg != "e" {
+		t.Fatalf("SinceNS=25 snapshot = %+v", sinceT)
+	}
+	newest := r.Snapshot(LogFilter{Max: 1})
+	if len(newest) != 1 || newest[0].Msg != "i" {
+		t.Fatalf("Max=1 snapshot = %+v", newest)
+	}
+}
+
+func TestLoggerLevelsAndGate(t *testing.T) {
+	ring := NewLogRing(16, 1)
+	l := NewLogger(ring, 5)
+	l.SetEpochFn(func() uint32 { return 9 })
+	var now int64
+	l.SetNow(func() int64 { now++; return now })
+
+	l.SetVerbosity(LevelWarn)
+	if l.Enabled(LevelDebug) {
+		t.Fatal("debug enabled above verbosity gate")
+	}
+	l.Debugf("sub", "dropped %d", 1)
+	l.Warnf("sub", "kept %d", 2)
+	l.Errorf("sub", "kept %d", 3)
+	recs := ring.Snapshot(LogFilter{})
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2 (debug gated)", len(recs))
+	}
+	if recs[0].Msg != "kept 2" || recs[0].Level != LevelWarn || recs[0].Rank != 5 || recs[0].Epoch != 9 {
+		t.Fatalf("warn record = %+v", recs[0])
+	}
+}
+
+func TestLoggerMirrorAndCounter(t *testing.T) {
+	ring := NewLogRing(16, 1)
+	l := NewLogger(ring, 0)
+	var mirrored []Record
+	l.SetMirror(func(r Record) { mirrored = append(mirrored, r) })
+	reg := NewRegistry()
+	c := reg.Counter("recs")
+	l.SetCounter(c)
+	l.LogT(LevelNotice, "s", 77, "msg")
+	if len(mirrored) != 1 || mirrored[0].Trace != 77 || mirrored[0].Seq != 1 {
+		t.Fatalf("mirror saw %+v", mirrored)
+	}
+	if c.Load() != 1 {
+		t.Fatalf("counter = %d, want 1", c.Load())
+	}
+}
+
+func TestNilLoggerAndRing(t *testing.T) {
+	var l *Logger
+	l.Warnf("sub", "must not panic")
+	l.SetVerbosity(LevelErr)
+	if l.Enabled(LevelErr) {
+		t.Fatal("nil logger claims enabled")
+	}
+	var r *LogRing
+	if r.Append(Record{}) != 0 || r.Snapshot(LogFilter{}) != nil || r.Len() != 0 {
+		t.Fatal("nil ring misbehaved")
+	}
+}
+
+// TestLogRingConcurrent hammers a ring and its logger from many
+// goroutines while snapshots run — the -race harness for the log plane.
+func TestLogRingConcurrent(t *testing.T) {
+	ring := NewLogRing(128, 1)
+	l := NewLogger(ring, 1)
+	l.SetEpochFn(func() uint32 { return 3 })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Warnf("sub", "g%d i%d", g, i)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ring.Snapshot(LogFilter{MaxLevel: LevelWarn})
+				ring.Len()
+				ring.LastSeq()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ring.LastSeq(); got != 1600 {
+		t.Fatalf("LastSeq = %d, want 1600", got)
+	}
+	if got := ring.Len(); got != 128 {
+		t.Fatalf("Len = %d, want 128", got)
+	}
+}
+
+// TestTraceBufferConcurrent does the same for the span ring.
+func TestTraceBufferConcurrent(t *testing.T) {
+	tb := NewTraceBuffer(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tb.Append(Span{Trace: uint64(g + 1), Rank: g, StartNS: int64(i)})
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tb.Snapshot(0)
+				tb.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if tb.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", tb.Len())
+	}
+}
+
+func TestMergeAndDedupeRecords(t *testing.T) {
+	a := []Record{
+		{Seq: 1, TimeNS: 10, Rank: 0, BootNS: 1, Msg: "a1"},
+		{Seq: 2, TimeNS: 30, Rank: 0, BootNS: 1, Msg: "a2"},
+	}
+	b := []Record{
+		{Seq: 1, TimeNS: 20, Rank: 1, BootNS: 1, Msg: "b1"},
+		{Seq: 2, TimeNS: 30, Rank: 0, BootNS: 1, Msg: "a2"}, // dup of a2 via forwarding
+		{Seq: 1, TimeNS: 40, Rank: 0, BootNS: 9, Msg: "a1-reborn"},
+	}
+	merged := MergeRecords(a, b)
+	if len(merged) != 5 {
+		t.Fatalf("merged len = %d, want 5", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].TimeNS < merged[i-1].TimeNS {
+			t.Fatalf("merge not time-ordered: %+v", merged)
+		}
+	}
+	deduped := DedupeRecords(merged)
+	if len(deduped) != 4 {
+		t.Fatalf("deduped len = %d, want 4: %+v", len(deduped), deduped)
+	}
+	// Same (rank, seq) under a different boot survives (restart case).
+	found := false
+	for _, r := range deduped {
+		if r.Msg == "a1-reborn" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("restart-incarnation record was wrongly deduped")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]int{
+		"err": LevelErr, "error": LevelErr, "warn": LevelWarn, "warning": LevelWarn,
+		"notice": LevelNotice, "info": LevelInfo, "debug": LevelDebug, "5": 5,
+	} {
+		got, ok := ParseLevel(s)
+		if !ok || got != want {
+			t.Errorf("ParseLevel(%q) = %d,%v want %d", s, got, ok, want)
+		}
+	}
+	for _, s := range []string{"", "loud", "5x"} {
+		if _, ok := ParseLevel(s); ok {
+			t.Errorf("ParseLevel(%q) unexpectedly ok", s)
+		}
+	}
+	if LevelName(LevelWarn) != "warn" || LevelName(42) != "level42" {
+		t.Error("LevelName mapping broken")
+	}
+}

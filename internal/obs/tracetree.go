@@ -1,0 +1,132 @@
+package obs
+
+// Cross-rank trace assembly: given the spans of one trace id gathered
+// from every broker's span ring, reconstruct the causal request tree
+// (which hop caused which) and compute the critical path — the chain of
+// hops ending at the latest-finishing span, i.e. what bounded the
+// trace's end-to-end latency.
+
+import "sort"
+
+// TraceNode is one hop in the assembled causal tree.
+type TraceNode struct {
+	Span     Span
+	Children []*TraceNode
+}
+
+// EndNS is when the hop's work completed.
+func (n *TraceNode) EndNS() int64 {
+	return n.Span.StartNS + n.Span.QueueNS + n.Span.WorkNS
+}
+
+// TraceTree is the assembled view of one trace across all ranks.
+type TraceTree struct {
+	Trace uint64
+	Spans []Span       // all gathered spans, time-ordered
+	Roots []*TraceNode // hops with no in-trace parent (normally one)
+}
+
+// AssembleTrace builds the causal tree of one trace's spans. Spans
+// chain by hop number: a span's Parent names the hop that sent the
+// message here. When several spans share a hop number (fan-out, or hop
+// counter saturation), a child attaches to the latest same- or
+// earlier-starting candidate — the hop that could actually have caused
+// it. Spans from multiple trace ids may be passed; only the id of the
+// first span (after time-ordering) is assembled.
+func AssembleTrace(spans []Span) *TraceTree {
+	t := &TraceTree{}
+	if len(spans) == 0 {
+		return t
+	}
+	ordered := make([]Span, len(spans))
+	copy(ordered, spans)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].StartNS < ordered[j].StartNS
+	})
+	t.Trace = ordered[0].Trace
+	for _, s := range ordered {
+		if s.Trace == t.Trace {
+			t.Spans = append(t.Spans, s)
+		}
+	}
+
+	// Index nodes by hop number, preserving time order within a hop.
+	byHop := map[uint8][]*TraceNode{}
+	nodes := make([]*TraceNode, 0, len(t.Spans))
+	for _, s := range t.Spans {
+		n := &TraceNode{Span: s}
+		nodes = append(nodes, n)
+		byHop[s.Hop] = append(byHop[s.Hop], n)
+	}
+	for _, n := range nodes {
+		s := n.Span
+		if s.Hop == 0 {
+			t.Roots = append(t.Roots, n)
+			continue
+		}
+		var parent *TraceNode
+		for _, cand := range byHop[s.Parent] {
+			if cand == n || cand.Span.StartNS > s.StartNS {
+				continue
+			}
+			parent = cand // candidates are time-ordered: keep the latest
+		}
+		if parent == nil {
+			t.Roots = append(t.Roots, n)
+			continue
+		}
+		parent.Children = append(parent.Children, n)
+	}
+	return t
+}
+
+// CriticalPath returns the root-to-leaf chain ending at the
+// latest-finishing span — the hops that bounded end-to-end latency.
+func (t *TraceTree) CriticalPath() []*TraceNode {
+	var last *TraceNode
+	parent := map[*TraceNode]*TraceNode{}
+	var walk func(n *TraceNode)
+	walk = func(n *TraceNode) {
+		if last == nil || n.EndNS() > last.EndNS() {
+			last = n
+		}
+		for _, c := range n.Children {
+			parent[c] = n
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	if last == nil {
+		return nil
+	}
+	var path []*TraceNode
+	for n := last; n != nil; n = parent[n] {
+		path = append(path, n)
+	}
+	// Reverse into root-first order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// TotalNS is the trace's end-to-end wall time: first span start to
+// latest span end. Zero for an empty tree.
+func (t *TraceTree) TotalNS() int64 {
+	if len(t.Spans) == 0 {
+		return 0
+	}
+	start := t.Spans[0].StartNS
+	var end int64
+	for _, s := range t.Spans {
+		if e := s.StartNS + s.QueueNS + s.WorkNS; e > end {
+			end = e
+		}
+	}
+	if end < start {
+		return 0
+	}
+	return end - start
+}

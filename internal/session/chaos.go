@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fluxgo/internal/cas"
+	"fluxgo/internal/obs"
 	"fluxgo/internal/transport"
 )
 
@@ -212,10 +213,11 @@ func (c *Chaos) Crash(rank int) error {
 	}
 	if fs != nil {
 		if err := fs.Crash(); err != nil {
-			c.s.logf("session: chaos: rank %d storage crash: %v", rank, err)
+			c.s.logAt(obs.LevelWarn, "session: chaos: rank %d storage crash: %v", rank, err)
 		}
 	}
-	c.s.logf("session: chaos: rank %d crashed silently", rank)
+	c.s.logAt(obs.LevelWarn, "session: chaos: rank %d crashed silently", rank)
+	c.s.flightDump(fmt.Sprintf("crash-rank%d", rank))
 	c.s.Broker(rank).Shutdown()
 	return nil
 }
@@ -240,7 +242,8 @@ func (c *Chaos) Sever(rank int) {
 		ep.Close()
 	}
 	c.s.healRing(rank)
-	c.s.logf("session: chaos: rank %d severed (failure detected)", rank)
+	c.s.logAt(obs.LevelWarn, "session: chaos: rank %d severed (failure detected)", rank)
+	c.s.flightDump(fmt.Sprintf("sever-rank%d", rank))
 }
 
 // CrashAndSever is Crash immediately followed by Sever: a crash whose

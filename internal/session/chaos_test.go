@@ -3,6 +3,7 @@ package session
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"sync"
 	"testing"
@@ -94,6 +95,22 @@ func runChaosSoak(t *testing.T, seed int64, dur time.Duration) {
 	}
 	t.Cleanup(s.Close)
 	ch := s.Chaos()
+
+	// With FLUX_DUMP_DIR set (CI), chaos faults auto-dump telemetry and
+	// a failed soak leaves a final snapshot behind as an artifact.
+	var flight *Recorder
+	if dumpDir := chaosenv.DumpDir(); dumpDir != "" {
+		flight = s.EnableFlightRecorder(filepath.Join(dumpDir, fmt.Sprintf("chaos-seed%d", seed)))
+	}
+	t.Cleanup(func() {
+		if flight == nil {
+			return
+		}
+		if t.Failed() {
+			flight.Dump("soak-failed")
+		}
+		flight.Wait()
+	})
 
 	rng := rand.New(rand.NewSource(seed))
 	stop := make(chan struct{})
@@ -195,6 +212,9 @@ func runChaosSoak(t *testing.T, seed int64, dur time.Duration) {
 			case <-stop:
 				return
 			case <-ticker.C:
+			}
+			if flight != nil {
+				flight.Poll() // poison latches and errno spikes dump themselves
 			}
 			switch rng.Intn(6) {
 			case 0, 1: // background noise on every live link

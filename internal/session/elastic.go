@@ -97,6 +97,7 @@ func (s *Session) growOne() (int, error) {
 		RPCTimeout:   s.opts.RPCTimeout,
 		SyncInterval: s.opts.SyncInterval,
 		SessionID:    s.opts.SessionID,
+		LogRecords:   s.opts.LogRecords,
 		Epoch:        epoch,
 		Tombstones:   tombs,
 		Joined:       true,

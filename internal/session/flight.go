@@ -1,0 +1,222 @@
+package session
+
+// The flight recorder: when something goes wrong — a chaos fault, a
+// poisoned storage tier, an errno spike — snapshot every broker's
+// recent log records, trace spans, and metrics registry into one JSON
+// dump on disk. The soaks auto-dump on failure and CI uploads the dumps
+// as artifacts, so a red soak arrives with the telemetry needed to
+// debug it instead of a bare assertion message.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"fluxgo/internal/broker"
+	"fluxgo/internal/obs"
+	"fluxgo/internal/wire"
+)
+
+// DefaultMaxDumps bounds how many dump files one recorder writes; after
+// that, triggers are counted but produce no new files (a crash loop in
+// a soak must not fill the disk).
+const DefaultMaxDumps = 16
+
+// defaultDumpRecords bounds the records captured per rank per dump.
+const defaultDumpRecords = 512
+
+// Recorder is a session's flight recorder. Enable it with
+// Session.EnableFlightRecorder; chaos faults then trigger dumps
+// automatically, and Poll checks for poison latches and errno spikes.
+type Recorder struct {
+	s   *Session
+	dir string
+
+	mu       sync.Mutex
+	seq      int
+	skipped  int
+	maxDumps int
+	poisoned map[int]bool   // ranks whose poison latch already dumped
+	baseline map[int]uint64 // per-rank errno baseline for spike detection
+
+	wg sync.WaitGroup // in-flight async dumps; Wait drains them
+}
+
+// ErrnoSpikeThreshold is how many new send errors + epoch rejects a
+// rank may accumulate between Poll calls before the recorder fires.
+const ErrnoSpikeThreshold = 64
+
+// EnableFlightRecorder attaches a flight recorder writing JSON dumps
+// into dir (created if missing). Chaos Crash/Sever trigger dumps
+// automatically; callers (soaks, operators) may also Dump or Poll.
+// Calling it again replaces the previous recorder.
+func (s *Session) EnableFlightRecorder(dir string) *Recorder {
+	r := &Recorder{
+		s:        s,
+		dir:      dir,
+		maxDumps: DefaultMaxDumps,
+		poisoned: make(map[int]bool),
+		baseline: make(map[int]uint64),
+	}
+	s.mu.Lock()
+	s.recorder = r
+	s.mu.Unlock()
+	return r
+}
+
+// FlightRecorder returns the session's recorder, or nil.
+func (s *Session) FlightRecorder() *Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recorder
+}
+
+// flightDump fires the recorder asynchronously (chaos triggers run on
+// fault-injection paths that must not block on disk I/O).
+func (s *Session) flightDump(reason string) {
+	r := s.FlightRecorder()
+	if r == nil {
+		return
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		if _, err := r.Dump(reason); err != nil {
+			s.logAt(obs.LevelWarn, "session: flight dump (%s) failed: %v", reason, err)
+		}
+	}()
+}
+
+// Wait blocks until every asynchronously triggered dump has been
+// written (tests, and soaks about to read the dump directory).
+func (r *Recorder) Wait() { r.wg.Wait() }
+
+// Dump snapshots every broker in the session (dead incarnations
+// included — their rings hold the run-up to the fault) and writes one
+// JSON dump file, returning its path. Beyond the dump-count cap it
+// returns "" with no error and only counts the trigger.
+func (r *Recorder) Dump(reason string) (string, error) {
+	r.mu.Lock()
+	if r.seq >= r.maxDumps {
+		r.skipped++
+		r.mu.Unlock()
+		return "", nil
+	}
+	r.seq++
+	seq := r.seq
+	r.mu.Unlock()
+
+	d := r.snapshot(reason)
+	if err := os.MkdirAll(r.dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("flux-dump-%03d-%s.json", seq, sanitizeReason(reason))
+	path := filepath.Join(r.dir, name)
+	data, err := json.MarshalIndent(d, "", " ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	for _, b := range r.brokers() {
+		b.Metrics().Counter(wire.MetricFlightDumps).Inc()
+	}
+	return path, nil
+}
+
+// Snapshot builds the dump in memory without writing it (cmb-level
+// consumers, tests).
+func (r *Recorder) Snapshot(reason string) obs.FlightDump {
+	return r.snapshot(reason)
+}
+
+func (r *Recorder) snapshot(reason string) obs.FlightDump {
+	d := obs.FlightDump{
+		Reason:  reason,
+		WhenNS:  time.Now().UnixNano(),
+		Session: r.s.opts.SessionID,
+	}
+	for _, b := range r.brokers() {
+		d.Ranks = append(d.Ranks, b.FlightSnapshot(defaultDumpRecords))
+	}
+	return d
+}
+
+// brokers snapshots the session's broker slice outside the lock.
+func (r *Recorder) brokers() []*broker.Broker {
+	r.s.mu.Lock()
+	out := make([]*broker.Broker, len(r.s.brokers))
+	copy(out, r.s.brokers)
+	r.s.mu.Unlock()
+	return out
+}
+
+// Dumps reports how many dump files were written and how many triggers
+// were suppressed by the cap.
+func (r *Recorder) Dumps() (written, suppressed int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq, r.skipped
+}
+
+// Poll checks every broker for a latched storage poison (a nonzero
+// *.storage.poisoned gauge) and for errno spikes (send errors plus
+// epoch rejects growing faster than ErrnoSpikeThreshold between
+// polls), dumping once per detection. Soak loops call it each round.
+func (r *Recorder) Poll() {
+	for _, b := range r.brokers() {
+		rank := b.Rank()
+		snap := b.Metrics().Snapshot()
+
+		r.mu.Lock()
+		alreadyPoisoned := r.poisoned[rank]
+		base, haveBase := r.baseline[rank]
+		r.mu.Unlock()
+
+		if !alreadyPoisoned {
+			for name, v := range snap.Gauges {
+				if v != 0 && strings.HasSuffix(name, ".storage.poisoned") {
+					r.mu.Lock()
+					r.poisoned[rank] = true
+					r.mu.Unlock()
+					r.s.flightDump(fmt.Sprintf("poison-rank%d", rank))
+					break
+				}
+			}
+		}
+
+		errs := snap.Counters[wire.MetricSendErrors] + snap.Counters[wire.MetricEpochRejects]
+		if haveBase && errs-base >= ErrnoSpikeThreshold {
+			r.s.flightDump(fmt.Sprintf("errno-spike-rank%d", rank))
+		}
+		r.mu.Lock()
+		r.baseline[rank] = errs
+		r.mu.Unlock()
+	}
+}
+
+// sanitizeReason makes a trigger reason filename-safe.
+func sanitizeReason(reason string) string {
+	var sb strings.Builder
+	for _, c := range reason {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			sb.WriteRune(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "dump"
+	}
+	s := sb.String()
+	if len(s) > 48 {
+		s = s[:48]
+	}
+	return s
+}

@@ -18,6 +18,7 @@ import (
 	"fluxgo/internal/broker"
 	"fluxgo/internal/clock"
 	"fluxgo/internal/debuglock"
+	"fluxgo/internal/obs"
 	"fluxgo/internal/topo"
 	"fluxgo/internal/transport"
 	"fluxgo/internal/wire"
@@ -76,6 +77,9 @@ type Options struct {
 	// SessionID names the session for the cmb.join membership handshake;
 	// empty defaults to "inproc".
 	SessionID string
+	// LogRecords overrides the brokers' structured log-ring capacity
+	// (obs.DefaultLogRecords when zero; negative disables buffering).
+	LogRecords int
 }
 
 // Session is a running comms session.
@@ -95,6 +99,9 @@ type Session struct {
 	// memberMu serializes Grow/Shrink so each membership change gets a
 	// unique, monotone epoch. Never held while holding mu.
 	memberMu sync.Mutex
+	// recorder, when non-nil, is the flight recorder chaos faults
+	// trigger (guarded by mu; see EnableFlightRecorder).
+	recorder *Recorder
 }
 
 // New builds, wires, and starts an in-process comms session.
@@ -137,6 +144,7 @@ func New(opts Options) (*Session, error) {
 			RPCTimeout:   opts.RPCTimeout,
 			SyncInterval: opts.SyncInterval,
 			SessionID:    opts.SessionID,
+			LogRecords:   opts.LogRecords,
 			Grow:         s.hookGrow,
 			Shrink:       s.hookShrink,
 			Restart:      s.hookRestart,
@@ -282,8 +290,25 @@ func (s *Session) markDead(rank int) bool {
 }
 
 func (s *Session) logf(format string, args ...any) {
+	s.logAt(obs.LevelNotice, format, args...)
+}
+
+// logAt records a session-lifecycle diagnostic both to the configured
+// sink and into the root broker's structured log ring, so membership
+// changes and chaos faults show up in flux dmesg next to the brokers'
+// own records.
+func (s *Session) logAt(level int, format string, args ...any) {
 	if s.opts.Log != nil {
 		s.opts.Log(format, args...)
+	}
+	s.mu.Lock()
+	var root *broker.Broker
+	if len(s.brokers) > 0 {
+		root = s.brokers[0]
+	}
+	s.mu.Unlock()
+	if root != nil {
+		root.Logger().Log(level, "session", format, args...)
 	}
 }
 

@@ -49,6 +49,9 @@ var OpErrnos = map[string][]int32{
 	TopicGrow:    {ErrnoInval, ErrnoNoSys},
 	TopicShrink:  {ErrnoInval, ErrnoNoSys},
 	TopicRestart: {ErrnoInval, ErrnoNoSys},
+	TopicDmesg:   {ErrnoInval},
+	TopicLogFwd:  {ErrnoInval},
+	TopicDump:    {},
 
 	// Barrier service.
 	"barrier.enter": {ErrnoInval, ErrnoProto},
@@ -148,12 +151,31 @@ const (
 	// its durable state from disk.
 	TopicRestart = "cmb.restart"
 
+	// TopicDmesg (request) returns a broker's buffered log records;
+	// with the subtree flag set the broker tree-reduces its whole live
+	// subtree first, so dmesg at the root is a session-wide gather.
+	TopicDmesg = "cmb.dmesg"
+	// TopicLogFwd (request, fire-and-forget) carries a batch of warn+
+	// log records one hop up the overlay tree. Each interior broker
+	// folds the batch into its aggregation ring and re-forwards, so
+	// batches climb to the root hop by hop — TBON log aggregation.
+	TopicLogFwd = "cmb.logfwd"
+	// TopicDump (request) snapshots a broker's flight-recorder state:
+	// recent log records, span ring, and metrics registry.
+	TopicDump = "cmb.dump"
+
 	// EventJoin / EventLeave are the epoch-tagged membership events
 	// sequenced through the root: every broker folds them into its
 	// membership view (current epoch, live size, tombstone set), so the
 	// totally ordered event stream is what keeps views convergent.
 	EventJoin  = "live.join"
 	EventLeave = "live.leave"
+
+	// EventHeartbeat is the hb module's pulse event. It lives here
+	// because the broker core also listens for it: each heartbeat is
+	// the cue for a broker to forward its pending warn+ log records
+	// upstream, so the log plane ticks at the session's own cadence.
+	EventHeartbeat = "hb"
 )
 
 // Metric names of the broker core's observability registry. They share
@@ -182,6 +204,21 @@ const (
 	MetricLeaves       = "cmb.leaves"
 	MetricDrains       = "cmb.drains"
 	MetricEpochRejects = "cmb.epoch_rejects"
+
+	// Silent-drop observability: every logf-only drop path in the
+	// broker also counts, mirroring the epoch-discipline rule that a
+	// dropped message must leave a measurable mark.
+	MetricDropsUnknownType    = "cmb.drops_unknown_type"
+	MetricDropsEmptyRoute     = "cmb.drops_empty_route"
+	MetricDropsUnknownLink    = "cmb.drops_unknown_link"
+	MetricDropsUnknownControl = "cmb.drops_unknown_control"
+
+	// Log plane: records appended to the local ring, warn+ records
+	// forwarded upstream, and forwarded batches received from children.
+	MetricLogRecords      = "cmb.log_records"
+	MetricLogForwarded    = "cmb.log_forwarded"
+	MetricLogFwdBatches   = "cmb.log_fwd_batches"
+	MetricFlightDumps     = "cmb.flight_dumps"
 
 	MetricRequestQueueNS  = "cmb.request_queue_ns"
 	MetricRouteRequestNS  = "cmb.route_request_ns"
