@@ -58,15 +58,26 @@ recovery:
 	$(GO) test -race -run 'TestRestart|TestKillRootRefused|TestCrashRootRefused' -v ./internal/session/
 	$(GO) test -race -run 'TestCrashRestartSoak' -v ./internal/kvs/
 
-# Hot-path microbenchmarks, archived as JSON (see cmd/benchjson and
-# EXPERIMENTS.md for the tracked before/after numbers).
+# Hot-path microbenchmarks plus the 10k-rank event-storm scenario,
+# archived as JSON (see cmd/benchjson and EXPERIMENTS.md for the
+# tracked before/after numbers). The storm is a single wall-clock
+# sample of 2048 events fanned out to 10000 in-process ranks — a scale
+# demonstrator, so it is archived here but deliberately excluded from
+# the benchdiff gate (one noisy multi-minute sample would make a 15%
+# threshold flap).
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -count 3 $(BENCH_PKGS) \
-		| $(GO) run ./cmd/benchjson -label current -o BENCH_core.json
+	$(GO) test -run '^$$' -bench . -benchmem -count 6 $(BENCH_PKGS) > /tmp/bench_raw.txt
+	$(GO) run ./cmd/flux-sim -scenario storm -ranks 10000 -events 2048 -bench >> /tmp/bench_raw.txt
+	$(GO) run ./cmd/benchjson -label current -o BENCH_core.json < /tmp/bench_raw.txt
 
-# Perf gate: rerun the hot-path benchmarks and fail on a >15% p50/p99
+# Perf gate: rerun the hot-path benchmarks and fail on a >15% min-ns/op
 # regression against the committed archive (see cmd/benchdiff).
+# Benchmarks present on one side only (e.g. the archived event storm)
+# are reported but never fail the gate. Six repetitions per benchmark:
+# the diff compares min against min, and the min of six samples sits
+# close enough to the true floor that scheduler noise stays inside the
+# 15% threshold (min-of-three flaps on shared runners).
 benchdiff:
-	$(GO) test -run '^$$' -bench . -benchmem -count 3 $(BENCH_PKGS) \
+	$(GO) test -run '^$$' -bench . -benchmem -count 6 $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -label fresh -o /tmp/bench_fresh.json
 	$(GO) run ./cmd/benchdiff -old BENCH_core.json -new /tmp/bench_fresh.json

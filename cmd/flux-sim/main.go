@@ -5,6 +5,15 @@
 // and the hierarchical job model with elastic allocations.
 //
 //	flux-sim -ranks 64 -arity 2
+//
+// The "storm" scenario instead drives the broker hot path at scale: a
+// 10k-rank tree where every published event fans out to every rank
+// through the sharded dispatch pipeline and the encode-once frame
+// cache, with binary (codec v3) publish bodies on the request path.
+// -bench prints the result as a `go test -bench` line so `make bench`
+// can archive it in BENCH_core.json:
+//
+//	flux-sim -scenario storm -ranks 10000 -events 2048 -bench
 package main
 
 import (
@@ -18,19 +27,151 @@ import (
 	"fluxgo"
 	"fluxgo/internal/modules/live"
 	"fluxgo/internal/modules/wexec"
+	"fluxgo/internal/session"
 )
 
 var (
-	ranksFlag = flag.Int("ranks", 64, "session size (simulated nodes)")
-	arityFlag = flag.Int("arity", 2, "tree fan-out")
+	ranksFlag    = flag.Int("ranks", 64, "session size (simulated nodes)")
+	arityFlag    = flag.Int("arity", 2, "tree fan-out")
+	scenarioFlag = flag.String("scenario", "demo", "scenario to run: demo (capability walkthrough) or storm (event fan-out at scale)")
+	eventsFlag   = flag.Int("events", 2048, "storm: events to publish")
+	subsFlag     = flag.Int("subs", 64, "storm: subscriber handles spread across the tree")
+	benchFlag    = flag.Bool("bench", false, "storm: print a go-test benchmark line for benchjson")
 )
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	var err error
+	switch *scenarioFlag {
+	case "demo":
+		err = run()
+	case "storm":
+		err = storm()
+	default:
+		err = fmt.Errorf("unknown scenario %q", *scenarioFlag)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "flux-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// storm brings up a large session (arity 16 keeps a 10k-rank tree at
+// depth 4) and publishes an event storm from concurrent leaf handles.
+// Every event is sequenced at the root and relayed to every rank, so
+// the scenario exercises exactly the fan-out machinery this repo's
+// broker core optimizes: one encode per event per broker, shared by all
+// child links, with replay-capable history caches on the way down.
+func storm() error {
+	ranks, events, subs := *ranksFlag, *eventsFlag, *subsFlag
+	const publishers = 8
+	events -= events % publishers
+	if subs > ranks {
+		subs = ranks
+	}
+	fmt.Printf("event storm: %d ranks (arity 16), %d events, %d subscribers\n", ranks, events, subs)
+	start := time.Now()
+	sess, err := session.New(session.Options{
+		Size:  ranks,
+		Arity: 16,
+		// Per-hop codec cost on every link (the honest in-process stand-in
+		// for a real wire), membership anti-entropy off so the storm is
+		// the only traffic, modest per-broker shard counts to keep 10k
+		// brokers' worker pools within reason, and binary publish bodies.
+		Codec:        true,
+		SyncInterval: -1,
+		EventHistory: 16,
+		Shards:       2,
+		BinaryBodies: true,
+		// A pub request sequenced behind thousands of queued fan-out
+		// relays can legitimately wait minutes at this scale; the storm
+		// measures throughput, so the per-RPC liveness deadline is off.
+		RPCTimeout: -1,
+	})
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	fmt.Printf("  session up in %v\n", time.Since(start))
+
+	// Subscribers spread across the whole tree, each counting the storm
+	// and checking the root's total order (strictly ascending sequence
+	// numbers once the storm starts).
+	var subWG sync.WaitGroup
+	subErrs := make(chan error, subs)
+	for i := 0; i < subs; i++ {
+		rank := i * ranks / subs
+		h := sess.Handle(rank)
+		sub, err := h.Subscribe("storm")
+		if err != nil {
+			h.Close()
+			return err
+		}
+		subWG.Add(1)
+		go func() {
+			defer subWG.Done()
+			defer h.Close()
+			var last uint64
+			for n := 0; n < events; n++ {
+				m, ok := <-sub.Chan()
+				if !ok {
+					subErrs <- fmt.Errorf("rank %d: subscription closed after %d of %d events", rank, n, events)
+					return
+				}
+				if m.Seq <= last {
+					subErrs <- fmt.Errorf("rank %d: seq %d after %d (total order broken)", rank, m.Seq, last)
+					return
+				}
+				last = m.Seq
+			}
+		}()
+	}
+
+	// The storm: concurrent publishers at leaf ranks, so each publish
+	// first routes up the request tree, is sequenced at the root, and
+	// fans back out to all ranks.
+	t0 := time.Now()
+	var pubWG sync.WaitGroup
+	pubErrs := make(chan error, publishers)
+	for p := 0; p < publishers; p++ {
+		pubWG.Add(1)
+		go func(p int) {
+			defer pubWG.Done()
+			h := sess.Handle(ranks - 1 - p)
+			defer h.Close()
+			for i := 0; i < events/publishers; i++ {
+				if _, err := h.PublishEvent("storm.tick", map[string]int{"p": p, "i": i}); err != nil {
+					pubErrs <- fmt.Errorf("publisher %d: %w", p, err)
+					return
+				}
+			}
+		}(p)
+	}
+	pubWG.Wait()
+	close(pubErrs)
+	for err := range pubErrs {
+		return err
+	}
+	subWG.Wait()
+	close(subErrs)
+	for err := range subErrs {
+		return err
+	}
+	dur := time.Since(t0)
+
+	deliveries := float64(events) * float64(ranks)
+	fmt.Printf("  storm done: %d events through %d ranks in %v\n", events, ranks, dur)
+	fmt.Printf("  %.0f events/s sequenced at the root, %.2fM rank-deliveries/s\n",
+		float64(events)/dur.Seconds(), deliveries/dur.Seconds()/1e6)
+	if *benchFlag {
+		tag := fmt.Sprint(ranks)
+		if ranks%1000 == 0 {
+			tag = fmt.Sprintf("%dk", ranks/1000)
+		}
+		fmt.Printf("pkg: fluxgo/cmd/flux-sim\n")
+		fmt.Printf("BenchmarkEventStorm%s \t       1\t%12d ns/op\n", tag, dur.Nanoseconds())
+	}
+	return nil
 }
 
 func run() error {

@@ -28,6 +28,19 @@ package main
 //     call anywhere in the function retains memory that aliases a
 //     pooled receive buffer.
 //
+// The same machinery covers refcounted wire.Frame values (encode-once
+// event fan-out). Frames have no Handoff: NewFrame's reference belongs
+// to the caller, Retain() mints a reference for another holder (the
+// caller's own reference and its obligations are untouched), Release()
+// drops the caller's reference, and passing a bare frame variable to
+// X.SendFrame(...) gives the sender that reference — the sender
+// releases it after writing, so a later Release or touch through the
+// variable is the refcount underflow the runtime panics on, caught
+// here at lint time. Keeping the frame past a hand-out is spelled
+// SendFrame(f.Retain()). The release-obligation rule carries over: a
+// function that Releases a frame on some path must settle the
+// reference on every path.
+//
 // Paths that diverge (one arm releases, another does not) join to an
 // unknown state that reports nothing by itself but keeps the release
 // obligation alive — may-analysis: a finding means some path really
@@ -45,7 +58,7 @@ const poolOwnershipName = "pool-ownership"
 
 var poolOwnershipPass = Pass{
 	Name: poolOwnershipName,
-	Doc:  "flag pooled-message lifecycle violations (touch-after-Handoff, leaks, double Release)",
+	Doc:  "flag pooled-message and refcounted-frame lifecycle violations (touch-after-Handoff, leaks, double Release)",
 	Run:  runPoolOwnership,
 }
 
@@ -147,7 +160,8 @@ func (c *poolChecker) report(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// tracked resolves id to a *wire.Message variable object, or nil.
+// tracked resolves id to a *wire.Message or *wire.Frame variable
+// object, or nil.
 func (c *poolChecker) tracked(id *ast.Ident) types.Object {
 	obj := c.p.Info.ObjectOf(id)
 	if obj == nil {
@@ -156,7 +170,7 @@ func (c *poolChecker) tracked(id *ast.Ident) types.Object {
 	if _, ok := obj.(*types.Var); !ok {
 		return nil
 	}
-	if !isWireMessagePtr(obj.Type()) {
+	if !isWireMessagePtr(obj.Type()) && !isWireFramePtr(obj.Type()) {
 		return nil
 	}
 	return obj
@@ -164,6 +178,18 @@ func (c *poolChecker) tracked(id *ast.Ident) types.Object {
 
 // varName shows a tracked object in messages.
 func varName(obj types.Object) string { return obj.Name() }
+
+// frameVar reports whether a tracked object is a refcounted *wire.Frame
+// rather than a pooled *wire.Message.
+func frameVar(obj types.Object) bool { return isWireFramePtr(obj.Type()) }
+
+// noun names a tracked object's kind in findings.
+func noun(obj types.Object) string {
+	if frameVar(obj) {
+		return "frame"
+	}
+	return "message"
+}
 
 // obligations prescans body (own statements only, literals excluded —
 // they are analyzed as functions of their own) for Release calls that
@@ -260,8 +286,8 @@ func (c *poolChecker) checkPendingAtExit(fact poolFact, pos token.Pos) {
 		if s.pending != token.NoPos && !c.deferred[obj] {
 			use := c.l.Fset.Position(s.pending)
 			c.report(pos,
-				"message %s is not Released on this path (used at line %d; Release exists on another path)",
-				varName(obj), use.Line)
+				"%s %s is not Released on this path (used at line %d; Release exists on another path)",
+				noun(obj), varName(obj), use.Line)
 		}
 	}
 }
@@ -300,11 +326,15 @@ func (c *poolChecker) applyOp(o op, fact poolFact, report bool) {
 					switch s.st {
 					case pArmed, pConsumed:
 						if report {
-							c.report(res.Pos(), "message %s returned after Handoff (its new owner may already be releasing it)", varName(obj))
+							if frameVar(obj) {
+								c.report(res.Pos(), "frame %s returned after its reference was handed to SendFrame", varName(obj))
+							} else {
+								c.report(res.Pos(), "message %s returned after Handoff (its new owner may already be releasing it)", varName(obj))
+							}
 						}
 					case pReleased:
 						if report {
-							c.report(res.Pos(), "message %s returned after Release", varName(obj))
+							c.report(res.Pos(), "%s %s returned after Release", noun(obj), varName(obj))
 						}
 					}
 					delete(fact, obj) // ownership settles with the caller
@@ -378,11 +408,15 @@ func (c *poolChecker) transferEvent(e ast.Expr, fact poolFact, report bool) {
 				fact[obj] = poolState{st: pConsumed}
 			case pConsumed:
 				if report {
-					c.report(e.Pos(), "armed message %s passed to another call after its handoff", varName(obj))
+					if frameVar(obj) {
+						c.report(e.Pos(), "frame %s used after its reference was handed to SendFrame (the sender releases it)", varName(obj))
+					} else {
+						c.report(e.Pos(), "armed message %s passed to another call after its handoff", varName(obj))
+					}
 				}
 			case pReleased:
 				if report {
-					c.report(e.Pos(), "message %s used after Release", varName(obj))
+					c.report(e.Pos(), "%s %s used after Release", noun(obj), varName(obj))
 				}
 			default:
 				delete(fact, obj) // ownership crosses the boundary
@@ -450,6 +484,17 @@ func (c *poolChecker) exprEvents(e ast.Expr, fact poolFact, report bool) {
 					return
 				}
 			}
+			// X.SendFrame(f): a bare frame argument hands the sender the
+			// caller's own reference, released after writing. Keeping the
+			// frame requires minting a reference to give away, which reads
+			// SendFrame(f.Retain()) and routes through methodCall instead.
+			if se.Sel.Name == "SendFrame" {
+				c.exprEvents(se.X, fact, report)
+				for _, a := range e.Args {
+					c.frameHandout(a, fact, report)
+				}
+				return
+			}
 		}
 		// append(collection, m) stores the message for a later consumer
 		// (the queue pattern): a full ownership transfer, not a use that
@@ -512,11 +557,15 @@ func (c *poolChecker) argEvent(a ast.Expr, fact poolFact, report bool) {
 				fact[obj] = s
 			case pConsumed:
 				if report {
-					c.report(a.Pos(), "armed message %s passed to another call after its handoff", varName(obj))
+					if frameVar(obj) {
+						c.report(a.Pos(), "frame %s used after its reference was handed to SendFrame (the sender releases it)", varName(obj))
+					} else {
+						c.report(a.Pos(), "armed message %s passed to another call after its handoff", varName(obj))
+					}
 				}
 			case pReleased:
 				if report {
-					c.report(a.Pos(), "message %s used after Release", varName(obj))
+					c.report(a.Pos(), "%s %s used after Release", noun(obj), varName(obj))
 				}
 			default:
 				if c.releasers[obj] && s.pending == token.NoPos {
@@ -536,11 +585,15 @@ func (c *poolChecker) derefUse(obj types.Object, pos token.Pos, fact poolFact, r
 	switch s.st {
 	case pArmed, pConsumed:
 		if report {
-			c.report(pos, "message %s touched after Handoff (the transport may have released it)", varName(obj))
+			if frameVar(obj) {
+				c.report(pos, "frame %s used after its reference was handed to SendFrame (the sender releases it)", varName(obj))
+			} else {
+				c.report(pos, "message %s touched after Handoff (the transport may have released it)", varName(obj))
+			}
 		}
 	case pReleased:
 		if report {
-			c.report(pos, "message %s used after Release", varName(obj))
+			c.report(pos, "%s %s used after Release", noun(obj), varName(obj))
 		}
 	default:
 		if c.releasers[obj] && s.pending == token.NoPos {
@@ -552,6 +605,10 @@ func (c *poolChecker) derefUse(obj types.Object, pos token.Pos, fact poolFact, r
 
 // methodCall handles a method call on a tracked variable.
 func (c *poolChecker) methodCall(obj types.Object, name string, ce *ast.CallExpr, fact poolFact, report bool) {
+	if frameVar(obj) {
+		c.frameMethodCall(obj, name, ce, fact, report)
+		return
+	}
 	s := fact[obj]
 	switch name {
 	case "Handoff":
@@ -596,6 +653,60 @@ func (c *poolChecker) methodCall(obj types.Object, name string, ce *ast.CallExpr
 	default:
 		c.derefUse(obj, ce.Pos(), fact, report)
 	}
+}
+
+// frameMethodCall handles a method call on a tracked *wire.Frame. The
+// refcount protocol is simpler than the pooled-message one: Release
+// drops the caller's reference (twice is the underflow panic), and
+// every other method — Retain included, since it mints a reference for
+// someone else while leaving the caller's own intact — is an ordinary
+// use, illegal once the caller's reference is gone and obligating a
+// Release on every path when one exists on any.
+func (c *poolChecker) frameMethodCall(obj types.Object, name string, ce *ast.CallExpr, fact poolFact, report bool) {
+	if name != "Release" {
+		c.derefUse(obj, ce.Pos(), fact, report)
+		return
+	}
+	s := fact[obj]
+	switch s.st {
+	case pReleased:
+		if report {
+			c.report(ce.Pos(), "frame %s released twice (the refcount underflow panics in every build)", varName(obj))
+		}
+	case pConsumed:
+		if report {
+			c.report(ce.Pos(), "frame %s released after its reference was handed to SendFrame (the sender releases it)", varName(obj))
+		}
+	default:
+		fact[obj] = poolState{st: pReleased}
+	}
+}
+
+// frameHandout handles an argument of an X.SendFrame(...) call: a bare
+// tracked frame identifier there gives the sender the caller's own
+// reference, along with any open release obligation — the sender
+// releases it after writing, so the variable must not be Released or
+// touched afterwards.
+func (c *poolChecker) frameHandout(a ast.Expr, fact poolFact, report bool) {
+	if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+		if obj := c.tracked(id); obj != nil && frameVar(obj) {
+			s := fact[obj]
+			switch s.st {
+			case pConsumed:
+				if report {
+					c.report(a.Pos(), "frame %s passed to SendFrame twice on one reference (Retain the frame to hand out another)", varName(obj))
+				}
+			case pReleased:
+				if report {
+					c.report(a.Pos(), "frame %s used after Release", varName(obj))
+				}
+			default:
+				fact[obj] = poolState{st: pConsumed}
+			}
+			return
+		}
+	}
+	c.argEvent(a, fact, report)
 }
 
 // checkPayloadRetention flags a handler's message payload escaping into

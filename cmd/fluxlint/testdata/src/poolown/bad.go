@@ -65,6 +65,51 @@ func leakOnEarlyReturn(m *wire.Message) error {
 	return nil
 }
 
+// Refcounted frame lifecycle: each reference obliges exactly one
+// Release, and a bare frame handed to SendFrame is released by the
+// sender — the caller's reference is gone.
+
+type frameSink struct{}
+
+func (s *frameSink) SendFrame(f *wire.Frame) error {
+	f.Release()
+	return nil
+}
+
+func doubleReleaseFrame(f *wire.Frame) {
+	f.Release()
+	f.Release() // BAD
+}
+
+func useFrameAfterRelease(f *wire.Frame) []byte {
+	f.Release()
+	return f.Bytes() // BAD
+}
+
+func retainAfterRelease(f *wire.Frame) *wire.Frame {
+	f.Release()
+	return f.Retain() // BAD
+}
+
+func releaseAfterHandout(s *frameSink, f *wire.Frame) {
+	s.SendFrame(f)
+	f.Release() // BAD
+}
+
+func handOutTwice(s *frameSink, f *wire.Frame) {
+	s.SendFrame(f)
+	s.SendFrame(f) // BAD
+}
+
+func frameLeakOnError(s *frameSink, f *wire.Frame, fail bool) error {
+	s.SendFrame(f.Retain())
+	if fail {
+		return errBoom // BAD
+	}
+	f.Release()
+	return nil
+}
+
 // Payload-retention shapes: each stores a handler message's payload
 // into storage that outlives the call, without detaching the message.
 

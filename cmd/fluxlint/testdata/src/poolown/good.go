@@ -81,6 +81,48 @@ func (q *msgQueue) push(m *wire.Message) error {
 	return nil
 }
 
+// Frame handling that is fine: the fan-out, hand-off, error-path, and
+// defer patterns the broker and transports actually use.
+
+// The fan-out pattern: Retain mints one reference per sender; the
+// caller's own reference is released once every hand-out is done.
+func frameFanout(sinks []*frameSink, f *wire.Frame) {
+	for _, s := range sinks {
+		s.SendFrame(f.Retain())
+	}
+	f.Release()
+}
+
+// Handing the caller's own reference to exactly one sender: the sender
+// releases it, and the caller never touches the frame again.
+func frameHandOff(s *frameSink, f *wire.Frame) {
+	s.SendFrame(f)
+}
+
+// Every path settles the reference: released on the rejection arm,
+// handed to the sender otherwise.
+func frameErrorPaths(s *frameSink, f *wire.Frame, fail bool) error {
+	if fail {
+		f.Release()
+		return errFull
+	}
+	s.SendFrame(f)
+	return nil
+}
+
+// defer settles the frame's obligation wholesale.
+func frameDeferRelease(f *wire.Frame) int {
+	defer f.Release()
+	return len(f.Bytes())
+}
+
+// A nil-guarded release: the no-frame path owes nothing.
+func frameGuardedRelease(f *wire.Frame) {
+	if f != nil {
+		f.Release()
+	}
+}
+
 // Payload handling that is fine: detach before retaining, copy the
 // bytes out, or keep the reference local to the handler.
 

@@ -81,6 +81,37 @@ func (m *Message) Detach() *Message {
 	return m
 }
 
+// Frame is a miniature of the real refcounted encode-once frame: one
+// encoded message shared by every fan-out target, each reference
+// obliging exactly one Release. Detection keys on the package name
+// "wire" and the type name Frame.
+type Frame struct {
+	refs int32
+	buf  []byte
+	msg  *Message
+}
+
+// NewFrame encodes m once; the returned frame holds one reference owned
+// by the caller.
+func NewFrame(m *Message) (*Frame, error) {
+	return &Frame{refs: 1, buf: m.Data, msg: m}, nil
+}
+
+// Retain mints an additional reference and returns f for chaining.
+func (f *Frame) Retain() *Frame {
+	f.refs++
+	return f
+}
+
+// Release drops one reference; the caller must not use f afterwards.
+func (f *Frame) Release() { f.refs-- }
+
+// Bytes returns the shared encoded frame.
+func (f *Frame) Bytes() []byte { return f.buf }
+
+// Msg returns the decoded message the frame was encoded from.
+func (f *Frame) Msg() *Message { return f.msg }
+
 // RPCError is a decoded error response.
 type RPCError struct {
 	Topic  string

@@ -125,3 +125,15 @@ func isWireMessagePtr(t types.Type) bool {
 	return ok && named.Obj().Name() == "Message" &&
 		named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "wire"
 }
+
+// isWireFramePtr reports whether t is *wire.Frame (the refcounted
+// encode-once frame), matched the same way as isWireMessagePtr.
+func isWireFramePtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := derefNamed(ptr.Elem())
+	return ok && named.Obj().Name() == "Frame" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "wire"
+}

@@ -18,6 +18,8 @@ package broker
 
 import (
 	"fmt"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -134,10 +136,23 @@ func (b *Broker) send(l *link, m *wire.Message) {
 // or delivered to local handles are never armed: for them this
 // degenerates to send, and they are garbage-collected as before.
 func (b *Broker) sendHandoff(l *link, m *wire.Message) {
+	b.sendHandoffErr(l, m)
+}
+
+// sendHandoffErr is sendHandoff reporting the send error instead of
+// only counting it: the tracked forwarding paths need the failure to
+// settle the in-flight entry they just created. The caller must not
+// touch m afterwards.
+func (b *Broker) sendHandoffErr(l *link, m *wire.Message) error {
 	if l.conn != nil {
 		m.Handoff()
 	}
-	b.send(l, m)
+	err := l.send(m)
+	if err != nil {
+		b.ctr.sendErrors.Inc()
+		b.log.Warnf(wire.ServiceCMB, "send on link %s failed: %v", l.id, err)
+	}
+	return err
 }
 
 // inbound is one unit of work for the broker loop.
@@ -219,6 +234,19 @@ type Config struct {
 	// DefaultSyncInterval; negative disables the periodic pull (the
 	// gap- and epoch-triggered syncs remain).
 	SyncInterval time.Duration
+	// Shards is the number of route-dispatch shards (and module-mailbox
+	// lanes). Messages are partitioned by flow — arrival link plus match
+	// tag — so independent RPC flows route concurrently while each flow
+	// stays FIFO; events, controls, and link teardown always serialize
+	// on shard 0. 0 defaults to min(GOMAXPROCS, 8); 1 restores the fully
+	// serialized single-loop dispatch.
+	Shards int
+	// BinaryBodies opts this broker's hot services (kvs.load/put,
+	// barrier enter, cmb.pub) into the length-prefixed binary body codec
+	// (wire.BinWriter/BinReader). Decoders always sniff, so a binary
+	// broker interoperates with JSON peers; the cmb.join handshake
+	// downgrades a joiner whose parent does not advertise binary bodies.
+	BinaryBodies bool
 }
 
 // DefaultSyncInterval is the default membership anti-entropy period.
@@ -259,6 +287,12 @@ type counters struct {
 	eventsApplied    *obs.Counter
 	eventsDuplicate  *obs.Counter
 	eventSeqGaps     *obs.Counter
+	// Encode-once fan-out: one "encode" per event whose frame was built
+	// for a frame-capable child, one "reuse" per additional send served
+	// from that same shared encoding (fan-out siblings and resync
+	// replays). reuse/encodes is the marshals-saved ratio.
+	eventsFanoutEncodes *obs.Counter
+	eventsFanoutReuse   *obs.Counter
 	reparents        *obs.Counter
 	sendErrors       *obs.Counter
 	inflightFailed   *obs.Counter
@@ -294,26 +328,36 @@ type Broker struct {
 	tree topo.Tree
 	ring topo.Ring
 
-	inbox *Mailbox[inbound]
+	// Sharded dispatch core: inbound work is partitioned by flow across
+	// nshards combining-lock shards (see shard), replacing the single
+	// submit -> loop() pipeline. Each shard carries its own queue,
+	// worker, and slice of the in-flight table; shard 0 additionally
+	// owns everything that needs the old loop's total order — events,
+	// controls, and link-down cleanup.
+	shards  []*shard
+	nshards int
 
 	// mu is a debuglock.Mutex so `-tags debuglock` builds verify the
-	// broker's lock ordering (broker.mu -> handle.mu, never reversed).
-	mu          debuglock.Mutex
-	links       map[string]*link
-	parentTree  *link
-	parentEvent *link
-	ringOut     *link
+	// broker's lock ordering (broker.evMu -> broker.mu -> handle.mu,
+	// never reversed). It guards the authoritative registries (links,
+	// modules) and cold state; the routing hot path reads the registries
+	// through the lock-free snapshots below instead.
+	mu    debuglock.Mutex
+	links map[string]*link
+	// linksSnap / modsSnap are copy-on-write snapshots of the link and
+	// module registries, republished under mu at every mutation and read
+	// lock-free by the dispatch shards (response forwarding, local
+	// dispatch). They trade a map copy per topology change — rare — for
+	// zero shared-lock traffic per routed message.
+	linksSnap   atomic.Pointer[map[string]*link]
+	parentTree  atomic.Pointer[link] // written under mu; read lock-free
+	parentEvent atomic.Pointer[link]
+	ringOut     atomic.Pointer[link]
 	parentRank  int
 	modules     map[string]*moduleRunner
+	modsSnap    atomic.Pointer[map[string]*moduleRunner]
 	closed      bool
 	reparenting bool // a Reparent callback is in flight
-	// inflight tracks requests this broker forwarded over an outbound
-	// link and whose responses must retrace through it. When that link
-	// drops, every tracked request is failed with ErrnoHostUnreach back
-	// toward its requester, so no caller is left waiting on a response
-	// that can never arrive (the no-hang guarantee's fast path; the RPC
-	// deadline is the backstop for silent faults that drop no link).
-	inflight map[string]*inflightReq
 	// view is this broker's membership view: the dynamic rank space with
 	// departed ranks tombstoned. It converges across brokers by folding
 	// the totally ordered live.join / live.leave events (guarded by mu;
@@ -353,11 +397,208 @@ type Broker struct {
 	// so Shutdown does not return while any of it is still running.
 	bg sync.WaitGroup
 
-	eventSeq     uint64 // root only: last assigned sequence number
-	lastEventSeq uint64 // last applied sequence number
-	eventHist    []*wire.Message
+	// evMu serializes event sequencing/apply with backlog replay. At the
+	// root, cmb.pub requests route on arbitrary shards, so without it
+	// two publications could interleave their sequence assignment and
+	// their fan-out sends; and a resync replay racing a live apply could
+	// let the fresher event reach the just-ungated child first, making
+	// it drop the whole replayed backlog as duplicates. Lock order:
+	// evMu before mu, never the reverse.
+	evMu debuglock.Mutex
 
-	done chan struct{}
+	eventSeq     uint64     // root only: last assigned sequence number (guarded by evMu)
+	lastEventSeq uint64     // last applied sequence number (guarded by mu)
+	eventHist    []eventRec // recent events + shared encodings (guarded by mu)
+
+	// binBodies mirrors Config.BinaryBodies, atomically flippable by the
+	// session join handshake's downgrade path.
+	binBodies atomic.Bool
+
+	done chan struct{} // closed once every shard worker has exited
+}
+
+// BinaryBodies reports whether hot services at this broker encode
+// payloads with the binary body codec.
+func (b *Broker) BinaryBodies() bool { return b.binBodies.Load() }
+
+// SetBinaryBodies flips the binary-body preference; the session join
+// handshake downgrades to JSON when a peer does not advertise support.
+func (b *Broker) SetBinaryBodies(on bool) { b.binBodies.Store(on) }
+
+// shard is one dispatch lane of the broker's sharded routing core. It
+// is a combining lock: a submitter that finds the shard idle — nothing
+// queued, no active processor — claims the busy token and routes its
+// message inline on its own goroutine, so the common uncontended hop
+// pays zero scheduler wakeups; contended or backlogged submissions
+// append to the queue for the shard's worker. The busy token plus the
+// queue-empty check preserve strict per-shard FIFO: work is only taken
+// inline when nothing is logically ahead of it, and the worker never
+// runs while an inline submitter holds the token.
+type shard struct {
+	// proc is the dispatch function (the broker's process); the shard
+	// itself is just a combining-lock executor and stays agnostic of
+	// what the work units mean.
+	proc   func(inbound)
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []inbound
+	head   int // q[:head] already consumed; popped lazily to avoid per-item reslicing
+	busy   bool
+	closed bool
+
+	// imu guards this shard's slice of the in-flight request table:
+	// requests forwarded over an outbound link whose responses must
+	// retrace through this broker. Entries live on the shard that routes
+	// the flow, so the request forward, the response settle, and a
+	// link-down sweep only ever contend within one flow's shard. When an
+	// outbound link drops, every entry tracked over it is failed with
+	// ErrnoHostUnreach back toward its requester, so no caller waits on
+	// a response that can never arrive (the no-hang guarantee's fast
+	// path; the RPC deadline is the backstop for silent faults).
+	imu      sync.Mutex
+	inflight map[string]*inflightReq
+}
+
+// run is the shard's worker: it drains the queue whenever submitters
+// are not carrying the work inline, and exits once the shard is closed,
+// drained, and idle.
+func (s *shard) run() {
+	s.mu.Lock()
+	for {
+		for {
+			if s.head < len(s.q) && !s.busy {
+				break
+			}
+			if s.closed && s.head == len(s.q) && !s.busy {
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait()
+		}
+		in := s.q[s.head]
+		s.q[s.head] = inbound{}
+		s.head++
+		if s.head == len(s.q) {
+			s.q = s.q[:0]
+			s.head = 0
+		} else if s.head >= 1024 && s.head*2 >= len(s.q) {
+			// A backlog that never fully drains would otherwise grow the
+			// slab forever behind a dead prefix.
+			n := copy(s.q, s.q[s.head:])
+			clearTail := s.q[n:]
+			for i := range clearTail {
+				clearTail[i] = inbound{}
+			}
+			s.q = s.q[:n]
+			s.head = 0
+		}
+		s.busy = true
+		s.mu.Unlock()
+		s.proc(in)
+		s.mu.Lock()
+		s.busy = false
+	}
+}
+
+// enqueue hands in to the shard, routing it inline when the shard is
+// idle. It reports false once the shard is closed.
+func (s *shard) enqueue(in inbound) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	if !s.busy && s.head == len(s.q) {
+		s.busy = true
+		s.mu.Unlock()
+		s.proc(in)
+		s.mu.Lock()
+		s.busy = false
+		if s.head < len(s.q) || s.closed {
+			s.cond.Signal()
+		}
+		s.mu.Unlock()
+		return true
+	}
+	// Queue residency is only stamped here, on the backlog path: work
+	// taken inline never waits, so the fast path pays no clock read and
+	// queueWait correctly reports zero for it.
+	if in.enq.IsZero() && in.msg != nil {
+		in.enq = time.Now()
+	}
+	s.q = append(s.q, in)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return true
+}
+
+// shardFor picks the dispatch shard for one inbound unit. The mapping
+// carries the broker's ordering contracts into the concurrent world:
+//
+//   - Events, controls, and internal ctl thunks all map to shard 0,
+//     keeping the event plane's total order and the link-teardown
+//     ordering of the old single loop.
+//   - A request arriving over a link is keyed by (arrival link, match
+//     tag) — the flow identity. routeRequest pushes the arrival hop, so
+//     that key is exactly the route top the response will carry back:
+//     the response lands on the same shard and settles the flow's
+//     in-flight entry there.
+//   - Responses, and internally submitted messages whose route stack
+//     already carries their arrival hop, are keyed by (route top, match
+//     tag) for the same reason.
+func (b *Broker) shardFor(in inbound) int {
+	if b.nshards == 1 || in.ctl != nil || in.msg == nil {
+		return 0
+	}
+	m := in.msg
+	if m.Type == wire.Event || m.Type == wire.Control {
+		return 0
+	}
+	if m.Type == wire.Request && in.from != nil {
+		return b.shardOfFlow(in.from.id, m.Seq)
+	}
+	if len(m.Route) > 0 {
+		return b.shardOfFlow(m.Route[len(m.Route)-1], m.Seq)
+	}
+	return b.shardOfFlow("", m.Seq)
+}
+
+// shardOfFlow hashes a flow identity — return-hop link id plus match
+// tag — onto a shard index (FNV-1a, inlined to keep the hot path
+// allocation-free).
+func (b *Broker) shardOfFlow(key string, seq uint64) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	h ^= seq
+	h *= prime64
+	return int(h % uint64(b.nshards))
+}
+
+// publishLinksLocked republishes the lock-free link-registry snapshot;
+// call with b.mu held after any mutation of b.links.
+func (b *Broker) publishLinksLocked() {
+	snap := make(map[string]*link, len(b.links))
+	for id, l := range b.links {
+		snap[id] = l
+	}
+	b.linksSnap.Store(&snap)
+}
+
+// publishModulesLocked republishes the lock-free module-registry
+// snapshot; call with b.mu held after any mutation of b.modules.
+func (b *Broker) publishModulesLocked() {
+	snap := make(map[string]*moduleRunner, len(b.modules))
+	for name, r := range b.modules {
+		snap[name] = r
+	}
+	b.modsSnap.Store(&snap)
 }
 
 // New creates a broker for the given rank. Links are attached afterwards
@@ -393,14 +634,33 @@ func New(cfg Config) (*Broker, error) {
 		cfg:        cfg,
 		tree:       tree,
 		ring:       ring,
-		inbox:      NewMailbox[inbound](),
 		links:      make(map[string]*link),
 		modules:    make(map[string]*moduleRunner),
-		inflight:   make(map[string]*inflightReq),
 		parentRank: tree.Parent(cfg.Rank),
 		done:       make(chan struct{}),
 	}
 	b.mu.SetClass("broker.Broker.mu")
+	b.evMu.SetClass("broker.Broker.evMu")
+	nsh := cfg.Shards
+	if nsh == 0 {
+		nsh = runtime.GOMAXPROCS(0)
+		if nsh > 8 {
+			nsh = 8
+		}
+	}
+	if nsh < 1 {
+		nsh = 1
+	}
+	b.nshards = nsh
+	b.shards = make([]*shard, nsh)
+	for i := range b.shards {
+		s := &shard{proc: b.process, inflight: make(map[string]*inflightReq)}
+		s.cond = sync.NewCond(&s.mu)
+		b.shards[i] = s
+	}
+	b.binBodies.Store(cfg.BinaryBodies)
+	b.publishLinksLocked()
+	b.publishModulesLocked()
 	for r := cfg.Rank; tree.Parent(r) >= 0; r = tree.Parent(r) {
 		b.depth++
 	}
@@ -425,6 +685,9 @@ func New(cfg Config) (*Broker, error) {
 		eventsApplied:    reg.Counter(wire.MetricEventsApplied),
 		eventsDuplicate:  reg.Counter(wire.MetricEventsDuplicate),
 		eventSeqGaps:     reg.Counter(wire.MetricEventSeqGaps),
+
+		eventsFanoutEncodes: reg.Counter(wire.MetricEventsFanoutEncodes),
+		eventsFanoutReuse:   reg.Counter(wire.MetricEventsFanoutReuse),
 		reparents:        reg.Counter(wire.MetricReparents),
 		sendErrors:       reg.Counter(wire.MetricSendErrors),
 		inflightFailed:   reg.Counter(wire.MetricInflightFailed),
@@ -525,9 +788,14 @@ type inflightReq struct {
 // return route, which together are unique: handle ids are broker-unique
 // and tags are unique per handle.
 func inflightKey(seq uint64, route []string) string {
+	var num [20]byte
+	n := 21
+	for _, hop := range route {
+		n += len(hop) + 1
+	}
 	var sb strings.Builder
-	sb.Grow(24 + len(route)*12)
-	fmt.Fprintf(&sb, "%d", seq)
+	sb.Grow(n)
+	sb.Write(strconv.AppendUint(num[:0], seq, 10))
 	for _, hop := range route {
 		sb.WriteByte('|')
 		sb.WriteString(hop)
@@ -535,11 +803,21 @@ func inflightKey(seq uint64, route []string) string {
 	return sb.String()
 }
 
-// trackInflight records a routed request forwarded over out. Requests
-// with no match tag (fire-and-forget) or no return route need no
-// tracking: nothing is waiting on them.
-func (b *Broker) trackInflight(m *wire.Message, out *link, arrival string) {
+// forwardTracked forwards a routed request over out, recording it in
+// the flow shard's in-flight table so a death of out fails it back fast
+// (see linkDown). Requests with no match tag (fire-and-forget) or no
+// return route are not tracked: nothing is waiting on them.
+//
+// Sharding opens a race the single routing loop never had: the send and
+// the link's teardown sweep now run on different goroutines. The entry
+// is inserted before the send; if the send fails — or the link was
+// deregistered underneath it, meaning the teardown sweep may already
+// have run and missed the fresh entry — whichever side deletes the
+// entry under imu (this path or the sweep) synthesizes the
+// EHOSTUNREACH, so the requester hears exactly one verdict.
+func (b *Broker) forwardTracked(m *wire.Message, out *link, arrival string) {
 	if m.Seq == 0 || len(m.Route) == 0 {
+		b.sendHandoff(out, m)
 		return
 	}
 	e := &inflightReq{
@@ -552,9 +830,56 @@ func (b *Broker) trackInflight(m *wire.Message, out *link, arrival string) {
 		parent:  m.Parent,
 		hops:    m.Hops,
 	}
-	b.mu.Lock()
-	b.inflight[inflightKey(e.seq, e.route)] = e
-	b.mu.Unlock()
+	key := inflightKey(e.seq, e.route)
+	s := b.shards[b.shardOfFlow(e.route[len(e.route)-1], e.seq)]
+	s.imu.Lock()
+	s.inflight[key] = e
+	s.imu.Unlock()
+	err := b.sendHandoffErr(out, m) // m belongs to the link writer now; use e below
+	if err == nil && b.linkRegistered(out) {
+		return
+	}
+	s.imu.Lock()
+	_, present := s.inflight[key]
+	if present {
+		delete(s.inflight, key)
+	}
+	s.imu.Unlock()
+	if present {
+		b.failInflight(e)
+	}
+}
+
+// linkRegistered reports whether l is still the registry's link for its
+// id. linkDown deregisters before sweeping the in-flight tables, so a
+// link observed here as registered is guaranteed to have its entries
+// swept by any later teardown.
+func (b *Broker) linkRegistered(l *link) bool {
+	snap := b.linksSnap.Load()
+	return snap != nil && (*snap)[l.id] == l
+}
+
+// failInflight answers a tracked request with EHOSTUNREACH after its
+// outbound link died; the synthesized response retraces the recorded
+// route under the request's trace context.
+func (b *Broker) failInflight(e *inflightReq) {
+	b.ctr.inflightFailed.Inc()
+	req := &wire.Message{Type: wire.Request, Topic: e.topic, Seq: e.seq, Route: e.route,
+		TraceID: e.traceID, Parent: e.parent, Hops: e.hops}
+	b.routeResponse(inbound{msg: wire.NewErrorResponse(req, ErrnoHostUnreach,
+		fmt.Sprintf("rank %d: link %s down on return route", b.cfg.Rank, e.out))})
+}
+
+// inflightCount sums the shard in-flight tables (for tests and
+// introspection).
+func (b *Broker) inflightCount() int {
+	n := 0
+	for _, s := range b.shards {
+		s.imu.Lock()
+		n += len(s.inflight)
+		s.imu.Unlock()
+	}
+	return n
 }
 
 // Rank returns this broker's rank in the comms session.
@@ -640,12 +965,13 @@ func (b *Broker) attachConn(kind LinkKind, c transport.Conn, pending bool) {
 	b.links[l.id] = l
 	switch kind {
 	case LinkParentTree:
-		b.parentTree = l
+		b.parentTree.Store(l)
 	case LinkParentEvent:
-		b.parentEvent = l
+		b.parentEvent.Store(l)
 	case LinkRingOut:
-		b.ringOut = l
+		b.ringOut.Store(l)
 	}
+	b.publishLinksLocked()
 	b.mu.Unlock()
 	if displaced != nil && displaced.conn != nil {
 		displaced.conn.Close()
@@ -658,9 +984,7 @@ func (b *Broker) attachConn(kind LinkKind, c transport.Conn, pending bool) {
 // the old link. Requests in flight on the old link fail fast with
 // EHOSTUNREACH and are retried by their callers over the new wiring.
 func (b *Broker) ReplaceRingOut(c transport.Conn) {
-	b.mu.Lock()
-	old := b.ringOut
-	b.mu.Unlock()
+	old := b.ringOut.Load()
 	b.AttachConn(LinkRingOut, c)
 	if old != nil && old.conn != nil {
 		old.conn.Close()
@@ -671,8 +995,8 @@ func (b *Broker) ReplaceRingOut(c transport.Conn) {
 // broker is the sole live rank, so the ring plane has no peer left.
 func (b *Broker) DropRingOut() {
 	b.mu.Lock()
-	old := b.ringOut
-	b.ringOut = nil
+	old := b.ringOut.Load()
+	b.ringOut.Store(nil)
 	b.mu.Unlock()
 	if old != nil && old.conn != nil {
 		old.conn.Close()
@@ -695,65 +1019,79 @@ func (b *Broker) meterLink(l *link) {
 	)
 }
 
-// readLoop pumps messages from a connection into the broker loop.
+// readLoop pumps messages from a connection into the dispatch shards.
+// The link-down cleanup rides shard 0 as a ctl thunk, after every
+// message the read loop itself submitted there.
 func (b *Broker) readLoop(l *link) {
 	for {
 		m, err := l.conn.Recv()
 		if err != nil {
-			b.inbox.Push(inbound{ctl: func() { b.linkDown(l) }})
+			b.shards[0].enqueue(inbound{ctl: func() { b.linkDown(l) }})
 			return
 		}
-		b.inbox.Push(inbound{msg: m, from: l, enq: time.Now()})
+		b.submit(inbound{msg: m, from: l})
 	}
 }
 
-// Start runs the broker routing loop until Shutdown, plus the periodic
-// membership anti-entropy pull on non-root brokers.
+// Start launches the shard workers (the routing core, until Shutdown)
+// plus the periodic membership anti-entropy pull on non-root brokers.
 func (b *Broker) Start() {
-	go b.loop()
+	var wg sync.WaitGroup
+	wg.Add(len(b.shards))
+	for _, s := range b.shards {
+		go func(s *shard) {
+			defer wg.Done()
+			s.run()
+		}(s)
+	}
+	go func() {
+		wg.Wait()
+		close(b.done)
+	}()
 	if b.cfg.Rank != 0 && b.cfg.SyncInterval > 0 {
 		b.bg.Add(1)
 		go b.runAntiEntropy()
 	}
 }
 
-func (b *Broker) loop() {
-	defer close(b.done)
-	for in := range b.inbox.Out() {
-		if in.ctl != nil {
-			in.ctl()
-			continue
-		}
-		if !b.admitEpoch(in) {
-			continue
-		}
-		// A peer operating under a newer membership epoch means this
-		// broker's view may be stale: pull the root's view off-loop.
-		if in.from != nil && in.msg.Epoch > b.epoch.Load() {
-			b.startMembershipSync()
-		}
-		switch in.msg.Type {
-		case wire.Request:
-			b.routeRequest(in)
-		case wire.Response:
-			b.routeResponse(in)
-		case wire.Event:
-			b.applyEvent(in.msg)
-		case wire.Control:
-			b.handleControl(in)
-		default:
-			b.ctr.dropsUnknownType.Inc()
-			b.log.Warnf(wire.ServiceCMB, "dropping message of unknown type %d", in.msg.Type)
-		}
+// process executes one unit of inbound work. It runs on whichever
+// goroutine holds the owning shard's busy token — the shard worker or
+// an inline submitter — so everything it calls must be safe off the old
+// single routing loop: registry reads go through the lock-free
+// snapshots, in-flight bookkeeping through the flow shard's imu, and
+// event apply/replay through evMu.
+func (b *Broker) process(in inbound) {
+	if in.ctl != nil {
+		in.ctl()
+		return
+	}
+	if !b.admitEpoch(in) {
+		return
+	}
+	// A peer operating under a newer membership epoch means this
+	// broker's view may be stale: pull the root's view off-loop.
+	if in.from != nil && in.msg.Epoch > b.epoch.Load() {
+		b.startMembershipSync()
+	}
+	switch in.msg.Type {
+	case wire.Request:
+		b.routeRequest(in)
+	case wire.Response:
+		b.routeResponse(in)
+	case wire.Event:
+		b.applyEvent(in.msg)
+	case wire.Control:
+		b.handleControl(in)
+	default:
+		b.ctr.dropsUnknownType.Inc()
+		b.log.Warnf(wire.ServiceCMB, "dropping message of unknown type %d", in.msg.Type)
 	}
 }
 
-// submit is how handles and modules inject work into the loop.
+// submit is how handles, modules, and read loops inject work into the
+// dispatch core.
 func (b *Broker) submit(in inbound) bool {
-	if in.enq.IsZero() && in.msg != nil {
-		in.enq = time.Now()
-	}
-	return b.inbox.Push(in)
+	return b.shards[b.shardFor(in)].enqueue(in)
 }
 
 // routeRequest implements the paper's routing rules: requests travel
@@ -832,17 +1170,14 @@ func (b *Broker) routeRequest(in inbound) {
 			b.respondErr(m, ErrnoHostUnreach, "ring TTL exceeded")
 			break
 		}
-		b.mu.Lock()
-		out := b.ringOut
-		b.mu.Unlock()
+		out := b.ringOut.Load()
 		if out == nil {
 			errnum = ErrnoHostUnreach
 			b.respondErr(m, ErrnoHostUnreach, fmt.Sprintf("rank %d unreachable: no ring link", m.Nodeid))
 			break
 		}
 		outLink = out.id
-		b.trackInflight(m, out, arrival)
-		b.sendHandoff(out, m)
+		b.forwardTracked(m, out, arrival)
 	default:
 		errnum = ErrnoInval
 		b.respondErr(m, ErrnoInval, fmt.Sprintf("nodeid %d outside rank space of size %d", m.Nodeid, b.RankSpace()))
@@ -887,14 +1222,27 @@ func (b *Broker) dispatchLocal(m *wire.Message) bool {
 	if svc == wire.ServiceCMB {
 		return b.builtinRequest(m)
 	}
-	b.mu.Lock()
-	r, ok := b.modules[svc]
-	b.mu.Unlock()
+	snap := b.modsSnap.Load()
+	if snap == nil {
+		return false
+	}
+	r, ok := (*snap)[svc]
 	if !ok {
 		return false
 	}
-	r.inbox.Push(m)
+	r.inbox.PushLane(b.laneFor(m), m)
 	return true
+}
+
+// laneFor maps a request onto its module-mailbox lane: the shard
+// routing its flow. Lanes keep a hot module's mailbox from serializing
+// every dispatch shard on one lock while preserving per-flow FIFO (one
+// flow, one shard, one lane).
+func (b *Broker) laneFor(m *wire.Message) int {
+	if len(m.Route) == 0 {
+		return 0
+	}
+	return b.shardOfFlow(m.Route[len(m.Route)-1], m.Seq)
 }
 
 // forwardUpstream sends m toward the root, or answers ENOSYS at the
@@ -905,9 +1253,7 @@ func (b *Broker) dispatchLocal(m *wire.Message) bool {
 // for the caller's trace span.
 func (b *Broker) forwardUpstream(m *wire.Message, arrival string) (string, int32) {
 	b.ctr.requestsUpstream.Inc()
-	b.mu.Lock()
-	p := b.parentTree
-	b.mu.Unlock()
+	p := b.parentTree.Load()
 	if p == nil {
 		if b.IsRoot() {
 			b.respondErr(m, ErrnoNoSys, fmt.Sprintf("no module %q in session", m.Service()))
@@ -917,8 +1263,7 @@ func (b *Broker) forwardUpstream(m *wire.Message, arrival string) (string, int32
 			fmt.Sprintf("rank %d: parent link down (re-parenting)", b.cfg.Rank))
 		return "", ErrnoHostUnreach
 	}
-	b.trackInflight(m, p, arrival)
-	b.sendHandoff(p, m)
+	b.forwardTracked(m, p, arrival)
 	return p.id, 0
 }
 
@@ -961,14 +1306,19 @@ func (b *Broker) routeResponse(in inbound) {
 }
 
 // forwardResponse does the actual response routing and returns the link
-// the response left on ("" when it was dropped).
+// the response left on ("" when it was dropped). A response passing
+// through settles the flow shard's in-flight entry before the route pop,
+// so the entry key still matches the forward-time route.
 func (b *Broker) forwardResponse(in inbound) string {
 	m := in.msg
-	b.mu.Lock()
-	if m.Seq != 0 && len(b.inflight) > 0 {
-		delete(b.inflight, inflightKey(m.Seq, m.Route))
+	if m.Seq != 0 && len(m.Route) > 0 {
+		s := b.shards[b.shardOfFlow(m.Route[len(m.Route)-1], m.Seq)]
+		s.imu.Lock()
+		if len(s.inflight) > 0 {
+			delete(s.inflight, inflightKey(m.Seq, m.Route))
+		}
+		s.imu.Unlock()
 	}
-	b.mu.Unlock()
 	if m.Seq == 0 && len(m.Route) == 0 {
 		return "" // response to a fire-and-forget send: drop
 	}
@@ -978,10 +1328,11 @@ func (b *Broker) forwardResponse(in inbound) string {
 		b.log.LogT(obs.LevelWarn, wire.ServiceCMB, m.TraceID, "response %s with empty route stack dropped", m.Topic)
 		return ""
 	}
-	b.mu.Lock()
-	l, ok := b.links[id]
-	b.mu.Unlock()
-	if !ok {
+	var l *link
+	if snap := b.linksSnap.Load(); snap != nil {
+		l = (*snap)[id]
+	}
+	if l == nil {
 		b.ctr.dropsUnknownLink.Inc()
 		b.log.LogT(obs.LevelWarn, wire.ServiceCMB, m.TraceID, "response %s to unknown link %q dropped", m.Topic, id)
 		return ""
@@ -1011,33 +1362,21 @@ func (b *Broker) linkDown(l *link) {
 	// deleting that one would hide a live conn from Shutdown.
 	if b.links[l.id] == l {
 		delete(b.links, l.id)
+		b.publishLinksLocked()
 	}
 	parentLost := false
 	oldParent := b.parentRank
-	if b.parentTree == l {
-		b.parentTree = nil
+	if b.parentTree.Load() == l {
+		b.parentTree.Store(nil)
 		parentLost = true
 	}
-	if b.parentEvent == l {
-		b.parentEvent = nil
+	if b.parentEvent.Load() == l {
+		b.parentEvent.Store(nil)
 		parentLost = true
 	}
-	if b.ringOut == l {
-		b.ringOut = nil
+	if b.ringOut.Load() == l {
+		b.ringOut.Store(nil)
 	}
-	var failed []*inflightReq
-	for key, e := range b.inflight {
-		switch l.id {
-		case e.out:
-			failed = append(failed, e)
-			delete(b.inflight, key)
-		case e.arrival:
-			// The requester's own link is gone; any response would be
-			// dropped at routing time, so just forget the entry.
-			delete(b.inflight, key)
-		}
-	}
-	b.ctr.inflightFailed.Add(uint64(len(failed)))
 	closed := b.closed
 	reparent := b.cfg.Reparent
 	trigger := parentLost && !closed && reparent != nil && !b.reparenting
@@ -1045,12 +1384,29 @@ func (b *Broker) linkDown(l *link) {
 		b.reparenting = true
 	}
 	b.mu.Unlock()
+	// Sweep the shard in-flight tables only after the registry entry is
+	// deregistered (published above): forwardTracked re-checks
+	// registration after its send, so any entry inserted after this
+	// sweep misses it will settle itself.
+	var failed []*inflightReq
+	for _, s := range b.shards {
+		s.imu.Lock()
+		for key, e := range s.inflight {
+			switch l.id {
+			case e.out:
+				failed = append(failed, e)
+				delete(s.inflight, key)
+			case e.arrival:
+				// The requester's own link is gone; any response would be
+				// dropped at routing time, so just forget the entry.
+				delete(s.inflight, key)
+			}
+		}
+		s.imu.Unlock()
+	}
 	l.conn.Close()
 	for _, e := range failed {
-		req := &wire.Message{Type: wire.Request, Topic: e.topic, Seq: e.seq, Route: e.route,
-			TraceID: e.traceID, Parent: e.parent, Hops: e.hops}
-		b.routeResponse(inbound{msg: wire.NewErrorResponse(req, ErrnoHostUnreach,
-			fmt.Sprintf("rank %d: link %s down on return route", b.cfg.Rank, e.out))})
+		b.failInflight(e)
 	}
 	// Both parent-plane links fail on a parent death; re-parent once.
 	if trigger {
@@ -1075,8 +1431,9 @@ func (b *Broker) SetParent(treeConn, eventConn transport.Conn, newParentRank int
 	b.meterLink(el)
 	b.links[tl.id] = tl
 	b.links[el.id] = el
-	b.parentTree = tl
-	b.parentEvent = el
+	b.publishLinksLocked()
+	b.parentTree.Store(tl)
+	b.parentEvent.Store(el)
 	b.parentRank = newParentRank
 	b.reparenting = false
 	last := b.lastEventSeq
@@ -1096,10 +1453,10 @@ func (b *Broker) handleControl(in inbound) {
 		if in.from == nil {
 			return
 		}
+		// replayEvents ungates the link itself, inside the event lock, so
+		// no event sequenced between "replay backlog" and "ungate" can be
+		// lost or duplicated.
 		b.replayEvents(in.from, in.msg.Seq)
-		b.mu.Lock()
-		in.from.gated = false
-		b.mu.Unlock()
 	case wire.TopicSub:
 		if in.from != nil {
 			var body struct {
@@ -1167,9 +1524,24 @@ func (b *Broker) Shutdown() {
 	for _, r := range runners {
 		r.stop()
 	}
-	b.inbox.Close()
+	for _, s := range b.shards {
+		s.mu.Lock()
+		s.closed = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
 	<-b.done
 	b.bg.Wait()
+	// With every producer stopped, drop the event-history frames so the
+	// release-exactly-once contract holds across broker teardown.
+	b.mu.Lock()
+	for i := range b.eventHist {
+		if f := b.eventHist[i].frame; f != nil {
+			f.Release()
+		}
+	}
+	b.eventHist = nil
+	b.mu.Unlock()
 }
 
 // matchTopic reports whether topic matches a subscription prefix, using

@@ -3,11 +3,22 @@ package broker
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"time"
 
 	"fluxgo/internal/obs"
+	"fluxgo/internal/transport"
 	"fluxgo/internal/wire"
 )
+
+// eventRec is one entry of the event history cache: the immutable event
+// message plus, when at least one child link can ship raw frames, its
+// encode-once wire frame shared (refcounted) by every frame-capable
+// consumer — live fan-out and resync replay alike.
+type eventRec struct {
+	msg   *wire.Message
+	frame *wire.Frame // nil when no frame-capable child has seen it
+}
 
 // Event plane.
 //
@@ -33,7 +44,14 @@ func (b *Broker) builtinRequest(m *wire.Message) bool {
 			return false // forward toward the root, which sequences it
 		}
 		var body pubBody
-		if err := m.UnpackJSON(&body); err != nil {
+		if r, ok := wire.NewBinReader(m.Payload); ok {
+			body.Topic = r.String()
+			body.Payload = r.Bytes()
+			if err := r.Err(); err != nil {
+				b.respondErr(m, ErrnoInval, err.Error())
+				return true
+			}
+		} else if err := m.UnpackJSON(&body); err != nil {
 			b.respondErr(m, ErrnoInval, err.Error())
 			return true
 		}
@@ -46,6 +64,22 @@ func (b *Broker) builtinRequest(m *wire.Message) bool {
 		}
 		return true
 	case "ping":
+		// Empty pings — the liveness probe, and the hot routing
+		// benchmark — skip the generic map round-trip: the reply body is
+		// appended directly, no json.Marshal, no map allocation.
+		if len(m.Payload) == 0 || string(m.Payload) == "{}" || string(m.Payload) == "null" {
+			var buf [40]byte
+			raw := append(buf[:0], `{"rank":`...)
+			raw = strconv.AppendInt(raw, int64(b.cfg.Rank), 10)
+			raw = append(raw, `,"hops":`...)
+			raw = strconv.AppendInt(raw, int64(len(m.Route)), 10)
+			raw = append(raw, '}')
+			resp, err := wire.NewResponse(m, wire.RawBody(raw))
+			if err == nil {
+				b.routeResponse(inbound{msg: resp})
+			}
+			return true
+		}
 		var body map[string]any
 		if err := m.UnpackJSON(&body); err != nil {
 			body = map[string]any{}
@@ -193,17 +227,20 @@ func (b *Broker) builtinRequest(m *wire.Message) bool {
 // a fresh trace for broker-internal publications), so an event's
 // session-wide fan-out chains onto the cmb.pub request that caused it.
 func (b *Broker) sequenceEvent(topic string, payload json.RawMessage, traceID uint64, hops uint8) uint64 {
-	b.mu.Lock()
-	b.eventSeq++
-	seq := b.eventSeq
-	b.mu.Unlock()
-	b.ctr.eventsPublished.Inc()
 	if traceID == 0 {
 		traceID = b.newTraceID()
 	}
+	// Sequence assignment and fan-out happen under one evMu critical
+	// section: if they were separate, two concurrently sequenced events
+	// could fan out in the wrong order and trip every child's gap check.
+	b.evMu.Lock()
+	b.eventSeq++
+	seq := b.eventSeq
 	ev := &wire.Message{Type: wire.Event, Topic: topic, Seq: seq, Payload: payload,
 		Epoch: b.epoch.Load(), TraceID: traceID, Parent: hops, Hops: hops}
-	b.applyEvent(ev)
+	b.applyEventLocked(ev)
+	b.evMu.Unlock()
+	b.ctr.eventsPublished.Inc()
 	return seq
 }
 
@@ -217,6 +254,15 @@ func (b *Broker) sequenceEvent(topic string, payload json.RawMessage, traceID ui
 // depth (events only ever flow root-to-leaves), continuing the
 // publisher's hop numbering without mutation.
 func (b *Broker) applyEvent(ev *wire.Message) {
+	b.evMu.Lock()
+	b.applyEventLocked(ev)
+	b.evMu.Unlock()
+}
+
+// applyEventLocked is applyEvent's body; callers hold evMu, which
+// serializes event apply against resync replay so the two can never
+// interleave out of sequence order on any link.
+func (b *Broker) applyEventLocked(ev *wire.Message) {
 	start := time.Now()
 	b.mu.Lock()
 	if ev.Seq <= b.lastEventSeq {
@@ -236,10 +282,6 @@ func (b *Broker) applyEvent(ev *wire.Message) {
 	if ev.Topic == wire.EventJoin || ev.Topic == wire.EventLeave {
 		b.applyMembershipLocked(ev)
 	}
-	b.eventHist = append(b.eventHist, ev)
-	if over := len(b.eventHist) - b.cfg.EventHistory; over > 0 {
-		b.eventHist = append([]*wire.Message(nil), b.eventHist[over:]...)
-	}
 	// Every broker applies every event, so the session heartbeat doubles
 	// as the log plane's clock: each pulse flushes pending warn+ records
 	// one hop upstream (after the lock below is released).
@@ -257,6 +299,7 @@ func (b *Broker) applyEvent(ev *wire.Message) {
 	}
 	var local []*link
 	var down []*link
+	frameTargets := 0
 	for _, l := range b.links {
 		switch l.kind {
 		case linkHandle:
@@ -273,10 +316,36 @@ func (b *Broker) applyEvent(ev *wire.Message) {
 		case LinkChildEvent:
 			if !l.gated {
 				down = append(down, l)
+				if _, ok := l.conn.(transport.FrameSender); ok {
+					frameTargets++
+				}
 			}
 		}
 	}
+	// Encode once: if any child link can ship raw frames, marshal the
+	// event a single time and let every such link (plus future resync
+	// replays) share the bytes. Marshal failure just falls back to
+	// per-link Send, which will surface the same error.
+	var frame *wire.Frame
+	if frameTargets > 0 {
+		if f, err := wire.NewFrame(ev); err == nil {
+			frame = f
+		}
+	}
+	b.eventHist = append(b.eventHist, eventRec{msg: ev, frame: frame})
+	var evicted []*wire.Frame
+	if over := len(b.eventHist) - b.cfg.EventHistory; over > 0 {
+		for i := 0; i < over; i++ {
+			if f := b.eventHist[i].frame; f != nil {
+				evicted = append(evicted, f)
+			}
+		}
+		b.eventHist = append([]eventRec(nil), b.eventHist[over:]...)
+	}
 	b.mu.Unlock()
+	for _, f := range evicted {
+		f.Release()
+	}
 
 	b.ctr.eventsApplied.Inc()
 	if heartbeat {
@@ -284,15 +353,26 @@ func (b *Broker) applyEvent(ev *wire.Message) {
 	}
 
 	// Events are immutable once published: the same message value is
-	// shared by every local recipient and forwarded child.
+	// shared by every local recipient and forwarded child, and the same
+	// encoded frame by every frame-capable child.
 	for _, r := range mods {
-		r.inbox.Push(ev)
+		r.inbox.PushLane(0, ev)
 	}
 	for _, l := range local {
 		b.send(l, ev)
 	}
 	for _, l := range down {
-		b.send(l, ev)
+		if fs, ok := l.conn.(transport.FrameSender); ok && frame != nil {
+			b.sendFrame(l, fs, frame)
+		} else {
+			b.send(l, ev)
+		}
+	}
+	if frame != nil {
+		b.ctr.eventsFanoutEncodes.Inc()
+		if frameTargets > 1 {
+			b.ctr.eventsFanoutReuse.Add(uint64(frameTargets - 1))
+		}
 	}
 
 	work := time.Since(start)
@@ -311,19 +391,56 @@ func (b *Broker) applyEvent(ev *wire.Message) {
 	}
 }
 
+// sendFrame ships one reference of the shared event frame down a
+// frame-capable link, with the same error accounting as send.
+func (b *Broker) sendFrame(l *link, fs transport.FrameSender, f *wire.Frame) {
+	if err := fs.SendFrame(f.Retain()); err != nil {
+		b.ctr.sendErrors.Inc()
+		b.log.Warnf(wire.ServiceCMB, "send frame on %s: %v", l.id, err)
+	}
+}
+
 // replayEvents sends cached events with sequence > last down one link,
-// bringing a newly adopted child up to date after re-parenting.
+// bringing a newly adopted child up to date after re-parenting, then
+// ungates the link. Both steps run under evMu: an event sequenced after
+// the backlog snapshot but before the ungate would otherwise miss both
+// the replay and the live fan-out — a silent gap the child never learns
+// about. Cached frames are reused here too: a resync costs zero marshals
+// for events that still hold their encoding.
 func (b *Broker) replayEvents(l *link, last uint64) {
+	fs, frameOK := l.conn.(transport.FrameSender)
+	b.evMu.Lock()
 	b.mu.Lock()
-	var replay []*wire.Message
-	for _, ev := range b.eventHist {
-		if ev.Seq > last {
-			replay = append(replay, ev)
+	var replay []eventRec
+	for _, rec := range b.eventHist {
+		if rec.msg.Seq > last {
+			if frameOK && rec.frame != nil {
+				rec.frame.Retain() // the loop below owns this reference
+			} else {
+				rec.frame = nil // value copy; the cache keeps its own ref
+			}
+			replay = append(replay, rec)
 		}
 	}
+	l.gated = false
 	b.mu.Unlock()
-	for _, ev := range replay {
-		b.send(l, ev)
+	var reused uint64
+	for _, rec := range replay {
+		if rec.frame != nil {
+			// The reference taken above is handed to the transport
+			// directly (not via sendFrame, which retains again).
+			if err := fs.SendFrame(rec.frame); err != nil {
+				b.ctr.sendErrors.Inc()
+				b.log.Warnf(wire.ServiceCMB, "replay frame on %s: %v", l.id, err)
+			}
+			reused++
+		} else {
+			b.send(l, rec.msg)
+		}
+	}
+	b.evMu.Unlock()
+	if reused > 0 {
+		b.ctr.eventsFanoutReuse.Add(reused)
 	}
 }
 

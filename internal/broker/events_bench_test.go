@@ -1,0 +1,80 @@
+package broker
+
+import (
+	"fmt"
+	"testing"
+
+	"fluxgo/internal/transport"
+	"fluxgo/internal/wire"
+)
+
+// BenchmarkEventFanout measures one event published at the root and
+// fanned out to 8 frame-capable children over codec pipes — the
+// encode-once path: one marshal per event, shared by every child, with
+// each pipe paying only the receiver-side decode.
+func BenchmarkEventFanout(b *testing.B) {
+	const children = 8
+
+	root, err := New(Config{Rank: 0, Size: 1, EventHistory: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	root.Start()
+	defer root.Shutdown()
+
+	warmed := make(chan struct{}, children)
+	done := make(chan int, children)
+	for c := 0; c < children; c++ {
+		parentEnd, childEnd := transport.CodecPipe("rank:0", fmt.Sprintf("rank:%d", c+1))
+		root.AttachConn(LinkChildEvent, parentEnd)
+		if err := childEnd.Send(&wire.Message{Type: wire.Control, Topic: wire.TopicResync, Seq: 0}); err != nil {
+			b.Fatal(err)
+		}
+		go func(conn transport.Conn) {
+			var got int
+			for {
+				m, err := conn.Recv()
+				if err != nil {
+					done <- got
+					return
+				}
+				if m.Type != wire.Event {
+					continue
+				}
+				if m.Topic == "warm.up" {
+					warmed <- struct{}{}
+					continue
+				}
+				got++
+				if got == b.N {
+					done <- got
+					return
+				}
+			}
+		}(childEnd)
+		defer childEnd.Close()
+	}
+
+	// Wait for every child's gate to open so each measured event fans
+	// out to all of them.
+	h := root.NewHandle()
+	defer h.Close()
+	if _, err := h.PublishEvent("warm.up", nil); err != nil {
+		b.Fatal(err)
+	}
+	for c := 0; c < children; c++ {
+		<-warmed
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.PublishEvent("bench.ev", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for c := 0; c < children; c++ {
+		if got := <-done; got != b.N {
+			b.Fatalf("child received %d of %d events", got, b.N)
+		}
+	}
+}

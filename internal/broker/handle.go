@@ -60,6 +60,7 @@ func (b *Broker) NewHandle() *Handle {
 		return h
 	}
 	b.links[h.id] = h.link
+	b.publishLinksLocked()
 	b.mu.Unlock()
 	go h.demux()
 	return h
@@ -79,6 +80,12 @@ func (h *Handle) Clock() clock.Clock { return h.b.cfg.Clock }
 
 // Broker returns the handle's broker (for introspection).
 func (h *Handle) Broker() *Broker { return h.b }
+
+// BinaryBodies reports whether this broker's hot services should encode
+// payloads with the compact binary body codec (wire.BinWriter) instead
+// of JSON. Decoders sniff per message, so the setting only gates the
+// encode side.
+func (h *Handle) BinaryBodies() bool { return h.b.binBodies.Load() }
 
 // LiveSize returns the number of live ranks in the broker's current
 // membership view (Size is the founding size and never changes).
@@ -116,7 +123,31 @@ func (h *Handle) Logf(format string, args ...any) {
 
 // deliver is called by the broker loop to hand a message to the handle.
 // It reports false once the handle has shut down.
-func (h *Handle) deliver(m *wire.Message) bool { return h.inbox.Push(m) }
+//
+// Responses are matched to their pending RPC right here instead of
+// detouring through the inbox pump and demux goroutine: the channel is
+// buffered (capacity 1) and each tag has exactly one response in flight,
+// so the send below never blocks a dispatch shard. Cutting those two
+// goroutine hops roughly halves the wakeups on the RPC critical path.
+func (h *Handle) deliver(m *wire.Message) bool {
+	if m.Type == wire.Response {
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			return false
+		}
+		ch, ok := h.pending[m.Seq]
+		if ok {
+			delete(h.pending, m.Seq)
+		}
+		h.mu.Unlock()
+		if ok {
+			ch <- m
+		}
+		return true
+	}
+	return h.inbox.Push(m)
+}
 
 // wantsEvent reports whether any subscription matches topic.
 func (h *Handle) wantsEvent(topic string) bool {
@@ -371,7 +402,16 @@ func (h *Handle) PublishEvent(topic string, body any) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("broker: publish %s: %w", topic, err)
 	}
-	resp, err := h.RPC(wire.TopicPub, wire.NodeidAny, pubBody{Topic: topic, Payload: raw})
+	var req any = pubBody{Topic: topic, Payload: raw}
+	if h.b.binBodies.Load() {
+		// Binary codec v3: skip the pub envelope's JSON re-marshal (which
+		// would re-encode the already-marshaled event payload).
+		w := wire.NewBinWriter(len(topic) + len(raw) + 8)
+		w.String(topic)
+		w.Bytes(raw)
+		req = wire.RawBody(w.Finish())
+	}
+	resp, err := h.RPC(wire.TopicPub, wire.NodeidAny, req)
 	if err != nil {
 		return 0, err
 	}
@@ -440,6 +480,7 @@ func (h *Handle) Subscribe(prefix string) (*Subscription, error) {
 func (h *Handle) Close() {
 	h.b.mu.Lock()
 	delete(h.b.links, h.id)
+	h.b.publishLinksLocked()
 	h.b.mu.Unlock()
 	h.shutdown()
 }

@@ -46,7 +46,7 @@ type IdleBatcher interface {
 type moduleRunner struct {
 	mod   Module
 	subs  []string
-	inbox *Mailbox[*wire.Message]
+	inbox *ShardedMailbox[*wire.Message]
 	h     *Handle
 	done  chan struct{}
 }
@@ -56,10 +56,12 @@ type moduleRunner struct {
 // tree depth" policy is realized by the session choosing which ranks to
 // call LoadModule on.
 func (b *Broker) LoadModule(m Module) error {
+	// One inbox lane per dispatch shard: shards deliver into their own
+	// lane, so a hot module never head-of-line-blocks dispatch itself.
 	r := &moduleRunner{
 		mod:   m,
 		subs:  m.Subscriptions(),
-		inbox: NewMailbox[*wire.Message](),
+		inbox: NewShardedMailbox[*wire.Message](b.nshards),
 		done:  make(chan struct{}),
 	}
 	r.h = b.NewHandle()
@@ -76,6 +78,7 @@ func (b *Broker) LoadModule(m Module) error {
 		return errShutdown
 	}
 	b.modules[m.Name()] = r
+	b.publishModulesLocked()
 	b.mu.Unlock()
 	go r.run()
 	return nil
@@ -93,6 +96,7 @@ func (b *Broker) UnloadModule(name string) error {
 	r, ok := b.modules[name]
 	if ok {
 		delete(b.modules, name)
+		b.publishModulesLocked()
 	}
 	b.mu.Unlock()
 	if !ok {

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"sync"
 	"testing"
 
 	"fluxgo/internal/transport"
@@ -38,4 +39,51 @@ func BenchmarkRouteHop(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRouteHopContended is BenchmarkRouteHop with 8 concurrent
+// flows (one handle each), the workload the sharded dispatch pipeline
+// exists for: distinct flows hash to distinct shards, so their requests
+// route in parallel instead of serializing on one loop.
+func BenchmarkRouteHopContended(b *testing.B) {
+	root, err := New(Config{Rank: 0, Size: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	root.Start()
+	defer root.Shutdown()
+
+	child, err := New(Config{Rank: 1, Size: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	child.Start()
+	defer child.Shutdown()
+
+	up, down := transport.Pipe("rank:1", "rank:0")
+	child.AttachConn(LinkParentTree, up)
+	root.AttachConn(LinkChildTree, down)
+
+	const flows = 8
+	handles := make([]*Handle, flows)
+	for i := range handles {
+		handles[i] = child.NewHandle()
+		defer handles[i].Close()
+	}
+	per := (b.N + flows - 1) / flows
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for _, h := range handles {
+		wg.Add(1)
+		go func(h *Handle) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := h.RPC("cmb.ping", wire.NodeidUpstream, nil); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(h)
+	}
+	wg.Wait()
 }

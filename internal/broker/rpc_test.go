@@ -252,10 +252,7 @@ func TestResponseSettlesInflight(t *testing.T) {
 	}
 	// The response retraced the link, so the in-flight entry is settled:
 	// a later link death must not synthesize a stale failure.
-	b.mu.Lock()
-	n := len(b.inflight)
-	b.mu.Unlock()
-	if n != 0 {
+	if n := b.inflightCount(); n != 0 {
 		t.Fatalf("%d in-flight entries after response settled", n)
 	}
 	if st := b.Stats(); st.InflightFailed != 0 {

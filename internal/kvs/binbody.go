@@ -1,0 +1,70 @@
+package kvs
+
+import "fluxgo/internal/wire"
+
+// Binary-coded (codec v3) forms of the hot kvs wire bodies. Encoding is
+// an encoder-side opt-in gated on the broker's negotiated BinaryBodies
+// flag; decoding always sniffs, so binary and JSON peers interoperate on
+// the same link, and responses follow the encoding of the request that
+// produced them.
+
+func (b putBody) bin() wire.RawBody {
+	w := wire.NewBinWriter(len(b.Key) + len(b.Ref) + len(b.Data) + 8)
+	w.String(b.Key)
+	w.String(b.Ref)
+	w.Bytes(b.Data)
+	return w.Finish()
+}
+
+func decodePutBody(m *wire.Message) (body putBody, err error) {
+	if r, ok := wire.NewBinReader(m.Payload); ok {
+		body.Key = r.String()
+		body.Ref = r.String()
+		body.Data = r.Bytes()
+		return body, r.Err()
+	}
+	err = m.UnpackJSON(&body)
+	return body, err
+}
+
+func (b loadBody) bin() wire.RawBody {
+	n := len(b.Ref) + 8
+	for _, s := range b.Refs {
+		n += len(s) + 4
+	}
+	w := wire.NewBinWriter(n)
+	w.String(b.Ref)
+	w.StringSlice(b.Refs)
+	return w.Finish()
+}
+
+func decodeLoadBody(m *wire.Message) (body loadBody, err error) {
+	if r, ok := wire.NewBinReader(m.Payload); ok {
+		body.Ref = r.String()
+		body.Refs = r.StringSlice()
+		return body, r.Err()
+	}
+	err = m.UnpackJSON(&body)
+	return body, err
+}
+
+func (b loadResp) bin() wire.RawBody {
+	n := len(b.Data) + 8
+	for k, v := range b.Objects {
+		n += len(k) + len(v) + 8
+	}
+	w := wire.NewBinWriter(n)
+	w.Bytes(b.Data)
+	w.BytesMap(b.Objects)
+	return w.Finish()
+}
+
+func decodeLoadResp(m *wire.Message) (body loadResp, err error) {
+	if r, ok := wire.NewBinReader(m.Payload); ok {
+		body.Data = r.Bytes()
+		body.Objects = r.BytesMap()
+		return body, r.Err()
+	}
+	err = m.UnpackJSON(&body)
+	return body, err
+}

@@ -1,0 +1,162 @@
+package kvs
+
+import (
+	"bytes"
+	"testing"
+
+	"fluxgo/internal/session"
+	"fluxgo/internal/wire"
+)
+
+// TestBinBodyRoundTrip checks every binary-coded kvs body survives an
+// encode/decode cycle, and that the same decoder accepts the JSON form —
+// the sniff that makes codec v3 a pure encoder-side opt-in.
+func TestBinBodyRoundTrip(t *testing.T) {
+	put := putBody{Key: "a.b", Ref: "deadbeef", Data: []byte{1, 2, 3, 0xB3}}
+	msg := &wire.Message{Payload: []byte(put.bin())}
+	got, err := decodePutBody(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != put.Key || got.Ref != put.Ref || !bytes.Equal(got.Data, put.Data) {
+		t.Fatalf("putBody round trip: got %+v, want %+v", got, put)
+	}
+
+	load := loadBody{Ref: "aa", Refs: []string{"bb", "cc"}}
+	msg = &wire.Message{Payload: []byte(load.bin())}
+	gotLoad, err := decodeLoadBody(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLoad.Ref != load.Ref || len(gotLoad.Refs) != 2 || gotLoad.Refs[1] != "cc" {
+		t.Fatalf("loadBody round trip: got %+v, want %+v", gotLoad, load)
+	}
+
+	resp := loadResp{Data: []byte("xyz"), Objects: map[string][]byte{"k1": {9}, "k2": {8, 7}}}
+	msg = &wire.Message{Payload: []byte(resp.bin())}
+	gotResp, err := decodeLoadResp(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotResp.Data, resp.Data) || len(gotResp.Objects) != 2 ||
+		!bytes.Equal(gotResp.Objects["k2"], []byte{8, 7}) {
+		t.Fatalf("loadResp round trip: got %+v, want %+v", gotResp, resp)
+	}
+
+	// JSON forms hit the same decoders through the sniff-miss path.
+	jm, err := wire.NewRequest("kvs.put", wire.NodeidAny, put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := decodePutBody(jm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotJSON.Key != put.Key || !bytes.Equal(gotJSON.Data, put.Data) {
+		t.Fatalf("putBody JSON decode: got %+v, want %+v", gotJSON, put)
+	}
+
+	// A truncated binary body fails loudly rather than yielding zeroes.
+	trunc := []byte(put.bin())[:3]
+	if _, err := decodePutBody(&wire.Message{Payload: trunc}); err == nil {
+		t.Fatal("truncated binary body decoded without error")
+	}
+}
+
+// binKVSSession is newKVSSession with binary bodies negotiated on.
+func binKVSSession(t testing.TB, size, arity int) *session.Session {
+	t.Helper()
+	s, err := session.New(session.Options{
+		Size:         size,
+		Arity:        arity,
+		Codec:        true,
+		BinaryBodies: true,
+		Modules:      []session.ModuleFactory{Factory(ModuleConfig{})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestBinaryBodiesEndToEnd runs the put/commit/get/load cycle across a
+// codec-linked tree with every broker speaking binary bodies.
+func TestBinaryBodiesEndToEnd(t *testing.T) {
+	s := binKVSSession(t, 7, 2)
+	w := client(t, s, 6) // leaf: puts and loads traverse two slave levels
+	if err := w.Put("bin.key", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	ver, err := w.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := client(t, s, 5)
+	if err := r.WaitVersion(ver); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	if err := r.Get("bin.key", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello" {
+		t.Fatalf("bin.key = %q, want %q", got, "hello")
+	}
+}
+
+// TestBinaryBodiesCrossVersionLinks mixes encodings on one tree: some
+// brokers emit binary bodies, others plain JSON. Decoders sniff, and
+// responses follow the request's encoding, so every pairing on a parent
+// <-> child link — binary->JSON, JSON->binary — must interoperate.
+func TestBinaryBodiesCrossVersionLinks(t *testing.T) {
+	s := binKVSSession(t, 3, 2)
+	// Rank 1 reverts to JSON: its requests to the binary root arrive as
+	// JSON (sniff-miss), and the root's responses to it come back JSON
+	// (response follows request). Rank 2 stays binary against the same
+	// root, exercising the opposite pairing concurrently.
+	s.Broker(1).SetBinaryBodies(false)
+
+	wj := client(t, s, 1) // JSON writer under binary master
+	if err := wj.Put("cross.j", 11); err != nil {
+		t.Fatal(err)
+	}
+	verJ, err := wj.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := client(t, s, 2) // binary writer under binary master
+	if err := wb.Put("cross.b", 22); err != nil {
+		t.Fatal(err)
+	}
+	verB, err := wb.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cross-reads: the JSON rank faults in the binary rank's object and
+	// vice versa (kvs.load over both encodings).
+	ver := verJ
+	if verB > ver {
+		ver = verB
+	}
+	var got int
+	if err := wj.WaitVersion(ver); err != nil {
+		t.Fatal(err)
+	}
+	if err := wj.Get("cross.b", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != 22 {
+		t.Fatalf("cross.b at JSON rank = %d, want 22", got)
+	}
+	if err := wb.WaitVersion(ver); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Get("cross.j", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != 11 {
+		t.Fatalf("cross.j at binary rank = %d, want 11", got)
+	}
+}

@@ -79,11 +79,14 @@ func (c *Client) PutRaw(key string, raw json.RawMessage) error {
 	}
 	encoded := cas.NewValue(raw).Encode()
 	ref := cas.HashOf(encoded)
-	if _, err := c.h.RPC(c.topic("put"), wire.NodeidAny, putBody{
-		Key:  key,
-		Ref:  ref.String(),
-		Data: encoded,
-	}); err != nil {
+	body := putBody{Key: key, Ref: ref.String(), Data: encoded}
+	var req any = body
+	if c.h.BinaryBodies() {
+		// Binary codec v3: the hot put path skips JSON's base64 encode of
+		// the value object when the session negotiated binary bodies.
+		req = body.bin()
+	}
+	if _, err := c.h.RPC(c.topic("put"), wire.NodeidAny, req); err != nil {
 		return err
 	}
 	c.mu.Lock()

@@ -442,8 +442,8 @@ func refString(r cas.Ref) string {
 // recvPut caches a dirty value object locally, in write-back mode: the
 // data is not flushed upstream until the owning client commits or fences.
 func (m *Module) recvPut(msg *wire.Message) {
-	var body putBody
-	if err := msg.UnpackJSON(&body); err != nil {
+	body, err := decodePutBody(msg)
+	if err != nil {
 		m.h.RespondError(msg, broker.ErrnoInval, err.Error())
 		return
 	}
@@ -967,7 +967,11 @@ func (m *Module) fetchBatch(refs []cas.Ref) map[cas.Ref]error {
 		m.obsBatches.Inc()
 		// Loads are idempotent (content-addressed), so transient route
 		// failures are retried rather than surfaced to the reader.
-		resp, err := m.h.RPCWithOptions(m.ctx, m.cfg.Service+".load", m.upstreamTarget(), loadBody{Refs: hex},
+		var req any = loadBody{Refs: hex}
+		if m.h.BinaryBodies() {
+			req = loadBody{Refs: hex}.bin()
+		}
+		resp, err := m.h.RPCWithOptions(m.ctx, m.cfg.Service+".load", m.upstreamTarget(), req,
 			broker.RPCOptions{Retries: 4, Backoff: 25 * time.Millisecond})
 		if err != nil {
 			for _, ref := range chunk {
@@ -975,8 +979,8 @@ func (m *Module) fetchBatch(refs []cas.Ref) map[cas.Ref]error {
 			}
 			continue
 		}
-		var body loadResp
-		if err := resp.UnpackJSON(&body); err != nil {
+		body, err := decodeLoadResp(resp)
+		if err != nil {
 			for _, ref := range chunk {
 				errs[ref] = err
 			}
@@ -1006,8 +1010,8 @@ func (m *Module) fetchBatch(refs []cas.Ref) map[cas.Ref]error {
 // object this instance ended up holding; the single-ref form keeps its
 // original data-or-ENOENT contract.
 func (m *Module) recvLoad(msg *wire.Message) {
-	var body loadBody
-	if err := msg.UnpackJSON(&body); err != nil {
+	body, err := decodeLoadBody(msg)
+	if err != nil {
 		m.h.RespondError(msg, broker.ErrnoInval, err.Error())
 		return
 	}
@@ -1033,7 +1037,7 @@ func (m *Module) recvLoad(msg *wire.Message) {
 		start := time.Now()
 		if single {
 			if data, ok := m.store.GetRaw(refs[0]); ok {
-				m.h.Respond(msg, loadResp{Data: data})
+				m.respondLoad(msg, loadResp{Data: data})
 				m.histLoad.Observe(time.Since(start))
 				return
 			}
@@ -1045,7 +1049,7 @@ func (m *Module) recvLoad(msg *wire.Message) {
 				}
 			}
 			if len(objects) == len(refs) {
-				m.h.Respond(msg, loadResp{Objects: objects})
+				m.respondLoad(msg, loadResp{Objects: objects})
 				m.histLoad.Observe(time.Since(start))
 				return
 			}
@@ -1065,7 +1069,7 @@ func (m *Module) recvLoad(msg *wire.Message) {
 				m.h.RespondError(msg, broker.ErrnoNoEnt, err.Error())
 				return
 			}
-			m.h.Respond(msg, loadResp{Data: data})
+			m.respondLoad(msg, loadResp{Data: data})
 			return
 		}
 		objects := make(map[string][]byte, len(refs))
@@ -1078,8 +1082,19 @@ func (m *Module) recvLoad(msg *wire.Message) {
 			m.h.RespondError(msg, broker.ErrnoNoEnt, err.Error())
 			return
 		}
-		m.h.Respond(msg, loadResp{Objects: objects})
+		m.respondLoad(msg, loadResp{Objects: objects})
 	})
+}
+
+// respondLoad answers a kvs.load in the encoding its request used:
+// binary-coded bodies for binary requests, JSON for everything else, so
+// a JSON-only child of a binary-enabled parent still gets JSON back.
+func (m *Module) respondLoad(msg *wire.Message, resp loadResp) {
+	if wire.IsBinaryBody(msg.Payload) {
+		m.h.Respond(msg, resp.bin())
+		return
+	}
+	m.h.Respond(msg, resp)
 }
 
 // recvGet resolves the read's snapshot root on the Recv goroutine (the

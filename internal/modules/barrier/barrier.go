@@ -23,6 +23,37 @@ type enterBody struct {
 	Count  int    `json:"count"` // participants aggregated in this message
 }
 
+// bin is the binary-coded (codec v3) form of enterBody, used when the
+// session negotiated binary bodies; decodeEnterBody sniffs and accepts
+// either encoding, so mixed sessions interoperate.
+func (b enterBody) bin() wire.RawBody {
+	w := wire.NewBinWriter(len(b.Name) + 12)
+	w.String(b.Name)
+	w.Uint(uint64(b.NProcs))
+	w.Uint(uint64(b.Count))
+	return w.Finish()
+}
+
+func decodeEnterBody(m *wire.Message) (body enterBody, err error) {
+	if r, ok := wire.NewBinReader(m.Payload); ok {
+		body.Name = r.String()
+		body.NProcs = int(r.Uint())
+		body.Count = int(r.Uint())
+		return body, r.Err()
+	}
+	err = m.UnpackJSON(&body)
+	return body, err
+}
+
+// enterReq wraps body for sending, binary-coded when the handle's broker
+// negotiated binary bodies.
+func enterReq(h *broker.Handle, body enterBody) any {
+	if h.BinaryBodies() {
+		return body.bin()
+	}
+	return body
+}
+
 type doneBody struct {
 	Name  string `json:"name"`
 	Error string `json:"error,omitempty"`
@@ -98,8 +129,8 @@ func (m *Module) Recv(msg *wire.Message) {
 }
 
 func (m *Module) recvEnter(msg *wire.Message) {
-	var body enterBody
-	if err := msg.UnpackJSON(&body); err != nil {
+	body, err := decodeEnterBody(msg)
+	if err != nil {
 		m.h.RespondError(msg, broker.ErrnoInval, err.Error())
 		return
 	}
@@ -165,7 +196,7 @@ func (m *Module) Idle() {
 
 // sendBatch forwards one aggregate and re-injects completion locally.
 func (m *Module) sendBatch(batch enterBody) {
-	_, err := m.h.RPC("barrier.enter", wire.NodeidUpstream, batch)
+	_, err := m.h.RPC("barrier.enter", wire.NodeidUpstream, enterReq(m.h, batch))
 	done := doneBody{Name: batch.Name}
 	if err != nil {
 		done.Error = err.Error()
@@ -209,6 +240,6 @@ func (m *Module) recvStats(msg *wire.Message) {
 // the barrier with the same name. Names must be unique per collective
 // operation.
 func Enter(h *broker.Handle, name string, nprocs int) error {
-	_, err := h.RPC("barrier.enter", wire.NodeidAny, enterBody{Name: name, NProcs: nprocs})
+	_, err := h.RPC("barrier.enter", wire.NodeidAny, enterReq(h, enterBody{Name: name, NProcs: nprocs}))
 	return err
 }

@@ -150,3 +150,40 @@ func TestBarrierNprocsMismatch(t *testing.T) {
 		t.Fatal("mismatched nprocs accepted")
 	}
 }
+
+// TestBarrierBinaryBodies runs the all-ranks barrier over codec links
+// with binary-coded (codec v3) enter bodies, including the slave
+// aggregates retransmitted upstream, and with one rank downgraded to
+// JSON so both encodings meet at the same aggregation point.
+func TestBarrierBinaryBodies(t *testing.T) {
+	const size = 7
+	s, err := session.New(session.Options{
+		Size:         size,
+		Codec:        true,
+		BinaryBodies: true,
+		Modules:      []session.ModuleFactory{Factory},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	s.Broker(3).SetBinaryBodies(false) // interior rank aggregates in JSON
+
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			h := s.Handle(r)
+			defer h.Close()
+			errs[r] = Enter(h, "bin", size)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}

@@ -94,6 +94,8 @@ func (s *Session) restartLocked(r int) error {
 		SyncInterval: s.opts.SyncInterval,
 		SessionID:    s.opts.SessionID,
 		LogRecords:   s.opts.LogRecords,
+		Shards:       s.opts.Shards,
+		BinaryBodies: s.opts.BinaryBodies,
 		Epoch:        epoch,
 		Tombstones:   tombs,
 		Joined:       true,

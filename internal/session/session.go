@@ -80,6 +80,13 @@ type Options struct {
 	// LogRecords overrides the brokers' structured log-ring capacity
 	// (obs.DefaultLogRecords when zero; negative disables buffering).
 	LogRecords int
+	// Shards sets each broker's route-dispatch shard count (0 picks the
+	// broker default). Benchmarks raise it to exercise contended flows.
+	Shards int
+	// BinaryBodies opts every broker's hot services into binary-coded
+	// (codec v3) request/response bodies; the join handshake downgrades
+	// any broker whose parent does not speak them.
+	BinaryBodies bool
 }
 
 // Session is a running comms session.
@@ -145,6 +152,8 @@ func New(opts Options) (*Session, error) {
 			SyncInterval: opts.SyncInterval,
 			SessionID:    opts.SessionID,
 			LogRecords:   opts.LogRecords,
+			Shards:       opts.Shards,
+			BinaryBodies: opts.BinaryBodies,
 			Grow:         s.hookGrow,
 			Shrink:       s.hookShrink,
 			Restart:      s.hookRestart,

@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"fluxgo/internal/wire"
+)
+
+// frameRefs reports how many references f still holds by probing its
+// buffer: a released frame surrenders Bytes().
+func frameAlive(f *wire.Frame) bool { return f.Bytes() != nil }
+
+// TestCodecSendFrame: the codec pipe delivers a decoded copy of the
+// shared frame and consumes the caller's reference.
+func TestCodecSendFrame(t *testing.T) {
+	a, b := CodecPipe("a", "b")
+	defer a.Close()
+	defer b.Close()
+	ev := &wire.Message{Type: wire.Event, Topic: "hb", Seq: 5, Payload: []byte(`{"n":5}`)}
+	f, err := wire.NewFrame(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, ok := a.(FrameSender)
+	if !ok {
+		t.Fatal("codec pipe end does not implement FrameSender")
+	}
+	if err := fs.SendFrame(f.Retain()); err != nil {
+		t.Fatalf("SendFrame: %v", err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == ev {
+		t.Fatal("codec pipe delivered the shared message pointer, want a decoded copy")
+	}
+	if got.Topic != ev.Topic || got.Seq != ev.Seq || !bytes.Equal(got.Payload, ev.Payload) {
+		t.Fatalf("delivered %+v, want %+v", got, ev)
+	}
+	f.Release()
+	if frameAlive(f) {
+		t.Fatal("frame still holds its buffer after all references dropped")
+	}
+}
+
+// TestPipeNotFrameSender: plain pipes move pointers without encoding;
+// offering SendFrame there would add a marshal they never pay, so the
+// broker must see them as frame-incapable.
+func TestPipeNotFrameSender(t *testing.T) {
+	a, _ := Pipe("a", "b")
+	if _, ok := a.(FrameSender); ok {
+		t.Fatal("plain pipe implements FrameSender; event fan-out would start paying a marshal")
+	}
+}
+
+// TestTCPSendFrame: the coalescing writer ships the frame's exact bytes
+// behind the usual length prefix.
+func TestTCPSendFrame(t *testing.T) {
+	srv, cli := net.Pipe()
+	c := newTCPConn(srv, "peer")
+	defer c.Close()
+	defer cli.Close()
+
+	ev := &wire.Message{Type: wire.Event, Topic: "kvs.setroot", Seq: 77, Payload: []byte(`{"v":77}`)}
+	f, err := wire.NewFrame(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), f.Bytes()...)
+	if err := c.SendFrame(f); err != nil {
+		t.Fatalf("SendFrame: %v", err)
+	}
+	cli.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, err := readFrame(cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("wire bytes %x, want %x", got, want)
+	}
+}
+
+// TestQueueCloseReleasesFrames: a hard close drops queued frame
+// references, not just messages — the release-exactly-once contract
+// covers the teardown path too.
+func TestQueueCloseReleasesFrames(t *testing.T) {
+	q := newQueue()
+	f, err := wire.NewFrame(&wire.Message{Type: wire.Event, Topic: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(outItem{f: f.Retain()}); err != nil {
+		t.Fatal(err)
+	}
+	q.close(false)
+	f.Release() // our own reference; the queued one was settled by close
+	if frameAlive(f) {
+		t.Fatal("hard close leaked the queued frame reference")
+	}
+
+	// And a rejected push settles the reference immediately.
+	f2, err := wire.NewFrame(&wire.Message{Type: wire.Event, Topic: "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(outItem{f: f2}); err != ErrClosed {
+		t.Fatalf("push on closed queue: %v, want ErrClosed", err)
+	}
+	if frameAlive(f2) {
+		t.Fatal("rejected push leaked the frame reference")
+	}
+}

@@ -36,7 +36,7 @@ func TestQueuePushClosedReleases(t *testing.T) {
 	q := newQueue()
 	q.close(false)
 	m := armedMsg("q.reject")
-	if err := q.push(m); err != ErrClosed {
+	if err := q.push(outItem{m: m}); err != ErrClosed {
 		t.Fatalf("push on closed queue: err = %v, want ErrClosed", err)
 	}
 	assertReleased(t, m, "push on closed queue")
@@ -48,7 +48,7 @@ func TestQueueCloseReleasesPending(t *testing.T) {
 	q := newQueue()
 	msgs := []*wire.Message{armedMsg("q.a"), armedMsg("q.b"), armedMsg("q.c")}
 	for _, m := range msgs {
-		if err := q.push(m); err != nil {
+		if err := q.push(outItem{m: m}); err != nil {
 			t.Fatalf("push: %v", err)
 		}
 	}

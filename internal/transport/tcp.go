@@ -86,7 +86,7 @@ func (c *tcpConn) writeLoop() {
 		close(c.done)
 	}
 	for {
-		m, err := c.out.pop()
+		it, err := c.out.pop()
 		if err != nil {
 			close(c.done)
 			return
@@ -94,27 +94,35 @@ func (c *tcpConn) writeLoop() {
 		scratch = scratch[:0]
 		frames := 0
 		for {
-			// Length prefix, then the frame, encoded in place.
+			// Length prefix, then the frame, encoded in place. Items
+			// carrying an encode-once frame skip the marshal entirely:
+			// the shared bytes are appended as-is and the item's frame
+			// reference dropped.
 			hdrAt := len(scratch)
 			scratch = append(scratch, 0, 0, 0, 0)
-			scratch, err = wire.MarshalAppend(scratch, m)
-			if err != nil {
-				// The message is consumed by the failed send; without
-				// this Release an armed (handed-off) message leaks its
-				// pooled buffer. fail() closes the queue, which releases
-				// anything still queued behind it.
-				m.Release()
-				fail()
-				return
+			if it.f != nil {
+				scratch = append(scratch, it.f.Bytes()...)
+				it.f.Release()
+			} else {
+				scratch, err = wire.MarshalAppend(scratch, it.m)
+				if err != nil {
+					// The message is consumed by the failed send; without
+					// this Release an armed (handed-off) message leaks its
+					// pooled buffer. fail() closes the queue, which releases
+					// anything still queued behind it.
+					it.m.Release()
+					fail()
+					return
+				}
+				it.m.Release() // no-op unless the broker handed the message off
 			}
 			binary.LittleEndian.PutUint32(scratch[hdrAt:], uint32(len(scratch)-hdrAt-4))
-			m.Release() // no-op unless the broker handed the message off
 			frames++
 			if len(scratch) >= flushBytes {
 				break
 			}
 			var ok bool
-			if m, ok = c.out.tryPop(); !ok {
+			if it, ok = c.out.tryPop(); !ok {
 				break
 			}
 		}
@@ -135,7 +143,14 @@ func (c *tcpConn) writeLoop() {
 }
 
 func (c *tcpConn) Send(m *wire.Message) error {
-	return c.out.push(m)
+	return c.out.push(outItem{m: m})
+}
+
+// SendFrame implements FrameSender: the frame's shared bytes are queued
+// for the coalescing writer, which copies them onto the wire after the
+// 4-byte length prefix and drops the reference — no per-child marshal.
+func (c *tcpConn) SendFrame(f *wire.Frame) error {
+	return c.out.push(outItem{f: f})
 }
 
 func (c *tcpConn) Recv() (*wire.Message, error) {

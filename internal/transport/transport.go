@@ -54,11 +54,44 @@ type Metered interface {
 	SetMeter(bytesSent, bytesRecv, framesCoalesced Counter)
 }
 
+// FrameSender is implemented by connections that can ship an
+// already-encoded, reference-counted frame (see wire.Frame). The broker
+// fans an event out by handing each frame-capable child one reference
+// (SendFrame(f.Retain())); the connection releases that reference once
+// the shared bytes are on its wire. Connections that move pointers
+// without encoding (plain pipes) deliberately do not implement it —
+// building a frame for them would add a marshal they never pay today.
+type FrameSender interface {
+	// SendFrame enqueues the frame's encoded bytes for delivery,
+	// consuming the caller's reference (success or failure).
+	SendFrame(f *wire.Frame) error
+}
+
+// outItem is one queued unit: either an owned message (released by the
+// consumer after encoding) or one reference on a shared frame (released
+// after its bytes are written). Keeping both in a single queue preserves
+// the per-link FIFO between fanned-out events and routed messages.
+type outItem struct {
+	m *wire.Message
+	f *wire.Frame
+}
+
+// release settles the item's ownership without delivering it: the
+// dropped-on-close path of a hard queue teardown.
+func (it outItem) release() {
+	if it.m != nil {
+		it.m.Release()
+	}
+	if it.f != nil {
+		it.f.Release()
+	}
+}
+
 // queue is an unbounded FIFO of messages with close semantics.
 type queue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	items  []*wire.Message
+	items  []outItem
 	closed bool
 }
 
@@ -68,50 +101,50 @@ func newQueue() *queue {
 	return q
 }
 
-// push takes ownership of m: on success the queue's consumer releases
-// it, and a rejected push (closed queue) releases it here, so pooled
-// messages cannot leak on send/close races.
-func (q *queue) push(m *wire.Message) error {
+// push takes ownership of the item: on success the queue's consumer
+// settles it, and a rejected push (closed queue) settles it here, so
+// pooled messages and frame references cannot leak on send/close races.
+func (q *queue) push(it outItem) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		m.Release()
+		it.release()
 		return ErrClosed
 	}
-	q.items = append(q.items, m)
+	q.items = append(q.items, it)
 	q.cond.Signal()
 	return nil
 }
 
 // pop blocks until an item is available or the queue is closed and
 // drained, in which case it returns io.EOF.
-func (q *queue) pop() (*wire.Message, error) {
+func (q *queue) pop() (outItem, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.items) == 0 && !q.closed {
 		q.cond.Wait()
 	}
 	if len(q.items) == 0 {
-		return nil, io.EOF
+		return outItem{}, io.EOF
 	}
-	m := q.items[0]
-	q.items[0] = nil
+	it := q.items[0]
+	q.items[0] = outItem{}
 	q.items = q.items[1:]
-	return m, nil
+	return it, nil
 }
 
 // tryPop returns the next item without blocking. ok is false when the
 // queue is momentarily empty or closed-and-drained.
-func (q *queue) tryPop() (*wire.Message, bool) {
+func (q *queue) tryPop() (outItem, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if len(q.items) == 0 {
-		return nil, false
+		return outItem{}, false
 	}
-	m := q.items[0]
-	q.items[0] = nil
+	it := q.items[0]
+	q.items[0] = outItem{}
 	q.items = q.items[1:]
-	return m, true
+	return it, true
 }
 
 // close marks the queue closed. If drain is false pending items are
@@ -124,10 +157,11 @@ func (q *queue) close(drain bool) {
 	}
 	q.closed = true
 	if !drain {
-		// Dropped messages may be pooled and armed; recycle them so a
-		// hard close does not leak the pool's buffers.
-		for _, m := range q.items {
-			m.Release()
+		// Dropped messages may be pooled and armed, and dropped frames
+		// hold a reference; settle them so a hard close does not leak
+		// the pool's buffers.
+		for _, it := range q.items {
+			it.release()
 		}
 		q.items = nil
 	}
@@ -161,11 +195,15 @@ func Pipe(aID, bID string) (Conn, Conn) {
 }
 
 func (c *pipeConn) Send(m *wire.Message) error {
-	return c.send.push(m)
+	return c.send.push(outItem{m: m})
 }
 
 func (c *pipeConn) Recv() (*wire.Message, error) {
-	return c.recv.pop()
+	it, err := c.recv.pop()
+	if err != nil {
+		return nil, err
+	}
+	return it.m, nil
 }
 
 func (c *pipeConn) PeerIdentity() string { return c.peerID }
@@ -208,6 +246,24 @@ func (c codecConn) Send(m *wire.Message) error {
 	// The duplicate now carries the message; recycle the original if the
 	// broker handed it off (no-op otherwise).
 	m.Release()
+	return nil
+}
+
+// SendFrame delivers an encode-once event frame across the codec pipe:
+// the shared encode replaces this end's per-child Marshal, and the
+// mandatory per-receiver decode (each rank must own its copy) is the
+// honest remaining cost. The caller's reference is consumed.
+func (c codecConn) SendFrame(f *wire.Frame) error {
+	dup, err := wire.Unmarshal(f.Bytes())
+	if err != nil {
+		f.Release()
+		return err
+	}
+	if err := c.Conn.Send(dup); err != nil {
+		f.Release()
+		return err
+	}
+	f.Release()
 	return nil
 }
 

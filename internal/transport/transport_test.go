@@ -282,22 +282,22 @@ func TestQueueBasics(t *testing.T) {
 	if q.len() != 0 {
 		t.Fatal("new queue not empty")
 	}
-	q.push(msg("a", 1))
-	q.push(msg("b", 2))
+	q.push(outItem{m: msg("a", 1)})
+	q.push(outItem{m: msg("b", 2)})
 	if q.len() != 2 {
 		t.Fatalf("len = %d, want 2", q.len())
 	}
-	m, _ := q.pop()
-	if m.Topic != "a" {
+	it, _ := q.pop()
+	if it.m.Topic != "a" {
 		t.Fatal("queue not FIFO")
 	}
 	q.close(true)
-	if err := q.push(msg("c", 3)); err != ErrClosed {
+	if err := q.push(outItem{m: msg("c", 3)}); err != ErrClosed {
 		t.Fatalf("push on closed = %v, want ErrClosed", err)
 	}
-	m, err := q.pop()
-	if err != nil || m.Topic != "b" {
-		t.Fatalf("drain: %v %v", m, err)
+	it, err := q.pop()
+	if err != nil || it.m.Topic != "b" {
+		t.Fatalf("drain: %v %v", it.m, err)
 	}
 	if _, err := q.pop(); err != io.EOF {
 		t.Fatalf("pop after drain = %v, want io.EOF", err)

@@ -220,6 +220,12 @@ const (
 	MetricLogFwdBatches   = "cmb.log_fwd_batches"
 	MetricFlightDumps     = "cmb.flight_dumps"
 
+	// Encode-once event fan-out: frames encoded (one per event that had
+	// at least one frame-capable child link) and sends served from an
+	// already-encoded shared frame instead of a per-child marshal.
+	MetricEventsFanoutEncodes = "cmb.events_fanout_encodes"
+	MetricEventsFanoutReuse   = "cmb.events_fanout_reuse"
+
 	MetricRequestQueueNS  = "cmb.request_queue_ns"
 	MetricRouteRequestNS  = "cmb.route_request_ns"
 	MetricRouteResponseNS = "cmb.route_response_ns"

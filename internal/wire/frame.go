@@ -1,0 +1,78 @@
+package wire
+
+import "sync/atomic"
+
+// Frame is a reference-counted, already-encoded message: the encode-once
+// half of event fan-out. The broker encodes an event a single time into
+// a pooled buffer, then hands one reference to every child link; each
+// transport writer copies the shared bytes onto its wire and drops its
+// reference. When the last reference is dropped the buffer returns to
+// the codec pool.
+//
+// Ownership rules (the refcounted extension of the Handoff/Release
+// model, enforced statically by fluxlint's pool-ownership pass):
+//
+//   - NewFrame returns a frame holding one reference, owned by the
+//     caller.
+//   - Retain takes an additional reference and returns the frame, so a
+//     hand-out reads as one expression: sender.SendFrame(f.Retain()).
+//     Each reference obliges exactly one Release by whoever holds it.
+//   - Release drops a reference; after the caller's own Release it must
+//     not touch the frame again. Dropping the last reference recycles
+//     the buffer; dropping more references than were taken panics, in
+//     every build — a refcount underflow means some consumer released a
+//     buffer another consumer may still be writing to the wire.
+//
+// The decoded *Message the frame was built from stays reachable via Msg
+// for consumers that want the value, not the bytes (in-process pipes,
+// local handles); it is shared and must not be mutated.
+type Frame struct {
+	refs atomic.Int32
+	buf  []byte
+	msg  *Message
+}
+
+// NewFrame encodes m once into a pooled buffer and returns a frame
+// holding one reference. m must not be mutated for the frame's lifetime
+// (event messages are immutable once sequenced, so this is free there).
+func NewFrame(m *Message) (*Frame, error) {
+	size := encodedSize(m)
+	if size > MaxMessageSize {
+		return nil, ErrTooLarge
+	}
+	buf := marshalAppend(GetBuf(size)[:0], m)
+	f := &Frame{buf: buf, msg: m}
+	f.refs.Store(1)
+	return f, nil
+}
+
+// Retain takes an additional reference and returns f, so handing a
+// reference to a sender chains: s.SendFrame(f.Retain()).
+func (f *Frame) Retain() *Frame {
+	if f.refs.Add(1) <= 1 {
+		panic("wire: Frame.Retain on a released frame")
+	}
+	return f
+}
+
+// Release drops one reference. The last Release returns the encoded
+// buffer to the codec pool; the caller must not use f afterwards.
+func (f *Frame) Release() {
+	switch n := f.refs.Add(-1); {
+	case n == 0:
+		buf := f.buf
+		f.buf = nil
+		f.msg = nil
+		PutBuf(buf)
+	case n < 0:
+		panic("wire: Frame refcount underflow (Release without matching reference)")
+	}
+}
+
+// Bytes returns the shared encoded frame. Valid until the caller's own
+// reference is released; must not be modified or retained past that.
+func (f *Frame) Bytes() []byte { return f.buf }
+
+// Msg returns the decoded message the frame was encoded from. It is
+// shared by every reference holder and must not be mutated.
+func (f *Frame) Msg() *Message { return f.msg }

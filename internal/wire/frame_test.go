@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestFrameBytesMatchMarshal proves the shared encode is byte-identical
+// to the per-send Marshal it replaces.
+func TestFrameBytesMatchMarshal(t *testing.T) {
+	m := &Message{Type: Event, Topic: "hb", Seq: 42, Epoch: 3,
+		TraceID: 7, Hops: 1, Payload: []byte(`{"n":1}`)}
+	want, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFrame(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Release()
+	if !bytes.Equal(f.Bytes(), want) {
+		t.Fatalf("frame bytes differ from Marshal:\n frame %x\n want  %x", f.Bytes(), want)
+	}
+	if f.Msg() != m {
+		t.Fatal("Msg() does not return the source message")
+	}
+}
+
+// TestFrameRefcount exercises retain/release pairing: the buffer stays
+// valid until the last reference drops, and underflow panics.
+func TestFrameRefcount(t *testing.T) {
+	m := &Message{Type: Event, Topic: "kvs.setroot", Seq: 1}
+	f, err := NewFrame(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Retain()
+	f.Retain()
+	f.Release()
+	f.Release()
+	if f.Bytes() == nil {
+		t.Fatal("buffer recycled while a reference is still held")
+	}
+	f.Release() // last reference
+	if f.Bytes() != nil {
+		t.Fatal("buffer not recycled after the last release")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("refcount underflow did not panic")
+		}
+	}()
+	f.Release()
+}
+
+// TestFrameRetainAfterFreePanics: taking a reference on a dead frame is
+// a bug in every build.
+func TestFrameRetainAfterFreePanics(t *testing.T) {
+	f, err := NewFrame(&Message{Type: Event, Topic: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retain on released frame did not panic")
+		}
+	}()
+	f.Retain()
+}
+
+// TestFrameConcurrentRelease is the unit-level half of the fan-out race
+// soak: many goroutines each own one reference and read the shared
+// bytes before dropping it; exactly one of them frees the buffer.
+func TestFrameConcurrentRelease(t *testing.T) {
+	for iter := 0; iter < 200; iter++ {
+		m := &Message{Type: Event, Topic: "storm", Seq: uint64(iter),
+			Payload: []byte(`{"payload":"0123456789abcdef"}`)}
+		f, err := NewFrame(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]byte(nil), f.Bytes()...)
+		const holders = 8
+		var wg sync.WaitGroup
+		for i := 0; i < holders; i++ {
+			f.Retain()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if !bytes.Equal(f.Bytes(), want) {
+					t.Error("shared bytes mutated under a live reference")
+				}
+				f.Release()
+			}()
+		}
+		f.Release() // creator's reference
+		wg.Wait()
+	}
+}
+
+// TestFrameDecodesBack: a frame's bytes decode to the source message
+// (what every frame-receiving link does on the other end).
+func TestFrameDecodesBack(t *testing.T) {
+	m := &Message{Type: Event, Topic: "live.join", Seq: 9, Epoch: 2,
+		Payload: []byte(`{"rank":4,"epoch":2}`)}
+	f, err := NewFrame(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Release()
+	got, err := Unmarshal(f.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Topic != m.Topic || got.Seq != m.Seq || got.Epoch != m.Epoch ||
+		!bytes.Equal(got.Payload, m.Payload) {
+		t.Fatalf("decoded %+v != source %+v", got, m)
+	}
+}

@@ -157,6 +157,11 @@ func (m *Message) Copy() *Message {
 
 // PackJSON marshals v into the payload frame.
 func (m *Message) PackJSON(v any) error {
+	if raw, ok := v.(RawBody); ok {
+		// Pre-encoded (binary-coded) body: install verbatim.
+		m.Payload = raw
+		return nil
+	}
 	b, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("wire: pack %s: %w", m.Topic, err)
